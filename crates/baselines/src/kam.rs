@@ -1,0 +1,164 @@
+//! **KAM** — Kamiran & Calders reweighing ("Data preprocessing techniques
+//! for classification without discrimination", KAIS 2011).
+//!
+//! Every tuple in cell (group `g`, label `c`) receives the same weight
+//!
+//! ```text
+//! w(g, c) = |D_g| · |D_c| / (|D| · |D_{g,c}|)
+//! ```
+//!
+//! — the ratio of the cell's expected size under independence to its actual
+//! size. Weighted this way, group and label are statistically independent in
+//! the training distribution. Contrast with ConFair: *identical weights for
+//! every member of a cell* (outliers included), no intervention knob, and no
+//! model in the loop — which also makes KAM the fastest method in Fig. 14.
+
+use cf_data::{CellIndex, Dataset};
+use cf_learners::LearnerKind;
+use confair_core::{
+    intervention::{Intervention, Predictor, SingleModelPredictor},
+    CoreError, Result,
+};
+
+/// The KAM intervention.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KamiranCalders;
+
+impl KamiranCalders {
+    /// The closed-form cell weights for a dataset, one per tuple.
+    pub fn weights(train: &Dataset) -> Result<Vec<f64>> {
+        let n = train.len();
+        if n == 0 {
+            return Err(CoreError::EmptyPartition("training set".into()));
+        }
+        let mut weights = vec![1.0; n];
+        for cell in CellIndex::binary_cells() {
+            let members = train.cell_indices(cell);
+            if members.is_empty() {
+                continue;
+            }
+            let expected = train.group_count(cell.group) as f64
+                * train.label_count(cell.label) as f64
+                / n as f64;
+            let w = expected / members.len() as f64;
+            for &i in &members {
+                weights[i] = w;
+            }
+        }
+        Ok(weights)
+    }
+}
+
+impl Intervention for KamiranCalders {
+    fn name(&self) -> String {
+        "KAM".to_string()
+    }
+
+    fn train(
+        &self,
+        train: &Dataset,
+        _validation: &Dataset,
+        learner: LearnerKind,
+    ) -> Result<Box<dyn Predictor>> {
+        let weights = Self::weights(train)?;
+        let predictor = SingleModelPredictor::fit(train, learner, Some(&weights))?;
+        Ok(Box::new(predictor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::split::{split3, SplitRatios};
+    use cf_data::Column;
+    use cf_datasets::toy::figure1;
+    use cf_metrics::GroupConfusion;
+    use confair_core::NoIntervention;
+
+    #[test]
+    fn weights_match_closed_form() {
+        // 6 tuples: W = {+,+,-}, U = {+,-,-}.
+        let d = Dataset::new(
+            "kam",
+            vec!["x".into()],
+            vec![Column::Numeric(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0])],
+            vec![1, 1, 0, 1, 0, 0],
+            vec![0, 0, 0, 1, 1, 1],
+        )
+        .unwrap();
+        let w = KamiranCalders::weights(&d).unwrap();
+        // |W| = 3, |Y=1| = 3, |W ∩ Y=1| = 2 → w = 3·3/(6·2) = 0.75
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+        // |W ∩ Y=0| = 1 → 3·3/(6·1) = 1.5
+        assert!((w[2] - 1.5).abs() < 1e-12);
+        // |U ∩ Y=1| = 1 → 3·3/(6·1) = 1.5
+        assert!((w[3] - 1.5).abs() < 1e-12);
+        // |U ∩ Y=0| = 2 → 0.75
+        assert!((w[4] - 0.75).abs() < 1e-12);
+        assert!((w[5] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distribution_is_independent() {
+        let d = figure1(60);
+        let w = KamiranCalders::weights(&d).unwrap();
+        // Weighted joint P(g, c) should factorise: check one cell.
+        let total: f64 = w.iter().sum();
+        let mass = |g: u8, c: u8| -> f64 {
+            (0..d.len())
+                .filter(|&i| d.groups()[i] == g && d.labels()[i] == c)
+                .map(|i| w[i])
+                .sum::<f64>()
+                / total
+        };
+        let pg: f64 = mass(1, 0) + mass(1, 1);
+        let pc: f64 = mass(0, 1) + mass(1, 1);
+        assert!((mass(1, 1) - pg * pc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_weights_within_cells() {
+        let d = figure1(61);
+        let w = KamiranCalders::weights(&d).unwrap();
+        for cell in CellIndex::binary_cells() {
+            let members = d.cell_indices(cell);
+            let first = w[members[0]];
+            assert!(members.iter().all(|&i| (w[i] - first).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn kam_improves_fairness_on_toy_data() {
+        let d = figure1(62);
+        let s = split3(&d, SplitRatios::paper_default(), 62);
+        let base = NoIntervention
+            .train(&s.train, &s.validation, LearnerKind::Logistic)
+            .unwrap();
+        let bp = base.predict(&s.test).unwrap();
+        let b_gc = GroupConfusion::compute(s.test.labels(), &bp, s.test.groups());
+
+        let kam = KamiranCalders
+            .train(&s.train, &s.validation, LearnerKind::Logistic)
+            .unwrap();
+        let kp = kam.predict(&s.test).unwrap();
+        let k_gc = GroupConfusion::compute(s.test.labels(), &kp, s.test.groups());
+        assert!(
+            k_gc.di_star() > b_gc.di_star(),
+            "KAM improves DI*: {} -> {}",
+            b_gc.di_star(),
+            k_gc.di_star()
+        );
+    }
+
+    #[test]
+    fn empty_training_errors() {
+        let d = figure1(1).subset(&[]);
+        assert!(KamiranCalders::weights(&d).is_err());
+    }
+
+    #[test]
+    fn name_is_kam() {
+        assert_eq!(KamiranCalders.name(), "KAM");
+    }
+}

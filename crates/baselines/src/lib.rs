@@ -1,0 +1,27 @@
+//! # cf-baselines
+//!
+//! The prior-art interventions the paper compares against (§IV "Methods"),
+//! reimplemented from their original papers:
+//!
+//! * [`kam::KamiranCalders`] (**KAM**) — reweighing for statistical
+//!   independence of group and label (Kamiran & Calders, KAIS 2011). Pure
+//!   closed-form weights; no model in the loop; no intervention knob.
+//! * [`omn::OmniFair`] (**OMN**) — declarative group fairness (Zhang et al.,
+//!   SIGMOD 2021): uniform per-(group,label)-cell weights `1 ± λ`, with λ
+//!   tuned model-in-the-loop against a fairness constraint.
+//! * [`cap::Capuchin`] (**CAP**) — causal database repair (Salimi et al.,
+//!   SIGMOD 2019), reduced to its independence-repair core: resample the
+//!   training multiset so that group ⫫ label within every stratum of
+//!   admissible attributes. *Invasive*: the training data itself changes.
+//!
+//! All three implement [`confair_core::Intervention`] so the experiment
+//! harness treats them uniformly. See DESIGN.md §1 for the documented
+//! simplifications (CAP's MaxSAT machinery, OMN's full metric catalogue).
+
+pub mod cap;
+pub mod kam;
+pub mod omn;
+
+pub use cap::Capuchin;
+pub use kam::KamiranCalders;
+pub use omn::OmniFair;

@@ -1,0 +1,313 @@
+//! **OMN** — OmniFair-style declarative reweighing (Zhang et al., SIGMOD
+//! 2021), specialised to the metrics this paper evaluates.
+//!
+//! OmniFair expresses a group-fairness constraint declaratively and enforces
+//! it by assigning *uniform weights per (group, label) cell*, scaled by a
+//! single parameter λ; λ is tuned model-in-the-loop: train, measure the
+//! metric on validation data, adjust. Cells are weighted in the direction
+//! that shrinks the target gap:
+//!
+//! * DI-by-selection-rate: minority-positive ×(1+λ), majority-positive
+//!   ×(1−λ) (floored at a small positive value).
+//! * EqOdds-FNR: minority-positive ×(1+λ).
+//! * EqOdds-FPR: minority-negative ×(1+λ).
+//!
+//! Selection follows the OmniFair recipe: among λ candidates that satisfy
+//! the fairness constraint (gap ≤ ε) pick the most accurate; if none
+//! qualifies, pick the smallest gap. Because *every* tuple of a cell is
+//! amplified — outliers and noise included — the λ→fairness response is not
+//! monotone and can collapse the model to one class; both behaviours are
+//! exactly what §IV-A reports for OMN.
+
+use cf_data::{CellIndex, Dataset, MAJORITY, MINORITY};
+use cf_learners::LearnerKind;
+use cf_metrics::GroupConfusion;
+use confair_core::{
+    confair::FairnessTarget,
+    intervention::{Intervention, Predictor, SingleModelPredictor},
+    CoreError, Result,
+};
+
+/// Configuration for [`OmniFair`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmniFairConfig {
+    /// The fairness metric used as the declarative constraint.
+    pub target: FairnessTarget,
+    /// Candidate λ values scanned in order.
+    pub lambda_grid: Vec<f64>,
+    /// Constraint threshold ε: a candidate "satisfies" fairness when its
+    /// validation gap is at most this.
+    pub epsilon: f64,
+    /// Calibrate λ with this learner instead of the deployed one (Fig. 7).
+    pub calibration_learner: Option<LearnerKind>,
+    /// Fixed λ (skips tuning) — used by the Fig. 8/9 sweeps.
+    pub fixed_lambda: Option<f64>,
+}
+
+impl Default for OmniFairConfig {
+    fn default() -> Self {
+        Self {
+            target: FairnessTarget::DisparateImpact,
+            lambda_grid: default_lambda_grid(),
+            epsilon: 0.05,
+            calibration_learner: None,
+            fixed_lambda: None,
+        }
+    }
+}
+
+/// The default λ grid (the original tunes λ ∈ [0, 1]-ish; large values are
+/// included because the floor keeps weights valid).
+pub fn default_lambda_grid() -> Vec<f64> {
+    vec![0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0]
+}
+
+/// Weights never drop below this floor (the down-weighted cell).
+const WEIGHT_FLOOR: f64 = 0.05;
+
+/// The OmniFair intervention.
+#[derive(Debug, Clone, Default)]
+pub struct OmniFair {
+    /// Behavioural configuration.
+    pub config: OmniFairConfig,
+}
+
+impl OmniFair {
+    /// OMN targeting disparate impact with auto-tuned λ (the §IV variant).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// OMN with a custom configuration.
+    pub fn new(config: OmniFairConfig) -> Self {
+        Self { config }
+    }
+
+    /// The uniform cell weights for a given λ.
+    pub fn weights(train: &Dataset, target: FairnessTarget, lambda: f64) -> Result<Vec<f64>> {
+        if train.is_empty() {
+            return Err(CoreError::EmptyPartition("training set".into()));
+        }
+        let mut weights = vec![1.0; train.len()];
+        let mut scale_cell = |cell: CellIndex, factor: f64| {
+            for i in train.cell_indices(cell) {
+                weights[i] = factor.max(WEIGHT_FLOOR);
+            }
+        };
+        match target {
+            FairnessTarget::DisparateImpact => {
+                scale_cell(CellIndex { group: MINORITY, label: 1 }, 1.0 + lambda);
+                scale_cell(CellIndex { group: MAJORITY, label: 1 }, 1.0 - lambda);
+            }
+            FairnessTarget::EqOddsFnr => {
+                scale_cell(CellIndex { group: MINORITY, label: 1 }, 1.0 + lambda);
+            }
+            FairnessTarget::EqOddsFpr => {
+                scale_cell(CellIndex { group: MINORITY, label: 0 }, 1.0 + lambda);
+            }
+        }
+        Ok(weights)
+    }
+
+    fn gap(target: FairnessTarget, gc: &GroupConfusion) -> f64 {
+        match target {
+            FairnessTarget::DisparateImpact => 1.0 - gc.di_star(),
+            FairnessTarget::EqOddsFnr => gc.eq_odds_fnr_gap(),
+            FairnessTarget::EqOddsFpr => gc.eq_odds_fpr_gap(),
+        }
+    }
+
+    /// Model-in-the-loop λ selection (the OmniFair algorithm): constraint
+    /// first, accuracy second.
+    pub fn tune_lambda(
+        &self,
+        train: &Dataset,
+        validation: &Dataset,
+        learner: LearnerKind,
+    ) -> Result<f64> {
+        let mut best_feasible: Option<(f64, f64)> = None; // (balacc, lambda)
+        let mut best_gap: Option<(f64, f64)> = None; // (gap, lambda)
+        for &lambda in &self.config.lambda_grid {
+            let weights = Self::weights(train, self.config.target, lambda)?;
+            // A diverging learner under extreme weights disqualifies the
+            // candidate (the paper's missing-OMN-bars case at the harness
+            // level when *every* candidate fails).
+            let Ok(predictor) = SingleModelPredictor::fit(train, learner, Some(&weights)) else {
+                continue;
+            };
+            let Ok(preds) = predictor.predict(validation) else {
+                continue;
+            };
+            let gc = GroupConfusion::compute(validation.labels(), &preds, validation.groups());
+            let gap = Self::gap(self.config.target, &gc);
+            let balacc = gc.balanced_accuracy();
+            if gap <= self.config.epsilon
+                && best_feasible.is_none_or(|(b, _)| balacc > b)
+            {
+                best_feasible = Some((balacc, lambda));
+            }
+            if best_gap.is_none_or(|(g, _)| gap < g) {
+                best_gap = Some((gap, lambda));
+            }
+        }
+        match (best_feasible, best_gap) {
+            (Some((_, lambda)), _) => Ok(lambda),
+            (None, Some((_, lambda))) => Ok(lambda),
+            (None, None) => Err(CoreError::EmptyPartition(
+                "no lambda candidate produced a model".into(),
+            )),
+        }
+    }
+}
+
+impl Intervention for OmniFair {
+    fn name(&self) -> String {
+        "OMN".to_string()
+    }
+
+    fn train(
+        &self,
+        train: &Dataset,
+        validation: &Dataset,
+        learner: LearnerKind,
+    ) -> Result<Box<dyn Predictor>> {
+        let lambda = match self.config.fixed_lambda {
+            Some(l) => l,
+            None => {
+                let calibration = self.config.calibration_learner.unwrap_or(learner);
+                self.tune_lambda(train, validation, calibration)?
+            }
+        };
+        let weights = Self::weights(train, self.config.target, lambda)?;
+        let predictor = SingleModelPredictor::fit(train, learner, Some(&weights))?;
+        Ok(Box::new(predictor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::split::{split3, SplitRatios};
+    use cf_datasets::toy::figure1;
+    use confair_core::NoIntervention;
+
+    #[test]
+    fn weights_scale_whole_cells_uniformly() {
+        let d = figure1(70);
+        let w = OmniFair::weights(&d, FairnessTarget::DisparateImpact, 0.5).unwrap();
+        for (i, &wi) in w.iter().enumerate() {
+            let expected = match (d.groups()[i], d.labels()[i]) {
+                (MINORITY, 1) => 1.5,
+                (MAJORITY, 1) => 0.5,
+                _ => 1.0,
+            };
+            assert!((wi - expected).abs() < 1e-12, "tuple {i}");
+        }
+    }
+
+    #[test]
+    fn weight_floor_holds_for_large_lambda() {
+        let d = figure1(71);
+        let w = OmniFair::weights(&d, FairnessTarget::DisparateImpact, 3.0).unwrap();
+        assert!(w.iter().all(|&v| v >= WEIGHT_FLOOR));
+    }
+
+    #[test]
+    fn eq_odds_targets_scale_expected_cells() {
+        let d = figure1(72);
+        let w = OmniFair::weights(&d, FairnessTarget::EqOddsFpr, 1.0).unwrap();
+        for (i, &wi) in w.iter().enumerate() {
+            if d.groups()[i] == MINORITY && d.labels()[i] == 0 {
+                assert!((wi - 2.0).abs() < 1e-12);
+            } else {
+                assert!((wi - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn omn_satisfies_its_declarative_constraint_on_validation() {
+        // OMN's contract is constraint satisfaction on the validation set
+        // (gap ≤ ε), with accuracy maximised among feasible λ. Test exactly
+        // that: the tuned λ's validation gap is within ε, or — when no λ is
+        // feasible — it is the grid's minimum gap.
+        let d = figure1(73);
+        let s = split3(&d, SplitRatios::paper_default(), 73);
+        let omn = OmniFair::paper_default();
+        let lambda = omn
+            .tune_lambda(&s.train, &s.validation, LearnerKind::Logistic)
+            .unwrap();
+
+        let gap_of = |l: f64| -> f64 {
+            let w = OmniFair::weights(&s.train, FairnessTarget::DisparateImpact, l).unwrap();
+            let p = confair_core::intervention::SingleModelPredictor::fit(
+                &s.train,
+                LearnerKind::Logistic,
+                Some(&w),
+            )
+            .unwrap();
+            use confair_core::intervention::Predictor;
+            let preds = p.predict(&s.validation).unwrap();
+            let gc = GroupConfusion::compute(s.validation.labels(), &preds, s.validation.groups());
+            1.0 - gc.di_star()
+        };
+        let chosen_gap = gap_of(lambda);
+        let min_gap = omn
+            .config
+            .lambda_grid
+            .iter()
+            .map(|&l| gap_of(l))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            chosen_gap <= omn.config.epsilon + 1e-9 || (chosen_gap - min_gap).abs() < 1e-9,
+            "chosen λ={lambda} gap {chosen_gap} vs grid minimum {min_gap}"
+        );
+    }
+
+    #[test]
+    fn forced_lambda_moves_minority_selection_rate() {
+        let d = figure1(76);
+        let s = split3(&d, SplitRatios::paper_default(), 76);
+        let sr_at = |l: f64| -> f64 {
+            let omn = OmniFair::new(OmniFairConfig {
+                fixed_lambda: Some(l),
+                ..OmniFairConfig::default()
+            });
+            let p = omn
+                .train(&s.train, &s.validation, LearnerKind::Logistic)
+                .unwrap();
+            let preds = p.predict(&s.test).unwrap();
+            GroupConfusion::compute(s.test.labels(), &preds, s.test.groups())
+                .minority
+                .selection_rate()
+        };
+        // A large λ must raise the minority selection rate over λ = 0.
+        assert!(sr_at(4.0) > sr_at(0.0), "{} vs {}", sr_at(4.0), sr_at(0.0));
+    }
+
+    #[test]
+    fn fixed_lambda_skips_tuning() {
+        let d = figure1(74);
+        let s = split3(&d, SplitRatios::paper_default(), 74);
+        let omn = OmniFair::new(OmniFairConfig {
+            fixed_lambda: Some(0.0),
+            ..OmniFairConfig::default()
+        });
+        // λ = 0 means weights are all 1: identical to no intervention.
+        let p = omn
+            .train(&s.train, &s.validation, LearnerKind::Logistic)
+            .unwrap();
+        let base = NoIntervention
+            .train(&s.train, &s.validation, LearnerKind::Logistic)
+            .unwrap();
+        assert_eq!(
+            p.predict(&s.test).unwrap(),
+            base.predict(&s.test).unwrap()
+        );
+    }
+
+    #[test]
+    fn name_is_omn() {
+        assert_eq!(OmniFair::paper_default().name(), "OMN");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the baseline interventions.
+
+use cf_baselines::{Capuchin, KamiranCalders, OmniFair};
+use cf_data::{Column, Dataset};
+use confair_core::confair::FairnessTarget;
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (16usize..80).prop_flat_map(|n| {
+        proptest::collection::vec(-5.0..5.0f64, n).prop_map(move |x| {
+            let labels: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+            let groups: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+            Dataset::new(
+                "prop",
+                vec!["x".into()],
+                vec![Column::Numeric(x)],
+                labels,
+                groups,
+            )
+            .unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kam_weights_make_group_and_label_independent(d in dataset()) {
+        let w = KamiranCalders::weights(&d).unwrap();
+        let total: f64 = w.iter().sum();
+        let mass = |g: u8, c: u8| -> f64 {
+            (0..d.len())
+                .filter(|&i| d.groups()[i] == g && d.labels()[i] == c)
+                .map(|i| w[i])
+                .sum::<f64>() / total
+        };
+        let pg1 = mass(1, 0) + mass(1, 1);
+        let pc1 = mass(0, 1) + mass(1, 1);
+        prop_assert!((mass(1, 1) - pg1 * pc1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kam_total_mass_is_n(d in dataset()) {
+        let w = KamiranCalders::weights(&d).unwrap();
+        prop_assert!((w.iter().sum::<f64>() - d.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn omn_weights_respect_floor_and_cells(d in dataset(), lambda in 0.0..6.0f64) {
+        for target in [
+            FairnessTarget::DisparateImpact,
+            FairnessTarget::EqOddsFnr,
+            FairnessTarget::EqOddsFpr,
+        ] {
+            let w = OmniFair::weights(&d, target, lambda).unwrap();
+            prop_assert!(w.iter().all(|&v| v >= 0.05));
+            // Uniform within every (group, label) cell.
+            for cell in cf_data::CellIndex::binary_cells() {
+                let members = d.cell_indices(cell);
+                if let Some(&first) = members.first() {
+                    prop_assert!(members.iter().all(|&i| (w[i] - w[first]).abs() < 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_repair_preserves_size_approximately(d in dataset()) {
+        let cap = Capuchin::paper_default();
+        if let Ok((idx, groups)) = cap.repair_multiset(&d) {
+            prop_assert_eq!(idx.len(), groups.len());
+            let ratio = idx.len() as f64 / d.len() as f64;
+            prop_assert!((0.5..=1.5).contains(&ratio), "ratio {}", ratio);
+            // Every referenced index is valid.
+            prop_assert!(idx.iter().all(|&i| i < d.len()));
+        }
+    }
+
+    #[test]
+    fn cap_repair_deterministic(d in dataset()) {
+        let cap = Capuchin::paper_default();
+        let a = cap.repair_multiset(&d);
+        let b = cap.repair_multiset(&d);
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(x), Ok(y)) = (a, b) {
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Microbenchmark: the interventions themselves — weight derivation and
+//! model routing, isolated from learner training (the Fig. 14 numerators).
+
+use cf_baselines::{Capuchin, KamiranCalders, OmniFair};
+use cf_data::split::{split3, SplitRatios};
+use cf_datasets::realsim::RealWorldSpec;
+use cf_learners::LearnerKind;
+use confair_core::{
+    confair::{build_profile, FairnessTarget},
+    ConFair, DiffFair, Intervention, NoIntervention,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_weight_derivation(c: &mut Criterion) {
+    let data = RealWorldSpec::by_name("MEPS").unwrap().generate_scaled(0.2, 1);
+    let split = split3(&data, SplitRatios::paper_default(), 1);
+    let mut group = c.benchmark_group("interventions/weights");
+    group.sample_size(10);
+    group.bench_function("kam_closed_form", |b| {
+        b.iter(|| KamiranCalders::weights(black_box(&split.train)).unwrap());
+    });
+    group.bench_function("omn_cell_weights", |b| {
+        b.iter(|| {
+            OmniFair::weights(black_box(&split.train), FairnessTarget::DisparateImpact, 1.5)
+                .unwrap()
+        });
+    });
+    group.bench_function("confair_profile_algorithm2", |b| {
+        b.iter(|| {
+            build_profile(
+                black_box(&split.train),
+                FairnessTarget::DisparateImpact,
+                Some(cf_density::FilterConfig::paper_default()),
+                &cf_conformance::LearnOptions::paper_default(),
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("cap_repair", |b| {
+        b.iter(|| {
+            Capuchin::paper_default()
+                .repair_multiset(black_box(&split.train))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_difffair_predict(c: &mut Criterion) {
+    let data = RealWorldSpec::by_name("MEPS").unwrap().generate_scaled(0.2, 2);
+    let split = split3(&data, SplitRatios::paper_default(), 2);
+    let predictor = DiffFair::paper_default()
+        .train(&split.train, &split.validation, LearnerKind::Logistic)
+        .unwrap();
+    let baseline = NoIntervention
+        .train(&split.train, &split.validation, LearnerKind::Logistic)
+        .unwrap();
+    let mut group = c.benchmark_group("interventions/predict");
+    group.bench_function("difffair_cc_routing", |b| {
+        b.iter(|| predictor.predict(black_box(&split.test)).unwrap());
+    });
+    group.bench_function("single_model", |b| {
+        b.iter(|| baseline.predict(black_box(&split.test)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_train(c: &mut Criterion) {
+    let data = RealWorldSpec::by_name("MEPS").unwrap().generate_scaled(0.1, 3);
+    let split = split3(&data, SplitRatios::paper_default(), 3);
+    let mut group = c.benchmark_group("interventions/train_lr");
+    group.sample_size(10);
+    let confair = ConFair::paper_default();
+    group.bench_function("confair_auto_tuned", |b| {
+        b.iter(|| {
+            confair
+                .train(black_box(&split.train), &split.validation, LearnerKind::Logistic)
+                .unwrap()
+        });
+    });
+    let kam = KamiranCalders;
+    group.bench_function("kam", |b| {
+        b.iter(|| {
+            kam.train(black_box(&split.train), &split.validation, LearnerKind::Logistic)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weight_derivation,
+    bench_difffair_predict,
+    bench_end_to_end_train
+);
+criterion_main!(benches);

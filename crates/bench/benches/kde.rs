@@ -1,0 +1,58 @@
+//! Microbenchmark: KDE self-density (the Algorithm-3 cost driver),
+//! exact vs k-d-tree accelerated — the `O(mn²)` → `O(m log n)` claim of
+//! §III-C.
+
+use cf_density::{Kde, TreeKde};
+use cf_linalg::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn clustered_points(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let c = if i % 2 == 0 { 1.5 } else { -1.5 };
+            (0..d).map(|_| c + rng.gen_range(-0.5..0.5)).collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+fn bench_exact_vs_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde/self_densities");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000, 6_000] {
+        let x = clustered_points(n, 4, 7);
+        group.bench_with_input(BenchmarkId::new("exact", n), &x, |b, x| {
+            b.iter(|| Kde::fit(black_box(x)).self_densities());
+        });
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &x, |b, x| {
+            b.iter(|| TreeKde::fit(black_box(x)).self_densities());
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    use cf_data::{Column, Dataset};
+    let x = clustered_points(4_000, 4, 9);
+    let n = x.rows();
+    let columns: Vec<Column> = (0..4).map(|j| Column::Numeric(x.col(j))).collect();
+    let ds = Dataset::new(
+        "bench",
+        (0..4).map(|j| format!("x{j}")).collect(),
+        columns,
+        (0..n).map(|i| (i % 2) as u8).collect(),
+        (0..n).map(|i| u8::from(i % 5 == 0)).collect(),
+    )
+    .unwrap();
+    c.bench_function("kde/density_filter_algorithm3", |b| {
+        b.iter(|| {
+            cf_density::density_filter(black_box(&ds), cf_density::FilterConfig::paper_default())
+        });
+    });
+}
+
+criterion_group!(benches, bench_exact_vs_tree, bench_filter);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmark: learner training cost (the Fig. 14 denominator).
+
+use cf_learners::{Gbt, GbtConfig, Learner, LogisticRegression};
+use cf_linalg::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn classification_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = (i % 2) as f64;
+        let shift = if label > 0.5 { 0.4 } else { -0.4 };
+        rows.push((0..d).map(|_| shift + rng.gen_range(-1.0..1.0)).collect::<Vec<f64>>());
+        y.push(label);
+    }
+    (Matrix::from_rows(&rows), y)
+}
+
+fn bench_logistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learner_fit/logistic");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let (x, y) = classification_data(n, 12, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(x, y), |b, (x, y)| {
+            b.iter(|| {
+                let mut m = LogisticRegression::default();
+                m.fit(black_box(x), black_box(y), None).unwrap();
+                m
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gbt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learner_fit/gbt");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000] {
+        let (x, y) = classification_data(n, 12, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(x, y), |b, (x, y)| {
+            b.iter(|| {
+                let mut m = Gbt::new(GbtConfig {
+                    n_rounds: 30,
+                    ..GbtConfig::default()
+                });
+                m.fit(black_box(x), black_box(y), None).unwrap();
+                m
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted_vs_unweighted(c: &mut Criterion) {
+    let (x, y) = classification_data(5_000, 12, 3);
+    let w: Vec<f64> = (0..x.rows()).map(|i| 1.0 + (i % 7) as f64).collect();
+    c.bench_function("learner_fit/logistic_weighted_5k", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::default();
+            m.fit(black_box(&x), black_box(&y), Some(black_box(&w))).unwrap();
+            m
+        });
+    });
+}
+
+criterion_group!(benches, bench_logistic, bench_gbt, bench_weighted_vs_unweighted);
+criterion_main!(benches);

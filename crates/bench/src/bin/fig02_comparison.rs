@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 02 (see cf_bench::figures::fig02).
+fn main() {
+    let cfg = cf_bench::ExpConfig::from_args();
+    cf_bench::figures::fig02::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 09 (see cf_bench::figures::fig09).
+fn main() {
+    let cfg = cf_bench::ExpConfig::from_args();
+    cf_bench::figures::fig09::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 12 (see cf_bench::figures::fig12).
+fn main() {
+    let cfg = cf_bench::ExpConfig::from_args();
+    cf_bench::figures::fig12::run(&cfg);
+}

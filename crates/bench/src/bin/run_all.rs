@@ -1,0 +1,20 @@
+//! Runs every experiment in sequence — the full reproduction sweep.
+fn main() {
+    let cfg = cf_bench::ExpConfig::from_args();
+    let t0 = std::time::Instant::now();
+    println!("# ConFair reproduction: full experiment sweep");
+    println!("# scale={} reps={} seed={}\n", cfg.scale, cfg.reps, cfg.seed);
+    cf_bench::figures::fig02::run(&cfg);
+    cf_bench::figures::fig04::run(&cfg);
+    cf_bench::figures::fig05::run(&cfg);
+    cf_bench::figures::fig06::run(&cfg);
+    cf_bench::figures::fig07::run(&cfg);
+    cf_bench::figures::fig08::run(&cfg);
+    cf_bench::figures::fig09::run(&cfg);
+    cf_bench::figures::fig10::run(&cfg);
+    cf_bench::figures::fig11::run(&cfg);
+    cf_bench::figures::fig12::run(&cfg);
+    cf_bench::figures::fig13::run(&cfg);
+    cf_bench::figures::fig14::run(&cfg);
+    println!("\n# total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,89 @@
+//! Shared experiment configuration, parsed from CLI arguments.
+
+use std::path::PathBuf;
+
+/// Knobs shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpConfig {
+    /// Dataset size as a fraction of the paper's row counts.
+    pub scale: f64,
+    /// Repetitions averaged per result cell (paper: 20).
+    pub reps: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Where `<experiment>.json` artifacts are written.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.04,
+            reps: 3,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Parse `--scale=`, `--reps=`, `--seed=`, `--out=` from `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        for arg in std::env::args().skip(1) {
+            if let Some(v) = arg.strip_prefix("--scale=") {
+                cfg.scale = v.parse().expect("--scale=<float in (0,1]>");
+                assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "--scale must be in (0,1]");
+            } else if let Some(v) = arg.strip_prefix("--reps=") {
+                cfg.reps = v.parse().expect("--reps=<positive int>");
+                assert!(cfg.reps > 0, "--reps must be positive");
+            } else if let Some(v) = arg.strip_prefix("--seed=") {
+                cfg.seed = v.parse().expect("--seed=<u64>");
+            } else if let Some(v) = arg.strip_prefix("--out=") {
+                cfg.out_dir = PathBuf::from(v);
+            } else {
+                panic!("unknown argument {arg}; expected --scale= --reps= --seed= --out=");
+            }
+        }
+        cfg
+    }
+
+    /// Write a serialisable artifact to `<out_dir>/<name>.json`.
+    pub fn save_json<T: serde::Serialize>(&self, name: &str, value: &T) {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(format!("{name}.json"));
+        let file = std::fs::File::create(&path).expect("create results file");
+        serde_json::to_writer_pretty(std::io::BufWriter::new(file), value)
+            .expect("serialise results");
+        println!("[artifact] {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_laptop_sized() {
+        let cfg = ExpConfig::default();
+        assert!(cfg.scale <= 0.1);
+        assert!(cfg.reps >= 1);
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        let cfg = ExpConfig {
+            out_dir: std::env::temp_dir().join("cf_bench_cfg_test"),
+            ..ExpConfig::default()
+        };
+        cfg.save_json("unit", &vec![1, 2, 3]);
+        let back: Vec<i32> = serde_json::from_str(
+            &std::fs::read_to_string(cfg.out_dir.join("unit.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+}

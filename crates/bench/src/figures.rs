@@ -1,0 +1,554 @@
+//! One submodule per paper table/figure; each exposes `run(&ExpConfig)`.
+//!
+//! The printed output mirrors the corresponding figure's panels: the same
+//! methods, the same datasets, the same metrics — so a side-by-side read
+//! against the paper is direct. JSON artifacts land in `results/`.
+
+use crate::{config::ExpConfig, runner};
+use cf_data::Dataset;
+use cf_datasets::realsim::RealWorldSpec;
+use cf_learners::LearnerKind;
+use cf_metrics::FairnessReport;
+
+/// The seven benchmark names in the paper's column order.
+pub const REAL_DATASETS: [&str; 7] = ["MEPS", "LSAC", "Credit", "ACSP", "ACSH", "ACSE", "ACSI"];
+
+/// Generate every real-world simulator at the configured scale.
+pub fn real_datasets(cfg: &ExpConfig) -> Vec<Dataset> {
+    RealWorldSpec::all()
+        .iter()
+        .map(|s| s.generate_scaled(cfg.scale, cfg.seed))
+        .collect()
+}
+
+/// Print the three panels (DI, AOD, BalAcc) for one learner.
+fn print_learner_panels(
+    fig: &str,
+    results: &[runner::CellOutcome],
+    datasets: &[&str],
+    methods: &[&str],
+    learner: LearnerKind,
+) {
+    let l = learner.name();
+    runner::print_panel(
+        &format!("{fig}: Disparate Impact (DI*), {l} models"),
+        results, datasets, methods, l, |r: &FairnessReport| r.di_star,
+    );
+    runner::print_panel(
+        &format!("{fig}: Average Odds Difference (AOD*), {l} models"),
+        results, datasets, methods, l, |r: &FairnessReport| r.aod_star,
+    );
+    runner::print_panel(
+        &format!("{fig}: Balanced Accuracy, {l} models"),
+        results, datasets, methods, l, |r: &FairnessReport| r.balanced_accuracy,
+    );
+}
+
+/// Fig. 2 — the qualitative comparison table (static properties).
+pub mod fig02 {
+    use super::ExpConfig;
+
+    /// Print the paper's Fig. 2 property matrix.
+    pub fn run(_cfg: &ExpConfig) {
+        println!("## Fig. 2: qualitative comparison of reweighing interventions");
+        println!("{:<28} {:>5} {:>5} {:>5} {:>5} {:>5} {:>8}", "property", "DRO", "LAH", "CAP", "KAM", "OMN", "ConFair");
+        let rows = [
+            ("non-invasive wrt data", ["yes", "yes", "no", "yes", "yes", "yes"]),
+            ("non-invasive wrt model", ["no", "no", "yes", "yes", "yes", "yes"]),
+            ("flexible intervention", ["no", "no", "no", "no", "yes", "yes"]),
+            ("intra-group variability", ["yes", "yes", "no", "no", "no", "yes"]),
+        ];
+        for (prop, vals) in rows {
+            println!(
+                "{:<28} {:>5} {:>5} {:>5} {:>5} {:>5} {:>8}",
+                prop, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+            );
+        }
+    }
+}
+
+/// Fig. 4 — dataset summary statistics.
+pub mod fig04 {
+    use super::*;
+
+    /// Generate every simulator and print its measured Fig. 4 row next to
+    /// the paper's target statistics.
+    pub fn run(cfg: &ExpConfig) {
+        println!("## Fig. 4: dataset summary (measured at scale {})", cfg.scale);
+        println!(
+            "{:<8} {:>8} {:>6} {:>6} {:>10} {:>10} {:>12} {:>12}",
+            "dataset", "size", "#num", "#cat", "minority%", "target%", "U-positive%", "target%"
+        );
+        let mut rows = Vec::new();
+        for spec in RealWorldSpec::all() {
+            let d = spec.generate_scaled(cfg.scale, cfg.seed);
+            let s = d.summary();
+            println!(
+                "{:<8} {:>8} {:>6} {:>6} {:>9.1}% {:>9.1}% {:>11.1}% {:>11.1}%",
+                s.name,
+                s.size,
+                s.numeric_attrs,
+                s.categorical_attrs,
+                100.0 * s.minority_fraction,
+                100.0 * spec.minority_fraction,
+                100.0 * s.minority_positive_fraction,
+                100.0 * spec.minority_pos_rate,
+            );
+            rows.push((s, spec.minority_fraction, spec.minority_pos_rate));
+        }
+        let json: Vec<_> = rows
+            .iter()
+            .map(|(s, mf, mp)| {
+                serde_json::json!({
+                    "dataset": s.name,
+                    "size": s.size,
+                    "numeric_attrs": s.numeric_attrs,
+                    "categorical_attrs": s.categorical_attrs,
+                    "minority_fraction": s.minority_fraction,
+                    "minority_fraction_target": mf,
+                    "minority_positive_fraction": s.minority_positive_fraction,
+                    "minority_positive_fraction_target": mp,
+                })
+            })
+            .collect();
+        cfg.save_json("fig04_datasets", &json);
+    }
+}
+
+/// Fig. 5 — ConFair vs KAM across all datasets and both learners.
+pub mod fig05 {
+    use super::*;
+
+    /// Methods in the paper's bar order.
+    pub const METHODS: [&str; 3] = ["NoIntervention", "KAM", "ConFair"];
+
+    /// Run the grid and print the six panels.
+    pub fn run(cfg: &ExpConfig) {
+        let datasets = real_datasets(cfg);
+        let spec = runner::GridSpec {
+            datasets: &datasets,
+            methods: &METHODS,
+            learners: &LearnerKind::both(),
+            reps: cfg.reps,
+            seed: cfg.seed,
+        };
+        let results = runner::run_grid(&spec);
+        for learner in LearnerKind::both() {
+            print_learner_panels("Fig. 5", &results, &REAL_DATASETS, &METHODS, learner);
+        }
+        cfg.save_json("fig05_confair_vs_kam", &results);
+    }
+}
+
+/// Fig. 6 — ConFair vs OMN and CAP.
+pub mod fig06 {
+    use super::*;
+
+    /// Methods in the paper's bar order.
+    pub const METHODS: [&str; 4] = ["NoIntervention", "OMN", "CAP", "ConFair"];
+
+    /// Run the grid and print the six panels.
+    pub fn run(cfg: &ExpConfig) {
+        let datasets = real_datasets(cfg);
+        let spec = runner::GridSpec {
+            datasets: &datasets,
+            methods: &METHODS,
+            learners: &LearnerKind::both(),
+            reps: cfg.reps,
+            seed: cfg.seed,
+        };
+        let results = runner::run_grid(&spec);
+        for learner in LearnerKind::both() {
+            print_learner_panels("Fig. 6", &results, &REAL_DATASETS, &METHODS, learner);
+        }
+        cfg.save_json("fig06_confair_omn_cap", &results);
+    }
+}
+
+/// Fig. 7 — weights calibrated with one learner, deployed on the other.
+pub mod fig07 {
+    use super::*;
+    use rayon::prelude::*;
+
+    /// Run both cross-model settings and print the panels.
+    pub fn run(cfg: &ExpConfig) {
+        let datasets = real_datasets(cfg);
+        // (calibrator, deployer) pairs: Figs 7a–c calibrate on XGB, train LR;
+        // Figs 7d–f the reverse.
+        let settings = [
+            (LearnerKind::Gbt, LearnerKind::Logistic),
+            (LearnerKind::Logistic, LearnerKind::Gbt),
+        ];
+        let mut all = Vec::new();
+        for (calibrator, deployer) in settings {
+            let cells: Vec<(usize, &str)> = (0..datasets.len())
+                .flat_map(|d| ["ConFair", "OMN", "NoIntervention"].map(|m| (d, m)))
+                .collect();
+            let mut results: Vec<runner::CellOutcome> = cells
+                .par_iter()
+                .filter_map(|&(d, m)| {
+                    let method: Box<dyn confair_core::Intervention> = match m {
+                        "ConFair" => runner::make_confair_cross(calibrator),
+                        "OMN" => runner::make_omn_cross(calibrator),
+                        _ => runner::make_method(m),
+                    };
+                    runner::run_cell(&datasets[d], method.as_ref(), deployer, cfg.reps, cfg.seed)
+                })
+                .collect();
+            results.sort_by(|a, b| {
+                (&a.report.dataset, &a.report.method).cmp(&(&b.report.dataset, &b.report.method))
+            });
+            let title = format!(
+                "Fig. 7: calibrate on {}, deploy {}",
+                calibrator.name(),
+                deployer.name()
+            );
+            runner::print_panel(
+                &format!("{title} — DI*"),
+                &results, &REAL_DATASETS, &["NoIntervention", "OMN", "ConFair"],
+                deployer.name(), |r| r.di_star,
+            );
+            runner::print_panel(
+                &format!("{title} — AOD*"),
+                &results, &REAL_DATASETS, &["NoIntervention", "OMN", "ConFair"],
+                deployer.name(), |r| r.aod_star,
+            );
+            runner::print_panel(
+                &format!("{title} — BalAcc"),
+                &results, &REAL_DATASETS, &["NoIntervention", "OMN", "ConFair"],
+                deployer.name(), |r| r.balanced_accuracy,
+            );
+            all.extend(results);
+        }
+        cfg.save_json("fig07_cross_model", &all);
+    }
+}
+
+/// Figs. 8 & 9 — intervention-degree sweeps (shared implementation).
+pub mod sweep {
+    use super::*;
+    use cf_baselines::omn::{OmniFair, OmniFairConfig};
+    use cf_metrics::GroupConfusion;
+    use confair_core::{
+        confair::{AlphaMode, ConFair, ConFairConfig, FairnessTarget},
+        evaluate_repeated, Intervention, Pipeline,
+    };
+    use rayon::prelude::*;
+    use serde::Serialize;
+
+    /// One point of a sweep series.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct SweepPoint {
+        /// Method ("ConFair" or "OMN").
+        pub method: String,
+        /// Target metric label.
+        pub target: String,
+        /// The intervention degree (α_u or λ).
+        pub degree: f64,
+        /// The target metric's value on the minority.
+        pub metric_minority: f64,
+        /// The target metric's value on the majority.
+        pub metric_majority: f64,
+        /// Balanced accuracy.
+        pub balanced_accuracy: f64,
+    }
+
+    fn group_metric(target: FairnessTarget, gc: &GroupConfusion) -> (f64, f64) {
+        match target {
+            FairnessTarget::DisparateImpact => (
+                gc.minority.selection_rate(),
+                gc.majority.selection_rate(),
+            ),
+            FairnessTarget::EqOddsFnr => (gc.minority.fnr(), gc.majority.fnr()),
+            FairnessTarget::EqOddsFpr => (gc.minority.fpr(), gc.majority.fpr()),
+        }
+    }
+
+    /// Run the six panels of Fig. 8/9 for one dataset.
+    pub fn run_for(dataset_name: &str, fig: &str, cfg: &ExpConfig) {
+        let spec = RealWorldSpec::by_name(dataset_name).expect("known dataset");
+        let data = spec.generate_scaled(cfg.scale, cfg.seed);
+        let alphas = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+        let lambdas = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0];
+        let targets = [
+            FairnessTarget::DisparateImpact,
+            FairnessTarget::EqOddsFnr,
+            FairnessTarget::EqOddsFpr,
+        ];
+
+        let mut jobs: Vec<(&'static str, FairnessTarget, f64)> = Vec::new();
+        for &t in &targets {
+            for &a in &alphas {
+                jobs.push(("ConFair", t, a));
+            }
+            for &l in &lambdas {
+                jobs.push(("OMN", t, l));
+            }
+        }
+
+        let mut points: Vec<SweepPoint> = jobs
+            .par_iter()
+            .filter_map(|&(method, target, degree)| {
+                let intervention: Box<dyn Intervention> = match method {
+                    "ConFair" => Box::new(ConFair::new(ConFairConfig {
+                        // The paper's sweeps fix α_w = 0 and move α_u only.
+                        alpha: AlphaMode::Fixed { alpha_u: degree, alpha_w: 0.0 },
+                        target,
+                        ..ConFairConfig::default()
+                    })),
+                    _ => Box::new(OmniFair::new(OmniFairConfig {
+                        target,
+                        fixed_lambda: Some(degree),
+                        ..OmniFairConfig::default()
+                    })),
+                };
+                let outcomes = evaluate_repeated(
+                    &data,
+                    intervention.as_ref(),
+                    LearnerKind::Logistic,
+                    Pipeline::paper_default(),
+                    cfg.seed,
+                    cfg.reps,
+                )
+                .ok()?;
+                let mut mm = 0.0;
+                let mut mw = 0.0;
+                let mut ba = 0.0;
+                for o in &outcomes {
+                    let (u, w) = group_metric(target, &o.confusion);
+                    mm += u;
+                    mw += w;
+                    ba += o.report.balanced_accuracy;
+                }
+                let n = outcomes.len() as f64;
+                Some(SweepPoint {
+                    method: method.to_string(),
+                    target: target.label().to_string(),
+                    degree,
+                    metric_minority: mm / n,
+                    metric_majority: mw / n,
+                    balanced_accuracy: ba / n,
+                })
+            })
+            .collect();
+        points.sort_by(|a, b| {
+            (&a.method, &a.target)
+                .cmp(&(&b.method, &b.target))
+                .then(a.degree.partial_cmp(&b.degree).expect("finite degree"))
+        });
+
+        for method in ["ConFair", "OMN"] {
+            for target in targets {
+                println!(
+                    "\n## {fig}: {method} targets {} on {dataset_name} (LR)",
+                    target.label()
+                );
+                println!(
+                    "{:>8} {:>12} {:>12} {:>8}",
+                    if method == "ConFair" { "alpha_u" } else { "lambda" },
+                    "minority", "majority", "BalAcc"
+                );
+                for p in points
+                    .iter()
+                    .filter(|p| p.method == method && p.target == target.label())
+                {
+                    println!(
+                        "{:>8} {:>12.3} {:>12.3} {:>8.3}",
+                        p.degree, p.metric_minority, p.metric_majority, p.balanced_accuracy
+                    );
+                }
+            }
+        }
+        cfg.save_json(&format!("{fig}_{}", dataset_name.to_lowercase()), &points);
+    }
+}
+
+/// Fig. 8 — sweep on MEPS.
+pub mod fig08 {
+    use super::*;
+
+    /// Run the MEPS sweep.
+    pub fn run(cfg: &ExpConfig) {
+        sweep::run_for("MEPS", "fig08", cfg);
+    }
+}
+
+/// Fig. 9 — sweep on LSAC.
+pub mod fig09 {
+    use super::*;
+
+    /// Run the LSAC sweep.
+    pub fn run(cfg: &ExpConfig) {
+        sweep::run_for("LSAC", "fig09", cfg);
+    }
+}
+
+/// Fig. 10 — the synthetic drift dataset (scatter data + statistics).
+pub mod fig10 {
+    use super::*;
+    use cf_datasets::synthgen::syn_drift_scaled;
+
+    /// Generate Syn1, dump it as CSV, and print per-cell statistics.
+    pub fn run(cfg: &ExpConfig) {
+        let d = syn_drift_scaled(1, cfg.scale.min(1.0), cfg.seed);
+        println!("## Fig. 10: Syn1 synthetic dataset (n = {})", d.len());
+        println!("{:>6} {:>6} {:>10} {:>10} {:>10} {:>10}", "group", "label", "mean X1", "mean X2", "std X1", "std X2");
+        for cell in cf_data::CellIndex::binary_cells() {
+            let idx = d.cell_indices(cell);
+            let m = d.numeric_matrix(Some(&idx));
+            let x1 = m.col(0);
+            let x2 = m.col(1);
+            println!(
+                "{:>6} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                cell.group,
+                cell.label,
+                cf_linalg::vector::mean(&x1),
+                cf_linalg::vector::mean(&x2),
+                cf_linalg::vector::std_dev(&x1),
+                cf_linalg::vector::std_dev(&x2),
+            );
+        }
+        std::fs::create_dir_all(&cfg.out_dir).expect("results dir");
+        let path = cfg.out_dir.join("fig10_syn1.csv");
+        cf_data::csv::write_csv(&d, &path).expect("write CSV");
+        println!("[artifact] {}", path.display());
+    }
+}
+
+/// Fig. 11 — DiffFair vs ConFair vs MultiModel on the synthetic data.
+pub mod fig11 {
+    use super::*;
+    use cf_datasets::synthgen::syn_drift_scaled;
+
+    /// Methods in the paper's bar order.
+    pub const METHODS: [&str; 4] = ["NoIntervention", "MultiModel", "DiffFair", "ConFair"];
+
+    /// Run Syn1–Syn5 with LR (XGB is "not a good fit" per the paper's fn. 4).
+    pub fn run(cfg: &ExpConfig) {
+        // The Syn generator's paper size is just 11,000 tuples, so run it at
+        // a healthier fraction than the big ACS sets.
+        let scale = (cfg.scale * 4.0).min(1.0);
+        let datasets: Vec<Dataset> = (1..=5)
+            .map(|v| syn_drift_scaled(v, scale, cfg.seed))
+            .collect();
+        let names: Vec<&str> = ["Syn1", "Syn2", "Syn3", "Syn4", "Syn5"].to_vec();
+        let spec = runner::GridSpec {
+            datasets: &datasets,
+            methods: &METHODS,
+            learners: &[LearnerKind::Logistic],
+            reps: cfg.reps,
+            seed: cfg.seed,
+        };
+        let results = runner::run_grid(&spec);
+        runner::print_panel("Fig. 11: DI*, LR models", &results, &names, &METHODS, "LR", |r| r.di_star);
+        runner::print_panel("Fig. 11: AOD*, LR models", &results, &names, &METHODS, "LR", |r| r.aod_star);
+        runner::print_panel("Fig. 11: BalAcc, LR models", &results, &names, &METHODS, "LR", |r| r.balanced_accuracy);
+        cfg.save_json("fig11_synthetic_difffair", &results);
+    }
+}
+
+/// Fig. 12 — DiffFair vs ConFair on the real-world simulators.
+pub mod fig12 {
+    use super::*;
+
+    /// The five datasets the paper's Fig. 12 panels show.
+    pub const DATASETS: [&str; 5] = ["MEPS", "LSAC", "Credit", "ACSP", "ACSI"];
+    /// Methods in the paper's bar order.
+    pub const METHODS: [&str; 3] = ["NoIntervention", "DiffFair", "ConFair"];
+
+    /// Run the grid and print the six panels.
+    pub fn run(cfg: &ExpConfig) {
+        let datasets: Vec<Dataset> = DATASETS
+            .iter()
+            .map(|n| {
+                RealWorldSpec::by_name(n)
+                    .expect("known dataset")
+                    .generate_scaled(cfg.scale, cfg.seed)
+            })
+            .collect();
+        let spec = runner::GridSpec {
+            datasets: &datasets,
+            methods: &METHODS,
+            learners: &LearnerKind::both(),
+            reps: cfg.reps,
+            seed: cfg.seed,
+        };
+        let results = runner::run_grid(&spec);
+        for learner in LearnerKind::both() {
+            print_learner_panels("Fig. 12", &results, &DATASETS, &METHODS, learner);
+        }
+        cfg.save_json("fig12_real_difffair", &results);
+    }
+}
+
+/// Fig. 13 — the Algorithm-3 (density optimisation) ablation.
+pub mod fig13 {
+    use super::*;
+
+    /// Methods: each strategy with and without the optimisation.
+    pub const METHODS: [&str; 5] = ["NoIntervention", "DiffFair0", "DiffFair", "ConFair0", "ConFair"];
+
+    /// Run the grid and print the six panels.
+    pub fn run(cfg: &ExpConfig) {
+        let datasets = real_datasets(cfg);
+        let spec = runner::GridSpec {
+            datasets: &datasets,
+            methods: &METHODS,
+            learners: &LearnerKind::both(),
+            reps: cfg.reps,
+            seed: cfg.seed,
+        };
+        let results = runner::run_grid(&spec);
+        for learner in LearnerKind::both() {
+            print_learner_panels("Fig. 13", &results, &REAL_DATASETS, &METHODS, learner);
+        }
+        cfg.save_json("fig13_cc_ablation", &results);
+    }
+}
+
+/// Fig. 14 — runtime comparison.
+pub mod fig14 {
+    use super::*;
+
+    /// Methods timed (the Fig. 14 bars).
+    pub const METHODS: [&str; 5] = ["KAM", "CAP", "DiffFair", "OMN", "ConFair"];
+
+    /// Run the grid and print mean wall-clock seconds per method.
+    pub fn run(cfg: &ExpConfig) {
+        let datasets = real_datasets(cfg);
+        let spec = runner::GridSpec {
+            datasets: &datasets,
+            methods: &METHODS,
+            learners: &LearnerKind::both(),
+            reps: cfg.reps,
+            seed: cfg.seed,
+        };
+        let results = runner::run_grid(&spec);
+        for learner in LearnerKind::both() {
+            runner::print_panel(
+                &format!("Fig. 14: intervention+training runtime (s), {} models", learner.name()),
+                &results, &REAL_DATASETS, &METHODS, learner.name(),
+                |r| r.runtime_secs,
+            );
+        }
+        cfg.save_json("fig14_runtime", &results);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_dataset_names_match_spec_order() {
+        let specs = RealWorldSpec::all();
+        for (name, spec) in REAL_DATASETS.iter().zip(&specs) {
+            assert_eq!(*name, spec.name);
+        }
+    }
+
+    #[test]
+    fn fig2_is_pure_printing() {
+        fig02::run(&ExpConfig::default());
+    }
+}

@@ -1,0 +1,244 @@
+//! The shared experiment runner: method registry, per-cell repetition, and
+//! rayon-parallel grids.
+
+use cf_baselines::{Capuchin, KamiranCalders, OmniFair};
+use cf_data::Dataset;
+use cf_learners::LearnerKind;
+use cf_metrics::FairnessReport;
+use cf_baselines::omn::OmniFairConfig;
+use confair_core::{
+    confair::{ConFair, ConFairConfig},
+    difffair::DiffFair,
+    evaluate_repeated,
+    intervention::{Intervention, NoIntervention},
+    multimodel::MultiModel,
+    Pipeline,
+};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Every method name the registry accepts, in the paper's ordering.
+pub const METHOD_NAMES: [&str; 9] = [
+    "NoIntervention",
+    "MultiModel",
+    "DiffFair",
+    "DiffFair0",
+    "ConFair",
+    "ConFair0",
+    "KAM",
+    "OMN",
+    "CAP",
+];
+
+/// Instantiate a method by its figure label.
+///
+/// # Panics
+/// Panics on an unknown name (the registry is closed).
+pub fn make_method(name: &str) -> Box<dyn Intervention> {
+    match name {
+        "NoIntervention" => Box::new(NoIntervention),
+        "MultiModel" => Box::new(MultiModel),
+        "DiffFair" => Box::new(DiffFair::paper_default()),
+        "DiffFair0" => Box::new(DiffFair::without_density_filter()),
+        "ConFair" => Box::new(ConFair::paper_default()),
+        "ConFair0" => Box::new(ConFair::without_density_filter()),
+        "KAM" => Box::new(KamiranCalders),
+        "OMN" => Box::new(OmniFair::paper_default()),
+        "CAP" => Box::new(Capuchin::paper_default()),
+        other => panic!("unknown method {other}"),
+    }
+}
+
+/// ConFair calibrated with a *different* learner (the Fig. 7 setting).
+pub fn make_confair_cross(calibration: LearnerKind) -> Box<dyn Intervention> {
+    Box::new(ConFair::new(ConFairConfig {
+        calibration_learner: Some(calibration),
+        ..ConFairConfig::default()
+    }))
+}
+
+/// OMN calibrated with a *different* learner (the Fig. 7 setting).
+pub fn make_omn_cross(calibration: LearnerKind) -> Box<dyn Intervention> {
+    Box::new(OmniFair::new(OmniFairConfig {
+        calibration_learner: Some(calibration),
+        ..OmniFairConfig::default()
+    }))
+}
+
+/// One aggregated grid cell: a (dataset, method, learner) mean over reps.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellOutcome {
+    /// Mean metrics across successful repetitions.
+    pub report: FairnessReport,
+    /// Std-dev of DI* across repetitions.
+    pub di_std: f64,
+    /// Std-dev of AOD* across repetitions.
+    pub aod_std: f64,
+    /// Std-dev of balanced accuracy across repetitions.
+    pub balacc_std: f64,
+    /// How many repetitions succeeded (the paper's missing-bars cases show
+    /// up as `0`, encoded by the whole cell being absent).
+    pub reps_ok: usize,
+    /// Requested repetitions.
+    pub reps_requested: usize,
+}
+
+fn std_dev_of(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Run one cell: `reps` split seeds, mean + spread. `None` when every
+/// repetition failed (the paper's "method could not produce a model" case).
+pub fn run_cell(
+    data: &Dataset,
+    method: &dyn Intervention,
+    learner: LearnerKind,
+    reps: usize,
+    seed: u64,
+) -> Option<CellOutcome> {
+    let outcomes = evaluate_repeated(
+        data,
+        method,
+        learner,
+        Pipeline::paper_default(),
+        seed,
+        reps,
+    )
+    .ok()?;
+    let reports: Vec<FairnessReport> = outcomes.iter().map(|o| o.report.clone()).collect();
+    let mean = FairnessReport::mean(&reports);
+    let series = |f: fn(&FairnessReport) -> f64| -> Vec<f64> { reports.iter().map(f).collect() };
+    Some(CellOutcome {
+        di_std: std_dev_of(&series(|r| r.di_star)),
+        aod_std: std_dev_of(&series(|r| r.aod_star)),
+        balacc_std: std_dev_of(&series(|r| r.balanced_accuracy)),
+        reps_ok: reports.len(),
+        reps_requested: reps,
+        report: mean,
+    })
+}
+
+/// A grid request: datasets × methods × learners.
+pub struct GridSpec<'a> {
+    /// Datasets to evaluate (already generated at the desired scale).
+    pub datasets: &'a [Dataset],
+    /// Method names resolved via [`make_method`].
+    pub methods: &'a [&'a str],
+    /// Learner families.
+    pub learners: &'a [LearnerKind],
+    /// Repetitions per cell.
+    pub reps: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Evaluate every (dataset, method, learner) cell in parallel. Cells where
+/// every repetition failed are omitted (missing bars).
+pub fn run_grid(spec: &GridSpec<'_>) -> Vec<CellOutcome> {
+    let mut cells: Vec<(usize, &str, LearnerKind)> = Vec::new();
+    for d in 0..spec.datasets.len() {
+        for &m in spec.methods {
+            for &l in spec.learners {
+                cells.push((d, m, l));
+            }
+        }
+    }
+    let mut results: Vec<CellOutcome> = cells
+        .par_iter()
+        .filter_map(|&(d, m, l)| {
+            let method = make_method(m);
+            run_cell(&spec.datasets[d], method.as_ref(), l, spec.reps, spec.seed)
+        })
+        .collect();
+    // Deterministic ordering for printing: dataset, then method, then learner.
+    results.sort_by(|a, b| {
+        (
+            &a.report.dataset,
+            &a.report.method,
+            &a.report.learner,
+        )
+            .cmp(&(&b.report.dataset, &b.report.method, &b.report.learner))
+    });
+    results
+}
+
+/// Render a paper-style panel: one row per method, one column per dataset,
+/// for the chosen metric.
+pub fn print_panel(
+    title: &str,
+    results: &[CellOutcome],
+    datasets: &[&str],
+    methods: &[&str],
+    learner: &str,
+    metric: fn(&FairnessReport) -> f64,
+) {
+    println!("\n## {title}");
+    print!("{:<16}", "method");
+    for d in datasets {
+        print!(" {d:>8}");
+    }
+    println!();
+    for m in methods {
+        print!("{m:<16}");
+        for d in datasets {
+            let cell = results.iter().find(|c| {
+                c.report.dataset == *d && c.report.method == *m && c.report.learner == learner
+            });
+            match cell {
+                Some(c) => {
+                    let flag = if c.report.degenerate { "!" } else if c.report.favors_minority { "^" } else { " " };
+                    print!(" {:>7.3}{flag}", metric(&c.report));
+                }
+                None => print!(" {:>8}", "--"),
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_datasets::toy::figure1;
+
+    #[test]
+    fn registry_builds_every_method() {
+        for name in METHOD_NAMES {
+            let m = make_method(name);
+            assert_eq!(m.name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_method_panics() {
+        let _ = make_method("Nope");
+    }
+
+    #[test]
+    fn run_cell_aggregates() {
+        let d = figure1(90);
+        let out = run_cell(&d, &NoIntervention, LearnerKind::Logistic, 2, 90).unwrap();
+        assert_eq!(out.reps_ok, 2);
+        assert!(out.di_std >= 0.0);
+        assert_eq!(out.report.method, "NoIntervention");
+    }
+
+    #[test]
+    fn grid_runs_all_cells() {
+        let datasets = vec![figure1(91)];
+        let spec = GridSpec {
+            datasets: &datasets,
+            methods: &["NoIntervention", "KAM"],
+            learners: &[LearnerKind::Logistic],
+            reps: 1,
+            seed: 91,
+        };
+        let results = run_grid(&spec);
+        assert_eq!(results.len(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Smoke tests: every figure module runs end-to-end at a tiny scale.
+//!
+//! These don't validate numbers (the dedicated experiment runs do) — they
+//! pin down that each experiment builds its datasets, trains its methods,
+//! and emits its artifact without panicking.
+
+use cf_bench::{figures, ExpConfig};
+
+fn tiny() -> ExpConfig {
+    ExpConfig {
+        scale: 0.01,
+        reps: 1,
+        seed: 7,
+        out_dir: std::env::temp_dir().join("cf_bench_smoke"),
+    }
+}
+
+#[test]
+fn fig02_prints() {
+    figures::fig02::run(&tiny());
+}
+
+#[test]
+fn fig04_generates_all_simulators() {
+    figures::fig04::run(&tiny());
+    let json = std::fs::read_to_string(tiny().out_dir.join("fig04_datasets.json")).unwrap();
+    let rows: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(rows.as_array().unwrap().len(), 7);
+}
+
+#[test]
+fn fig10_emits_csv() {
+    figures::fig10::run(&tiny());
+    assert!(tiny().out_dir.join("fig10_syn1.csv").exists());
+}
+
+#[test]
+fn fig11_synthetic_grid_runs() {
+    figures::fig11::run(&tiny());
+    let json = std::fs::read_to_string(tiny().out_dir.join("fig11_synthetic_difffair.json")).unwrap();
+    let rows: serde_json::Value = serde_json::from_str(&json).unwrap();
+    // 5 synthetic datasets × 4 methods × 1 learner (cells that failed are
+    // omitted, so ≤ 20 but at least the no-intervention cells must exist).
+    assert!(rows.as_array().unwrap().len() >= 5);
+}
+
+#[test]
+fn sweep_runs_on_meps() {
+    figures::sweep::run_for("MEPS", "smoke_fig08", &tiny());
+    assert!(tiny().out_dir.join("smoke_fig08_meps.json").exists());
+}

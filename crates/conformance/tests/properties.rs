@@ -1,0 +1,118 @@
+//! Property tests for conformance-constraint invariants.
+
+use cf_conformance::{learn_constraints, ConstraintFamily, ConstraintSet, LearnOptions, Projection};
+use cf_linalg::Matrix;
+use proptest::prelude::*;
+
+fn data_matrix() -> impl Strategy<Value = Matrix> {
+    (5usize..60, 1usize..5).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-50.0..50.0f64, n * d)
+            .prop_map(move |data| Matrix::from_vec(n, d, data))
+    })
+}
+
+fn arb_projection() -> impl Strategy<Value = Projection> {
+    (
+        proptest::collection::vec(-2.0..2.0f64, 1..4),
+        -5.0..0.0f64,
+        0.0..5.0f64,
+        0.01..2.0f64,
+        0.1..10.0f64,
+    )
+        .prop_map(|(coeffs, lb, ub, std, importance)| Projection {
+            coeffs,
+            lb,
+            ub,
+            std,
+            importance,
+        })
+}
+
+proptest! {
+    #[test]
+    fn learned_constraints_admit_training_tuples(x in data_matrix()) {
+        let cs = learn_constraints(&x, &LearnOptions::default());
+        for row in x.iter_rows() {
+            // Strict min/max bounds ⇒ every profiled tuple conforms
+            // (tolerance for floating-point at the boundary).
+            prop_assert!(cs.violation(row) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn violation_in_unit_interval(x in data_matrix(), probe in proptest::collection::vec(-200.0..200.0f64, 1..5)) {
+        prop_assume!(probe.len() == x.cols());
+        let cs = learn_constraints(&x, &LearnOptions::default());
+        let v = cs.violation(&probe);
+        prop_assert!((0.0..=1.0).contains(&v), "violation {}", v);
+    }
+
+    #[test]
+    fn importances_sum_to_one(x in data_matrix()) {
+        let cs = learn_constraints(&x, &LearnOptions::default());
+        let total: f64 = cs.projections().iter().map(|p| p.importance).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn satisfied_iff_zero_violation(p in arb_projection(), t in proptest::collection::vec(-10.0..10.0f64, 1..4)) {
+        prop_assume!(t.len() == p.coeffs.len());
+        prop_assert_eq!(p.satisfied(&t), p.violation(&t) == 0.0);
+    }
+
+    #[test]
+    fn violation_monotone_along_rays(p in arb_projection(), scale in 1.0..10.0f64) {
+        // Pick a point guaranteed outside: project far beyond ub.
+        let t: Vec<f64> = p.coeffs.iter().map(|&c| c * 100.0).collect();
+        prop_assume!(p.project(&t) > p.ub);
+        let further: Vec<f64> = t.iter().map(|&v| v * scale).collect();
+        prop_assert!(p.violation(&further) >= p.violation(&t) - 1e-12);
+    }
+
+    #[test]
+    fn family_min_is_lower_bound_of_members(x in data_matrix(), probe in proptest::collection::vec(-100.0..100.0f64, 1..5)) {
+        prop_assume!(probe.len() == x.cols());
+        let a = learn_constraints(&x, &LearnOptions::default());
+        let b = learn_constraints(&x, &LearnOptions { bound_quantile: 0.1, ..LearnOptions::default() });
+        let fam = ConstraintFamily::from_sets(vec![a.clone(), b.clone()]);
+        let m = fam.min_violation(&probe);
+        prop_assert!(m <= a.violation(&probe) + 1e-12);
+        prop_assert!(m <= b.violation(&probe) + 1e-12);
+    }
+
+    #[test]
+    fn quantile_bounds_never_widen(x in data_matrix()) {
+        let strict = learn_constraints(&x, &LearnOptions::default());
+        let trimmed = learn_constraints(&x, &LearnOptions { bound_quantile: 0.1, ..LearnOptions::default() });
+        for (s, t) in strict.projections().iter().zip(trimmed.projections()) {
+            prop_assert!(t.lb >= s.lb - 1e-9);
+            prop_assert!(t.ub <= s.ub + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn constraint_set_display_is_line_per_conjunct() {
+    let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 2.0], vec![2.0, 4.0]]);
+    let cs = learn_constraints(&x, &LearnOptions::default());
+    let names = vec!["X1".to_string(), "X2".to_string()];
+    let rendered = cs.display_with(&names);
+    assert_eq!(rendered.lines().count(), cs.len());
+    assert!(rendered.contains("<="));
+}
+
+#[test]
+fn empty_family_is_infinite() {
+    let fam = ConstraintFamily::new();
+    assert_eq!(fam.min_violation(&[1.0]), f64::INFINITY);
+}
+
+#[test]
+fn set_round_trip_through_family() {
+    let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+    let cs = learn_constraints(&x, &LearnOptions::default());
+    let mut fam = ConstraintFamily::new();
+    fam.push(cs.clone());
+    assert_eq!(fam.sets(), std::slice::from_ref(&cs));
+    let _ = ConstraintSet::new(cs.projections().to_vec());
+}

@@ -1,0 +1,232 @@
+//! The experimental pipeline shared by every figure: split → intervene →
+//! train → evaluate, with seeded repetition (§IV "Experimental steps").
+
+use crate::{intervention::Intervention, Result};
+use cf_data::{
+    split::{split3, split3_stratified, SplitRatios, ThreeWaySplit},
+    Dataset,
+};
+use cf_learners::LearnerKind;
+use cf_metrics::{FairnessReport, GroupConfusion};
+use std::time::Instant;
+
+/// Split policy for evaluation runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pipeline {
+    /// Train/validation fractions (test gets the remainder).
+    pub ratios: SplitRatios,
+    /// Stratify splits by (group, label) cell — keeps the smallest
+    /// minorities populated at reduced dataset scales. The paper's own runs
+    /// are i.i.d. (`false`).
+    pub stratified: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self {
+            ratios: SplitRatios::paper_default(),
+            stratified: false,
+        }
+    }
+}
+
+impl Pipeline {
+    /// The paper's 70/15/15 i.i.d. protocol.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Stratified variant for small-scale runs.
+    pub fn stratified() -> Self {
+        Self {
+            stratified: true,
+            ..Self::default()
+        }
+    }
+
+    /// Produce the three-way split for a given seed.
+    pub fn split(&self, data: &Dataset, seed: u64) -> ThreeWaySplit {
+        if self.stratified {
+            split3_stratified(data, self.ratios, seed)
+        } else {
+            split3(data, self.ratios, seed)
+        }
+    }
+}
+
+/// Everything one evaluation run produces.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// The serialisable metrics row.
+    pub report: FairnessReport,
+    /// The raw group confusion (for custom series like Fig. 8's per-group
+    /// rates).
+    pub confusion: GroupConfusion,
+}
+
+/// Run one full evaluation: split `data`, train through the intervention,
+/// predict the test split, and score. The recorded runtime covers the
+/// intervention plus training (the Fig. 14 quantity), not prediction.
+pub fn evaluate(
+    data: &Dataset,
+    intervention: &dyn Intervention,
+    learner: LearnerKind,
+    pipeline: Pipeline,
+    seed: u64,
+) -> Result<EvalOutcome> {
+    let split = pipeline.split(data, seed);
+    let started = Instant::now();
+    let predictor = intervention.train(&split.train, &split.validation, learner)?;
+    let runtime_secs = started.elapsed().as_secs_f64();
+    let preds = predictor.predict(&split.test)?;
+    let confusion = GroupConfusion::compute(split.test.labels(), &preds, split.test.groups());
+    let report = FairnessReport::from_confusion(
+        data.name(),
+        intervention.name(),
+        learner.name(),
+        &confusion,
+        runtime_secs,
+    );
+    Ok(EvalOutcome { report, confusion })
+}
+
+/// Repeat [`evaluate`] over `reps` different split seeds and return every
+/// outcome (callers aggregate with [`FairnessReport::mean`]). A repetition
+/// that fails (e.g. a learner diverging under extreme weights — the paper's
+/// missing-OMN-bars case) is skipped; an error is returned only if *every*
+/// repetition fails.
+pub fn evaluate_repeated(
+    data: &Dataset,
+    intervention: &dyn Intervention,
+    learner: LearnerKind,
+    pipeline: Pipeline,
+    base_seed: u64,
+    reps: usize,
+) -> Result<Vec<EvalOutcome>> {
+    assert!(reps > 0, "need at least one repetition");
+    let mut outcomes = Vec::with_capacity(reps);
+    let mut last_err = None;
+    for r in 0..reps {
+        let seed = base_seed.wrapping_add(1000).wrapping_mul(31).wrapping_add(r as u64);
+        match evaluate(data, intervention, learner, pipeline, seed) {
+            Ok(o) => outcomes.push(o),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if outcomes.is_empty() {
+        Err(last_err.expect("reps > 0 and no outcomes implies an error"))
+    } else {
+        Ok(outcomes)
+    }
+}
+
+/// Mean report across outcomes (metadata from the first).
+pub fn mean_report(outcomes: &[EvalOutcome]) -> FairnessReport {
+    let reports: Vec<FairnessReport> = outcomes.iter().map(|o| o.report.clone()).collect();
+    FairnessReport::mean(&reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConFair, NoIntervention};
+    use cf_datasets::toy::figure1;
+
+    #[test]
+    fn evaluate_produces_complete_report() {
+        let d = figure1(50);
+        let out = evaluate(
+            &d,
+            &NoIntervention,
+            LearnerKind::Logistic,
+            Pipeline::paper_default(),
+            50,
+        )
+        .unwrap();
+        assert_eq!(out.report.dataset, "Fig1");
+        assert_eq!(out.report.method, "NoIntervention");
+        assert_eq!(out.report.learner, "LR");
+        assert!(out.report.balanced_accuracy > 0.5);
+        assert!(out.report.runtime_secs >= 0.0);
+    }
+
+    #[test]
+    fn repeated_evaluation_varies_with_seed_but_is_reproducible() {
+        let d = figure1(51);
+        let a = evaluate_repeated(
+            &d,
+            &NoIntervention,
+            LearnerKind::Logistic,
+            Pipeline::paper_default(),
+            1,
+            3,
+        )
+        .unwrap();
+        let b = evaluate_repeated(
+            &d,
+            &NoIntervention,
+            LearnerKind::Logistic,
+            Pipeline::paper_default(),
+            1,
+            3,
+        )
+        .unwrap();
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            // Identical up to wall-clock noise.
+            let mut xr = x.report.clone();
+            let mut yr = y.report.clone();
+            xr.runtime_secs = 0.0;
+            yr.runtime_secs = 0.0;
+            assert_eq!(xr, yr);
+        }
+    }
+
+    #[test]
+    fn mean_report_aggregates() {
+        let d = figure1(52);
+        let outs = evaluate_repeated(
+            &d,
+            &NoIntervention,
+            LearnerKind::Logistic,
+            Pipeline::paper_default(),
+            2,
+            4,
+        )
+        .unwrap();
+        let mean = mean_report(&outs);
+        let lo = outs
+            .iter()
+            .map(|o| o.report.balanced_accuracy)
+            .fold(f64::INFINITY, f64::min);
+        let hi = outs
+            .iter()
+            .map(|o| o.report.balanced_accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(mean.balanced_accuracy >= lo && mean.balanced_accuracy <= hi);
+    }
+
+    #[test]
+    fn pipeline_end_to_end_with_confair() {
+        let d = figure1(53);
+        let out = evaluate(
+            &d,
+            &ConFair::paper_default(),
+            LearnerKind::Logistic,
+            Pipeline::paper_default(),
+            53,
+        )
+        .unwrap();
+        assert_eq!(out.report.method, "ConFair");
+        assert!(out.report.di_star > 0.0);
+    }
+
+    #[test]
+    fn stratified_pipeline_keeps_cells() {
+        let d = figure1(54);
+        let split = Pipeline::stratified().split(&d, 54);
+        for cell in cf_data::CellIndex::binary_cells() {
+            assert!(split.train.cell_count(cell) > 0, "cell {cell:?} empty");
+        }
+    }
+}

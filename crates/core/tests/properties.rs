@@ -1,0 +1,97 @@
+//! Property tests for the core interventions.
+
+use cf_conformance::LearnOptions;
+use cf_data::{CellIndex, Column, Dataset};
+use cf_density::FilterConfig;
+use confair_core::confair::{build_profile, FairnessTarget};
+use proptest::prelude::*;
+
+/// Strategy: a dataset with all four (group, label) cells populated and a
+/// couple of numeric attributes.
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (16usize..60).prop_flat_map(|n| {
+        proptest::collection::vec(-5.0..5.0f64, n * 2).prop_map(move |data| {
+            let x1: Vec<f64> = data[..n].to_vec();
+            let x2: Vec<f64> = data[n..].to_vec();
+            // Deterministic labels/groups that populate all four cells.
+            let labels: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+            let groups: Vec<u8> = (0..n).map(|i| u8::from(i % 4 < 2)).collect();
+            Dataset::new(
+                "prop",
+                vec!["x1".into(), "x2".into()],
+                vec![Column::Numeric(x1), Column::Numeric(x2)],
+                labels,
+                groups,
+            )
+            .unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn base_weights_total_mass_is_n(d in dataset()) {
+        // The Kamiran–Calders balancing term redistributes mass but keeps
+        // the total at n: Σ_cells |cell| · w(cell) = n.
+        let profile = build_profile(&d, FairnessTarget::DisparateImpact, None, &LearnOptions::default()).unwrap();
+        let total: f64 = profile.base_weights().iter().sum();
+        prop_assert!((total - d.len() as f64).abs() < 1e-6, "total {}", total);
+    }
+
+    #[test]
+    fn base_weights_positive(d in dataset()) {
+        let profile = build_profile(&d, FairnessTarget::DisparateImpact, None, &LearnOptions::default()).unwrap();
+        prop_assert!(profile.base_weights().iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn weights_monotone_and_boost_limited_to_cells(d in dataset(), a1 in 0.0..8.0f64, a2 in 8.0..32.0f64) {
+        let profile = build_profile(
+            &d,
+            FairnessTarget::DisparateImpact,
+            Some(FilterConfig::paper_default()),
+            &LearnOptions::default(),
+        ).unwrap();
+        let w_small = profile.weights(a1, a1 / 2.0);
+        let w_large = profile.weights(a2, a2 / 2.0);
+        for (s, l) in w_small.iter().zip(&w_large) {
+            prop_assert!(l >= s);
+        }
+        // Boosted indices live strictly in the target cells.
+        for &i in profile.boosted_minority() {
+            prop_assert_eq!(d.groups()[i], 1);
+            prop_assert_eq!(d.labels()[i], 1);
+        }
+        for &i in profile.boosted_majority() {
+            prop_assert_eq!(d.groups()[i], 0);
+            prop_assert_eq!(d.labels()[i], 0);
+        }
+    }
+
+    #[test]
+    fn eq_odds_targets_leave_majority_untouched(d in dataset(), alpha in 0.1..16.0f64) {
+        for target in [FairnessTarget::EqOddsFnr, FairnessTarget::EqOddsFpr] {
+            let profile = build_profile(&d, target, Some(FilterConfig::paper_default()), &LearnOptions::default()).unwrap();
+            let w = profile.weights(alpha, 123.0); // α_w must be inert
+            for i in d.cell_indices(CellIndex { group: 0, label: 0 }) {
+                prop_assert!((w[i] - profile.base_weights()[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_boost_set_is_subset_of_unfiltered(d in dataset()) {
+        let unfiltered = build_profile(&d, FairnessTarget::DisparateImpact, None, &LearnOptions::default()).unwrap();
+        let filtered = build_profile(
+            &d,
+            FairnessTarget::DisparateImpact,
+            Some(FilterConfig::paper_default()),
+            &LearnOptions::default(),
+        ).unwrap();
+        // Every conforming-after-filtering tuple also conforms to the looser
+        // unfiltered (min/max over the whole cell) constraints.
+        prop_assert!(filtered.boosted_minority().len() <= unfiltered.boosted_minority().len());
+    }
+}

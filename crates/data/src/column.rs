@@ -1,0 +1,145 @@
+//! Columnar attribute storage.
+
+/// One attribute of a [`crate::Dataset`], stored columnar.
+///
+/// Numeric attributes participate in conformance-constraint profiling and
+/// are min–max normalised for learners; categorical attributes are one-hot
+/// encoded for learners and may define the group mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// A numeric attribute. `NaN` encodes null (dropped by preprocessing).
+    Numeric(Vec<f64>),
+    /// A categorical attribute as integer codes into `levels`.
+    Categorical {
+        /// Per-tuple level codes; `u32::MAX` encodes null.
+        codes: Vec<u32>,
+        /// Human-readable level names; `codes[i] < levels.len()` for non-null.
+        levels: Vec<String>,
+    },
+}
+
+/// Sentinel code for a null categorical value.
+pub const NULL_CODE: u32 = u32::MAX;
+
+impl Column {
+    /// Number of tuples stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column stores zero tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is a numeric column.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Column::Numeric(_))
+    }
+
+    /// Whether tuple `i` is null.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Numeric(v) => v[i].is_nan(),
+            Column::Categorical { codes, .. } => codes[i] == NULL_CODE,
+        }
+    }
+
+    /// Borrow the numeric payload, if numeric.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            Column::Categorical { .. } => None,
+        }
+    }
+
+    /// Borrow the categorical payload, if categorical.
+    pub fn as_categorical(&self) -> Option<(&[u32], &[String])> {
+        match self {
+            Column::Numeric(_) => None,
+            Column::Categorical { codes, levels } => Some((codes, levels)),
+        }
+    }
+
+    /// Gather the given tuple indices into a new column.
+    pub fn select(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Numeric(v) => Column::Numeric(indices.iter().map(|&i| v[i]).collect()),
+            Column::Categorical { codes, levels } => Column::Categorical {
+                codes: indices.iter().map(|&i| codes[i]).collect(),
+                levels: levels.clone(),
+            },
+        }
+    }
+
+    /// Build a categorical column from string values, interning levels in
+    /// first-appearance order. Empty strings become nulls.
+    pub fn categorical_from_strs<S: AsRef<str>>(values: &[S]) -> Column {
+        let mut levels: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let v = v.as_ref();
+            if v.is_empty() {
+                codes.push(NULL_CODE);
+                continue;
+            }
+            let code = match levels.iter().position(|l| l == v) {
+                Some(p) => p as u32,
+                None => {
+                    levels.push(v.to_string());
+                    (levels.len() - 1) as u32
+                }
+            };
+            codes.push(code);
+        }
+        Column::Categorical { codes, levels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_basics() {
+        let c = Column::Numeric(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(c.len(), 3);
+        assert!(c.is_numeric());
+        assert!(!c.is_null(0));
+        assert!(c.is_null(1));
+        assert!(c.as_numeric().is_some());
+        assert!(c.as_categorical().is_none());
+    }
+
+    #[test]
+    fn categorical_interning() {
+        let c = Column::categorical_from_strs(&["a", "b", "a", "", "c"]);
+        let (codes, levels) = c.as_categorical().unwrap();
+        assert_eq!(levels, &["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(codes, &[0, 1, 0, NULL_CODE, 2]);
+        assert!(c.is_null(3));
+        assert!(!c.is_numeric());
+    }
+
+    #[test]
+    fn select_gathers_and_keeps_levels() {
+        let c = Column::categorical_from_strs(&["x", "y", "z"]);
+        let s = c.select(&[2, 0]);
+        let (codes, levels) = s.as_categorical().unwrap();
+        assert_eq!(codes, &[2, 0]);
+        assert_eq!(levels.len(), 3);
+
+        let n = Column::Numeric(vec![10.0, 20.0, 30.0]);
+        assert_eq!(n.select(&[1]), Column::Numeric(vec![20.0]));
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::Numeric(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.select(&[]).len(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal CSV round-tripping for datasets (examples and artifacts).
+//!
+//! The format is deliberately simple: comma-separated, first row is the
+//! header, two reserved trailing columns `__label__` and `__group__`. Fields
+//! never contain commas in this workspace (generated data), so no quoting is
+//! implemented; writing a value containing a comma is an error.
+
+use crate::{column::Column, dataset::Dataset, DataError, Result};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+const LABEL_COL: &str = "__label__";
+const GROUP_COL: &str = "__group__";
+
+/// Serialise the dataset to CSV at `path`.
+pub fn write_csv(ds: &Dataset, path: &Path) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(|e| DataError::Io(e.to_string()))?;
+    let mut out = BufWriter::new(file);
+    let mut write_row = |fields: &[String]| -> Result<()> {
+        for f in fields {
+            if f.contains(',') {
+                return Err(DataError::Parse(format!("field contains comma: {f}")));
+            }
+        }
+        writeln!(out, "{}", fields.join(",")).map_err(|e| DataError::Io(e.to_string()))
+    };
+
+    let mut header: Vec<String> = ds.column_names().to_vec();
+    header.push(LABEL_COL.to_string());
+    header.push(GROUP_COL.to_string());
+    write_row(&header)?;
+
+    for i in 0..ds.len() {
+        let mut row: Vec<String> = Vec::with_capacity(header.len());
+        for j in 0..ds.num_attributes() {
+            match ds.column(j) {
+                Column::Numeric(v) => {
+                    row.push(if v[i].is_nan() {
+                        String::new()
+                    } else {
+                        format!("{}", v[i])
+                    });
+                }
+                Column::Categorical { codes, levels } => {
+                    row.push(if ds.column(j).is_null(i) {
+                        String::new()
+                    } else {
+                        levels[codes[i] as usize].clone()
+                    });
+                }
+            }
+        }
+        row.push(format!("{}", ds.labels()[i]));
+        row.push(format!("{}", ds.groups()[i]));
+        write_row(&row)?;
+    }
+    Ok(())
+}
+
+/// Read a dataset written by [`write_csv`]. Column kinds are inferred:
+/// a column is numeric if every non-empty field parses as `f64`.
+pub fn read_csv(name: &str, path: &Path) -> Result<Dataset> {
+    let file = std::fs::File::open(path).map_err(|e| DataError::Io(e.to_string()))?;
+    let reader = std::io::BufReader::new(file);
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| DataError::Parse("empty file".into()))?
+        .map_err(|e| DataError::Io(e.to_string()))?;
+    let header: Vec<String> = header_line.split(',').map(str::to_string).collect();
+    let label_idx = header
+        .iter()
+        .position(|h| h == LABEL_COL)
+        .ok_or_else(|| DataError::Parse(format!("missing {LABEL_COL} column")))?;
+    let group_idx = header
+        .iter()
+        .position(|h| h == GROUP_COL)
+        .ok_or_else(|| DataError::Parse(format!("missing {GROUP_COL} column")))?;
+
+    let mut raw: Vec<Vec<String>> = vec![Vec::new(); header.len()];
+    for line in lines {
+        let line = line.map_err(|e| DataError::Io(e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != header.len() {
+            return Err(DataError::Parse(format!(
+                "row has {} fields, header has {}",
+                fields.len(),
+                header.len()
+            )));
+        }
+        for (col, f) in raw.iter_mut().zip(&fields) {
+            col.push((*f).to_string());
+        }
+    }
+
+    let labels: Vec<u8> = raw[label_idx]
+        .iter()
+        .map(|s| {
+            s.parse::<u8>()
+                .map_err(|_| DataError::Parse(format!("bad label: {s}")))
+        })
+        .collect::<Result<_>>()?;
+    let groups: Vec<u8> = raw[group_idx]
+        .iter()
+        .map(|s| {
+            s.parse::<u8>()
+                .map_err(|_| DataError::Parse(format!("bad group: {s}")))
+        })
+        .collect::<Result<_>>()?;
+
+    let mut col_names = Vec::new();
+    let mut columns = Vec::new();
+    for (j, col_name) in header.iter().enumerate() {
+        if j == label_idx || j == group_idx {
+            continue;
+        }
+        let values = &raw[j];
+        let all_numeric = values
+            .iter()
+            .all(|v| v.is_empty() || v.parse::<f64>().is_ok());
+        let column = if all_numeric {
+            Column::Numeric(
+                values
+                    .iter()
+                    .map(|v| {
+                        if v.is_empty() {
+                            f64::NAN
+                        } else {
+                            v.parse::<f64>().expect("checked numeric")
+                        }
+                    })
+                    .collect(),
+            )
+        } else {
+            Column::categorical_from_strs(values)
+        };
+        col_names.push(col_name.clone());
+        columns.push(column);
+    }
+
+    Dataset::new(name, col_names, columns, labels, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            "csv",
+            vec!["x".into(), "c".into()],
+            vec![
+                Column::Numeric(vec![1.5, f64::NAN, 3.0]),
+                Column::categorical_from_strs(&["red", "blue", "red"]),
+            ],
+            vec![0, 1, 1],
+            vec![0, 0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = std::env::temp_dir().join("cf_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.csv");
+        let d = sample();
+        write_csv(&d, &path).unwrap();
+        let back = read_csv("csv", &path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.labels(), d.labels());
+        assert_eq!(back.groups(), d.groups());
+        let x = back.column(0).as_numeric().unwrap();
+        assert_eq!(x[0], 1.5);
+        assert!(x[1].is_nan());
+        let (codes, levels) = back.column(1).as_categorical().unwrap();
+        assert_eq!(levels, &["red".to_string(), "blue".to_string()]);
+        assert_eq!(codes, &[0, 1, 0]);
+    }
+
+    #[test]
+    fn read_rejects_missing_reserved_columns() {
+        let dir = std::env::temp_dir().join("cf_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "a,b\n1,2\n").unwrap();
+        assert!(matches!(read_csv("bad", &path), Err(DataError::Parse(_))));
+    }
+
+    #[test]
+    fn read_rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("cf_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.csv");
+        std::fs::write(&path, "x,__label__,__group__\n1,0,0\n2,1\n").unwrap();
+        assert!(read_csv("ragged", &path).is_err());
+    }
+
+    #[test]
+    fn write_rejects_comma_fields() {
+        let dir = std::env::temp_dir().join("cf_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("comma.csv");
+        let d = Dataset::new(
+            "comma",
+            vec!["c".into()],
+            vec![Column::categorical_from_strs(&["a,b"])],
+            vec![0],
+            vec![0],
+        )
+        .unwrap();
+        assert!(write_csv(&d, &path).is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! The [`Dataset`] relation and its partition helpers.
+
+use crate::{column::Column, DataError, Result, MAJORITY, MINORITY};
+use cf_linalg::Matrix;
+
+/// A (group, label) cell index — the partition unit of Algorithms 1–3.
+///
+/// Every method in the paper operates per cell: conformance constraints are
+/// derived per cell, ConFair's weights are per cell, and the density filter
+/// keeps the densest tuples per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellIndex {
+    /// Group id (`0` = majority `W`, `1` = minority `U`).
+    pub group: u8,
+    /// Class label.
+    pub label: u8,
+}
+
+impl CellIndex {
+    /// All four cells of a binary-label, two-group dataset, in a fixed order.
+    pub fn binary_cells() -> [CellIndex; 4] {
+        [
+            CellIndex { group: MAJORITY, label: 0 },
+            CellIndex { group: MAJORITY, label: 1 },
+            CellIndex { group: MINORITY, label: 0 },
+            CellIndex { group: MINORITY, label: 1 },
+        ]
+    }
+}
+
+/// A named, columnar relation with labels, groups, and optional weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    col_names: Vec<String>,
+    columns: Vec<Column>,
+    labels: Vec<u8>,
+    groups: Vec<u8>,
+    weights: Option<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Assemble a dataset, validating that all buffers have equal length.
+    pub fn new(
+        name: impl Into<String>,
+        col_names: Vec<String>,
+        columns: Vec<Column>,
+        labels: Vec<u8>,
+        groups: Vec<u8>,
+    ) -> Result<Self> {
+        let n = labels.len();
+        if col_names.len() != columns.len() {
+            return Err(DataError::LengthMismatch {
+                expected: columns.len(),
+                got: col_names.len(),
+                what: "column names".into(),
+            });
+        }
+        for (name, col) in col_names.iter().zip(&columns) {
+            if col.len() != n {
+                return Err(DataError::LengthMismatch {
+                    expected: n,
+                    got: col.len(),
+                    what: format!("column {name}"),
+                });
+            }
+        }
+        if groups.len() != n {
+            return Err(DataError::LengthMismatch {
+                expected: n,
+                got: groups.len(),
+                what: "groups".into(),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            col_names,
+            columns,
+            labels,
+            groups,
+            weights: None,
+        })
+    }
+
+    /// Dataset name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tuples `n = |D|`.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has zero tuples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of attributes (numeric + categorical).
+    pub fn num_attributes(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Attribute names.
+    pub fn column_names(&self) -> &[String] {
+        &self.col_names
+    }
+
+    /// Borrow a column by index.
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// Find a column index by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.col_names
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| DataError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Target attribute `Y` per tuple.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Group id per tuple (`g(t)`).
+    pub fn groups(&self) -> &[u8] {
+        &self.groups
+    }
+
+    /// Number of distinct label values (`c` in the paper); 0 when empty.
+    pub fn num_classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+    }
+
+    /// Instance weights, if any intervention has attached them.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Attach (or replace) instance weights.
+    pub fn set_weights(&mut self, w: Vec<f64>) -> Result<()> {
+        if w.len() != self.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.len(),
+                got: w.len(),
+                what: "weights".into(),
+            });
+        }
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    /// Remove attached weights.
+    pub fn clear_weights(&mut self) {
+        self.weights = None;
+    }
+
+    /// Replace group assignments (used by [`crate::GroupSpec::assign`]).
+    pub fn set_groups(&mut self, groups: Vec<u8>) -> Result<()> {
+        if groups.len() != self.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.len(),
+                got: groups.len(),
+                what: "groups".into(),
+            });
+        }
+        self.groups = groups;
+        Ok(())
+    }
+
+    /// Indices of the columns that are numeric (profiling attributes).
+    pub fn numeric_column_indices(&self) -> Vec<usize> {
+        (0..self.columns.len())
+            .filter(|&j| self.columns[j].is_numeric())
+            .collect()
+    }
+
+    /// Gather tuples by index into a new dataset (weights follow).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            col_names: self.col_names.clone(),
+            columns: self.columns.iter().map(|c| c.select(indices)).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            groups: indices.iter().map(|&i| self.groups[i]).collect(),
+            weights: self
+                .weights
+                .as_ref()
+                .map(|w| indices.iter().map(|&i| w[i]).collect()),
+        }
+    }
+
+    /// Tuple indices belonging to a (group, label) cell.
+    pub fn cell_indices(&self, cell: CellIndex) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.groups[i] == cell.group && self.labels[i] == cell.label)
+            .collect()
+    }
+
+    /// Tuple indices belonging to a group (either label).
+    pub fn group_indices(&self, group: u8) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.groups[i] == group).collect()
+    }
+
+    /// Count of tuples in a (group, label) cell.
+    pub fn cell_count(&self, cell: CellIndex) -> usize {
+        (0..self.len())
+            .filter(|&i| self.groups[i] == cell.group && self.labels[i] == cell.label)
+            .count()
+    }
+
+    /// Count of tuples in a group.
+    pub fn group_count(&self, group: u8) -> usize {
+        self.groups.iter().filter(|&&g| g == group).count()
+    }
+
+    /// Count of tuples with a label.
+    pub fn label_count(&self, label: u8) -> usize {
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// The numeric attributes of the given rows as a dense matrix
+    /// (rows = tuples, columns = numeric attributes in column order).
+    ///
+    /// This is the view conformance constraints and KDE profile; categorical
+    /// attributes never enter the profiling path (paper §I "Considering
+    /// other data profiling primitives").
+    pub fn numeric_matrix(&self, rows: Option<&[usize]>) -> Matrix {
+        let num_cols = self.numeric_column_indices();
+        let row_count = rows.map_or(self.len(), |r| r.len());
+        let mut data = Vec::with_capacity(row_count * num_cols.len());
+        let fill = |i: usize, data: &mut Vec<f64>| {
+            for &j in &num_cols {
+                // Unwrap is safe: numeric_column_indices only returns numerics.
+                data.push(self.columns[j].as_numeric().unwrap()[i]);
+            }
+        };
+        match rows {
+            Some(idx) => {
+                for &i in idx {
+                    fill(i, &mut data);
+                }
+            }
+            None => {
+                for i in 0..self.len() {
+                    fill(i, &mut data);
+                }
+            }
+        }
+        Matrix::from_vec(row_count, num_cols.len(), data)
+    }
+
+    /// Drop tuples with any null attribute (paper §IV preprocessing).
+    pub fn drop_nulls(&self) -> Dataset {
+        let keep: Vec<usize> = (0..self.len())
+            .filter(|&i| !self.columns.iter().any(|c| c.is_null(i)))
+            .collect();
+        self.subset(&keep)
+    }
+
+    /// Summary statistics in the shape of the paper's Fig. 4 rows.
+    pub fn summary(&self) -> DatasetSummary {
+        let minority = self.group_count(MINORITY);
+        let minority_pos = self.cell_count(CellIndex { group: MINORITY, label: 1 });
+        let numeric = self.numeric_column_indices().len();
+        DatasetSummary {
+            name: self.name.clone(),
+            size: self.len(),
+            numeric_attrs: numeric,
+            categorical_attrs: self.num_attributes() - numeric,
+            minority_fraction: minority as f64 / self.len().max(1) as f64,
+            minority_positive_fraction: minority_pos as f64 / minority.max(1) as f64,
+        }
+    }
+}
+
+/// The Fig. 4 row: headline statistics of one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Number of tuples.
+    pub size: usize,
+    /// Count of numeric attributes.
+    pub numeric_attrs: usize,
+    /// Count of categorical attributes.
+    pub categorical_attrs: usize,
+    /// `|U| / |D|`.
+    pub minority_fraction: f64,
+    /// `|U₁| / |U|` — positive-label rate within the minority.
+    pub minority_positive_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec!["x".into(), "cat".into()],
+            vec![
+                Column::Numeric(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]),
+                Column::categorical_from_strs(&["a", "b", "a", "b", "a", "b"]),
+            ],
+            vec![0, 1, 0, 1, 1, 0],
+            vec![0, 0, 0, 1, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let bad = Dataset::new(
+            "bad",
+            vec!["x".into()],
+            vec![Column::Numeric(vec![1.0])],
+            vec![0, 1],
+            vec![0, 0],
+        );
+        assert!(matches!(bad, Err(DataError::LengthMismatch { .. })));
+
+        let bad_groups = Dataset::new(
+            "bad",
+            vec!["x".into()],
+            vec![Column::Numeric(vec![1.0, 2.0])],
+            vec![0, 1],
+            vec![0],
+        );
+        assert!(bad_groups.is_err());
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.num_attributes(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.column_index("cat").unwrap(), 1);
+        assert!(d.column_index("nope").is_err());
+        assert_eq!(d.numeric_column_indices(), vec![0]);
+    }
+
+    #[test]
+    fn cell_partitioning_covers_everything() {
+        let d = toy();
+        let total: usize = CellIndex::binary_cells()
+            .iter()
+            .map(|&c| d.cell_indices(c).len())
+            .sum();
+        assert_eq!(total, d.len());
+        assert_eq!(d.cell_indices(CellIndex { group: 1, label: 1 }), vec![3, 4]);
+        assert_eq!(d.cell_count(CellIndex { group: 0, label: 0 }), 2);
+        assert_eq!(d.group_count(MINORITY), 3);
+        assert_eq!(d.label_count(1), 3);
+    }
+
+    #[test]
+    fn subset_carries_everything() {
+        let mut d = toy();
+        d.set_weights(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let s = d.subset(&[3, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[1, 0]);
+        assert_eq!(s.groups(), &[1, 1]);
+        assert_eq!(s.weights().unwrap(), &[4.0, 6.0]);
+        assert_eq!(s.column(0).as_numeric().unwrap(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn numeric_matrix_selects_numeric_only() {
+        let d = toy();
+        let m = d.numeric_matrix(None);
+        assert_eq!(m.rows(), 6);
+        assert_eq!(m.cols(), 1);
+        let sub = d.numeric_matrix(Some(&[1, 2]));
+        assert_eq!(sub.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn weights_validation() {
+        let mut d = toy();
+        assert!(d.set_weights(vec![1.0]).is_err());
+        assert!(d.set_weights(vec![1.0; 6]).is_ok());
+        assert!(d.weights().is_some());
+        d.clear_weights();
+        assert!(d.weights().is_none());
+    }
+
+    #[test]
+    fn drop_nulls_removes_offending_tuples() {
+        let d = Dataset::new(
+            "nulls",
+            vec!["x".into(), "c".into()],
+            vec![
+                Column::Numeric(vec![1.0, f64::NAN, 3.0]),
+                Column::categorical_from_strs(&["a", "b", ""]),
+            ],
+            vec![0, 1, 1],
+            vec![0, 0, 1],
+        )
+        .unwrap();
+        let clean = d.drop_nulls();
+        assert_eq!(clean.len(), 1);
+        assert_eq!(clean.labels(), &[0]);
+    }
+
+    #[test]
+    fn summary_matches_fig4_shape() {
+        let d = toy();
+        let s = d.summary();
+        assert_eq!(s.size, 6);
+        assert_eq!(s.numeric_attrs, 1);
+        assert_eq!(s.categorical_attrs, 1);
+        assert!((s.minority_fraction - 0.5).abs() < 1e-12);
+        assert!((s.minority_positive_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

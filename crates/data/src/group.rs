@@ -1,0 +1,193 @@
+//! The user-specified mapping function `g : t ↦ {W, U}` (paper §II-A).
+
+use crate::{dataset::Dataset, DataError, Result, MAJORITY, MINORITY};
+
+/// How tuples are assigned to the majority (`W`, id 0) or minority (`U`, id 1)
+/// group. This mirrors the paper's mapping function `g`, which is "typically
+/// a simple function over one or more attributes".
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupSpec {
+    /// Minority when the numeric column compares below (or at/above) a
+    /// threshold — e.g. the Credit dataset's `age < 35`.
+    NumericThreshold {
+        /// Name of the numeric column.
+        column: String,
+        /// The comparison threshold.
+        threshold: f64,
+        /// `true` → minority is `value < threshold`; `false` → `value ≥ threshold`.
+        minority_below: bool,
+    },
+    /// Minority when the categorical column takes one of the given levels —
+    /// e.g. `race = African-American` in LSAC/ACS.
+    CategoricalIn {
+        /// Name of the categorical column.
+        column: String,
+        /// Levels whose members form the minority.
+        levels: Vec<String>,
+    },
+    /// Explicit per-tuple assignment (used by generators and tests).
+    Explicit(Vec<u8>),
+}
+
+impl GroupSpec {
+    /// Evaluate the mapping function on every tuple.
+    pub fn assign(&self, ds: &Dataset) -> Result<Vec<u8>> {
+        match self {
+            GroupSpec::NumericThreshold {
+                column,
+                threshold,
+                minority_below,
+            } => {
+                let j = ds.column_index(column)?;
+                let values = ds.column(j).as_numeric().ok_or_else(|| {
+                    DataError::WrongColumnKind {
+                        name: column.clone(),
+                        expected: "numeric",
+                    }
+                })?;
+                Ok(values
+                    .iter()
+                    .map(|&v| {
+                        let below = v < *threshold;
+                        if below == *minority_below {
+                            MINORITY
+                        } else {
+                            MAJORITY
+                        }
+                    })
+                    .collect())
+            }
+            GroupSpec::CategoricalIn { column, levels } => {
+                let j = ds.column_index(column)?;
+                let (codes, col_levels) = ds.column(j).as_categorical().ok_or_else(|| {
+                    DataError::WrongColumnKind {
+                        name: column.clone(),
+                        expected: "categorical",
+                    }
+                })?;
+                let minority_codes: Vec<u32> = col_levels
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| levels.contains(l))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                Ok(codes
+                    .iter()
+                    .map(|c| {
+                        if minority_codes.contains(c) {
+                            MINORITY
+                        } else {
+                            MAJORITY
+                        }
+                    })
+                    .collect())
+            }
+            GroupSpec::Explicit(groups) => {
+                if groups.len() != ds.len() {
+                    return Err(DataError::LengthMismatch {
+                        expected: ds.len(),
+                        got: groups.len(),
+                        what: "explicit groups".into(),
+                    });
+                }
+                Ok(groups.clone())
+            }
+        }
+    }
+
+    /// Assign and install the groups on the dataset in one step.
+    pub fn apply(&self, ds: &mut Dataset) -> Result<()> {
+        let groups = self.assign(ds)?;
+        ds.set_groups(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn base() -> Dataset {
+        Dataset::new(
+            "g",
+            vec!["age".into(), "race".into()],
+            vec![
+                Column::Numeric(vec![20.0, 40.0, 34.9, 35.0]),
+                Column::categorical_from_strs(&["A", "B", "A", "C"]),
+            ],
+            vec![0, 1, 0, 1],
+            vec![0, 0, 0, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_threshold_below() {
+        let spec = GroupSpec::NumericThreshold {
+            column: "age".into(),
+            threshold: 35.0,
+            minority_below: true,
+        };
+        assert_eq!(spec.assign(&base()).unwrap(), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn numeric_threshold_above() {
+        let spec = GroupSpec::NumericThreshold {
+            column: "age".into(),
+            threshold: 35.0,
+            minority_below: false,
+        };
+        assert_eq!(spec.assign(&base()).unwrap(), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn categorical_membership() {
+        let spec = GroupSpec::CategoricalIn {
+            column: "race".into(),
+            levels: vec!["A".into(), "C".into()],
+        };
+        assert_eq!(spec.assign(&base()).unwrap(), vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn explicit_assignment_validated() {
+        let spec = GroupSpec::Explicit(vec![1, 1, 0, 0]);
+        assert_eq!(spec.assign(&base()).unwrap(), vec![1, 1, 0, 0]);
+        let bad = GroupSpec::Explicit(vec![1]);
+        assert!(bad.assign(&base()).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_errors() {
+        let spec = GroupSpec::NumericThreshold {
+            column: "race".into(),
+            threshold: 0.0,
+            minority_below: true,
+        };
+        assert!(matches!(
+            spec.assign(&base()),
+            Err(DataError::WrongColumnKind { .. })
+        ));
+        let spec = GroupSpec::CategoricalIn {
+            column: "age".into(),
+            levels: vec![],
+        };
+        assert!(spec.assign(&base()).is_err());
+        let spec = GroupSpec::CategoricalIn {
+            column: "nope".into(),
+            levels: vec![],
+        };
+        assert!(matches!(
+            spec.assign(&base()),
+            Err(DataError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn apply_installs_groups() {
+        let mut d = base();
+        GroupSpec::Explicit(vec![1, 0, 1, 0]).apply(&mut d).unwrap();
+        assert_eq!(d.groups(), &[1, 0, 1, 0]);
+    }
+}

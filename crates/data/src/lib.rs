@@ -1,0 +1,88 @@
+//! # cf-data
+//!
+//! Tabular dataset substrate for the ConFair reproduction.
+//!
+//! The paper's methods consume a relation `D` with numeric attributes,
+//! categorical attributes, a binary target `Y`, and a group mapping
+//! `g : t ↦ {W, U}` (majority/minority). This crate provides that relation as
+//! a columnar [`Dataset`], plus the preprocessing the paper's §IV applies
+//! before training: null dropping, min–max normalisation of numeric
+//! attributes, one-hot encoding of categorical attributes, and seeded
+//! 70/15/15 train/validation/test splits.
+//!
+//! Modules:
+//! * [`column`] — the [`Column`] storage enum.
+//! * [`dataset`] — [`Dataset`] and partition helpers (the (group,label) cells
+//!   that every algorithm in the paper iterates over).
+//! * [`group`] — [`GroupSpec`], the user-specified mapping function `g`.
+//! * [`encode`] — [`FeatureEncoding`]: fit on training data, apply anywhere.
+//! * [`split`] — seeded random and stratified splits.
+//! * [`csv`] — plain-text round-tripping for examples and artifacts.
+
+pub mod column;
+pub mod csv;
+pub mod dataset;
+pub mod encode;
+pub mod group;
+pub mod split;
+
+pub use column::Column;
+pub use dataset::{CellIndex, Dataset};
+pub use encode::FeatureEncoding;
+pub use group::GroupSpec;
+pub use split::SplitRatios;
+
+/// Majority-group id (the paper's `W`), i.e. `g(t) = 0`.
+pub const MAJORITY: u8 = 0;
+/// Minority-group id (the paper's `U`), i.e. `g(t) = 1`.
+pub const MINORITY: u8 = 1;
+
+/// Errors surfaced by dataset construction and preprocessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Column lengths (or label/group lengths) disagree.
+    LengthMismatch {
+        /// Expected number of tuples.
+        expected: usize,
+        /// Offending length.
+        got: usize,
+        /// What the offending buffer was.
+        what: String,
+    },
+    /// Referenced a column that does not exist.
+    NoSuchColumn(String),
+    /// The operation needed a column of the other kind.
+    WrongColumnKind {
+        /// Column name.
+        name: String,
+        /// What the operation required.
+        expected: &'static str,
+    },
+    /// CSV parsing failed.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::LengthMismatch {
+                expected,
+                got,
+                what,
+            } => write!(f, "{what}: expected length {expected}, got {got}"),
+            DataError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            DataError::WrongColumnKind { name, expected } => {
+                write!(f, "column {name} must be {expected}")
+            }
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DataError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

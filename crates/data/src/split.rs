@@ -1,0 +1,230 @@
+//! Seeded train/validation/test splitting (paper §IV: 70/15/15, i.i.d.).
+
+use crate::dataset::Dataset;
+use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+
+/// Fractions for the three-way split; must sum to ≤ 1 (the remainder, if
+/// any, goes to the test split).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitRatios {
+    /// Training fraction.
+    pub train: f64,
+    /// Validation fraction.
+    pub validation: f64,
+}
+
+impl SplitRatios {
+    /// The paper's 70/15/15 split.
+    pub fn paper_default() -> Self {
+        Self {
+            train: 0.70,
+            validation: 0.15,
+        }
+    }
+
+    /// Construct with validation of the fractions.
+    pub fn new(train: f64, validation: f64) -> Self {
+        assert!(train > 0.0 && validation >= 0.0, "fractions must be positive");
+        assert!(
+            train + validation < 1.0 + 1e-12,
+            "train + validation must leave room for test"
+        );
+        Self { train, validation }
+    }
+}
+
+/// The three disjoint subsets produced by a split.
+#[derive(Debug, Clone)]
+pub struct ThreeWaySplit {
+    /// Training set `Dt`.
+    pub train: Dataset,
+    /// Validation set `Dv`.
+    pub validation: Dataset,
+    /// Deployment/test set `Dd`.
+    pub test: Dataset,
+}
+
+/// Randomly partition the dataset into train/validation/test (i.i.d., as the
+/// paper specifies). Deterministic under a fixed `seed`.
+pub fn split3(ds: &Dataset, ratios: SplitRatios, seed: u64) -> ThreeWaySplit {
+    let mut idx: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n = ds.len();
+    let n_train = ((n as f64) * ratios.train).round() as usize;
+    let n_val = ((n as f64) * ratios.validation).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+    ThreeWaySplit {
+        train: ds.subset(&idx[..n_train]),
+        validation: ds.subset(&idx[n_train..n_train + n_val]),
+        test: ds.subset(&idx[n_train + n_val..]),
+    }
+}
+
+/// Stratified variant: preserves each (group, label) cell's proportion in
+/// every split. Useful for the smallest minorities, where an i.i.d. split
+/// can leave a cell empty.
+pub fn split3_stratified(ds: &Dataset, ratios: SplitRatios, seed: u64) -> ThreeWaySplit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train_idx = Vec::new();
+    let mut val_idx = Vec::new();
+    let mut test_idx = Vec::new();
+
+    // Partition indices by (group, label) cell, shuffle within each, and cut.
+    use std::collections::BTreeMap;
+    let mut cells: BTreeMap<(u8, u8), Vec<usize>> = BTreeMap::new();
+    for i in 0..ds.len() {
+        cells
+            .entry((ds.groups()[i], ds.labels()[i]))
+            .or_default()
+            .push(i);
+    }
+    for (_, mut members) in cells {
+        members.shuffle(&mut rng);
+        let n = members.len();
+        let n_train = ((n as f64) * ratios.train).round() as usize;
+        let n_val = (((n as f64) * ratios.validation).round() as usize).min(n - n_train.min(n));
+        let n_train = n_train.min(n);
+        train_idx.extend_from_slice(&members[..n_train]);
+        val_idx.extend_from_slice(&members[n_train..n_train + n_val]);
+        test_idx.extend_from_slice(&members[n_train + n_val..]);
+    }
+    // Shuffle the concatenated cell runs so downstream mini-batching (if any)
+    // does not see group-sorted data.
+    train_idx.shuffle(&mut rng);
+    val_idx.shuffle(&mut rng);
+    test_idx.shuffle(&mut rng);
+    ThreeWaySplit {
+        train: ds.subset(&train_idx),
+        validation: ds.subset(&val_idx),
+        test: ds.subset(&test_idx),
+    }
+}
+
+/// Draw a weighted bootstrap sample of size `n` (used to apply ConFair
+/// weights to learners without native weight support — paper §I).
+pub fn weighted_resample(ds: &Dataset, n: usize, seed: u64) -> Dataset {
+    let weights = ds
+        .weights()
+        .map(<[f64]>::to_vec)
+        .unwrap_or_else(|| vec![1.0; ds.len()]);
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "total weight must be positive");
+    // Inverse-CDF sampling over the cumulative weights.
+    let mut cum = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += *w;
+        cum.push(acc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..total);
+            match cum.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+                Ok(i) | Err(i) => i.min(weights.len() - 1),
+            }
+        })
+        .collect();
+    ds.subset(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn dataset(n: usize) -> Dataset {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let labels: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let groups: Vec<u8> = (0..n).map(|i| u8::from(i % 5 == 0)).collect();
+        Dataset::new(
+            "split",
+            vec!["x".into()],
+            vec![Column::Numeric(x)],
+            labels,
+            groups,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_sizes_match_ratios() {
+        let d = dataset(100);
+        let s = split3(&d, SplitRatios::paper_default(), 7);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.validation.len(), 15);
+        assert_eq!(s.test.len(), 15);
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let d = dataset(50);
+        let s = split3(&d, SplitRatios::paper_default(), 3);
+        let mut seen: Vec<f64> = Vec::new();
+        for part in [&s.train, &s.validation, &s.test] {
+            seen.extend(part.column(0).as_numeric().unwrap());
+        }
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = dataset(40);
+        let a = split3(&d, SplitRatios::paper_default(), 11);
+        let b = split3(&d, SplitRatios::paper_default(), 11);
+        assert_eq!(a.train, b.train);
+        let c = split3(&d, SplitRatios::paper_default(), 12);
+        assert_ne!(a.train, c.train, "different seed should shuffle differently");
+    }
+
+    #[test]
+    fn stratified_preserves_cell_shares() {
+        let d = dataset(200);
+        let s = split3_stratified(&d, SplitRatios::paper_default(), 5);
+        // Minority fraction is 20% overall; each split should be within 5pp.
+        for part in [&s.train, &s.validation, &s.test] {
+            let frac = part.group_count(1) as f64 / part.len() as f64;
+            assert!((frac - 0.2).abs() < 0.05, "frac={frac}");
+        }
+        let total = s.train.len() + s.validation.len() + s.test.len();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn weighted_resample_follows_weights() {
+        let mut d = dataset(10);
+        // All the weight on tuple 3.
+        let mut w = vec![0.0; 10];
+        w[3] = 1.0;
+        d.set_weights(w).unwrap();
+        let r = weighted_resample(&d, 25, 9);
+        assert_eq!(r.len(), 25);
+        assert!(r
+            .column(0)
+            .as_numeric()
+            .unwrap()
+            .iter()
+            .all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn unweighted_resample_is_uniform_bootstrap() {
+        let d = dataset(10);
+        let r = weighted_resample(&d, 1000, 13);
+        // Every tuple should appear at least once with overwhelming probability.
+        let xs = r.column(0).as_numeric().unwrap();
+        for i in 0..10 {
+            assert!(xs.iter().any(|&v| v == i as f64), "missing tuple {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ratios_reject_overflow() {
+        let _ = SplitRatios::new(0.9, 0.2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the dataset substrate.
+
+use cf_data::{split::split3, split::split3_stratified, Column, Dataset, FeatureEncoding, SplitRatios};
+use proptest::prelude::*;
+
+/// Strategy producing a random small dataset with one numeric and one
+/// categorical attribute, random binary labels and groups.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (4usize..80).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-50.0..50.0f64, n),
+            proptest::collection::vec(0u8..3, n),
+            proptest::collection::vec(0u8..2, n),
+            proptest::collection::vec(0u8..2, n),
+        )
+            .prop_map(move |(x, cat_codes, labels, groups)| {
+                let cats: Vec<&str> = cat_codes
+                    .iter()
+                    .map(|&c| ["a", "b", "c"][c as usize])
+                    .collect();
+                Dataset::new(
+                    "prop",
+                    vec!["x".into(), "c".into()],
+                    vec![Column::Numeric(x), Column::categorical_from_strs(&cats)],
+                    labels,
+                    groups,
+                )
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn split_is_a_partition(d in dataset_strategy(), seed in 0u64..1000) {
+        let s = split3(&d, SplitRatios::paper_default(), seed);
+        prop_assert_eq!(s.train.len() + s.validation.len() + s.test.len(), d.len());
+    }
+
+    #[test]
+    fn stratified_split_is_a_partition(d in dataset_strategy(), seed in 0u64..1000) {
+        let s = split3_stratified(&d, SplitRatios::paper_default(), seed);
+        prop_assert_eq!(s.train.len() + s.validation.len() + s.test.len(), d.len());
+    }
+
+    #[test]
+    fn cells_partition_the_dataset(d in dataset_strategy()) {
+        let total: usize = cf_data::CellIndex::binary_cells()
+            .iter()
+            .map(|&c| d.cell_indices(c).len())
+            .sum();
+        prop_assert_eq!(total, d.len());
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one(d in dataset_strategy()) {
+        let (enc, m) = FeatureEncoding::fit_transform(&d);
+        // Feature layout: [x, c=a, c=b, (c=c)]; one-hot block sums to 1
+        // because the generator never produces nulls.
+        let hot_width = enc.width() - 1;
+        for i in 0..m.rows() {
+            let s: f64 = m.row(i)[1..].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-12, "row {} one-hot sum {} (width {})", i, s, hot_width);
+        }
+    }
+
+    #[test]
+    fn encoded_features_are_bounded(d in dataset_strategy()) {
+        let (_, m) = FeatureEncoding::fit_transform(&d);
+        for v in m.as_slice() {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn subset_of_all_indices_is_identity(d in dataset_strategy()) {
+        let all: Vec<usize> = (0..d.len()).collect();
+        prop_assert_eq!(d.subset(&all), d);
+    }
+
+    #[test]
+    fn summary_fractions_in_range(d in dataset_strategy()) {
+        let s = d.summary();
+        prop_assert!((0.0..=1.0).contains(&s.minority_fraction));
+        prop_assert!((0.0..=1.0).contains(&s.minority_positive_fraction));
+    }
+}

@@ -1,0 +1,60 @@
+//! # cf-datasets
+//!
+//! Workload generators for the ConFair reproduction. Three families:
+//!
+//! * [`toy`] — the 2-D two-group illustration of the paper's Fig. 1.
+//! * [`synthgen`] — a `make_classification`-equivalent generator and the
+//!   Syn1–Syn5 severe-drift datasets of Fig. 10/11 (majority and minority
+//!   share the feature space but their label-conditional distributions are
+//!   rotated against each other, so no single linear model conforms to both).
+//! * [`realsim`] — seeded simulators matched to the Fig. 4 statistics of the
+//!   seven real-world benchmarks (MEPS, LSAC, Credit, ACSP/H/E/I). See
+//!   DESIGN.md §1 for why these substitutions preserve the behaviours the
+//!   evaluation exercises.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod realsim;
+pub mod synthgen;
+pub mod toy;
+
+pub use realsim::RealWorldSpec;
+pub use synthgen::SynSpec;
+
+use rand::{rngs::StdRng, Rng};
+
+/// Sample a standard normal via Box–Muller (keeps the dependency surface to
+/// `rand`'s uniform primitives only).
+pub(crate) fn sample_normal(rng: &mut StdRng) -> f64 {
+    // Box–Muller transform; u1 is kept away from 0 for a finite log.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fill a vector with iid standard normals.
+pub(crate) fn normal_vec(rng: &mut StdRng, d: usize) -> Vec<f64> {
+    (0..d).map(|_| sample_normal(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng)).collect();
+        let mean = cf_linalg::vector::mean(&samples);
+        let var = cf_linalg::vector::variance(&samples);
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_vec_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(normal_vec(&mut rng, 5).len(), 5);
+    }
+}

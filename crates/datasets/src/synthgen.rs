@@ -1,0 +1,279 @@
+//! Synthetic classification generator and the Syn1–Syn5 drift datasets.
+//!
+//! [`SynSpec::generate`] mirrors scikit-learn's `make_classification` recipe
+//! (per-class Gaussian clusters, class separation, flip-y label noise,
+//! informative + noise features) and adds the paper's group structure: the
+//! minority's label-conditional cluster directions are *rotated* against the
+//! majority's in the informative plane. With the two groups occupying the
+//! same region of space, a single linear model cannot conform to both —
+//! the severe-drift regime where DiffFair shines (Fig. 11).
+
+use cf_data::{Column, Dataset};
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+use crate::normal_vec;
+
+/// Specification for one synthetic drift dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynSpec {
+    /// Majority tuples (paper: 8,000).
+    pub n_majority: usize,
+    /// Minority tuples (paper: 3,000).
+    pub n_minority: usize,
+    /// Total features; the first two are informative, the rest noise.
+    pub n_features: usize,
+    /// Distance between class centers along the group's label direction.
+    pub class_sep: f64,
+    /// Angle (radians) between the majority's and the minority's
+    /// label-direction in the informative plane. π = fully opposed labels.
+    pub drift_angle: f64,
+    /// Fraction of labels flipped at random (scikit-learn's `flip_y`).
+    pub flip_y: f64,
+    /// Within-cluster standard deviation (majority).
+    pub cluster_std: f64,
+    /// Offset of the minority's centre from the majority's, orthogonal to
+    /// the informative directions (Fig. 10: the orange group concentrates in
+    /// a sub-region of the blue group's support).
+    pub minority_offset: f64,
+    /// Minority cluster std as a fraction of `cluster_std` (the orange
+    /// clusters in Fig. 10 are visibly tighter).
+    pub minority_std_factor: f64,
+}
+
+impl Default for SynSpec {
+    fn default() -> Self {
+        Self {
+            n_majority: 8_000,
+            n_minority: 3_000,
+            n_features: 2,
+            class_sep: 1.4,
+            drift_angle: std::f64::consts::PI,
+            flip_y: 0.01,
+            cluster_std: 0.55,
+            minority_offset: 1.3,
+            minority_std_factor: 0.85,
+        }
+    }
+}
+
+impl SynSpec {
+    /// The five Syn datasets of §IV-B: same sizes, increasing-to-maximal
+    /// drift angles so the family spans "hard" to "impossible" for a single
+    /// model. `variant` ∈ 1..=5.
+    ///
+    /// # Panics
+    /// Panics for variants outside `1..=5`.
+    pub fn syn(variant: u8) -> SynSpec {
+        assert!((1..=5).contains(&variant), "Syn variants are 1..=5");
+        let angle_deg = match variant {
+            1 => 180.0, // labels fully opposed (Fig. 10's geometry)
+            2 => 150.0,
+            3 => 120.0,
+            4 => 100.0,
+            _ => 90.0,
+        };
+        SynSpec {
+            drift_angle: angle_deg * std::f64::consts::PI / 180.0,
+            ..SynSpec::default()
+        }
+    }
+
+    /// Generate the dataset. Deterministic per `seed`; the dataset is named
+    /// `Syn<k>` when produced via [`SynSpec::syn`]-style specs or `Syn`
+    /// otherwise.
+    pub fn generate(&self, name: &str, seed: u64) -> Dataset {
+        assert!(self.n_features >= 2, "need at least the 2 informative features");
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+
+        // Majority label direction: +e1. Minority: rotated by drift_angle in
+        // the (e1, e2) plane. The minority is additionally concentrated in a
+        // tighter, offset sub-region (perpendicular to its own label
+        // direction, so the offset carries no label signal for the group) —
+        // matching Fig. 10's geometry.
+        let w_dir = [1.0, 0.0];
+        let u_dir = [self.drift_angle.cos(), self.drift_angle.sin()];
+        let u_offset = [
+            -u_dir[1] * self.minority_offset,
+            u_dir[0] * self.minority_offset,
+        ];
+
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.n_majority + self.n_minority);
+        let mut labels: Vec<u8> = Vec::with_capacity(rows.capacity());
+        let mut groups: Vec<u8> = Vec::with_capacity(rows.capacity());
+
+        let emit = |rng: &mut StdRng,
+                        rows: &mut Vec<Vec<f64>>,
+                        labels: &mut Vec<u8>,
+                        groups: &mut Vec<u8>,
+                        group: u8,
+                        dir: [f64; 2],
+                        offset: [f64; 2],
+                        std: f64,
+                        count: usize| {
+            for k in 0..count {
+                let y = (k % 2) as u8; // 50/50 labels within each group
+                let sign = if y == 1 { 1.0 } else { -1.0 };
+                let mut x = normal_vec(rng, self.n_features);
+                for v in x.iter_mut() {
+                    *v *= std;
+                }
+                x[0] += sign * self.class_sep * 0.5 * dir[0] + offset[0];
+                x[1] += sign * self.class_sep * 0.5 * dir[1] + offset[1];
+                rows.push(x);
+                labels.push(y);
+                groups.push(group);
+            }
+        };
+        emit(
+            &mut rng, &mut rows, &mut labels, &mut groups,
+            0, w_dir, [0.0, 0.0], self.cluster_std, self.n_majority,
+        );
+        emit(
+            &mut rng, &mut rows, &mut labels, &mut groups,
+            1, u_dir, u_offset, self.cluster_std * self.minority_std_factor, self.n_minority,
+        );
+
+        // flip_y label noise.
+        let n = labels.len();
+        let flips = ((n as f64) * self.flip_y).round() as usize;
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        for &i in idx.iter().take(flips) {
+            labels[i] ^= 1;
+        }
+
+        // Shuffle tuple order so splits don't see generation order.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let rows: Vec<Vec<f64>> = order.iter().map(|&i| std::mem::take(&mut rows[i])).collect();
+        let labels: Vec<u8> = order.iter().map(|&i| labels[i]).collect();
+        let groups: Vec<u8> = order.iter().map(|&i| groups[i]).collect();
+
+        let col_names: Vec<String> = (0..self.n_features).map(|j| format!("X{}", j + 1)).collect();
+        let columns: Vec<Column> = (0..self.n_features)
+            .map(|j| Column::Numeric(rows.iter().map(|r| r[j]).collect()))
+            .collect();
+        Dataset::new(name, col_names, columns, labels, groups)
+            .expect("generated buffers are consistent")
+    }
+}
+
+/// Generate `Syn<variant>` at the paper's sizes (11,000 tuples).
+pub fn syn_drift(variant: u8, seed: u64) -> Dataset {
+    SynSpec::syn(variant).generate(&format!("Syn{variant}"), seed ^ u64::from(variant))
+}
+
+/// Generate `Syn<variant>` scaled to `scale·n` tuples (laptop runs).
+pub fn syn_drift_scaled(variant: u8, scale: f64, seed: u64) -> Dataset {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let base = SynSpec::syn(variant);
+    let spec = SynSpec {
+        n_majority: ((base.n_majority as f64) * scale).round().max(40.0) as usize,
+        n_minority: ((base.n_minority as f64) * scale).round().max(20.0) as usize,
+        ..base
+    };
+    spec.generate(&format!("Syn{variant}"), seed ^ u64::from(variant))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::{CellIndex, MAJORITY, MINORITY};
+
+    #[test]
+    fn paper_sizes() {
+        let d = syn_drift(1, 0);
+        assert_eq!(d.len(), 11_000);
+        assert_eq!(d.group_count(MAJORITY), 8_000);
+        assert_eq!(d.group_count(MINORITY), 3_000);
+    }
+
+    #[test]
+    fn labels_balanced_within_groups() {
+        let d = syn_drift(2, 1);
+        for g in [MAJORITY, MINORITY] {
+            let pos = d.cell_count(CellIndex { group: g, label: 1 });
+            let total = d.group_count(g);
+            let rate = pos as f64 / total as f64;
+            assert!((rate - 0.5).abs() < 0.03, "group {g} positive rate {rate}");
+        }
+    }
+
+    #[test]
+    fn syn1_label_directions_are_opposed() {
+        let d = syn_drift(1, 3);
+        // Mean X1 of majority positives is +sep/2; of minority positives −sep/2.
+        let wp = d.cell_indices(CellIndex { group: MAJORITY, label: 1 });
+        let up = d.cell_indices(CellIndex { group: MINORITY, label: 1 });
+        let w_mean = cf_linalg::vector::mean(d.numeric_matrix(Some(&wp)).col(0).as_slice());
+        let u_mean = cf_linalg::vector::mean(d.numeric_matrix(Some(&up)).col(0).as_slice());
+        assert!(w_mean > 0.4, "majority positives on +X1: {w_mean}");
+        assert!(u_mean < -0.4, "minority positives on −X1: {u_mean}");
+    }
+
+    #[test]
+    fn syn5_directions_are_orthogonal() {
+        let d = syn_drift(5, 4);
+        let up = d.cell_indices(CellIndex { group: MINORITY, label: 1 });
+        let m = d.numeric_matrix(Some(&up));
+        let mean_x1 = cf_linalg::vector::mean(m.col(0).as_slice());
+        let mean_x2 = cf_linalg::vector::mean(m.col(1).as_slice());
+        // u_dir = (0, 1): labels separate along X2; the group offset sits
+        // along −X1 (perpendicular to the label direction).
+        assert!(mean_x2 > 0.4, "minority positives along +X2: {mean_x2}");
+        assert!(mean_x1 < -0.4, "minority offset along -X1: {mean_x1}");
+    }
+
+    #[test]
+    fn groups_share_the_informative_axis() {
+        // For Syn1 the offset is orthogonal to X1, so both groups' X1
+        // marginals are centred: the drift is in the label-conditionals.
+        let d = syn_drift(1, 5);
+        let w = d.group_indices(MAJORITY);
+        let u = d.group_indices(MINORITY);
+        let wm = cf_linalg::vector::mean(d.numeric_matrix(Some(&w)).col(0).as_slice());
+        let um = cf_linalg::vector::mean(d.numeric_matrix(Some(&u)).col(0).as_slice());
+        assert!(wm.abs() < 0.1 && um.abs() < 0.1, "{wm} vs {um}");
+    }
+
+    #[test]
+    fn minority_is_concentrated_sub_region() {
+        let d = syn_drift(1, 6);
+        let w = d.group_indices(MAJORITY);
+        let u = d.group_indices(MINORITY);
+        let w_var = cf_linalg::vector::variance(d.numeric_matrix(Some(&w)).col(1).as_slice());
+        let u_var = cf_linalg::vector::variance(d.numeric_matrix(Some(&u)).col(1).as_slice());
+        assert!(u_var < w_var, "minority spread {u_var} < majority spread {w_var}");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(syn_drift(3, 9), syn_drift(3, 9));
+        assert_ne!(syn_drift(3, 9), syn_drift(3, 10));
+    }
+
+    #[test]
+    fn scaled_variant_shrinks() {
+        let d = syn_drift_scaled(1, 0.1, 0);
+        assert_eq!(d.len(), 1_100);
+    }
+
+    #[test]
+    fn extra_noise_features_supported() {
+        let spec = SynSpec {
+            n_features: 6,
+            n_majority: 100,
+            n_minority: 50,
+            ..SynSpec::default()
+        };
+        let d = spec.generate("Syn", 0);
+        assert_eq!(d.num_attributes(), 6);
+        assert_eq!(d.numeric_column_indices().len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_variant_panics() {
+        let _ = SynSpec::syn(6);
+    }
+}

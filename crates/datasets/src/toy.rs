@@ -1,0 +1,124 @@
+//! The paper's Fig. 1 running example: a 2-D dataset with two groups whose
+//! attribute distributions drift apart.
+//!
+//! Layout (matching the figure's geometry):
+//! * majority positive (blue circles)  — cluster near (0.5, 1.15); `X1` is
+//!   noise for the majority (wide spread), `X2` carries its label signal
+//! * majority negative (blue triangles) — cluster near (0.5, 0.55)
+//! * minority positive (orange circles) — tight cluster near (1.44, 0.50),
+//!   the analogue of the dense constraint rectangle quoted in Example 3
+//! * minority negative (orange triangles) — cluster near (1.20, 0.74)
+//!
+//! Both minority clusters sit *below* the majority decision line
+//! `X2 ≈ 0.85`, so a single model trained on everything predicts nearly all
+//! minorities negative — the unfair baseline of Example 1 (selection rate
+//! near zero for the orange group). The minority's label direction
+//! `U+ − U− ≈ (0.24, −0.24)` points 135° away from the majority's `(0, +1)`:
+//! serving U+ needs `w1 > w2`, which floods the majority's margins with its
+//! wide `X1` noise — so the pooled model refuses, until ConFair's reweighing
+//! re-balances the trade (and then most, not all, minority positives flip,
+//! exactly Example 4/5's account).
+
+use cf_data::{Column, Dataset};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::sample_normal;
+
+/// Tuple counts used by [`figure1`]: majority 400/400, minority 60/60.
+pub const FIG1_MAJORITY_PER_LABEL: usize = 400;
+/// Minority per-label count.
+pub const FIG1_MINORITY_PER_LABEL: usize = 60;
+
+/// Generate the Fig. 1 dataset. Deterministic per `seed`.
+pub fn figure1(seed: u64) -> Dataset {
+    figure1_sized(seed, FIG1_MAJORITY_PER_LABEL, FIG1_MINORITY_PER_LABEL)
+}
+
+/// [`figure1`] with custom per-(group,label) counts.
+pub fn figure1_sized(seed: u64, majority_per_label: usize, minority_per_label: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1_61);
+    let mut x1 = Vec::new();
+    let mut x2 = Vec::new();
+    let mut labels = Vec::new();
+    let mut groups = Vec::new();
+
+    // (group, label, center, spread, count)
+    let cells: [(u8, u8, [f64; 2], [f64; 2], usize); 4] = [
+        (0, 1, [0.5, 1.15], [0.28, 0.16], majority_per_label),
+        (0, 0, [0.5, 0.55], [0.28, 0.16], majority_per_label),
+        (1, 1, [1.44, 0.50], [0.045, 0.045], minority_per_label),
+        (1, 0, [1.20, 0.74], [0.10, 0.08], minority_per_label),
+    ];
+    for (g, y, center, spread, count) in cells {
+        for _ in 0..count {
+            x1.push(center[0] + spread[0] * sample_normal(&mut rng));
+            x2.push(center[1] + spread[1] * sample_normal(&mut rng));
+            labels.push(y);
+            groups.push(g);
+        }
+    }
+
+    Dataset::new(
+        "Fig1",
+        vec!["X1".into(), "X2".into()],
+        vec![Column::Numeric(x1), Column::Numeric(x2)],
+        labels,
+        groups,
+    )
+    .expect("generated buffers are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::{CellIndex, MINORITY};
+
+    #[test]
+    fn sizes_match_spec() {
+        let d = figure1(7);
+        assert_eq!(d.len(), 2 * (FIG1_MAJORITY_PER_LABEL + FIG1_MINORITY_PER_LABEL));
+        assert_eq!(
+            d.cell_count(CellIndex { group: MINORITY, label: 1 }),
+            FIG1_MINORITY_PER_LABEL
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(figure1(3), figure1(3));
+        assert_ne!(figure1(3), figure1(4));
+    }
+
+    #[test]
+    fn minority_positive_sits_in_example3_region() {
+        let d = figure1(11);
+        let idx = d.cell_indices(CellIndex { group: MINORITY, label: 1 });
+        let m = d.numeric_matrix(Some(&idx));
+        let mut inside = 0;
+        for row in m.iter_rows() {
+            if (1.29..=1.59).contains(&row[0]) && (0.35..=0.65).contains(&row[1]) {
+                inside += 1;
+            }
+        }
+        // The cluster is tight: nearly all points in (a slightly padded
+        // version of) the Example 3 constraint rectangle.
+        assert!(inside as f64 / idx.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn groups_drift_apart_in_x1() {
+        let d = figure1(5);
+        let w_idx = d.group_indices(0);
+        let u_idx = d.group_indices(1);
+        let w_mean = cf_linalg::vector::mean(d.numeric_matrix(Some(&w_idx)).col(0).as_slice());
+        let u_mean = cf_linalg::vector::mean(d.numeric_matrix(Some(&u_idx)).col(0).as_slice());
+        assert!(u_mean - w_mean > 0.5, "drift over groups in X1: {w_mean} vs {u_mean}");
+    }
+
+    #[test]
+    fn custom_sizes_respected() {
+        let d = figure1_sized(1, 10, 5);
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.group_count(MINORITY), 10);
+    }
+}

@@ -1,0 +1,24 @@
+//! # cf-density
+//!
+//! Kernel density estimation and the paper's Algorithm 3.
+//!
+//! §III-C of the paper strengthens conformance constraints by filtering each
+//! (group, label) partition down to its densest tuples before profiling:
+//! a tree-based non-parametric KDE scores every tuple, the partition is
+//! sorted by density, and the top-k survive. This crate provides
+//!
+//! * [`Kde`] — exact Gaussian-kernel density estimation with Scott's-rule
+//!   bandwidth on standardised attributes;
+//! * [`KdTree`] + [`TreeKde`] — a k-d tree with truncated-kernel range
+//!   pruning, the `O(m log n)`-flavoured path the paper cites for higher
+//!   dimensions;
+//! * [`density_filter`] — **Algorithm 3** itself, returning the retained
+//!   tuple indices per cell.
+
+pub mod filter;
+pub mod kde;
+pub mod kdtree;
+
+pub use filter::{density_filter, density_filter_dataset, FilterConfig};
+pub use kde::Kde;
+pub use kdtree::{KdTree, TreeKde};

@@ -1,0 +1,352 @@
+//! XGBoost-style gradient boosted trees for binary classification.
+//!
+//! Second-order boosting with the logistic loss: per round, gradients
+//! `g = w·(p − y)` and hessians `h = w·p(1−p)` feed an exact-greedy
+//! regression tree; instance weights scale both, which makes weighting
+//! equivalent to duplication — the property reweighing interventions need.
+
+use crate::{
+    tree::{RegressionTree, TreeParams},
+    validate_fit_inputs, Learner, LearnError, Result,
+};
+use cf_linalg::Matrix;
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+/// Hyperparameters for [`Gbt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbtConfig {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage `η` applied to every tree's contribution.
+    pub eta: f64,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// L2 regularisation `λ` on leaf weights.
+    pub lambda: f64,
+    /// Minimum split gain `γ`.
+    pub gamma: f64,
+    /// Minimum hessian sum per child.
+    pub min_child_weight: f64,
+    /// Row subsampling fraction per round (1.0 = use every row).
+    pub subsample: f64,
+    /// Seed for subsampling (ignored when `subsample == 1.0`).
+    pub seed: u64,
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 60,
+            eta: 0.3,
+            max_depth: 4,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            subsample: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Gradient-boosted-tree binary classifier.
+#[derive(Debug, Clone)]
+pub struct Gbt {
+    config: GbtConfig,
+    trees: Vec<RegressionTree>,
+    /// Initial log-odds (from the weighted base rate).
+    base_score: f64,
+    n_features: usize,
+    fitted: bool,
+}
+
+impl Default for Gbt {
+    fn default() -> Self {
+        Self::new(GbtConfig::default())
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Gbt {
+    /// Create an unfitted model with the given hyperparameters.
+    pub fn new(config: GbtConfig) -> Self {
+        assert!(
+            config.subsample > 0.0 && config.subsample <= 1.0,
+            "subsample must be in (0, 1]"
+        );
+        Self {
+            config,
+            trees: Vec::new(),
+            base_score: 0.0,
+            n_features: 0,
+            fitted: false,
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Raw margin (log-odds) for one row.
+    fn margin(&self, row: &[f64]) -> f64 {
+        self.base_score
+            + self
+                .trees
+                .iter()
+                .map(|t| self.config.eta * t.predict_row(row))
+                .sum::<f64>()
+    }
+}
+
+impl Learner for Gbt {
+    fn fit(&mut self, x: &Matrix, y: &[f64], weights: Option<&[f64]>) -> Result<()> {
+        let w = validate_fit_inputs(x, y, weights)?;
+        let n = x.rows();
+        self.n_features = x.cols();
+        self.trees.clear();
+
+        // Base score: weighted positive rate as log-odds, clamped away from
+        // the degenerate endpoints so single-class data stays finite.
+        let wsum: f64 = w.iter().sum();
+        let pos_rate = (y.iter().zip(&w).map(|(&yi, &wi)| yi * wi).sum::<f64>() / wsum)
+            .clamp(1e-6, 1.0 - 1e-6);
+        self.base_score = (pos_rate / (1.0 - pos_rate)).ln();
+
+        let tree_params = TreeParams {
+            max_depth: self.config.max_depth,
+            lambda: self.config.lambda,
+            gamma: self.config.gamma,
+            min_child_weight: self.config.min_child_weight,
+        };
+
+        let mut margins = vec![self.base_score; n];
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![0.0; n];
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut row_pool: Vec<usize> = (0..n).collect();
+
+        for _ in 0..self.config.n_rounds {
+            for i in 0..n {
+                let p = sigmoid(margins[i]);
+                grad[i] = w[i] * (p - y[i]);
+                hess[i] = (w[i] * p * (1.0 - p)).max(1e-16);
+            }
+
+            let tree = if self.config.subsample < 1.0 {
+                // Zero out the gradients of dropped rows instead of gathering
+                // a sub-matrix: the tree then ignores them (g = h·ε ≈ 0) and
+                // prediction indices stay aligned.
+                row_pool.shuffle(&mut rng);
+                let kept = ((n as f64) * self.config.subsample).ceil() as usize;
+                let mut g2 = vec![0.0; n];
+                let mut h2 = vec![1e-16; n];
+                for &i in &row_pool[..kept] {
+                    g2[i] = grad[i];
+                    h2[i] = hess[i];
+                }
+                RegressionTree::fit(x, &g2, &h2, &tree_params)
+            } else {
+                RegressionTree::fit(x, &grad, &hess, &tree_params)
+            };
+
+            // Early stop: a single-leaf tree with ~zero weight adds nothing.
+            let deltas = tree.predict(x);
+            let max_delta = deltas.iter().fold(0.0_f64, |m, &d| m.max(d.abs()));
+            if max_delta < 1e-12 {
+                break;
+            }
+            for (m, d) in margins.iter_mut().zip(&deltas) {
+                *m += self.config.eta * d;
+            }
+            self.trees.push(tree);
+        }
+
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(LearnError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(LearnError::ShapeMismatch(format!(
+                "{} features, model has {}",
+                x.cols(),
+                self.n_features
+            )));
+        }
+        Ok(x.iter_rows().map(|row| sigmoid(self.margin(row))).collect())
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// XOR-patterned data — not linearly separable, needs depth ≥ 2.
+    fn xor_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.gen_range(0.0..1.0);
+            let b = rng.gen_range(0.0..1.0);
+            rows.push(vec![a, b]);
+            y.push(f64::from(u8::from((a > 0.5) != (b > 0.5))));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data(400, 1);
+        let mut gbt = Gbt::default();
+        gbt.fit(&x, &y, None).unwrap();
+        let pred = gbt.predict(&x).unwrap();
+        let truth: Vec<u8> = y.iter().map(|&v| v as u8).collect();
+        assert!(accuracy(&truth, &pred) > 0.95, "accuracy {}", accuracy(&truth, &pred));
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (x, y) = xor_data(100, 2);
+        let mut gbt = Gbt::default();
+        gbt.fit(&x, &y, None).unwrap();
+        for p in gbt.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_with_fixed_seed() {
+        let (x, y) = xor_data(150, 3);
+        let cfg = GbtConfig {
+            subsample: 0.8,
+            seed: 42,
+            ..GbtConfig::default()
+        };
+        let mut a = Gbt::new(cfg);
+        let mut b = Gbt::new(cfg);
+        a.fit(&x, &y, None).unwrap();
+        b.fit(&x, &y, None).unwrap();
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn weights_equal_duplication() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![0.0, 0.0, 1.0, 1.0];
+        let w = vec![1.0, 2.0, 1.0, 1.0];
+        let cfg = GbtConfig {
+            n_rounds: 10,
+            ..GbtConfig::default()
+        };
+        let mut weighted = Gbt::new(cfg);
+        weighted.fit(&x, &y, Some(&w)).unwrap();
+
+        let x_dup = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y_dup = vec![0.0, 0.0, 0.0, 1.0, 1.0];
+        let mut duplicated = Gbt::new(cfg);
+        duplicated.fit(&x_dup, &y_dup, None).unwrap();
+
+        let probe = Matrix::from_rows(&[vec![0.5], vec![1.5], vec![2.5]]);
+        let pw = weighted.predict_proba(&probe).unwrap();
+        let pd = duplicated.predict_proba(&probe).unwrap();
+        for (a, b) in pw.iter().zip(&pd) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_class_data_is_finite_and_confident() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let y = vec![0.0, 0.0];
+        let mut gbt = Gbt::default();
+        gbt.fit(&x, &y, None).unwrap();
+        let p = gbt.predict_proba(&x).unwrap();
+        assert!(p.iter().all(|v| v.is_finite() && *v < 0.5));
+    }
+
+    #[test]
+    fn upweighting_flips_mixed_region() {
+        // Identical feature values with conflicting labels: the majority
+        // (by weight) label must win.
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let y = vec![0.0, 0.0, 1.0];
+        let mut plain = Gbt::default();
+        plain.fit(&x, &y, None).unwrap();
+        assert!(plain.predict_proba(&x).unwrap()[0] < 0.5);
+
+        let mut boosted = Gbt::default();
+        boosted.fit(&x, &y, Some(&[1.0, 1.0, 10.0])).unwrap();
+        assert!(boosted.predict_proba(&x).unwrap()[0] > 0.5);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let gbt = Gbt::default();
+        assert!(matches!(
+            gbt.predict_proba(&Matrix::zeros(1, 1)),
+            Err(LearnError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let (x, y) = xor_data(50, 4);
+        let mut gbt = Gbt::default();
+        gbt.fit(&x, &y, None).unwrap();
+        assert!(matches!(
+            gbt.predict_proba(&Matrix::zeros(1, 7)),
+            Err(LearnError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let (x, y) = xor_data(400, 5);
+        let mut gbt = Gbt::new(GbtConfig {
+            subsample: 0.7,
+            seed: 9,
+            ..GbtConfig::default()
+        });
+        gbt.fit(&x, &y, None).unwrap();
+        let truth: Vec<u8> = y.iter().map(|&v| v as u8).collect();
+        assert!(accuracy(&truth, &gbt.predict(&x).unwrap()) > 0.9);
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_training_fit() {
+        let (x, y) = xor_data(200, 6);
+        let truth: Vec<u8> = y.iter().map(|&v| v as u8).collect();
+        let mut short = Gbt::new(GbtConfig {
+            n_rounds: 5,
+            ..GbtConfig::default()
+        });
+        short.fit(&x, &y, None).unwrap();
+        let mut long = Gbt::new(GbtConfig {
+            n_rounds: 80,
+            ..GbtConfig::default()
+        });
+        long.fit(&x, &y, None).unwrap();
+        let acc_short = accuracy(&truth, &short.predict(&x).unwrap());
+        let acc_long = accuracy(&truth, &long.predict(&x).unwrap());
+        assert!(acc_long >= acc_short - 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! # cf-learners
+//!
+//! Weighted binary classifiers built from scratch — the learning substrate
+//! the paper evaluates its interventions on (§IV "Models").
+//!
+//! * [`LogisticRegression`] — the scikit-learn `LR` stand-in: weighted
+//!   log-loss, full-batch gradient descent with adaptive step size, L2.
+//! * [`Gbt`] — the XGBoost stand-in: second-order gradient boosting with
+//!   exact greedy regression trees, shrinkage, and leaf L2.
+//!
+//! Both accept per-instance weights in `fit` — the contract every reweighing
+//! intervention (ConFair, KAM, OMN) relies on. Weighting a tuple by `k` is
+//! equivalent to duplicating it `k` times (an invariant the tests pin down).
+//!
+//! [`LearnerKind`] is the factory the interventions use to retrain fresh
+//! models during calibration.
+
+pub mod gbt;
+pub mod logistic;
+pub mod tree;
+
+pub use gbt::{Gbt, GbtConfig};
+pub use logistic::{LogisticRegression, LogisticRegressionConfig};
+
+use cf_linalg::Matrix;
+
+/// Classification threshold shared by every learner.
+pub const DECISION_THRESHOLD: f64 = 0.5;
+
+/// Errors surfaced by learner training and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// Input buffers disagree in length.
+    ShapeMismatch(String),
+    /// Training data was empty.
+    EmptyTrainingSet,
+    /// `predict` called before `fit`.
+    NotFitted,
+    /// Weights were invalid (negative or all zero).
+    InvalidWeights(String),
+}
+
+impl std::fmt::Display for LearnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LearnError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            LearnError::EmptyTrainingSet => write!(f, "empty training set"),
+            LearnError::NotFitted => write!(f, "model has not been fitted"),
+            LearnError::InvalidWeights(msg) => write!(f, "invalid weights: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LearnError>;
+
+/// A binary classifier with native per-instance weight support.
+pub trait Learner: Send {
+    /// Train on features `x`, labels `y ∈ {0.0, 1.0}`, and optional
+    /// non-negative instance weights (defaulting to 1.0 each).
+    fn fit(&mut self, x: &Matrix, y: &[f64], weights: Option<&[f64]>) -> Result<()>;
+
+    /// Predicted probability of the positive class for each row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>>;
+
+    /// Hard predictions at the 0.5 threshold.
+    fn predict(&self, x: &Matrix) -> Result<Vec<u8>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| u8::from(p >= DECISION_THRESHOLD))
+            .collect())
+    }
+
+    /// Whether `fit` has succeeded at least once.
+    fn is_fitted(&self) -> bool;
+}
+
+/// Validate the (x, y, weights) triple shared by every learner's `fit`.
+pub(crate) fn validate_fit_inputs(
+    x: &Matrix,
+    y: &[f64],
+    weights: Option<&[f64]>,
+) -> Result<Vec<f64>> {
+    if x.rows() == 0 {
+        return Err(LearnError::EmptyTrainingSet);
+    }
+    if y.len() != x.rows() {
+        return Err(LearnError::ShapeMismatch(format!(
+            "{} labels for {} rows",
+            y.len(),
+            x.rows()
+        )));
+    }
+    let w = match weights {
+        Some(w) => {
+            if w.len() != x.rows() {
+                return Err(LearnError::ShapeMismatch(format!(
+                    "{} weights for {} rows",
+                    w.len(),
+                    x.rows()
+                )));
+            }
+            if w.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+                return Err(LearnError::InvalidWeights(
+                    "weights must be finite and non-negative".into(),
+                ));
+            }
+            if w.iter().sum::<f64>() <= 0.0 {
+                return Err(LearnError::InvalidWeights("total weight is zero".into()));
+            }
+            w.to_vec()
+        }
+        None => vec![1.0; x.rows()],
+    };
+    Ok(w)
+}
+
+/// The learner factory: which model family to instantiate, with the default
+/// hyperparameters used throughout the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LearnerKind {
+    /// Logistic regression ("LR" in the paper's figures).
+    Logistic,
+    /// Gradient boosted trees ("XGB" in the paper's figures).
+    Gbt,
+}
+
+impl LearnerKind {
+    /// Instantiate an unfitted learner with default hyperparameters.
+    pub fn build(self) -> Box<dyn Learner> {
+        match self {
+            LearnerKind::Logistic => Box::new(LogisticRegression::default()),
+            LearnerKind::Gbt => Box::new(Gbt::default()),
+        }
+    }
+
+    /// The label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            LearnerKind::Logistic => "LR",
+            LearnerKind::Gbt => "XGB",
+        }
+    }
+
+    /// Both learners, in the order the paper reports them.
+    pub fn both() -> [LearnerKind; 2] {
+        [LearnerKind::Logistic, LearnerKind::Gbt]
+    }
+}
+
+/// Plain accuracy of hard predictions (used by hyperparameter validation).
+pub fn accuracy(y_true: &[u8], y_pred: &[u8]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let hits = y_true.iter().zip(y_pred).filter(|(a, b)| a == b).count();
+    hits as f64 / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_factory_builds_unfitted_models() {
+        for kind in LearnerKind::both() {
+            let m = kind.build();
+            assert!(!m.is_fitted());
+        }
+        assert_eq!(LearnerKind::Logistic.name(), "LR");
+        assert_eq!(LearnerKind::Gbt.name(), "XGB");
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        assert!(matches!(
+            validate_fit_inputs(&Matrix::zeros(0, 1), &[], None),
+            Err(LearnError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            validate_fit_inputs(&x, &[0.0], None),
+            Err(LearnError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            validate_fit_inputs(&x, &[0.0, 1.0], Some(&[1.0])),
+            Err(LearnError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            validate_fit_inputs(&x, &[0.0, 1.0], Some(&[-1.0, 1.0])),
+            Err(LearnError::InvalidWeights(_))
+        ));
+        assert!(matches!(
+            validate_fit_inputs(&x, &[0.0, 1.0], Some(&[0.0, 0.0])),
+            Err(LearnError::InvalidWeights(_))
+        ));
+        assert_eq!(
+            validate_fit_inputs(&x, &[0.0, 1.0], None).unwrap(),
+            vec![1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 0, 1, 1], &[1, 0, 0, 1]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}

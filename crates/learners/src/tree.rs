@@ -1,0 +1,359 @@
+//! The regression tree used inside gradient boosting.
+//!
+//! Implements XGBoost's exact greedy algorithm: at every node, each feature's
+//! values are sorted and scanned once, accumulating gradient/hessian sums to
+//! score candidate splits with the second-order gain
+//!
+//! ```text
+//! gain = ½ [ G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) ] − γ
+//! ```
+//!
+//! Leaf weights are `−G/(H+λ)`; shrinkage is applied by the ensemble.
+
+use cf_linalg::Matrix;
+
+/// Split-search hyperparameters (a subset of [`crate::GbtConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (0 = a single leaf).
+    pub max_depth: usize,
+    /// L2 regularisation `λ` on leaf weights.
+    pub lambda: f64,
+    /// Minimum gain `γ` required to keep a split.
+    pub gamma: f64,
+    /// Minimum hessian sum per child (`min_child_weight`).
+    pub min_child_weight: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 4,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        /// Go left when `x[feature] < threshold`.
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree mapping feature rows to leaf weights.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<TreeNode>,
+    root: usize,
+}
+
+impl RegressionTree {
+    /// Fit to gradients/hessians on the given rows of `x`.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths disagree (callers validate upstream).
+    pub fn fit(x: &Matrix, grad: &[f64], hess: &[f64], params: &TreeParams) -> Self {
+        assert_eq!(x.rows(), grad.len());
+        assert_eq!(x.rows(), hess.len());
+        let mut nodes = Vec::new();
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let root = build(x, grad, hess, rows, params.max_depth, params, &mut nodes);
+        Self { nodes, root }
+    }
+
+    /// The raw leaf weight for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                TreeNode::Leaf { weight } => return *weight,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Leaf weights for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|row| self.predict_row(row)).collect()
+    }
+
+    /// Number of nodes (leaves + splits) — used to gauge model complexity.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[TreeNode], i: usize) -> usize {
+            match &nodes[i] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split { left, right, .. } => {
+                    1 + rec(nodes, *left).max(rec(nodes, *right))
+                }
+            }
+        }
+        rec(&self.nodes, self.root)
+    }
+}
+
+fn leaf_weight(g: f64, h: f64, lambda: f64) -> f64 {
+    -g / (h + lambda)
+}
+
+fn build(
+    x: &Matrix,
+    grad: &[f64],
+    hess: &[f64],
+    rows: Vec<usize>,
+    depth_left: usize,
+    params: &TreeParams,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    let g_total: f64 = rows.iter().map(|&i| grad[i]).sum();
+    let h_total: f64 = rows.iter().map(|&i| hess[i]).sum();
+
+    let make_leaf = |nodes: &mut Vec<TreeNode>| {
+        nodes.push(TreeNode::Leaf {
+            weight: leaf_weight(g_total, h_total, params.lambda),
+        });
+        nodes.len() - 1
+    };
+
+    if depth_left == 0 || rows.len() < 2 {
+        return make_leaf(nodes);
+    }
+
+    // Exact greedy: scan every feature's sorted values for the best split.
+    let parent_score = g_total * g_total / (h_total + params.lambda);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut sorted: Vec<(f64, f64, f64)> = Vec::with_capacity(rows.len());
+    for feature in 0..x.cols() {
+        sorted.clear();
+        sorted.extend(rows.iter().map(|&i| (x[(i, feature)], grad[i], hess[i])));
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature value"));
+
+        let mut g_left = 0.0;
+        let mut h_left = 0.0;
+        for k in 0..sorted.len() - 1 {
+            g_left += sorted[k].1;
+            h_left += sorted[k].2;
+            // Can't split between equal values.
+            if sorted[k].0 == sorted[k + 1].0 {
+                continue;
+            }
+            let h_right = h_total - h_left;
+            if h_left < params.min_child_weight || h_right < params.min_child_weight {
+                continue;
+            }
+            let g_right = g_total - g_left;
+            let gain = 0.5
+                * (g_left * g_left / (h_left + params.lambda)
+                    + g_right * g_right / (h_right + params.lambda)
+                    - parent_score)
+                - params.gamma;
+            if gain > best.map_or(0.0, |b| b.0) {
+                let threshold = 0.5 * (sorted[k].0 + sorted[k + 1].0);
+                best = Some((gain, feature, threshold));
+            }
+        }
+    }
+
+    let Some((_, feature, threshold)) = best else {
+        return make_leaf(nodes);
+    };
+
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.into_iter().partition(|&i| x[(i, feature)] < threshold);
+    debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+
+    let left = build(x, grad, hess, left_rows, depth_left - 1, params, nodes);
+    let right = build(x, grad, hess, right_rows, depth_left - 1, params, nodes);
+    nodes.push(TreeNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    });
+    nodes.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Squared-error boosting reduction: g = pred − y with pred = 0, h = 1.
+    fn regression_setup(xs: &[f64], ys: &[f64]) -> (Matrix, Vec<f64>, Vec<f64>) {
+        let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+        let grad: Vec<f64> = ys.iter().map(|&y| -y).collect();
+        let hess = vec![1.0; ys.len()];
+        (x, grad, hess)
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0];
+        let ys = [0.0, 0.0, 0.0, 0.0, 4.0, 4.0, 4.0, 4.0];
+        let (x, g, h) = regression_setup(&xs, &ys);
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeParams {
+                lambda: 0.0,
+                min_child_weight: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        // Predictions approximate the two plateaus.
+        for (i, &xv) in xs.iter().enumerate() {
+            let p = tree.predict_row(&[xv]);
+            assert!((p - ys[i]).abs() < 1e-9, "x={xv} p={p}");
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 0.0, 1.0, 1.0];
+        let (x, g, h) = regression_setup(&xs, &ys);
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeParams {
+                max_depth: 0,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.depth(), 0);
+        // Single leaf = mean of y (with λ=0, h=1 each): −(−2)/4 = 0.5.
+        assert!((tree.predict_row(&[0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_prunes_weak_splits() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 0.1, 0.0, 0.1]; // nearly constant target
+        let (x, g, h) = regression_setup(&xs, &ys);
+        let no_gamma = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeParams {
+                gamma: 0.0,
+                lambda: 0.0,
+                min_child_weight: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        let with_gamma = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeParams {
+                gamma: 10.0,
+                lambda: 0.0,
+                min_child_weight: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        assert!(with_gamma.node_count() <= no_gamma.node_count());
+        assert_eq!(with_gamma.node_count(), 1, "large gamma forces a stump");
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_children() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 0.0, 0.0, 5.0];
+        let (x, g, h) = regression_setup(&xs, &ys);
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeParams {
+                min_child_weight: 2.0, // each child needs ≥ 2 rows (h = 1 each)
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        // The only useful split (isolating x=3) would leave a child with
+        // hessian 1 < 2, so it must be rejected: best remaining split is 2/2.
+        let p0 = tree.predict_row(&[0.5]);
+        let p3 = tree.predict_row(&[3.0]);
+        assert!((p0 - 0.0).abs() < 1e-9);
+        assert!((p3 - 2.5).abs() < 1e-9, "x≥2 leaf averages 0 and 5");
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let g = vec![-1.0, 0.0, 1.0];
+        let h = vec![1.0; 3];
+        let tree = RegressionTree::fit(&x, &g, &h, &TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..64).map(|i| (i % 2) as f64).collect();
+        let (x, g, h) = regression_setup(&xs, &ys);
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeParams {
+                max_depth: 3,
+                lambda: 0.0,
+                min_child_weight: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn multi_feature_split_picks_informative_feature() {
+        // Feature 0 is noise; feature 1 perfectly separates.
+        let x = Matrix::from_rows(&[
+            vec![0.3, 0.0],
+            vec![0.9, 0.0],
+            vec![0.1, 1.0],
+            vec![0.7, 1.0],
+        ]);
+        let g = vec![0.0, 0.0, -1.0, -1.0];
+        let h = vec![1.0; 4];
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            &TreeParams {
+                max_depth: 1,
+                lambda: 0.0,
+                min_child_weight: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        // Predict by feature 1 regardless of feature 0.
+        assert!(tree.predict_row(&[0.5, 0.0]) < tree.predict_row(&[0.5, 1.0]));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the learner substrate.
+
+use cf_learners::{Gbt, GbtConfig, Learner, LogisticRegression};
+use cf_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a small binary-classification problem with at least one tuple
+/// of each class.
+fn problem() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (4usize..40, 1usize..4).prop_flat_map(|(n, d)| {
+        (
+            proptest::collection::vec(-10.0..10.0f64, n * d),
+            proptest::collection::vec(0u8..2, n),
+        )
+            .prop_map(move |(data, mut labels)| {
+                // Force both classes to be present.
+                labels[0] = 0;
+                labels[n - 1] = 1;
+                (
+                    Matrix::from_vec(n, d, data),
+                    labels.into_iter().map(f64::from).collect(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lr_probabilities_in_unit_interval((x, y) in problem()) {
+        let mut m = LogisticRegression::default();
+        m.fit(&x, &y, None).unwrap();
+        for p in m.predict_proba(&x).unwrap() {
+            prop_assert!((0.0..=1.0).contains(&p) && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn gbt_probabilities_in_unit_interval((x, y) in problem()) {
+        let mut m = Gbt::new(GbtConfig { n_rounds: 8, ..GbtConfig::default() });
+        m.fit(&x, &y, None).unwrap();
+        for p in m.predict_proba(&x).unwrap() {
+            prop_assert!((0.0..=1.0).contains(&p) && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn lr_deterministic((x, y) in problem()) {
+        let mut a = LogisticRegression::default();
+        let mut b = LogisticRegression::default();
+        a.fit(&x, &y, None).unwrap();
+        b.fit(&x, &y, None).unwrap();
+        prop_assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted((x, y) in problem(), scale in 0.5..4.0f64) {
+        // Scaling every weight by the same constant must not change the fit
+        // (the loss is weight-normalised).
+        let w = vec![scale; x.rows()];
+        let mut plain = LogisticRegression::default();
+        plain.fit(&x, &y, None).unwrap();
+        let mut scaled = LogisticRegression::default();
+        scaled.fit(&x, &y, Some(&w)).unwrap();
+        for (a, b) in plain
+            .predict_proba(&x)
+            .unwrap()
+            .iter()
+            .zip(scaled.predict_proba(&x).unwrap())
+        {
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn zero_weight_tuples_are_ignored((x, y) in problem()) {
+        prop_assume!(x.rows() >= 6);
+        // Fit on all rows with the last two zero-weighted ⇔ fit on the prefix,
+        // provided both classes survive in the prefix.
+        let keep = x.rows() - 2;
+        let prefix_labels = &y[..keep];
+        prop_assume!(prefix_labels.iter().any(|&v| v > 0.5));
+        prop_assume!(prefix_labels.iter().any(|&v| v < 0.5));
+        let mut w = vec![1.0; x.rows()];
+        w[keep] = 0.0;
+        w[keep + 1] = 0.0;
+        let mut masked = LogisticRegression::default();
+        masked.fit(&x, &y, Some(&w)).unwrap();
+
+        let rows: Vec<usize> = (0..keep).collect();
+        let x_prefix = x.select_rows(&rows);
+        let mut prefix = LogisticRegression::default();
+        prefix.fit(&x_prefix, prefix_labels, None).unwrap();
+
+        for (a, b) in masked
+            .coefficients()
+            .iter()
+            .zip(prefix.coefficients())
+        {
+            prop_assert!((a - b).abs() < 1e-5, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn gbt_training_fit_is_reasonable((x, y) in problem()) {
+        // GBT with enough rounds should fit most of its own training data
+        // whenever the features are all-distinct (no conflicting labels).
+        let mut m = Gbt::new(GbtConfig { n_rounds: 40, lambda: 0.1, min_child_weight: 0.0, ..GbtConfig::default() });
+        m.fit(&x, &y, None).unwrap();
+        let preds = m.predict(&x).unwrap();
+        let truth: Vec<u8> = y.iter().map(|&v| v as u8).collect();
+        // Only assert when all rows are distinct (otherwise Bayes error > 0).
+        let mut rows: Vec<&[f64]> = x.iter_rows().collect();
+        rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let distinct = rows.windows(2).all(|w| w[0] != w[1]);
+        if distinct {
+            let acc = cf_learners::accuracy(&truth, &preds);
+            prop_assert!(acc > 0.8, "training accuracy {}", acc);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Cholesky factorisation and SPD linear solves.
+//!
+//! Used by the dataset simulators to sample correlated Gaussian features
+//! (`x = μ + L·z` with `LLᵀ = Σ`), and available for SPD solves.
+
+use crate::{matrix::Matrix, LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// The lower-triangular factor (entries above the diagonal are zero).
+    pub l: Matrix,
+}
+
+impl Cholesky {
+    /// Solve `A x = b` using the stored factor (forward + back substitution).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("rhs of length {n}"),
+                got: format!("{}", b.len()),
+            });
+        }
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Compute `L v` — maps iid standard normals to correlated samples.
+    pub fn l_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        self.l.matvec(v)
+    }
+}
+
+/// Factor a symmetric positive-definite matrix.
+///
+/// A tiny diagonal jitter (`1e-10 * max|A|`) is tolerated to absorb rounding
+/// in covariance matrices that are PSD but numerically semi-definite.
+pub fn cholesky(a: &Matrix) -> Result<Cholesky> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let jitter = 1e-10 * a.max_abs().max(1.0);
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                let d = s + jitter;
+                if d <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[(i, i)] = d.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Ok(Cholesky { l })
+}
+
+/// One-shot SPD solve `A x = b`.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    cholesky(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = cholesky(&a).unwrap();
+        let r = ch.l.matmul(&ch.l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let ch = cholesky(&spd3()).unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(ch.l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let i = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = solve_spd(&i, &b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-8, "{xi} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            cholesky(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare)
+        ));
+        assert!(matches!(
+            cholesky(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+        let ch = cholesky(&spd3()).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn l_matvec_produces_target_covariance_direction() {
+        // L e1 should equal the first column of L.
+        let ch = cholesky(&spd3()).unwrap();
+        let v = ch.l_matvec(&[1.0, 0.0, 0.0]).unwrap();
+        assert!((v[0] - ch.l[(0, 0)]).abs() < 1e-12);
+        assert!((v[1] - ch.l[(1, 0)]).abs() < 1e-12);
+        assert!((v[2] - ch.l[(2, 0)]).abs() < 1e-12);
+    }
+}

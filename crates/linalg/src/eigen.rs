@@ -1,0 +1,227 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+//!
+//! Conformance-constraint discovery needs all eigenpairs of the (small)
+//! attribute covariance matrix: each eigenvector becomes a candidate
+//! projection and its eigenvalue is the projection variance. Jacobi is exact,
+//! unconditionally stable for symmetric input, and trivially deterministic —
+//! the right choice for m ≤ ~40 attributes (cost O(m³) per sweep, a handful
+//! of sweeps to converge).
+
+use crate::{matrix::Matrix, LinalgError, Result};
+
+/// Eigendecomposition of a symmetric matrix: `a ≈ V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns; column `j` pairs with `values[j]`.
+    pub vectors: Matrix,
+}
+
+impl Eigen {
+    /// Eigenvector paired with `values[j]`, copied out as a `Vec`.
+    pub fn vector(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(j)
+    }
+}
+
+/// Decompose a symmetric matrix with the cyclic Jacobi method.
+///
+/// `a` must be square and symmetric (checked up to `1e-8`). Eigenvalues are
+/// returned in descending order with matching eigenvector columns.
+pub fn eigen_symmetric(a: &Matrix) -> Result<Eigen> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if !a.is_symmetric(1e-8 * (1.0 + a.max_abs())) {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "symmetric matrix".to_string(),
+            got: "asymmetric entries".to_string(),
+        });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    // Convergence threshold scaled to the matrix magnitude so near-zero
+    // covariance blocks (constant attributes) terminate immediately.
+    let scale = m.max_abs().max(1e-300);
+    let tol = 1e-14 * scale;
+    const MAX_SWEEPS: usize = 64;
+
+    for _ in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&m);
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic stable rotation computation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation J(p, q, θ) on both sides of m …
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // … and accumulate it into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|j| (m[(j, j)], j)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN eigenvalue"));
+
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_j, &(_, old_j)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    Ok(Eigen { values, vectors })
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += 2.0 * m[(i, j)] * m[(i, j)];
+        }
+    }
+    s.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &Eigen) -> Matrix {
+        let n = e.values.len();
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        e.vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        let v0 = e.vector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10, "first eigenvector is (1,1)/sqrt2 up to sign");
+    }
+
+    #[test]
+    fn reconstruction_error_small() {
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 0.2, 0.1, 0.5, 0.2, 2.0, 0.3, 0.0, 0.1, 0.3, 1.0,
+            ],
+        );
+        let e = eigen_symmetric(&a).unwrap();
+        let r = reconstruct(&e);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0],
+        );
+        let e = eigen_symmetric(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_ok() {
+        let e = eigen_symmetric(&Matrix::zeros(3, 3)).unwrap();
+        assert!(e.values.iter().all(|v| v.abs() < 1e-14));
+    }
+
+    #[test]
+    fn rejects_non_square_and_asymmetric() {
+        assert!(matches!(
+            eigen_symmetric(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare)
+        ));
+        let ns = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(eigen_symmetric(&ns).is_err());
+        assert!(matches!(
+            eigen_symmetric(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn psd_covariance_has_nonnegative_eigenvalues() {
+        // Covariance of correlated columns is PSD: eigenvalues >= 0.
+        let x = Matrix::from_vec(4, 2, vec![1.0, 2.0, 2.0, 4.1, 3.0, 5.9, 4.0, 8.0]);
+        let c = crate::stats::covariance(&x).unwrap();
+        let e = eigen_symmetric(&c).unwrap();
+        assert!(e.values.iter().all(|&v| v > -1e-10));
+    }
+}

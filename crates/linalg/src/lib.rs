@@ -1,0 +1,68 @@
+//! # cf-linalg
+//!
+//! Dense linear-algebra substrate for the ConFair reproduction.
+//!
+//! The paper's profiling primitive (conformance constraints) derives linear
+//! projections from the eigenstructure of the attribute covariance matrix,
+//! the learners need matrix/vector kernels, and the dataset simulators need
+//! Cholesky factors to sample correlated Gaussians. Everything here is
+//! implemented from scratch on plain `f64` buffers: the attribute counts in
+//! the paper's workloads are small (m ≤ ~40), so exact dense algorithms
+//! (Jacobi eigendecomposition, unblocked Cholesky) are the right tool —
+//! dependable, deterministic, and easily audited.
+//!
+//! Modules:
+//! * [`matrix`] — row-major dense [`Matrix`] with the kernels used downstream.
+//! * [`vector`] — slice-level helpers (dot, axpy, norms, argmax).
+//! * [`stats`] — column means, (weighted) covariance, standardisation.
+//! * [`eigen`] — cyclic Jacobi eigendecomposition for symmetric matrices.
+//! * [`cholesky`] — LLᵀ factorisation and SPD solves.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod matrix;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::{cholesky, solve_spd, Cholesky};
+pub use eigen::{eigen_symmetric, Eigen};
+pub use matrix::Matrix;
+pub use stats::{column_means, covariance, standardize, weighted_column_means, weighted_covariance, Standardizer};
+
+/// Error type for linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the expected shape relation.
+        expected: String,
+        /// What was actually supplied.
+        got: String,
+    },
+    /// The matrix is not (numerically) symmetric positive definite.
+    NotPositiveDefinite,
+    /// The input matrix must be square.
+    NotSquare,
+    /// The operation requires a non-empty input.
+    Empty,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive definite")
+            }
+            LinalgError::NotSquare => write!(f, "matrix must be square"),
+            LinalgError::Empty => write!(f, "operation requires non-empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenient result alias for fallible linalg operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,428 @@
+//! Row-major dense matrix and the kernels the rest of the workspace uses.
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Rows are tuples, columns are attributes — the orientation every consumer
+/// in this workspace expects (feature matrices, covariance inputs, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Create a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { data, rows, cols }
+    }
+
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Create the `n`-dimensional identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            data,
+            rows: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Gather the given row indices into a new matrix.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(indices.len(), self.cols, data)
+    }
+
+    /// Gather the given column indices into a new matrix.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.rows);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for &j in indices {
+                data.push(r[j]);
+            }
+        }
+        Matrix::from_vec(self.rows, indices.len(), data)
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("lhs.cols == rhs.rows ({})", self.cols),
+                got: format!("{}", other.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // rows of `other` and `out`, which matters for the covariance-sized
+        // products used in profiling.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("vector of length {}", self.cols),
+                got: format!("{}", v.len()),
+            });
+        }
+        Ok(self
+            .iter_rows()
+            .map(|row| crate::vector::dot(row, v))
+            .collect())
+    }
+
+    /// `selfᵀ * v` without materialising the transpose.
+    pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("vector of length {}", self.rows),
+                got: format!("{}", v.len()),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (row, &vi) in self.iter_rows().zip(v) {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += vi * x;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Elementwise in-place scale.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Append the rows of `other` below `self`.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols && self.rows != 0 && other.rows != 0 {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("{} columns", self.cols),
+                got: format!("{}", other.cols),
+            });
+        }
+        let cols = if self.rows == 0 { other.cols } else { self.cols };
+        let mut data = Vec::with_capacity((self.rows + other.rows) * cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix::from_vec(self.rows + other.rows, cols, data))
+    }
+
+    /// Maximum absolute entry (`∞`-norm over elements); 0 for empty.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Whether the matrix is numerically symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2x3() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn from_vec_shape_and_index() {
+        let m = m2x3();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = m2x3();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = m2x3();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let t = m2x3().transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 0)], 3.0);
+        assert_eq!(t[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m2x3();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m2x3();
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = m2x3();
+        let b = Matrix::zeros(2, 2);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = m2x3();
+        let v = vec![1.0, 0.0, -1.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn t_matvec_matches_transpose_matvec() {
+        let a = m2x3();
+        let v = vec![2.0, -1.0];
+        let direct = a.t_matvec(&v).unwrap();
+        let via_transpose = a.transpose().matvec(&v).unwrap();
+        assert_eq!(direct, via_transpose);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let a = m2x3();
+        let sel = a.select_rows(&[1, 1, 0]);
+        assert_eq!(sel.rows(), 3);
+        assert_eq!(sel.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(sel.row(2), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn select_cols_gathers() {
+        let a = m2x3();
+        let sel = a.select_cols(&[2, 0]);
+        assert_eq!(sel.cols(), 2);
+        assert_eq!(sel.row(0), &[3.0, 1.0]);
+        assert_eq!(sel.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = m2x3();
+        let b = Matrix::from_vec(1, 3, vec![7.0, 8.0, 9.0]);
+        let s = a.vstack(&b).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(2), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let s = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 3.0]);
+        assert!(s.is_symmetric(1e-12));
+        let ns = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.5, 3.0]);
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!m2x3().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, -4.0]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut m = m2x3();
+        m.scale(2.0);
+        assert_eq!(m[(1, 2)], 12.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Column statistics: means, (weighted) covariance, standardisation.
+//!
+//! Conformance-constraint discovery standardises the numeric attributes and
+//! eigendecomposes their covariance; these are the exact kernels it uses.
+
+use crate::{matrix::Matrix, LinalgError, Result};
+
+/// Per-column means of a data matrix (rows = tuples).
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let n = x.rows();
+    let mut means = vec![0.0; x.cols()];
+    if n == 0 {
+        return means;
+    }
+    for row in x.iter_rows() {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    means
+}
+
+/// Weighted per-column means; weights are renormalised internally.
+pub fn weighted_column_means(x: &Matrix, w: &[f64]) -> Result<Vec<f64>> {
+    if w.len() != x.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("{} weights", x.rows()),
+            got: format!("{}", w.len()),
+        });
+    }
+    let tot: f64 = w.iter().sum();
+    let mut means = vec![0.0; x.cols()];
+    if tot <= 0.0 {
+        return Ok(means);
+    }
+    for (row, &wi) in x.iter_rows().zip(w) {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += wi * v;
+        }
+    }
+    for m in &mut means {
+        *m /= tot;
+    }
+    Ok(means)
+}
+
+/// Population covariance matrix (divides by n) of the columns of `x`.
+pub fn covariance(x: &Matrix) -> Result<Matrix> {
+    let n = x.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let means = column_means(x);
+    let d = x.cols();
+    let mut cov = Matrix::zeros(d, d);
+    for row in x.iter_rows() {
+        for i in 0..d {
+            let di = row[i] - means[i];
+            if di == 0.0 {
+                continue;
+            }
+            let crow = cov.row_mut(i);
+            for j in i..d {
+                crow[j] += di * (row[j] - means[j]);
+            }
+        }
+    }
+    let nf = n as f64;
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] / nf;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+/// Weighted population covariance (weights renormalised to sum 1).
+pub fn weighted_covariance(x: &Matrix, w: &[f64]) -> Result<Matrix> {
+    if w.len() != x.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("{} weights", x.rows()),
+            got: format!("{}", w.len()),
+        });
+    }
+    let tot: f64 = w.iter().sum();
+    if tot <= 0.0 {
+        return Err(LinalgError::Empty);
+    }
+    let means = weighted_column_means(x, w)?;
+    let d = x.cols();
+    let mut cov = Matrix::zeros(d, d);
+    for (row, &wi) in x.iter_rows().zip(w) {
+        if wi == 0.0 {
+            continue;
+        }
+        for i in 0..d {
+            let di = wi * (row[i] - means[i]);
+            if di == 0.0 {
+                continue;
+            }
+            let crow = cov.row_mut(i);
+            for j in i..d {
+                crow[j] += di * (row[j] - means[j]);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] / tot;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+/// Fitted standardisation parameters (per-column mean and std).
+///
+/// Constant columns get `std = 1` so transforming them is a no-op shift —
+/// the behaviour downstream profiling expects (a constant attribute carries
+/// no drift signal but must not produce NaNs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    /// Per-column means subtracted by [`Standardizer::transform`].
+    pub means: Vec<f64>,
+    /// Per-column standard deviations divided by [`Standardizer::transform`].
+    pub stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit means/stds on `x`.
+    pub fn fit(x: &Matrix) -> Self {
+        let means = column_means(x);
+        let n = x.rows().max(1) as f64;
+        let mut vars = vec![0.0; x.cols()];
+        for row in x.iter_rows() {
+            for ((v, &m), &xv) in vars.iter_mut().zip(&means).zip(row) {
+                let d = xv - m;
+                *v += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Apply `(x - mean) / std` columnwise, returning a new matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "column count mismatch");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Apply to a single point in place.
+    pub fn transform_point(&self, p: &mut [f64]) {
+        debug_assert_eq!(p.len(), self.means.len());
+        for ((v, &m), &s) in p.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+}
+
+/// Fit-and-transform convenience.
+pub fn standardize(x: &Matrix) -> (Matrix, Standardizer) {
+    let s = Standardizer::fit(x);
+    (s.transform(x), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        // columns: [1,2,3,4], [2,4,6,8]
+        Matrix::from_vec(4, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0, 4.0, 8.0])
+    }
+
+    #[test]
+    fn means_match_manual() {
+        assert_eq!(column_means(&sample()), vec![2.5, 5.0]);
+        assert_eq!(column_means(&Matrix::zeros(0, 2)), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let c = covariance(&sample()).unwrap();
+        // var(col0) = 1.25 (population), col1 = 2*col0 so cov = 2.5, var = 5.
+        assert!((c[(0, 0)] - 1.25).abs() < 1e-12);
+        assert!((c[(0, 1)] - 2.5).abs() < 1e-12);
+        assert!((c[(1, 0)] - 2.5).abs() < 1e-12);
+        assert!((c[(1, 1)] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_rejects_empty() {
+        assert!(matches!(
+            covariance(&Matrix::zeros(0, 2)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn weighted_mean_reduces_to_unweighted() {
+        let x = sample();
+        let w = vec![1.0; 4];
+        assert_eq!(weighted_column_means(&x, &w).unwrap(), column_means(&x));
+    }
+
+    #[test]
+    fn weighted_covariance_reduces_to_unweighted() {
+        let x = sample();
+        let w = vec![0.25; 4];
+        let wc = weighted_covariance(&x, &w).unwrap();
+        let c = covariance(&x).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((wc[(i, j)] - c[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_covariance_ignores_zero_weight_rows() {
+        let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 100.0]);
+        let w = vec![1.0, 1.0, 0.0];
+        let wc = weighted_covariance(&x, &w).unwrap();
+        assert!((wc[(0, 0)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let (z, s) = standardize(&sample());
+        let zm = column_means(&z);
+        assert!(zm.iter().all(|m| m.abs() < 1e-12));
+        let zc = covariance(&z).unwrap();
+        assert!((zc[(0, 0)] - 1.0).abs() < 1e-9);
+        assert!((zc[(1, 1)] - 1.0).abs() < 1e-9);
+        // Round-trip a point.
+        let mut p = vec![2.5, 5.0];
+        s.transform_point(&mut p);
+        assert!(p.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn standardizer_constant_column_is_safe() {
+        let x = Matrix::from_vec(3, 1, vec![7.0, 7.0, 7.0]);
+        let (z, s) = standardize(&x);
+        assert_eq!(s.stds, vec![1.0]);
+        assert!(z.as_slice().iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let x = sample();
+        assert!(weighted_column_means(&x, &[1.0]).is_err());
+        assert!(weighted_covariance(&x, &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Slice-level vector helpers shared across the workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if lengths differ; in release the shorter length
+/// wins (the zip truncates), so callers must pass equal lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` in place.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist2_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Normalise `a` to unit Euclidean length in place; leaves zero vectors as-is.
+pub fn normalize(a: &mut [f64]) {
+    let n = norm2(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties). `None` when empty.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in a.iter().enumerate().skip(1) {
+        if x > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the minimum element (first on ties). `None` when empty.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in a.iter().enumerate().skip(1) {
+        if x < a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance (divides by n); 0 for fewer than 2 elements.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Weighted mean; 0 when total weight is 0.
+pub fn weighted_mean(a: &[f64], w: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), w.len());
+    let tot: f64 = w.iter().sum();
+    if tot <= 0.0 {
+        return 0.0;
+    }
+    a.iter().zip(w).map(|(x, wi)| x * wi).sum::<f64>() / tot
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on sorted copies.
+pub fn quantile(a: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    assert!(!a.is_empty(), "quantile of empty slice");
+    let mut v: Vec<f64> = a.to_vec();
+    v.sort_by(|x, y| x.partial_cmp(y).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dist2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_argmin_ties_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[1.0, -3.0, -3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&a) - 5.0).abs() < 1e-12);
+        assert!((variance(&a) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&a) - 2.0).abs() < 1e-12);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_matches_manual() {
+        let a = [1.0, 2.0, 10.0];
+        let w = [1.0, 1.0, 0.0];
+        assert!((weighted_mean(&a, &w) - 1.5).abs() < 1e-12);
+        assert_eq!(weighted_mean(&a, &[0.0; 3]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&a, 0.0), 1.0);
+        assert_eq!(quantile(&a, 1.0), 4.0);
+        assert!((quantile(&a, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use cf_linalg::{cholesky, covariance, eigen_symmetric, standardize, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with bounded entries (avoids overflow-scale values
+/// where float error dominates the assertions).
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0..100.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a random symmetric PSD matrix built as BᵀB.
+fn psd_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (2..=max_dim).prop_flat_map(|d| {
+        proptest::collection::vec(-10.0..10.0f64, d * d).prop_map(move |data| {
+            let b = Matrix::from_vec(d, d, data);
+            let mut a = b.transpose().matmul(&b).unwrap();
+            // Add d·I so the matrix is safely positive definite.
+            for i in 0..d {
+                a[(i, i)] += d as f64;
+            }
+            a
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(m in small_matrix(6)) {
+        let il = Matrix::identity(m.rows());
+        let ir = Matrix::identity(m.cols());
+        let left = il.matmul(&m).unwrap();
+        let right = m.matmul(&ir).unwrap();
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul(m in small_matrix(5), seed in 0u64..1000) {
+        // Deterministic pseudo-vector from the seed.
+        let v: Vec<f64> = (0..m.cols()).map(|i| ((seed as f64) + i as f64).sin()).collect();
+        let as_vec = m.matvec(&v).unwrap();
+        let as_mat = m
+            .matmul(&Matrix::from_vec(v.len(), 1, v.clone()))
+            .unwrap();
+        for (a, b) in as_vec.iter().zip(as_mat.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal(m in small_matrix(5)) {
+        prop_assume!(m.rows() >= 2);
+        let c = covariance(&m).unwrap();
+        prop_assert!(c.is_symmetric(1e-9 * (1.0 + c.max_abs())));
+        // Variances on the diagonal are non-negative.
+        for i in 0..c.rows() {
+            prop_assert!(c[(i, i)] >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_psd(a in psd_matrix(6)) {
+        let e = eigen_symmetric(&a).unwrap();
+        let n = e.values.len();
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let r = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        let scale = 1.0 + a.max_abs();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(
+                    (r[(i, j)] - a[(i, j)]).abs() < 1e-7 * scale,
+                    "entry ({}, {}) differs: {} vs {}", i, j, r[(i, j)], a[(i, j)]
+                );
+            }
+        }
+        // Eigenvalues sorted descending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        // PSD input => non-negative eigenvalues.
+        prop_assert!(e.values.iter().all(|&v| v > -1e-7 * scale));
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in psd_matrix(6)) {
+        let ch = cholesky(&a).unwrap();
+        let r = ch.l.matmul(&ch.l.transpose()).unwrap();
+        let scale = 1.0 + a.max_abs();
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-7 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn spd_solve_then_multiply_roundtrips(a in psd_matrix(5), seed in 0u64..1000) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| ((seed + i as u64) as f64).cos() * 10.0).collect();
+        let x = cf_linalg::solve_spd(&a, &b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (bi, ri) in b.iter().zip(&back) {
+            prop_assert!((bi - ri).abs() < 1e-6 * (1.0 + a.max_abs()));
+        }
+    }
+
+    #[test]
+    fn standardize_centers_columns(m in small_matrix(5)) {
+        prop_assume!(m.rows() >= 2);
+        let (z, _) = standardize(&m);
+        for j in 0..z.cols() {
+            let col = z.col(j);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+}

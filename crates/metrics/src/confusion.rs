@@ -1,0 +1,364 @@
+//! Confusion counts and the rate/fairness metrics derived from them.
+
+/// Binary confusion counts for one population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tally counts from aligned truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree.
+    pub fn from_pairs(y_true: &[u8], y_pred: &[u8]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t, p) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fn_ += 1,
+                _ => panic!("labels must be binary, got ({t}, {p})"),
+            }
+        }
+        c
+    }
+
+    /// Merge counts from another population.
+    pub fn merge(&self, other: &Confusion) -> Confusion {
+        Confusion {
+            tp: self.tp + other.tp,
+            fp: self.fp + other.fp,
+            tn: self.tn + other.tn,
+            fn_: self.fn_ + other.fn_,
+        }
+    }
+
+    /// Population size.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Number of positive ground-truth tuples.
+    pub fn positives(&self) -> u64 {
+        self.tp + self.fn_
+    }
+
+    /// Number of negative ground-truth tuples.
+    pub fn negatives(&self) -> u64 {
+        self.fp + self.tn
+    }
+
+    /// Selection rate `|{ŷ = 1}| / n`; 0 for an empty population.
+    pub fn selection_rate(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            0.0
+        } else {
+            (self.tp + self.fp) as f64 / n as f64
+        }
+    }
+
+    /// True positive rate (sensitivity); 1 when there are no positives
+    /// (nothing to miss — keeps BalAcc meaningful on degenerate slices).
+    pub fn tpr(&self) -> f64 {
+        let p = self.positives();
+        if p == 0 {
+            1.0
+        } else {
+            self.tp as f64 / p as f64
+        }
+    }
+
+    /// True negative rate (specificity); 1 when there are no negatives.
+    pub fn tnr(&self) -> f64 {
+        let n = self.negatives();
+        if n == 0 {
+            1.0
+        } else {
+            self.tn as f64 / n as f64
+        }
+    }
+
+    /// False positive rate `1 − TNR`.
+    pub fn fpr(&self) -> f64 {
+        1.0 - self.tnr()
+    }
+
+    /// False negative rate `1 − TPR`.
+    pub fn fnr(&self) -> f64 {
+        1.0 - self.tpr()
+    }
+
+    /// Balanced accuracy `(TPR + TNR) / 2`.
+    pub fn balanced_accuracy(&self) -> f64 {
+        0.5 * (self.tpr() + self.tnr())
+    }
+
+    /// Whether the predictions collapse to a single class — the paper's
+    /// "devolved to useless predictions" criterion (crisscross bars).
+    pub fn is_degenerate(&self) -> bool {
+        let predicted_pos = self.tp + self.fp;
+        let predicted_neg = self.tn + self.fn_;
+        self.total() > 0 && (predicted_pos == 0 || predicted_neg == 0)
+    }
+}
+
+/// Confusion counts split by group, with the paper's fairness metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupConfusion {
+    /// Counts over the majority `W` (`g = 0`).
+    pub majority: Confusion,
+    /// Counts over the minority `U` (`g = 1`).
+    pub minority: Confusion,
+}
+
+impl GroupConfusion {
+    /// Tally from aligned truth/prediction/group slices.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or labels are non-binary.
+    pub fn compute(y_true: &[u8], y_pred: &[u8], groups: &[u8]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        assert_eq!(y_true.len(), groups.len(), "length mismatch");
+        let mut majority = Confusion::default();
+        let mut minority = Confusion::default();
+        for i in 0..y_true.len() {
+            let c = if groups[i] == 0 { &mut majority } else { &mut minority };
+            match (y_true[i], y_pred[i]) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fn_ += 1,
+                (t, p) => panic!("labels must be binary, got ({t}, {p})"),
+            }
+        }
+        Self { majority, minority }
+    }
+
+    /// Combined counts over both groups.
+    pub fn overall(&self) -> Confusion {
+        self.majority.merge(&self.minority)
+    }
+
+    /// Disparate impact `SR_U / SR_W` ∈ `[0, ∞]`; 1 when both rates are 0
+    /// (equal treatment), `∞` when only the majority rate is 0.
+    pub fn disparate_impact(&self) -> f64 {
+        let sr_w = self.majority.selection_rate();
+        let sr_u = self.minority.selection_rate();
+        if sr_w == 0.0 && sr_u == 0.0 {
+            1.0
+        } else if sr_w == 0.0 {
+            f64::INFINITY
+        } else {
+            sr_u / sr_w
+        }
+    }
+
+    /// `DI* = min(DI, 1/DI)` ∈ `[0, 1]` — higher is fairer.
+    pub fn di_star(&self) -> f64 {
+        let di = self.disparate_impact();
+        if di.is_infinite() {
+            0.0
+        } else if di == 0.0 {
+            0.0
+        } else {
+            di.min(1.0 / di)
+        }
+    }
+
+    /// Whether the bias favours the minority (`DI > 1`) — the striped bars
+    /// in the paper's figures.
+    pub fn favors_minority(&self) -> bool {
+        self.disparate_impact() > 1.0
+    }
+
+    /// Average odds difference `((FPR_U−FPR_W) + (TPR_U−TPR_W)) / 2`.
+    pub fn aod(&self) -> f64 {
+        0.5 * ((self.minority.fpr() - self.majority.fpr())
+            + (self.minority.tpr() - self.majority.tpr()))
+    }
+
+    /// `AOD* = 1 − |AOD|` ∈ `[0, 1]` — higher is fairer.
+    pub fn aod_star(&self) -> f64 {
+        1.0 - self.aod().abs()
+    }
+
+    /// Equalized-Odds gap by FNR: `|FNR_U − FNR_W|` (Fig. 8b/9b target).
+    pub fn eq_odds_fnr_gap(&self) -> f64 {
+        (self.minority.fnr() - self.majority.fnr()).abs()
+    }
+
+    /// Equalized-Odds gap by FPR: `|FPR_U − FPR_W|` (Fig. 8c/9c target).
+    pub fn eq_odds_fpr_gap(&self) -> f64 {
+        (self.minority.fpr() - self.majority.fpr()).abs()
+    }
+
+    /// Selection-rate gap `|SR_U − SR_W|` (the Fig. 8a/9a series).
+    pub fn selection_rate_gap(&self) -> f64 {
+        (self.minority.selection_rate() - self.majority.selection_rate()).abs()
+    }
+
+    /// Overall balanced accuracy (the paper's utility metric).
+    pub fn balanced_accuracy(&self) -> f64 {
+        self.overall().balanced_accuracy()
+    }
+
+    /// Whether the overall predictions collapsed to one class.
+    pub fn is_degenerate(&self) -> bool {
+        self.overall().is_degenerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_from_pairs() {
+        let c = Confusion::from_pairs(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn rates_match_manual() {
+        let c = Confusion {
+            tp: 8,
+            fp: 2,
+            tn: 6,
+            fn_: 4,
+        };
+        assert!((c.tpr() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((c.tnr() - 6.0 / 8.0).abs() < 1e-12);
+        assert!((c.fpr() - 2.0 / 8.0).abs() < 1e-12);
+        assert!((c.fnr() - 4.0 / 12.0).abs() < 1e-12);
+        assert!((c.selection_rate() - 10.0 / 20.0).abs() < 1e-12);
+        assert!((c.balanced_accuracy() - 0.5 * (8.0 / 12.0 + 6.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_rates_are_benign() {
+        let c = Confusion::default();
+        assert_eq!(c.selection_rate(), 0.0);
+        assert_eq!(c.tpr(), 1.0);
+        assert_eq!(c.tnr(), 1.0);
+        assert_eq!(c.balanced_accuracy(), 1.0);
+        assert!(!c.is_degenerate());
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        // All predictions positive.
+        let c = Confusion::from_pairs(&[1, 0, 1], &[1, 1, 1]);
+        assert!(c.is_degenerate());
+        assert_eq!(c.balanced_accuracy(), 0.5); // TPR 1, TNR 0
+        let ok = Confusion::from_pairs(&[1, 0], &[1, 0]);
+        assert!(!ok.is_degenerate());
+    }
+
+    #[test]
+    fn group_split_and_overall() {
+        let y = [1, 0, 1, 0, 1, 0];
+        let p = [1, 0, 0, 1, 1, 1];
+        let g = [0, 0, 0, 1, 1, 1];
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        assert_eq!(gc.majority.total(), 3);
+        assert_eq!(gc.minority.total(), 3);
+        assert_eq!(gc.overall().total(), 6);
+    }
+
+    #[test]
+    fn disparate_impact_known_case() {
+        // W: 4 tuples, 2 selected → SR 0.5. U: 4 tuples, 1 selected → SR 0.25.
+        let y = [1, 1, 0, 0, 1, 1, 0, 0];
+        let p = [1, 1, 0, 0, 1, 0, 0, 0];
+        let g = [0, 0, 0, 0, 1, 1, 1, 1];
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        assert!((gc.disparate_impact() - 0.5).abs() < 1e-12);
+        assert!((gc.di_star() - 0.5).abs() < 1e-12);
+        assert!(!gc.favors_minority());
+    }
+
+    #[test]
+    fn di_star_symmetric_around_one() {
+        // Favoring minority 2:1 → DI = 2, DI* = 0.5.
+        let y = [1, 0, 1, 1];
+        let p = [1, 0, 1, 1];
+        let g = [0, 0, 1, 1];
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        assert!((gc.disparate_impact() - 2.0).abs() < 1e-12);
+        assert!((gc.di_star() - 0.5).abs() < 1e-12);
+        assert!(gc.favors_minority());
+    }
+
+    #[test]
+    fn di_edge_cases() {
+        // Nobody selected anywhere → DI = 1 (equal).
+        let gc = GroupConfusion::compute(&[0, 0], &[0, 0], &[0, 1]);
+        assert_eq!(gc.disparate_impact(), 1.0);
+        assert_eq!(gc.di_star(), 1.0);
+        // Only minority selected → DI = ∞ → DI* = 0.
+        let gc = GroupConfusion::compute(&[0, 1], &[0, 1], &[0, 1]);
+        assert!(gc.disparate_impact().is_infinite());
+        assert_eq!(gc.di_star(), 0.0);
+    }
+
+    #[test]
+    fn aod_perfect_parity_is_one() {
+        // Identical behaviour on both groups → AOD 0 → AOD* 1.
+        let y = [1, 0, 1, 0];
+        let p = [1, 0, 1, 0];
+        let g = [0, 0, 1, 1];
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        assert_eq!(gc.aod(), 0.0);
+        assert_eq!(gc.aod_star(), 1.0);
+        assert_eq!(gc.eq_odds_fnr_gap(), 0.0);
+        assert_eq!(gc.eq_odds_fpr_gap(), 0.0);
+    }
+
+    #[test]
+    fn aod_known_asymmetry() {
+        // W: TPR 1, FPR 0. U: TPR 0, FPR 1.
+        let y = [1, 0, 1, 0];
+        let p = [1, 0, 0, 1];
+        let g = [0, 0, 1, 1];
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        assert!((gc.aod() - 0.0).abs() < 1e-12); // (+1 −1)/2 = 0 — offsetting errors
+        assert_eq!(gc.eq_odds_fnr_gap(), 1.0);
+        assert_eq!(gc.eq_odds_fpr_gap(), 1.0);
+    }
+
+    #[test]
+    fn selection_rate_gap_matches_di_direction() {
+        let y = [1, 1, 1, 1];
+        let p = [1, 1, 1, 0];
+        let g = [0, 0, 1, 1];
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        assert!((gc.selection_rate_gap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_binary_labels_panic() {
+        let _ = Confusion::from_pairs(&[2], &[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = GroupConfusion::compute(&[1], &[1, 0], &[0, 0]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # cf-metrics
+//!
+//! Group-fairness and utility metrics exactly as the paper's §IV defines
+//! them:
+//!
+//! * **BalAcc** — balanced accuracy `(TPR + TNR) / 2`, the utility metric.
+//! * **DI** — disparate impact `SR_U / SR_W`; reported as
+//!   `DI* = min(DI, 1/DI)` so that higher is always fairer.
+//! * **AOD** — average odds difference
+//!   `((FPR_U − FPR_W) + (TPR_U − TPR_W)) / 2`; reported as
+//!   `AOD* = 1 − |AOD|`.
+//! * **Equalized-Odds gaps** by FNR and FPR (the Fig. 8/9 targets).
+//!
+//! [`GroupConfusion`] computes everything from `(y, ŷ, g)` triples;
+//! [`FairnessReport`] is the serialisable row every experiment prints.
+
+pub mod confusion;
+pub mod report;
+
+pub use confusion::{Confusion, GroupConfusion};
+pub use report::FairnessReport;

@@ -1,0 +1,90 @@
+//! Property tests for the fairness metrics.
+
+use cf_metrics::{Confusion, FairnessReport, GroupConfusion};
+use proptest::prelude::*;
+
+fn triples() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<u8>)> {
+    (2usize..100).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u8..2, n),
+            proptest::collection::vec(0u8..2, n),
+            proptest::collection::vec(0u8..2, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn metric_ranges((y, p, g) in triples()) {
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        prop_assert!((0.0..=1.0).contains(&gc.di_star()));
+        prop_assert!((0.0..=1.0).contains(&gc.aod_star()));
+        prop_assert!((0.0..=1.0).contains(&gc.balanced_accuracy()));
+        prop_assert!((0.0..=1.0).contains(&gc.eq_odds_fnr_gap()));
+        prop_assert!((0.0..=1.0).contains(&gc.eq_odds_fpr_gap()));
+        prop_assert!((0.0..=1.0).contains(&gc.selection_rate_gap()));
+        prop_assert!(gc.disparate_impact() >= 0.0);
+    }
+
+    #[test]
+    fn group_counts_sum_to_overall((y, p, g) in triples()) {
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        let overall = gc.overall();
+        prop_assert_eq!(overall.total(), y.len() as u64);
+        prop_assert_eq!(
+            gc.majority.total() + gc.minority.total(),
+            overall.total()
+        );
+    }
+
+    #[test]
+    fn per_group_matches_filtered_pairs((y, p, g) in triples()) {
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        let filter = |target: u8| -> (Vec<u8>, Vec<u8>) {
+            let yy: Vec<u8> = y.iter().zip(&g).filter(|(_, &gi)| gi == target).map(|(&v, _)| v).collect();
+            let pp: Vec<u8> = p.iter().zip(&g).filter(|(_, &gi)| gi == target).map(|(&v, _)| v).collect();
+            (yy, pp)
+        };
+        let (yw, pw) = filter(0);
+        prop_assert_eq!(gc.majority, Confusion::from_pairs(&yw, &pw));
+        let (yu, pu) = filter(1);
+        prop_assert_eq!(gc.minority, Confusion::from_pairs(&yu, &pu));
+    }
+
+    #[test]
+    fn perfect_predictions_maximise_balacc((y, _, g) in triples()) {
+        let gc = GroupConfusion::compute(&y, &y, &g);
+        prop_assert!((gc.balanced_accuracy() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(gc.aod_star(), 1.0);
+    }
+
+    #[test]
+    fn di_star_is_symmetric_in_groups((y, p, g) in triples()) {
+        // Swapping the group labels inverts DI but leaves DI* unchanged.
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        let swapped: Vec<u8> = g.iter().map(|&v| 1 - v).collect();
+        let gs = GroupConfusion::compute(&y, &p, &swapped);
+        prop_assert!((gc.di_star() - gs.di_star()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_mean_is_bounded_by_extremes((y, p, g) in triples()) {
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        let r1 = FairnessReport::from_confusion("D", "M", "LR", &gc, 1.0);
+        let mut r2 = r1.clone();
+        r2.di_star = (r2.di_star + 0.3).min(1.0);
+        let lo = r1.di_star.min(r2.di_star);
+        let hi = r1.di_star.max(r2.di_star);
+        let m = FairnessReport::mean(&[r1, r2]);
+        prop_assert!(m.di_star >= lo - 1e-12 && m.di_star <= hi + 1e-12);
+    }
+
+    #[test]
+    fn merge_is_commutative((y, p, g) in triples()) {
+        let gc = GroupConfusion::compute(&y, &p, &g);
+        prop_assert_eq!(
+            gc.majority.merge(&gc.minority),
+            gc.minority.merge(&gc.majority)
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Credit-scoring scenario: reweighing under gradient boosted trees.
+//!
+//! Uses the Credit simulator (Kaggle "Give Me Some Credit" statistics:
+//! 120k applicants, minority = age<35, ~6% base delinquency rate) and
+//! compares ConFair against Kamiran–Calders reweighing and no intervention,
+//! all under the XGBoost-style learner — the Fig. 5d setting.
+//!
+//! ```sh
+//! cargo run --release --example credit_scoring
+//! ```
+
+use confair::baselines::KamiranCalders;
+use confair::core::{evaluate_repeated, pipeline::mean_report, ConFair, Intervention, NoIntervention, Pipeline};
+use confair::datasets::realsim::RealWorldSpec;
+use confair::learners::LearnerKind;
+
+fn main() {
+    let spec = RealWorldSpec::by_name("Credit").expect("Credit spec");
+    // 8% of the paper's 120k rows keeps this example under a minute.
+    let data = spec.generate_scaled(0.08, 2024);
+    println!(
+        "Credit simulator: {} applicants, {:.1}% under-35, {:.1}% delinquent",
+        data.len(),
+        100.0 * data.summary().minority_fraction,
+        100.0 * data.labels().iter().filter(|&&y| y == 1).count() as f64 / data.len() as f64,
+    );
+
+    let pipeline = Pipeline::paper_default();
+    let methods: Vec<Box<dyn Intervention>> = vec![
+        Box::new(NoIntervention),
+        Box::new(KamiranCalders),
+        Box::new(ConFair::paper_default()),
+    ];
+
+    println!("\n{:<16} {:>8} {:>8} {:>8}", "method", "DI*", "AOD*", "BalAcc");
+    for method in &methods {
+        let outcomes = evaluate_repeated(
+            &data,
+            method.as_ref(),
+            LearnerKind::Gbt,
+            pipeline,
+            11,
+            3,
+        )
+        .expect("evaluation");
+        let mean = mean_report(&outcomes);
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3}{}",
+            mean.method,
+            mean.di_star,
+            mean.aod_star,
+            mean.balanced_accuracy,
+            if mean.favors_minority { "  (favors minority)" } else { "" }
+        );
+    }
+    println!("\nWeighting is non-invasive: the applicants' records were never modified.");
+}

@@ -1,0 +1,55 @@
+//! Targeting Equalized Odds: ConFair beyond disparate impact.
+//!
+//! §III-B: "to optimize Equalized Odds by FNR, set α_u to a positive value
+//! and α_w to zero; ConFair then only increases the weights of tuples within
+//! the minority group associated with positive labels, thus decreasing the
+//! FNR." This example sweeps α_u on the MEPS simulator for both EqOdds
+//! targets and prints the per-group rates converging — the Fig. 8b/8c
+//! monotone curves.
+//!
+//! ```sh
+//! cargo run --release --example equalized_odds
+//! ```
+
+use confair::core::{
+    confair::{AlphaMode, ConFairConfig, FairnessTarget},
+    evaluate, ConFair, Pipeline,
+};
+use confair::datasets::realsim::RealWorldSpec;
+use confair::learners::LearnerKind;
+
+fn main() {
+    let data = RealWorldSpec::by_name("MEPS")
+        .expect("MEPS spec")
+        .generate_scaled(0.12, 555);
+    println!("MEPS simulator: {} tuples", data.len());
+    let pipeline = Pipeline::paper_default();
+
+    for target in [FairnessTarget::EqOddsFnr, FairnessTarget::EqOddsFpr] {
+        println!("\ntarget: Equalized Odds by {}", match target {
+            FairnessTarget::EqOddsFnr => "FNR",
+            FairnessTarget::EqOddsFpr => "FPR",
+            FairnessTarget::DisparateImpact => unreachable!(),
+        });
+        println!("{:>8} {:>10} {:>10} {:>8}", "alpha_u", "minority", "majority", "BalAcc");
+        for alpha in [0.0, 1.0, 4.0, 16.0, 64.0] {
+            let confair = ConFair::new(ConFairConfig {
+                alpha: AlphaMode::Fixed { alpha_u: alpha, alpha_w: 0.0 },
+                target,
+                ..ConFairConfig::default()
+            });
+            let out = evaluate(&data, &confair, LearnerKind::Logistic, pipeline, 31)
+                .expect("evaluation");
+            let (u, w) = match target {
+                FairnessTarget::EqOddsFnr => (out.confusion.minority.fnr(), out.confusion.majority.fnr()),
+                _ => (out.confusion.minority.fpr(), out.confusion.majority.fpr()),
+            };
+            println!(
+                "{:>8} {:>10.3} {:>10.3} {:>8.3}",
+                alpha, u, w, out.report.balanced_accuracy
+            );
+        }
+    }
+    println!("\nhigher alpha_u pulls the minority's error rate toward the majority's,");
+    println!("monotonically — which is what makes the knob tunable in practice.");
+}

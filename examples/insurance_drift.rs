@@ -1,0 +1,64 @@
+//! Severe-drift scenario: when model splitting beats reweighing.
+//!
+//! The Syn1 generator reproduces the paper's Fig. 10 geometry: majority and
+//! minority share the feature space, but their label-conditional
+//! distributions point in *opposite* directions — no single linear model can
+//! conform to both. This is §IV-B's case for DiffFair: route each serving
+//! tuple to the group model whose conformance constraints it violates
+//! least, never consulting group membership at serving time.
+//!
+//! ```sh
+//! cargo run --release --example insurance_drift
+//! ```
+
+use confair::core::{evaluate, ConFair, DiffFair, Intervention, MultiModel, NoIntervention, Pipeline};
+use confair::datasets::synthgen::syn_drift_scaled;
+use confair::learners::LearnerKind;
+
+fn main() {
+    let data = syn_drift_scaled(1, 0.25, 99);
+    println!(
+        "Syn1: {} tuples ({} majority / {} minority), labels 50/50 per group",
+        data.len(),
+        data.group_count(0),
+        data.group_count(1)
+    );
+    println!("majority's positives sit at +X1; minority's positives at -X1.\n");
+
+    let pipeline = Pipeline::paper_default();
+    let methods: Vec<Box<dyn Intervention>> = vec![
+        Box::new(NoIntervention),
+        Box::new(ConFair::paper_default()),
+        Box::new(MultiModel),
+        Box::new(DiffFair::paper_default()),
+    ];
+
+    println!(
+        "{:<16} {:>8} {:>8} {:>10} {:>10}",
+        "method", "DI*", "BalAcc", "W-BalAcc", "U-BalAcc"
+    );
+    let mut rows = Vec::new();
+    for method in &methods {
+        let out = evaluate(&data, method.as_ref(), LearnerKind::Logistic, pipeline, 5)
+            .expect("evaluation");
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>10.3} {:>10.3}",
+            out.report.method,
+            out.report.di_star,
+            out.report.balanced_accuracy,
+            out.confusion.majority.balanced_accuracy(),
+            out.confusion.minority.balanced_accuracy(),
+        );
+        rows.push(out);
+    }
+
+    let single = rows.iter().find(|r| r.report.method == "NoIntervention").unwrap();
+    let diff = rows.iter().find(|r| r.report.method == "DiffFair").unwrap();
+    println!(
+        "\nthe single model serves the minority at {:.0}% balanced accuracy; DiffFair\nrecovers it to {:.0}% ({:+.3} overall BalAcc) —",
+        100.0 * single.confusion.minority.balanced_accuracy(),
+        100.0 * diff.confusion.minority.balanced_accuracy(),
+        diff.report.balanced_accuracy - single.report.balanced_accuracy
+    );
+    println!("without ever reading the group attribute at serving time.");
+}

@@ -1,0 +1,54 @@
+//! Cross-model robustness: calibrate weights on one learner, deploy another.
+//!
+//! ConFair and OMN both tune their intervention degree against a model, but
+//! claim the produced *weights* are model-agnostic. Fig. 7 tests that claim
+//! by calibrating with XGB and training LR (and vice versa); ConFair stays
+//! robust, OMN degrades. This example reproduces one panel of that story on
+//! the employment (ACSE) simulator.
+//!
+//! ```sh
+//! cargo run --release --example model_agnostic
+//! ```
+
+use confair::baselines::{omn::OmniFairConfig, OmniFair};
+use confair::core::{
+    confair::ConFairConfig, evaluate, ConFair, Intervention, NoIntervention, Pipeline,
+};
+use confair::datasets::realsim::RealWorldSpec;
+use confair::learners::LearnerKind;
+
+fn main() {
+    let data = RealWorldSpec::by_name("ACSE")
+        .expect("ACSE spec")
+        .generate_scaled(0.04, 321);
+    println!("ACSE simulator: {} tuples\n", data.len());
+    let pipeline = Pipeline::paper_default();
+
+    // Calibrate the weights assuming XGB, then *deploy* an LR model.
+    let confair_cross: Box<dyn Intervention> = Box::new(ConFair::new(ConFairConfig {
+        calibration_learner: Some(LearnerKind::Gbt),
+        ..ConFairConfig::default()
+    }));
+    let omn_cross: Box<dyn Intervention> = Box::new(OmniFair::new(OmniFairConfig {
+        calibration_learner: Some(LearnerKind::Gbt),
+        ..OmniFairConfig::default()
+    }));
+    let base: Box<dyn Intervention> = Box::new(NoIntervention);
+
+    println!("calibrated on XGB, deployed on LR:");
+    println!("{:<16} {:>8} {:>8} {:>8}", "method", "DI*", "AOD*", "BalAcc");
+    for method in [&base, &omn_cross, &confair_cross] {
+        let out = evaluate(&data, method.as_ref(), LearnerKind::Logistic, pipeline, 17)
+            .expect("evaluation");
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3}{}",
+            out.report.method,
+            out.report.di_star,
+            out.report.aod_star,
+            out.report.balanced_accuracy,
+            if out.report.degenerate { "  [DEGENERATE]" } else { "" }
+        );
+    }
+    println!("\nConFair's weights come from data conformance, not model output —");
+    println!("so a learner swap after calibration costs it little.");
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration tests: the full split → profile → intervene →
+//! train → evaluate pipeline, across crates, through the facade API.
+
+use confair::baselines::{Capuchin, KamiranCalders, OmniFair};
+use confair::core::{
+    evaluate, evaluate_repeated, pipeline::mean_report, ConFair, DiffFair, Intervention,
+    MultiModel, NoIntervention, Pipeline,
+};
+use confair::datasets::{realsim::RealWorldSpec, synthgen::syn_drift_scaled, toy::figure1};
+use confair::learners::LearnerKind;
+
+fn all_methods() -> Vec<Box<dyn Intervention>> {
+    vec![
+        Box::new(NoIntervention),
+        Box::new(MultiModel),
+        Box::new(DiffFair::paper_default()),
+        Box::new(ConFair::paper_default()),
+        Box::new(KamiranCalders),
+        Box::new(OmniFair::paper_default()),
+        Box::new(Capuchin::paper_default()),
+    ]
+}
+
+#[test]
+fn every_method_runs_on_toy_data_with_both_learners() {
+    let data = figure1(100);
+    for method in all_methods() {
+        for learner in LearnerKind::both() {
+            let out = evaluate(&data, method.as_ref(), learner, Pipeline::paper_default(), 100)
+                .unwrap_or_else(|e| panic!("{} / {} failed: {e}", method.name(), learner.name()));
+            assert!(
+                (0.0..=1.0).contains(&out.report.di_star),
+                "{}: DI* out of range",
+                method.name()
+            );
+            assert!(
+                (0.0..=1.0).contains(&out.report.aod_star),
+                "{}: AOD* out of range",
+                method.name()
+            );
+            assert!(
+                out.report.balanced_accuracy > 0.4,
+                "{} / {}: balanced accuracy collapsed ({})",
+                method.name(),
+                learner.name(),
+                out.report.balanced_accuracy
+            );
+        }
+    }
+}
+
+#[test]
+fn confair_improves_di_on_unfair_toy_data() {
+    let data = figure1(101);
+    let pipeline = Pipeline::paper_default();
+    let base = mean_report(
+        &evaluate_repeated(&data, &NoIntervention, LearnerKind::Logistic, pipeline, 101, 3)
+            .unwrap(),
+    );
+    let fair = mean_report(
+        &evaluate_repeated(
+            &data,
+            &ConFair::paper_default(),
+            LearnerKind::Logistic,
+            pipeline,
+            101,
+            3,
+        )
+        .unwrap(),
+    );
+    assert!(
+        fair.di_star > base.di_star + 0.03,
+        "mean DI* should improve: {} -> {}",
+        base.di_star,
+        fair.di_star
+    );
+    assert!(
+        fair.balanced_accuracy > base.balanced_accuracy - 0.1,
+        "utility stays in band: {} -> {}",
+        base.balanced_accuracy,
+        fair.balanced_accuracy
+    );
+}
+
+#[test]
+fn difffair_dominates_under_severe_drift() {
+    // AOD* can be blind here (a coin-flipping minority has symmetric errors
+    // that cancel), so the discriminating quantity is the minority's own
+    // balanced accuracy: a single model cannot serve Syn1's inverted
+    // minority, DiffFair's routed group models can.
+    let data = syn_drift_scaled(1, 0.08, 102);
+    let pipeline = Pipeline::paper_default();
+    let single = evaluate(&data, &NoIntervention, LearnerKind::Logistic, pipeline, 102).unwrap();
+    let diff = evaluate(
+        &data,
+        &DiffFair::paper_default(),
+        LearnerKind::Logistic,
+        pipeline,
+        102,
+    )
+    .unwrap();
+    let single_u = single.confusion.minority.balanced_accuracy();
+    let diff_u = diff.confusion.minority.balanced_accuracy();
+    assert!(
+        diff_u > single_u + 0.2,
+        "DiffFair should recover the minority: {single_u} vs {diff_u}"
+    );
+    assert!(
+        diff.report.balanced_accuracy > single.report.balanced_accuracy,
+        "and improve overall utility: {} vs {}",
+        single.report.balanced_accuracy,
+        diff.report.balanced_accuracy
+    );
+}
+
+#[test]
+fn realsim_pipeline_works_at_small_scale() {
+    // One pass of the headline comparison on a small MEPS simulation —
+    // the smoke test behind Fig. 5's first column.
+    let data = RealWorldSpec::by_name("MEPS").unwrap().generate_scaled(0.05, 103);
+    let pipeline = Pipeline::paper_default();
+    for method in ["NoIntervention", "ConFair"] {
+        let m: Box<dyn Intervention> = match method {
+            "ConFair" => Box::new(ConFair::paper_default()),
+            _ => Box::new(NoIntervention),
+        };
+        let out = evaluate(&data, m.as_ref(), LearnerKind::Logistic, pipeline, 103).unwrap();
+        assert_eq!(out.report.dataset, "MEPS");
+        assert!(out.report.balanced_accuracy > 0.5);
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let data = figure1(104);
+    let a = evaluate(&data, &ConFair::paper_default(), LearnerKind::Logistic, Pipeline::paper_default(), 104).unwrap();
+    let b = evaluate(&data, &ConFair::paper_default(), LearnerKind::Logistic, Pipeline::paper_default(), 104).unwrap();
+    let mut ra = a.report;
+    let mut rb = b.report;
+    ra.runtime_secs = 0.0;
+    rb.runtime_secs = 0.0;
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn weights_are_non_invasive() {
+    // The intervention must not alter the dataset handed to it.
+    let data = figure1(105);
+    let before = data.clone();
+    let _ = evaluate(
+        &data,
+        &ConFair::paper_default(),
+        LearnerKind::Logistic,
+        Pipeline::paper_default(),
+        105,
+    )
+    .unwrap();
+    assert_eq!(data, before, "ConFair must not mutate the input data");
+}

@@ -1,0 +1,93 @@
+//! The facade crate's public surface: everything an adopter touches from
+//! `confair::prelude` must compose.
+
+use confair::prelude::*;
+
+#[test]
+fn prelude_exposes_the_core_workflow() {
+    let data = confair::datasets::toy::figure1(200);
+    assert!(data.len() > 0);
+
+    // Splitting through the re-exported types.
+    let pipeline = Pipeline::paper_default();
+    let split = pipeline.split(&data, 200);
+    assert_eq!(
+        split.train.len() + split.validation.len() + split.test.len(),
+        data.len()
+    );
+
+    // Profiling: conformance constraints over the minority-positive cell.
+    let idx = data.cell_indices(confair::data::CellIndex { group: 1, label: 1 });
+    let x = data.numeric_matrix(Some(&idx));
+    let cs = confair::conformance::learn_constraints(
+        &x,
+        &confair::conformance::LearnOptions::paper_default(),
+    );
+    assert!(cs.len() >= 1);
+    // Every profiled tuple conforms under min/max bounds.
+    for row in x.iter_rows() {
+        assert!(cs.violation(row) < 1e-9);
+    }
+
+    // Density filtering (Algorithm 3).
+    let filtered = density_filter(&data, confair::density::FilterConfig::paper_default());
+    let total: usize = filtered.iter().map(|(_, v)| v.len()).sum();
+    assert!(total < data.len());
+
+    // Learner training through the factory.
+    let (_, xm) = confair::data::FeatureEncoding::fit_transform(&split.train);
+    let y: Vec<f64> = split.train.labels().iter().map(|&l| l as f64).collect();
+    let mut model = LearnerKind::Logistic.build();
+    model.fit(&xm, &y, None).unwrap();
+    assert!(model.is_fitted());
+
+    // Metrics.
+    let preds = model.predict(&xm).unwrap();
+    let gc = GroupConfusion::compute(split.train.labels(), &preds, split.train.groups());
+    let report = FairnessReport::from_confusion("Fig1", "manual", "LR", &gc, 0.0);
+    assert!(report.balanced_accuracy > 0.5);
+}
+
+#[test]
+fn group_spec_applies_through_facade() {
+    let mut data = confair::datasets::toy::figure1(201);
+    let n = data.len();
+    GroupSpec::Explicit(vec![0; n]).apply(&mut data).unwrap();
+    assert_eq!(data.group_count(1), 0);
+}
+
+#[test]
+fn csv_round_trip_through_facade() {
+    let data = confair::datasets::toy::figure1(202);
+    let dir = std::env::temp_dir().join("confair_facade_csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig1.csv");
+    confair::data::csv::write_csv(&data, &path).unwrap();
+    let back = confair::data::csv::read_csv("Fig1", &path).unwrap();
+    assert_eq!(back.len(), data.len());
+    assert_eq!(back.labels(), data.labels());
+}
+
+#[test]
+fn tune_alpha_is_reachable_from_prelude() {
+    let data = confair::datasets::toy::figure1(203);
+    let pipeline = Pipeline::paper_default();
+    let split = pipeline.split(&data, 203);
+    let profile = confair::core::confair::build_profile(
+        &split.train,
+        FairnessTarget::DisparateImpact,
+        Some(confair::density::FilterConfig::paper_default()),
+        &confair::conformance::LearnOptions::paper_default(),
+    )
+    .unwrap();
+    let result = tune_alpha(
+        &profile,
+        &split.train,
+        &split.validation,
+        LearnerKind::Logistic,
+        FairnessTarget::DisparateImpact,
+        &[0.0, 4.0],
+    )
+    .unwrap();
+    assert!(result.alpha_u == 0.0 || result.alpha_u == 4.0);
+}
