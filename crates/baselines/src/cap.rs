@@ -117,8 +117,7 @@ impl Capuchin {
         let mut cells: Vec<[[Vec<usize>; 2]; 2]> = (0..n_strata)
             .map(|_| [[Vec::new(), Vec::new()], [Vec::new(), Vec::new()]])
             .collect();
-        for i in 0..train.len() {
-            let s = strata[i];
+        for (i, &s) in strata.iter().enumerate() {
             let g = train.groups()[i] as usize;
             let y = train.labels()[i] as usize;
             cells[s][g][y].push(i);
@@ -134,7 +133,7 @@ impl Capuchin {
                 continue;
             }
             for g in 0..2u8 {
-                for y in 0..2 {
+                for y in [0usize, 1] {
                     let n_g = count(g as usize, 0) + count(g as usize, 1);
                     let n_y = count(0, y) + count(1, y);
                     // Repaired contingency count under independence.
@@ -167,7 +166,9 @@ impl Capuchin {
             }
         }
         if indices.is_empty() {
-            return Err(CoreError::EmptyPartition("repair produced no tuples".into()));
+            return Err(CoreError::EmptyPartition(
+                "repair produced no tuples".into(),
+            ));
         }
         Ok((indices, groups))
     }
@@ -282,7 +283,10 @@ mod tests {
     fn repair_is_deterministic() {
         let d = figure1(83);
         let cap = Capuchin::paper_default();
-        assert_eq!(cap.repair_dataset(&d).unwrap(), cap.repair_dataset(&d).unwrap());
+        assert_eq!(
+            cap.repair_dataset(&d).unwrap(),
+            cap.repair_dataset(&d).unwrap()
+        );
     }
 
     #[test]

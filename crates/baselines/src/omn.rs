@@ -96,14 +96,38 @@ impl OmniFair {
         };
         match target {
             FairnessTarget::DisparateImpact => {
-                scale_cell(CellIndex { group: MINORITY, label: 1 }, 1.0 + lambda);
-                scale_cell(CellIndex { group: MAJORITY, label: 1 }, 1.0 - lambda);
+                scale_cell(
+                    CellIndex {
+                        group: MINORITY,
+                        label: 1,
+                    },
+                    1.0 + lambda,
+                );
+                scale_cell(
+                    CellIndex {
+                        group: MAJORITY,
+                        label: 1,
+                    },
+                    1.0 - lambda,
+                );
             }
             FairnessTarget::EqOddsFnr => {
-                scale_cell(CellIndex { group: MINORITY, label: 1 }, 1.0 + lambda);
+                scale_cell(
+                    CellIndex {
+                        group: MINORITY,
+                        label: 1,
+                    },
+                    1.0 + lambda,
+                );
             }
             FairnessTarget::EqOddsFpr => {
-                scale_cell(CellIndex { group: MINORITY, label: 0 }, 1.0 + lambda);
+                scale_cell(
+                    CellIndex {
+                        group: MINORITY,
+                        label: 0,
+                    },
+                    1.0 + lambda,
+                );
             }
         }
         Ok(weights)
@@ -141,9 +165,7 @@ impl OmniFair {
             let gc = GroupConfusion::compute(validation.labels(), &preds, validation.groups());
             let gap = Self::gap(self.config.target, &gc);
             let balacc = gc.balanced_accuracy();
-            if gap <= self.config.epsilon
-                && best_feasible.is_none_or(|(b, _)| balacc > b)
-            {
+            if gap <= self.config.epsilon && best_feasible.is_none_or(|(b, _)| balacc > b) {
                 best_feasible = Some((balacc, lambda));
             }
             if best_gap.is_none_or(|(g, _)| gap < g) {
@@ -300,10 +322,7 @@ mod tests {
         let base = NoIntervention
             .train(&s.train, &s.validation, LearnerKind::Logistic)
             .unwrap();
-        assert_eq!(
-            p.predict(&s.test).unwrap(),
-            base.predict(&s.test).unwrap()
-        );
+        assert_eq!(p.predict(&s.test).unwrap(), base.predict(&s.test).unwrap());
     }
 
     #[test]

@@ -13,7 +13,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_weight_derivation(c: &mut Criterion) {
-    let data = RealWorldSpec::by_name("MEPS").unwrap().generate_scaled(0.2, 1);
+    let data = RealWorldSpec::by_name("MEPS")
+        .unwrap()
+        .generate_scaled(0.2, 1);
     let split = split3(&data, SplitRatios::paper_default(), 1);
     let mut group = c.benchmark_group("interventions/weights");
     group.sample_size(10);
@@ -22,8 +24,12 @@ fn bench_weight_derivation(c: &mut Criterion) {
     });
     group.bench_function("omn_cell_weights", |b| {
         b.iter(|| {
-            OmniFair::weights(black_box(&split.train), FairnessTarget::DisparateImpact, 1.5)
-                .unwrap()
+            OmniFair::weights(
+                black_box(&split.train),
+                FairnessTarget::DisparateImpact,
+                1.5,
+            )
+            .unwrap()
         });
     });
     group.bench_function("confair_profile_algorithm2", |b| {
@@ -48,7 +54,9 @@ fn bench_weight_derivation(c: &mut Criterion) {
 }
 
 fn bench_difffair_predict(c: &mut Criterion) {
-    let data = RealWorldSpec::by_name("MEPS").unwrap().generate_scaled(0.2, 2);
+    let data = RealWorldSpec::by_name("MEPS")
+        .unwrap()
+        .generate_scaled(0.2, 2);
     let split = split3(&data, SplitRatios::paper_default(), 2);
     let predictor = DiffFair::paper_default()
         .train(&split.train, &split.validation, LearnerKind::Logistic)
@@ -67,7 +75,9 @@ fn bench_difffair_predict(c: &mut Criterion) {
 }
 
 fn bench_end_to_end_train(c: &mut Criterion) {
-    let data = RealWorldSpec::by_name("MEPS").unwrap().generate_scaled(0.1, 3);
+    let data = RealWorldSpec::by_name("MEPS")
+        .unwrap()
+        .generate_scaled(0.1, 3);
     let split = split3(&data, SplitRatios::paper_default(), 3);
     let mut group = c.benchmark_group("interventions/train_lr");
     group.sample_size(10);
@@ -75,15 +85,23 @@ fn bench_end_to_end_train(c: &mut Criterion) {
     group.bench_function("confair_auto_tuned", |b| {
         b.iter(|| {
             confair
-                .train(black_box(&split.train), &split.validation, LearnerKind::Logistic)
+                .train(
+                    black_box(&split.train),
+                    &split.validation,
+                    LearnerKind::Logistic,
+                )
                 .unwrap()
         });
     });
     let kam = KamiranCalders;
     group.bench_function("kam", |b| {
         b.iter(|| {
-            kam.train(black_box(&split.train), &split.validation, LearnerKind::Logistic)
-                .unwrap()
+            kam.train(
+                black_box(&split.train),
+                &split.validation,
+                LearnerKind::Logistic,
+            )
+            .unwrap()
         });
     });
     group.finish();

@@ -13,7 +13,11 @@ fn classification_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
     for i in 0..n {
         let label = (i % 2) as f64;
         let shift = if label > 0.5 { 0.4 } else { -0.4 };
-        rows.push((0..d).map(|_| shift + rng.gen_range(-1.0..1.0)).collect::<Vec<f64>>());
+        rows.push(
+            (0..d)
+                .map(|_| shift + rng.gen_range(-1.0..1.0))
+                .collect::<Vec<f64>>(),
+        );
         y.push(label);
     }
     (Matrix::from_rows(&rows), y)
@@ -60,11 +64,17 @@ fn bench_weighted_vs_unweighted(c: &mut Criterion) {
     c.bench_function("learner_fit/logistic_weighted_5k", |b| {
         b.iter(|| {
             let mut m = LogisticRegression::default();
-            m.fit(black_box(&x), black_box(&y), Some(black_box(&w))).unwrap();
+            m.fit(black_box(&x), black_box(&y), Some(black_box(&w)))
+                .unwrap();
             m
         });
     });
 }
 
-criterion_group!(benches, bench_logistic, bench_gbt, bench_weighted_vs_unweighted);
+criterion_group!(
+    benches,
+    bench_logistic,
+    bench_gbt,
+    bench_weighted_vs_unweighted
+);
 criterion_main!(benches);

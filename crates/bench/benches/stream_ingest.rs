@@ -1,0 +1,110 @@
+//! Throughput of the online scoring + monitoring path.
+//!
+//! The acceptance bar for the streaming subsystem: ≥ 100k tuples/sec
+//! single-threaded through the full `ingest` path (model forward pass,
+//! conformance check, O(1) windowed counters, Page–Hinkley step). The
+//! monitors read counters — never the window — so per-tuple cost is flat
+//! in the window size, which the window-size sweep makes visible.
+
+use cf_datasets::stream::{DriftStream, DriftStreamSpec};
+use cf_learners::LearnerKind;
+use cf_stream::{RetrainPolicy, StreamConfig, StreamEngine, StreamTuple};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn stationary_spec() -> DriftStreamSpec {
+    DriftStreamSpec {
+        drift_onset: u64::MAX,
+        ..DriftStreamSpec::default()
+    }
+}
+
+fn fresh_engine(window: usize) -> StreamEngine {
+    let reference = stationary_spec().reference(4_000, 21);
+    let config = StreamConfig {
+        window,
+        retrain: RetrainPolicy::Never,
+        ..StreamConfig::default()
+    };
+    StreamEngine::from_reference(&reference, LearnerKind::Logistic, 21, config).expect("bootstrap")
+}
+
+fn pregenerate(n_batches: usize, batch: usize) -> Vec<Vec<StreamTuple>> {
+    let mut stream = DriftStream::new(stationary_spec(), 3);
+    (0..n_batches)
+        .map(|_| StreamTuple::rows_from_dataset(&stream.next_batch(batch)).expect("numeric"))
+        .collect()
+}
+
+fn bench_ingest_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ingest/batch");
+    group.sample_size(20);
+    for &batch in &[64usize, 512, 4_096] {
+        let batches = pregenerate(32, batch);
+        let mut engine = fresh_engine(4_096);
+        let mut next = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                let outcome = engine.ingest(black_box(&batches[next])).unwrap();
+                next = (next + 1) % batches.len();
+                outcome.decisions.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_size_independence(c: &mut Criterion) {
+    // Per-tuple cost must not grow with the window: counters, not scans.
+    let mut group = c.benchmark_group("stream_ingest/window");
+    group.sample_size(20);
+    for &window in &[256usize, 4_096, 65_536] {
+        let batches = pregenerate(32, 512);
+        let mut engine = fresh_engine(window);
+        let mut next = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            b.iter(|| {
+                let outcome = engine.ingest(black_box(&batches[next])).unwrap();
+                next = (next + 1) % batches.len();
+                outcome.decisions.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance check, reported in tuples/sec: one sustained run over a
+/// million pregenerated tuples.
+fn report_sustained_throughput(_c: &mut Criterion) {
+    let batch = 1_024usize;
+    let batches = pregenerate(64, batch);
+    let mut engine = fresh_engine(4_096);
+    // Warm-up: fill the window and fault in the caches.
+    for b in &batches {
+        engine.ingest(b).unwrap();
+    }
+    let total: usize = 1_000_000;
+    let mut ingested = 0usize;
+    let mut next = 0usize;
+    let started = Instant::now();
+    while ingested < total {
+        let outcome = engine.ingest(black_box(&batches[next])).unwrap();
+        ingested += outcome.decisions.len();
+        next = (next + 1) % batches.len();
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let rate = ingested as f64 / secs;
+    println!(
+        "stream_ingest/sustained: {ingested} tuples in {secs:.2}s = {rate:.0} tuples/sec \
+         (target: >= 100000)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_ingest_batches,
+    bench_window_size_independence,
+    report_sustained_throughput
+);
+criterion_main!(benches);

@@ -3,7 +3,10 @@ fn main() {
     let cfg = cf_bench::ExpConfig::from_args();
     let t0 = std::time::Instant::now();
     println!("# ConFair reproduction: full experiment sweep");
-    println!("# scale={} reps={} seed={}\n", cfg.scale, cfg.reps, cfg.seed);
+    println!(
+        "# scale={} reps={} seed={}\n",
+        cfg.scale, cfg.reps, cfg.seed
+    );
     cf_bench::figures::fig02::run(&cfg);
     cf_bench::figures::fig04::run(&cfg);
     cf_bench::figures::fig05::run(&cfg);

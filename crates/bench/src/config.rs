@@ -36,7 +36,10 @@ impl ExpConfig {
         for arg in std::env::args().skip(1) {
             if let Some(v) = arg.strip_prefix("--scale=") {
                 cfg.scale = v.parse().expect("--scale=<float in (0,1]>");
-                assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "--scale must be in (0,1]");
+                assert!(
+                    cfg.scale > 0.0 && cfg.scale <= 1.0,
+                    "--scale must be in (0,1]"
+                );
             } else if let Some(v) = arg.strip_prefix("--reps=") {
                 cfg.reps = v.parse().expect("--reps=<positive int>");
                 assert!(cfg.reps > 0, "--reps must be positive");
@@ -80,10 +83,9 @@ mod tests {
             ..ExpConfig::default()
         };
         cfg.save_json("unit", &vec![1, 2, 3]);
-        let back: Vec<i32> = serde_json::from_str(
-            &std::fs::read_to_string(cfg.out_dir.join("unit.json")).unwrap(),
-        )
-        .unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(cfg.out_dir.join("unit.json")).unwrap())
+                .unwrap();
         assert_eq!(back, vec![1, 2, 3]);
     }
 }

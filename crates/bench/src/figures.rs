@@ -32,15 +32,27 @@ fn print_learner_panels(
     let l = learner.name();
     runner::print_panel(
         &format!("{fig}: Disparate Impact (DI*), {l} models"),
-        results, datasets, methods, l, |r: &FairnessReport| r.di_star,
+        results,
+        datasets,
+        methods,
+        l,
+        |r: &FairnessReport| r.di_star,
     );
     runner::print_panel(
         &format!("{fig}: Average Odds Difference (AOD*), {l} models"),
-        results, datasets, methods, l, |r: &FairnessReport| r.aod_star,
+        results,
+        datasets,
+        methods,
+        l,
+        |r: &FairnessReport| r.aod_star,
     );
     runner::print_panel(
         &format!("{fig}: Balanced Accuracy, {l} models"),
-        results, datasets, methods, l, |r: &FairnessReport| r.balanced_accuracy,
+        results,
+        datasets,
+        methods,
+        l,
+        |r: &FairnessReport| r.balanced_accuracy,
     );
 }
 
@@ -51,12 +63,27 @@ pub mod fig02 {
     /// Print the paper's Fig. 2 property matrix.
     pub fn run(_cfg: &ExpConfig) {
         println!("## Fig. 2: qualitative comparison of reweighing interventions");
-        println!("{:<28} {:>5} {:>5} {:>5} {:>5} {:>5} {:>8}", "property", "DRO", "LAH", "CAP", "KAM", "OMN", "ConFair");
+        println!(
+            "{:<28} {:>5} {:>5} {:>5} {:>5} {:>5} {:>8}",
+            "property", "DRO", "LAH", "CAP", "KAM", "OMN", "ConFair"
+        );
         let rows = [
-            ("non-invasive wrt data", ["yes", "yes", "no", "yes", "yes", "yes"]),
-            ("non-invasive wrt model", ["no", "no", "yes", "yes", "yes", "yes"]),
-            ("flexible intervention", ["no", "no", "no", "no", "yes", "yes"]),
-            ("intra-group variability", ["yes", "yes", "no", "no", "no", "yes"]),
+            (
+                "non-invasive wrt data",
+                ["yes", "yes", "no", "yes", "yes", "yes"],
+            ),
+            (
+                "non-invasive wrt model",
+                ["no", "no", "yes", "yes", "yes", "yes"],
+            ),
+            (
+                "flexible intervention",
+                ["no", "no", "no", "no", "yes", "yes"],
+            ),
+            (
+                "intra-group variability",
+                ["yes", "yes", "no", "no", "no", "yes"],
+            ),
         ];
         for (prop, vals) in rows {
             println!(
@@ -74,7 +101,10 @@ pub mod fig04 {
     /// Generate every simulator and print its measured Fig. 4 row next to
     /// the paper's target statistics.
     pub fn run(cfg: &ExpConfig) {
-        println!("## Fig. 4: dataset summary (measured at scale {})", cfg.scale);
+        println!(
+            "## Fig. 4: dataset summary (measured at scale {})",
+            cfg.scale
+        );
         println!(
             "{:<8} {:>8} {:>6} {:>6} {:>10} {:>10} {:>12} {:>12}",
             "dataset", "size", "#num", "#cat", "minority%", "target%", "U-positive%", "target%"
@@ -205,18 +235,27 @@ pub mod fig07 {
             );
             runner::print_panel(
                 &format!("{title} — DI*"),
-                &results, &REAL_DATASETS, &["NoIntervention", "OMN", "ConFair"],
-                deployer.name(), |r| r.di_star,
+                &results,
+                &REAL_DATASETS,
+                &["NoIntervention", "OMN", "ConFair"],
+                deployer.name(),
+                |r| r.di_star,
             );
             runner::print_panel(
                 &format!("{title} — AOD*"),
-                &results, &REAL_DATASETS, &["NoIntervention", "OMN", "ConFair"],
-                deployer.name(), |r| r.aod_star,
+                &results,
+                &REAL_DATASETS,
+                &["NoIntervention", "OMN", "ConFair"],
+                deployer.name(),
+                |r| r.aod_star,
             );
             runner::print_panel(
                 &format!("{title} — BalAcc"),
-                &results, &REAL_DATASETS, &["NoIntervention", "OMN", "ConFair"],
-                deployer.name(), |r| r.balanced_accuracy,
+                &results,
+                &REAL_DATASETS,
+                &["NoIntervention", "OMN", "ConFair"],
+                deployer.name(),
+                |r| r.balanced_accuracy,
             );
             all.extend(results);
         }
@@ -255,10 +294,9 @@ pub mod sweep {
 
     fn group_metric(target: FairnessTarget, gc: &GroupConfusion) -> (f64, f64) {
         match target {
-            FairnessTarget::DisparateImpact => (
-                gc.minority.selection_rate(),
-                gc.majority.selection_rate(),
-            ),
+            FairnessTarget::DisparateImpact => {
+                (gc.minority.selection_rate(), gc.majority.selection_rate())
+            }
             FairnessTarget::EqOddsFnr => (gc.minority.fnr(), gc.majority.fnr()),
             FairnessTarget::EqOddsFpr => (gc.minority.fpr(), gc.majority.fpr()),
         }
@@ -292,7 +330,10 @@ pub mod sweep {
                 let intervention: Box<dyn Intervention> = match method {
                     "ConFair" => Box::new(ConFair::new(ConFairConfig {
                         // The paper's sweeps fix α_w = 0 and move α_u only.
-                        alpha: AlphaMode::Fixed { alpha_u: degree, alpha_w: 0.0 },
+                        alpha: AlphaMode::Fixed {
+                            alpha_u: degree,
+                            alpha_w: 0.0,
+                        },
                         target,
                         ..ConFairConfig::default()
                     })),
@@ -345,8 +386,14 @@ pub mod sweep {
                 );
                 println!(
                     "{:>8} {:>12} {:>12} {:>8}",
-                    if method == "ConFair" { "alpha_u" } else { "lambda" },
-                    "minority", "majority", "BalAcc"
+                    if method == "ConFair" {
+                        "alpha_u"
+                    } else {
+                        "lambda"
+                    },
+                    "minority",
+                    "majority",
+                    "BalAcc"
                 );
                 for p in points
                     .iter()
@@ -392,7 +439,10 @@ pub mod fig10 {
     pub fn run(cfg: &ExpConfig) {
         let d = syn_drift_scaled(1, cfg.scale.min(1.0), cfg.seed);
         println!("## Fig. 10: Syn1 synthetic dataset (n = {})", d.len());
-        println!("{:>6} {:>6} {:>10} {:>10} {:>10} {:>10}", "group", "label", "mean X1", "mean X2", "std X1", "std X2");
+        println!(
+            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            "group", "label", "mean X1", "mean X2", "std X1", "std X2"
+        );
         for cell in cf_data::CellIndex::binary_cells() {
             let idx = d.cell_indices(cell);
             let m = d.numeric_matrix(Some(&idx));
@@ -440,9 +490,30 @@ pub mod fig11 {
             seed: cfg.seed,
         };
         let results = runner::run_grid(&spec);
-        runner::print_panel("Fig. 11: DI*, LR models", &results, &names, &METHODS, "LR", |r| r.di_star);
-        runner::print_panel("Fig. 11: AOD*, LR models", &results, &names, &METHODS, "LR", |r| r.aod_star);
-        runner::print_panel("Fig. 11: BalAcc, LR models", &results, &names, &METHODS, "LR", |r| r.balanced_accuracy);
+        runner::print_panel(
+            "Fig. 11: DI*, LR models",
+            &results,
+            &names,
+            &METHODS,
+            "LR",
+            |r| r.di_star,
+        );
+        runner::print_panel(
+            "Fig. 11: AOD*, LR models",
+            &results,
+            &names,
+            &METHODS,
+            "LR",
+            |r| r.aod_star,
+        );
+        runner::print_panel(
+            "Fig. 11: BalAcc, LR models",
+            &results,
+            &names,
+            &METHODS,
+            "LR",
+            |r| r.balanced_accuracy,
+        );
         cfg.save_json("fig11_synthetic_difffair", &results);
     }
 }
@@ -486,7 +557,13 @@ pub mod fig13 {
     use super::*;
 
     /// Methods: each strategy with and without the optimisation.
-    pub const METHODS: [&str; 5] = ["NoIntervention", "DiffFair0", "DiffFair", "ConFair0", "ConFair"];
+    pub const METHODS: [&str; 5] = [
+        "NoIntervention",
+        "DiffFair0",
+        "DiffFair",
+        "ConFair0",
+        "ConFair",
+    ];
 
     /// Run the grid and print the six panels.
     pub fn run(cfg: &ExpConfig) {
@@ -526,8 +603,14 @@ pub mod fig14 {
         let results = runner::run_grid(&spec);
         for learner in LearnerKind::both() {
             runner::print_panel(
-                &format!("Fig. 14: intervention+training runtime (s), {} models", learner.name()),
-                &results, &REAL_DATASETS, &METHODS, learner.name(),
+                &format!(
+                    "Fig. 14: intervention+training runtime (s), {} models",
+                    learner.name()
+                ),
+                &results,
+                &REAL_DATASETS,
+                &METHODS,
+                learner.name(),
                 |r| r.runtime_secs,
             );
         }

@@ -1,11 +1,11 @@
 //! The shared experiment runner: method registry, per-cell repetition, and
 //! rayon-parallel grids.
 
+use cf_baselines::omn::OmniFairConfig;
 use cf_baselines::{Capuchin, KamiranCalders, OmniFair};
 use cf_data::Dataset;
 use cf_learners::LearnerKind;
 use cf_metrics::FairnessReport;
-use cf_baselines::omn::OmniFairConfig;
 use confair_core::{
     confair::{ConFair, ConFairConfig},
     difffair::DiffFair,
@@ -100,15 +100,8 @@ pub fn run_cell(
     reps: usize,
     seed: u64,
 ) -> Option<CellOutcome> {
-    let outcomes = evaluate_repeated(
-        data,
-        method,
-        learner,
-        Pipeline::paper_default(),
-        seed,
-        reps,
-    )
-    .ok()?;
+    let outcomes =
+        evaluate_repeated(data, method, learner, Pipeline::paper_default(), seed, reps).ok()?;
     let reports: Vec<FairnessReport> = outcomes.iter().map(|o| o.report.clone()).collect();
     let mean = FairnessReport::mean(&reports);
     let series = |f: fn(&FairnessReport) -> f64| -> Vec<f64> { reports.iter().map(f).collect() };
@@ -156,12 +149,11 @@ pub fn run_grid(spec: &GridSpec<'_>) -> Vec<CellOutcome> {
         .collect();
     // Deterministic ordering for printing: dataset, then method, then learner.
     results.sort_by(|a, b| {
-        (
-            &a.report.dataset,
-            &a.report.method,
-            &a.report.learner,
-        )
-            .cmp(&(&b.report.dataset, &b.report.method, &b.report.learner))
+        (&a.report.dataset, &a.report.method, &a.report.learner).cmp(&(
+            &b.report.dataset,
+            &b.report.method,
+            &b.report.learner,
+        ))
     });
     results
 }
@@ -190,7 +182,13 @@ pub fn print_panel(
             });
             match cell {
                 Some(c) => {
-                    let flag = if c.report.degenerate { "!" } else if c.report.favors_minority { "^" } else { " " };
+                    let flag = if c.report.degenerate {
+                        "!"
+                    } else if c.report.favors_minority {
+                        "^"
+                    } else {
+                        " "
+                    };
                     print!(" {:>7.3}{flag}", metric(&c.report));
                 }
                 None => print!(" {:>8}", "--"),

@@ -37,7 +37,8 @@ fn fig10_emits_csv() {
 #[test]
 fn fig11_synthetic_grid_runs() {
     figures::fig11::run(&tiny());
-    let json = std::fs::read_to_string(tiny().out_dir.join("fig11_synthetic_difffair.json")).unwrap();
+    let json =
+        std::fs::read_to_string(tiny().out_dir.join("fig11_synthetic_difffair.json")).unwrap();
     let rows: serde_json::Value = serde_json::from_str(&json).unwrap();
     // 5 synthetic datasets × 4 methods × 1 learner (cells that failed are
     // omitted, so ≤ 20 but at least the no-intervention cells must exist).

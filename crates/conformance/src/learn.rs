@@ -67,8 +67,7 @@ pub fn learn_constraints(x: &Matrix, opts: &LearnOptions) -> ConstraintSet {
 
     // Eigenvalues arrive sorted descending; σ = sqrt(max(λ, 0)).
     let stds: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
-    let sigma_mean =
-        (stds.iter().sum::<f64>() / stds.len() as f64).max(1e-12);
+    let sigma_mean = (stds.iter().sum::<f64>() / stds.len() as f64).max(1e-12);
 
     let mut projections: Vec<Projection> = (0..stds.len())
         .map(|j| {

@@ -162,7 +162,10 @@ mod tests {
             importance: 1.0,
         };
         let v = p.violation(&[0.5]);
-        assert!(v > 0.999 && v <= 1.0, "degenerate projection saturates: {v}");
+        assert!(
+            v > 0.999 && v <= 1.0,
+            "degenerate projection saturates: {v}"
+        );
         assert_eq!(p.violation(&[0.0]), 0.0);
     }
 

@@ -249,7 +249,10 @@ mod tests {
         assert_eq!(s.projections()[0].lb, lb, "bounds unchanged");
         assert_eq!(s.projections()[0].ub, ub);
         let after = s.violation(&[2.0]);
-        assert!(after < before, "wider σ saturates slower: {after} < {before}");
+        assert!(
+            after < before,
+            "wider σ saturates slower: {after} < {before}"
+        );
         // Conformance (violation = 0) is unchanged inside the bounds.
         assert_eq!(s.violation(&[0.1]), 0.0);
         // Zero-variance rescale data leaves σ untouched.
@@ -268,7 +271,14 @@ mod tests {
         // The corner of the minority-positive dense region of Fig. 1
         // (X1 = 1.5, X2 = 0.8): F_w = 0.9275 > 0.902, F_u = -0.9065 within bounds.
         let t = [1.5, 0.8];
-        assert_eq!(phi_u.violation(&t), 0.0, "conforms to the minority constraints");
-        assert!(phi_w.violation(&t) > 0.0, "violates the majority constraints");
+        assert_eq!(
+            phi_u.violation(&t),
+            0.0,
+            "conforms to the minority constraints"
+        );
+        assert!(
+            phi_w.violation(&t) > 0.0,
+            "violates the majority constraints"
+        );
     }
 }

@@ -1,6 +1,8 @@
 //! Property tests for conformance-constraint invariants.
 
-use cf_conformance::{learn_constraints, ConstraintFamily, ConstraintSet, LearnOptions, Projection};
+use cf_conformance::{
+    learn_constraints, ConstraintFamily, ConstraintSet, LearnOptions, Projection,
+};
 use cf_linalg::Matrix;
 use proptest::prelude::*;
 

@@ -162,8 +162,10 @@ impl Intervention for DiffFair {
         let encoding = FeatureEncoding::fit(train);
 
         // ---- lines 4–8: constraints per (group, label) cell ----
-        let filtered: Option<Vec<(CellIndex, Vec<usize>)>> =
-            self.config.density_filter.map(|cfg| density_filter(train, cfg));
+        let filtered: Option<Vec<(CellIndex, Vec<usize>)>> = self
+            .config
+            .density_filter
+            .map(|cfg| density_filter(train, cfg));
         let mut cc_w = ConstraintFamily::new();
         let mut cc_u = ConstraintFamily::new();
         for cell in CellIndex::binary_cells() {

@@ -38,11 +38,7 @@ pub struct SingleModelPredictor {
 
 impl SingleModelPredictor {
     /// Train `learner` on (optionally weighted) `train` data.
-    pub fn fit(
-        train: &Dataset,
-        learner: LearnerKind,
-        weights: Option<&[f64]>,
-    ) -> Result<Self> {
+    pub fn fit(train: &Dataset, learner: LearnerKind, weights: Option<&[f64]>) -> Result<Self> {
         let (encoding, x) = FeatureEncoding::fit_transform(train);
         let y = labels_as_f64(train);
         let mut model = learner.build();
@@ -89,8 +85,8 @@ impl Intervention for NoIntervention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cf_datasets::toy::figure1;
     use cf_data::split::{split3, SplitRatios};
+    use cf_datasets::toy::figure1;
 
     #[test]
     fn no_intervention_trains_and_predicts() {
@@ -115,10 +111,10 @@ mod tests {
         let preds = p.predict(&s.test).unwrap();
         let mut hits = 0;
         let mut total = 0;
-        for i in 0..s.test.len() {
-            if s.test.groups()[i] == 0 {
+        for ((&p, &g), &y) in preds.iter().zip(s.test.groups()).zip(s.test.labels()) {
+            if g == 0 {
                 total += 1;
-                if preds[i] == s.test.labels()[i] {
+                if p == y {
                     hits += 1;
                 }
             }

@@ -90,6 +90,25 @@ pub fn evaluate(
     Ok(EvalOutcome { report, confusion })
 }
 
+/// Derive the per-repetition seed from `(base_seed, r)` without collisions.
+///
+/// The affine form used previously — `(base_seed + 1000) * 31 + r` — made
+/// nearby pairs share seeds (e.g. `(1, 31)` and `(2, 0)`), silently
+/// correlating repetitions across experiments. With `base·φ + r` (φ odd and
+/// huge), two pairs can only collide mod 2^64 when their base seeds differ
+/// by `(r₁ − r₂)·φ⁻¹` — an astronomical separation for realistic rep counts
+/// — and the splitmix64 finaliser is a bijection, so realistic (base, r)
+/// pairs always yield distinct, well-scrambled seeds.
+pub fn repetition_seed(base_seed: u64, r: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(r)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Repeat [`evaluate`] over `reps` different split seeds and return every
 /// outcome (callers aggregate with [`FairnessReport::mean`]). A repetition
 /// that fails (e.g. a learner diverging under extreme weights — the paper's
@@ -107,7 +126,7 @@ pub fn evaluate_repeated(
     let mut outcomes = Vec::with_capacity(reps);
     let mut last_err = None;
     for r in 0..reps {
-        let seed = base_seed.wrapping_add(1000).wrapping_mul(31).wrapping_add(r as u64);
+        let seed = repetition_seed(base_seed, r as u64);
         match evaluate(data, intervention, learner, pipeline, seed) {
             Ok(o) => outcomes.push(o),
             Err(e) => last_err = Some(e),
@@ -219,6 +238,23 @@ mod tests {
         .unwrap();
         assert_eq!(out.report.method, "ConFair");
         assert!(out.report.di_star > 0.0);
+    }
+
+    #[test]
+    fn repetition_seeds_do_not_collide() {
+        // The regression that motivated `repetition_seed`: the old affine
+        // derivation mapped (1, 31) and (2, 0) to the same seed.
+        assert_ne!(repetition_seed(1, 31), repetition_seed(2, 0));
+        // Exhaustive check over a realistic experiment envelope.
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..64u64 {
+            for r in 0..64u64 {
+                assert!(
+                    seen.insert(repetition_seed(base, r)),
+                    "seed collision at base={base}, r={r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,10 +20,22 @@ impl CellIndex {
     /// All four cells of a binary-label, two-group dataset, in a fixed order.
     pub fn binary_cells() -> [CellIndex; 4] {
         [
-            CellIndex { group: MAJORITY, label: 0 },
-            CellIndex { group: MAJORITY, label: 1 },
-            CellIndex { group: MINORITY, label: 0 },
-            CellIndex { group: MINORITY, label: 1 },
+            CellIndex {
+                group: MAJORITY,
+                label: 0,
+            },
+            CellIndex {
+                group: MAJORITY,
+                label: 1,
+            },
+            CellIndex {
+                group: MINORITY,
+                label: 0,
+            },
+            CellIndex {
+                group: MINORITY,
+                label: 1,
+            },
         ]
     }
 }
@@ -132,7 +144,11 @@ impl Dataset {
 
     /// Number of distinct label values (`c` in the paper); 0 when empty.
     pub fn num_classes(&self) -> usize {
-        self.labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+        self.labels
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1)
     }
 
     /// Instance weights, if any intervention has attached them.
@@ -202,7 +218,9 @@ impl Dataset {
 
     /// Tuple indices belonging to a group (either label).
     pub fn group_indices(&self, group: u8) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.groups[i] == group).collect()
+        (0..self.len())
+            .filter(|&i| self.groups[i] == group)
+            .collect()
     }
 
     /// Count of tuples in a (group, label) cell.
@@ -264,7 +282,10 @@ impl Dataset {
     /// Summary statistics in the shape of the paper's Fig. 4 rows.
     pub fn summary(&self) -> DatasetSummary {
         let minority = self.group_count(MINORITY);
-        let minority_pos = self.cell_count(CellIndex { group: MINORITY, label: 1 });
+        let minority_pos = self.cell_count(CellIndex {
+            group: MINORITY,
+            label: 1,
+        });
         let numeric = self.numeric_column_indices().len();
         DatasetSummary {
             name: self.name.clone(),

@@ -58,7 +58,9 @@ impl FeatureEncoding {
                     feature_names.push(train.column_names()[j].clone());
                 }
                 Column::Categorical { levels, .. } => {
-                    encoders.push(ColumnEncoder::OneHot { n_levels: levels.len() });
+                    encoders.push(ColumnEncoder::OneHot {
+                        n_levels: levels.len(),
+                    });
                     for l in levels {
                         feature_names.push(format!("{}={}", train.column_names()[j], l));
                     }

@@ -39,12 +39,13 @@ impl GroupSpec {
                 minority_below,
             } => {
                 let j = ds.column_index(column)?;
-                let values = ds.column(j).as_numeric().ok_or_else(|| {
-                    DataError::WrongColumnKind {
-                        name: column.clone(),
-                        expected: "numeric",
-                    }
-                })?;
+                let values =
+                    ds.column(j)
+                        .as_numeric()
+                        .ok_or_else(|| DataError::WrongColumnKind {
+                            name: column.clone(),
+                            expected: "numeric",
+                        })?;
                 Ok(values
                     .iter()
                     .map(|&v| {
@@ -59,12 +60,13 @@ impl GroupSpec {
             }
             GroupSpec::CategoricalIn { column, levels } => {
                 let j = ds.column_index(column)?;
-                let (codes, col_levels) = ds.column(j).as_categorical().ok_or_else(|| {
-                    DataError::WrongColumnKind {
-                        name: column.clone(),
-                        expected: "categorical",
-                    }
-                })?;
+                let (codes, col_levels) =
+                    ds.column(j)
+                        .as_categorical()
+                        .ok_or_else(|| DataError::WrongColumnKind {
+                            name: column.clone(),
+                            expected: "categorical",
+                        })?;
                 let minority_codes: Vec<u32> = col_levels
                     .iter()
                     .enumerate()

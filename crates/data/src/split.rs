@@ -24,7 +24,10 @@ impl SplitRatios {
 
     /// Construct with validation of the fractions.
     pub fn new(train: f64, validation: f64) -> Self {
-        assert!(train > 0.0 && validation >= 0.0, "fractions must be positive");
+        assert!(
+            train > 0.0 && validation >= 0.0,
+            "fractions must be positive"
+        );
         assert!(
             train + validation < 1.0 + 1e-12,
             "train + validation must leave room for test"
@@ -178,7 +181,10 @@ mod tests {
         let b = split3(&d, SplitRatios::paper_default(), 11);
         assert_eq!(a.train, b.train);
         let c = split3(&d, SplitRatios::paper_default(), 12);
-        assert_ne!(a.train, c.train, "different seed should shuffle differently");
+        assert_ne!(
+            a.train, c.train,
+            "different seed should shuffle differently"
+        );
     }
 
     #[test]
@@ -203,12 +209,7 @@ mod tests {
         d.set_weights(w).unwrap();
         let r = weighted_resample(&d, 25, 9);
         assert_eq!(r.len(), 25);
-        assert!(r
-            .column(0)
-            .as_numeric()
-            .unwrap()
-            .iter()
-            .all(|&v| v == 3.0));
+        assert!(r.column(0).as_numeric().unwrap().iter().all(|&v| v == 3.0));
     }
 
     #[test]
@@ -218,7 +219,7 @@ mod tests {
         // Every tuple should appear at least once with overwhelming probability.
         let xs = r.column(0).as_numeric().unwrap();
         for i in 0..10 {
-            assert!(xs.iter().any(|&v| v == i as f64), "missing tuple {i}");
+            assert!(xs.contains(&(i as f64)), "missing tuple {i}");
         }
     }
 

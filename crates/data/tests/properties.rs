@@ -1,6 +1,8 @@
 //! Property tests for the dataset substrate.
 
-use cf_data::{split::split3, split::split3_stratified, Column, Dataset, FeatureEncoding, SplitRatios};
+use cf_data::{
+    split::split3, split::split3_stratified, Column, Dataset, FeatureEncoding, SplitRatios,
+};
 use proptest::prelude::*;
 
 /// Strategy producing a random small dataset with one numeric and one

@@ -1,8 +1,11 @@
 //! # cf-datasets
 //!
-//! Workload generators for the ConFair reproduction. Three families:
+//! Workload generators for the ConFair reproduction. Four families:
 //!
 //! * [`toy`] — the 2-D two-group illustration of the paper's Fig. 1.
+//! * [`stream`] — time-ordered drifting streams with a configurable
+//!   group-conditional drift onset, feeding the `cf-stream` monitoring
+//!   subsystem.
 //! * [`synthgen`] — a `make_classification`-equivalent generator and the
 //!   Syn1–Syn5 severe-drift datasets of Fig. 10/11 (majority and minority
 //!   share the feature space but their label-conditional distributions are
@@ -15,10 +18,12 @@
 //! All generators are deterministic given a seed.
 
 pub mod realsim;
+pub mod stream;
 pub mod synthgen;
 pub mod toy;
 
 pub use realsim::RealWorldSpec;
+pub use stream::{DriftStream, DriftStreamSpec};
 pub use synthgen::SynSpec;
 
 use rand::{rngs::StdRng, Rng};

@@ -301,7 +301,8 @@ impl RealWorldSpec {
         // ----- sampling -----
         let total: usize = cells.iter().map(|&(_, _, c)| c).sum();
         let mut numeric: Vec<Vec<f64>> = vec![Vec::with_capacity(total); q];
-        let mut categorical: Vec<Vec<u32>> = vec![Vec::with_capacity(total); self.categorical_attrs];
+        let mut categorical: Vec<Vec<u32>> =
+            vec![Vec::with_capacity(total); self.categorical_attrs];
         let mut labels: Vec<u8> = Vec::with_capacity(total);
         let mut groups: Vec<u8> = Vec::with_capacity(total);
 
@@ -335,9 +336,7 @@ impl RealWorldSpec {
                     let params = &cat_params[a];
                     let weights: Vec<f64> = params
                         .iter()
-                        .map(|&(b, gt, lt)| {
-                            (b + gt * f64::from(g) + lt * f64::from(y)).exp()
-                        })
+                        .map(|&(b, gt, lt)| (b + gt * f64::from(g) + lt * f64::from(y)).exp())
                         .collect();
                     let total_w: f64 = weights.iter().sum();
                     let mut u: f64 = rng.gen_range(0.0..total_w);
@@ -402,7 +401,10 @@ mod tests {
         let specs = RealWorldSpec::all();
         assert_eq!(specs.len(), 7);
         let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
-        assert_eq!(names, ["MEPS", "LSAC", "Credit", "ACSP", "ACSH", "ACSE", "ACSI"]);
+        assert_eq!(
+            names,
+            ["MEPS", "LSAC", "Credit", "ACSP", "ACSH", "ACSE", "ACSI"]
+        );
         let meps = RealWorldSpec::by_name("MEPS").unwrap();
         assert_eq!(meps.n, 15_675);
         assert_eq!(meps.numeric_attrs, 6);
@@ -415,11 +417,17 @@ mod tests {
         let spec = RealWorldSpec::by_name("LSAC").unwrap();
         let d = spec.generate_scaled(0.2, 1);
         let s = d.summary();
-        assert!((s.minority_fraction - spec.minority_fraction).abs() < 0.02,
-            "minority fraction {}", s.minority_fraction);
+        assert!(
+            (s.minority_fraction - spec.minority_fraction).abs() < 0.02,
+            "minority fraction {}",
+            s.minority_fraction
+        );
         // Label noise perturbs the positive rate slightly.
-        assert!((s.minority_positive_fraction - spec.minority_pos_rate).abs() < 0.06,
-            "minority positive rate {}", s.minority_positive_fraction);
+        assert!(
+            (s.minority_positive_fraction - spec.minority_pos_rate).abs() < 0.06,
+            "minority positive rate {}",
+            s.minority_positive_fraction
+        );
         assert_eq!(s.numeric_attrs, spec.numeric_attrs);
         assert_eq!(s.categorical_attrs, spec.categorical_attrs);
     }
@@ -434,10 +442,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed_and_distinct_across_datasets() {
-        let a = RealWorldSpec::by_name("ACSE").unwrap().generate_scaled(0.02, 3);
-        let b = RealWorldSpec::by_name("ACSE").unwrap().generate_scaled(0.02, 3);
+        let a = RealWorldSpec::by_name("ACSE")
+            .unwrap()
+            .generate_scaled(0.02, 3);
+        let b = RealWorldSpec::by_name("ACSE")
+            .unwrap()
+            .generate_scaled(0.02, 3);
         assert_eq!(a, b);
-        let c = RealWorldSpec::by_name("ACSI").unwrap().generate_scaled(0.02, 3);
+        let c = RealWorldSpec::by_name("ACSI")
+            .unwrap()
+            .generate_scaled(0.02, 3);
         assert_ne!(a.labels(), c.labels());
     }
 
@@ -462,7 +476,10 @@ mod tests {
     fn minority_positive_cell_has_outlier_tail() {
         let spec = RealWorldSpec::by_name("Credit").unwrap();
         let d = spec.generate_scaled(0.1, 5);
-        let idx = d.cell_indices(CellIndex { group: MINORITY, label: 1 });
+        let idx = d.cell_indices(CellIndex {
+            group: MINORITY,
+            label: 1,
+        });
         let m = d.numeric_matrix(Some(&idx));
         // Distance of each tuple from the cell's own mean: the outlier mix
         // makes the 95th percentile much larger than the median.
@@ -473,7 +490,10 @@ mod tests {
             .collect();
         let med = cf_linalg::vector::quantile(&dists, 0.5);
         let p95 = cf_linalg::vector::quantile(&dists, 0.95);
-        assert!(p95 > 1.8 * med, "heavy tail expected: median {med}, p95 {p95}");
+        assert!(
+            p95 > 1.8 * med,
+            "heavy tail expected: median {med}, p95 {p95}"
+        );
     }
 
     #[test]
@@ -485,10 +505,7 @@ mod tests {
         let w = d.group_indices(0);
         let u = d.group_indices(1);
         let mut max_tv = 0.0_f64;
-        for j in d
-            .numeric_column_indices()
-            .len()..d.num_attributes()
-        {
+        for j in d.numeric_column_indices().len()..d.num_attributes() {
             let (codes, levels) = d.column(j).as_categorical().unwrap();
             let hist = |idx: &[usize]| -> Vec<f64> {
                 let mut h = vec![0.0; levels.len()];

@@ -1,0 +1,381 @@
+//! Synthetic drifting streams for the online monitoring subsystem.
+//!
+//! [`DriftStream`] emits time-ordered micro-batches of the `synthgen`
+//! geometry. Before `drift_onset` both groups share the same
+//! label-direction (+e1) — a single fair model serves both. From the onset
+//! the drifted group's label-conditional distribution rotates by
+//! `drift_angle` (optionally ramped over `transition` tuples): exactly the
+//! group-conditional drift the paper equates with emerging unfairness. A
+//! model trained on the pre-drift reference starts mis-serving the drifted
+//! group, its conformance-violation rate rises, and the windowed disparate
+//! impact decays — the signals `cf-stream` is built to catch.
+
+use crate::normal_vec;
+use cf_data::{Column, Dataset, MINORITY};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Specification of a drifting stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStreamSpec {
+    /// Total features; the first two are informative, the rest noise.
+    pub n_features: usize,
+    /// Distance between class centers along a group's label direction.
+    pub class_sep: f64,
+    /// Within-cluster standard deviation (majority).
+    pub cluster_std: f64,
+    /// Minority cluster std as a fraction of `cluster_std`.
+    pub minority_std_factor: f64,
+    /// Offset of the minority's center, orthogonal to its label direction.
+    pub minority_offset: f64,
+    /// Probability an arriving tuple belongs to the minority.
+    pub minority_fraction: f64,
+    /// Probability of a positive label.
+    pub positive_rate: f64,
+    /// Tuple index at which the drift begins.
+    pub drift_onset: u64,
+    /// Rotation (radians) of the drifted group's label direction after the
+    /// onset. π fully opposes the labels; π/2 makes them orthogonal.
+    pub drift_angle: f64,
+    /// Which group drifts.
+    pub drift_group: u8,
+    /// Tuples over which the rotation ramps from 0 to `drift_angle`
+    /// (0 = abrupt shift).
+    pub transition: u64,
+}
+
+impl Default for DriftStreamSpec {
+    fn default() -> Self {
+        DriftStreamSpec {
+            n_features: 2,
+            class_sep: 1.6,
+            cluster_std: 0.45,
+            minority_std_factor: 0.85,
+            minority_offset: 1.1,
+            minority_fraction: 0.35,
+            positive_rate: 0.5,
+            drift_onset: 10_000,
+            drift_angle: std::f64::consts::FRAC_PI_2,
+            drift_group: MINORITY,
+            transition: 0,
+        }
+    }
+}
+
+impl DriftStreamSpec {
+    /// A stationary (never-drifting) sample of `n` tuples — the labeled
+    /// reference used to bootstrap a `StreamEngine`. Uses an independent
+    /// RNG stream from the live stream itself.
+    pub fn reference(&self, n: usize, seed: u64) -> Dataset {
+        let mut stationary = *self;
+        stationary.drift_onset = u64::MAX;
+        let mut stream = DriftStream::new(stationary, seed ^ 0xA5A5_5A5A_1234_8765);
+        stream.next_batch_named(n, "drift-reference")
+    }
+}
+
+/// The stateful generator: deterministic per seed, time-ordered output.
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    spec: DriftStreamSpec,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl DriftStream {
+    /// A stream positioned at tuple 0.
+    ///
+    /// # Panics
+    /// Panics on non-sensical specs (fractions outside (0, 1), fewer than
+    /// 2 features, or a non-binary drift group).
+    pub fn new(spec: DriftStreamSpec, seed: u64) -> Self {
+        assert!(spec.n_features >= 2, "need the 2 informative features");
+        assert!(
+            spec.minority_fraction > 0.0 && spec.minority_fraction < 1.0,
+            "minority fraction must be in (0, 1)"
+        );
+        assert!(
+            spec.positive_rate > 0.0 && spec.positive_rate < 1.0,
+            "positive rate must be in (0, 1)"
+        );
+        assert!(spec.drift_group < 2, "drift group must be binary");
+        DriftStream {
+            spec,
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(11)),
+            emitted: 0,
+        }
+    }
+
+    /// Tuples emitted so far (the stream clock).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The active rotation angle of the drifted group at stream time `t`.
+    pub fn angle_at(&self, t: u64) -> f64 {
+        let spec = &self.spec;
+        if t < spec.drift_onset {
+            0.0
+        } else if spec.transition == 0 {
+            spec.drift_angle
+        } else {
+            let progress = (t - spec.drift_onset) as f64 / spec.transition as f64;
+            spec.drift_angle * progress.min(1.0)
+        }
+    }
+
+    /// Emit the next `k` tuples as a time-ordered dataset named `stream`.
+    pub fn next_batch(&mut self, k: usize) -> Dataset {
+        self.next_batch_named(k, "stream")
+    }
+
+    /// Emit the next `k` tuples under an explicit dataset name.
+    pub fn next_batch_named(&mut self, k: usize, name: &str) -> Dataset {
+        let d = self.spec.n_features;
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(k); d];
+        let mut labels = Vec::with_capacity(k);
+        let mut groups = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (x, y, g) = self.emit_one();
+            for (j, v) in x.into_iter().enumerate() {
+                columns[j].push(v);
+            }
+            labels.push(y);
+            groups.push(g);
+        }
+        let col_names: Vec<String> = (0..d).map(|j| format!("X{}", j + 1)).collect();
+        Dataset::new(
+            name,
+            col_names,
+            columns.into_iter().map(Column::Numeric).collect(),
+            labels,
+            groups,
+        )
+        .expect("generated buffers are consistent")
+    }
+
+    fn emit_one(&mut self) -> (Vec<f64>, u8, u8) {
+        let spec = self.spec;
+        let group = u8::from(self.rng.gen_bool(spec.minority_fraction));
+        let label = u8::from(self.rng.gen_bool(spec.positive_rate));
+        let sign = if label == 1 { 1.0 } else { -1.0 };
+
+        // Label direction: +e1, rotated for the drifted group once the
+        // stream clock passes the onset.
+        let angle = if group == spec.drift_group {
+            self.angle_at(self.emitted)
+        } else {
+            0.0
+        };
+        let dir = [angle.cos(), angle.sin()];
+        // The minority lives in a tighter sub-region offset orthogonally to
+        // its label direction (the Fig. 10 geometry), so the offset itself
+        // carries no label signal.
+        let (offset, std) = if group == MINORITY {
+            (
+                [
+                    -dir[1] * spec.minority_offset,
+                    dir[0] * spec.minority_offset,
+                ],
+                spec.cluster_std * spec.minority_std_factor,
+            )
+        } else {
+            ([0.0, 0.0], spec.cluster_std)
+        };
+
+        let mut x = normal_vec(&mut self.rng, spec.n_features);
+        for v in x.iter_mut() {
+            *v *= std;
+        }
+        x[0] += sign * spec.class_sep * 0.5 * dir[0] + offset[0];
+        x[1] += sign * spec.class_sep * 0.5 * dir[1] + offset[1];
+
+        self.emitted += 1;
+        (x, label, group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::{CellIndex, MAJORITY};
+
+    fn mean_of(d: &Dataset, cell: CellIndex, col: usize) -> f64 {
+        let idx = d.cell_indices(cell);
+        let m = d.numeric_matrix(Some(&idx));
+        cf_linalg::vector::mean(&m.col(col))
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = DriftStreamSpec::default();
+        let a = DriftStream::new(spec, 7).next_batch(500);
+        let b = DriftStream::new(spec, 7).next_batch(500);
+        assert_eq!(a, b);
+        let c = DriftStream::new(spec, 8).next_batch(500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batches_advance_the_clock() {
+        let mut s = DriftStream::new(DriftStreamSpec::default(), 1);
+        let first = s.next_batch(100);
+        assert_eq!(s.emitted(), 100);
+        let second = s.next_batch(100);
+        assert_eq!(s.emitted(), 200);
+        assert_ne!(first, second, "consecutive batches are fresh draws");
+    }
+
+    #[test]
+    fn group_and_label_rates_match_spec() {
+        let spec = DriftStreamSpec {
+            minority_fraction: 0.3,
+            positive_rate: 0.5,
+            ..DriftStreamSpec::default()
+        };
+        let d = DriftStream::new(spec, 3).next_batch(20_000);
+        let minority = d.group_count(MINORITY) as f64 / d.len() as f64;
+        let positives = d.label_count(1) as f64 / d.len() as f64;
+        assert!((minority - 0.3).abs() < 0.02, "minority rate {minority}");
+        assert!((positives - 0.5).abs() < 0.02, "positive rate {positives}");
+    }
+
+    #[test]
+    fn pre_onset_groups_share_label_direction() {
+        let spec = DriftStreamSpec {
+            drift_onset: 1_000_000,
+            ..DriftStreamSpec::default()
+        };
+        let d = DriftStream::new(spec, 4).next_batch(8_000);
+        for g in [MAJORITY, MINORITY] {
+            let pos = mean_of(&d, CellIndex { group: g, label: 1 }, 0);
+            let neg = mean_of(&d, CellIndex { group: g, label: 0 }, 0);
+            assert!(pos > 0.4, "group {g} positives along +X1: {pos}");
+            assert!(neg < -0.4, "group {g} negatives along -X1: {neg}");
+        }
+    }
+
+    #[test]
+    fn post_onset_minority_rotates_majority_does_not() {
+        let spec = DriftStreamSpec {
+            drift_onset: 0,
+            drift_angle: std::f64::consts::FRAC_PI_2,
+            ..DriftStreamSpec::default()
+        };
+        let d = DriftStream::new(spec, 5).next_batch(8_000);
+        // Majority unchanged: labels separate along X1.
+        let w_pos = mean_of(
+            &d,
+            CellIndex {
+                group: MAJORITY,
+                label: 1,
+            },
+            0,
+        );
+        assert!(w_pos > 0.4, "majority stays on +X1: {w_pos}");
+        // Minority rotated 90°: labels separate along X2, not X1.
+        let u_pos_x2 = mean_of(
+            &d,
+            CellIndex {
+                group: MINORITY,
+                label: 1,
+            },
+            1,
+        );
+        let u_neg_x2 = mean_of(
+            &d,
+            CellIndex {
+                group: MINORITY,
+                label: 0,
+            },
+            1,
+        );
+        assert!(
+            u_pos_x2 > 0.4,
+            "drifted minority positives along +X2: {u_pos_x2}"
+        );
+        assert!(
+            u_neg_x2 < -0.4,
+            "drifted minority negatives along -X2: {u_neg_x2}"
+        );
+    }
+
+    #[test]
+    fn transition_ramps_the_angle() {
+        let spec = DriftStreamSpec {
+            drift_onset: 1_000,
+            transition: 1_000,
+            drift_angle: 1.0,
+            ..DriftStreamSpec::default()
+        };
+        let s = DriftStream::new(spec, 6);
+        assert_eq!(s.angle_at(0), 0.0);
+        assert_eq!(s.angle_at(999), 0.0);
+        assert!((s.angle_at(1_500) - 0.5).abs() < 1e-12);
+        assert_eq!(s.angle_at(5_000), 1.0);
+    }
+
+    #[test]
+    fn reference_is_stationary_and_distinct_from_stream() {
+        let spec = DriftStreamSpec {
+            drift_onset: 0,
+            ..DriftStreamSpec::default()
+        };
+        let reference = spec.reference(4_000, 9);
+        // Even though the live stream drifts from tuple 0, the reference
+        // sample stays on the shared pre-drift geometry.
+        let u_pos = mean_of(
+            &reference,
+            CellIndex {
+                group: MINORITY,
+                label: 1,
+            },
+            0,
+        );
+        assert!(
+            u_pos > 0.4,
+            "reference minority positives along +X1: {u_pos}"
+        );
+        assert_eq!(reference.name(), "drift-reference");
+    }
+
+    #[test]
+    fn noise_features_are_uninformative() {
+        let spec = DriftStreamSpec {
+            n_features: 5,
+            ..DriftStreamSpec::default()
+        };
+        let d = DriftStream::new(spec, 10).next_batch(6_000);
+        assert_eq!(d.num_attributes(), 5);
+        for j in 2..5 {
+            let pos = mean_of(
+                &d,
+                CellIndex {
+                    group: MAJORITY,
+                    label: 1,
+                },
+                j,
+            );
+            let neg = mean_of(
+                &d,
+                CellIndex {
+                    group: MAJORITY,
+                    label: 0,
+                },
+                j,
+            );
+            assert!((pos - neg).abs() < 0.1, "noise col {j} separates labels");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_fraction_panics() {
+        let _ = DriftStream::new(
+            DriftStreamSpec {
+                minority_fraction: 1.5,
+                ..DriftStreamSpec::default()
+            },
+            0,
+        );
+    }
+}

@@ -82,7 +82,10 @@ impl SynSpec {
     /// `Syn<k>` when produced via [`SynSpec::syn`]-style specs or `Syn`
     /// otherwise.
     pub fn generate(&self, name: &str, seed: u64) -> Dataset {
-        assert!(self.n_features >= 2, "need at least the 2 informative features");
+        assert!(
+            self.n_features >= 2,
+            "need at least the 2 informative features"
+        );
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
 
         // Majority label direction: +e1. Minority: rotated by drift_angle in
@@ -102,14 +105,14 @@ impl SynSpec {
         let mut groups: Vec<u8> = Vec::with_capacity(rows.capacity());
 
         let emit = |rng: &mut StdRng,
-                        rows: &mut Vec<Vec<f64>>,
-                        labels: &mut Vec<u8>,
-                        groups: &mut Vec<u8>,
-                        group: u8,
-                        dir: [f64; 2],
-                        offset: [f64; 2],
-                        std: f64,
-                        count: usize| {
+                    rows: &mut Vec<Vec<f64>>,
+                    labels: &mut Vec<u8>,
+                    groups: &mut Vec<u8>,
+                    group: u8,
+                    dir: [f64; 2],
+                    offset: [f64; 2],
+                    std: f64,
+                    count: usize| {
             for k in 0..count {
                 let y = (k % 2) as u8; // 50/50 labels within each group
                 let sign = if y == 1 { 1.0 } else { -1.0 };
@@ -125,12 +128,26 @@ impl SynSpec {
             }
         };
         emit(
-            &mut rng, &mut rows, &mut labels, &mut groups,
-            0, w_dir, [0.0, 0.0], self.cluster_std, self.n_majority,
+            &mut rng,
+            &mut rows,
+            &mut labels,
+            &mut groups,
+            0,
+            w_dir,
+            [0.0, 0.0],
+            self.cluster_std,
+            self.n_majority,
         );
         emit(
-            &mut rng, &mut rows, &mut labels, &mut groups,
-            1, u_dir, u_offset, self.cluster_std * self.minority_std_factor, self.n_minority,
+            &mut rng,
+            &mut rows,
+            &mut labels,
+            &mut groups,
+            1,
+            u_dir,
+            u_offset,
+            self.cluster_std * self.minority_std_factor,
+            self.n_minority,
         );
 
         // flip_y label noise.
@@ -145,11 +162,16 @@ impl SynSpec {
         // Shuffle tuple order so splits don't see generation order.
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
-        let rows: Vec<Vec<f64>> = order.iter().map(|&i| std::mem::take(&mut rows[i])).collect();
+        let rows: Vec<Vec<f64>> = order
+            .iter()
+            .map(|&i| std::mem::take(&mut rows[i]))
+            .collect();
         let labels: Vec<u8> = order.iter().map(|&i| labels[i]).collect();
         let groups: Vec<u8> = order.iter().map(|&i| groups[i]).collect();
 
-        let col_names: Vec<String> = (0..self.n_features).map(|j| format!("X{}", j + 1)).collect();
+        let col_names: Vec<String> = (0..self.n_features)
+            .map(|j| format!("X{}", j + 1))
+            .collect();
         let columns: Vec<Column> = (0..self.n_features)
             .map(|j| Column::Numeric(rows.iter().map(|r| r[j]).collect()))
             .collect();
@@ -203,8 +225,14 @@ mod tests {
     fn syn1_label_directions_are_opposed() {
         let d = syn_drift(1, 3);
         // Mean X1 of majority positives is +sep/2; of minority positives −sep/2.
-        let wp = d.cell_indices(CellIndex { group: MAJORITY, label: 1 });
-        let up = d.cell_indices(CellIndex { group: MINORITY, label: 1 });
+        let wp = d.cell_indices(CellIndex {
+            group: MAJORITY,
+            label: 1,
+        });
+        let up = d.cell_indices(CellIndex {
+            group: MINORITY,
+            label: 1,
+        });
         let w_mean = cf_linalg::vector::mean(d.numeric_matrix(Some(&wp)).col(0).as_slice());
         let u_mean = cf_linalg::vector::mean(d.numeric_matrix(Some(&up)).col(0).as_slice());
         assert!(w_mean > 0.4, "majority positives on +X1: {w_mean}");
@@ -214,7 +242,10 @@ mod tests {
     #[test]
     fn syn5_directions_are_orthogonal() {
         let d = syn_drift(5, 4);
-        let up = d.cell_indices(CellIndex { group: MINORITY, label: 1 });
+        let up = d.cell_indices(CellIndex {
+            group: MINORITY,
+            label: 1,
+        });
         let m = d.numeric_matrix(Some(&up));
         let mean_x1 = cf_linalg::vector::mean(m.col(0).as_slice());
         let mean_x2 = cf_linalg::vector::mean(m.col(1).as_slice());
@@ -243,7 +274,10 @@ mod tests {
         let u = d.group_indices(MINORITY);
         let w_var = cf_linalg::vector::variance(d.numeric_matrix(Some(&w)).col(1).as_slice());
         let u_var = cf_linalg::vector::variance(d.numeric_matrix(Some(&u)).col(1).as_slice());
-        assert!(u_var < w_var, "minority spread {u_var} < majority spread {w_var}");
+        assert!(
+            u_var < w_var,
+            "minority spread {u_var} < majority spread {w_var}"
+        );
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub fn figure1_sized(seed: u64, majority_per_label: usize, minority_per_label: u
     let mut groups = Vec::new();
 
     // (group, label, center, spread, count)
-    let cells: [(u8, u8, [f64; 2], [f64; 2], usize); 4] = [
+    type CellSpec = (u8, u8, [f64; 2], [f64; 2], usize);
+    let cells: [CellSpec; 4] = [
         (0, 1, [0.5, 1.15], [0.28, 0.16], majority_per_label),
         (0, 0, [0.5, 0.55], [0.28, 0.16], majority_per_label),
         (1, 1, [1.44, 0.50], [0.045, 0.045], minority_per_label),
@@ -76,9 +77,15 @@ mod tests {
     #[test]
     fn sizes_match_spec() {
         let d = figure1(7);
-        assert_eq!(d.len(), 2 * (FIG1_MAJORITY_PER_LABEL + FIG1_MINORITY_PER_LABEL));
         assert_eq!(
-            d.cell_count(CellIndex { group: MINORITY, label: 1 }),
+            d.len(),
+            2 * (FIG1_MAJORITY_PER_LABEL + FIG1_MINORITY_PER_LABEL)
+        );
+        assert_eq!(
+            d.cell_count(CellIndex {
+                group: MINORITY,
+                label: 1
+            }),
             FIG1_MINORITY_PER_LABEL
         );
     }
@@ -92,7 +99,10 @@ mod tests {
     #[test]
     fn minority_positive_sits_in_example3_region() {
         let d = figure1(11);
-        let idx = d.cell_indices(CellIndex { group: MINORITY, label: 1 });
+        let idx = d.cell_indices(CellIndex {
+            group: MINORITY,
+            label: 1,
+        });
         let m = d.numeric_matrix(Some(&idx));
         let mut inside = 0;
         for row in m.iter_rows() {
@@ -112,7 +122,10 @@ mod tests {
         let u_idx = d.group_indices(1);
         let w_mean = cf_linalg::vector::mean(d.numeric_matrix(Some(&w_idx)).col(0).as_slice());
         let u_mean = cf_linalg::vector::mean(d.numeric_matrix(Some(&u_idx)).col(0).as_slice());
-        assert!(u_mean - w_mean > 0.5, "drift over groups in X1: {w_mean} vs {u_mean}");
+        assert!(
+            u_mean - w_mean > 0.5,
+            "drift over groups in X1: {w_mean} vs {u_mean}"
+        );
     }
 
     #[test]

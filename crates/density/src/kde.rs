@@ -90,7 +90,9 @@ impl Kde {
     /// Densities of every row of `x` (original coordinates).
     pub fn densities(&self, x: &Matrix) -> Vec<f64> {
         let z = self.standardizer.transform(x);
-        z.iter_rows().map(|q| self.density_standardized(q)).collect()
+        z.iter_rows()
+            .map(|q| self.density_standardized(q))
+            .collect()
     }
 
     /// Densities of the training points themselves (leave-in estimates,
@@ -139,7 +141,10 @@ mod tests {
         let d = kde.self_densities();
         let outlier = d[5];
         for (i, &di) in d.iter().take(5).enumerate() {
-            assert!(di > outlier, "cluster point {i} should out-dense the outlier");
+            assert!(
+                di > outlier,
+                "cluster point {i} should out-dense the outlier"
+            );
         }
     }
 

@@ -223,7 +223,11 @@ impl TreeKde {
     pub fn self_densities(&self) -> Vec<f64> {
         let pts = self.exact.standardized_points();
         (0..pts.rows())
-            .map(|i| self.tree.truncated_kernel_sum(pts.row(i), self.exact.bandwidth()) / self.exact.norm())
+            .map(|i| {
+                self.tree
+                    .truncated_kernel_sum(pts.row(i), self.exact.bandwidth())
+                    / self.exact.norm()
+            })
             .collect()
     }
 }
@@ -275,7 +279,10 @@ mod tests {
         let dt = tree.self_densities();
         // Relative error bounded by the kernel truncation.
         for (e, t) in de.iter().zip(&dt) {
-            assert!((e - t).abs() <= 5e-3 * e.max(1e-300), "exact {e} vs tree {t}");
+            assert!(
+                (e - t).abs() <= 5e-3 * e.max(1e-300),
+                "exact {e} vs tree {t}"
+            );
         }
         // Ranking of the top-20% must agree (what Algorithm 3 consumes).
         let top = |d: &[f64]| {

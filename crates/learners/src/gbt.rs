@@ -7,7 +7,7 @@
 
 use crate::{
     tree::{RegressionTree, TreeParams},
-    validate_fit_inputs, Learner, LearnError, Result,
+    validate_fit_inputs, LearnError, Learner, Result,
 };
 use cf_linalg::Matrix;
 use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
@@ -220,7 +220,11 @@ mod tests {
         gbt.fit(&x, &y, None).unwrap();
         let pred = gbt.predict(&x).unwrap();
         let truth: Vec<u8> = y.iter().map(|&v| v as u8).collect();
-        assert!(accuracy(&truth, &pred) > 0.95, "accuracy {}", accuracy(&truth, &pred));
+        assert!(
+            accuracy(&truth, &pred) > 0.95,
+            "accuracy {}",
+            accuracy(&truth, &pred)
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! fairness interventions produce. Deterministic (zero initialisation, fixed
 //! schedule): repeated experiment runs differ only through the data seeds.
 
-use crate::{validate_fit_inputs, Learner, LearnError, Result};
+use crate::{validate_fit_inputs, LearnError, Learner, Result};
 use cf_linalg::{cholesky, Matrix};
 
 /// Hyperparameters for [`LogisticRegression`].
@@ -310,7 +310,11 @@ mod tests {
         let mut duplicated = LogisticRegression::default();
         duplicated.fit(&x_dup, &y_dup, None).unwrap();
 
-        for (a, b) in weighted.coefficients().iter().zip(duplicated.coefficients()) {
+        for (a, b) in weighted
+            .coefficients()
+            .iter()
+            .zip(duplicated.coefficients())
+        {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
         assert!((weighted.intercept() - duplicated.intercept()).abs() < 1e-3);
@@ -323,7 +327,10 @@ mod tests {
         let (x, y) = blobs(40, 4);
         let mut plain = LogisticRegression::default();
         plain.fit(&x, &y, None).unwrap();
-        let w: Vec<f64> = y.iter().map(|&yi| if yi > 0.5 { 10.0 } else { 1.0 }).collect();
+        let w: Vec<f64> = y
+            .iter()
+            .map(|&yi| if yi > 0.5 { 10.0 } else { 1.0 })
+            .collect();
         let mut boosted = LogisticRegression::default();
         boosted.fit(&x, &y, Some(&w)).unwrap();
         let probe = Matrix::from_rows(&[vec![1.0, 1.0]]); // midpoint

@@ -83,7 +83,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] < *threshold { *left } else { *right };
+                    node = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

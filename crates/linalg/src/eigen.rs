@@ -158,7 +158,10 @@ mod tests {
         assert!((e.values[1] - 1.0).abs() < 1e-10);
         let v0 = e.vector(0);
         assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
-        assert!((v0[0] - v0[1]).abs() < 1e-10, "first eigenvector is (1,1)/sqrt2 up to sign");
+        assert!(
+            (v0[0] - v0[1]).abs() < 1e-10,
+            "first eigenvector is (1,1)/sqrt2 up to sign"
+        );
     }
 
     #[test]
@@ -181,11 +184,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_vec(
-            3,
-            3,
-            vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0],
-        );
+        let a = Matrix::from_vec(3, 3, vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
         let e = eigen_symmetric(&a).unwrap();
         let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
         for i in 0..3 {

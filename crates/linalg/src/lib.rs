@@ -27,7 +27,9 @@ pub mod vector;
 pub use cholesky::{cholesky, solve_spd, Cholesky};
 pub use eigen::{eigen_symmetric, Eigen};
 pub use matrix::Matrix;
-pub use stats::{column_means, covariance, standardize, weighted_column_means, weighted_covariance, Standardizer};
+pub use stats::{
+    column_means, covariance, standardize, weighted_column_means, weighted_covariance, Standardizer,
+};
 
 /// Error type for linear-algebra operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

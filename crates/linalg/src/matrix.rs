@@ -225,7 +225,11 @@ impl Matrix {
                 got: format!("{}", other.cols),
             });
         }
-        let cols = if self.rows == 0 { other.cols } else { self.cols };
+        let cols = if self.rows == 0 {
+            other.cols
+        } else {
+            self.cols
+        };
         let mut data = Vec::with_capacity((self.rows + other.rows) * cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);

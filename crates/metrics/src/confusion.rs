@@ -133,7 +133,11 @@ impl GroupConfusion {
         let mut majority = Confusion::default();
         let mut minority = Confusion::default();
         for i in 0..y_true.len() {
-            let c = if groups[i] == 0 { &mut majority } else { &mut minority };
+            let c = if groups[i] == 0 {
+                &mut majority
+            } else {
+                &mut minority
+            };
             match (y_true[i], y_pred[i]) {
                 (1, 1) => c.tp += 1,
                 (0, 1) => c.fp += 1,
@@ -167,9 +171,7 @@ impl GroupConfusion {
     /// `DI* = min(DI, 1/DI)` ∈ `[0, 1]` — higher is fairer.
     pub fn di_star(&self) -> f64 {
         let di = self.disparate_impact();
-        if di.is_infinite() {
-            0.0
-        } else if di == 0.0 {
+        if di.is_infinite() || di == 0.0 {
             0.0
         } else {
             di.min(1.0 / di)

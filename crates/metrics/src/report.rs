@@ -115,8 +115,13 @@ impl FairnessReport {
         };
         format!(
             "{:<8} {:<16} {:<4}  DI*={:.3} AOD*={:.3} BalAcc={:.3}{}",
-            self.dataset, self.method, self.learner, self.di_star, self.aod_star,
-            self.balanced_accuracy, marks
+            self.dataset,
+            self.method,
+            self.learner,
+            self.di_star,
+            self.aod_star,
+            self.balanced_accuracy,
+            marks
         )
     }
 }

@@ -1,0 +1,436 @@
+//! The online scoring and monitoring engine.
+//!
+//! [`StreamEngine`] bootstraps from a labeled reference dataset: it trains
+//! a fairness-intervened model (ConFair) and profiles every (group, label)
+//! cell with conformance constraints. Micro-batches then flow through
+//! [`StreamEngine::ingest`]: each tuple is scored, checked against its
+//! cell's reference constraints, folded into the sliding window's O(1)
+//! counters, and fed to its group's Page–Hinkley detector. Alerts are typed
+//! [`DriftAlert`] events; with [`RetrainPolicy::OnAlert`] the engine
+//! re-runs ConFair on the window's contents — the non-invasive repair loop
+//! the paper's drift framing implies.
+
+use crate::drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig};
+use crate::monitor::FairnessSnapshot;
+use crate::window::{SlidingWindow, WindowSlot};
+use crate::{Result, StreamError};
+use cf_conformance::{learn_constraints, ConstraintSet};
+use cf_data::{
+    split::{split3_stratified, SplitRatios},
+    CellIndex, Column, Dataset,
+};
+use cf_learners::LearnerKind;
+use confair_core::{confair::ConFair, confair::ConFairConfig, Intervention, Predictor};
+
+/// One arriving observation: features in the reference schema's column
+/// order, the sensitive-group id, and the (possibly delayed, here assumed
+/// available) ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamTuple {
+    /// Numeric attribute values, one per reference column.
+    pub features: Vec<f64>,
+    /// Group id (0 = majority `W`, 1 = minority `U`).
+    pub group: u8,
+    /// Ground-truth label.
+    pub label: u8,
+}
+
+impl StreamTuple {
+    /// Convert a (fully numeric) dataset's rows into stream tuples, in row
+    /// order — the bridge from `cf-datasets` generators to the engine.
+    pub fn rows_from_dataset(data: &Dataset) -> Result<Vec<StreamTuple>> {
+        ensure_all_numeric(data)?;
+        let x = data.numeric_matrix(None);
+        Ok((0..data.len())
+            .map(|i| StreamTuple {
+                features: x.row(i).to_vec(),
+                group: data.groups()[i],
+                label: data.labels()[i],
+            })
+            .collect())
+    }
+}
+
+/// When the engine retrains itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainPolicy {
+    /// Monitor only; callers may still invoke
+    /// [`StreamEngine::retrain_now`] themselves.
+    Never,
+    /// Re-run ConFair on the window after any alert, provided the window
+    /// holds at least `min_window` tuples.
+    OnAlert {
+        /// Minimum window fill before a retrain is meaningful.
+        min_window: usize,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Sliding-window capacity (tuples).
+    pub window: usize,
+    /// Per-group Page–Hinkley settings for the violation series.
+    pub detector: PageHinkleyConfig,
+    /// The EEOC four-fifths floor on windowed DI*.
+    pub di_floor: f64,
+    /// Tuples required in the window before the DI floor is judged.
+    pub floor_min_window: usize,
+    /// Tuples to wait between consecutive floor alerts (hysteresis).
+    pub floor_cooldown: u64,
+    /// A tuple violates its cell's constraints when the violation exceeds
+    /// this threshold.
+    pub conformance_eps: f64,
+    /// Minimum cell population in the reference before a constraint
+    /// profile is derived for it.
+    pub min_profile_rows: usize,
+    /// The ConFair configuration used for the initial fit and for
+    /// retraining (its `learn_opts` also drive the reference profiles).
+    pub confair: ConFairConfig,
+    /// Retraining behaviour.
+    pub retrain: RetrainPolicy,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window: 2_000,
+            detector: PageHinkleyConfig::default(),
+            di_floor: 0.8,
+            floor_min_window: 400,
+            floor_cooldown: 2_000,
+            conformance_eps: 1e-9,
+            min_profile_rows: 8,
+            confair: ConFairConfig::default(),
+            retrain: RetrainPolicy::Never,
+        }
+    }
+}
+
+/// What one `ingest` call produced.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// The served decision for each tuple of the batch, in order.
+    pub decisions: Vec<u8>,
+    /// Alerts raised by this batch (also appended to the engine's log).
+    pub alerts: Vec<DriftAlert>,
+    /// The windowed fairness reading after the batch.
+    pub snapshot: FairnessSnapshot,
+    /// Whether the retraining hook ran successfully.
+    pub retrained: bool,
+    /// Why an attempted on-alert retrain failed, if it did. The batch's
+    /// decisions and alerts above are valid either way — a retrain
+    /// failure never invalidates the serving work already done.
+    pub retrain_error: Option<StreamError>,
+}
+
+type CellProfiles = [[Option<ConstraintSet>; 2]; 2];
+
+/// The online fairness-drift monitoring and serving engine.
+pub struct StreamEngine {
+    schema: Vec<String>,
+    learner: LearnerKind,
+    config: StreamConfig,
+    predictor: Box<dyn Predictor>,
+    profiles: CellProfiles,
+    window: SlidingWindow,
+    detectors: [PageHinkley; 2],
+    alerts: Vec<DriftAlert>,
+    seen: u64,
+    retrains: u64,
+    floor_quiet_until: u64,
+}
+
+impl StreamEngine {
+    /// Bootstrap from a labeled, fully numeric reference dataset: train
+    /// ConFair on a stratified split and derive per-cell conformance
+    /// profiles from the full reference.
+    pub fn from_reference(
+        reference: &Dataset,
+        learner: LearnerKind,
+        seed: u64,
+        config: StreamConfig,
+    ) -> Result<Self> {
+        if reference.is_empty() {
+            return Err(StreamError::EmptyReference);
+        }
+        ensure_all_numeric(reference)?;
+        let window = SlidingWindow::new(config.window)?;
+        let split = split3_stratified(reference, SplitRatios::paper_default(), seed);
+        let predictor = ConFair::new(config.confair.clone())
+            .train(&split.train, &split.validation, learner)
+            .map_err(StreamError::from_core)?;
+        let profiles = learn_profiles(reference, &config);
+        let detectors = [
+            PageHinkley::new(config.detector),
+            PageHinkley::new(config.detector),
+        ];
+        Ok(StreamEngine {
+            schema: reference.column_names().to_vec(),
+            learner,
+            config,
+            predictor,
+            profiles,
+            window,
+            detectors,
+            alerts: Vec::new(),
+            seen: 0,
+            retrains: 0,
+            floor_quiet_until: 0,
+        })
+    }
+
+    /// Score and monitor one micro-batch. O(1) work per tuple beyond the
+    /// model's forward pass: counter updates, one constraint evaluation,
+    /// and one Page–Hinkley step.
+    ///
+    /// # Errors
+    /// Batch validation errors (schema, group, label) reject the whole
+    /// batch before anything is ingested. A failed on-alert retrain is
+    /// *not* an `ingest` error: the batch was served and ingested, so its
+    /// outcome is returned with the failure in
+    /// [`IngestOutcome::retrain_error`] — failing the call would discard
+    /// the served decisions and invite a double-counting retry.
+    pub fn ingest(&mut self, batch: &[StreamTuple]) -> Result<IngestOutcome> {
+        if batch.is_empty() {
+            return Ok(IngestOutcome {
+                decisions: Vec::new(),
+                alerts: Vec::new(),
+                snapshot: self.snapshot(),
+                retrained: false,
+                retrain_error: None,
+            });
+        }
+        let data = self.batch_dataset(batch)?;
+        let decisions = self
+            .predictor
+            .predict(&data)
+            .map_err(StreamError::from_core)?;
+
+        let mut new_alerts = Vec::new();
+        for (tuple, &decision) in batch.iter().zip(&decisions) {
+            let violated = self.violation_of(tuple) > self.config.conformance_eps;
+            self.window.push(WindowSlot {
+                group: tuple.group,
+                label: tuple.label,
+                decision,
+                violated,
+                features: tuple.features.clone().into_boxed_slice(),
+            })?;
+            self.seen += 1;
+            if let Some(statistic) =
+                self.detectors[tuple.group as usize].observe(f64::from(violated))
+            {
+                new_alerts.push(DriftAlert {
+                    kind: DriftKind::ConformanceViolation,
+                    group: tuple.group,
+                    at_tuple: self.seen,
+                    statistic,
+                    threshold: self.config.detector.lambda,
+                });
+            }
+        }
+
+        let snapshot = self.snapshot();
+        if snapshot.passes_di_floor() == Some(false)
+            && self.window.len() >= self.config.floor_min_window
+            && self.seen >= self.floor_quiet_until
+        {
+            let disadvantaged = match (snapshot.selection_rate[0], snapshot.selection_rate[1]) {
+                (Some(w), Some(u)) if u <= w => 1,
+                _ => 0,
+            };
+            new_alerts.push(DriftAlert {
+                kind: DriftKind::DisparateImpactFloor,
+                group: disadvantaged,
+                at_tuple: self.seen,
+                statistic: snapshot.di_star.unwrap_or(0.0),
+                threshold: self.config.di_floor,
+            });
+            self.floor_quiet_until = self.seen + self.config.floor_cooldown;
+        }
+
+        // Log the alerts before attempting any retrain, so a retrain
+        // failure never loses the events that triggered it.
+        self.alerts.extend(new_alerts.iter().cloned());
+        let mut retrained = false;
+        let mut retrain_error = None;
+        if !new_alerts.is_empty() {
+            if let RetrainPolicy::OnAlert { min_window } = self.config.retrain {
+                if self.window.len() >= min_window {
+                    match self.retrain_now() {
+                        Ok(()) => retrained = true,
+                        Err(e) => retrain_error = Some(e),
+                    }
+                }
+            }
+        }
+
+        let snapshot = if retrained { self.snapshot() } else { snapshot };
+        Ok(IngestOutcome {
+            decisions,
+            alerts: new_alerts,
+            snapshot,
+            retrained,
+            retrain_error,
+        })
+    }
+
+    /// The retraining hook: re-run ConFair on the window's contents, swap
+    /// in the new model, re-derive the reference profiles from the window
+    /// (the stream's new normal), and reset the drift detectors.
+    pub fn retrain_now(&mut self) -> Result<()> {
+        let data = self.window_dataset("stream-window")?;
+        for label in [0u8, 1] {
+            if data.label_count(label) < 2 {
+                return Err(StreamError::DegenerateWindow(format!(
+                    "window holds {} tuples of label {label}; both classes are \
+                     required to retrain",
+                    data.label_count(label)
+                )));
+            }
+        }
+        let split = split3_stratified(&data, SplitRatios::paper_default(), self.seen);
+        let predictor = ConFair::new(self.config.confair.clone())
+            .train(&split.train, &split.validation, self.learner)
+            .map_err(StreamError::from_core)?;
+        self.predictor = predictor;
+        self.profiles = learn_profiles(&data, &self.config);
+        for detector in &mut self.detectors {
+            detector.reset();
+        }
+        self.retrains += 1;
+        Ok(())
+    }
+
+    /// The windowed fairness reading. O(1).
+    pub fn snapshot(&self) -> FairnessSnapshot {
+        FairnessSnapshot::from_counts(self.window.counts(), self.config.di_floor)
+    }
+
+    /// Every alert raised since construction, in stream order.
+    pub fn alerts(&self) -> &[DriftAlert] {
+        &self.alerts
+    }
+
+    /// Total tuples ingested.
+    pub fn tuples_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// How many times the retraining hook has run.
+    pub fn retrain_count(&self) -> u64 {
+        self.retrains
+    }
+
+    /// Tuples currently retained in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Materialise the window's contents as a dataset (newest-window
+    /// training set for the retraining hook; also useful for audits).
+    pub fn window_dataset(&self, name: &str) -> Result<Dataset> {
+        if self.window.is_empty() {
+            return Err(StreamError::DegenerateWindow("window is empty".into()));
+        }
+        // Window slots were validated on ingestion, so assembly can't fail
+        // on shape.
+        self.assemble_dataset(
+            name,
+            self.window.len(),
+            self.window.iter().map(|s| (&*s.features, s.group, s.label)),
+        )
+    }
+
+    /// The violation of a tuple against its (group, label) reference
+    /// profile; 0 when the cell had too few reference rows to profile.
+    fn violation_of(&self, tuple: &StreamTuple) -> f64 {
+        match &self.profiles[tuple.group as usize][tuple.label as usize] {
+            Some(constraints) => constraints.violation(&tuple.features),
+            None => 0.0,
+        }
+    }
+
+    /// Assemble a batch dataset in the reference schema, validating shapes.
+    fn batch_dataset(&self, batch: &[StreamTuple]) -> Result<Dataset> {
+        let d = self.schema.len();
+        for (i, tuple) in batch.iter().enumerate() {
+            if tuple.features.len() != d {
+                return Err(StreamError::Schema(format!(
+                    "tuple {i} has {} features; the reference schema has {d}",
+                    tuple.features.len()
+                )));
+            }
+            if tuple.group >= 2 {
+                return Err(StreamError::BadGroup(tuple.group));
+            }
+            if tuple.label >= 2 {
+                return Err(StreamError::BadLabel(tuple.label));
+            }
+        }
+        self.assemble_dataset(
+            "stream-batch",
+            batch.len(),
+            batch
+                .iter()
+                .map(|t| (t.features.as_slice(), t.group, t.label)),
+        )
+    }
+
+    /// Column-major dataset assembly in the reference schema, shared by
+    /// the batch and window paths.
+    fn assemble_dataset<'a>(
+        &self,
+        name: &str,
+        len: usize,
+        rows: impl Iterator<Item = (&'a [f64], u8, u8)>,
+    ) -> Result<Dataset> {
+        let d = self.schema.len();
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(len); d];
+        let mut labels = Vec::with_capacity(len);
+        let mut groups = Vec::with_capacity(len);
+        for (features, group, label) in rows {
+            for (j, &v) in features.iter().enumerate() {
+                columns[j].push(v);
+            }
+            labels.push(label);
+            groups.push(group);
+        }
+        Dataset::new(
+            name,
+            self.schema.clone(),
+            columns.into_iter().map(Column::Numeric).collect(),
+            labels,
+            groups,
+        )
+        .map_err(|e| StreamError::Schema(e.to_string()))
+    }
+}
+
+fn ensure_all_numeric(data: &Dataset) -> Result<()> {
+    let numeric = data.numeric_column_indices().len();
+    if numeric != data.num_attributes() {
+        return Err(StreamError::Schema(format!(
+            "streaming requires all-numeric attributes; {} of {} are categorical",
+            data.num_attributes() - numeric,
+            data.num_attributes()
+        )));
+    }
+    Ok(())
+}
+
+/// Conformance profiles per (group, label) cell of the reference data.
+fn learn_profiles(reference: &Dataset, config: &StreamConfig) -> CellProfiles {
+    let mut profiles: CellProfiles = Default::default();
+    for cell in CellIndex::binary_cells() {
+        let members = reference.cell_indices(cell);
+        if members.len() < config.min_profile_rows {
+            continue;
+        }
+        let x = reference.numeric_matrix(Some(&members));
+        profiles[cell.group as usize][cell.label as usize] =
+            Some(learn_constraints(&x, &config.confair.learn_opts));
+    }
+    profiles
+}

@@ -1,0 +1,79 @@
+//! # cf-stream
+//!
+//! Online fairness-drift monitoring and serving for the ConFair
+//! reproduction — the paper's "unfairness is data drift" lens applied to a
+//! live stream instead of a static test split.
+//!
+//! The moving parts, composed by [`StreamEngine`]:
+//!
+//! * [`window::SlidingWindow`] — a ring buffer over the most recent scored
+//!   tuples with per-(group, label) counters maintained in O(1) per tuple;
+//! * [`monitor::FairnessSnapshot`] — disparate impact with the EEOC
+//!   four-fifths rule, demographic-parity and equal-opportunity gaps, and
+//!   per-group conformance-violation rates, all read from the counters in
+//!   O(1);
+//! * [`drift::PageHinkley`] — a per-group change-point test on the
+//!   violation series, emitting typed [`drift::DriftAlert`] events with
+//!   warm-up and cooldown hysteresis;
+//! * a retraining hook ([`engine::RetrainPolicy::OnAlert`]) that re-runs
+//!   ConFair on the window's contents and re-profiles the stream's new
+//!   normal.
+//!
+//! See `examples/stream_monitor.rs` for the end-to-end scenario and
+//! `crates/bench/benches/stream_ingest.rs` for the throughput benchmark.
+
+pub mod drift;
+pub mod engine;
+pub mod monitor;
+pub mod window;
+
+pub use drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig};
+pub use engine::{IngestOutcome, RetrainPolicy, StreamConfig, StreamEngine, StreamTuple};
+pub use monitor::FairnessSnapshot;
+pub use window::{GroupCounts, SlidingWindow, WindowSlot};
+
+/// Errors surfaced by the streaming subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A window must retain at least one tuple.
+    EmptyWindow,
+    /// Group ids are binary (0 = majority, 1 = minority).
+    BadGroup(u8),
+    /// Labels are binary.
+    BadLabel(u8),
+    /// The batch does not match the reference schema, or dataset assembly
+    /// failed.
+    Schema(String),
+    /// Bootstrapping needs a non-empty reference dataset.
+    EmptyReference,
+    /// The window cannot support the requested operation (e.g. retraining
+    /// on a single-class window).
+    DegenerateWindow(String),
+    /// An error from the core training/prediction stack.
+    Core(String),
+}
+
+impl StreamError {
+    pub(crate) fn from_core(e: impl std::fmt::Display) -> Self {
+        StreamError::Core(e.to_string())
+    }
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::EmptyWindow => write!(f, "window capacity must be positive"),
+            StreamError::BadGroup(g) => write!(f, "group id {g} is not binary"),
+            StreamError::BadLabel(l) => write!(f, "label {l} is not binary"),
+            StreamError::Schema(msg) => write!(f, "schema error: {msg}"),
+            StreamError::EmptyReference => write!(f, "reference dataset is empty"),
+            StreamError::DegenerateWindow(msg) => write!(f, "degenerate window: {msg}"),
+            StreamError::Core(msg) => write!(f, "core error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StreamError>;

@@ -1,0 +1,185 @@
+//! Incremental fairness monitors over the windowed counters.
+//!
+//! Each snapshot is assembled in O(1) from [`GroupCounts`] — the counters
+//! the window maintains per tuple — never by rescanning tuples. The metrics
+//! deliberately mirror `cf-metrics`' definitions (§IV of the paper) —
+//! including the `DI* = min(DI, 1/DI)` symmetrisation with its 0/∞ guard —
+//! restated over the sliding window and over `Option`, since an unobserved
+//! group yields `None`, which `cf_metrics::Confusion`'s slice-based API
+//! cannot express: disparate impact by selection-rate ratio with the EEOC
+//! four-fifths rule, the demographic-parity gap, and the
+//! equal-opportunity (TPR) gap.
+
+use crate::window::GroupCounts;
+
+/// A point-in-time fairness reading over the current window. Group-indexed
+/// fields use `[majority, minority]` order; `None` marks an empty
+/// denominator (e.g. a single-group stream), never a fabricated 0/0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessSnapshot {
+    /// Tuples in the window when the snapshot was taken.
+    pub window_len: u64,
+    /// Windowed selection rate per group.
+    pub selection_rate: [Option<f64>; 2],
+    /// Raw disparate impact `SR_U / SR_W` (∞ when `SR_W = 0` and `SR_U > 0`).
+    pub disparate_impact: Option<f64>,
+    /// Symmetrised `DI* = min(DI, 1/DI)` — 1.0 is perfectly fair.
+    pub di_star: Option<f64>,
+    /// `|SR_W − SR_U|`.
+    pub demographic_parity_gap: Option<f64>,
+    /// `|TPR_W − TPR_U|` (equal opportunity).
+    pub equal_opportunity_gap: Option<f64>,
+    /// Windowed conformance-violation rate per group.
+    pub violation_rate: [Option<f64>; 2],
+    /// The DI* floor this stream is held to (EEOC four-fifths: 0.8).
+    pub di_floor: f64,
+}
+
+impl FairnessSnapshot {
+    /// Assemble from windowed counters. O(1).
+    pub fn from_counts(counts: &[GroupCounts; 2], di_floor: f64) -> Self {
+        let sr = [counts[0].selection_rate(), counts[1].selection_rate()];
+        let disparate_impact = match (sr[0], sr[1]) {
+            (Some(w), Some(u)) => {
+                if w > 0.0 {
+                    Some(u / w)
+                } else if u > 0.0 {
+                    Some(f64::INFINITY)
+                } else {
+                    // Neither group selected: vacuously balanced.
+                    Some(1.0)
+                }
+            }
+            _ => None,
+        };
+        let di_star = disparate_impact.map(|di| {
+            if di <= 0.0 || di.is_infinite() {
+                0.0
+            } else {
+                di.min(1.0 / di)
+            }
+        });
+        let demographic_parity_gap = match (sr[0], sr[1]) {
+            (Some(w), Some(u)) => Some((w - u).abs()),
+            _ => None,
+        };
+        let equal_opportunity_gap = match (counts[0].tpr(), counts[1].tpr()) {
+            (Some(w), Some(u)) => Some((w - u).abs()),
+            _ => None,
+        };
+        FairnessSnapshot {
+            window_len: counts[0].total + counts[1].total,
+            selection_rate: sr,
+            disparate_impact,
+            di_star,
+            demographic_parity_gap,
+            equal_opportunity_gap,
+            violation_rate: [counts[0].violation_rate(), counts[1].violation_rate()],
+            di_floor,
+        }
+    }
+
+    /// The EEOC four-fifths verdict: `Some(true)` when `DI* ≥ floor`,
+    /// `None` while either group is unobserved.
+    pub fn passes_di_floor(&self) -> Option<bool> {
+        self.di_star.map(|d| d >= self.di_floor)
+    }
+
+    /// Compact single-line rendering for monitoring output.
+    pub fn one_line(&self) -> String {
+        let fmt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.3}"),
+            None => "--".to_string(),
+        };
+        format!(
+            "window={:<6} DI*={} dp_gap={} eo_gap={} viol(W)={} viol(U)={}",
+            self.window_len,
+            fmt(self.di_star),
+            fmt(self.demographic_parity_gap),
+            fmt(self.equal_opportunity_gap),
+            fmt(self.violation_rate[0]),
+            fmt(self.violation_rate[1]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(total: u64, selected: u64, label_pos: u64, tp: u64, viol: u64) -> GroupCounts {
+        GroupCounts {
+            total,
+            selected,
+            label_positive: label_pos,
+            true_positive: tp,
+            false_positive: selected.saturating_sub(tp),
+            violations: viol,
+        }
+    }
+
+    #[test]
+    fn balanced_window_is_fair() {
+        let s = FairnessSnapshot::from_counts(
+            &[counts(100, 50, 60, 40, 5), counts(100, 50, 60, 40, 5)],
+            0.8,
+        );
+        assert_eq!(s.disparate_impact, Some(1.0));
+        assert_eq!(s.di_star, Some(1.0));
+        assert_eq!(s.demographic_parity_gap, Some(0.0));
+        assert_eq!(s.equal_opportunity_gap, Some(0.0));
+        assert_eq!(s.passes_di_floor(), Some(true));
+        assert_eq!(s.window_len, 200);
+    }
+
+    #[test]
+    fn skewed_selection_fails_the_four_fifths_rule() {
+        // SR_W = 0.6, SR_U = 0.3 → DI = 0.5 < 0.8.
+        let s = FairnessSnapshot::from_counts(
+            &[counts(100, 60, 50, 40, 0), counts(100, 30, 50, 20, 0)],
+            0.8,
+        );
+        assert!((s.disparate_impact.unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(s.passes_di_floor(), Some(false));
+        assert!((s.demographic_parity_gap.unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn di_star_symmetrises_reverse_bias() {
+        // Minority over-selected: DI = 2.0 → DI* = 0.5.
+        let s = FairnessSnapshot::from_counts(
+            &[counts(100, 30, 50, 20, 0), counts(100, 60, 50, 40, 0)],
+            0.8,
+        );
+        assert!((s.disparate_impact.unwrap() - 2.0).abs() < 1e-12);
+        assert!((s.di_star.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_group_stream_yields_none_not_nan() {
+        let s = FairnessSnapshot::from_counts(
+            &[counts(100, 60, 50, 40, 3), GroupCounts::default()],
+            0.8,
+        );
+        assert_eq!(s.disparate_impact, None);
+        assert_eq!(s.di_star, None);
+        assert_eq!(s.passes_di_floor(), None);
+        assert_eq!(s.violation_rate[1], None);
+        assert_eq!(s.selection_rate[0], Some(0.6));
+        assert!(s.one_line().contains("--"));
+    }
+
+    #[test]
+    fn zero_majority_selection_is_infinite_di() {
+        let s = FairnessSnapshot::from_counts(
+            &[counts(50, 0, 25, 0, 0), counts(50, 10, 25, 5, 0)],
+            0.8,
+        );
+        assert_eq!(s.disparate_impact, Some(f64::INFINITY));
+        assert_eq!(s.di_star, Some(0.0));
+        // Nobody selected at all: vacuously balanced, not unfair.
+        let quiet =
+            FairnessSnapshot::from_counts(&[counts(50, 0, 25, 0, 0), counts(50, 0, 25, 0, 0)], 0.8);
+        assert_eq!(quiet.disparate_impact, Some(1.0));
+    }
+}

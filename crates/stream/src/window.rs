@@ -1,0 +1,240 @@
+//! Fixed-capacity ring buffer over scored tuples with O(1) windowed
+//! counters.
+//!
+//! Every fairness monitor in this crate reads from [`GroupCounts`], which
+//! [`SlidingWindow::push`] maintains incrementally: one increment for the
+//! arriving tuple, one decrement for the evicted one. No monitor ever scans
+//! the window — that is the invariant that keeps per-tuple ingestion O(1)
+//! (property-checked in this module's tests and load-tested by the
+//! `stream_ingest` benchmark).
+
+use crate::{Result, StreamError};
+
+/// One scored tuple as retained in the window. Features are kept so the
+/// retraining hook can rebuild a training set from exactly the tuples the
+/// drift detector fired on.
+#[derive(Debug, Clone)]
+pub struct WindowSlot {
+    /// Group id (0 = majority `W`, 1 = minority `U`).
+    pub group: u8,
+    /// Ground-truth label (streaming setting with label feedback).
+    pub label: u8,
+    /// The served decision `ŷ`.
+    pub decision: u8,
+    /// Whether the tuple violated its (group, label) reference constraints.
+    pub violated: bool,
+    /// The numeric attribute vector.
+    pub features: Box<[f64]>,
+}
+
+/// Windowed tallies for one group, every one maintained in O(1) per tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCounts {
+    /// Tuples of this group currently in the window.
+    pub total: u64,
+    /// Tuples with decision 1 (selected).
+    pub selected: u64,
+    /// Tuples with ground-truth label 1.
+    pub label_positive: u64,
+    /// Selected among label-positive (windowed true positives).
+    pub true_positive: u64,
+    /// Selected among label-negative (windowed false positives).
+    pub false_positive: u64,
+    /// Tuples violating their reference conformance constraints.
+    pub violations: u64,
+}
+
+impl GroupCounts {
+    fn apply(&mut self, slot: &WindowSlot, sign: i64) {
+        let add = |c: &mut u64| {
+            *c = c.wrapping_add_signed(sign);
+        };
+        add(&mut self.total);
+        if slot.decision == 1 {
+            add(&mut self.selected);
+            if slot.label == 1 {
+                add(&mut self.true_positive);
+            } else {
+                add(&mut self.false_positive);
+            }
+        }
+        if slot.label == 1 {
+            add(&mut self.label_positive);
+        }
+        if slot.violated {
+            add(&mut self.violations);
+        }
+    }
+
+    /// Windowed selection rate `P(ŷ=1 | g)`.
+    pub fn selection_rate(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.selected as f64 / self.total as f64)
+    }
+
+    /// Windowed true-positive rate `P(ŷ=1 | y=1, g)`.
+    pub fn tpr(&self) -> Option<f64> {
+        (self.label_positive > 0).then(|| self.true_positive as f64 / self.label_positive as f64)
+    }
+
+    /// Windowed conformance-violation rate.
+    pub fn violation_rate(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.violations as f64 / self.total as f64)
+    }
+}
+
+/// The sliding window: a ring buffer of [`WindowSlot`]s plus per-group
+/// counters.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    slots: Vec<WindowSlot>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+    counts: [GroupCounts; 2],
+}
+
+impl SlidingWindow {
+    /// A window retaining the most recent `capacity` tuples.
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(StreamError::EmptyWindow);
+        }
+        Ok(SlidingWindow {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            counts: [GroupCounts::default(); 2],
+        })
+    }
+
+    /// Insert a scored tuple, evicting the oldest when full. O(1).
+    pub fn push(&mut self, slot: WindowSlot) -> Result<()> {
+        let g = slot.group as usize;
+        if g >= 2 {
+            return Err(StreamError::BadGroup(slot.group));
+        }
+        if self.len < self.capacity {
+            self.counts[g].apply(&slot, 1);
+            self.slots.push(slot);
+            self.len += 1;
+            // head stays 0 until the ring wraps.
+            return Ok(());
+        }
+        let evicted = &self.slots[self.head];
+        self.counts[evicted.group as usize].apply(evicted, -1);
+        self.counts[g].apply(&slot, 1);
+        self.slots[self.head] = slot;
+        self.head = (self.head + 1) % self.capacity;
+        Ok(())
+    }
+
+    /// Tuples currently retained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window holds no tuples yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum retained tuples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The windowed per-group counters (index = group id).
+    pub fn counts(&self) -> &[GroupCounts; 2] {
+        &self.counts
+    }
+
+    /// Iterate retained slots, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &WindowSlot> {
+        let (wrapped, recent) = self.slots.split_at(self.head.min(self.slots.len()));
+        recent.iter().chain(wrapped.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(group: u8, label: u8, decision: u8, violated: bool) -> WindowSlot {
+        WindowSlot {
+            group,
+            label,
+            decision,
+            violated,
+            features: vec![f64::from(group), f64::from(label)].into_boxed_slice(),
+        }
+    }
+
+    /// Recompute the counters by scanning — the O(n) ground truth the O(1)
+    /// incremental path must match.
+    fn brute_counts(w: &SlidingWindow) -> [GroupCounts; 2] {
+        let mut counts = [GroupCounts::default(); 2];
+        for s in w.iter() {
+            counts[s.group as usize].apply(s, 1);
+        }
+        counts
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(matches!(
+            SlidingWindow::new(0),
+            Err(StreamError::EmptyWindow)
+        ));
+    }
+
+    #[test]
+    fn bad_group_is_rejected() {
+        let mut w = SlidingWindow::new(4).unwrap();
+        assert!(matches!(
+            w.push(slot(2, 0, 0, false)),
+            Err(StreamError::BadGroup(2))
+        ));
+    }
+
+    #[test]
+    fn counters_match_brute_force_through_wraparound() {
+        let mut w = SlidingWindow::new(7).unwrap();
+        for i in 0..50u32 {
+            let g = (i % 3 == 0) as u8;
+            let y = (i % 2) as u8;
+            let d = (i % 5 < 3) as u8;
+            let v = i % 4 == 1;
+            w.push(slot(g, y, d, v)).unwrap();
+            assert_eq!(*w.counts(), brute_counts(&w), "after push {i}");
+            assert_eq!(w.len(), (i as usize + 1).min(7));
+        }
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut w = SlidingWindow::new(3).unwrap();
+        for i in 0..5u8 {
+            let mut s = slot(0, 0, 0, false);
+            s.features = vec![f64::from(i)].into_boxed_slice();
+            w.push(s).unwrap();
+        }
+        let order: Vec<f64> = w.iter().map(|s| s.features[0]).collect();
+        assert_eq!(order, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn rates_handle_empty_denominators() {
+        let c = GroupCounts::default();
+        assert_eq!(c.selection_rate(), None);
+        assert_eq!(c.tpr(), None);
+        assert_eq!(c.violation_rate(), None);
+
+        let mut w = SlidingWindow::new(4).unwrap();
+        w.push(slot(0, 0, 1, true)).unwrap();
+        let c = w.counts()[0];
+        assert_eq!(c.selection_rate(), Some(1.0));
+        assert_eq!(c.tpr(), None, "no label-positives yet");
+        assert_eq!(c.violation_rate(), Some(1.0));
+    }
+}

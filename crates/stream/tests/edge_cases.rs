@@ -1,0 +1,269 @@
+//! Integration tests for the streaming subsystem: the end-to-end
+//! drift-alert-retrain loop plus the edge cases the engine must survive
+//! (empty window, single-group streams, windows smaller than a batch, and
+//! alert hysteresis on stationary streams).
+
+use cf_datasets::stream::{DriftStream, DriftStreamSpec};
+use cf_learners::LearnerKind;
+use cf_stream::{DriftKind, RetrainPolicy, StreamConfig, StreamEngine, StreamError, StreamTuple};
+
+fn spec() -> DriftStreamSpec {
+    DriftStreamSpec {
+        drift_onset: 6_000,
+        ..DriftStreamSpec::default()
+    }
+}
+
+fn engine(config: StreamConfig) -> StreamEngine {
+    let reference = spec().reference(4_000, 42);
+    StreamEngine::from_reference(&reference, LearnerKind::Logistic, 42, config).unwrap()
+}
+
+fn batches(stream: &mut DriftStream, n_batches: usize, batch: usize) -> Vec<Vec<StreamTuple>> {
+    (0..n_batches)
+        .map(|_| StreamTuple::rows_from_dataset(&stream.next_batch(batch)).unwrap())
+        .collect()
+}
+
+#[test]
+fn drift_is_alerted_after_onset_never_before_and_retrain_restores_di() {
+    let config = StreamConfig {
+        retrain: RetrainPolicy::OnAlert { min_window: 1_000 },
+        ..StreamConfig::default()
+    };
+    let mut engine = engine(config);
+    let mut stream = DriftStream::new(spec(), 7);
+
+    let batch = 250usize;
+    let mut saw_drop_below_floor = false;
+    for batch_tuples in batches(&mut stream, 80, batch) {
+        let outcome = engine.ingest(&batch_tuples).unwrap();
+        if outcome.snapshot.passes_di_floor() == Some(false) {
+            saw_drop_below_floor = true;
+        }
+    }
+
+    // 80 × 250 = 20,000 tuples; onset at 6,000.
+    assert!(
+        !engine.alerts().is_empty(),
+        "the injected drift must raise at least one alert"
+    );
+    for alert in engine.alerts() {
+        assert!(
+            alert.at_tuple > 6_000,
+            "no alert before the drift onset, got one at {}",
+            alert.at_tuple
+        );
+    }
+    assert!(
+        engine
+            .alerts()
+            .iter()
+            .any(|a| a.kind == DriftKind::ConformanceViolation && a.group == 1),
+        "the drifting minority must trip its conformance detector"
+    );
+    assert!(
+        saw_drop_below_floor,
+        "the stale model must dip below the DI floor"
+    );
+    assert!(engine.retrain_count() >= 1, "the retraining hook must run");
+
+    // After retraining, the post-drift distribution is the new normal:
+    // the windowed DI* must recover above the EEOC floor.
+    let final_snapshot = engine.snapshot();
+    let di = final_snapshot.di_star.expect("both groups observed");
+    assert!(
+        di >= 0.8,
+        "retraining must restore DI* above the 0.8 floor, got {di:.3} \
+         ({})",
+        final_snapshot.one_line()
+    );
+}
+
+#[test]
+fn stationary_stream_never_alerts() {
+    // Alert hysteresis: a drift-free stream must stay quiet end to end —
+    // no conformance alerts, no DI-floor flapping.
+    let mut engine = engine(StreamConfig::default());
+    let stationary = DriftStreamSpec {
+        drift_onset: u64::MAX,
+        ..spec()
+    };
+    let mut stream = DriftStream::new(stationary, 11);
+    for batch_tuples in batches(&mut stream, 60, 250) {
+        let outcome = engine.ingest(&batch_tuples).unwrap();
+        assert!(
+            outcome.alerts.is_empty(),
+            "false alarm on a stationary stream at tuple {}: {:?}",
+            engine.tuples_seen(),
+            outcome.alerts
+        );
+    }
+    assert_eq!(engine.alerts(), &[]);
+    assert_eq!(engine.retrain_count(), 0);
+}
+
+#[test]
+fn empty_window_and_empty_batch_are_well_defined() {
+    let engine = engine(StreamConfig::default());
+    // Snapshot over an empty window: all readings are absent, none NaN.
+    let snapshot = engine.snapshot();
+    assert_eq!(snapshot.window_len, 0);
+    assert_eq!(snapshot.di_star, None);
+    assert_eq!(snapshot.passes_di_floor(), None);
+    assert_eq!(snapshot.selection_rate, [None, None]);
+
+    // Ingesting an empty batch is a no-op, not an error.
+    let mut engine = engine;
+    let outcome = engine.ingest(&[]).unwrap();
+    assert!(outcome.decisions.is_empty());
+    assert!(outcome.alerts.is_empty());
+    assert_eq!(engine.tuples_seen(), 0);
+
+    // A zero-capacity window is rejected at construction.
+    let reference = spec().reference(1_000, 1);
+    let config = StreamConfig {
+        window: 0,
+        ..StreamConfig::default()
+    };
+    assert!(matches!(
+        StreamEngine::from_reference(&reference, LearnerKind::Logistic, 1, config),
+        Err(StreamError::EmptyWindow)
+    ));
+}
+
+#[test]
+fn single_group_stream_monitors_without_fairness_verdicts() {
+    let mut engine = engine(StreamConfig::default());
+    let mut stream = DriftStream::new(
+        DriftStreamSpec {
+            drift_onset: u64::MAX,
+            ..spec()
+        },
+        13,
+    );
+    // Keep only majority tuples: the DI monitors must stay undefined (not
+    // 0, not NaN, no floor alerts) while per-group telemetry still works.
+    for _ in 0..20 {
+        let all = StreamTuple::rows_from_dataset(&stream.next_batch(300)).unwrap();
+        let majority_only: Vec<StreamTuple> = all.into_iter().filter(|t| t.group == 0).collect();
+        let outcome = engine.ingest(&majority_only).unwrap();
+        assert_eq!(outcome.snapshot.di_star, None);
+        assert_eq!(outcome.snapshot.passes_di_floor(), None);
+        assert_eq!(outcome.snapshot.selection_rate[1], None);
+        assert!(outcome.snapshot.selection_rate[0].is_some());
+        assert!(
+            outcome.alerts.is_empty(),
+            "no fairness verdicts on one group"
+        );
+    }
+    assert!(engine.snapshot().violation_rate[0].is_some());
+}
+
+#[test]
+fn window_smaller_than_batch_keeps_only_the_tail() {
+    let config = StreamConfig {
+        window: 64,
+        ..StreamConfig::default()
+    };
+    let mut engine = engine(config);
+    let mut stream = DriftStream::new(spec(), 17);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(500)).unwrap();
+    let outcome = engine.ingest(&batch).unwrap();
+    // Decisions cover the whole batch even though the window cannot.
+    assert_eq!(outcome.decisions.len(), 500);
+    assert_eq!(engine.window_len(), 64);
+    assert_eq!(outcome.snapshot.window_len, 64);
+    assert_eq!(engine.tuples_seen(), 500);
+    // The retained tail is exactly the last 64 tuples, in order.
+    let window = engine.window_dataset("tail").unwrap();
+    let expected: Vec<u8> = batch[500 - 64..].iter().map(|t| t.label).collect();
+    assert_eq!(window.labels(), &expected[..]);
+}
+
+#[test]
+fn retrain_on_degenerate_window_is_a_clean_error() {
+    let mut engine = engine(StreamConfig::default());
+    // Window with a single class: retraining must fail loudly, not panic.
+    let mut stream = DriftStream::new(spec(), 19);
+    let all = StreamTuple::rows_from_dataset(&stream.next_batch(400)).unwrap();
+    let positives_only: Vec<StreamTuple> = all.into_iter().filter(|t| t.label == 1).collect();
+    engine.ingest(&positives_only).unwrap();
+    assert!(matches!(
+        engine.retrain_now(),
+        Err(StreamError::DegenerateWindow(_))
+    ));
+}
+
+#[test]
+fn schema_mismatch_is_rejected() {
+    let mut engine = engine(StreamConfig::default());
+    let bad = StreamTuple {
+        features: vec![1.0, 2.0, 3.0],
+        group: 0,
+        label: 0,
+    };
+    assert!(matches!(engine.ingest(&[bad]), Err(StreamError::Schema(_))));
+    let bad_group = StreamTuple {
+        features: vec![1.0, 2.0],
+        group: 7,
+        label: 0,
+    };
+    assert!(matches!(
+        engine.ingest(&[bad_group]),
+        Err(StreamError::BadGroup(7))
+    ));
+    let bad_label = StreamTuple {
+        features: vec![1.0, 2.0],
+        group: 0,
+        label: 3,
+    };
+    assert!(matches!(
+        engine.ingest(&[bad_label]),
+        Err(StreamError::BadLabel(3))
+    ));
+    // A rejected batch must not advance the engine at all.
+    assert_eq!(engine.tuples_seen(), 0);
+    assert_eq!(engine.window_len(), 0);
+}
+
+#[test]
+fn failed_on_alert_retrain_keeps_the_alert_log() {
+    // Force an alert on a window that cannot retrain (one label per
+    // group): the model selects the positives, DI* collapses, the floor
+    // alert fires, the on-alert retrain fails on the single-class check —
+    // and the engine must surface the error while keeping the batch
+    // ingested and the alert logged.
+    let config = StreamConfig {
+        floor_min_window: 10,
+        retrain: RetrainPolicy::OnAlert { min_window: 10 },
+        ..StreamConfig::default()
+    };
+    let mut engine = engine(config);
+    // Drift from tuple 0: the stale model rejects the rotated minority
+    // positives while accepting the majority's, so DI* collapses.
+    let drifted = DriftStreamSpec {
+        drift_onset: 0,
+        ..spec()
+    };
+    let mut stream = DriftStream::new(drifted, 23);
+    let all = StreamTuple::rows_from_dataset(&stream.next_batch(4_000)).unwrap();
+    // Positives only: the floor alert can fire, but the single-class
+    // window cannot retrain.
+    let skewed: Vec<StreamTuple> = all.into_iter().filter(|t| t.label == 1).collect();
+    let outcome = engine.ingest(&skewed).unwrap();
+    // The serving work is intact: decisions returned, batch ingested,
+    // alert logged — with the retrain failure reported alongside.
+    assert_eq!(outcome.decisions.len(), skewed.len());
+    assert!(matches!(
+        outcome.retrain_error,
+        Some(StreamError::DegenerateWindow(_))
+    ));
+    assert!(!outcome.retrained);
+    assert_eq!(engine.tuples_seen(), skewed.len() as u64);
+    assert_eq!(engine.retrain_count(), 0);
+    assert!(
+        !engine.alerts().is_empty(),
+        "the alert that triggered the failed retrain must be logged"
+    );
+}

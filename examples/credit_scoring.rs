@@ -10,7 +10,9 @@
 //! ```
 
 use confair::baselines::KamiranCalders;
-use confair::core::{evaluate_repeated, pipeline::mean_report, ConFair, Intervention, NoIntervention, Pipeline};
+use confair::core::{
+    evaluate_repeated, pipeline::mean_report, ConFair, Intervention, NoIntervention, Pipeline,
+};
 use confair::datasets::realsim::RealWorldSpec;
 use confair::learners::LearnerKind;
 
@@ -32,17 +34,13 @@ fn main() {
         Box::new(ConFair::paper_default()),
     ];
 
-    println!("\n{:<16} {:>8} {:>8} {:>8}", "method", "DI*", "AOD*", "BalAcc");
+    println!(
+        "\n{:<16} {:>8} {:>8} {:>8}",
+        "method", "DI*", "AOD*", "BalAcc"
+    );
     for method in &methods {
-        let outcomes = evaluate_repeated(
-            &data,
-            method.as_ref(),
-            LearnerKind::Gbt,
-            pipeline,
-            11,
-            3,
-        )
-        .expect("evaluation");
+        let outcomes = evaluate_repeated(&data, method.as_ref(), LearnerKind::Gbt, pipeline, 11, 3)
+            .expect("evaluation");
         let mean = mean_report(&outcomes);
         println!(
             "{:<16} {:>8.3} {:>8.3} {:>8.3}{}",
@@ -50,7 +48,11 @@ fn main() {
             mean.di_star,
             mean.aod_star,
             mean.balanced_accuracy,
-            if mean.favors_minority { "  (favors minority)" } else { "" }
+            if mean.favors_minority {
+                "  (favors minority)"
+            } else {
+                ""
+            }
         );
     }
     println!("\nWeighting is non-invasive: the applicants' records were never modified.");

@@ -26,22 +26,33 @@ fn main() {
     let pipeline = Pipeline::paper_default();
 
     for target in [FairnessTarget::EqOddsFnr, FairnessTarget::EqOddsFpr] {
-        println!("\ntarget: Equalized Odds by {}", match target {
-            FairnessTarget::EqOddsFnr => "FNR",
-            FairnessTarget::EqOddsFpr => "FPR",
-            FairnessTarget::DisparateImpact => unreachable!(),
-        });
-        println!("{:>8} {:>10} {:>10} {:>8}", "alpha_u", "minority", "majority", "BalAcc");
+        println!(
+            "\ntarget: Equalized Odds by {}",
+            match target {
+                FairnessTarget::EqOddsFnr => "FNR",
+                FairnessTarget::EqOddsFpr => "FPR",
+                FairnessTarget::DisparateImpact => unreachable!(),
+            }
+        );
+        println!(
+            "{:>8} {:>10} {:>10} {:>8}",
+            "alpha_u", "minority", "majority", "BalAcc"
+        );
         for alpha in [0.0, 1.0, 4.0, 16.0, 64.0] {
             let confair = ConFair::new(ConFairConfig {
-                alpha: AlphaMode::Fixed { alpha_u: alpha, alpha_w: 0.0 },
+                alpha: AlphaMode::Fixed {
+                    alpha_u: alpha,
+                    alpha_w: 0.0,
+                },
                 target,
                 ..ConFairConfig::default()
             });
-            let out = evaluate(&data, &confair, LearnerKind::Logistic, pipeline, 31)
-                .expect("evaluation");
+            let out =
+                evaluate(&data, &confair, LearnerKind::Logistic, pipeline, 31).expect("evaluation");
             let (u, w) = match target {
-                FairnessTarget::EqOddsFnr => (out.confusion.minority.fnr(), out.confusion.majority.fnr()),
+                FairnessTarget::EqOddsFnr => {
+                    (out.confusion.minority.fnr(), out.confusion.majority.fnr())
+                }
                 _ => (out.confusion.minority.fpr(), out.confusion.majority.fpr()),
             };
             println!(

@@ -11,7 +11,9 @@
 //! cargo run --release --example insurance_drift
 //! ```
 
-use confair::core::{evaluate, ConFair, DiffFair, Intervention, MultiModel, NoIntervention, Pipeline};
+use confair::core::{
+    evaluate, ConFair, DiffFair, Intervention, MultiModel, NoIntervention, Pipeline,
+};
 use confair::datasets::synthgen::syn_drift_scaled;
 use confair::learners::LearnerKind;
 
@@ -52,7 +54,10 @@ fn main() {
         rows.push(out);
     }
 
-    let single = rows.iter().find(|r| r.report.method == "NoIntervention").unwrap();
+    let single = rows
+        .iter()
+        .find(|r| r.report.method == "NoIntervention")
+        .unwrap();
     let diff = rows.iter().find(|r| r.report.method == "DiffFair").unwrap();
     println!(
         "\nthe single model serves the minority at {:.0}% balanced accuracy; DiffFair\nrecovers it to {:.0}% ({:+.3} overall BalAcc) —",

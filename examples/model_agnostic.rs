@@ -36,7 +36,10 @@ fn main() {
     let base: Box<dyn Intervention> = Box::new(NoIntervention);
 
     println!("calibrated on XGB, deployed on LR:");
-    println!("{:<16} {:>8} {:>8} {:>8}", "method", "DI*", "AOD*", "BalAcc");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "method", "DI*", "AOD*", "BalAcc"
+    );
     for method in [&base, &omn_cross, &confair_cross] {
         let out = evaluate(&data, method.as_ref(), LearnerKind::Logistic, pipeline, 17)
             .expect("evaluation");
@@ -46,7 +49,11 @@ fn main() {
             out.report.di_star,
             out.report.aod_star,
             out.report.balanced_accuracy,
-            if out.report.degenerate { "  [DEGENERATE]" } else { "" }
+            if out.report.degenerate {
+                "  [DEGENERATE]"
+            } else {
+                ""
+            }
         );
     }
     println!("\nConFair's weights come from data conformance, not model output —");

@@ -15,7 +15,7 @@ use confair::learners::LearnerKind;
 fn main() {
     // 1. The Fig. 1 dataset: a majority whose labels follow X2, a minority
     //    whose labels follow a drifted direction, both sharing the space.
-    let data = figure1(10);
+    let data = figure1(23);
     println!(
         "dataset: {} tuples, {} minority",
         data.len(),
@@ -25,7 +25,7 @@ fn main() {
     let pipeline = Pipeline::paper_default();
 
     // 2. Baseline: train LR with no intervention.
-    let base = evaluate(&data, &NoIntervention, LearnerKind::Logistic, pipeline, 10)
+    let base = evaluate(&data, &NoIntervention, LearnerKind::Logistic, pipeline, 23)
         .expect("baseline evaluation");
     println!("\nbefore intervention:");
     println!("  {}", base.report.one_line());
@@ -41,7 +41,7 @@ fn main() {
         &ConFair::paper_default(),
         LearnerKind::Logistic,
         pipeline,
-        10,
+        23,
     )
     .expect("ConFair evaluation");
     println!("\nafter ConFair:");
@@ -56,5 +56,8 @@ fn main() {
         "\nDI* improved by {gain:+.3} with balanced accuracy {:+.3}",
         fair.report.balanced_accuracy - base.report.balanced_accuracy
     );
-    assert!(gain > 0.0, "ConFair should improve fairness on the toy data");
+    assert!(
+        gain > 0.0,
+        "ConFair should improve fairness on the toy data"
+    );
 }

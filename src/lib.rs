@@ -23,6 +23,7 @@ pub use cf_density as density;
 pub use cf_learners as learners;
 pub use cf_linalg as linalg;
 pub use cf_metrics as metrics;
+pub use cf_stream as stream;
 pub use confair_core as core;
 
 /// Commonly used items, importable in one line.
@@ -30,10 +31,18 @@ pub mod prelude {
     pub use cf_baselines::{cap::Capuchin, kam::KamiranCalders, omn::OmniFair};
     pub use cf_conformance::{ConstraintFamily, ConstraintSet};
     pub use cf_data::{Column, Dataset, GroupSpec, SplitRatios};
-    pub use cf_datasets::{realsim::RealWorldSpec, synthgen::SynSpec};
+    pub use cf_datasets::{
+        realsim::RealWorldSpec,
+        stream::{DriftStream, DriftStreamSpec},
+        synthgen::SynSpec,
+    };
     pub use cf_density::{density_filter, Kde};
     pub use cf_learners::{Learner, LearnerKind};
     pub use cf_metrics::{FairnessReport, GroupConfusion};
+    pub use cf_stream::{
+        DriftAlert, DriftKind, FairnessSnapshot, PageHinkleyConfig, RetrainPolicy, StreamConfig,
+        StreamEngine, StreamTuple,
+    };
     pub use confair_core::{
         confair::{ConFair, ConFairConfig, FairnessTarget},
         difffair::{DiffFair, DiffFairConfig},

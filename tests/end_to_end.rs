@@ -26,8 +26,14 @@ fn every_method_runs_on_toy_data_with_both_learners() {
     let data = figure1(100);
     for method in all_methods() {
         for learner in LearnerKind::both() {
-            let out = evaluate(&data, method.as_ref(), learner, Pipeline::paper_default(), 100)
-                .unwrap_or_else(|e| panic!("{} / {} failed: {e}", method.name(), learner.name()));
+            let out = evaluate(
+                &data,
+                method.as_ref(),
+                learner,
+                Pipeline::paper_default(),
+                100,
+            )
+            .unwrap_or_else(|e| panic!("{} / {} failed: {e}", method.name(), learner.name()));
             assert!(
                 (0.0..=1.0).contains(&out.report.di_star),
                 "{}: DI* out of range",
@@ -54,8 +60,15 @@ fn confair_improves_di_on_unfair_toy_data() {
     let data = figure1(101);
     let pipeline = Pipeline::paper_default();
     let base = mean_report(
-        &evaluate_repeated(&data, &NoIntervention, LearnerKind::Logistic, pipeline, 101, 3)
-            .unwrap(),
+        &evaluate_repeated(
+            &data,
+            &NoIntervention,
+            LearnerKind::Logistic,
+            pipeline,
+            101,
+            3,
+        )
+        .unwrap(),
     );
     let fair = mean_report(
         &evaluate_repeated(
@@ -117,7 +130,9 @@ fn difffair_dominates_under_severe_drift() {
 fn realsim_pipeline_works_at_small_scale() {
     // One pass of the headline comparison on a small MEPS simulation —
     // the smoke test behind Fig. 5's first column.
-    let data = RealWorldSpec::by_name("MEPS").unwrap().generate_scaled(0.05, 103);
+    let data = RealWorldSpec::by_name("MEPS")
+        .unwrap()
+        .generate_scaled(0.05, 103);
     let pipeline = Pipeline::paper_default();
     for method in ["NoIntervention", "ConFair"] {
         let m: Box<dyn Intervention> = match method {
@@ -133,8 +148,22 @@ fn realsim_pipeline_works_at_small_scale() {
 #[test]
 fn deterministic_across_identical_runs() {
     let data = figure1(104);
-    let a = evaluate(&data, &ConFair::paper_default(), LearnerKind::Logistic, Pipeline::paper_default(), 104).unwrap();
-    let b = evaluate(&data, &ConFair::paper_default(), LearnerKind::Logistic, Pipeline::paper_default(), 104).unwrap();
+    let a = evaluate(
+        &data,
+        &ConFair::paper_default(),
+        LearnerKind::Logistic,
+        Pipeline::paper_default(),
+        104,
+    )
+    .unwrap();
+    let b = evaluate(
+        &data,
+        &ConFair::paper_default(),
+        LearnerKind::Logistic,
+        Pipeline::paper_default(),
+        104,
+    )
+    .unwrap();
     let mut ra = a.report;
     let mut rb = b.report;
     ra.runtime_secs = 0.0;

@@ -6,7 +6,7 @@ use confair::prelude::*;
 #[test]
 fn prelude_exposes_the_core_workflow() {
     let data = confair::datasets::toy::figure1(200);
-    assert!(data.len() > 0);
+    assert!(!data.is_empty());
 
     // Splitting through the re-exported types.
     let pipeline = Pipeline::paper_default();
@@ -23,7 +23,7 @@ fn prelude_exposes_the_core_workflow() {
         &x,
         &confair::conformance::LearnOptions::paper_default(),
     );
-    assert!(cs.len() >= 1);
+    assert!(!cs.is_empty());
     // Every profiled tuple conforms under min/max bounds.
     for row in x.iter_rows() {
         assert!(cs.violation(row) < 1e-9);

@@ -1,0 +1,181 @@
+//! Vendored, offline subset of the `proptest` API.
+//!
+//! Random-input property testing without shrinking: each `proptest!` test
+//! runs `cases` seeded random inputs; a failing case panics with its seed
+//! and message, a `prop_assume!` rejection retries with the next seed.
+//! The strategy algebra covers what this workspace's tests use: numeric
+//! ranges, tuples of strategies, `collection::vec`, `Just`, `prop_map`,
+//! and `prop_flat_map`.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Drop-in for `proptest::prelude::*`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declare property tests. Supports the subset of upstream syntax the
+/// workspace uses: an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal item-muncher behind [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases($cfg, stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Property-test assertion: fails the current case (with its seed) instead
+/// of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion with operand capture.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right` ({}): left `{:?}`, right `{:?}`",
+                format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion with operand capture.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (doesn't count towards `cases`); the runner
+/// retries with a fresh seed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuples_and_maps_compose((n, scale) in (1usize..8, 0.5..2.0f64)) {
+            prop_assert!((1..8).contains(&n));
+            prop_assert!((0.5..2.0).contains(&scale));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u8..2, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 2));
+        }
+
+        #[test]
+        fn flat_map_threads_parameters(m in (2usize..5).prop_flat_map(|n| {
+            crate::collection::vec(-1.0..1.0f64, n * 2).prop_map(move |data| (n, data))
+        })) {
+            let (n, data) = m;
+            prop_assert_eq!(data.len(), n * 2);
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn patterns_destructure((a, b) in (0i32..5, 5i32..10)) {
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics_with_seed() {
+        crate::test_runner::run_cases(ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn just_yields_clones() {
+        let s = Just(41i32);
+        let mut rng = crate::test_runner::new_rng(0);
+        assert_eq!(Strategy::generate(&s, &mut rng), 41);
+    }
+}

@@ -1,0 +1,92 @@
+//! The case runner: seeding, rejection bookkeeping, failure reporting.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Build a [`TestRng`] from a case seed.
+pub fn new_rng(seed: u64) -> TestRng {
+    use rand::SeedableRng;
+    TestRng::seed_from_u64(seed)
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// Upstream-compatible constructor.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — retry with a fresh input.
+    Reject(String),
+    /// `prop_assert!`/`prop_assert_eq!` failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (assumption-violating) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+fn case_seed(name: &str, attempt: u32) -> u64 {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    attempt.hash(&mut h);
+    h.finish()
+}
+
+/// Drive one property: run seeded cases until `config.cases` are accepted,
+/// panicking on the first failure. Rejections retry (bounded at 10× the
+/// case budget, matching upstream's global rejection cap in spirit).
+pub fn run_cases<F>(config: Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let max_attempts = config.cases.saturating_mul(10).max(1_000);
+    let mut accepted = 0u32;
+    let mut attempt = 0u32;
+    while accepted < config.cases {
+        attempt += 1;
+        assert!(
+            attempt <= max_attempts,
+            "proptest shim: `{name}` rejected too many inputs \
+             ({accepted}/{} accepted after {max_attempts} attempts) — \
+             loosen the prop_assume! conditions",
+            config.cases
+        );
+        let seed = case_seed(name, attempt);
+        let mut rng = new_rng(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {attempt} (seed {seed:#x}):\n{msg}")
+            }
+        }
+    }
+}

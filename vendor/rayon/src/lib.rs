@@ -1,0 +1,59 @@
+//! Vendored, offline shim for the `rayon` subset this workspace uses.
+//!
+//! `par_iter()` here hands back a *sequential* `std::slice::Iter`, so every
+//! adapter chain (`filter_map`, `map`, `collect`, …) type-checks and runs —
+//! just without work stealing. The experiment grids this repo parallelises
+//! are embarrassingly parallel and dominated by learner training; when a
+//! real `rayon` is available the manifests can switch back with no source
+//! changes. Results are bit-identical either way because every cell is
+//! seeded independently.
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+
+    /// Sequential stand-in for `IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type yielded by the iterator.
+        type Item: 'a;
+        /// The iterator type (sequential here).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// "Parallel" iteration — sequential in this shim.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_supports_adapter_chains() {
+        let v = vec![1, 2, 3, 4];
+        let doubled_evens: Vec<i32> = v
+            .par_iter()
+            .filter_map(|&x| if x % 2 == 0 { Some(x * 2) } else { None })
+            .collect();
+        assert_eq!(doubled_evens, vec![4, 8]);
+        let slice: &[i32] = &v;
+        assert_eq!(slice.par_iter().count(), 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! The JSON value tree shared by the `serde`/`serde_json` shims.
+
+use crate::Error;
+
+/// A JSON document. Object fields keep insertion order so pretty-printed
+/// artifacts read in declaration order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null` (also the encoding of non-finite floats).
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup that errors on a missing key (used by the
+    /// `Deserialize` derive).
+    pub fn get_or_err(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(_) => self
+                .get(key)
+                .ok_or_else(|| Error::msg(format!("missing field `{key}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{key}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(1.0)),
+            ("b".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 1);
+        assert!(v.get("c").is_none());
+        assert!(v.get_or_err("c").is_err());
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::String("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+    }
+}

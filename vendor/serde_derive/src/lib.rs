@@ -1,0 +1,144 @@
+//! Vendored, offline `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Scope: plain (non-generic) structs with named fields — the only shapes
+//! this workspace derives. The macros are written directly against
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline): the struct name and field names are recovered by a small token
+//! walk, and the impl is emitted as formatted source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Recover `struct Name { field, … }` from the derive input tokens.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+
+    // Walk the prefix: attributes (`# [ … ]`), visibility, `struct`, name.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip a possible restriction like `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                other => panic!("serde_derive shim: expected struct name, got {other:?}"),
+            },
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde_derive shim does not support generic structs")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let name = name.expect("serde_derive shim: no struct keyword before body");
+                return StructShape {
+                    name,
+                    fields: parse_fields(g.stream()),
+                };
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("serde_derive shim only supports structs with named fields")
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: struct body not found (tuple structs unsupported)")
+}
+
+/// Field names from the body tokens: per comma-separated chunk, the first
+/// identifier after attributes/visibility and before the `:`.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize; // inside `<…>` of a field type
+    let mut expecting_name = true;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                tokens.next(); // attribute group
+            }
+            TokenTree::Ident(id) if expecting_name && id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                fields.push(id.to_string());
+                expecting_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                expecting_name = true;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// `#[derive(Serialize)]` — emits a field-by-field `to_value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` — emits a field-by-field `from_value`. Field
+/// types are never inspected: each field is recovered through trait
+/// resolution of `Deserialize::from_value` at its declared type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let reads: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get_or_err(\"{f}\")?)?,\n"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok(Self {{\n\
+                     {reads}\
+                 }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}
