@@ -4,38 +4,14 @@
 //! single-threaded through the full `ingest` path (model forward pass,
 //! conformance check, O(1) windowed counters, Page–Hinkley step). The
 //! monitors read counters — never the window — so per-tuple cost is flat
-//! in the window size, which the window-size sweep makes visible.
+//! in the window size, which the window-size sweep makes visible. All
+//! workloads come from `cf_bench::stream_load`, shared with the
+//! `run_stream_bench` trajectory binary.
 
-use cf_datasets::stream::{DriftStream, DriftStreamSpec};
-use cf_learners::LearnerKind;
-use cf_stream::{RetrainPolicy, StreamConfig, StreamEngine, StreamTuple};
+use cf_bench::stream_load::{fresh_engine, fresh_sharded_engine, pregenerate, pregenerate_sharded};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
-
-fn stationary_spec() -> DriftStreamSpec {
-    DriftStreamSpec {
-        drift_onset: u64::MAX,
-        ..DriftStreamSpec::default()
-    }
-}
-
-fn fresh_engine(window: usize) -> StreamEngine {
-    let reference = stationary_spec().reference(4_000, 21);
-    let config = StreamConfig {
-        window,
-        retrain: RetrainPolicy::Never,
-        ..StreamConfig::default()
-    };
-    StreamEngine::from_reference(&reference, LearnerKind::Logistic, 21, config).expect("bootstrap")
-}
-
-fn pregenerate(n_batches: usize, batch: usize) -> Vec<Vec<StreamTuple>> {
-    let mut stream = DriftStream::new(stationary_spec(), 3);
-    (0..n_batches)
-        .map(|_| StreamTuple::rows_from_dataset(&stream.next_batch(batch)).expect("numeric"))
-        .collect()
-}
 
 fn bench_ingest_batches(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream_ingest/batch");
@@ -56,14 +32,38 @@ fn bench_ingest_batches(c: &mut Criterion) {
 }
 
 fn bench_window_size_independence(c: &mut Criterion) {
-    // Per-tuple cost must not grow with the window: counters, not scans.
+    // Per-tuple cost must not grow with the window: counters, not scans —
+    // and with the ring arena, steady-state pushes must not allocate no
+    // matter how large the retained window is.
     let mut group = c.benchmark_group("stream_ingest/window");
     group.sample_size(20);
-    for &window in &[256usize, 4_096, 65_536] {
+    for &window in &[256usize, 4_096, 65_536, 262_144] {
         let batches = pregenerate(32, 512);
         let mut engine = fresh_engine(window);
         let mut next = 0usize;
         group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            b.iter(|| {
+                let outcome = engine.ingest(black_box(&batches[next])).unwrap();
+                next = (next + 1) % batches.len();
+                outcome.decisions.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    // Aggregate ingest across shard counts: each ingest call routes a
+    // mixed batch and runs the per-shard engines on scoped threads. On a
+    // multi-core host the per-batch wall time should stay ~flat as shards
+    // (and tuples per call) grow together — near-linear scaling.
+    let mut group = c.benchmark_group("stream_ingest/sharded");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4] {
+        let batches = pregenerate_sharded(shards, 16, 2_048);
+        let mut engine = fresh_sharded_engine(4_096, shards);
+        let mut next = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
             b.iter(|| {
                 let outcome = engine.ingest(black_box(&batches[next])).unwrap();
                 next = (next + 1) % batches.len();
@@ -105,6 +105,7 @@ criterion_group!(
     benches,
     bench_ingest_batches,
     bench_window_size_independence,
+    bench_sharded_ingest,
     report_sustained_throughput
 );
 criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! The stream-engine throughput trajectory: sustained tuples/sec through
+//! the full `ingest` path (forward pass, conformance check, O(1) counters,
+//! Page–Hinkley step) for the single-shard and sharded configurations, plus
+//! the window-size flatness check — written to `BENCH_stream.json` so
+//! successive PRs can track the numbers.
+//!
+//! Arguments: `--quick` shrinks every workload for CI smoke runs;
+//! `--out=<path>` overrides the artifact path (default:
+//! `BENCH_stream.json` in the working directory). Workloads come from
+//! `cf_bench::stream_load`, shared with the criterion bench.
+
+use cf_bench::stream_load::{fresh_engine, fresh_sharded_engine, pregenerate, pregenerate_sharded};
+use cf_stream::{ShardedEngine, ShardedTuple, StreamEngine, StreamTuple};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Drive `engine.ingest` over pregenerated batches until at least
+/// `total_tuples` have flowed through; returns (tuples, seconds).
+fn drive_single(
+    engine: &mut StreamEngine,
+    batches: &[Vec<StreamTuple>],
+    total_tuples: usize,
+) -> (usize, f64) {
+    // Warm-up: ingest until the window is full, so the timed region is
+    // the steady state (arena wrapped, no fill-phase allocations) for
+    // every window size alike.
+    let capacity = engine.config().window;
+    let mut next = 0usize;
+    while engine.window_len() < capacity {
+        engine.ingest(&batches[next]).expect("warm-up ingest");
+        next = (next + 1) % batches.len();
+    }
+    let mut ingested = 0usize;
+    let started = Instant::now();
+    while ingested < total_tuples {
+        let outcome = engine.ingest(black_box(&batches[next])).expect("ingest");
+        ingested += outcome.decisions.len();
+        next = (next + 1) % batches.len();
+    }
+    (ingested, started.elapsed().as_secs_f64())
+}
+
+fn drive_sharded(
+    engine: &mut ShardedEngine,
+    batches: &[Vec<ShardedTuple>],
+    total_tuples: usize,
+) -> (usize, f64) {
+    // Warm-up: every shard's window must be full before timing starts.
+    let capacity = engine.shard(0).expect("shard 0").config().window;
+    let shards = engine.shard_count();
+    let mut next = 0usize;
+    while (0..shards).any(|s| engine.shard(s as u32).expect("shard").window_len() < capacity) {
+        engine.ingest(&batches[next]).expect("warm-up ingest");
+        next = (next + 1) % batches.len();
+    }
+    let mut ingested = 0usize;
+    let started = Instant::now();
+    while ingested < total_tuples {
+        let outcome = engine.ingest(black_box(&batches[next])).expect("ingest");
+        ingested += outcome.decisions.len();
+        next = (next + 1) % batches.len();
+    }
+    (ingested, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = std::path::PathBuf::from("BENCH_stream.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out = std::path::PathBuf::from(v);
+        } else {
+            panic!("unknown argument {arg}; expected --quick --out=<path>");
+        }
+    }
+    let total = if quick { 100_000 } else { 1_000_000 };
+    let mut configs = Vec::new();
+    let mut record = |name: String, tuples: usize, secs: f64| {
+        let rate = tuples as f64 / secs;
+        println!("{name}: {tuples} tuples in {secs:.3}s = {rate:.0} tuples/sec");
+        configs.push(serde_json::json!({
+            "name": name,
+            "tuples": tuples,
+            "secs": secs,
+            "tuples_per_sec": rate,
+        }));
+        rate
+    };
+
+    // Single-shard throughput across batch sizes.
+    for &batch in &[512usize, 1_024, 4_096] {
+        let batches = pregenerate(32, batch);
+        let mut engine = fresh_engine(4_096);
+        let (tuples, secs) = drive_single(&mut engine, &batches, total);
+        record(format!("single_shard/batch={batch}"), tuples, secs);
+    }
+
+    // Window-size flatness: counters-not-scans, arena-not-boxes.
+    for &window in &[256usize, 65_536] {
+        let batches = pregenerate(32, 1_024);
+        let mut engine = fresh_engine(window);
+        let (tuples, secs) = drive_single(&mut engine, &batches, total);
+        record(format!("window/{window}"), tuples, secs);
+    }
+
+    // Sharded aggregate throughput; scaling is reported relative to the
+    // 1-shard configuration of the same router path.
+    let mut base_rate = None;
+    let mut scaling = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let batches = pregenerate_sharded(shards, 16, 1_024);
+        let mut engine = fresh_sharded_engine(4_096, shards);
+        let (tuples, secs) = drive_sharded(&mut engine, &batches, total);
+        let rate = record(format!("sharded/shards={shards}"), tuples, secs);
+        let base = *base_rate.get_or_insert(rate);
+        scaling.push(serde_json::json!({
+            "shards": shards,
+            "speedup_vs_1_shard": rate / base,
+        }));
+    }
+
+    let artifact = serde_json::json!({
+        "bench": "stream_ingest",
+        "quick": quick,
+        "configs": configs,
+        "sharded_scaling": scaling,
+    });
+    let file = std::fs::File::create(&out).expect("create BENCH_stream.json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &artifact)
+        .expect("serialise bench results");
+    println!("[artifact] {}", out.display());
+}

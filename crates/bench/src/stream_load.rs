@@ -1,0 +1,85 @@
+//! Shared workload builders for the stream-ingest benchmarks, used by both
+//! the criterion bench (`benches/stream_ingest.rs`) and the trajectory
+//! binary (`run_stream_bench`) so the two always measure the same workload.
+
+use cf_datasets::stream::{DriftStream, DriftStreamSpec, ShardedDriftStream};
+use cf_learners::LearnerKind;
+use cf_stream::{
+    RetrainPolicy, ShardedEngine, ShardedTuple, StreamConfig, StreamEngine, StreamTuple,
+};
+
+/// The benchmark stream never drifts: throughput is measured on the steady
+/// state, not on retraining transients.
+pub fn stationary_spec() -> DriftStreamSpec {
+    DriftStreamSpec {
+        drift_onset: u64::MAX,
+        ..DriftStreamSpec::default()
+    }
+}
+
+/// Monitoring-only engine configuration with the given window capacity.
+pub fn engine_config(window: usize) -> StreamConfig {
+    StreamConfig {
+        window,
+        retrain: RetrainPolicy::Never,
+        ..StreamConfig::default()
+    }
+}
+
+/// A bootstrapped single-stream engine over the benchmark reference.
+pub fn fresh_engine(window: usize) -> StreamEngine {
+    let reference = stationary_spec().reference(4_000, 21);
+    StreamEngine::from_reference(&reference, LearnerKind::Logistic, 21, engine_config(window))
+        .expect("bootstrap")
+}
+
+/// A bootstrapped sharded engine over the benchmark reference.
+pub fn fresh_sharded_engine(window: usize, shards: usize) -> ShardedEngine {
+    let reference = stationary_spec().reference(4_000, 21);
+    ShardedEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        21,
+        engine_config(window),
+        shards,
+    )
+    .expect("bootstrap")
+}
+
+/// Pregenerate `n_batches` single-stream batches of `batch` tuples each.
+pub fn pregenerate(n_batches: usize, batch: usize) -> Vec<Vec<StreamTuple>> {
+    let mut stream = DriftStream::new(stationary_spec(), 3);
+    (0..n_batches)
+        .map(|_| StreamTuple::rows_from_dataset(&stream.next_batch(batch)).expect("numeric"))
+        .collect()
+}
+
+/// Pregenerate routed mixed-shard batches: `rounds` batches of
+/// `per_shard * n_shards` tuples each, round-robin interleaved across
+/// shards.
+pub fn pregenerate_sharded(
+    n_shards: usize,
+    rounds: usize,
+    per_shard: usize,
+) -> Vec<Vec<ShardedTuple>> {
+    let mut fleet = ShardedDriftStream::uniform(stationary_spec(), n_shards, 5);
+    (0..rounds)
+        .map(|_| {
+            let per_shard_tuples: Vec<Vec<StreamTuple>> = fleet
+                .next_batches(per_shard)
+                .iter()
+                .map(|d| StreamTuple::rows_from_dataset(d).expect("numeric"))
+                .collect();
+            let mut routed = Vec::with_capacity(n_shards * per_shard);
+            for i in 0..per_shard {
+                for (shard, tuples) in per_shard_tuples.iter().enumerate() {
+                    routed.push(ShardedTuple {
+                        shard: shard as u32,
+                        tuple: tuples[i].clone(),
+                    });
+                }
+            }
+            routed
+        })
+        .collect()
+}

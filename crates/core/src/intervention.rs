@@ -2,13 +2,46 @@
 //! the no-intervention baseline.
 
 use crate::Result;
-use cf_data::{encode::labels_as_f64, Dataset, FeatureEncoding};
+use cf_data::{encode::labels_as_f64, Column, Dataset, FeatureEncoding};
 use cf_learners::{Learner, LearnerKind};
+use cf_linalg::Matrix;
 
 /// A trained model (or model ensemble) ready to serve predictions.
 pub trait Predictor: Send {
     /// Hard predictions for every tuple of `data`.
     fn predict(&self, data: &Dataset) -> Result<Vec<u8>>;
+
+    /// Hard predictions straight from a row-major numeric feature matrix
+    /// (one row per tuple, one column per attribute in schema order) — the
+    /// streaming fast path, which skips [`Dataset`] assembly entirely.
+    ///
+    /// Only meaningful for predictors trained on all-numeric schemas, and
+    /// **opt-in**: the default rejects the call, because a bare matrix
+    /// carries no group column and a group-routed predictor inheriting a
+    /// permissive default would silently score every row as group 0.
+    /// Learner-backed predictors override it to feed their feature
+    /// encoding directly; predictors whose serving decision never reads
+    /// groups or labels may delegate to [`predict_rows_via_dataset`].
+    fn predict_rows(&self, _x: &Matrix) -> Result<Vec<u8>> {
+        Err(crate::CoreError::Unsupported(
+            "this predictor does not implement the row-matrix fast path; \
+             use predict with a Dataset"
+                .into(),
+        ))
+    }
+}
+
+/// `Predictor::predict_rows` via the `Dataset` path: materialise a
+/// column-major dataset from `x` with *placeholder* labels and groups and
+/// call `predict`. Sound only for predictors whose serving decision never
+/// reads groups or labels (e.g. DiffFair, which routes by conformance of
+/// the features alone) — group-routed predictors must not delegate here.
+pub fn predict_rows_via_dataset(predictor: &dyn Predictor, x: &Matrix) -> Result<Vec<u8>> {
+    let n = x.rows();
+    let names: Vec<String> = (0..x.cols()).map(|j| format!("x{j}")).collect();
+    let columns: Vec<Column> = (0..x.cols()).map(|j| Column::Numeric(x.col(j))).collect();
+    let data = Dataset::new("predict-rows", names, columns, vec![0; n], vec![0; n])?;
+    predictor.predict(&data)
 }
 
 /// A fairness intervention: consumes the training/validation splits and a
@@ -57,6 +90,11 @@ impl Predictor for SingleModelPredictor {
     fn predict(&self, data: &Dataset) -> Result<Vec<u8>> {
         let x = self.encoding.transform(data)?;
         Ok(self.model.predict(&x)?)
+    }
+
+    fn predict_rows(&self, x: &Matrix) -> Result<Vec<u8>> {
+        let encoded = self.encoding.transform_rows(x)?;
+        Ok(self.model.predict(&encoded)?)
     }
 }
 
@@ -135,5 +173,35 @@ mod tests {
     #[test]
     fn name_matches_paper() {
         assert_eq!(NoIntervention.name(), "NoIntervention");
+    }
+
+    #[test]
+    fn predict_rows_matches_dataset_path() {
+        // The Fig. 1 toy data is all-numeric, so the learner-backed
+        // override and the opt-in Dataset-wrapping helper must both agree
+        // with plain `predict` exactly.
+        let data = figure1(4);
+        let s = split3(&data, SplitRatios::paper_default(), 4);
+        let p = NoIntervention
+            .train(&s.train, &s.validation, LearnerKind::Logistic)
+            .unwrap();
+        let via_dataset = p.predict(&s.test).unwrap();
+        let x = s.test.numeric_matrix(None);
+        let via_rows = p.predict_rows(&x).unwrap();
+        assert_eq!(via_rows, via_dataset);
+        assert_eq!(predict_rows_via_dataset(&*p, &x).unwrap(), via_dataset);
+
+        // A predictor that does not opt in is rejected, never misrouted.
+        struct Wrap(Box<dyn Predictor>);
+        impl Predictor for Wrap {
+            fn predict(&self, data: &Dataset) -> Result<Vec<u8>> {
+                self.0.predict(data)
+            }
+        }
+        let wrapped = Wrap(p);
+        assert!(matches!(
+            wrapped.predict_rows(&x),
+            Err(crate::CoreError::Unsupported(_))
+        ));
     }
 }

@@ -32,7 +32,9 @@ pub mod tuning;
 
 pub use confair::{AlphaMode, ConFair, ConFairConfig, FairnessTarget};
 pub use difffair::{DiffFair, DiffFairConfig};
-pub use intervention::{Intervention, NoIntervention, Predictor, SingleModelPredictor};
+pub use intervention::{
+    predict_rows_via_dataset, Intervention, NoIntervention, Predictor, SingleModelPredictor,
+};
 pub use multimodel::MultiModel;
 pub use pipeline::{evaluate, evaluate_repeated, EvalOutcome, Pipeline};
 pub use tuning::{tune_alpha, TuneResult};
@@ -50,6 +52,10 @@ pub enum CoreError {
     /// A partition the algorithm requires is empty (e.g. no minority
     /// positives in the training split).
     EmptyPartition(String),
+    /// The requested serving path is not supported by this predictor
+    /// (e.g. the group-blind `predict_rows` fast path on a group-routed
+    /// model).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -58,6 +64,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Data(e) => write!(f, "data error: {e}"),
             CoreError::Learn(e) => write!(f, "learner error: {e}"),
             CoreError::EmptyPartition(what) => write!(f, "empty partition: {what}"),
+            CoreError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }
 }

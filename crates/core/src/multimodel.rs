@@ -48,6 +48,10 @@ impl Predictor for MultiModelPredictor {
             })
             .collect()
     }
+
+    // `predict_rows` deliberately stays the rejecting trait default: this
+    // predictor routes by group membership, which a bare feature matrix
+    // cannot carry.
 }
 
 impl Intervention for MultiModel {
@@ -96,6 +100,19 @@ mod tests {
     use cf_data::split::{split3, SplitRatios};
     use cf_datasets::{synthgen::syn_drift_scaled, toy::figure1};
     use cf_metrics::GroupConfusion;
+
+    #[test]
+    fn predict_rows_is_rejected_not_misrouted() {
+        // The matrix fast path carries no group column; the group-routed
+        // predictor must refuse it rather than score everyone as group 0.
+        let d = figure1(6);
+        let s = split3(&d, SplitRatios::paper_default(), 6);
+        let p = MultiModel
+            .train(&s.train, &s.validation, LearnerKind::Logistic)
+            .unwrap();
+        let x = s.test.numeric_matrix(None);
+        assert!(matches!(p.predict_rows(&x), Err(CoreError::Unsupported(_))));
+    }
 
     #[test]
     fn multimodel_beats_single_model_under_severe_drift() {

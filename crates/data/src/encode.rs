@@ -135,6 +135,54 @@ impl FeatureEncoding {
         Ok(out)
     }
 
+    /// Encode a row-major numeric feature matrix directly, without building
+    /// a [`Dataset`] — the streaming hot path. One column per encoder, in
+    /// fit order; NaN encodes to 0.5 exactly as [`Self::transform`] does.
+    ///
+    /// # Errors
+    /// Errors when the matrix width disagrees with the fitted column count,
+    /// or when the encoding contains a categorical (one-hot) column —
+    /// categorical data has no row-major `f64` representation and must take
+    /// the `Dataset` path.
+    pub fn transform_rows(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.encoders.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.encoders.len(),
+                got: x.cols(),
+                what: "feature-matrix columns for encoding".into(),
+            });
+        }
+        // (min, range) per column, resolved once so the per-element loop is
+        // branch-light and allocation-free.
+        let mut scalers = Vec::with_capacity(self.encoders.len());
+        for (j, enc) in self.encoders.iter().enumerate() {
+            match enc {
+                ColumnEncoder::MinMax { min, max } => scalers.push((*min, *max - *min)),
+                ColumnEncoder::OneHot { .. } => {
+                    return Err(DataError::WrongColumnKind {
+                        name: format!("column {j}"),
+                        expected: "numeric (categorical encodings need the Dataset path)",
+                    })
+                }
+            }
+        }
+        let mut out = Matrix::zeros(x.rows(), self.width);
+        for i in 0..x.rows() {
+            let src = x.row(i);
+            let dst = out.row_mut(i);
+            for ((d, &v), &(min, range)) in dst.iter_mut().zip(src).zip(&scalers) {
+                *d = if v.is_nan() {
+                    0.5
+                } else if range > 0.0 {
+                    ((v - min) / range).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                };
+            }
+        }
+        Ok(out)
+    }
+
     /// Fit on `train` and transform it in one call.
     pub fn fit_transform(train: &Dataset) -> (Self, Matrix) {
         let enc = Self::fit(train);
@@ -260,6 +308,61 @@ mod tests {
         )
         .unwrap();
         assert!(enc.transform(&other).is_err());
+    }
+
+    #[test]
+    fn transform_rows_matches_dataset_path_on_numeric_data() {
+        let train = Dataset::new(
+            "num",
+            vec!["a".into(), "b".into()],
+            vec![
+                Column::Numeric(vec![0.0, 5.0, 10.0]),
+                Column::Numeric(vec![-1.0, 0.0, 3.0]),
+            ],
+            vec![0, 1, 1],
+            vec![0, 1, 0],
+        )
+        .unwrap();
+        let enc = FeatureEncoding::fit(&train);
+        let test = Dataset::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec![
+                Column::Numeric(vec![-2.0, 7.5, f64::NAN]),
+                Column::Numeric(vec![1.0, 9.0, 0.5]),
+            ],
+            vec![0, 1, 0],
+            vec![0, 0, 1],
+        )
+        .unwrap();
+        let via_dataset = enc.transform(&test).unwrap();
+        let rows = Matrix::from_rows(&[vec![-2.0, 1.0], vec![7.5, 9.0], vec![f64::NAN, 0.5]]);
+        let via_rows = enc.transform_rows(&rows).unwrap();
+        assert_eq!(via_rows, via_dataset);
+    }
+
+    #[test]
+    fn transform_rows_rejects_categorical_encodings_and_bad_width() {
+        let enc = FeatureEncoding::fit(&sample());
+        let rows = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        assert!(matches!(
+            enc.transform_rows(&rows),
+            Err(DataError::WrongColumnKind { .. })
+        ));
+        let numeric_only = Dataset::new(
+            "n",
+            vec!["x".into()],
+            vec![Column::Numeric(vec![0.0, 1.0])],
+            vec![0, 1],
+            vec![0, 1],
+        )
+        .unwrap();
+        let enc = FeatureEncoding::fit(&numeric_only);
+        let wide = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert!(matches!(
+            enc.transform_rows(&wide),
+            Err(DataError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

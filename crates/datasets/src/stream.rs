@@ -110,6 +110,11 @@ impl DriftStream {
         self.emitted
     }
 
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &DriftStreamSpec {
+        &self.spec
+    }
+
     /// The active rotation angle of the drifted group at stream time `t`.
     pub fn angle_at(&self, t: u64) -> f64 {
         let spec = &self.spec;
@@ -191,6 +196,84 @@ impl DriftStream {
 
         self.emitted += 1;
         (x, label, group)
+    }
+}
+
+/// A fleet of per-shard [`DriftStream`]s — the workload generator for the
+/// sharded serving engine. Each shard (think region or product line) runs
+/// its own independent stream, with its own RNG stream and, optionally, its
+/// own drift schedule: real partitioned traffic does not drift in lockstep.
+#[derive(Debug, Clone)]
+pub struct ShardedDriftStream {
+    shards: Vec<DriftStream>,
+}
+
+/// splitmix64 finaliser — decorrelates per-shard seeds derived from one
+/// base seed (same construction as `confair_core::repetition_seed`).
+fn shard_seed(base: u64, shard: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(shard.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardedDriftStream {
+    /// One stream per spec, each with a decorrelated seed derived from
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics when `specs` is empty, or on any non-sensical spec (see
+    /// [`DriftStream::new`]).
+    pub fn new(specs: &[DriftStreamSpec], seed: u64) -> Self {
+        assert!(!specs.is_empty(), "need at least one shard");
+        ShardedDriftStream {
+            shards: specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| DriftStream::new(*spec, shard_seed(seed, i as u64)))
+                .collect(),
+        }
+    }
+
+    /// `n_shards` copies of one spec — identically distributed shards with
+    /// independent RNG streams (the throughput-benchmark workload).
+    pub fn uniform(spec: DriftStreamSpec, n_shards: usize, seed: u64) -> Self {
+        Self::new(&vec![spec; n_shards], seed)
+    }
+
+    /// Shards drifting on a staggered schedule: shard `i` keeps `spec` but
+    /// begins drifting at `drift_onset + i * onset_step` — the scenario
+    /// where trouble starts in one region and spreads.
+    pub fn staggered(spec: DriftStreamSpec, n_shards: usize, onset_step: u64, seed: u64) -> Self {
+        let specs: Vec<DriftStreamSpec> = (0..n_shards)
+            .map(|i| DriftStreamSpec {
+                drift_onset: spec.drift_onset.saturating_add(onset_step * i as u64),
+                ..spec
+            })
+            .collect();
+        Self::new(&specs, seed)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow one shard's stream (its clock, spec, and angle schedule).
+    pub fn shard(&self, i: usize) -> &DriftStream {
+        &self.shards[i]
+    }
+
+    /// Advance every shard by `per_shard` tuples, returning one dataset per
+    /// shard (index = shard id), each named `shard-<i>`.
+    pub fn next_batches(&mut self, per_shard: usize) -> Vec<Dataset> {
+        self.shards
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| s.next_batch_named(per_shard, &format!("shard-{i}")))
+            .collect()
     }
 }
 
@@ -365,6 +448,42 @@ mod tests {
             );
             assert!((pos - neg).abs() < 0.1, "noise col {j} separates labels");
         }
+    }
+
+    #[test]
+    fn sharded_streams_are_deterministic_and_decorrelated() {
+        let spec = DriftStreamSpec::default();
+        let a = ShardedDriftStream::uniform(spec, 3, 42).next_batches(200);
+        let b = ShardedDriftStream::uniform(spec, 3, 42).next_batches(200);
+        assert_eq!(a, b, "same seed, same fleet");
+        assert_eq!(a.len(), 3);
+        // Different shards draw from different RNG streams.
+        assert_ne!(a[0].labels(), a[1].labels());
+        // And each shard matches a standalone stream with the derived seed.
+        let standalone = DriftStream::new(spec, shard_seed(42, 1)).next_batch_named(200, "shard-1");
+        assert_eq!(a[1], standalone);
+    }
+
+    #[test]
+    fn staggered_onsets_step_per_shard() {
+        let spec = DriftStreamSpec {
+            drift_onset: 1_000,
+            ..DriftStreamSpec::default()
+        };
+        let fleet = ShardedDriftStream::staggered(spec, 3, 500, 7);
+        assert_eq!(fleet.shard_count(), 3);
+        assert_eq!(fleet.shard(0).spec().drift_onset, 1_000);
+        assert_eq!(fleet.shard(1).spec().drift_onset, 1_500);
+        assert_eq!(fleet.shard(2).spec().drift_onset, 2_000);
+        // Shard 1 has not drifted at t=1200 while shard 0 has.
+        assert!(fleet.shard(0).angle_at(1_200) > 0.0);
+        assert_eq!(fleet.shard(1).angle_at(1_200), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_shard_fleet_panics() {
+        let _ = ShardedDriftStream::new(&[], 0);
     }
 
     #[test]

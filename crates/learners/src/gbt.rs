@@ -188,6 +188,26 @@ impl Learner for Gbt {
         Ok(x.iter_rows().map(|row| sigmoid(self.margin(row))).collect())
     }
 
+    fn predict(&self, x: &Matrix) -> Result<Vec<u8>> {
+        if !self.fitted {
+            return Err(LearnError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(LearnError::ShapeMismatch(format!(
+                "{} features, model has {}",
+                x.cols(),
+                self.n_features
+            )));
+        }
+        // `sigmoid(z) >= 0.5` iff `z >= 0`: hard decisions threshold the
+        // raw boosting margin and skip the per-tuple exp. The margin sign
+        // is the exact decision boundary; the proba path can only disagree
+        // for a margin within one ulp of 0, where sigmoid rounds to 0.5.
+        Ok(x.iter_rows()
+            .map(|row| u8::from(self.margin(row) >= 0.0))
+            .collect())
+    }
+
     fn is_fitted(&self) -> bool {
         self.fitted
     }

@@ -229,6 +229,29 @@ impl Learner for LogisticRegression {
             .collect())
     }
 
+    fn predict(&self, x: &Matrix) -> Result<Vec<u8>> {
+        if !self.fitted {
+            return Err(LearnError::NotFitted);
+        }
+        if x.cols() != self.coefficients.len() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "{} features, model has {}",
+                x.cols(),
+                self.coefficients.len()
+            )));
+        }
+        // `sigmoid(z) >= 0.5` iff `z >= 0` (monotone, sigmoid(0) = 0.5),
+        // so hard decisions never need the exp — the streaming hot path
+        // thresholds the linear score directly. The sign of z is the exact
+        // decision boundary; the proba path can only disagree for z within
+        // one ulp of 0, where computing sigmoid rounds to exactly 0.5.
+        Ok(x.iter_rows()
+            .map(|row| {
+                u8::from(cf_linalg::vector::dot(&self.coefficients, row) + self.intercept >= 0.0)
+            })
+            .collect())
+    }
+
     fn is_fitted(&self) -> bool {
         self.fitted
     }

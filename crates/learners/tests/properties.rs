@@ -46,6 +46,29 @@ proptest! {
     }
 
     #[test]
+    fn hard_predict_matches_thresholded_probabilities((x, y) in problem()) {
+        // Both learners override `predict` to threshold the raw margin
+        // (skipping the sigmoid); away from the knife edge, the override
+        // must agree with thresholding `predict_proba` at 0.5. A
+        // probability of exactly 0.5 is excluded: there the sigmoid has
+        // rounded a within-one-ulp-of-zero margin, and the margin's sign —
+        // the exact boundary — is authoritative.
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y, None).unwrap();
+        let mut gbt = Gbt::default();
+        gbt.fit(&x, &y, None).unwrap();
+        for model in [&lr as &dyn Learner, &gbt as &dyn Learner] {
+            let probas = model.predict_proba(&x).unwrap();
+            let hard = model.predict(&x).unwrap();
+            for (&p, &d) in probas.iter().zip(&hard) {
+                if p != 0.5 {
+                    prop_assert_eq!(u8::from(p >= 0.5), d, "proba {} vs decision {}", p, d);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn lr_deterministic((x, y) in problem()) {
         let mut a = LogisticRegression::default();
         let mut b = LogisticRegression::default();

@@ -91,6 +91,13 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consume the matrix, returning its flat row-major buffer. Lets hot
+    /// paths recycle the allocation across calls (see `StreamEngine`).
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Borrow row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
@@ -158,17 +165,34 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order keeps the inner loop streaming over contiguous
-        // rows of `other` and `out`, which matters for the covariance-sized
-        // products used in profiling.
+        // rows of `other` and `out`; processing k four at a time quarters
+        // the passes over the output row (each element of `out` is loaded
+        // and stored once per k-block instead of once per k), which is
+        // where the covariance-sized products used in profiling spend
+        // their time.
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = out.row_mut(i);
+            let mut k = 0;
+            while k + 4 <= arow.len() {
+                let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let b0 = other.row(k);
+                let b1 = other.row(k + 1);
+                let b2 = other.row(k + 2);
+                let b3 = other.row(k + 3);
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
+                k += 4;
+            }
+            // No zero-skip here: the unrolled block above multiplies zero
+            // coefficients through, so the remainder must too — otherwise
+            // IEEE propagation (0 × inf = NaN) would depend on which
+            // k-block a zero lands in.
+            for (k, &a) in arow.iter().enumerate().skip(k) {
+                for (o, &b) in out_row.iter_mut().zip(other.row(k)) {
                     *o += a * b;
                 }
             }
@@ -352,6 +376,71 @@ mod tests {
         let a = m2x3();
         let i = Matrix::identity(3);
         assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    /// The obviously-correct triple loop the unrolled kernel must match.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                for k in 0..a.cols() {
+                    out[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference_across_shapes() {
+        // Deterministic pseudo-random entries; shapes chosen to hit the
+        // unrolled k-blocks, the remainder loop, and degenerate dims.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 4, 5),
+            (5, 7, 3),
+            (8, 8, 8),
+            (2, 13, 6),
+            (6, 5, 1),
+        ] {
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|_| next()).collect());
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|_| next()).collect());
+            let fast = a.matmul(&b).unwrap();
+            let slow = matmul_naive(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    assert!(
+                        (fast[(i, j)] - slow[(i, j)]).abs() < 1e-12,
+                        "({m}x{k})*({k}x{n}) entry ({i},{j}): {} vs {}",
+                        fast[(i, j)],
+                        slow[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_zero_times_nonfinite_is_position_independent() {
+        // IEEE semantics must not depend on whether a zero coefficient
+        // lands in the unrolled k-block or the remainder loop.
+        for zero_at in [0usize, 4] {
+            let mut a_row = vec![1.0; 5];
+            a_row[zero_at] = 0.0;
+            let a = Matrix::from_vec(1, 5, a_row);
+            let mut b_data = vec![1.0; 5];
+            b_data[zero_at] = f64::INFINITY;
+            let b = Matrix::from_vec(5, 1, b_data);
+            let c = a.matmul(&b).unwrap();
+            assert!(c[(0, 0)].is_nan(), "0 * inf at k={zero_at} must be NaN");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig};
 use crate::monitor::FairnessSnapshot;
-use crate::window::{SlidingWindow, WindowSlot};
+use crate::window::{GroupCounts, SlidingWindow, SlotMeta};
 use crate::{Result, StreamError};
 use cf_conformance::{learn_constraints, ConstraintSet};
 use cf_data::{
@@ -20,7 +20,9 @@ use cf_data::{
     CellIndex, Column, Dataset,
 };
 use cf_learners::LearnerKind;
+use cf_linalg::Matrix;
 use confair_core::{confair::ConFair, confair::ConFairConfig, Intervention, Predictor};
+use std::borrow::Borrow;
 
 /// One arriving observation: features in the reference schema's column
 /// order, the sensitive-group id, and the (possibly delayed, here assumed
@@ -40,10 +42,18 @@ impl StreamTuple {
     /// order — the bridge from `cf-datasets` generators to the engine.
     pub fn rows_from_dataset(data: &Dataset) -> Result<Vec<StreamTuple>> {
         ensure_all_numeric(data)?;
-        let x = data.numeric_matrix(None);
+        // Gather straight from the column storage instead of materialising
+        // the full `numeric_matrix` and then copying every row again.
+        let columns: Vec<&[f64]> = (0..data.num_attributes())
+            .map(|j| {
+                data.column(j)
+                    .as_numeric()
+                    .expect("ensure_all_numeric guarantees numeric columns")
+            })
+            .collect();
         Ok((0..data.len())
             .map(|i| StreamTuple {
-                features: x.row(i).to_vec(),
+                features: columns.iter().map(|c| c[i]).collect(),
                 group: data.groups()[i],
                 label: data.labels()[i],
             })
@@ -139,6 +149,9 @@ pub struct StreamEngine {
     seen: u64,
     retrains: u64,
     floor_quiet_until: u64,
+    /// Recycled backing buffer for the per-batch feature matrix, so the
+    /// steady-state scoring path allocates nothing per tuple.
+    scratch: Vec<f64>,
 }
 
 impl StreamEngine {
@@ -155,7 +168,7 @@ impl StreamEngine {
             return Err(StreamError::EmptyReference);
         }
         ensure_all_numeric(reference)?;
-        let window = SlidingWindow::new(config.window)?;
+        let window = SlidingWindow::new(config.window, reference.num_attributes())?;
         let split = split3_stratified(reference, SplitRatios::paper_default(), seed);
         let predictor = ConFair::new(config.confair.clone())
             .train(&split.train, &split.validation, learner)
@@ -177,6 +190,7 @@ impl StreamEngine {
             seen: 0,
             retrains: 0,
             floor_quiet_until: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -192,6 +206,29 @@ impl StreamEngine {
     /// [`IngestOutcome::retrain_error`] — failing the call would discard
     /// the served decisions and invite a double-counting retry.
     pub fn ingest(&mut self, batch: &[StreamTuple]) -> Result<IngestOutcome> {
+        let d = self.schema.len();
+        for (i, t) in batch.iter().enumerate() {
+            validate_tuple(t, d, i)?;
+        }
+        self.ingest_prevalidated(batch)
+    }
+
+    /// The sharded router's entry point: it has already validated the
+    /// whole mixed batch (for whole-batch rejection semantics), so the
+    /// per-shard ingest must not re-scan every tuple.
+    pub(crate) fn ingest_refs_prevalidated(
+        &mut self,
+        batch: &[&StreamTuple],
+    ) -> Result<IngestOutcome> {
+        self.ingest_prevalidated(batch)
+    }
+
+    /// Ingestion after validation: callers guarantee every tuple matches
+    /// the schema width and has binary group/label.
+    fn ingest_prevalidated<T: Borrow<StreamTuple>>(
+        &mut self,
+        batch: &[T],
+    ) -> Result<IngestOutcome> {
         if batch.is_empty() {
             return Ok(IngestOutcome {
                 decisions: Vec::new(),
@@ -201,22 +238,37 @@ impl StreamEngine {
                 retrain_error: None,
             });
         }
-        let data = self.batch_dataset(batch)?;
+        let d = self.schema.len();
+
+        // Score off one row-major matrix whose backing buffer is recycled
+        // across calls: no `Dataset` assembly, no column-major round trip,
+        // no steady-state allocation per tuple.
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf.reserve(batch.len() * d);
+        for t in batch {
+            buf.extend_from_slice(&t.borrow().features);
+        }
+        let x = Matrix::from_vec(batch.len(), d, buf);
         let decisions = self
             .predictor
-            .predict(&data)
+            .predict_rows(&x)
             .map_err(StreamError::from_core)?;
+        self.scratch = x.into_vec();
 
         let mut new_alerts = Vec::new();
-        for (tuple, &decision) in batch.iter().zip(&decisions) {
+        for (t, &decision) in batch.iter().zip(&decisions) {
+            let tuple = t.borrow();
             let violated = self.violation_of(tuple) > self.config.conformance_eps;
-            self.window.push(WindowSlot {
-                group: tuple.group,
-                label: tuple.label,
-                decision,
-                violated,
-                features: tuple.features.clone().into_boxed_slice(),
-            })?;
+            self.window.push(
+                SlotMeta {
+                    group: tuple.group,
+                    label: tuple.label,
+                    decision,
+                    violated,
+                },
+                &tuple.features,
+            )?;
             self.seen += 1;
             if let Some(statistic) =
                 self.detectors[tuple.group as usize].observe(f64::from(violated))
@@ -231,6 +283,9 @@ impl StreamEngine {
             }
         }
 
+        // One snapshot serves the floor check, the outcome, and the
+        // post-retrain state alike: it reads only the windowed counters,
+        // which the retraining hook never touches.
         let snapshot = self.snapshot();
         if snapshot.passes_di_floor() == Some(false)
             && self.window.len() >= self.config.floor_min_window
@@ -252,7 +307,7 @@ impl StreamEngine {
 
         // Log the alerts before attempting any retrain, so a retrain
         // failure never loses the events that triggered it.
-        self.alerts.extend(new_alerts.iter().cloned());
+        self.alerts.extend_from_slice(&new_alerts);
         let mut retrained = false;
         let mut retrain_error = None;
         if !new_alerts.is_empty() {
@@ -266,7 +321,6 @@ impl StreamEngine {
             }
         }
 
-        let snapshot = if retrained { self.snapshot() } else { snapshot };
         Ok(IngestOutcome {
             decisions,
             alerts: new_alerts,
@@ -328,6 +382,22 @@ impl StreamEngine {
         self.window.len()
     }
 
+    /// The raw windowed per-group counters (index = group id). Additive
+    /// across engines — the basis of cross-shard snapshot merging.
+    pub fn window_counts(&self) -> &[GroupCounts; 2] {
+        self.window.counts()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The reference schema's column names.
+    pub fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
     /// Materialise the window's contents as a dataset (newest-window
     /// training set for the retraining hook; also useful for audits).
     pub fn window_dataset(&self, name: &str) -> Result<Dataset> {
@@ -339,7 +409,7 @@ impl StreamEngine {
         self.assemble_dataset(
             name,
             self.window.len(),
-            self.window.iter().map(|s| (&*s.features, s.group, s.label)),
+            self.window.iter().map(|(m, f)| (f, m.group, m.label)),
         )
     }
 
@@ -352,34 +422,8 @@ impl StreamEngine {
         }
     }
 
-    /// Assemble a batch dataset in the reference schema, validating shapes.
-    fn batch_dataset(&self, batch: &[StreamTuple]) -> Result<Dataset> {
-        let d = self.schema.len();
-        for (i, tuple) in batch.iter().enumerate() {
-            if tuple.features.len() != d {
-                return Err(StreamError::Schema(format!(
-                    "tuple {i} has {} features; the reference schema has {d}",
-                    tuple.features.len()
-                )));
-            }
-            if tuple.group >= 2 {
-                return Err(StreamError::BadGroup(tuple.group));
-            }
-            if tuple.label >= 2 {
-                return Err(StreamError::BadLabel(tuple.label));
-            }
-        }
-        self.assemble_dataset(
-            "stream-batch",
-            batch.len(),
-            batch
-                .iter()
-                .map(|t| (t.features.as_slice(), t.group, t.label)),
-        )
-    }
-
-    /// Column-major dataset assembly in the reference schema, shared by
-    /// the batch and window paths.
+    /// Column-major dataset assembly in the reference schema (used when
+    /// materialising the window for retraining or audits).
     fn assemble_dataset<'a>(
         &self,
         name: &str,
@@ -406,6 +450,26 @@ impl StreamEngine {
         )
         .map_err(|e| StreamError::Schema(e.to_string()))
     }
+}
+
+/// Validate one tuple against a schema of width `d` (`i` is the tuple's
+/// batch index, used only in the error message). Shared by the
+/// single-engine and sharded-router ingestion paths so the checks cannot
+/// drift apart.
+pub(crate) fn validate_tuple(tuple: &StreamTuple, d: usize, i: usize) -> Result<()> {
+    if tuple.features.len() != d {
+        return Err(StreamError::Schema(format!(
+            "tuple {i} has {} features; the reference schema has {d}",
+            tuple.features.len()
+        )));
+    }
+    if tuple.group >= 2 {
+        return Err(StreamError::BadGroup(tuple.group));
+    }
+    if tuple.label >= 2 {
+        return Err(StreamError::BadLabel(tuple.label));
+    }
+    Ok(())
 }
 
 fn ensure_all_numeric(data: &Dataset) -> Result<()> {

@@ -17,7 +17,11 @@
 //!   warm-up and cooldown hysteresis;
 //! * a retraining hook ([`engine::RetrainPolicy::OnAlert`]) that re-runs
 //!   ConFair on the window's contents and re-profiles the stream's new
-//!   normal.
+//!   normal;
+//! * [`sharded::ShardedEngine`] — a router over N independent per-shard
+//!   engines with parallel ingest and exact cross-shard aggregate
+//!   snapshots, the path from one stream to partitioned production
+//!   traffic.
 //!
 //! See `examples/stream_monitor.rs` for the end-to-end scenario and
 //! `crates/bench/benches/stream_ingest.rs` for the throughput benchmark.
@@ -25,12 +29,14 @@
 pub mod drift;
 pub mod engine;
 pub mod monitor;
+pub mod sharded;
 pub mod window;
 
 pub use drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig};
 pub use engine::{IngestOutcome, RetrainPolicy, StreamConfig, StreamEngine, StreamTuple};
 pub use monitor::FairnessSnapshot;
-pub use window::{GroupCounts, SlidingWindow, WindowSlot};
+pub use sharded::{ShardedEngine, ShardedOutcome, ShardedTuple};
+pub use window::{GroupCounts, SlidingWindow, SlotMeta};
 
 /// Errors surfaced by the streaming subsystem.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +57,18 @@ pub enum StreamError {
     DegenerateWindow(String),
     /// An error from the core training/prediction stack.
     Core(String),
+    /// A sharded engine needs at least one shard.
+    NoShards,
+    /// Shard engines disagree on configuration that shapes cross-shard
+    /// aggregates (e.g. the DI* floor).
+    ConfigMismatch(String),
+    /// A tuple was routed to a shard id outside the engine's range.
+    BadShard {
+        /// The offending shard id.
+        shard: u32,
+        /// How many shards the engine has.
+        shards: usize,
+    },
 }
 
 impl StreamError {
@@ -69,6 +87,11 @@ impl std::fmt::Display for StreamError {
             StreamError::EmptyReference => write!(f, "reference dataset is empty"),
             StreamError::DegenerateWindow(msg) => write!(f, "degenerate window: {msg}"),
             StreamError::Core(msg) => write!(f, "core error: {msg}"),
+            StreamError::NoShards => write!(f, "a sharded engine needs at least one shard"),
+            StreamError::ConfigMismatch(msg) => write!(f, "shard config mismatch: {msg}"),
+            StreamError::BadShard { shard, shards } => {
+                write!(f, "shard id {shard} out of range for {shards} shards")
+            }
         }
     }
 }

@@ -1,0 +1,416 @@
+//! Sharded multi-stream serving: a router over independent per-shard
+//! [`StreamEngine`]s.
+//!
+//! Production traffic is naturally partitioned — by region, product line,
+//! tenant — and each partition drifts on its own schedule. [`ShardedEngine`]
+//! keys a [`StreamEngine`] per shard id, routes each arriving tuple to its
+//! shard, ingests the per-shard micro-batches in parallel (scoped threads
+//! via the `rayon` facade), and reads a **cross-shard aggregate**
+//! [`FairnessSnapshot`] by merging the additive window counters — exact, not
+//! approximate, because every counter is a sum.
+//!
+//! Per-shard state (model, conformance profiles, Page–Hinkley detectors,
+//! window, alert log) stays fully independent: a shard's drift alert or
+//! retrain never perturbs its neighbours, and per-shard results are
+//! byte-identical to running that shard's engine standalone (pinned by the
+//! `sharded_consistency` integration test).
+
+use crate::engine::{IngestOutcome, StreamEngine, StreamTuple};
+use crate::monitor::FairnessSnapshot;
+use crate::window::GroupCounts;
+use crate::{Result, StreamError};
+
+/// One observation addressed to a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedTuple {
+    /// The shard key (region, product, …) already resolved to an index.
+    pub shard: u32,
+    /// The observation itself.
+    pub tuple: StreamTuple,
+}
+
+/// What one sharded ingest call produced.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// The served decision for every tuple of the batch, **in input
+    /// order** (scattered back from the per-shard engines).
+    pub decisions: Vec<u8>,
+    /// Per-shard outcomes, indexed by shard id. Shards that received no
+    /// tuples report an empty outcome.
+    pub per_shard: Vec<IngestOutcome>,
+    /// The cross-shard aggregate fairness reading after the batch.
+    pub snapshot: FairnessSnapshot,
+}
+
+impl ShardedOutcome {
+    /// Alerts raised by this batch across all shards, as `(shard, alert)`.
+    pub fn alerts(&self) -> impl Iterator<Item = (u32, &crate::drift::DriftAlert)> {
+        self.per_shard
+            .iter()
+            .enumerate()
+            .flat_map(|(s, o)| o.alerts.iter().map(move |a| (s as u32, a)))
+    }
+}
+
+/// Largest per-shard batch that still ingests serially: below this, the
+/// scoring work (≈40 ns/tuple) is cheaper than spawning and joining a
+/// scoped OS thread, so parallel dispatch would only add latency.
+const MIN_PARALLEL_SHARD_BATCH: usize = 512;
+
+/// A router over N independent per-shard [`StreamEngine`]s with parallel
+/// ingest and exact cross-shard aggregate snapshots.
+pub struct ShardedEngine {
+    shards: Vec<StreamEngine>,
+}
+
+impl ShardedEngine {
+    /// Bootstrap `n_shards` engines from one shared reference dataset.
+    /// Every shard trains from the same reference with the same seed, so
+    /// all shards start from identical models and profiles.
+    ///
+    /// Bootstrap cost is `n_shards` full ConFair runs (`Predictor` holds
+    /// unclonable trained state, so identical engines are re-derived
+    /// rather than copied) — a one-time cost, off the serving path. For
+    /// expensive references, bootstrap per-shard engines yourself (in
+    /// parallel, or from per-shard references) and use
+    /// [`ShardedEngine::from_engines`].
+    pub fn from_reference(
+        reference: &cf_data::Dataset,
+        learner: cf_learners::LearnerKind,
+        seed: u64,
+        config: crate::engine::StreamConfig,
+        n_shards: usize,
+    ) -> Result<Self> {
+        if n_shards == 0 {
+            return Err(StreamError::NoShards);
+        }
+        let shards = (0..n_shards)
+            .map(|_| StreamEngine::from_reference(reference, learner, seed, config.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedEngine { shards })
+    }
+
+    /// Assemble from independently bootstrapped engines (e.g. one
+    /// reference dataset per region). All engines must share the same
+    /// schema (or routed tuples could not be validated uniformly) and the
+    /// same DI* floor (or the aggregate snapshot's verdict would silently
+    /// judge the fleet by one shard's floor).
+    pub fn from_engines(shards: Vec<StreamEngine>) -> Result<Self> {
+        if shards.is_empty() {
+            return Err(StreamError::NoShards);
+        }
+        let schema = shards[0].schema().to_vec();
+        let di_floor = shards[0].config().di_floor;
+        for (i, engine) in shards.iter().enumerate().skip(1) {
+            if engine.schema() != schema.as_slice() {
+                return Err(StreamError::Schema(format!(
+                    "shard {i} schema {:?} differs from shard 0 schema {:?}",
+                    engine.schema(),
+                    schema
+                )));
+            }
+            if engine.config().di_floor != di_floor {
+                return Err(StreamError::ConfigMismatch(format!(
+                    "shard {i} di_floor {} differs from shard 0 di_floor {di_floor}",
+                    engine.config().di_floor
+                )));
+            }
+        }
+        Ok(ShardedEngine { shards })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow one shard's engine (per-shard telemetry, alert logs, audits).
+    pub fn shard(&self, shard: u32) -> Result<&StreamEngine> {
+        self.shards
+            .get(shard as usize)
+            .ok_or(StreamError::BadShard {
+                shard,
+                shards: self.shards.len(),
+            })
+    }
+
+    /// Total tuples ingested across all shards.
+    pub fn tuples_seen(&self) -> u64 {
+        self.shards.iter().map(StreamEngine::tuples_seen).sum()
+    }
+
+    /// The cross-shard merged per-group counters. Exact: every windowed
+    /// counter is additive, so the merge is a componentwise sum.
+    pub fn merged_counts(&self) -> [GroupCounts; 2] {
+        let mut merged = [GroupCounts::default(); 2];
+        for engine in &self.shards {
+            let counts = engine.window_counts();
+            merged[0].merge(&counts[0]);
+            merged[1].merge(&counts[1]);
+        }
+        merged
+    }
+
+    /// The cross-shard aggregate fairness reading — the fleet-wide DI*,
+    /// parity gaps, and violation rates over the union of all windows.
+    pub fn snapshot(&self) -> FairnessSnapshot {
+        FairnessSnapshot::from_counts(&self.merged_counts(), self.shards[0].config().di_floor)
+    }
+
+    /// Route, score, and monitor one mixed-shard micro-batch. Per-shard
+    /// batches are ingested in parallel on scoped threads; tuples keep
+    /// their arrival order within each shard, and the returned decisions
+    /// are scattered back to the input order.
+    ///
+    /// # Errors
+    /// The whole batch is validated (shard ids, schema, groups, labels)
+    /// before any shard ingests, so a validation error rejects the batch
+    /// without advancing any engine. A per-shard scoring failure after
+    /// validation surfaces as the first shard's error in shard order.
+    pub fn ingest(&mut self, batch: &[ShardedTuple]) -> Result<ShardedOutcome> {
+        let n = self.shards.len();
+        let d = self.shards[0].schema().len();
+        for (i, routed) in batch.iter().enumerate() {
+            if routed.shard as usize >= n {
+                return Err(StreamError::BadShard {
+                    shard: routed.shard,
+                    shards: n,
+                });
+            }
+            crate::engine::validate_tuple(&routed.tuple, d, i)?;
+        }
+
+        // Route without cloning: per-shard batches borrow the input tuples,
+        // and `positions[i]` remembers where tuple `i` landed in its shard
+        // so decisions can be scattered back to input order.
+        let mut per_shard: Vec<Vec<&StreamTuple>> = vec![Vec::new(); n];
+        let mut positions = Vec::with_capacity(batch.len());
+        for routed in batch {
+            let bucket = &mut per_shard[routed.shard as usize];
+            positions.push(bucket.len());
+            bucket.push(&routed.tuple);
+        }
+
+        // One scoped thread per non-empty shard — but only when the
+        // per-shard work amortises the thread spawn/join cost; tiny
+        // batches score faster serially than a thread can even start.
+        // Empty shards are always resolved inline (their ingest is a
+        // constant-time snapshot read). Serial vs parallel is
+        // unobservable in the results: shards are fully independent.
+        let parallel =
+            per_shard.iter().map(Vec::len).max().unwrap_or(0) >= MIN_PARALLEL_SHARD_BATCH;
+        let mut results: Vec<Option<Result<IngestOutcome>>> = (0..n).map(|_| None).collect();
+        rayon::scope(|s| {
+            for ((engine, shard_batch), slot) in self
+                .shards
+                .iter_mut()
+                .zip(&per_shard)
+                .zip(results.iter_mut())
+            {
+                if parallel && !shard_batch.is_empty() {
+                    s.spawn(move |_| *slot = Some(engine.ingest_refs_prevalidated(shard_batch)));
+                } else {
+                    *slot = Some(engine.ingest_refs_prevalidated(shard_batch));
+                }
+            }
+        });
+
+        let mut outcomes = Vec::with_capacity(n);
+        for result in results {
+            outcomes.push(result.expect("every shard slot is filled")?);
+        }
+
+        let decisions = batch
+            .iter()
+            .zip(&positions)
+            .map(|(routed, &pos)| outcomes[routed.shard as usize].decisions[pos])
+            .collect();
+
+        Ok(ShardedOutcome {
+            decisions,
+            per_shard: outcomes,
+            snapshot: self.snapshot(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{RetrainPolicy, StreamConfig};
+    use cf_datasets::stream::{DriftStream, DriftStreamSpec};
+    use cf_learners::LearnerKind;
+
+    fn stationary() -> DriftStreamSpec {
+        DriftStreamSpec {
+            drift_onset: u64::MAX,
+            ..DriftStreamSpec::default()
+        }
+    }
+
+    fn sharded(n: usize) -> ShardedEngine {
+        let reference = stationary().reference(1_500, 33);
+        let config = StreamConfig {
+            retrain: RetrainPolicy::Never,
+            ..StreamConfig::default()
+        };
+        ShardedEngine::from_reference(&reference, LearnerKind::Logistic, 33, config, n).unwrap()
+    }
+
+    fn routed_batch(n_shards: u32, k: usize, seed: u64) -> Vec<ShardedTuple> {
+        let mut stream = DriftStream::new(stationary(), seed);
+        StreamTuple::rows_from_dataset(&stream.next_batch(k))
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, tuple)| ShardedTuple {
+                shard: (i as u32) % n_shards,
+                tuple,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let reference = stationary().reference(500, 1);
+        assert!(matches!(
+            ShardedEngine::from_reference(
+                &reference,
+                LearnerKind::Logistic,
+                1,
+                StreamConfig::default(),
+                0
+            ),
+            Err(StreamError::NoShards)
+        ));
+        assert!(matches!(
+            ShardedEngine::from_engines(Vec::new()),
+            Err(StreamError::NoShards)
+        ));
+    }
+
+    #[test]
+    fn bad_shard_id_rejects_the_whole_batch() {
+        let mut engine = sharded(2);
+        let mut batch = routed_batch(2, 10, 5);
+        batch[7].shard = 9;
+        assert!(matches!(
+            engine.ingest(&batch),
+            Err(StreamError::BadShard {
+                shard: 9,
+                shards: 2
+            })
+        ));
+        // Nothing ingested anywhere, including the validly-addressed prefix.
+        assert_eq!(engine.tuples_seen(), 0);
+    }
+
+    #[test]
+    fn decisions_come_back_in_input_order() {
+        let mut engine = sharded(3);
+        let batch = routed_batch(3, 200, 6);
+        let outcome = engine.ingest(&batch).unwrap();
+        assert_eq!(outcome.decisions.len(), 200);
+
+        // Re-derive the expected order from the per-shard outcomes.
+        let mut cursors = [0usize; 3];
+        for (routed, &decision) in batch.iter().zip(&outcome.decisions) {
+            let s = routed.shard as usize;
+            assert_eq!(decision, outcome.per_shard[s].decisions[cursors[s]]);
+            cursors[s] += 1;
+        }
+        assert_eq!(engine.tuples_seen(), 200);
+    }
+
+    #[test]
+    fn merged_snapshot_equals_recomputing_from_summed_counters() {
+        let mut engine = sharded(4);
+        let batch = routed_batch(4, 400, 7);
+        let outcome = engine.ingest(&batch).unwrap();
+
+        let mut summed = [GroupCounts::default(); 2];
+        for s in 0..4 {
+            let counts = engine.shard(s).unwrap().window_counts();
+            summed[0].merge(&counts[0]);
+            summed[1].merge(&counts[1]);
+        }
+        let recomputed =
+            FairnessSnapshot::from_counts(&summed, engine.shard(0).unwrap().config().di_floor);
+        assert_eq!(outcome.snapshot, recomputed);
+        assert_eq!(engine.snapshot(), recomputed);
+        assert_eq!(
+            outcome.snapshot.window_len,
+            (0..4)
+                .map(|s| engine.shard(s).unwrap().window_len() as u64)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_and_partial_batches_are_well_defined() {
+        let mut engine = sharded(2);
+        let outcome = engine.ingest(&[]).unwrap();
+        assert!(outcome.decisions.is_empty());
+        assert_eq!(outcome.per_shard.len(), 2);
+        assert_eq!(engine.tuples_seen(), 0);
+
+        // A batch addressed entirely to shard 1 leaves shard 0 untouched.
+        let batch: Vec<ShardedTuple> = routed_batch(1, 50, 8)
+            .into_iter()
+            .map(|mut r| {
+                r.shard = 1;
+                r
+            })
+            .collect();
+        engine.ingest(&batch).unwrap();
+        assert_eq!(engine.shard(0).unwrap().tuples_seen(), 0);
+        assert_eq!(engine.shard(1).unwrap().tuples_seen(), 50);
+    }
+
+    #[test]
+    fn from_engines_rejects_mismatched_schemas() {
+        let a = StreamEngine::from_reference(
+            &stationary().reference(600, 1),
+            LearnerKind::Logistic,
+            1,
+            StreamConfig::default(),
+        )
+        .unwrap();
+        let wide = DriftStreamSpec {
+            n_features: 3,
+            ..stationary()
+        };
+        let b = StreamEngine::from_reference(
+            &wide.reference(600, 1),
+            LearnerKind::Logistic,
+            1,
+            StreamConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            ShardedEngine::from_engines(vec![a, b]),
+            Err(StreamError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn from_engines_rejects_mismatched_di_floors() {
+        let reference = stationary().reference(600, 1);
+        let mk = |floor: f64| {
+            StreamEngine::from_reference(
+                &reference,
+                LearnerKind::Logistic,
+                1,
+                StreamConfig {
+                    di_floor: floor,
+                    ..StreamConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        assert!(matches!(
+            ShardedEngine::from_engines(vec![mk(0.8), mk(0.9)]),
+            Err(StreamError::ConfigMismatch(_))
+        ));
+    }
+}

@@ -1,5 +1,5 @@
 //! Fixed-capacity ring buffer over scored tuples with O(1) windowed
-//! counters.
+//! counters and a contiguous feature arena.
 //!
 //! Every fairness monitor in this crate reads from [`GroupCounts`], which
 //! [`SlidingWindow::push`] maintains incrementally: one increment for the
@@ -7,14 +7,18 @@
 //! the window — that is the invariant that keeps per-tuple ingestion O(1)
 //! (property-checked in this module's tests and load-tested by the
 //! `stream_ingest` benchmark).
+//!
+//! Features live in **one ring arena** with stride `dim` — slot `i`'s
+//! vector is `arena[i*dim..(i+1)*dim]` — so pushing a tuple copies `dim`
+//! floats into place instead of boxing a fresh heap allocation per tuple.
+//! Once the ring has wrapped, `push` never allocates again.
 
 use crate::{Result, StreamError};
 
-/// One scored tuple as retained in the window. Features are kept so the
-/// retraining hook can rebuild a training set from exactly the tuples the
-/// drift detector fired on.
-#[derive(Debug, Clone)]
-pub struct WindowSlot {
+/// The per-tuple metadata retained in the window (the feature vector lives
+/// in the window's arena, not here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotMeta {
     /// Group id (0 = majority `W`, 1 = minority `U`).
     pub group: u8,
     /// Ground-truth label (streaming setting with label feedback).
@@ -23,8 +27,6 @@ pub struct WindowSlot {
     pub decision: u8,
     /// Whether the tuple violated its (group, label) reference constraints.
     pub violated: bool,
-    /// The numeric attribute vector.
-    pub features: Box<[f64]>,
 }
 
 /// Windowed tallies for one group, every one maintained in O(1) per tuple.
@@ -45,7 +47,7 @@ pub struct GroupCounts {
 }
 
 impl GroupCounts {
-    fn apply(&mut self, slot: &WindowSlot, sign: i64) {
+    fn apply(&mut self, slot: &SlotMeta, sign: i64) {
         let add = |c: &mut u64| {
             *c = c.wrapping_add_signed(sign);
         };
@@ -66,6 +68,17 @@ impl GroupCounts {
         }
     }
 
+    /// Fold another group's tallies into this one. The counters are all
+    /// additive, which is what makes cross-shard snapshot merging exact.
+    pub fn merge(&mut self, other: &GroupCounts) {
+        self.total += other.total;
+        self.selected += other.selected;
+        self.label_positive += other.label_positive;
+        self.true_positive += other.true_positive;
+        self.false_positive += other.false_positive;
+        self.violations += other.violations;
+    }
+
     /// Windowed selection rate `P(ŷ=1 | g)`.
     pub fn selection_rate(&self) -> Option<f64> {
         (self.total > 0).then(|| self.selected as f64 / self.total as f64)
@@ -82,11 +95,13 @@ impl GroupCounts {
     }
 }
 
-/// The sliding window: a ring buffer of [`WindowSlot`]s plus per-group
-/// counters.
+/// The sliding window: a metadata ring plus a stride-`dim` feature arena,
+/// with per-group counters.
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
-    slots: Vec<WindowSlot>,
+    meta: Vec<SlotMeta>,
+    arena: Vec<f64>,
+    dim: usize,
     capacity: usize,
     head: usize,
     len: usize,
@@ -94,13 +109,16 @@ pub struct SlidingWindow {
 }
 
 impl SlidingWindow {
-    /// A window retaining the most recent `capacity` tuples.
-    pub fn new(capacity: usize) -> Result<Self> {
+    /// A window retaining the most recent `capacity` tuples of `dim`
+    /// features each.
+    pub fn new(capacity: usize, dim: usize) -> Result<Self> {
         if capacity == 0 {
             return Err(StreamError::EmptyWindow);
         }
         Ok(SlidingWindow {
-            slots: Vec::with_capacity(capacity),
+            meta: Vec::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity.saturating_mul(dim)),
+            dim,
             capacity,
             head: 0,
             len: 0,
@@ -108,23 +126,33 @@ impl SlidingWindow {
         })
     }
 
-    /// Insert a scored tuple, evicting the oldest when full. O(1).
-    pub fn push(&mut self, slot: WindowSlot) -> Result<()> {
-        let g = slot.group as usize;
+    /// Insert a scored tuple, evicting the oldest when full. O(1), and
+    /// allocation-free once the ring has filled.
+    pub fn push(&mut self, meta: SlotMeta, features: &[f64]) -> Result<()> {
+        let g = meta.group as usize;
         if g >= 2 {
-            return Err(StreamError::BadGroup(slot.group));
+            return Err(StreamError::BadGroup(meta.group));
+        }
+        if features.len() != self.dim {
+            return Err(StreamError::Schema(format!(
+                "tuple has {} features; the window stride is {}",
+                features.len(),
+                self.dim
+            )));
         }
         if self.len < self.capacity {
-            self.counts[g].apply(&slot, 1);
-            self.slots.push(slot);
+            self.counts[g].apply(&meta, 1);
+            self.meta.push(meta);
+            self.arena.extend_from_slice(features);
             self.len += 1;
             // head stays 0 until the ring wraps.
             return Ok(());
         }
-        let evicted = &self.slots[self.head];
-        self.counts[evicted.group as usize].apply(evicted, -1);
-        self.counts[g].apply(&slot, 1);
-        self.slots[self.head] = slot;
+        let evicted = self.meta[self.head];
+        self.counts[evicted.group as usize].apply(&evicted, -1);
+        self.counts[g].apply(&meta, 1);
+        self.meta[self.head] = meta;
+        self.arena[self.head * self.dim..(self.head + 1) * self.dim].copy_from_slice(features);
         self.head = (self.head + 1) % self.capacity;
         Ok(())
     }
@@ -144,15 +172,27 @@ impl SlidingWindow {
         self.capacity
     }
 
+    /// Features per tuple (the arena stride).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// The windowed per-group counters (index = group id).
     pub fn counts(&self) -> &[GroupCounts; 2] {
         &self.counts
     }
 
-    /// Iterate retained slots, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &WindowSlot> {
-        let (wrapped, recent) = self.slots.split_at(self.head.min(self.slots.len()));
-        recent.iter().chain(wrapped.iter())
+    /// Iterate retained tuples as `(meta, features)`, oldest first.
+    /// (`head` is 0 until the ring wraps, so the modular walk covers both
+    /// the filling and the wrapped regime.)
+    pub fn iter(&self) -> impl Iterator<Item = (SlotMeta, &[f64])> {
+        (0..self.len).map(move |i| {
+            let idx = (self.head + i) % self.capacity;
+            (
+                self.meta[idx],
+                &self.arena[idx * self.dim..(idx + 1) * self.dim],
+            )
+        })
     }
 }
 
@@ -160,13 +200,12 @@ impl SlidingWindow {
 mod tests {
     use super::*;
 
-    fn slot(group: u8, label: u8, decision: u8, violated: bool) -> WindowSlot {
-        WindowSlot {
+    fn slot(group: u8, label: u8, decision: u8, violated: bool) -> SlotMeta {
+        SlotMeta {
             group,
             label,
             decision,
             violated,
-            features: vec![f64::from(group), f64::from(label)].into_boxed_slice(),
         }
     }
 
@@ -174,8 +213,8 @@ mod tests {
     /// incremental path must match.
     fn brute_counts(w: &SlidingWindow) -> [GroupCounts; 2] {
         let mut counts = [GroupCounts::default(); 2];
-        for s in w.iter() {
-            counts[s.group as usize].apply(s, 1);
+        for (m, _) in w.iter() {
+            counts[m.group as usize].apply(&m, 1);
         }
         counts
     }
@@ -183,44 +222,93 @@ mod tests {
     #[test]
     fn zero_capacity_is_rejected() {
         assert!(matches!(
-            SlidingWindow::new(0),
+            SlidingWindow::new(0, 2),
             Err(StreamError::EmptyWindow)
         ));
     }
 
     #[test]
     fn bad_group_is_rejected() {
-        let mut w = SlidingWindow::new(4).unwrap();
+        let mut w = SlidingWindow::new(4, 2).unwrap();
         assert!(matches!(
-            w.push(slot(2, 0, 0, false)),
+            w.push(slot(2, 0, 0, false), &[0.0, 0.0]),
             Err(StreamError::BadGroup(2))
         ));
     }
 
     #[test]
+    fn wrong_stride_is_rejected() {
+        let mut w = SlidingWindow::new(4, 2).unwrap();
+        assert!(matches!(
+            w.push(slot(0, 0, 0, false), &[1.0, 2.0, 3.0]),
+            Err(StreamError::Schema(_))
+        ));
+        assert!(w.is_empty());
+    }
+
+    #[test]
     fn counters_match_brute_force_through_wraparound() {
-        let mut w = SlidingWindow::new(7).unwrap();
+        let mut w = SlidingWindow::new(7, 2).unwrap();
         for i in 0..50u32 {
             let g = (i % 3 == 0) as u8;
             let y = (i % 2) as u8;
             let d = (i % 5 < 3) as u8;
             let v = i % 4 == 1;
-            w.push(slot(g, y, d, v)).unwrap();
+            w.push(slot(g, y, d, v), &[f64::from(i), f64::from(g)])
+                .unwrap();
             assert_eq!(*w.counts(), brute_counts(&w), "after push {i}");
             assert_eq!(w.len(), (i as usize + 1).min(7));
         }
     }
 
     #[test]
-    fn eviction_is_fifo() {
-        let mut w = SlidingWindow::new(3).unwrap();
+    fn eviction_is_fifo_and_arena_tracks_features() {
+        let mut w = SlidingWindow::new(3, 1).unwrap();
         for i in 0..5u8 {
-            let mut s = slot(0, 0, 0, false);
-            s.features = vec![f64::from(i)].into_boxed_slice();
-            w.push(s).unwrap();
+            w.push(slot(0, 0, 0, false), &[f64::from(i)]).unwrap();
         }
-        let order: Vec<f64> = w.iter().map(|s| s.features[0]).collect();
+        let order: Vec<f64> = w.iter().map(|(_, f)| f[0]).collect();
         assert_eq!(order, vec![2.0, 3.0, 4.0]);
+        // The arena never grows past capacity * dim.
+        assert_eq!(w.arena.len(), 3);
+    }
+
+    #[test]
+    fn zero_dim_windows_iterate_empty_feature_slices() {
+        // A degenerate schema with no attributes still counts correctly.
+        let mut w = SlidingWindow::new(2, 0).unwrap();
+        w.push(slot(0, 1, 1, false), &[]).unwrap();
+        w.push(slot(1, 0, 0, true), &[]).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.counts()[0].selected, 1);
+        assert_eq!(w.counts()[1].violations, 1);
+    }
+
+    #[test]
+    fn merge_is_componentwise_addition() {
+        let mut a = GroupCounts {
+            total: 5,
+            selected: 3,
+            label_positive: 2,
+            true_positive: 1,
+            false_positive: 2,
+            violations: 4,
+        };
+        let b = GroupCounts {
+            total: 7,
+            selected: 1,
+            label_positive: 6,
+            true_positive: 1,
+            false_positive: 0,
+            violations: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.total, 12);
+        assert_eq!(a.selected, 4);
+        assert_eq!(a.label_positive, 8);
+        assert_eq!(a.true_positive, 2);
+        assert_eq!(a.false_positive, 2);
+        assert_eq!(a.violations, 6);
     }
 
     #[test]
@@ -230,8 +318,8 @@ mod tests {
         assert_eq!(c.tpr(), None);
         assert_eq!(c.violation_rate(), None);
 
-        let mut w = SlidingWindow::new(4).unwrap();
-        w.push(slot(0, 0, 1, true)).unwrap();
+        let mut w = SlidingWindow::new(4, 1).unwrap();
+        w.push(slot(0, 0, 1, true), &[0.0]).unwrap();
         let c = w.counts()[0];
         assert_eq!(c.selection_rate(), Some(1.0));
         assert_eq!(c.tpr(), None, "no label-positives yet");

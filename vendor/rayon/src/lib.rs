@@ -7,6 +7,12 @@
 //! real `rayon` is available the manifests can switch back with no source
 //! changes. Results are bit-identical either way because every cell is
 //! seeded independently.
+//!
+//! [`scope`] and [`join`], by contrast, are *really parallel*: they are
+//! implemented on `std::thread::scope`, so spawned closures run on their
+//! own OS threads and may borrow from the enclosing stack, exactly like
+//! rayon's structured-concurrency API (minus the work-stealing pool). The
+//! sharded stream engine uses them for per-shard ingestion.
 
 pub mod prelude {
     //! Drop-in for `rayon::prelude::*`.
@@ -41,9 +47,74 @@ pub mod prelude {
     }
 }
 
+/// Structured fork–join scope, mirroring `rayon::Scope`.
+///
+/// Closures handed to [`Scope::spawn`] run on dedicated scoped OS threads
+/// and are all joined before [`scope`] returns; a panic in any spawned
+/// closure propagates out of [`scope`], as with the real crate.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn `body` onto its own scoped thread. The closure receives the
+    /// scope again so it can spawn nested tasks, as in rayon.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Create a fork–join scope: every task spawned inside is joined before
+/// `scope` returns, so tasks may borrow (even mutably) from the caller's
+/// stack. Signature-compatible with `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Run two closures, potentially in parallel, and return both results —
+/// `rayon::join` on scoped threads.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined closure panicked"))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn scope_spawns_really_run_and_may_borrow_mutably() {
+        let mut results = vec![0u64; 8];
+        super::scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = (i as u64 + 1) * 10);
+            }
+        });
+        assert_eq!(results, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
 
     #[test]
     fn par_iter_supports_adapter_chains() {
