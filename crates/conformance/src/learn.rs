@@ -18,7 +18,7 @@ use crate::{projection::Projection, set::ConstraintSet};
 use cf_linalg::{eigen_symmetric, stats, Matrix};
 
 /// Knobs for constraint discovery.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LearnOptions {
     /// Trim this fraction from each tail when setting bounds (0.0 = strict
     /// min/max, the default — Algorithm 3 relies on bounds being sensitive

@@ -6,7 +6,7 @@
 const MIN_SIGMA: f64 = 1e-9;
 
 /// One arithmetic constraint over a linear projection of numeric attributes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Projection {
     /// Projection coefficients: `F(t) = coeffs · t`.
     pub coeffs: Vec<f64>,

@@ -94,6 +94,36 @@ impl ConstraintSet {
     }
 }
 
+// Manual serde impls: deserialisation must *not* route through
+// [`ConstraintSet::new`], whose importance re-normalisation divides by a sum
+// that is only approximately 1 — that ulp-level drift would break the
+// bit-identical restore contract checkpointing relies on. The stored
+// (already normalised) importances are reinstated verbatim.
+impl serde::Serialize for ConstraintSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("projections".into(), self.projections.to_value())])
+    }
+}
+
+impl serde::Deserialize for ConstraintSet {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let projections: Vec<Projection> =
+            serde::Deserialize::from_value(v.get_or_err("projections")?)?;
+        if projections.is_empty() {
+            return Err(serde::Error::msg("a constraint set cannot be empty"));
+        }
+        if projections
+            .iter()
+            .any(|p| p.importance.is_nan() || p.importance < 0.0)
+        {
+            return Err(serde::Error::msg(
+                "constraint importances must be non-negative",
+            ));
+        }
+        Ok(ConstraintSet { projections })
+    }
+}
+
 /// A collection `C` of constraint sets — e.g. one `Φ` per label class within
 /// a group, as Algorithm 1 builds (`Cw`, `Cu`).
 #[derive(Debug, Clone, PartialEq, Default)]

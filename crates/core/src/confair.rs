@@ -107,6 +107,60 @@ impl Default for AlphaMode {
     }
 }
 
+// Manual serde impls for the two enums (the derive shim covers only plain
+// structs): `FairnessTarget` as its paper label, `AlphaMode` as a
+// single-variant-keyed object.
+impl serde::Serialize for FairnessTarget {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.label().into())
+    }
+}
+
+impl serde::Deserialize for FairnessTarget {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        match v.as_str() {
+            Some("DI/SR") => Ok(FairnessTarget::DisparateImpact),
+            Some("EqOdds-FNR") => Ok(FairnessTarget::EqOddsFnr),
+            Some("EqOdds-FPR") => Ok(FairnessTarget::EqOddsFpr),
+            _ => Err(serde::Error::msg("unknown fairness target")),
+        }
+    }
+}
+
+impl serde::Serialize for AlphaMode {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            AlphaMode::Fixed { alpha_u, alpha_w } => serde::Value::Object(vec![(
+                "fixed".into(),
+                serde::Value::Object(vec![
+                    ("alpha_u".into(), alpha_u.to_value()),
+                    ("alpha_w".into(), alpha_w.to_value()),
+                ]),
+            )]),
+            AlphaMode::Auto { grid } => {
+                serde::Value::Object(vec![("auto".into(), grid.to_value())])
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for AlphaMode {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        if let Some(fixed) = v.get("fixed") {
+            return Ok(AlphaMode::Fixed {
+                alpha_u: serde::Deserialize::from_value(fixed.get_or_err("alpha_u")?)?,
+                alpha_w: serde::Deserialize::from_value(fixed.get_or_err("alpha_w")?)?,
+            });
+        }
+        if let Some(auto) = v.get("auto") {
+            return Ok(AlphaMode::Auto {
+                grid: serde::Deserialize::from_value(auto)?,
+            });
+        }
+        Err(serde::Error::msg("unknown alpha mode"))
+    }
+}
+
 /// The default search grid (geometric, plus zero). The boost is *additive*
 /// per conforming tuple, and only ~20% of a cell conforms after Algorithm-3
 /// filtering, so large α values are needed to move the loss balance on
@@ -116,7 +170,7 @@ pub fn default_alpha_grid() -> Vec<f64> {
 }
 
 /// Configuration for [`ConFair`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ConFairConfig {
     /// Intervention-degree selection.
     pub alpha: AlphaMode,

@@ -3,13 +3,42 @@
 
 use crate::Result;
 use cf_data::{encode::labels_as_f64, Column, Dataset, FeatureEncoding};
-use cf_learners::{Learner, LearnerKind};
+use cf_learners::{Learner, LearnerKind, ModelState};
 use cf_linalg::Matrix;
+
+/// The serialisable state of a checkpointable predictor: the fitted
+/// feature encoding plus the fitted model parameters. Produced by
+/// [`Predictor::state`], consumed by [`SingleModelPredictor::from_state`];
+/// the rebuilt predictor scores bit-identically to the snapshotted one.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PredictorState {
+    encoding: FeatureEncoding,
+    model: ModelState,
+}
+
+impl PredictorState {
+    /// The fitted feature encoding.
+    pub fn encoding(&self) -> &FeatureEncoding {
+        &self.encoding
+    }
+
+    /// The fitted model parameters.
+    pub fn model(&self) -> &ModelState {
+        &self.model
+    }
+}
 
 /// A trained model (or model ensemble) ready to serve predictions.
 pub trait Predictor: Send {
     /// Hard predictions for every tuple of `data`.
     fn predict(&self, data: &Dataset) -> Result<Vec<u8>>;
+
+    /// Snapshot this predictor's full fitted state for checkpointing, or
+    /// `None` when the predictor is not serialisable (the default —
+    /// ensemble predictors like DiffFair's router do not checkpoint yet).
+    fn state(&self) -> Option<PredictorState> {
+        None
+    }
 
     /// Hard predictions straight from a row-major numeric feature matrix
     /// (one row per tuple, one column per attribute in schema order) — the
@@ -84,12 +113,44 @@ impl SingleModelPredictor {
         let x = self.encoding.transform(data)?;
         Ok(self.model.predict_proba(&x)?)
     }
+
+    /// Rebuild a predictor from a snapshotted [`PredictorState`]. The
+    /// restored predictor's decisions are bit-identical to the original's.
+    ///
+    /// # Errors
+    /// Rejects states whose encoding width disagrees with the model's
+    /// feature count (a corrupted or hand-assembled checkpoint).
+    pub fn from_state(state: PredictorState) -> Result<Self> {
+        let width = state.encoding.width();
+        let model_features = match &state.model {
+            ModelState::Logistic(m) => m.coefficients().len(),
+            ModelState::Gbt(m) => m.n_features(),
+        };
+        if width != model_features {
+            return Err(crate::CoreError::Unsupported(format!(
+                "predictor state is inconsistent: encoding width {width}, \
+                 model expects {model_features} features"
+            )));
+        }
+        Ok(Self {
+            encoding: state.encoding,
+            model: state.model.build(),
+        })
+    }
 }
 
 impl Predictor for SingleModelPredictor {
     fn predict(&self, data: &Dataset) -> Result<Vec<u8>> {
         let x = self.encoding.transform(data)?;
         Ok(self.model.predict(&x)?)
+    }
+
+    fn state(&self) -> Option<PredictorState> {
+        let model = self.model.state()?;
+        Some(PredictorState {
+            encoding: self.encoding.clone(),
+            model,
+        })
     }
 
     fn predict_rows(&self, x: &Matrix) -> Result<Vec<u8>> {

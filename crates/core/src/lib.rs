@@ -33,7 +33,8 @@ pub mod tuning;
 pub use confair::{AlphaMode, ConFair, ConFairConfig, FairnessTarget};
 pub use difffair::{DiffFair, DiffFairConfig};
 pub use intervention::{
-    predict_rows_via_dataset, Intervention, NoIntervention, Predictor, SingleModelPredictor,
+    predict_rows_via_dataset, Intervention, NoIntervention, Predictor, PredictorState,
+    SingleModelPredictor,
 };
 pub use multimodel::MultiModel;
 pub use pipeline::{evaluate, evaluate_repeated, EvalOutcome, Pipeline};

@@ -80,6 +80,12 @@ impl FeatureEncoding {
         self.width
     }
 
+    /// Number of input columns the encoding was fitted on (one encoder per
+    /// dataset column; one-hot encoders fan out to several features).
+    pub fn num_columns(&self) -> usize {
+        self.encoders.len()
+    }
+
     /// Names of the produced features (`col` or `col=level`).
     pub fn feature_names(&self) -> &[String] {
         &self.feature_names
@@ -190,6 +196,73 @@ impl FeatureEncoding {
             .transform(train)
             .expect("fit and transform on the same dataset cannot disagree");
         (enc, m)
+    }
+}
+
+// Manual serde impls (the derive shim cannot see through the private
+// `ColumnEncoder` enum): each encoder serialises as a tagged object and the
+// fitted min/max bounds round-trip bit-exactly through the JSON shim, so a
+// restored encoding scales features identically to the original.
+impl serde::Serialize for ColumnEncoder {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            ColumnEncoder::MinMax { min, max } => serde::Value::Object(vec![
+                ("kind".into(), serde::Value::String("minmax".into())),
+                ("min".into(), serde::Value::Number(*min)),
+                ("max".into(), serde::Value::Number(*max)),
+            ]),
+            ColumnEncoder::OneHot { n_levels } => serde::Value::Object(vec![
+                ("kind".into(), serde::Value::String("onehot".into())),
+                ("n_levels".into(), serde::Value::Number(*n_levels as f64)),
+            ]),
+        }
+    }
+}
+
+impl serde::Deserialize for ColumnEncoder {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        match v.get_or_err("kind")?.as_str() {
+            Some("minmax") => Ok(ColumnEncoder::MinMax {
+                min: serde::Deserialize::from_value(v.get_or_err("min")?)?,
+                max: serde::Deserialize::from_value(v.get_or_err("max")?)?,
+            }),
+            Some("onehot") => Ok(ColumnEncoder::OneHot {
+                n_levels: serde::Deserialize::from_value(v.get_or_err("n_levels")?)?,
+            }),
+            _ => Err(serde::Error::msg("unknown column-encoder kind")),
+        }
+    }
+}
+
+impl serde::Serialize for FeatureEncoding {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("encoders".into(), self.encoders.to_value()),
+            ("feature_names".into(), self.feature_names.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for FeatureEncoding {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let encoders: Vec<ColumnEncoder> =
+            serde::Deserialize::from_value(v.get_or_err("encoders")?)?;
+        let feature_names: Vec<String> =
+            serde::Deserialize::from_value(v.get_or_err("feature_names")?)?;
+        // `width` is derived state; recompute instead of trusting the
+        // document, so a hand-edited checkpoint cannot desynchronise it.
+        let width = encoders.iter().map(ColumnEncoder::width).sum();
+        if feature_names.len() != width {
+            return Err(serde::Error::msg(format!(
+                "feature encoding lists {} names for width {width}",
+                feature_names.len()
+            )));
+        }
+        Ok(FeatureEncoding {
+            encoders,
+            width,
+            feature_names,
+        })
     }
 }
 

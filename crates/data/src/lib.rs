@@ -11,7 +11,7 @@
 //! 70/15/15 train/validation/test splits.
 //!
 //! Modules:
-//! * [`column`] — the [`Column`] storage enum.
+//! * [`mod@column`] — the [`Column`] storage enum.
 //! * [`dataset`] — [`Dataset`] and partition helpers (the (group,label) cells
 //!   that every algorithm in the paper iterates over).
 //! * [`group`] — [`GroupSpec`], the user-specified mapping function `g`.

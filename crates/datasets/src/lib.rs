@@ -23,7 +23,7 @@ pub mod synthgen;
 pub mod toy;
 
 pub use realsim::RealWorldSpec;
-pub use stream::{DriftStream, DriftStreamSpec};
+pub use stream::{DriftStream, DriftStreamCheckpoint, DriftStreamSpec, ShardedDriftStream};
 pub use synthgen::SynSpec;
 
 use rand::{rngs::StdRng, Rng};

@@ -15,7 +15,7 @@ use cf_data::{Column, Dataset, MINORITY};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Specification of a drifting stream.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DriftStreamSpec {
     /// Total features; the first two are informative, the rest noise.
     pub n_features: usize,
@@ -73,12 +73,46 @@ impl DriftStreamSpec {
     }
 }
 
+/// A saved [`DriftStream`] position: the spec, the exact RNG state (as hex
+/// words — the JSON shim's f64-backed numbers cannot carry full-range u64s),
+/// and the stream clock. Restoring yields a generator whose subsequent
+/// batches are bit-identical to the uninterrupted stream's, so a serving
+/// checkpoint can be replayed against the exact same future traffic.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftStreamCheckpoint {
+    /// The stream's specification.
+    pub spec: DriftStreamSpec,
+    /// xoshiro256++ state words, big-endian hex.
+    pub rng_state: Vec<String>,
+    /// Tuples emitted when the checkpoint was taken.
+    pub emitted: u64,
+}
+
 /// The stateful generator: deterministic per seed, time-ordered output.
 #[derive(Debug, Clone)]
 pub struct DriftStream {
     spec: DriftStreamSpec,
     rng: StdRng,
     emitted: u64,
+}
+
+/// Spec validation shared by [`DriftStream::new`] (which panics, as a
+/// programming-error guard) and [`DriftStream::restore`] (which returns the
+/// message as a typed error, since checkpoints are external input).
+fn validate_spec(spec: &DriftStreamSpec) -> Result<(), String> {
+    if spec.n_features < 2 {
+        return Err("need the 2 informative features".into());
+    }
+    if !(spec.minority_fraction > 0.0 && spec.minority_fraction < 1.0) {
+        return Err("minority fraction must be in (0, 1)".into());
+    }
+    if !(spec.positive_rate > 0.0 && spec.positive_rate < 1.0) {
+        return Err("positive rate must be in (0, 1)".into());
+    }
+    if spec.drift_group >= 2 {
+        return Err("drift group must be binary".into());
+    }
+    Ok(())
 }
 
 impl DriftStream {
@@ -88,21 +122,55 @@ impl DriftStream {
     /// Panics on non-sensical specs (fractions outside (0, 1), fewer than
     /// 2 features, or a non-binary drift group).
     pub fn new(spec: DriftStreamSpec, seed: u64) -> Self {
-        assert!(spec.n_features >= 2, "need the 2 informative features");
-        assert!(
-            spec.minority_fraction > 0.0 && spec.minority_fraction < 1.0,
-            "minority fraction must be in (0, 1)"
-        );
-        assert!(
-            spec.positive_rate > 0.0 && spec.positive_rate < 1.0,
-            "positive rate must be in (0, 1)"
-        );
-        assert!(spec.drift_group < 2, "drift group must be binary");
+        if let Err(msg) = validate_spec(&spec) {
+            panic!("{msg}");
+        }
         DriftStream {
             spec,
             rng: StdRng::seed_from_u64(seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(11)),
             emitted: 0,
         }
+    }
+
+    /// Capture the stream's exact position (spec + RNG state + clock).
+    pub fn checkpoint(&self) -> DriftStreamCheckpoint {
+        DriftStreamCheckpoint {
+            spec: self.spec,
+            rng_state: self
+                .rng
+                .state()
+                .iter()
+                .map(|w| format!("{w:016x}"))
+                .collect(),
+            emitted: self.emitted,
+        }
+    }
+
+    /// Rebuild a stream at a previously captured position. The restored
+    /// stream's future batches are bit-identical to the ones the original
+    /// would have produced.
+    ///
+    /// # Errors
+    /// Returns a typed error (never panics) on malformed RNG state or a
+    /// non-sensical spec — checkpoints are external input.
+    pub fn restore(ckpt: &DriftStreamCheckpoint) -> Result<Self, serde::Error> {
+        validate_spec(&ckpt.spec).map_err(serde::Error::msg)?;
+        if ckpt.rng_state.len() != 4 {
+            return Err(serde::Error::msg(format!(
+                "rng state must have 4 words, got {}",
+                ckpt.rng_state.len()
+            )));
+        }
+        let mut words = [0u64; 4];
+        for (slot, hex) in words.iter_mut().zip(&ckpt.rng_state) {
+            *slot = u64::from_str_radix(hex, 16)
+                .map_err(|e| serde::Error::msg(format!("bad rng word `{hex}`: {e}")))?;
+        }
+        Ok(DriftStream {
+            spec: ckpt.spec,
+            rng: StdRng::from_state(words),
+            emitted: ckpt.emitted,
+        })
     }
 
     /// Tuples emitted so far (the stream clock).
@@ -264,6 +332,29 @@ impl ShardedDriftStream {
     /// Borrow one shard's stream (its clock, spec, and angle schedule).
     pub fn shard(&self, i: usize) -> &DriftStream {
         &self.shards[i]
+    }
+
+    /// Capture every shard's exact position, in shard order.
+    pub fn checkpoint(&self) -> Vec<DriftStreamCheckpoint> {
+        self.shards.iter().map(DriftStream::checkpoint).collect()
+    }
+
+    /// Rebuild a fleet from per-shard checkpoints (in shard order). The
+    /// restored fleet's future batches are bit-identical to the originals.
+    ///
+    /// # Errors
+    /// Returns a typed error on an empty checkpoint list or any malformed
+    /// per-shard checkpoint.
+    pub fn restore(ckpts: &[DriftStreamCheckpoint]) -> Result<Self, serde::Error> {
+        if ckpts.is_empty() {
+            return Err(serde::Error::msg("need at least one shard checkpoint"));
+        }
+        Ok(ShardedDriftStream {
+            shards: ckpts
+                .iter()
+                .map(DriftStream::restore)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
     }
 
     /// Advance every shard by `per_shard` tuples, returning one dataset per
@@ -478,6 +569,62 @@ mod tests {
         // Shard 1 has not drifted at t=1200 while shard 0 has.
         assert!(fleet.shard(0).angle_at(1_200) > 0.0);
         assert_eq!(fleet.shard(1).angle_at(1_200), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_resumes_at_the_exact_rng_position() {
+        let spec = DriftStreamSpec {
+            drift_onset: 500,
+            ..DriftStreamSpec::default()
+        };
+        let mut live = DriftStream::new(spec, 21);
+        live.next_batch(777); // arbitrary mid-batch-size position
+
+        // Round-trip the checkpoint through its JSON document.
+        let doc = serde_json::to_string(&live.checkpoint()).unwrap();
+        let parsed: DriftStreamCheckpoint = serde_json::from_str(&doc).unwrap();
+        let mut resumed = DriftStream::restore(&parsed).unwrap();
+
+        assert_eq!(resumed.emitted(), 777);
+        assert_eq!(resumed.spec(), live.spec());
+        for k in [1usize, 100, 333] {
+            assert_eq!(
+                live.next_batch(k),
+                resumed.next_batch(k),
+                "batch of {k} after resume"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_stream_checkpoints_are_typed_errors() {
+        let stream = DriftStream::new(DriftStreamSpec::default(), 1);
+        let good = stream.checkpoint();
+
+        let mut short = good.clone();
+        short.rng_state.pop();
+        assert!(DriftStream::restore(&short).is_err());
+
+        let mut garbled = good.clone();
+        garbled.rng_state[2] = "not-hex".into();
+        assert!(DriftStream::restore(&garbled).is_err());
+
+        let mut bad_spec = good;
+        bad_spec.spec.minority_fraction = 1.5;
+        assert!(DriftStream::restore(&bad_spec).is_err());
+    }
+
+    #[test]
+    fn sharded_fleet_checkpoint_resumes_every_shard() {
+        let spec = DriftStreamSpec::default();
+        let mut live = ShardedDriftStream::staggered(spec, 3, 400, 13);
+        live.next_batches(250);
+
+        let mut resumed = ShardedDriftStream::restore(&live.checkpoint()).unwrap();
+        assert_eq!(resumed.shard_count(), 3);
+        assert_eq!(live.next_batches(200), resumed.next_batches(200));
+
+        assert!(ShardedDriftStream::restore(&[]).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::{kde::Kde, kdtree::TreeKde};
 use cf_data::{CellIndex, Dataset};
 
 /// Configuration for [`density_filter`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FilterConfig {
     /// Fraction of each (group, label) cell to keep. The paper uses
     /// `k = 0.2·n` for every dataset (§IV "Algorithm parameters").

@@ -48,8 +48,60 @@ impl Default for GbtConfig {
     }
 }
 
+// Manual serde impls: `seed` is a full-range `u64`, which the JSON shim's
+// f64-backed numbers cannot carry exactly above 2^53 — it travels as a hex
+// string instead, so subsampled retrains replay bit-identically after a
+// restore.
+impl serde::Serialize for GbtConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("n_rounds".into(), self.n_rounds.to_value()),
+            ("eta".into(), self.eta.to_value()),
+            ("max_depth".into(), self.max_depth.to_value()),
+            ("lambda".into(), self.lambda.to_value()),
+            ("gamma".into(), self.gamma.to_value()),
+            ("min_child_weight".into(), self.min_child_weight.to_value()),
+            ("subsample".into(), self.subsample.to_value()),
+            (
+                "seed".into(),
+                serde::Value::String(format!("{:016x}", self.seed)),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for GbtConfig {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        use serde::Deserialize;
+        let seed_hex = v
+            .get_or_err("seed")?
+            .as_str()
+            .ok_or_else(|| serde::Error::msg("gbt seed must be a hex string"))?;
+        let seed = u64::from_str_radix(seed_hex, 16)
+            .map_err(|e| serde::Error::msg(format!("bad gbt seed `{seed_hex}`: {e}")))?;
+        let config = GbtConfig {
+            n_rounds: Deserialize::from_value(v.get_or_err("n_rounds")?)?,
+            eta: Deserialize::from_value(v.get_or_err("eta")?)?,
+            max_depth: Deserialize::from_value(v.get_or_err("max_depth")?)?,
+            lambda: Deserialize::from_value(v.get_or_err("lambda")?)?,
+            gamma: Deserialize::from_value(v.get_or_err("gamma")?)?,
+            min_child_weight: Deserialize::from_value(v.get_or_err("min_child_weight")?)?,
+            subsample: Deserialize::from_value(v.get_or_err("subsample")?)?,
+            seed,
+        };
+        if !(config.subsample > 0.0 && config.subsample <= 1.0) {
+            return Err(serde::Error::msg("subsample must be in (0, 1]"));
+        }
+        Ok(config)
+    }
+}
+
 /// Gradient-boosted-tree binary classifier.
-#[derive(Debug, Clone)]
+///
+/// Serialisable: the fitted ensemble (every tree's splits and leaf weights,
+/// plus the base score) round-trips bit-exactly through the JSON shim, so a
+/// deserialised model scores identically to the original.
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Gbt {
     config: GbtConfig,
     trees: Vec<RegressionTree>,
@@ -62,6 +114,34 @@ pub struct Gbt {
 impl Default for Gbt {
     fn default() -> Self {
         Self::new(GbtConfig::default())
+    }
+}
+
+// Manual Deserialize (Serialize is derived): fields alone don't make a
+// valid ensemble — every tree's split feature indices must stay inside the
+// declared feature count, or a corrupted checkpoint would pass parsing and
+// then panic with index-out-of-bounds inside `predict_row` at serve time.
+impl serde::Deserialize for Gbt {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        use serde::Deserialize;
+        let gbt = Gbt {
+            config: Deserialize::from_value(v.get_or_err("config")?)?,
+            trees: Deserialize::from_value(v.get_or_err("trees")?)?,
+            base_score: Deserialize::from_value(v.get_or_err("base_score")?)?,
+            n_features: Deserialize::from_value(v.get_or_err("n_features")?)?,
+            fitted: Deserialize::from_value(v.get_or_err("fitted")?)?,
+        };
+        for (i, tree) in gbt.trees.iter().enumerate() {
+            if let Some(f) = tree.max_feature_index() {
+                if f >= gbt.n_features {
+                    return Err(serde::Error::msg(format!(
+                        "tree {i} splits on feature {f}; the model has {} features",
+                        gbt.n_features
+                    )));
+                }
+            }
+        }
+        Ok(gbt)
     }
 }
 
@@ -94,6 +174,11 @@ impl Gbt {
     /// Number of fitted trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Number of features the ensemble was fitted on (0 before `fit`).
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// Raw margin (log-odds) for one row.
@@ -210,6 +295,10 @@ impl Learner for Gbt {
 
     fn is_fitted(&self) -> bool {
         self.fitted
+    }
+
+    fn state(&self) -> Option<crate::ModelState> {
+        Some(crate::ModelState::Gbt(self.clone()))
     }
 }
 

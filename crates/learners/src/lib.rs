@@ -76,6 +76,68 @@ pub trait Learner: Send {
 
     /// Whether `fit` has succeeded at least once.
     fn is_fitted(&self) -> bool;
+
+    /// Snapshot the full fitted parameters for checkpointing, or `None`
+    /// for learners that do not support serialisation. The built-in
+    /// logistic and GBT learners both return `Some`; rebuilding via
+    /// [`ModelState::build`] yields a model that scores bit-identically.
+    fn state(&self) -> Option<ModelState> {
+        None
+    }
+}
+
+/// The serialisable parameters of a fitted built-in learner — the model
+/// half of an engine checkpoint. Tagged by learner family so the right
+/// concrete type is rebuilt on restore.
+#[derive(Debug, Clone)]
+pub enum ModelState {
+    /// A fitted [`LogisticRegression`] (coefficients + intercept).
+    Logistic(LogisticRegression),
+    /// A fitted [`Gbt`] ensemble (trees + base score).
+    Gbt(Gbt),
+}
+
+impl ModelState {
+    /// Which learner family this state rebuilds.
+    pub fn kind(&self) -> LearnerKind {
+        match self {
+            ModelState::Logistic(_) => LearnerKind::Logistic,
+            ModelState::Gbt(_) => LearnerKind::Gbt,
+        }
+    }
+
+    /// Rebuild the boxed learner. The restored model's predictions are
+    /// bit-identical to the snapshotted one's.
+    pub fn build(self) -> Box<dyn Learner> {
+        match self {
+            ModelState::Logistic(m) => Box::new(m),
+            ModelState::Gbt(m) => Box::new(m),
+        }
+    }
+}
+
+impl serde::Serialize for ModelState {
+    fn to_value(&self) -> serde::Value {
+        let (kind, model) = match self {
+            ModelState::Logistic(m) => ("LR", m.to_value()),
+            ModelState::Gbt(m) => ("XGB", m.to_value()),
+        };
+        serde::Value::Object(vec![
+            ("kind".into(), serde::Value::String(kind.into())),
+            ("model".into(), model),
+        ])
+    }
+}
+
+impl serde::Deserialize for ModelState {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let model = v.get_or_err("model")?;
+        match v.get_or_err("kind")?.as_str() {
+            Some("LR") => Ok(ModelState::Logistic(serde::Deserialize::from_value(model)?)),
+            Some("XGB") => Ok(ModelState::Gbt(serde::Deserialize::from_value(model)?)),
+            _ => Err(serde::Error::msg("unknown model kind")),
+        }
+    }
 }
 
 /// Validate the (x, y, weights) triple shared by every learner's `fit`.
@@ -148,6 +210,22 @@ impl LearnerKind {
     /// Both learners, in the order the paper reports them.
     pub fn both() -> [LearnerKind; 2] {
         [LearnerKind::Logistic, LearnerKind::Gbt]
+    }
+}
+
+impl serde::Serialize for LearnerKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().into())
+    }
+}
+
+impl serde::Deserialize for LearnerKind {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        match v.as_str() {
+            Some("LR") => Ok(LearnerKind::Logistic),
+            Some("XGB") => Ok(LearnerKind::Gbt),
+            _ => Err(serde::Error::msg("unknown learner kind")),
+        }
     }
 }
 

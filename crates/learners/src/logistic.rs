@@ -13,7 +13,7 @@ use crate::{validate_fit_inputs, LearnError, Learner, Result};
 use cf_linalg::{cholesky, Matrix};
 
 /// Hyperparameters for [`LogisticRegression`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LogisticRegressionConfig {
     /// Maximum number of Newton iterations.
     pub max_iter: usize,
@@ -37,7 +37,11 @@ impl Default for LogisticRegressionConfig {
 }
 
 /// Weighted binary logistic regression.
-#[derive(Debug, Clone)]
+///
+/// Serialisable: the fitted coefficients and intercept round-trip
+/// bit-exactly through the JSON shim, so a deserialised model scores
+/// identically to the original (the checkpoint/restore contract).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct LogisticRegression {
     config: LogisticRegressionConfig,
     /// Learned coefficients (one per feature), empty until fitted.
@@ -254,6 +258,10 @@ impl Learner for LogisticRegression {
 
     fn is_fitted(&self) -> bool {
         self.fitted
+    }
+
+    fn state(&self) -> Option<crate::ModelState> {
+        Some(crate::ModelState::Logistic(self.clone()))
     }
 }
 

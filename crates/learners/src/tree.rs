@@ -103,6 +103,54 @@ impl RegressionTree {
         self.nodes.len()
     }
 
+    /// Validate that every split's children are in-bounds and the node
+    /// graph reachable from `root` is a tree (no index cycles), so a
+    /// corrupted serialised tree fails loudly at deserialisation time
+    /// instead of looping or panicking inside `predict_row`.
+    fn validate(&self) -> Result<(), String> {
+        if self.root >= self.nodes.len() {
+            return Err(format!(
+                "tree root {} out of bounds for {} nodes",
+                self.root,
+                self.nodes.len()
+            ));
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        while let Some(i) = stack.pop() {
+            if visited[i] {
+                return Err(format!("tree node {i} is reachable twice (cycle)"));
+            }
+            visited[i] = true;
+            if let TreeNode::Split { left, right, .. } = &self.nodes[i] {
+                for &child in [left, right] {
+                    if child >= self.nodes.len() {
+                        return Err(format!(
+                            "tree child {child} out of bounds for {} nodes",
+                            self.nodes.len()
+                        ));
+                    }
+                    stack.push(child);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The largest feature index any split consults (`None` for a
+    /// single-leaf tree). Deserialised ensembles check this against their
+    /// declared feature count so a corrupted tree cannot index past a
+    /// prediction row.
+    pub fn max_feature_index(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                TreeNode::Leaf { .. } => None,
+                TreeNode::Split { feature, .. } => Some(*feature),
+            })
+            .max()
+    }
+
     /// Depth of the deepest leaf.
     pub fn depth(&self) -> usize {
         fn rec(nodes: &[TreeNode], i: usize) -> usize {
@@ -114,6 +162,71 @@ impl RegressionTree {
             }
         }
         rec(&self.nodes, self.root)
+    }
+}
+
+// Manual serde impls: `TreeNode` is an enum, beyond the derive shim. Leaves
+// serialise as `{"weight": w}`, splits as
+// `{"feature": j, "threshold": t, "left": l, "right": r}`; thresholds and
+// weights round-trip bit-exactly, so a restored tree routes and scores every
+// row identically.
+impl serde::Serialize for TreeNode {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            TreeNode::Leaf { weight } => {
+                serde::Value::Object(vec![("weight".into(), serde::Value::Number(*weight))])
+            }
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => serde::Value::Object(vec![
+                ("feature".into(), serde::Value::Number(*feature as f64)),
+                ("threshold".into(), serde::Value::Number(*threshold)),
+                ("left".into(), serde::Value::Number(*left as f64)),
+                ("right".into(), serde::Value::Number(*right as f64)),
+            ]),
+        }
+    }
+}
+
+impl serde::Deserialize for TreeNode {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        if let Some(w) = v.get("weight") {
+            return Ok(TreeNode::Leaf {
+                weight: serde::Deserialize::from_value(w)?,
+            });
+        }
+        Ok(TreeNode::Split {
+            feature: serde::Deserialize::from_value(v.get_or_err("feature")?)?,
+            threshold: serde::Deserialize::from_value(v.get_or_err("threshold")?)?,
+            left: serde::Deserialize::from_value(v.get_or_err("left")?)?,
+            right: serde::Deserialize::from_value(v.get_or_err("right")?)?,
+        })
+    }
+}
+
+impl serde::Serialize for RegressionTree {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nodes".into(), self.nodes.to_value()),
+            ("root".into(), serde::Value::Number(self.root as f64)),
+        ])
+    }
+}
+
+impl serde::Deserialize for RegressionTree {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let tree = RegressionTree {
+            nodes: serde::Deserialize::from_value(v.get_or_err("nodes")?)?,
+            root: serde::Deserialize::from_value(v.get_or_err("root")?)?,
+        };
+        if tree.nodes.is_empty() {
+            return Err(serde::Error::msg("a regression tree needs nodes"));
+        }
+        tree.validate().map_err(serde::Error::msg)?;
+        Ok(tree)
     }
 }
 

@@ -16,7 +16,7 @@
 //! * [`vector`] — slice-level helpers (dot, axpy, norms, argmax).
 //! * [`stats`] — column means, (weighted) covariance, standardisation.
 //! * [`eigen`] — cyclic Jacobi eigendecomposition for symmetric matrices.
-//! * [`cholesky`] — LLᵀ factorisation and SPD solves.
+//! * [`mod@cholesky`] — LLᵀ factorisation and SPD solves.
 
 pub mod cholesky;
 pub mod eigen;

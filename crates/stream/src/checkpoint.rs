@@ -1,0 +1,268 @@
+//! Durable checkpoint/restore for the stream engines.
+//!
+//! A restart used to lose the sliding-window counters and the per-group
+//! Page–Hinkley state, reopening a warm-up gap in which drift goes
+//! undetected — exactly the blind spot stream-fairness monitoring exists to
+//! close. [`EngineCheckpoint`] captures a [`StreamEngine`](crate::StreamEngine)'s **complete**
+//! serving and monitoring state — the fitted model parameters, the fitted
+//! feature encoding, the per-(group, label) conformance profiles, the
+//! sliding window (metadata + feature arena + derived counters), both
+//! Page–Hinkley detectors (including warm-up/cooldown position), the alert
+//! log, and the configuration — as one versioned JSON document via the
+//! vendored serde shim.
+//!
+//! The contract, pinned by `tests/checkpoint_roundtrip.rs`: an engine
+//! restored from a checkpoint produces **bit-identical** decisions,
+//! snapshots, and alerts to one that never stopped, on the same subsequent
+//! tuple sequence. No warm-up gap, no re-alert storm, no drifted decision
+//! boundary.
+//!
+//! Corrupted documents fail loudly with typed [`StreamError`]s: truncated
+//! JSON and missing fields surface as [`StreamError::Checkpoint`], a
+//! version from an incompatible writer as
+//! [`StreamError::CheckpointVersion`] — a restore never panics on external
+//! input and never half-loads.
+//!
+//! One format caveat: JSON has no NaN, and the shim encodes non-finite
+//! floats as `null` (read back as +∞). All engine-produced state is finite,
+//! but a stream that feeds literal NaN *feature values* into the window
+//! would not round-trip them — don't do that.
+
+use crate::drift::{DriftAlert, PageHinkleyState};
+use crate::engine::StreamConfig;
+use crate::window::WindowState;
+use crate::{Result, StreamError};
+use cf_learners::LearnerKind;
+use confair_core::PredictorState;
+
+/// The checkpoint format version this build reads and writes. Bump on any
+/// incompatible change to the serialised layout.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A complete, versioned snapshot of one [`StreamEngine`](crate::StreamEngine).
+///
+/// Produced by [`StreamEngine::checkpoint`](crate::StreamEngine::checkpoint), consumed by
+/// [`StreamEngine::restore`](crate::StreamEngine::restore); serialised with [`EngineCheckpoint::to_json`]
+/// / [`EngineCheckpoint::from_json`]. Fields are public so operators can
+/// audit a checkpoint's contents (e.g. inspect the profiled constraints or
+/// the alert log) without restoring it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EngineCheckpoint {
+    /// Format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The reference schema's column names.
+    pub schema: Vec<String>,
+    /// The learner family used for (re)training.
+    pub learner: LearnerKind,
+    /// The full engine configuration, including the ConFair settings that
+    /// drive on-alert retraining.
+    pub config: StreamConfig,
+    /// The fitted model parameters and feature encoding.
+    pub predictor: PredictorState,
+    /// Conformance profiles per (group, label) cell, flattened in
+    /// `[(g=0,y=0), (g=0,y=1), (g=1,y=0), (g=1,y=1)]` order; `None` marks
+    /// a cell too small to profile.
+    pub profiles: Vec<Option<cf_conformance::ConstraintSet>>,
+    /// The sliding window's logical contents (oldest first).
+    pub window: WindowState,
+    /// Per-group Page–Hinkley detector state, `[majority, minority]`.
+    pub detectors: Vec<PageHinkleyState>,
+    /// Every alert raised since construction, in stream order.
+    pub alerts: Vec<DriftAlert>,
+    /// Total tuples ingested.
+    pub seen: u64,
+    /// Times the retraining hook has run.
+    pub retrains: u64,
+    /// Stream position until which DI-floor alerts stay suppressed
+    /// (cooldown hysteresis).
+    pub floor_quiet_until: u64,
+}
+
+/// Read the `version` field of a checkpoint document before anything else,
+/// so an incompatible-version document reports
+/// [`StreamError::CheckpointVersion`] rather than a field-level parse
+/// error from a layout it never promised to match.
+fn check_version(doc: &serde::Value) -> Result<()> {
+    let version = doc
+        .get("version")
+        .and_then(serde::Value::as_u64)
+        .ok_or_else(|| StreamError::Checkpoint("missing or non-integer `version`".into()))?;
+    if version != u64::from(CHECKPOINT_VERSION) {
+        return Err(StreamError::CheckpointVersion {
+            found: version as u32,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    Ok(())
+}
+
+fn parse_document(json: &str) -> Result<serde::Value> {
+    serde_json::from_str(json).map_err(|e| StreamError::Checkpoint(e.to_string()))
+}
+
+impl EngineCheckpoint {
+    /// Serialise to a compact JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialisation is infallible")
+    }
+
+    /// Serialise to a pretty-printed JSON document (for artifacts meant to
+    /// be read or diffed by operators).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serialisation is infallible")
+    }
+
+    /// Parse a checkpoint document.
+    ///
+    /// # Errors
+    /// [`StreamError::CheckpointVersion`] for a document written by an
+    /// incompatible format version; [`StreamError::Checkpoint`] for
+    /// malformed JSON or missing/ill-typed fields. Never panics.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let doc = parse_document(json)?;
+        check_version(&doc)?;
+        serde::Deserialize::from_value(&doc).map_err(|e| StreamError::Checkpoint(e.to_string()))
+    }
+}
+
+/// A coherent snapshot of every shard of a
+/// [`ShardedEngine`](crate::ShardedEngine), taken between batches.
+///
+/// [`ShardedEngine::ingest`](crate::ShardedEngine::ingest) takes `&mut
+/// self`, so no batch can be in flight while
+/// [`ShardedEngine::checkpoint`](crate::ShardedEngine::checkpoint) borrows
+/// the engine — the per-shard snapshots are mutually consistent by
+/// construction, not by locking.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ShardedCheckpoint {
+    /// Format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// One engine checkpoint per shard, indexed by shard id.
+    pub shards: Vec<EngineCheckpoint>,
+}
+
+impl ShardedCheckpoint {
+    /// Serialise to a compact JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialisation is infallible")
+    }
+
+    /// Serialise to a pretty-printed JSON document.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serialisation is infallible")
+    }
+
+    /// Parse a sharded checkpoint document.
+    ///
+    /// # Errors
+    /// Same contract as [`EngineCheckpoint::from_json`]: typed errors,
+    /// never a panic.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let doc = parse_document(json)?;
+        check_version(&doc)?;
+        serde::Deserialize::from_value(&doc).map_err(|e| StreamError::Checkpoint(e.to_string()))
+    }
+}
+
+/// Validation shared by [`StreamEngine::restore`](crate::StreamEngine::restore): every cross-field
+/// invariant a well-formed checkpoint satisfies, checked up front so a
+/// tampered document is rejected before any state is built.
+pub(crate) fn validate(ckpt: &EngineCheckpoint) -> Result<()> {
+    if ckpt.version != CHECKPOINT_VERSION {
+        return Err(StreamError::CheckpointVersion {
+            found: ckpt.version,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    let d = ckpt.schema.len();
+    if ckpt.window.dim != d {
+        return Err(StreamError::Checkpoint(format!(
+            "window stride {} disagrees with the {d}-column schema",
+            ckpt.window.dim
+        )));
+    }
+    if ckpt.window.capacity != ckpt.config.window {
+        return Err(StreamError::Checkpoint(format!(
+            "window capacity {} disagrees with configured window {}",
+            ckpt.window.capacity, ckpt.config.window
+        )));
+    }
+    if ckpt.detectors.len() != 2 {
+        return Err(StreamError::Checkpoint(format!(
+            "expected 2 detector states (one per group), got {}",
+            ckpt.detectors.len()
+        )));
+    }
+    if ckpt.profiles.len() != 4 {
+        return Err(StreamError::Checkpoint(format!(
+            "expected 4 cell profiles, got {}",
+            ckpt.profiles.len()
+        )));
+    }
+    for (i, profile) in ckpt.profiles.iter().enumerate() {
+        if let Some(set) = profile {
+            for p in set.projections() {
+                if p.coeffs.len() != d {
+                    return Err(StreamError::Checkpoint(format!(
+                        "cell-{i} constraint projects {} attributes; the schema has {d}",
+                        p.coeffs.len()
+                    )));
+                }
+            }
+        }
+    }
+    if ckpt.predictor.encoding().num_columns() != d {
+        return Err(StreamError::Checkpoint(format!(
+            "feature encoding covers {} columns; the schema has {d}",
+            ckpt.predictor.encoding().num_columns()
+        )));
+    }
+    if ckpt.predictor.model().kind() != ckpt.learner {
+        return Err(StreamError::Checkpoint(format!(
+            "model kind {} disagrees with the engine's learner {}",
+            ckpt.predictor.model().kind().name(),
+            ckpt.learner.name()
+        )));
+    }
+    if (ckpt.window.meta.len() as u64) > ckpt.seen {
+        return Err(StreamError::Checkpoint(format!(
+            "window holds {} tuples but only {} were ever seen",
+            ckpt.window.meta.len(),
+            ckpt.seen
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_gate_reads_the_version_first() {
+        // A document that is *only* a wrong version must report the
+        // version mismatch, not a missing-field error.
+        let err = EngineCheckpoint::from_json(r#"{"version": 999}"#).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::CheckpointVersion {
+                found: 999,
+                expected: CHECKPOINT_VERSION
+            }
+        ));
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error() {
+        for garbage in ["", "{", "[1,2", "null", r#"{"version": "one"}"#] {
+            assert!(
+                matches!(
+                    EngineCheckpoint::from_json(garbage),
+                    Err(StreamError::Checkpoint(_))
+                ),
+                "{garbage:?} must fail as Checkpoint"
+            );
+            assert!(ShardedCheckpoint::from_json(garbage).is_err());
+        }
+    }
+}

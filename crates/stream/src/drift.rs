@@ -9,7 +9,7 @@
 //! with a tolerance `delta` that absorbs stationary noise.
 
 /// Page–Hinkley configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PageHinkleyConfig {
     /// Tolerated upward deviation per observation; deviations below this
     /// never accumulate. Keeps a stationary stream quiet.
@@ -101,6 +101,51 @@ impl PageHinkley {
         self.minimum = 0.0;
         self.cooldown_left = 0;
     }
+
+    /// Snapshot the full detector state for checkpointing — the running
+    /// mean, the accumulated deviation, its minimum, and the warm-up /
+    /// cooldown position, so a restored detector neither reopens the
+    /// warm-up gap nor forgets a pending cooldown (no re-alert storm).
+    pub fn state(&self) -> PageHinkleyState {
+        PageHinkleyState {
+            n: self.n,
+            mean: self.mean,
+            cumulative: self.cumulative,
+            minimum: self.minimum,
+            cooldown_left: self.cooldown_left,
+        }
+    }
+
+    /// Rebuild a detector from a configuration plus a snapshotted state.
+    /// The restored detector's future alerts are bit-identical to the
+    /// original's on the same subsequent observation series.
+    pub fn from_state(config: PageHinkleyConfig, state: &PageHinkleyState) -> Self {
+        PageHinkley {
+            config,
+            n: state.n,
+            mean: state.mean,
+            cumulative: state.cumulative,
+            minimum: state.minimum,
+            cooldown_left: state.cooldown_left,
+        }
+    }
+}
+
+/// The serialisable mutable state of a [`PageHinkley`] detector (its
+/// configuration travels separately, inside the engine's `StreamConfig`).
+/// Every float round-trips bit-exactly through the JSON shim.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PageHinkleyState {
+    /// Observations since the last reset.
+    pub n: u64,
+    /// Running mean of the series.
+    pub mean: f64,
+    /// Accumulated deviation statistic.
+    pub cumulative: f64,
+    /// Running minimum of the accumulated deviation.
+    pub minimum: f64,
+    /// Observations still to ignore after the last alert.
+    pub cooldown_left: u64,
 }
 
 /// What kind of drift fired.
@@ -114,8 +159,30 @@ pub enum DriftKind {
     DisparateImpactFloor,
 }
 
+impl serde::Serialize for DriftKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(
+            match self {
+                DriftKind::ConformanceViolation => "conformance_violation",
+                DriftKind::DisparateImpactFloor => "disparate_impact_floor",
+            }
+            .into(),
+        )
+    }
+}
+
+impl serde::Deserialize for DriftKind {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        match v.as_str() {
+            Some("conformance_violation") => Ok(DriftKind::ConformanceViolation),
+            Some("disparate_impact_floor") => Ok(DriftKind::DisparateImpactFloor),
+            _ => Err(serde::Error::msg("unknown drift kind")),
+        }
+    }
+}
+
 /// A typed drift event emitted by the engine.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DriftAlert {
     /// Which kind of detector fired.
     pub kind: DriftKind,
@@ -132,14 +199,27 @@ pub struct DriftAlert {
 }
 
 impl DriftAlert {
-    /// Compact rendering for monitoring output.
+    /// Compact rendering for monitoring output (alias for the [`Display`]
+    /// impl, kept for callers that want an owned `String`).
+    ///
+    /// [`Display`]: std::fmt::Display
     pub fn one_line(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Human-readable one-liner, e.g.
+/// `[ALERT @9250] conformance drift in group 1: PH statistic 12.31 > λ=12.00`.
+impl std::fmt::Display for DriftAlert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
-            DriftKind::ConformanceViolation => format!(
+            DriftKind::ConformanceViolation => write!(
+                f,
                 "[ALERT @{}] conformance drift in group {}: PH statistic {:.2} > λ={:.2}",
                 self.at_tuple, self.group, self.statistic, self.threshold
             ),
-            DriftKind::DisparateImpactFloor => format!(
+            DriftKind::DisparateImpactFloor => write!(
+                f,
                 "[ALERT @{}] DI* {:.3} below floor {:.2} (disadvantaged group {})",
                 self.at_tuple, self.statistic, self.threshold, self.group
             ),

@@ -10,6 +10,7 @@
 //! re-runs ConFair on the window's contents — the non-invasive repair loop
 //! the paper's drift framing implies.
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig};
 use crate::monitor::FairnessSnapshot;
 use crate::window::{GroupCounts, SlidingWindow, SlotMeta};
@@ -75,8 +76,34 @@ pub enum RetrainPolicy {
     },
 }
 
+impl serde::Serialize for RetrainPolicy {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            RetrainPolicy::Never => serde::Value::String("never".into()),
+            RetrainPolicy::OnAlert { min_window } => serde::Value::Object(vec![(
+                "on_alert".into(),
+                serde::Value::Object(vec![("min_window".into(), min_window.to_value())]),
+            )]),
+        }
+    }
+}
+
+impl serde::Deserialize for RetrainPolicy {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        if v.as_str() == Some("never") {
+            return Ok(RetrainPolicy::Never);
+        }
+        if let Some(on_alert) = v.get("on_alert") {
+            return Ok(RetrainPolicy::OnAlert {
+                min_window: serde::Deserialize::from_value(on_alert.get_or_err("min_window")?)?,
+            });
+        }
+        Err(serde::Error::msg("unknown retrain policy"))
+    }
+}
+
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct StreamConfig {
     /// Sliding-window capacity (tuples).
     pub window: usize,
@@ -137,6 +164,44 @@ pub struct IngestOutcome {
 type CellProfiles = [[Option<ConstraintSet>; 2]; 2];
 
 /// The online fairness-drift monitoring and serving engine.
+///
+/// # Example
+///
+/// Bootstrap from reference data, serve a micro-batch, then checkpoint and
+/// restore — the restored engine picks up at the exact same state:
+///
+/// ```
+/// use cf_datasets::stream::{DriftStream, DriftStreamSpec};
+/// use cf_learners::LearnerKind;
+/// use cf_stream::{EngineCheckpoint, StreamConfig, StreamEngine, StreamTuple};
+/// use confair_core::confair::{AlphaMode, ConFairConfig};
+///
+/// let spec = DriftStreamSpec::default();
+/// let reference = spec.reference(600, 7);
+/// let config = StreamConfig {
+///     window: 256,
+///     // Fixed degrees skip the α grid search — quick to bootstrap.
+///     confair: ConFairConfig {
+///         alpha: AlphaMode::Fixed { alpha_u: 2.0, alpha_w: 1.0 },
+///         ..ConFairConfig::default()
+///     },
+///     ..StreamConfig::default()
+/// };
+/// let mut engine = StreamEngine::from_reference(&reference, LearnerKind::Logistic, 7, config)?;
+///
+/// let mut stream = DriftStream::new(spec, 1);
+/// let batch = StreamTuple::rows_from_dataset(&stream.next_batch(100))?;
+/// let outcome = engine.ingest(&batch)?;
+/// assert_eq!(outcome.decisions.len(), 100);
+/// println!("{}", outcome.snapshot); // windowed DI*, gaps, violation rates
+///
+/// // Durable state: round-trip through JSON, restore, same position.
+/// let document = engine.checkpoint()?.to_json();
+/// let restored = StreamEngine::restore(EngineCheckpoint::from_json(&document)?)?;
+/// assert_eq!(restored.tuples_seen(), engine.tuples_seen());
+/// assert_eq!(restored.snapshot(), engine.snapshot());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub struct StreamEngine {
     schema: Vec<String>,
     learner: LearnerKind,
@@ -355,6 +420,84 @@ impl StreamEngine {
         }
         self.retrains += 1;
         Ok(())
+    }
+
+    /// Snapshot the engine's complete serving and monitoring state as a
+    /// versioned [`EngineCheckpoint`]: model parameters, feature encoding,
+    /// conformance profiles, the sliding window, both Page–Hinkley
+    /// detectors (with their warm-up/cooldown position), the alert log,
+    /// and the configuration. Restoring via [`StreamEngine::restore`]
+    /// yields an engine whose subsequent decisions, snapshots, and alerts
+    /// are bit-identical to this engine's — no warm-up gap, no re-alert
+    /// storm.
+    ///
+    /// # Errors
+    /// [`StreamError::Checkpoint`] when the predictor does not support
+    /// serialisation (only the built-in single-model ConFair predictor
+    /// does today).
+    pub fn checkpoint(&self) -> Result<EngineCheckpoint> {
+        let predictor = self.predictor.state().ok_or_else(|| {
+            StreamError::Checkpoint("this engine's predictor does not support checkpointing".into())
+        })?;
+        Ok(EngineCheckpoint {
+            version: crate::checkpoint::CHECKPOINT_VERSION,
+            schema: self.schema.clone(),
+            learner: self.learner,
+            config: self.config.clone(),
+            predictor,
+            profiles: self
+                .profiles
+                .iter()
+                .flat_map(|row| row.iter().cloned())
+                .collect(),
+            window: self.window.state(),
+            detectors: self.detectors.iter().map(PageHinkley::state).collect(),
+            alerts: self.alerts.clone(),
+            seen: self.seen,
+            retrains: self.retrains,
+            floor_quiet_until: self.floor_quiet_until,
+        })
+    }
+
+    /// Rebuild an engine from a checkpoint. The restored engine serves,
+    /// monitors, and alerts bit-identically to the engine that produced
+    /// the checkpoint — including the retraining hook, whose window
+    /// contents, split seed, and detector resets all derive from the
+    /// restored state.
+    ///
+    /// # Errors
+    /// [`StreamError::CheckpointVersion`] for an incompatible format
+    /// version; [`StreamError::Checkpoint`] for any internal inconsistency
+    /// (stride/schema disagreement, missing detector states, an encoding
+    /// fitted on a different column count, …). Validation happens up
+    /// front: a corrupted checkpoint never half-loads.
+    pub fn restore(ckpt: EngineCheckpoint) -> Result<Self> {
+        crate::checkpoint::validate(&ckpt)?;
+        let window = SlidingWindow::from_state(&ckpt.window)?;
+        let predictor = confair_core::SingleModelPredictor::from_state(ckpt.predictor)
+            .map_err(|e| StreamError::Checkpoint(e.to_string()))?;
+        let mut profiles: CellProfiles = Default::default();
+        for (i, profile) in ckpt.profiles.into_iter().enumerate() {
+            profiles[i / 2][i % 2] = profile;
+        }
+        let detectors = [
+            PageHinkley::from_state(ckpt.config.detector, &ckpt.detectors[0]),
+            PageHinkley::from_state(ckpt.config.detector, &ckpt.detectors[1]),
+        ];
+        Ok(StreamEngine {
+            schema: ckpt.schema,
+            learner: ckpt.learner,
+            config: ckpt.config,
+            predictor: Box::new(predictor),
+            profiles,
+            window,
+            detectors,
+            alerts: ckpt.alerts,
+            seen: ckpt.seen,
+            retrains: ckpt.retrains,
+            floor_quiet_until: ckpt.floor_quiet_until,
+            scratch: Vec::new(),
+        })
     }
 
     /// The windowed fairness reading. O(1).

@@ -21,22 +21,30 @@
 //! * [`sharded::ShardedEngine`] — a router over N independent per-shard
 //!   engines with parallel ingest and exact cross-shard aggregate
 //!   snapshots, the path from one stream to partitioned production
-//!   traffic.
+//!   traffic;
+//! * [`checkpoint::EngineCheckpoint`] — versioned, durable
+//!   checkpoint/restore for both engines: a restored monitor resumes
+//!   bit-identically, with no warm-up gap and no re-alert storm.
 //!
-//! See `examples/stream_monitor.rs` for the end-to-end scenario and
-//! `crates/bench/benches/stream_ingest.rs` for the throughput benchmark.
+//! See `examples/stream_monitor.rs` and `examples/checkpoint_restore.rs`
+//! for the end-to-end scenarios and `crates/bench/benches/stream_ingest.rs`
+//! for the throughput benchmark.
 
+#![warn(missing_docs)]
+
+pub mod checkpoint;
 pub mod drift;
 pub mod engine;
 pub mod monitor;
 pub mod sharded;
 pub mod window;
 
-pub use drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig};
+pub use checkpoint::{EngineCheckpoint, ShardedCheckpoint, CHECKPOINT_VERSION};
+pub use drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig, PageHinkleyState};
 pub use engine::{IngestOutcome, RetrainPolicy, StreamConfig, StreamEngine, StreamTuple};
 pub use monitor::FairnessSnapshot;
 pub use sharded::{ShardedEngine, ShardedOutcome, ShardedTuple};
-pub use window::{GroupCounts, SlidingWindow, SlotMeta};
+pub use window::{GroupCounts, SlidingWindow, SlotMeta, WindowState};
 
 /// Errors surfaced by the streaming subsystem.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +77,18 @@ pub enum StreamError {
         /// How many shards the engine has.
         shards: usize,
     },
+    /// A checkpoint is malformed, internally inconsistent, or unusable
+    /// (e.g. truncated JSON, a window snapshot wider than its schema, or a
+    /// predictor that does not support checkpointing).
+    Checkpoint(String),
+    /// A checkpoint was written by an incompatible format version.
+    CheckpointVersion {
+        /// The version recorded in the checkpoint document.
+        found: u32,
+        /// The version this build reads and writes
+        /// ([`checkpoint::CHECKPOINT_VERSION`]).
+        expected: u32,
+    },
 }
 
 impl StreamError {
@@ -91,6 +111,13 @@ impl std::fmt::Display for StreamError {
             StreamError::ConfigMismatch(msg) => write!(f, "shard config mismatch: {msg}"),
             StreamError::BadShard { shard, shards } => {
                 write!(f, "shard id {shard} out of range for {shards} shards")
+            }
+            StreamError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            StreamError::CheckpointVersion { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint version {found} (this build reads {expected})"
+                )
             }
         }
     }

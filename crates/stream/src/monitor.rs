@@ -85,13 +85,26 @@ impl FairnessSnapshot {
         self.di_star.map(|d| d >= self.di_floor)
     }
 
-    /// Compact single-line rendering for monitoring output.
+    /// Compact single-line rendering for monitoring output (alias for the
+    /// [`Display`] impl, kept for callers that want an owned `String`).
+    ///
+    /// [`Display`]: std::fmt::Display
     pub fn one_line(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Human-readable one-liner, e.g.
+/// `window=2000   DI*=0.913 dp_gap=0.051 eo_gap=0.042 viol(W)=0.012 viol(U)=0.019`
+/// (`--` marks an unobserved group's empty denominator).
+impl std::fmt::Display for FairnessSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let fmt = |v: Option<f64>| match v {
             Some(x) => format!("{x:.3}"),
             None => "--".to_string(),
         };
-        format!(
+        write!(
+            f,
             "window={:<6} DI*={} dp_gap={} eo_gap={} viol(W)={} viol(U)={}",
             self.window_len,
             fmt(self.di_star),

@@ -15,6 +15,7 @@
 //! byte-identical to running that shard's engine standalone (pinned by the
 //! `sharded_consistency` integration test).
 
+use crate::checkpoint::ShardedCheckpoint;
 use crate::engine::{IngestOutcome, StreamEngine, StreamTuple};
 use crate::monitor::FairnessSnapshot;
 use crate::window::GroupCounts;
@@ -155,6 +156,55 @@ impl ShardedEngine {
     /// parity gaps, and violation rates over the union of all windows.
     pub fn snapshot(&self) -> FairnessSnapshot {
         FairnessSnapshot::from_counts(&self.merged_counts(), self.shards[0].config().di_floor)
+    }
+
+    /// Snapshot every shard coherently as one [`ShardedCheckpoint`].
+    ///
+    /// Coherence is structural, not locked: [`ShardedEngine::ingest`]
+    /// takes `&mut self`, so this `&self` borrow can only run between
+    /// batches — no shard can be mid-ingest while its neighbours are
+    /// captured, and the per-shard checkpoints always describe one
+    /// consistent fleet state.
+    ///
+    /// # Errors
+    /// [`StreamError::Checkpoint`] when any shard's predictor does not
+    /// support serialisation.
+    pub fn checkpoint(&self) -> Result<ShardedCheckpoint> {
+        Ok(ShardedCheckpoint {
+            version: crate::checkpoint::CHECKPOINT_VERSION,
+            shards: self
+                .shards
+                .iter()
+                .map(StreamEngine::checkpoint)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+
+    /// Rebuild a fleet from a sharded checkpoint. Each shard restores
+    /// independently (bit-identical to its pre-checkpoint self), then the
+    /// fleet is re-validated through [`ShardedEngine::from_engines`] so a
+    /// tampered checkpoint with mismatched schemas or DI* floors is
+    /// rejected with the same typed errors as any other inconsistent
+    /// fleet.
+    ///
+    /// # Errors
+    /// [`StreamError::CheckpointVersion`] for an incompatible format
+    /// version; [`StreamError::Checkpoint`], [`StreamError::Schema`],
+    /// [`StreamError::ConfigMismatch`], or [`StreamError::NoShards`] for
+    /// inconsistent contents.
+    pub fn restore(ckpt: ShardedCheckpoint) -> Result<Self> {
+        if ckpt.version != crate::checkpoint::CHECKPOINT_VERSION {
+            return Err(StreamError::CheckpointVersion {
+                found: ckpt.version,
+                expected: crate::checkpoint::CHECKPOINT_VERSION,
+            });
+        }
+        Self::from_engines(
+            ckpt.shards
+                .into_iter()
+                .map(StreamEngine::restore)
+                .collect::<Result<Vec<_>>>()?,
+        )
     }
 
     /// Route, score, and monitor one mixed-shard micro-batch. Per-shard

@@ -17,7 +17,7 @@ use crate::{Result, StreamError};
 
 /// The per-tuple metadata retained in the window (the feature vector lives
 /// in the window's arena, not here).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SlotMeta {
     /// Group id (0 = majority `W`, 1 = minority `U`).
     pub group: u8,
@@ -194,6 +194,75 @@ impl SlidingWindow {
             )
         })
     }
+
+    /// Snapshot the window's logical contents for checkpointing: capacity,
+    /// stride, and the retained tuples **oldest-first**. The physical ring
+    /// offset is not recorded — it is unobservable (iteration order,
+    /// eviction order, and counters are all phase-independent), so
+    /// [`SlidingWindow::from_state`] repacks the slots from phase 0.
+    pub fn state(&self) -> WindowState {
+        let mut meta = Vec::with_capacity(self.len);
+        let mut features = Vec::with_capacity(self.len * self.dim);
+        for (m, f) in self.iter() {
+            meta.push(m);
+            features.extend_from_slice(f);
+        }
+        WindowState {
+            capacity: self.capacity,
+            dim: self.dim,
+            meta,
+            features,
+        }
+    }
+
+    /// Rebuild a window from a snapshot by replaying its slots through
+    /// [`SlidingWindow::push`] — the counters are recomputed rather than
+    /// trusted, so a tampered snapshot cannot desynchronise them.
+    ///
+    /// # Errors
+    /// Rejects zero capacities, more slots than capacity, feature buffers
+    /// that disagree with `len × dim`, and slots with non-binary groups or
+    /// labels — a corrupted checkpoint fails loudly, it never half-loads.
+    pub fn from_state(state: &WindowState) -> Result<Self> {
+        if state.meta.len() > state.capacity {
+            return Err(StreamError::Checkpoint(format!(
+                "window snapshot holds {} slots but capacity is {}",
+                state.meta.len(),
+                state.capacity
+            )));
+        }
+        if state.features.len() != state.meta.len() * state.dim {
+            return Err(StreamError::Checkpoint(format!(
+                "window snapshot has {} feature values for {} slots of stride {}",
+                state.features.len(),
+                state.meta.len(),
+                state.dim
+            )));
+        }
+        let mut window = SlidingWindow::new(state.capacity, state.dim)?;
+        for (i, meta) in state.meta.iter().enumerate() {
+            if meta.label >= 2 {
+                return Err(StreamError::BadLabel(meta.label));
+            }
+            window.push(*meta, &state.features[i * state.dim..(i + 1) * state.dim])?;
+        }
+        Ok(window)
+    }
+}
+
+/// The serialisable logical contents of a [`SlidingWindow`] (see
+/// [`SlidingWindow::state`]). Feature values are stored flat, stride `dim`,
+/// oldest slot first.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowState {
+    /// Maximum retained tuples.
+    pub capacity: usize,
+    /// Features per tuple.
+    pub dim: usize,
+    /// Retained slot metadata, oldest first.
+    pub meta: Vec<SlotMeta>,
+    /// Flat feature buffer (`meta.len() × dim` values), oldest slot first.
+    pub features: Vec<f64>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,379 @@
+//! The checkpoint/restore contract, property-checked: an engine restored
+//! from a serialised checkpoint must be **observationally identical** to
+//! one that never stopped — bit-identical decisions, snapshots, alerts,
+//! counters, and retrain behaviour on the same subsequent tuple sequence,
+//! across random window sizes, shard counts, batch shapes, and drift
+//! onsets (including onsets that straddle the checkpoint, the
+//! restore-under-drift case the warm-up-gap argument is about). Corrupted
+//! and version-mismatched documents must fail with typed errors, never
+//! panics.
+
+use cf_datasets::stream::{DriftStream, DriftStreamCheckpoint, DriftStreamSpec};
+use cf_learners::LearnerKind;
+use cf_stream::{
+    EngineCheckpoint, RetrainPolicy, ShardedCheckpoint, ShardedEngine, ShardedTuple, StreamConfig,
+    StreamEngine, StreamError, StreamTuple, CHECKPOINT_VERSION,
+};
+use confair_core::confair::{AlphaMode, ConFairConfig};
+use proptest::prelude::*;
+
+fn spec(drift_onset: u64) -> DriftStreamSpec {
+    DriftStreamSpec {
+        drift_onset,
+        ..DriftStreamSpec::default()
+    }
+}
+
+/// Small windows/floors and fixed-α ConFair keep per-case bootstraps and
+/// on-alert retrains cheap without weakening the bit-identity contract.
+fn config(window: usize, retrain: RetrainPolicy) -> StreamConfig {
+    StreamConfig {
+        window,
+        floor_min_window: 32,
+        floor_cooldown: 400,
+        retrain,
+        confair: ConFairConfig {
+            alpha: AlphaMode::Fixed {
+                alpha_u: 2.0,
+                alpha_w: 1.0,
+            },
+            ..ConFairConfig::default()
+        },
+        ..StreamConfig::default()
+    }
+}
+
+/// Assert every observable of two engines agrees exactly.
+fn assert_engines_identical(a: &StreamEngine, b: &StreamEngine) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.tuples_seen(), b.tuples_seen());
+    prop_assert_eq!(a.retrain_count(), b.retrain_count());
+    prop_assert_eq!(a.window_len(), b.window_len());
+    prop_assert_eq!(a.window_counts(), b.window_counts());
+    prop_assert_eq!(a.alerts(), b.alerts());
+    prop_assert_eq!(a.snapshot(), b.snapshot());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// checkpoint → serialise → drop → parse → restore → ingest(rest)
+    /// ≡ uninterrupted run, with the stream itself also resumed from a
+    /// saved RNG position.
+    #[test]
+    fn restored_engine_is_bit_identical_to_uninterrupted(
+        window in 64usize..400,
+        // Onsets before, around, and after the checkpoint point: restores
+        // must be exact mid-drift, not just in the stationary regime.
+        drift_onset in 0u64..1_500,
+        batch_size in 20usize..400,
+        batches_before in 1usize..4,
+        batches_after in 1usize..4,
+        stream_seed in 0u64..1_000,
+        retrain_on_alert in 0u8..2,
+    ) {
+        let retrain = if retrain_on_alert == 1 {
+            RetrainPolicy::OnAlert { min_window: 48 }
+        } else {
+            RetrainPolicy::Never
+        };
+        let reference = spec(drift_onset).reference(800, 11);
+        let mut uninterrupted = StreamEngine::from_reference(
+            &reference, LearnerKind::Logistic, 11, config(window, retrain),
+        ).unwrap();
+
+        let mut stream = DriftStream::new(spec(drift_onset), stream_seed);
+        for _ in 0..batches_before {
+            let batch =
+                StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+            uninterrupted.ingest(&batch).unwrap();
+        }
+
+        // Take both checkpoints, push them through their JSON documents
+        // (the durable form), and "restart the process": everything the
+        // restored side uses comes from the parsed documents.
+        let engine_doc = uninterrupted.checkpoint().unwrap().to_json();
+        let stream_doc = serde_json::to_string(&stream.checkpoint()).unwrap();
+        let mut restored =
+            StreamEngine::restore(EngineCheckpoint::from_json(&engine_doc).unwrap()).unwrap();
+        let stream_ckpt: DriftStreamCheckpoint = serde_json::from_str(&stream_doc).unwrap();
+        let mut resumed_stream = DriftStream::restore(&stream_ckpt).unwrap();
+
+        assert_engines_identical(&uninterrupted, &restored)?;
+
+        for _ in 0..batches_after {
+            let live = stream.next_batch(batch_size);
+            let replayed = resumed_stream.next_batch(batch_size);
+            prop_assert_eq!(&live, &replayed, "resumed stream must replay the same tuples");
+
+            let batch = StreamTuple::rows_from_dataset(&live).unwrap();
+            let a = uninterrupted.ingest(&batch).unwrap();
+            let b = restored.ingest(&batch).unwrap();
+            prop_assert_eq!(&a.decisions, &b.decisions);
+            prop_assert_eq!(&a.alerts, &b.alerts);
+            prop_assert_eq!(&a.snapshot, &b.snapshot);
+            prop_assert_eq!(a.retrained, b.retrained);
+            prop_assert_eq!(
+                a.retrain_error.is_some(), b.retrain_error.is_some(),
+                "retrain failures must replay identically"
+            );
+        }
+        assert_engines_identical(&uninterrupted, &restored)?;
+    }
+
+    /// The sharded variant: all shards snapshot coherently between batches
+    /// and the restored fleet (including its cross-shard aggregate
+    /// snapshot) replays bit-identically.
+    #[test]
+    fn restored_sharded_fleet_is_bit_identical(
+        n_shards in 1usize..=3,
+        window in 64usize..300,
+        drift_onset in 0u64..800,
+        batch_size in 30usize..600,
+        stream_seed in 0u64..1_000,
+        route_salt in 0u64..1_000,
+    ) {
+        let reference = spec(drift_onset).reference(800, 17);
+        let cfg = config(window, RetrainPolicy::Never);
+        let mut uninterrupted = ShardedEngine::from_reference(
+            &reference, LearnerKind::Logistic, 17, cfg, n_shards,
+        ).unwrap();
+
+        let route = |i: usize| -> u32 {
+            let z = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(route_salt);
+            ((z >> 7) % n_shards as u64) as u32
+        };
+        let mut stream = DriftStream::new(spec(drift_onset), stream_seed);
+        let routed_batch = |stream: &mut DriftStream| -> Vec<ShardedTuple> {
+            StreamTuple::rows_from_dataset(&stream.next_batch(batch_size))
+                .unwrap()
+                .into_iter()
+                .enumerate()
+                .map(|(i, tuple)| ShardedTuple { shard: route(i), tuple })
+                .collect()
+        };
+
+        uninterrupted.ingest(&routed_batch(&mut stream)).unwrap();
+
+        let doc = uninterrupted.checkpoint().unwrap().to_json();
+        let mut restored =
+            ShardedEngine::restore(ShardedCheckpoint::from_json(&doc).unwrap()).unwrap();
+        prop_assert_eq!(restored.shard_count(), n_shards);
+
+        for _ in 0..2 {
+            let batch = routed_batch(&mut stream);
+            let a = uninterrupted.ingest(&batch).unwrap();
+            let b = restored.ingest(&batch).unwrap();
+            prop_assert_eq!(&a.decisions, &b.decisions);
+            prop_assert_eq!(&a.snapshot, &b.snapshot);
+            for (sa, sb) in a.per_shard.iter().zip(&b.per_shard) {
+                prop_assert_eq!(&sa.alerts, &sb.alerts);
+                prop_assert_eq!(&sa.snapshot, &sb.snapshot);
+            }
+        }
+        prop_assert_eq!(uninterrupted.tuples_seen(), restored.tuples_seen());
+        prop_assert_eq!(uninterrupted.merged_counts(), restored.merged_counts());
+        prop_assert_eq!(uninterrupted.snapshot(), restored.snapshot());
+    }
+}
+
+/// The GBT path exercises the whole tree serialisation (split thresholds,
+/// leaf weights, node indices) — one deterministic case is enough on top of
+/// the logistic property sweep.
+#[test]
+fn gbt_engine_round_trips_bit_identically() {
+    let reference = spec(300).reference(600, 23);
+    let mut uninterrupted = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Gbt,
+        23,
+        config(192, RetrainPolicy::Never),
+    )
+    .unwrap();
+    let mut stream = DriftStream::new(spec(300), 29);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(220)).unwrap();
+    uninterrupted.ingest(&batch).unwrap();
+
+    let doc = uninterrupted.checkpoint().unwrap().to_json();
+    let mut restored = StreamEngine::restore(EngineCheckpoint::from_json(&doc).unwrap()).unwrap();
+
+    for _ in 0..3 {
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(180)).unwrap();
+        let a = uninterrupted.ingest(&batch).unwrap();
+        let b = restored.ingest(&batch).unwrap();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.alerts, b.alerts);
+        assert_eq!(a.snapshot, b.snapshot);
+    }
+    assert_eq!(uninterrupted.alerts(), restored.alerts());
+    assert_eq!(uninterrupted.window_counts(), restored.window_counts());
+}
+
+/// A tampered GBT tree whose split consults a feature index beyond the
+/// model's width must be rejected at parse time — accepting it would panic
+/// with index-out-of-bounds inside `predict_row` on the first post-restore
+/// ingest.
+#[test]
+fn out_of_range_tree_feature_index_is_rejected_at_parse_time() {
+    let reference = spec(u64::MAX).reference(400, 31);
+    let mut engine = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Gbt,
+        31,
+        config(128, RetrainPolicy::Never),
+    )
+    .unwrap();
+    let batch = StreamTuple::rows_from_dataset(&DriftStream::new(spec(u64::MAX), 5).next_batch(64))
+        .unwrap();
+    engine.ingest(&batch).unwrap();
+
+    let json = engine.checkpoint().unwrap().to_json();
+    assert!(json.contains("\"feature\":"), "GBT trees must have splits");
+    let tampered = json.replacen("\"feature\":0", "\"feature\":99", 1);
+    assert_ne!(json, tampered, "a feature-0 split must exist to tamper");
+    match EngineCheckpoint::from_json(&tampered) {
+        Err(StreamError::Checkpoint(msg)) => {
+            assert!(msg.contains("feature 99"), "got: {msg}")
+        }
+        other => panic!("expected a typed Checkpoint error, got {other:?}"),
+    }
+}
+
+/// One cheap fitted engine + checkpoint for the corruption tests.
+fn small_checkpoint() -> EngineCheckpoint {
+    let reference = spec(u64::MAX).reference(400, 3);
+    let mut engine = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        3,
+        config(128, RetrainPolicy::Never),
+    )
+    .unwrap();
+    let batch = StreamTuple::rows_from_dataset(&DriftStream::new(spec(u64::MAX), 5).next_batch(96))
+        .unwrap();
+    engine.ingest(&batch).unwrap();
+    engine.checkpoint().unwrap()
+}
+
+#[test]
+fn version_mismatch_is_a_typed_error() {
+    let json = small_checkpoint()
+        .to_json()
+        .replacen("\"version\":1", "\"version\":2", 1);
+    assert!(matches!(
+        EngineCheckpoint::from_json(&json),
+        Err(StreamError::CheckpointVersion {
+            found: 2,
+            expected: CHECKPOINT_VERSION
+        })
+    ));
+
+    let mut ckpt = small_checkpoint();
+    ckpt.version = 7;
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::CheckpointVersion { found: 7, .. })
+    ));
+}
+
+#[test]
+fn truncated_and_garbled_documents_are_typed_errors() {
+    let json = small_checkpoint().to_json();
+    for cut in [1, json.len() / 3, json.len() - 1] {
+        assert!(
+            matches!(
+                EngineCheckpoint::from_json(&json[..cut]),
+                Err(StreamError::Checkpoint(_))
+            ),
+            "truncation at {cut} must fail as Checkpoint"
+        );
+    }
+    assert!(matches!(
+        EngineCheckpoint::from_json(&json.replacen("\"schema\"", "\"schemo\"", 1)),
+        Err(StreamError::Checkpoint(_))
+    ));
+}
+
+#[test]
+fn internally_inconsistent_checkpoints_are_rejected() {
+    // Window stride disagreeing with the schema.
+    let mut ckpt = small_checkpoint();
+    ckpt.window.dim += 1;
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // Window capacity disagreeing with the configured window.
+    let mut ckpt = small_checkpoint();
+    ckpt.config.window += 1;
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // A detector state gone missing.
+    let mut ckpt = small_checkpoint();
+    ckpt.detectors.pop();
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // A cell profile gone missing.
+    let mut ckpt = small_checkpoint();
+    ckpt.profiles.pop();
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // A non-binary label smuggled into the window.
+    let mut ckpt = small_checkpoint();
+    ckpt.window.meta[0].label = 3;
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::BadLabel(3))
+    ));
+
+    // More window slots than the feature buffer can back.
+    let mut ckpt = small_checkpoint();
+    ckpt.window.features.pop();
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+}
+
+#[test]
+fn sharded_restore_revalidates_fleet_coherence() {
+    let reference = spec(u64::MAX).reference(400, 9);
+    let engine = ShardedEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        9,
+        config(128, RetrainPolicy::Never),
+        2,
+    )
+    .unwrap();
+    let mut ckpt = engine.checkpoint().unwrap();
+
+    // Tamper one shard's DI* floor: the restored fleet would judge the
+    // aggregate by inconsistent floors, so from_engines must reject it.
+    ckpt.shards[1].config.di_floor = 0.9;
+    assert!(matches!(
+        ShardedEngine::restore(ckpt),
+        Err(StreamError::ConfigMismatch(_))
+    ));
+
+    let empty = ShardedCheckpoint {
+        version: CHECKPOINT_VERSION,
+        shards: Vec::new(),
+    };
+    assert!(matches!(
+        ShardedEngine::restore(empty),
+        Err(StreamError::NoShards)
+    ));
+}

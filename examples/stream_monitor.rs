@@ -52,7 +52,7 @@ fn main() {
         let events: Vec<String> = outcome
             .alerts
             .iter()
-            .map(|a| a.one_line())
+            .map(DriftAlert::to_string)
             .chain(
                 outcome
                     .retrained
@@ -81,7 +81,7 @@ fn main() {
 
     // 3. The verdict.
     let snapshot = engine.snapshot();
-    println!("\nfinal window: {}", snapshot.one_line());
+    println!("\nfinal window: {snapshot}");
     println!(
         "alerts: {} ({} retrain{})",
         engine.alerts().len(),

@@ -33,15 +33,16 @@ pub mod prelude {
     pub use cf_data::{Column, Dataset, GroupSpec, SplitRatios};
     pub use cf_datasets::{
         realsim::RealWorldSpec,
-        stream::{DriftStream, DriftStreamSpec, ShardedDriftStream},
+        stream::{DriftStream, DriftStreamCheckpoint, DriftStreamSpec, ShardedDriftStream},
         synthgen::SynSpec,
     };
     pub use cf_density::{density_filter, Kde};
     pub use cf_learners::{Learner, LearnerKind};
     pub use cf_metrics::{FairnessReport, GroupConfusion};
     pub use cf_stream::{
-        DriftAlert, DriftKind, FairnessSnapshot, PageHinkleyConfig, RetrainPolicy, ShardedEngine,
-        ShardedOutcome, ShardedTuple, StreamConfig, StreamEngine, StreamTuple,
+        DriftAlert, DriftKind, EngineCheckpoint, FairnessSnapshot, PageHinkleyConfig,
+        RetrainPolicy, ShardedCheckpoint, ShardedEngine, ShardedOutcome, ShardedTuple,
+        StreamConfig, StreamEngine, StreamTuple,
     };
     pub use confair_core::{
         confair::{ConFair, ConFairConfig, FairnessTarget},

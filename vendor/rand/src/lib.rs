@@ -159,6 +159,29 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw generator state — a shim extension (upstream gates
+        /// `StdRng` serialisation behind the `serde1` feature) used by the
+        /// workspace's checkpoint/restore machinery to resume a stream at
+        /// its exact RNG position instead of replaying from the seed.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator positioned at a previously captured
+        /// [`StdRng::state`]. An all-zero state is a fixed point of
+        /// xoshiro256++ and is rejected by substituting the seeding guard
+        /// constant, exactly as `seed_from_u64` does.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s.iter().all(|&w| w == 0) {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 0, 0, 0],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
