@@ -8,7 +8,11 @@
 //! workloads come from `cf_bench::stream_load`, shared with the
 //! `run_stream_bench` trajectory binary.
 
-use cf_bench::stream_load::{fresh_engine, fresh_sharded_engine, pregenerate, pregenerate_sharded};
+use cf_bench::stream_load::{
+    fresh_async_engine, fresh_engine, fresh_retraining_engine, fresh_sharded_engine, pregenerate,
+    pregenerate_sharded,
+};
+use cf_stream::AsyncConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
@@ -101,11 +105,47 @@ fn report_sustained_throughput(_c: &mut Criterion) {
     );
 }
 
+fn bench_sync_vs_async_ingest(c: &mut Criterion) {
+    // What one ingest call costs the *caller*: the sync engine pays for
+    // scoring plus all monitoring inline; the async engine returns after
+    // the forward pass and a queue hand-off. (Criterion's steady drumbeat
+    // keeps the async queue drained between iterations, so this measures
+    // the uncontended score path; the drifting/retraining tail is covered
+    // by `run_stream_bench`'s latency section.)
+    let mut group = c.benchmark_group("stream_ingest/sync_vs_async");
+    group.sample_size(20);
+    let batch = 512usize;
+    let batches = pregenerate(32, batch);
+
+    let mut sync_engine = fresh_retraining_engine(4_096);
+    let mut next = 0usize;
+    group.bench_function("sync", |b| {
+        b.iter(|| {
+            let outcome = sync_engine.ingest(black_box(&batches[next])).unwrap();
+            next = (next + 1) % batches.len();
+            outcome.decisions.len()
+        });
+    });
+
+    let mut async_engine = fresh_async_engine(4_096, AsyncConfig::default());
+    let mut next = 0usize;
+    group.bench_function("async", |b| {
+        b.iter(|| {
+            let decisions = async_engine.ingest(black_box(&batches[next])).unwrap();
+            next = (next + 1) % batches.len();
+            decisions.len()
+        });
+    });
+    async_engine.flush().unwrap();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ingest_batches,
     bench_window_size_independence,
     bench_sharded_ingest,
+    bench_sync_vs_async_ingest,
     report_sustained_throughput
 );
 criterion_main!(benches);

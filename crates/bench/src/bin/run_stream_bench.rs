@@ -1,16 +1,20 @@
 //! The stream-engine throughput trajectory: sustained tuples/sec through
 //! the full `ingest` path (forward pass, conformance check, O(1) counters,
 //! Page–Hinkley step) for the single-shard and sharded configurations, plus
-//! the window-size flatness check — written to `BENCH_stream.json` so
-//! successive PRs can track the numbers.
+//! the window-size flatness check and the sync-vs-async ingest-latency
+//! comparison on a drifting (retraining) workload — written to
+//! `BENCH_stream.json` so successive PRs can track the numbers.
 //!
 //! Arguments: `--quick` shrinks every workload for CI smoke runs;
 //! `--out=<path>` overrides the artifact path (default:
 //! `BENCH_stream.json` in the working directory). Workloads come from
 //! `cf_bench::stream_load`, shared with the criterion bench.
 
-use cf_bench::stream_load::{fresh_engine, fresh_sharded_engine, pregenerate, pregenerate_sharded};
-use cf_stream::{ShardedEngine, ShardedTuple, StreamEngine, StreamTuple};
+use cf_bench::stream_load::{
+    drifting_spec, fresh_async_engine, fresh_engine, fresh_retraining_engine, fresh_sharded_engine,
+    percentile_us, pregenerate, pregenerate_from, pregenerate_sharded,
+};
+use cf_stream::{AsyncConfig, ShardedEngine, ShardedTuple, StreamEngine, StreamTuple};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -61,6 +65,105 @@ fn drive_sharded(
         next = (next + 1) % batches.len();
     }
     (ingested, started.elapsed().as_secs_f64())
+}
+
+/// The sync-vs-async comparison on a drifting workload with on-alert
+/// retraining: the sync engine pays for monitoring (and the occasional
+/// full ConFair retrain) inside every `ingest` call; the async engine
+/// returns after the forward pass and lets the background monitor absorb
+/// that work. Returns `(configs, summary)` JSON values.
+fn latency_comparison(quick: bool) -> (Vec<serde_json::Value>, serde_json::Value) {
+    let batch = 512;
+    let n_batches = if quick { 40 } else { 200 };
+    // Drift begins a third of the way in, so the workload covers the
+    // stationary regime, the detection churn, and the retrain(s).
+    let onset = (n_batches * batch / 3) as u64;
+    let window = 4_096;
+    let spec = drifting_spec(onset);
+    let batches = pregenerate_from(spec, n_batches, batch);
+    let total: usize = batches.iter().map(Vec::len).sum();
+
+    let mut sync_engine = fresh_retraining_engine(window);
+    let mut sync_lat = Vec::with_capacity(batches.len());
+    let started = Instant::now();
+    for b in &batches {
+        let call = Instant::now();
+        sync_engine.ingest(black_box(b)).expect("sync ingest");
+        sync_lat.push(call.elapsed().as_secs_f64() * 1e6);
+    }
+    let sync_secs = started.elapsed().as_secs_f64();
+    let sync_retrains = sync_engine.retrain_count();
+
+    // A queue deep enough to absorb a full retrain's worth of scoring
+    // (256 batches ≈ 13 ms of forward passes) keeps the score path from
+    // inheriting the retrain stall through backpressure.
+    let mut async_engine = fresh_async_engine(
+        window,
+        AsyncConfig {
+            queue_depth: 256,
+            ..AsyncConfig::default()
+        },
+    );
+    let mut async_lat = Vec::with_capacity(batches.len());
+    let started = Instant::now();
+    for b in &batches {
+        // `ingest_owned` is the zero-copy hand-off: a real pipeline owns
+        // its arriving batches, so the clone here is bench scaffolding and
+        // stays outside the per-call clock (the wall clock still pays it).
+        let owned = b.clone();
+        let call = Instant::now();
+        async_engine
+            .ingest_owned(black_box(owned))
+            .expect("async ingest");
+        async_lat.push(call.elapsed().as_secs_f64() * 1e6);
+    }
+    // Sustained throughput is honest only once the monitor has caught up:
+    // the final flush is inside the timed region.
+    async_engine.flush().expect("final flush");
+    let async_secs = started.elapsed().as_secs_f64();
+    let async_retrains = async_engine.retrain_count();
+    let dropped = async_engine.dropped();
+
+    let mut configs = Vec::new();
+    let mut stats = |name: &str, lat: &[f64], secs: f64, retrains: u64| -> (f64, f64, f64) {
+        let (p50, p99) = (percentile_us(lat, 50.0), percentile_us(lat, 99.0));
+        let max = lat.iter().cloned().fold(0.0, f64::max);
+        let rate = total as f64 / secs;
+        println!(
+            "{name}: p50 {p50:.1}µs  p99 {p99:.1}µs  max {max:.0}µs  \
+             {rate:.0} tuples/sec sustained  ({retrains} retrains)"
+        );
+        configs.push(serde_json::json!({
+            "name": name,
+            "tuples": total,
+            "batch": batch,
+            "secs": secs,
+            "tuples_per_sec": rate,
+            "ingest_p50_us": p50,
+            "ingest_p99_us": p99,
+            "ingest_max_us": max,
+            "retrains": retrains,
+        }));
+        (p50, p99, rate)
+    };
+    let (sync_p50, sync_p99, sync_rate) =
+        stats("latency/sync_drift", &sync_lat, sync_secs, sync_retrains);
+    let (async_p50, async_p99, async_rate) = stats(
+        "latency/async_drift",
+        &async_lat,
+        async_secs,
+        async_retrains,
+    );
+
+    let summary = serde_json::json!({
+        "workload": "drifting, on-alert retraining, batch=512",
+        "p50_speedup": sync_p50 / async_p50,
+        "p99_speedup": sync_p99 / async_p99,
+        "throughput_ratio_async_vs_sync": async_rate / sync_rate,
+        "async_dropped_batches": dropped.batches,
+        "async_dropped_tuples": dropped.tuples,
+    });
+    (configs, summary)
 }
 
 fn main() {
@@ -121,11 +224,16 @@ fn main() {
         }));
     }
 
+    // Sync vs async ingest-path latency on the drifting workload.
+    let (latency_configs, async_vs_sync) = latency_comparison(quick);
+    configs.extend(latency_configs);
+
     let artifact = serde_json::json!({
         "bench": "stream_ingest",
         "quick": quick,
         "configs": configs,
         "sharded_scaling": scaling,
+        "async_vs_sync": async_vs_sync,
     });
     let file = std::fs::File::create(&out).expect("create BENCH_stream.json");
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), &artifact)

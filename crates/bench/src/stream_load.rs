@@ -5,14 +5,26 @@
 use cf_datasets::stream::{DriftStream, DriftStreamSpec, ShardedDriftStream};
 use cf_learners::LearnerKind;
 use cf_stream::{
-    RetrainPolicy, ShardedEngine, ShardedTuple, StreamConfig, StreamEngine, StreamTuple,
+    AsyncConfig, AsyncEngine, RetrainPolicy, ShardedEngine, ShardedTuple, StreamConfig,
+    StreamEngine, StreamTuple,
 };
+use confair_core::confair::{AlphaMode, ConFairConfig};
 
 /// The benchmark stream never drifts: throughput is measured on the steady
 /// state, not on retraining transients.
 pub fn stationary_spec() -> DriftStreamSpec {
     DriftStreamSpec {
         drift_onset: u64::MAX,
+        ..DriftStreamSpec::default()
+    }
+}
+
+/// The latency workload *does* drift (at `onset`): it exists to measure
+/// what the serving path pays when monitoring gets busy — detector churn,
+/// floor checks, and on-alert retrains.
+pub fn drifting_spec(onset: u64) -> DriftStreamSpec {
+    DriftStreamSpec {
+        drift_onset: onset,
         ..DriftStreamSpec::default()
     }
 }
@@ -46,12 +58,73 @@ pub fn fresh_sharded_engine(window: usize, shards: usize) -> ShardedEngine {
     .expect("bootstrap")
 }
 
-/// Pregenerate `n_batches` single-stream batches of `batch` tuples each.
-pub fn pregenerate(n_batches: usize, batch: usize) -> Vec<Vec<StreamTuple>> {
-    let mut stream = DriftStream::new(stationary_spec(), 3);
+/// Monitoring + on-alert retraining configuration for the latency
+/// workload. Fixed-α ConFair keeps each retrain's cost representative
+/// (one weighted fit) without the α grid search, so the tail latencies
+/// measure the retrain itself, not hyperparameter tuning.
+pub fn retraining_config(window: usize) -> StreamConfig {
+    StreamConfig {
+        window,
+        retrain: RetrainPolicy::OnAlert {
+            min_window: window / 2,
+        },
+        confair: ConFairConfig {
+            alpha: AlphaMode::Fixed {
+                alpha_u: 2.0,
+                alpha_w: 1.0,
+            },
+            ..ConFairConfig::default()
+        },
+        ..StreamConfig::default()
+    }
+}
+
+/// A bootstrapped synchronous engine for the drifting latency workload.
+pub fn fresh_retraining_engine(window: usize) -> StreamEngine {
+    let reference = drifting_spec(u64::MAX).reference(4_000, 21);
+    StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        21,
+        retraining_config(window),
+    )
+    .expect("bootstrap")
+}
+
+/// The async twin of [`fresh_retraining_engine`]: same reference, same
+/// seed, same stream config — identical decisions, pipelined monitoring.
+pub fn fresh_async_engine(window: usize, async_config: AsyncConfig) -> AsyncEngine {
+    AsyncEngine::from_engine(fresh_retraining_engine(window), async_config)
+}
+
+/// Pregenerate `n_batches` batches of `batch` tuples each from `spec`.
+pub fn pregenerate_from(
+    spec: DriftStreamSpec,
+    n_batches: usize,
+    batch: usize,
+) -> Vec<Vec<StreamTuple>> {
+    let mut stream = DriftStream::new(spec, 3);
     (0..n_batches)
         .map(|_| StreamTuple::rows_from_dataset(&stream.next_batch(batch)).expect("numeric"))
         .collect()
+}
+
+/// Pregenerate `n_batches` single-stream stationary batches of `batch`
+/// tuples each.
+pub fn pregenerate(n_batches: usize, batch: usize) -> Vec<Vec<StreamTuple>> {
+    pregenerate_from(stationary_spec(), n_batches, batch)
+}
+
+/// The `p`-th percentile (0–100) of an unsorted sample, by
+/// nearest-rank on a sorted copy. Returns 0 for an empty sample.
+pub fn percentile_us(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Pregenerate routed mixed-shard batches: `rounds` batches of

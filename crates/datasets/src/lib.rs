@@ -17,6 +17,8 @@
 //!
 //! All generators are deterministic given a seed.
 
+#![warn(missing_docs)]
+
 pub mod realsim;
 pub mod stream;
 pub mod synthgen;

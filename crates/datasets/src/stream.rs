@@ -15,6 +15,21 @@ use cf_data::{Column, Dataset, MINORITY};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Specification of a drifting stream.
+///
+/// The knobs fall into three groups:
+///
+/// * **Geometry** — `n_features`, `class_sep`, `cluster_std`,
+///   `minority_std_factor`, `minority_offset`: how separable the classes
+///   are and how the minority's tighter, offset sub-region sits relative
+///   to the majority (the Fig. 10 geometry).
+/// * **Mixture** — `minority_fraction`, `positive_rate`: the arrival
+///   rates of groups and labels.
+/// * **Drift schedule** — `drift_onset` (stream clock at which the
+///   drifted group's label direction starts rotating; `u64::MAX` for a
+///   stationary stream), `drift_angle` (how far it rotates), `drift_group`
+///   (who drifts), and `transition` (0 = abrupt shift; otherwise the
+///   rotation ramps linearly over this many tuples). Detection latency in
+///   `cf-stream` benchmarks is measured against `drift_onset`.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DriftStreamSpec {
     /// Total features; the first two are informative, the rest noise.
@@ -271,6 +286,13 @@ impl DriftStream {
 /// sharded serving engine. Each shard (think region or product line) runs
 /// its own independent stream, with its own RNG stream and, optionally, its
 /// own drift schedule: real partitioned traffic does not drift in lockstep.
+///
+/// Construction picks the fleet's drift topology:
+/// [`ShardedDriftStream::uniform`] for identically distributed shards
+/// (throughput benchmarks), [`ShardedDriftStream::staggered`] for a drift
+/// that starts in one shard and spreads on an `onset_step` cadence, or
+/// [`ShardedDriftStream::new`] with hand-built specs for anything else
+/// (e.g. only one region drifting, or per-region geometries).
 #[derive(Debug, Clone)]
 pub struct ShardedDriftStream {
     shards: Vec<DriftStream>,

@@ -1,0 +1,915 @@
+//! Asynchronous ingestion: score now, monitor in the background.
+//!
+//! The paper's non-invasive premise is that fairness repair must not slow
+//! down serving. The synchronous [`StreamEngine`]
+//! couples the two anyway: every `ingest` call pays for window updates,
+//! Page–Hinkley steps, and — on alert — a full ConFair retrain before a
+//! single decision is returned. [`AsyncEngine`] runs the same two halves
+//! ([`Scorer`] / [`Monitor`]) as a
+//! pipeline instead:
+//!
+//! 1. **Score path** (caller's thread): validate, take any pending model
+//!    swap, run the forward pass, enqueue the `(tuples, decisions)` record
+//!    on a bounded queue, return the decisions. No monitoring work, no
+//!    locks around the model parameters — the scorer owns its predictor
+//!    outright and replacement models arrive through an atomically-swapped
+//!    single-slot mailbox (arc-swap-style; see `ModelSlot` in the source).
+//! 2. **Monitor thread** (single consumer): drains the queue in order,
+//!    folds each record into the window/detectors, appends alerts, runs
+//!    on-alert retrains, and publishes refreshed state — fairness
+//!    snapshots and counters under a stats mutex (observability path, not
+//!    the score path), replacement predictors through the model slot.
+//!
+//! Because the monitor consumes records in exactly the order they were
+//! scored, the async engine is *deterministic given a quiescent point*:
+//! after [`AsyncEngine::flush`], its decisions, snapshots, alert log, and
+//! checkpoints are byte-identical to a synchronous engine fed the same
+//! batches (property-pinned by `tests/async_equivalence.rs`).
+//!
+//! Backpressure is explicit ([`BackpressurePolicy`]): `Block` bounds
+//! memory by stalling the producer when the monitor falls more than
+//! `queue_depth` batches behind; `DropOldest` keeps the score path
+//! wait-free by discarding the oldest *unprocessed* record and counting
+//! what was lost ([`AsyncEngine::dropped`]) — the monitor's windowed view
+//! degrades to a sample, the serving path never stalls, and the drop
+//! counters tell operators which trade they are living with.
+
+use crate::engine::{
+    checkpoint_from_parts, validate_tuple, StreamConfig, StreamEngine, StreamTuple,
+};
+use crate::monitor::{FairnessSnapshot, Monitor};
+use crate::scorer::Scorer;
+use crate::window::GroupCounts;
+use crate::{DriftAlert, EngineCheckpoint, Result, StreamError};
+use cf_data::Dataset;
+use cf_learners::LearnerKind;
+use confair_core::Predictor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// What the score path does when the monitor queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Stall `ingest` until the monitor frees a slot. Nothing is ever
+    /// dropped: the monitor sees every tuple, and a long retrain
+    /// back-pressures the producer once the queue has absorbed
+    /// `queue_depth` batches. This is the deterministic default.
+    Block,
+    /// Discard the **oldest** unprocessed record to make room, count it in
+    /// [`AsyncEngine::dropped`], and enqueue the new record without
+    /// waiting. The score path becomes wait-free, at the price of a
+    /// monitoring view that degrades to a (newest-biased) sample under
+    /// sustained overload.
+    DropOldest,
+}
+
+/// Configuration of the asynchronous pipeline between the two halves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncConfig {
+    /// Maximum `(tuples, decisions)` records the queue holds before the
+    /// backpressure policy applies. Control messages (flush barriers,
+    /// checkpoint requests, shutdown) never count against the depth and
+    /// are never dropped.
+    pub queue_depth: usize,
+    /// What to do when the queue is full.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            queue_depth: 32,
+            backpressure: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// Tuples and batches discarded under [`BackpressurePolicy::DropOldest`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounters {
+    /// Whole records (micro-batches) discarded.
+    pub batches: u64,
+    /// Tuples those records carried.
+    pub tuples: u64,
+}
+
+/// What flows from the score path to the monitor thread.
+enum MonitorMsg {
+    /// One served micro-batch, in scoring order.
+    Record {
+        tuples: Vec<StreamTuple>,
+        decisions: Vec<u8>,
+    },
+    /// Barrier: acknowledged only after every record enqueued before it
+    /// has been fully processed (including any retrain it triggered).
+    Flush(mpsc::Sender<()>),
+    /// Quiescent-point state request: answered with a coherent clone of
+    /// the monitor half.
+    Checkpoint(mpsc::Sender<Box<Monitor>>),
+    /// Stop consuming and hand the monitor half back through the thread's
+    /// join value.
+    Shutdown,
+}
+
+/// The bounded queue between the score path and the monitor thread.
+///
+/// Only `Record` messages count against `depth`; control messages bypass
+/// the bound so a full queue can never deadlock a flush or shutdown.
+///
+/// Record pushes deliberately do **not** signal the consumer: on a busy
+/// single core, a wakeup per batch preempts the score path with a context
+/// switch it just paid to avoid. Instead the monitor polls on a short
+/// timed wait ([`POLL_INTERVAL`]) and drains everything queued per wake —
+/// bounded extra lag, amortised switches. Control messages (flush,
+/// checkpoint, shutdown) and `not_full` transitions signal immediately,
+/// because somebody is provably waiting on them.
+struct BoundedQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    depth: usize,
+    /// Set (with both condvars signalled) when the consumer exits for any
+    /// reason — clean shutdown or a panic unwinding the monitor thread —
+    /// so producers blocked on backpressure or waiting on a flush ack can
+    /// fail with a typed error instead of hanging on a queue nobody will
+    /// ever drain.
+    closed: std::sync::atomic::AtomicBool,
+}
+
+/// How long the idle monitor sleeps between queue polls — the upper bound
+/// a record can sit unprocessed before the consumer self-wakes (on top of
+/// processing time). Small enough to be irrelevant next to the window
+/// dynamics being monitored, large enough to keep the idle engine silent.
+const POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis(1);
+
+struct QueueInner {
+    messages: VecDeque<MonitorMsg>,
+    /// `Record` entries currently queued (≤ `depth` after every push).
+    records: usize,
+    dropped: DropCounters,
+}
+
+impl BoundedQueue {
+    fn new(depth: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                messages: VecDeque::new(),
+                records: 0,
+                dropped: DropCounters::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            depth,
+            closed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the consumer is gone (see the `closed` field).
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Mark the consumer gone and wake every waiter on both condvars.
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Enqueue one record under the configured backpressure policy.
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when the consumer is gone — including while
+    /// blocked on a full queue under [`BackpressurePolicy::Block`], so a
+    /// monitor-thread panic can never wedge the serving path.
+    fn push_record(
+        &self,
+        tuples: Vec<StreamTuple>,
+        decisions: Vec<u8>,
+        policy: BackpressurePolicy,
+    ) -> Result<()> {
+        let dead = || StreamError::Async("the monitor thread is no longer running".into());
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        match policy {
+            BackpressurePolicy::Block => {
+                while inner.records >= self.depth {
+                    if self.is_closed() {
+                        return Err(dead());
+                    }
+                    inner = self
+                        .not_full
+                        .wait_timeout(inner, POLL_INTERVAL)
+                        .expect("queue mutex poisoned")
+                        .0;
+                }
+            }
+            BackpressurePolicy::DropOldest => {
+                while inner.records >= self.depth {
+                    // Drop the oldest *record*; control messages ahead of
+                    // it (flush barriers already enqueued) are preserved.
+                    let oldest = inner
+                        .messages
+                        .iter()
+                        .position(|m| matches!(m, MonitorMsg::Record { .. }))
+                        .expect("records > 0 implies a Record in the queue");
+                    if let Some(MonitorMsg::Record { tuples, .. }) = inner.messages.remove(oldest) {
+                        inner.records -= 1;
+                        inner.dropped.batches += 1;
+                        inner.dropped.tuples += tuples.len() as u64;
+                    }
+                }
+            }
+        }
+        if self.is_closed() {
+            return Err(dead());
+        }
+        inner.records += 1;
+        inner
+            .messages
+            .push_back(MonitorMsg::Record { tuples, decisions });
+        // No notify: the consumer self-wakes within POLL_INTERVAL (see the
+        // queue's type-level comment).
+        Ok(())
+    }
+
+    /// Enqueue a control message (never bounded, never dropped).
+    fn push_control(&self, msg: MonitorMsg) {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        inner.messages.push_back(msg);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking pop, in FIFO order (monitor thread only). Waits on a timed
+    /// poll so record pushes never have to signal.
+    fn pop(&self) -> MonitorMsg {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(msg) = inner.messages.pop_front() {
+                if matches!(msg, MonitorMsg::Record { .. }) {
+                    inner.records -= 1;
+                    self.not_full.notify_one();
+                }
+                return msg;
+            }
+            inner = self
+                .not_empty
+                .wait_timeout(inner, POLL_INTERVAL)
+                .expect("queue mutex poisoned")
+                .0;
+        }
+    }
+
+    fn dropped(&self) -> DropCounters {
+        self.inner.lock().expect("queue mutex poisoned").dropped
+    }
+
+    /// Records currently waiting (the monitor's backlog, in batches).
+    fn backlog(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").records
+    }
+}
+
+/// Arc-swap-style single-slot mailbox for replacement predictors: the
+/// monitor thread publishes with one atomic swap, the score path takes
+/// with one atomic swap — no locks on either side, and an unconsumed
+/// older model is simply superseded (latest wins).
+struct ModelSlot {
+    /// Owning pointer to a heap-allocated `Box<dyn Predictor>` (double
+    /// boxed so the atomic cell is a thin pointer), or null when empty.
+    ptr: AtomicPtr<Box<dyn Predictor>>,
+}
+
+impl ModelSlot {
+    fn empty() -> Self {
+        ModelSlot {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Publish a replacement model, dropping any unconsumed predecessor.
+    fn publish(&self, model: Box<dyn Predictor>) {
+        let raw = Box::into_raw(Box::new(model));
+        let old = self.ptr.swap(raw, Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: `old` came from `Box::into_raw` in a previous
+            // `publish` and the swap above made this thread its only
+            // owner.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    /// Take the pending model, if any (score path; wait-free).
+    fn take(&self) -> Option<Box<dyn Predictor>> {
+        let raw = self.ptr.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if raw.is_null() {
+            None
+        } else {
+            // SAFETY: `raw` came from `Box::into_raw` in `publish` and the
+            // swap above made this thread its only owner.
+            Some(*unsafe { Box::from_raw(raw) })
+        }
+    }
+}
+
+impl Drop for ModelSlot {
+    fn drop(&mut self) {
+        let raw = *self.ptr.get_mut();
+        if !raw.is_null() {
+            // SAFETY: exclusive access in `drop`; the pointer was produced
+            // by `Box::into_raw` and never freed (it is still in the slot).
+            drop(unsafe { Box::from_raw(raw) });
+        }
+    }
+}
+
+/// The monitor thread's published view, refreshed after every processed
+/// record. Read under a short mutex by the observability accessors — never
+/// by the score path.
+struct PublishedState {
+    snapshot: FairnessSnapshot,
+    counts: [GroupCounts; 2],
+    window_len: usize,
+    seen: u64,
+    retrains: u64,
+    /// A second copy of the monitor's alert log, so `alerts()` never has
+    /// to round-trip to the monitor thread. Alert volume is bounded by
+    /// the detectors' cooldown hysteresis (at most one alert per group
+    /// per `cooldown`/`floor_cooldown` tuples), so the duplication stays
+    /// small relative to the traffic that produced it.
+    alerts: Vec<DriftAlert>,
+    retrain_errors: Vec<StreamError>,
+    monitor_error: Option<StreamError>,
+}
+
+/// Everything the two sides share.
+struct Shared {
+    queue: BoundedQueue,
+    model: ModelSlot,
+    stats: Mutex<PublishedState>,
+}
+
+/// The asynchronous serving engine: `ingest` returns decisions straight
+/// off the forward pass while a background thread owns the
+/// [`Monitor`] half and performs the window, detector, and
+/// retrain work behind a bounded queue.
+///
+/// # Example
+///
+/// ```
+/// use cf_datasets::stream::{DriftStream, DriftStreamSpec};
+/// use cf_learners::LearnerKind;
+/// use cf_stream::{AsyncConfig, AsyncEngine, StreamConfig, StreamTuple};
+/// use confair_core::confair::{AlphaMode, ConFairConfig};
+///
+/// let spec = DriftStreamSpec::default();
+/// let reference = spec.reference(600, 7);
+/// let config = StreamConfig {
+///     window: 256,
+///     confair: ConFairConfig {
+///         alpha: AlphaMode::Fixed { alpha_u: 2.0, alpha_w: 1.0 },
+///         ..ConFairConfig::default()
+///     },
+///     ..StreamConfig::default()
+/// };
+/// let mut engine = AsyncEngine::from_reference(
+///     &reference, LearnerKind::Logistic, 7, config, AsyncConfig::default())?;
+///
+/// let mut stream = DriftStream::new(spec, 1);
+/// let batch = StreamTuple::rows_from_dataset(&stream.next_batch(100))?;
+/// // Decisions come back without waiting for any monitoring work…
+/// let decisions = engine.ingest(&batch)?;
+/// assert_eq!(decisions.len(), 100);
+/// // …and `flush` is the barrier that makes the monitor's view current.
+/// engine.flush()?;
+/// assert_eq!(engine.tuples_monitored(), 100);
+/// println!("{}", engine.snapshot());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct AsyncEngine {
+    /// `Some` until the engine is consumed by [`AsyncEngine::into_engine`]
+    /// (the `Option` lets that method move the scorer out from under the
+    /// `Drop` impl).
+    scorer: Option<Scorer>,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<Monitor>>,
+    async_config: AsyncConfig,
+    stream_config: StreamConfig,
+    scored: u64,
+}
+
+impl AsyncEngine {
+    /// Bootstrap an async engine from reference data — a
+    /// [`StreamEngine::from_reference`] whose halves are then split across
+    /// the queue.
+    pub fn from_reference(
+        reference: &Dataset,
+        learner: LearnerKind,
+        seed: u64,
+        config: StreamConfig,
+        async_config: AsyncConfig,
+    ) -> Result<Self> {
+        Ok(Self::from_engine(
+            StreamEngine::from_reference(reference, learner, seed, config)?,
+            async_config,
+        ))
+    }
+
+    /// Split a synchronous engine into the async pipeline: the scorer
+    /// stays with the caller, the monitor moves to a background thread.
+    /// The engine's observable state (window, alerts, clocks) carries over
+    /// exactly: `tuples_scored` starts at the engine's ingested-tuple
+    /// clock (everything previously ingested was both scored and
+    /// monitored), so `monitor_lag` reads 0 until new batches arrive.
+    pub fn from_engine(engine: StreamEngine, async_config: AsyncConfig) -> Self {
+        // Clamp once, up front, so the stored config (what `async_config()`
+        // reports) always matches the bound the queue actually enforces.
+        let async_config = AsyncConfig {
+            queue_depth: async_config.queue_depth.max(1),
+            ..async_config
+        };
+        let (scorer, monitor) = engine.into_parts();
+        let stream_config = monitor.config().clone();
+        let scored = monitor.tuples_seen();
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(async_config.queue_depth),
+            model: ModelSlot::empty(),
+            stats: Mutex::new(PublishedState {
+                snapshot: monitor.snapshot(),
+                counts: *monitor.window_counts(),
+                window_len: monitor.window_len(),
+                seen: monitor.tuples_seen(),
+                retrains: monitor.retrain_count(),
+                alerts: monitor.alerts().to_vec(),
+                retrain_errors: Vec::new(),
+                monitor_error: None,
+            }),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("cf-stream-monitor".into())
+            .spawn(move || {
+                // Close the queue on *any* exit — clean shutdown or a
+                // panic unwinding this thread — so producers blocked on
+                // backpressure or a flush ack fail fast instead of
+                // hanging (the guard's Drop runs during unwinding too).
+                struct CloseOnExit<'a>(&'a BoundedQueue);
+                impl Drop for CloseOnExit<'_> {
+                    fn drop(&mut self) {
+                        self.0.close();
+                    }
+                }
+                let _guard = CloseOnExit(&thread_shared.queue);
+                monitor_loop(monitor, &thread_shared)
+            })
+            .expect("spawn monitor thread");
+        AsyncEngine {
+            scorer: Some(scorer),
+            shared,
+            handle: Some(handle),
+            async_config,
+            stream_config,
+            scored,
+        }
+    }
+
+    /// Rebuild an async engine from a checkpoint (same format and
+    /// validation as [`StreamEngine::restore`]; checkpoints do not record
+    /// the queue because [`AsyncEngine::checkpoint`] drains it first).
+    ///
+    /// `tuples_scored` restarts at the monitor's restored clock, so the
+    /// scored/monitored lag reads 0 on a fresh restore — exactly the
+    /// quiescent state the checkpoint captured.
+    pub fn restore(ckpt: EngineCheckpoint, async_config: AsyncConfig) -> Result<Self> {
+        Ok(Self::from_engine(
+            StreamEngine::restore(ckpt)?,
+            async_config,
+        ))
+    }
+
+    /// Score one micro-batch and return its decisions immediately; the
+    /// monitoring work (window, detectors, floor check, on-alert retrain)
+    /// happens on the background thread after this call returns.
+    ///
+    /// The batch is copied once onto the queue; use
+    /// [`AsyncEngine::ingest_owned`] to hand the tuples over without the
+    /// copy.
+    ///
+    /// # Errors
+    /// Validation errors reject the whole batch before anything is scored
+    /// or enqueued, exactly as in the sync engine;
+    /// [`StreamError::Async`] when the monitor thread is gone.
+    pub fn ingest(&mut self, batch: &[StreamTuple]) -> Result<Vec<u8>> {
+        let d = self.scorer().schema().len();
+        for (i, t) in batch.iter().enumerate() {
+            validate_tuple(t, d, i)?;
+        }
+        self.ingest_prevalidated_owned(batch.to_vec())
+    }
+
+    /// [`AsyncEngine::ingest`] without the queue-bound copy: the batch is
+    /// moved onto the queue after scoring.
+    pub fn ingest_owned(&mut self, batch: Vec<StreamTuple>) -> Result<Vec<u8>> {
+        let d = self.scorer().schema().len();
+        for (i, t) in batch.iter().enumerate() {
+            validate_tuple(t, d, i)?;
+        }
+        self.ingest_prevalidated_owned(batch)
+    }
+
+    /// Score + enqueue after validation (shared with the sharded router,
+    /// which validates whole mixed batches itself).
+    pub(crate) fn ingest_prevalidated_owned(&mut self, batch: Vec<StreamTuple>) -> Result<Vec<u8>> {
+        self.ensure_monitor_alive()?;
+        // Pick up a pending retrain before scoring: one wait-free atomic
+        // swap, no lock around the model parameters.
+        if let Some(model) = self.shared.model.take() {
+            self.scorer_mut().install(model);
+        }
+        let decisions = self.scorer_mut().score(&batch)?;
+        if batch.is_empty() {
+            // Nothing to monitor; the sync engine's empty ingest is a
+            // no-op on state too.
+            return Ok(decisions);
+        }
+        let n = batch.len() as u64;
+        self.shared
+            .queue
+            .push_record(batch, decisions.clone(), self.async_config.backpressure)?;
+        self.scored += n;
+        Ok(decisions)
+    }
+
+    /// Barrier: block until every record enqueued so far has been fully
+    /// processed (including any retrain it triggered), then install any
+    /// model the monitor published. After `flush`, the engine's
+    /// observable state is byte-identical to a synchronous engine fed the
+    /// same batches.
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when the monitor thread is gone.
+    pub fn flush(&mut self) -> Result<()> {
+        self.ensure_monitor_alive()?;
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.shared.queue.push_control(MonitorMsg::Flush(ack_tx));
+        self.recv_from_monitor(&ack_rx, "flush")?;
+        if let Some(model) = self.shared.model.take() {
+            self.scorer_mut().install(model);
+        }
+        Ok(())
+    }
+
+    /// Wait for the monitor thread's reply to a control message, bailing
+    /// out with a typed error if the thread dies first. A plain `recv()`
+    /// would hang: the un-acked sender sits *inside* the engine-held
+    /// queue, so it is never dropped when the consumer is gone.
+    fn recv_from_monitor<T>(&self, rx: &mpsc::Receiver<T>, during: &str) -> Result<T> {
+        let dead = || StreamError::Async(format!("monitor thread terminated during {during}"));
+        loop {
+            match rx.recv_timeout(POLL_INTERVAL) {
+                Ok(value) => return Ok(value),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.shared.queue.is_closed() {
+                        return Err(dead());
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(dead()),
+            }
+        }
+    }
+
+    /// Drain to a quiescent point and capture the complete engine state as
+    /// a versioned [`EngineCheckpoint`] — the same document
+    /// [`StreamEngine::checkpoint`] writes, so sync and async engines
+    /// restore each other's checkpoints interchangeably.
+    ///
+    /// The flush-first contract is what keeps restores bit-identical: no
+    /// record is in flight when the monitor clone is taken, so the
+    /// document never captures a window the scorer is ahead of.
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when the monitor thread is gone;
+    /// [`StreamError::Checkpoint`] when the predictor does not support
+    /// serialisation.
+    pub fn checkpoint(&mut self) -> Result<EngineCheckpoint> {
+        self.flush()?;
+        let (tx, rx) = mpsc::channel();
+        self.shared.queue.push_control(MonitorMsg::Checkpoint(tx));
+        let monitor = self.recv_from_monitor(&rx, "checkpoint")?;
+        checkpoint_from_parts(self.scorer(), &monitor)
+    }
+
+    /// Shut the pipeline down and reunite the halves into a synchronous
+    /// [`StreamEngine`] carrying the exact same state (flushes first, so
+    /// nothing in flight is lost).
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when the monitor thread is gone or panicked.
+    pub fn into_engine(mut self) -> Result<StreamEngine> {
+        self.flush()?;
+        let handle = self
+            .handle
+            .take()
+            .ok_or_else(|| StreamError::Async("monitor thread already shut down".into()))?;
+        self.shared.queue.push_control(MonitorMsg::Shutdown);
+        let monitor = handle
+            .join()
+            .map_err(|_| StreamError::Async("monitor thread panicked".into()))?;
+        let scorer = self.scorer.take().expect("scorer present until consumed");
+        StreamEngine::from_parts(scorer, monitor)
+    }
+
+    /// Tuples scored (and therefore served) by this engine.
+    pub fn tuples_scored(&self) -> u64 {
+        self.scored
+    }
+
+    /// Tuples the background monitor has fully processed so far.
+    pub fn tuples_monitored(&self) -> u64 {
+        self.stats(|s| s.seen)
+    }
+
+    /// How far the monitor lags the scorer, in tuples. 0 after a
+    /// [`AsyncEngine::flush`] (tuples dropped under
+    /// [`BackpressurePolicy::DropOldest`] are subtracted — they will never
+    /// be monitored).
+    pub fn monitor_lag(&self) -> u64 {
+        self.scored
+            .saturating_sub(self.stats(|s| s.seen) + self.dropped().tuples)
+    }
+
+    /// Records currently waiting in the queue (the monitor's backlog).
+    pub fn queue_backlog(&self) -> usize {
+        self.shared.queue.backlog()
+    }
+
+    /// Batches/tuples discarded under [`BackpressurePolicy::DropOldest`]
+    /// (always zero under [`BackpressurePolicy::Block`]).
+    pub fn dropped(&self) -> DropCounters {
+        self.shared.queue.dropped()
+    }
+
+    /// The monitor's latest published fairness reading. Lags the scorer by
+    /// at most the queue backlog; current after a [`AsyncEngine::flush`].
+    pub fn snapshot(&self) -> FairnessSnapshot {
+        self.stats(|s| s.snapshot.clone())
+    }
+
+    /// The monitor's latest published per-group window counters.
+    pub fn window_counts(&self) -> [GroupCounts; 2] {
+        self.stats(|s| s.counts)
+    }
+
+    /// Tuples currently retained in the monitor's window.
+    pub fn window_len(&self) -> usize {
+        self.stats(|s| s.window_len)
+    }
+
+    /// Every alert raised so far, in stream order (cloned out of the
+    /// published state; the log itself lives with the monitor thread).
+    pub fn alerts(&self) -> Vec<DriftAlert> {
+        self.stats(|s| s.alerts.clone())
+    }
+
+    /// How many times the on-alert retraining hook has run.
+    pub fn retrain_count(&self) -> u64 {
+        self.stats(|s| s.retrains)
+    }
+
+    /// Errors from failed on-alert retrains, in occurrence order. The
+    /// sync engine reports these per batch in
+    /// [`IngestOutcome::retrain_error`](crate::IngestOutcome); here they
+    /// accumulate because the failing batch was already served when the
+    /// retrain ran.
+    pub fn retrain_errors(&self) -> Vec<StreamError> {
+        self.stats(|s| s.retrain_errors.clone())
+    }
+
+    /// A monitoring-side failure, if one ever occurred (record shape
+    /// errors are impossible for validated input, so this is a
+    /// should-never-happen diagnostic, kept visible rather than
+    /// swallowed).
+    pub fn monitor_error(&self) -> Option<StreamError> {
+        self.stats(|s| s.monitor_error.clone())
+    }
+
+    /// The stream configuration the engine was built with.
+    pub fn config(&self) -> &StreamConfig {
+        &self.stream_config
+    }
+
+    /// The async pipeline configuration (queue depth, backpressure).
+    pub fn async_config(&self) -> &AsyncConfig {
+        &self.async_config
+    }
+
+    /// The reference schema's column names.
+    pub fn schema(&self) -> &[String] {
+        self.scorer().schema()
+    }
+
+    fn scorer(&self) -> &Scorer {
+        self.scorer.as_ref().expect("scorer present until consumed")
+    }
+
+    fn scorer_mut(&mut self) -> &mut Scorer {
+        self.scorer.as_mut().expect("scorer present until consumed")
+    }
+
+    fn stats<R>(&self, read: impl FnOnce(&PublishedState) -> R) -> R {
+        read(&self.shared.stats.lock().expect("stats mutex poisoned"))
+    }
+
+    fn ensure_monitor_alive(&self) -> Result<()> {
+        match &self.handle {
+            Some(handle) if !handle.is_finished() && !self.shared.queue.is_closed() => Ok(()),
+            _ => Err(StreamError::Async(
+                "the monitor thread is no longer running".into(),
+            )),
+        }
+    }
+}
+
+impl Drop for AsyncEngine {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shared.queue.push_control(MonitorMsg::Shutdown);
+            // A panicked monitor already detached; nothing to salvage in
+            // `drop`.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The single-consumer monitor loop: drain records in order, publish
+/// refreshed state, answer control messages, return the monitor on
+/// shutdown.
+fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
+    loop {
+        match shared.queue.pop() {
+            MonitorMsg::Record { tuples, decisions } => {
+                match monitor.observe(&tuples, &decisions) {
+                    Ok(outcome) => {
+                        if let Some(model) = outcome.model {
+                            shared.model.publish(model);
+                        }
+                        let mut stats = shared.stats.lock().expect("stats mutex poisoned");
+                        stats.snapshot = outcome.snapshot;
+                        stats.counts = *monitor.window_counts();
+                        stats.window_len = monitor.window_len();
+                        stats.seen = monitor.tuples_seen();
+                        stats.retrains = monitor.retrain_count();
+                        stats.alerts.extend_from_slice(&outcome.alerts);
+                        if let Some(e) = outcome.retrain_error {
+                            stats.retrain_errors.push(e);
+                        }
+                    }
+                    Err(e) => {
+                        let mut stats = shared.stats.lock().expect("stats mutex poisoned");
+                        if stats.monitor_error.is_none() {
+                            stats.monitor_error = Some(e);
+                        }
+                    }
+                }
+            }
+            MonitorMsg::Flush(ack) => {
+                // Everything enqueued before the barrier has been
+                // processed (single consumer, FIFO queue); the ack's
+                // receiver may have given up — that is its business.
+                let _ = ack.send(());
+            }
+            MonitorMsg::Checkpoint(tx) => {
+                let _ = tx.send(Box::new(monitor.clone()));
+            }
+            MonitorMsg::Shutdown => return monitor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The halves and the whole pipeline must be free to cross threads.
+    #[test]
+    fn halves_and_engine_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Scorer>();
+        assert_send::<Monitor>();
+        assert_send::<AsyncEngine>();
+        assert_send::<MonitorMsg>();
+    }
+
+    #[test]
+    fn model_slot_latest_wins_and_frees_unconsumed() {
+        struct Dummy(u8);
+        impl Predictor for Dummy {
+            fn predict(&self, _data: &Dataset) -> confair_core::Result<Vec<u8>> {
+                Ok(vec![self.0])
+            }
+            fn predict_rows(&self, x: &cf_linalg::Matrix) -> confair_core::Result<Vec<u8>> {
+                Ok(vec![self.0; x.rows()])
+            }
+        }
+        let slot = ModelSlot::empty();
+        assert!(slot.take().is_none());
+        slot.publish(Box::new(Dummy(1)));
+        slot.publish(Box::new(Dummy(2)));
+        let taken = slot.take().expect("a model is pending");
+        let x = cf_linalg::Matrix::zeros(1, 1);
+        assert_eq!(taken.predict_rows(&x).unwrap(), vec![2], "latest wins");
+        assert!(slot.take().is_none(), "take empties the slot");
+        // Leave one unconsumed for Drop to free (checked by miri-less
+        // best effort: no double free / leak under normal test run).
+        slot.publish(Box::new(Dummy(3)));
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_and_counts() {
+        let queue = BoundedQueue::new(2);
+        let tuple = StreamTuple {
+            features: vec![0.0],
+            group: 0,
+            label: 0,
+        };
+        for i in 0..4u8 {
+            queue
+                .push_record(
+                    vec![tuple.clone(); (i + 1) as usize],
+                    vec![0; (i + 1) as usize],
+                    BackpressurePolicy::DropOldest,
+                )
+                .unwrap();
+        }
+        // Batches of 1 and 2 tuples were evicted; 3 and 4 remain.
+        assert_eq!(
+            queue.dropped(),
+            DropCounters {
+                batches: 2,
+                tuples: 3
+            }
+        );
+        assert_eq!(queue.backlog(), 2);
+        match queue.pop() {
+            MonitorMsg::Record { tuples, .. } => assert_eq!(tuples.len(), 3),
+            _ => panic!("expected a record"),
+        }
+    }
+
+    #[test]
+    fn control_messages_bypass_a_full_queue() {
+        let queue = BoundedQueue::new(1);
+        let tuple = StreamTuple {
+            features: vec![0.0],
+            group: 0,
+            label: 0,
+        };
+        queue
+            .push_record(vec![tuple], vec![0], BackpressurePolicy::DropOldest)
+            .unwrap();
+        let (tx, _rx) = mpsc::channel();
+        queue.push_control(MonitorMsg::Flush(tx));
+        assert_eq!(queue.backlog(), 1, "control messages do not count");
+        assert!(matches!(queue.pop(), MonitorMsg::Record { .. }));
+        assert!(matches!(queue.pop(), MonitorMsg::Flush(_)));
+    }
+
+    #[test]
+    fn closed_queue_rejects_records_and_unblocks_producers() {
+        let tuple = StreamTuple {
+            features: vec![0.0],
+            group: 0,
+            label: 0,
+        };
+        // A closed queue rejects new records outright (either policy).
+        let queue = BoundedQueue::new(1);
+        queue.close();
+        for policy in [BackpressurePolicy::Block, BackpressurePolicy::DropOldest] {
+            assert!(matches!(
+                queue.push_record(vec![tuple.clone()], vec![0], policy),
+                Err(StreamError::Async(_))
+            ));
+        }
+
+        // A producer already blocked on a full queue is released with an
+        // error when the consumer dies (instead of hanging forever).
+        let queue = Arc::new(BoundedQueue::new(1));
+        queue
+            .push_record(vec![tuple.clone()], vec![0], BackpressurePolicy::Block)
+            .unwrap();
+        let blocked = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                queue.push_record(vec![tuple], vec![1], BackpressurePolicy::Block)
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert!(matches!(
+            blocked.join().expect("producer thread"),
+            Err(StreamError::Async(_))
+        ));
+    }
+}

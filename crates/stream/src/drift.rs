@@ -7,6 +7,13 @@
 //! violation indicator — the standard sequential change-point test for
 //! upward mean shifts: cheap (O(1) per observation), no stored history, and
 //! with a tolerance `delta` that absorbs stationary noise.
+//!
+//! Like the window, the detectors live on the [`Monitor`] side of the
+//! engine split: plain owned state, stepped by `Monitor::observe` — on the
+//! caller's thread in the sync engine, behind the bounded queue in the
+//! async one — and cloned wholesale for checkpoints.
+//!
+//! [`Monitor`]: crate::Monitor
 
 /// Page–Hinkley configuration.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]

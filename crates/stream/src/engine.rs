@@ -9,20 +9,29 @@
 //! [`DriftAlert`] events; with [`RetrainPolicy::OnAlert`] the engine
 //! re-runs ConFair on the window's contents — the non-invasive repair loop
 //! the paper's drift framing implies.
+//!
+//! Since the engine split, `StreamEngine` is a thin *synchronous*
+//! composition of the two halves that do the actual work: a
+//! [`Scorer`] (the latency-critical forward pass) and a
+//! [`Monitor`] (window, detectors, profiles, retrain
+//! policy). `ingest` runs score → observe → install back-to-back on the
+//! caller's thread, so its behaviour is exactly the pre-split engine's;
+//! [`AsyncEngine`](crate::AsyncEngine) composes the same two halves across
+//! a bounded queue instead, returning decisions without waiting for the
+//! monitoring work.
 
 use crate::checkpoint::EngineCheckpoint;
-use crate::drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig};
-use crate::monitor::FairnessSnapshot;
-use crate::window::{GroupCounts, SlidingWindow, SlotMeta};
+use crate::drift::{DriftAlert, PageHinkley, PageHinkleyConfig};
+use crate::monitor::{CellProfiles, FairnessSnapshot, Monitor};
+use crate::scorer::Scorer;
+use crate::window::{GroupCounts, SlidingWindow};
 use crate::{Result, StreamError};
-use cf_conformance::{learn_constraints, ConstraintSet};
 use cf_data::{
     split::{split3_stratified, SplitRatios},
-    CellIndex, Column, Dataset,
+    Dataset,
 };
 use cf_learners::LearnerKind;
-use cf_linalg::Matrix;
-use confair_core::{confair::ConFair, confair::ConFairConfig, Intervention, Predictor};
+use confair_core::{confair::ConFair, confair::ConFairConfig, Intervention};
 use std::borrow::Borrow;
 
 /// One arriving observation: features in the reference schema's column
@@ -161,9 +170,9 @@ pub struct IngestOutcome {
     pub retrain_error: Option<StreamError>,
 }
 
-type CellProfiles = [[Option<ConstraintSet>; 2]; 2];
-
-/// The online fairness-drift monitoring and serving engine.
+/// The online fairness-drift monitoring and serving engine — a synchronous
+/// composition of a [`Scorer`] and a
+/// [`Monitor`].
 ///
 /// # Example
 ///
@@ -203,20 +212,8 @@ type CellProfiles = [[Option<ConstraintSet>; 2]; 2];
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct StreamEngine {
-    schema: Vec<String>,
-    learner: LearnerKind,
-    config: StreamConfig,
-    predictor: Box<dyn Predictor>,
-    profiles: CellProfiles,
-    window: SlidingWindow,
-    detectors: [PageHinkley; 2],
-    alerts: Vec<DriftAlert>,
-    seen: u64,
-    retrains: u64,
-    floor_quiet_until: u64,
-    /// Recycled backing buffer for the per-batch feature matrix, so the
-    /// steady-state scoring path allocates nothing per tuple.
-    scratch: Vec<f64>,
+    scorer: Scorer,
+    monitor: Monitor,
 }
 
 impl StreamEngine {
@@ -229,34 +226,38 @@ impl StreamEngine {
         seed: u64,
         config: StreamConfig,
     ) -> Result<Self> {
-        if reference.is_empty() {
-            return Err(StreamError::EmptyReference);
-        }
-        ensure_all_numeric(reference)?;
-        let window = SlidingWindow::new(config.window, reference.num_attributes())?;
+        let monitor = Monitor::from_reference(reference, learner, config)?;
         let split = split3_stratified(reference, SplitRatios::paper_default(), seed);
-        let predictor = ConFair::new(config.confair.clone())
+        let predictor = ConFair::new(monitor.config().confair.clone())
             .train(&split.train, &split.validation, learner)
             .map_err(StreamError::from_core)?;
-        let profiles = learn_profiles(reference, &config);
-        let detectors = [
-            PageHinkley::new(config.detector),
-            PageHinkley::new(config.detector),
-        ];
-        Ok(StreamEngine {
-            schema: reference.column_names().to_vec(),
-            learner,
-            config,
-            predictor,
-            profiles,
-            window,
-            detectors,
-            alerts: Vec::new(),
-            seen: 0,
-            retrains: 0,
-            floor_quiet_until: 0,
-            scratch: Vec::new(),
-        })
+        let scorer = Scorer::new(monitor.schema().to_vec(), predictor);
+        Ok(StreamEngine { scorer, monitor })
+    }
+
+    /// Reunite the two halves into a synchronous engine (the inverse of
+    /// [`StreamEngine::into_parts`]).
+    ///
+    /// # Errors
+    /// [`StreamError::Schema`] when the halves disagree on the reference
+    /// schema — composing a scorer with somebody else's monitor would
+    /// silently mis-evaluate every conformance constraint.
+    pub fn from_parts(scorer: Scorer, monitor: Monitor) -> Result<Self> {
+        if scorer.schema() != monitor.schema() {
+            return Err(StreamError::Schema(format!(
+                "scorer schema {:?} disagrees with monitor schema {:?}",
+                scorer.schema(),
+                monitor.schema()
+            )));
+        }
+        Ok(StreamEngine { scorer, monitor })
+    }
+
+    /// Split the engine into its serving and monitoring halves — the seam
+    /// the async engine builds on (the scorer stays on the caller's
+    /// thread, the monitor moves behind the queue).
+    pub fn into_parts(self) -> (Scorer, Monitor) {
+        (self.scorer, self.monitor)
     }
 
     /// Score and monitor one micro-batch. O(1) work per tuple beyond the
@@ -271,7 +272,7 @@ impl StreamEngine {
     /// [`IngestOutcome::retrain_error`] — failing the call would discard
     /// the served decisions and invite a double-counting retry.
     pub fn ingest(&mut self, batch: &[StreamTuple]) -> Result<IngestOutcome> {
-        let d = self.schema.len();
+        let d = self.monitor.schema().len();
         for (i, t) in batch.iter().enumerate() {
             validate_tuple(t, d, i)?;
         }
@@ -294,104 +295,20 @@ impl StreamEngine {
         &mut self,
         batch: &[T],
     ) -> Result<IngestOutcome> {
-        if batch.is_empty() {
-            return Ok(IngestOutcome {
-                decisions: Vec::new(),
-                alerts: Vec::new(),
-                snapshot: self.snapshot(),
-                retrained: false,
-                retrain_error: None,
-            });
+        let decisions = self.scorer.score(batch)?;
+        let outcome = self.monitor.observe(batch, &decisions)?;
+        if let Some(model) = outcome.model {
+            // Synchronous composition: a retrain's replacement model is
+            // live before the next batch is scored, exactly as before the
+            // split.
+            self.scorer.install(model);
         }
-        let d = self.schema.len();
-
-        // Score off one row-major matrix whose backing buffer is recycled
-        // across calls: no `Dataset` assembly, no column-major round trip,
-        // no steady-state allocation per tuple.
-        let mut buf = std::mem::take(&mut self.scratch);
-        buf.clear();
-        buf.reserve(batch.len() * d);
-        for t in batch {
-            buf.extend_from_slice(&t.borrow().features);
-        }
-        let x = Matrix::from_vec(batch.len(), d, buf);
-        let decisions = self
-            .predictor
-            .predict_rows(&x)
-            .map_err(StreamError::from_core)?;
-        self.scratch = x.into_vec();
-
-        let mut new_alerts = Vec::new();
-        for (t, &decision) in batch.iter().zip(&decisions) {
-            let tuple = t.borrow();
-            let violated = self.violation_of(tuple) > self.config.conformance_eps;
-            self.window.push(
-                SlotMeta {
-                    group: tuple.group,
-                    label: tuple.label,
-                    decision,
-                    violated,
-                },
-                &tuple.features,
-            )?;
-            self.seen += 1;
-            if let Some(statistic) =
-                self.detectors[tuple.group as usize].observe(f64::from(violated))
-            {
-                new_alerts.push(DriftAlert {
-                    kind: DriftKind::ConformanceViolation,
-                    group: tuple.group,
-                    at_tuple: self.seen,
-                    statistic,
-                    threshold: self.config.detector.lambda,
-                });
-            }
-        }
-
-        // One snapshot serves the floor check, the outcome, and the
-        // post-retrain state alike: it reads only the windowed counters,
-        // which the retraining hook never touches.
-        let snapshot = self.snapshot();
-        if snapshot.passes_di_floor() == Some(false)
-            && self.window.len() >= self.config.floor_min_window
-            && self.seen >= self.floor_quiet_until
-        {
-            let disadvantaged = match (snapshot.selection_rate[0], snapshot.selection_rate[1]) {
-                (Some(w), Some(u)) if u <= w => 1,
-                _ => 0,
-            };
-            new_alerts.push(DriftAlert {
-                kind: DriftKind::DisparateImpactFloor,
-                group: disadvantaged,
-                at_tuple: self.seen,
-                statistic: snapshot.di_star.unwrap_or(0.0),
-                threshold: self.config.di_floor,
-            });
-            self.floor_quiet_until = self.seen + self.config.floor_cooldown;
-        }
-
-        // Log the alerts before attempting any retrain, so a retrain
-        // failure never loses the events that triggered it.
-        self.alerts.extend_from_slice(&new_alerts);
-        let mut retrained = false;
-        let mut retrain_error = None;
-        if !new_alerts.is_empty() {
-            if let RetrainPolicy::OnAlert { min_window } = self.config.retrain {
-                if self.window.len() >= min_window {
-                    match self.retrain_now() {
-                        Ok(()) => retrained = true,
-                        Err(e) => retrain_error = Some(e),
-                    }
-                }
-            }
-        }
-
         Ok(IngestOutcome {
             decisions,
-            alerts: new_alerts,
-            snapshot,
-            retrained,
-            retrain_error,
+            alerts: outcome.alerts,
+            snapshot: outcome.snapshot,
+            retrained: outcome.retrained,
+            retrain_error: outcome.retrain_error,
         })
     }
 
@@ -399,26 +316,8 @@ impl StreamEngine {
     /// in the new model, re-derive the reference profiles from the window
     /// (the stream's new normal), and reset the drift detectors.
     pub fn retrain_now(&mut self) -> Result<()> {
-        let data = self.window_dataset("stream-window")?;
-        for label in [0u8, 1] {
-            if data.label_count(label) < 2 {
-                return Err(StreamError::DegenerateWindow(format!(
-                    "window holds {} tuples of label {label}; both classes are \
-                     required to retrain",
-                    data.label_count(label)
-                )));
-            }
-        }
-        let split = split3_stratified(&data, SplitRatios::paper_default(), self.seen);
-        let predictor = ConFair::new(self.config.confair.clone())
-            .train(&split.train, &split.validation, self.learner)
-            .map_err(StreamError::from_core)?;
-        self.predictor = predictor;
-        self.profiles = learn_profiles(&data, &self.config);
-        for detector in &mut self.detectors {
-            detector.reset();
-        }
-        self.retrains += 1;
+        let predictor = self.monitor.retrain()?;
+        self.scorer.install(predictor);
         Ok(())
     }
 
@@ -436,27 +335,7 @@ impl StreamEngine {
     /// serialisation (only the built-in single-model ConFair predictor
     /// does today).
     pub fn checkpoint(&self) -> Result<EngineCheckpoint> {
-        let predictor = self.predictor.state().ok_or_else(|| {
-            StreamError::Checkpoint("this engine's predictor does not support checkpointing".into())
-        })?;
-        Ok(EngineCheckpoint {
-            version: crate::checkpoint::CHECKPOINT_VERSION,
-            schema: self.schema.clone(),
-            learner: self.learner,
-            config: self.config.clone(),
-            predictor,
-            profiles: self
-                .profiles
-                .iter()
-                .flat_map(|row| row.iter().cloned())
-                .collect(),
-            window: self.window.state(),
-            detectors: self.detectors.iter().map(PageHinkley::state).collect(),
-            alerts: self.alerts.clone(),
-            seen: self.seen,
-            retrains: self.retrains,
-            floor_quiet_until: self.floor_quiet_until,
-        })
+        checkpoint_from_parts(&self.scorer, &self.monitor)
     }
 
     /// Rebuild an engine from a checkpoint. The restored engine serves,
@@ -484,11 +363,11 @@ impl StreamEngine {
             PageHinkley::from_state(ckpt.config.detector, &ckpt.detectors[0]),
             PageHinkley::from_state(ckpt.config.detector, &ckpt.detectors[1]),
         ];
-        Ok(StreamEngine {
+        let scorer = Scorer::new(ckpt.schema.clone(), Box::new(predictor));
+        let monitor = Monitor {
             schema: ckpt.schema,
             learner: ckpt.learner,
             config: ckpt.config,
-            predictor: Box::new(predictor),
             profiles,
             window,
             detectors,
@@ -496,109 +375,93 @@ impl StreamEngine {
             seen: ckpt.seen,
             retrains: ckpt.retrains,
             floor_quiet_until: ckpt.floor_quiet_until,
-            scratch: Vec::new(),
-        })
+        };
+        Ok(StreamEngine { scorer, monitor })
     }
 
     /// The windowed fairness reading. O(1).
     pub fn snapshot(&self) -> FairnessSnapshot {
-        FairnessSnapshot::from_counts(self.window.counts(), self.config.di_floor)
+        self.monitor.snapshot()
     }
 
     /// Every alert raised since construction, in stream order.
     pub fn alerts(&self) -> &[DriftAlert] {
-        &self.alerts
+        self.monitor.alerts()
     }
 
     /// Total tuples ingested.
     pub fn tuples_seen(&self) -> u64 {
-        self.seen
+        self.monitor.tuples_seen()
     }
 
     /// How many times the retraining hook has run.
     pub fn retrain_count(&self) -> u64 {
-        self.retrains
+        self.monitor.retrain_count()
     }
 
     /// Tuples currently retained in the window.
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        self.monitor.window_len()
     }
 
     /// The raw windowed per-group counters (index = group id). Additive
     /// across engines — the basis of cross-shard snapshot merging.
     pub fn window_counts(&self) -> &[GroupCounts; 2] {
-        self.window.counts()
+        self.monitor.window_counts()
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &StreamConfig {
-        &self.config
+        self.monitor.config()
     }
 
     /// The reference schema's column names.
     pub fn schema(&self) -> &[String] {
-        &self.schema
+        self.monitor.schema()
     }
 
     /// Materialise the window's contents as a dataset (newest-window
     /// training set for the retraining hook; also useful for audits).
     pub fn window_dataset(&self, name: &str) -> Result<Dataset> {
-        if self.window.is_empty() {
-            return Err(StreamError::DegenerateWindow("window is empty".into()));
-        }
-        // Window slots were validated on ingestion, so assembly can't fail
-        // on shape.
-        self.assemble_dataset(
-            name,
-            self.window.len(),
-            self.window.iter().map(|(m, f)| (f, m.group, m.label)),
-        )
+        self.monitor.window_dataset(name)
     }
+}
 
-    /// The violation of a tuple against its (group, label) reference
-    /// profile; 0 when the cell had too few reference rows to profile.
-    fn violation_of(&self, tuple: &StreamTuple) -> f64 {
-        match &self.profiles[tuple.group as usize][tuple.label as usize] {
-            Some(constraints) => constraints.violation(&tuple.features),
-            None => 0.0,
-        }
-    }
-
-    /// Column-major dataset assembly in the reference schema (used when
-    /// materialising the window for retraining or audits).
-    fn assemble_dataset<'a>(
-        &self,
-        name: &str,
-        len: usize,
-        rows: impl Iterator<Item = (&'a [f64], u8, u8)>,
-    ) -> Result<Dataset> {
-        let d = self.schema.len();
-        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(len); d];
-        let mut labels = Vec::with_capacity(len);
-        let mut groups = Vec::with_capacity(len);
-        for (features, group, label) in rows {
-            for (j, &v) in features.iter().enumerate() {
-                columns[j].push(v);
-            }
-            labels.push(label);
-            groups.push(group);
-        }
-        Dataset::new(
-            name,
-            self.schema.clone(),
-            columns.into_iter().map(Column::Numeric).collect(),
-            labels,
-            groups,
-        )
-        .map_err(|e| StreamError::Schema(e.to_string()))
-    }
+/// Assemble a versioned checkpoint from an engine's two halves — shared by
+/// the sync engine (which borrows its own halves) and the async engine
+/// (which pairs its local scorer with the monitor clone the background
+/// thread hands back at a quiescent point).
+pub(crate) fn checkpoint_from_parts(
+    scorer: &Scorer,
+    monitor: &Monitor,
+) -> Result<EngineCheckpoint> {
+    let predictor = scorer.state().ok_or_else(|| {
+        StreamError::Checkpoint("this engine's predictor does not support checkpointing".into())
+    })?;
+    Ok(EngineCheckpoint {
+        version: crate::checkpoint::CHECKPOINT_VERSION,
+        schema: monitor.schema.clone(),
+        learner: monitor.learner,
+        config: monitor.config.clone(),
+        predictor,
+        profiles: monitor
+            .profiles
+            .iter()
+            .flat_map(|row| row.iter().cloned())
+            .collect(),
+        window: monitor.window.state(),
+        detectors: monitor.detectors.iter().map(PageHinkley::state).collect(),
+        alerts: monitor.alerts.clone(),
+        seen: monitor.seen,
+        retrains: monitor.retrains,
+        floor_quiet_until: monitor.floor_quiet_until,
+    })
 }
 
 /// Validate one tuple against a schema of width `d` (`i` is the tuple's
 /// batch index, used only in the error message). Shared by the
-/// single-engine and sharded-router ingestion paths so the checks cannot
-/// drift apart.
+/// single-engine, sharded-router, and async ingestion paths so the checks
+/// cannot drift apart.
 pub(crate) fn validate_tuple(tuple: &StreamTuple, d: usize, i: usize) -> Result<()> {
     if tuple.features.len() != d {
         return Err(StreamError::Schema(format!(
@@ -615,7 +478,7 @@ pub(crate) fn validate_tuple(tuple: &StreamTuple, d: usize, i: usize) -> Result<
     Ok(())
 }
 
-fn ensure_all_numeric(data: &Dataset) -> Result<()> {
+pub(crate) fn ensure_all_numeric(data: &Dataset) -> Result<()> {
     let numeric = data.numeric_column_indices().len();
     if numeric != data.num_attributes() {
         return Err(StreamError::Schema(format!(
@@ -625,19 +488,4 @@ fn ensure_all_numeric(data: &Dataset) -> Result<()> {
         )));
     }
     Ok(())
-}
-
-/// Conformance profiles per (group, label) cell of the reference data.
-fn learn_profiles(reference: &Dataset, config: &StreamConfig) -> CellProfiles {
-    let mut profiles: CellProfiles = Default::default();
-    for cell in CellIndex::binary_cells() {
-        let members = reference.cell_indices(cell);
-        if members.len() < config.min_profile_rows {
-            continue;
-        }
-        let x = reference.numeric_matrix(Some(&members));
-        profiles[cell.group as usize][cell.label as usize] =
-            Some(learn_constraints(&x, &config.confair.learn_opts));
-    }
-    profiles
 }

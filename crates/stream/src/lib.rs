@@ -4,7 +4,23 @@
 //! reproduction — the paper's "unfairness is data drift" lens applied to a
 //! live stream instead of a static test split.
 //!
-//! The moving parts, composed by [`StreamEngine`]:
+//! The engine is split into two composable, `Send` halves:
+//!
+//! * [`scorer::Scorer`] — the latency-critical path: feature encoding,
+//!   predictor, and the recycled scratch matrix, allocation-free in steady
+//!   state and free of any monitoring state;
+//! * [`monitor::Monitor`] — the lag-tolerant path: sliding window,
+//!   conformance profiles, per-group Page–Hinkley detectors, alert log,
+//!   and the retrain policy.
+//!
+//! [`StreamEngine`] composes them synchronously (score → observe → install
+//! on one thread, exactly the pre-split behaviour);
+//! [`async_engine::AsyncEngine`] composes them as a pipeline — `ingest`
+//! returns decisions straight off the forward pass while a background
+//! thread drains a bounded queue into the monitor and publishes retrained
+//! models back through an atomically-swapped slot.
+//!
+//! The moving parts inside the monitor half:
 //!
 //! * [`window::SlidingWindow`] — a ring buffer over the most recent scored
 //!   tuples with per-(group, label) counters maintained in O(1) per tuple;
@@ -32,18 +48,22 @@
 
 #![warn(missing_docs)]
 
+pub mod async_engine;
 pub mod checkpoint;
 pub mod drift;
 pub mod engine;
 pub mod monitor;
+pub mod scorer;
 pub mod sharded;
 pub mod window;
 
+pub use async_engine::{AsyncConfig, AsyncEngine, BackpressurePolicy, DropCounters};
 pub use checkpoint::{EngineCheckpoint, ShardedCheckpoint, CHECKPOINT_VERSION};
 pub use drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig, PageHinkleyState};
 pub use engine::{IngestOutcome, RetrainPolicy, StreamConfig, StreamEngine, StreamTuple};
-pub use monitor::FairnessSnapshot;
-pub use sharded::{ShardedEngine, ShardedOutcome, ShardedTuple};
+pub use monitor::{FairnessSnapshot, Monitor, ObserveOutcome};
+pub use scorer::Scorer;
+pub use sharded::{ShardedAsyncEngine, ShardedEngine, ShardedOutcome, ShardedTuple};
 pub use window::{GroupCounts, SlidingWindow, SlotMeta, WindowState};
 
 /// Errors surfaced by the streaming subsystem.
@@ -89,6 +109,9 @@ pub enum StreamError {
         /// ([`checkpoint::CHECKPOINT_VERSION`]).
         expected: u32,
     },
+    /// The async pipeline is unusable (the background monitor thread is
+    /// gone or panicked).
+    Async(String),
 }
 
 impl StreamError {
@@ -113,6 +136,7 @@ impl std::fmt::Display for StreamError {
                 write!(f, "shard id {shard} out of range for {shards} shards")
             }
             StreamError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            StreamError::Async(msg) => write!(f, "async engine error: {msg}"),
             StreamError::CheckpointVersion { found, expected } => {
                 write!(
                     f,

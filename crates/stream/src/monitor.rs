@@ -1,16 +1,38 @@
-//! Incremental fairness monitors over the windowed counters.
+//! The monitoring half of the engine split, plus the incremental fairness
+//! monitors over the windowed counters.
 //!
-//! Each snapshot is assembled in O(1) from [`GroupCounts`] — the counters
-//! the window maintains per tuple — never by rescanning tuples. The metrics
-//! deliberately mirror `cf-metrics`' definitions (§IV of the paper) —
-//! including the `DI* = min(DI, 1/DI)` symmetrisation with its 0/∞ guard —
-//! restated over the sliding window and over `Option`, since an unobserved
-//! group yields `None`, which `cf_metrics::Confusion`'s slice-based API
-//! cannot express: disparate impact by selection-rate ratio with the EEOC
-//! four-fifths rule, the demographic-parity gap, and the
-//! equal-opportunity (TPR) gap.
+//! [`Monitor`] owns everything drift-related a stream engine carries: the
+//! sliding window, the per-(group, label) conformance profiles, both
+//! Page–Hinkley detectors, the alert log, and the retrain policy. It is the
+//! lag-tolerant counterpart of [`Scorer`](crate::Scorer): the serving path
+//! never waits on it, and in the async engine it lives on its own thread
+//! behind a bounded queue. A retrain produces a replacement predictor that
+//! the monitor *returns* rather than installs — model publication is the
+//! caller's (or the async engine's swap slot's) job, which is what keeps
+//! this half free of any reference to the serving path.
+//!
+//! Each [`FairnessSnapshot`] is assembled in O(1) from [`GroupCounts`] —
+//! the counters the window maintains per tuple — never by rescanning
+//! tuples. The metrics deliberately mirror `cf-metrics`' definitions (§IV
+//! of the paper) — including the `DI* = min(DI, 1/DI)` symmetrisation with
+//! its 0/∞ guard — restated over the sliding window and over `Option`,
+//! since an unobserved group yields `None`, which
+//! `cf_metrics::Confusion`'s slice-based API cannot express: disparate
+//! impact by selection-rate ratio with the EEOC four-fifths rule, the
+//! demographic-parity gap, and the equal-opportunity (TPR) gap.
 
-use crate::window::GroupCounts;
+use crate::drift::{DriftAlert, DriftKind, PageHinkley};
+use crate::engine::{RetrainPolicy, StreamConfig, StreamTuple};
+use crate::window::{GroupCounts, SlidingWindow, SlotMeta};
+use crate::{Result, StreamError};
+use cf_conformance::{learn_constraints, ConstraintSet};
+use cf_data::{
+    split::{split3_stratified, SplitRatios},
+    CellIndex, Column, Dataset,
+};
+use cf_learners::LearnerKind;
+use confair_core::{confair::ConFair, Intervention, Predictor};
+use std::borrow::Borrow;
 
 /// A point-in-time fairness reading over the current window. Group-indexed
 /// fields use `[majority, minority]` order; `None` marks an empty
@@ -114,6 +136,322 @@ impl std::fmt::Display for FairnessSnapshot {
             fmt(self.violation_rate[1]),
         )
     }
+}
+
+/// Conformance profiles per (group, label) cell of the reference data.
+pub(crate) type CellProfiles = [[Option<ConstraintSet>; 2]; 2];
+
+/// What one [`Monitor::observe`] call produced.
+///
+/// Not `Clone`/`Debug`: a successful on-alert retrain hands back the
+/// freshly trained predictor in [`ObserveOutcome::model`], and trained
+/// predictors are neither. The engines peel the model off for installation
+/// and forward the rest as an [`IngestOutcome`](crate::IngestOutcome).
+pub struct ObserveOutcome {
+    /// Alerts raised by this batch (also appended to the monitor's log).
+    pub alerts: Vec<DriftAlert>,
+    /// The windowed fairness reading after the batch.
+    pub snapshot: FairnessSnapshot,
+    /// Whether the retraining hook ran successfully.
+    pub retrained: bool,
+    /// Why an attempted on-alert retrain failed, if it did.
+    pub retrain_error: Option<StreamError>,
+    /// The replacement predictor a successful retrain produced. The caller
+    /// owns publication: the sync engine installs it into its scorer
+    /// before returning, the async engine's monitor thread publishes it
+    /// through the atomically-swapped model slot.
+    pub model: Option<Box<dyn Predictor>>,
+}
+
+/// The monitoring half of a stream engine: sliding window, conformance
+/// profiles, per-group Page–Hinkley detectors, alert log, and the retrain
+/// policy — everything that tolerates lag.
+///
+/// A `Monitor` never scores: it *observes* already-served `(tuple,
+/// decision)` pairs via [`Monitor::observe`], folding them into the O(1)
+/// windowed counters and the detectors, and — under
+/// [`RetrainPolicy::OnAlert`] — re-running ConFair on the window when a
+/// detector fires. All state is plain owned data, so a monitor is `Send`
+/// (it can move to a background thread; the async engine does exactly
+/// that) and `Clone` (a coherent copy can be taken for checkpointing while
+/// the original keeps running).
+#[derive(Clone)]
+pub struct Monitor {
+    pub(crate) schema: Vec<String>,
+    pub(crate) learner: LearnerKind,
+    pub(crate) config: StreamConfig,
+    pub(crate) profiles: CellProfiles,
+    pub(crate) window: SlidingWindow,
+    pub(crate) detectors: [PageHinkley; 2],
+    pub(crate) alerts: Vec<DriftAlert>,
+    pub(crate) seen: u64,
+    pub(crate) retrains: u64,
+    pub(crate) floor_quiet_until: u64,
+}
+
+impl Monitor {
+    /// Bootstrap the monitoring half from a labeled, fully numeric
+    /// reference dataset: size the window and derive per-cell conformance
+    /// profiles. (The serving half — training the predictor — is the
+    /// engine constructors' job.)
+    pub fn from_reference(
+        reference: &Dataset,
+        learner: LearnerKind,
+        config: StreamConfig,
+    ) -> Result<Self> {
+        if reference.is_empty() {
+            return Err(StreamError::EmptyReference);
+        }
+        crate::engine::ensure_all_numeric(reference)?;
+        let window = SlidingWindow::new(config.window, reference.num_attributes())?;
+        let profiles = learn_profiles(reference, &config);
+        let detectors = [
+            PageHinkley::new(config.detector),
+            PageHinkley::new(config.detector),
+        ];
+        Ok(Monitor {
+            schema: reference.column_names().to_vec(),
+            learner,
+            config,
+            profiles,
+            window,
+            detectors,
+            alerts: Vec::new(),
+            seen: 0,
+            retrains: 0,
+            floor_quiet_until: 0,
+        })
+    }
+
+    /// Fold one served micro-batch into the monitoring state: per tuple a
+    /// constraint evaluation, an O(1) window/counter update, and one
+    /// Page–Hinkley step; per batch one DI*-floor check and — under
+    /// [`RetrainPolicy::OnAlert`] — at most one retrain, whose replacement
+    /// predictor is handed back in [`ObserveOutcome::model`].
+    ///
+    /// Callers guarantee the batch was validated against the schema and
+    /// that `decisions` are the served decisions for exactly these tuples,
+    /// in order.
+    pub fn observe<T: Borrow<StreamTuple>>(
+        &mut self,
+        batch: &[T],
+        decisions: &[u8],
+    ) -> Result<ObserveOutcome> {
+        if batch.is_empty() {
+            return Ok(ObserveOutcome {
+                alerts: Vec::new(),
+                snapshot: self.snapshot(),
+                retrained: false,
+                retrain_error: None,
+                model: None,
+            });
+        }
+        if decisions.len() != batch.len() {
+            return Err(StreamError::Schema(format!(
+                "{} decisions for a batch of {} tuples",
+                decisions.len(),
+                batch.len()
+            )));
+        }
+
+        let mut new_alerts = Vec::new();
+        for (t, &decision) in batch.iter().zip(decisions) {
+            let tuple = t.borrow();
+            let violated = self.violation_of(tuple) > self.config.conformance_eps;
+            self.window.push(
+                SlotMeta {
+                    group: tuple.group,
+                    label: tuple.label,
+                    decision,
+                    violated,
+                },
+                &tuple.features,
+            )?;
+            self.seen += 1;
+            if let Some(statistic) =
+                self.detectors[tuple.group as usize].observe(f64::from(violated))
+            {
+                new_alerts.push(DriftAlert {
+                    kind: DriftKind::ConformanceViolation,
+                    group: tuple.group,
+                    at_tuple: self.seen,
+                    statistic,
+                    threshold: self.config.detector.lambda,
+                });
+            }
+        }
+
+        // One snapshot serves the floor check, the outcome, and the
+        // post-retrain state alike: it reads only the windowed counters,
+        // which the retraining hook never touches.
+        let snapshot = self.snapshot();
+        if snapshot.passes_di_floor() == Some(false)
+            && self.window.len() >= self.config.floor_min_window
+            && self.seen >= self.floor_quiet_until
+        {
+            let disadvantaged = match (snapshot.selection_rate[0], snapshot.selection_rate[1]) {
+                (Some(w), Some(u)) if u <= w => 1,
+                _ => 0,
+            };
+            new_alerts.push(DriftAlert {
+                kind: DriftKind::DisparateImpactFloor,
+                group: disadvantaged,
+                at_tuple: self.seen,
+                statistic: snapshot.di_star.unwrap_or(0.0),
+                threshold: self.config.di_floor,
+            });
+            self.floor_quiet_until = self.seen + self.config.floor_cooldown;
+        }
+
+        // Log the alerts before attempting any retrain, so a retrain
+        // failure never loses the events that triggered it.
+        self.alerts.extend_from_slice(&new_alerts);
+        let mut retrained = false;
+        let mut retrain_error = None;
+        let mut model = None;
+        if !new_alerts.is_empty() {
+            if let RetrainPolicy::OnAlert { min_window } = self.config.retrain {
+                if self.window.len() >= min_window {
+                    match self.retrain() {
+                        Ok(predictor) => {
+                            retrained = true;
+                            model = Some(predictor);
+                        }
+                        Err(e) => retrain_error = Some(e),
+                    }
+                }
+            }
+        }
+
+        Ok(ObserveOutcome {
+            alerts: new_alerts,
+            snapshot,
+            retrained,
+            retrain_error,
+            model,
+        })
+    }
+
+    /// The retraining hook: re-run ConFair on the window's contents,
+    /// re-derive the reference profiles from the window (the stream's new
+    /// normal), reset the drift detectors, and return the replacement
+    /// predictor for the caller to install into its scorer.
+    pub fn retrain(&mut self) -> Result<Box<dyn Predictor>> {
+        let data = self.window_dataset("stream-window")?;
+        for label in [0u8, 1] {
+            if data.label_count(label) < 2 {
+                return Err(StreamError::DegenerateWindow(format!(
+                    "window holds {} tuples of label {label}; both classes are \
+                     required to retrain",
+                    data.label_count(label)
+                )));
+            }
+        }
+        let split = split3_stratified(&data, SplitRatios::paper_default(), self.seen);
+        let predictor = ConFair::new(self.config.confair.clone())
+            .train(&split.train, &split.validation, self.learner)
+            .map_err(StreamError::from_core)?;
+        self.profiles = learn_profiles(&data, &self.config);
+        for detector in &mut self.detectors {
+            detector.reset();
+        }
+        self.retrains += 1;
+        Ok(predictor)
+    }
+
+    /// The windowed fairness reading. O(1).
+    pub fn snapshot(&self) -> FairnessSnapshot {
+        FairnessSnapshot::from_counts(self.window.counts(), self.config.di_floor)
+    }
+
+    /// Every alert raised since construction, in stream order.
+    pub fn alerts(&self) -> &[DriftAlert] {
+        &self.alerts
+    }
+
+    /// Total tuples observed.
+    pub fn tuples_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// How many times the retraining hook has run.
+    pub fn retrain_count(&self) -> u64 {
+        self.retrains
+    }
+
+    /// Tuples currently retained in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The raw windowed per-group counters (index = group id).
+    pub fn window_counts(&self) -> &[GroupCounts; 2] {
+        self.window.counts()
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The reference schema's column names.
+    pub fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    /// Materialise the window's contents as a dataset (newest-window
+    /// training set for the retraining hook; also useful for audits).
+    pub fn window_dataset(&self, name: &str) -> Result<Dataset> {
+        if self.window.is_empty() {
+            return Err(StreamError::DegenerateWindow("window is empty".into()));
+        }
+        // Window slots were validated on ingestion, so assembly can't fail
+        // on shape.
+        let len = self.window.len();
+        let d = self.schema.len();
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(len); d];
+        let mut labels = Vec::with_capacity(len);
+        let mut groups = Vec::with_capacity(len);
+        for (meta, features) in self.window.iter() {
+            for (j, &v) in features.iter().enumerate() {
+                columns[j].push(v);
+            }
+            labels.push(meta.label);
+            groups.push(meta.group);
+        }
+        Dataset::new(
+            name,
+            self.schema.clone(),
+            columns.into_iter().map(Column::Numeric).collect(),
+            labels,
+            groups,
+        )
+        .map_err(|e| StreamError::Schema(e.to_string()))
+    }
+
+    /// The violation of a tuple against its (group, label) reference
+    /// profile; 0 when the cell had too few reference rows to profile.
+    fn violation_of(&self, tuple: &StreamTuple) -> f64 {
+        match &self.profiles[tuple.group as usize][tuple.label as usize] {
+            Some(constraints) => constraints.violation(&tuple.features),
+            None => 0.0,
+        }
+    }
+}
+
+/// Conformance profiles per (group, label) cell of the reference data.
+pub(crate) fn learn_profiles(reference: &Dataset, config: &StreamConfig) -> CellProfiles {
+    let mut profiles: CellProfiles = Default::default();
+    for cell in CellIndex::binary_cells() {
+        let members = reference.cell_indices(cell);
+        if members.len() < config.min_profile_rows {
+            continue;
+        }
+        let x = reference.numeric_matrix(Some(&members));
+        profiles[cell.group as usize][cell.label as usize] =
+            Some(learn_constraints(&x, &config.confair.learn_opts));
+    }
+    profiles
 }
 
 #[cfg(test)]

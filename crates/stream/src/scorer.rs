@@ -1,0 +1,89 @@
+//! The serving half of the engine split: feature encoding + predictor +
+//! recycled scratch matrix, and nothing else.
+//!
+//! [`Scorer`] is the latency-critical path distilled out of the old
+//! monolithic `StreamEngine`: it turns a validated micro-batch into hard
+//! decisions via the predictor's row-matrix fast path, allocation-free in
+//! steady state, and holds **no** monitoring state — no window, no
+//! detectors, no alert log. That is what makes it cheap to keep on the
+//! caller's thread while a [`Monitor`](crate::Monitor) runs elsewhere: the
+//! only cross-thread traffic a scorer ever receives is a whole replacement
+//! predictor, installed between batches via [`Scorer::install`].
+
+use crate::engine::StreamTuple;
+use crate::{Result, StreamError};
+use cf_linalg::Matrix;
+use confair_core::{Predictor, PredictorState};
+use std::borrow::Borrow;
+
+/// The allocation-free scoring half of a stream engine: schema, fitted
+/// predictor, and the recycled per-batch scratch buffer.
+///
+/// A `Scorer` is deliberately dumb: it assumes its input was already
+/// validated against the schema (the engines do that at their boundaries)
+/// and it never looks at groups, labels, windows, or detectors. Everything
+/// observable about fairness lives in the [`Monitor`](crate::Monitor) half.
+pub struct Scorer {
+    schema: Vec<String>,
+    predictor: Box<dyn Predictor>,
+    /// Recycled backing buffer for the per-batch feature matrix, so the
+    /// steady-state scoring path allocates nothing per tuple.
+    scratch: Vec<f64>,
+}
+
+impl Scorer {
+    /// A scorer over `schema` serving `predictor`.
+    pub fn new(schema: Vec<String>, predictor: Box<dyn Predictor>) -> Self {
+        Scorer {
+            schema,
+            predictor,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The reference schema's column names.
+    pub fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    /// Score one prevalidated micro-batch: assemble the row-major feature
+    /// matrix in the recycled scratch buffer and run the predictor's
+    /// row-matrix fast path. Callers guarantee every tuple matches the
+    /// schema width (see [`crate::engine::StreamEngine::ingest`] for the
+    /// validating entry points).
+    pub fn score<T: Borrow<StreamTuple>>(&mut self, batch: &[T]) -> Result<Vec<u8>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let d = self.schema.len();
+        // Score off one row-major matrix whose backing buffer is recycled
+        // across calls: no `Dataset` assembly, no column-major round trip,
+        // no steady-state allocation per tuple.
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf.reserve(batch.len() * d);
+        for t in batch {
+            buf.extend_from_slice(&t.borrow().features);
+        }
+        let x = Matrix::from_vec(batch.len(), d, buf);
+        let decisions = self
+            .predictor
+            .predict_rows(&x)
+            .map_err(StreamError::from_core)?;
+        self.scratch = x.into_vec();
+        Ok(decisions)
+    }
+
+    /// Swap in a replacement predictor (the publication side of a retrain).
+    /// Takes effect for the next [`Scorer::score`] call; the scorer's
+    /// scratch buffer and schema are untouched.
+    pub fn install(&mut self, predictor: Box<dyn Predictor>) {
+        self.predictor = predictor;
+    }
+
+    /// Snapshot the predictor's fitted state for checkpointing, or `None`
+    /// when the predictor does not support serialisation.
+    pub fn state(&self) -> Option<PredictorState> {
+        self.predictor.state()
+    }
+}

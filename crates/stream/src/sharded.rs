@@ -15,6 +15,7 @@
 //! byte-identical to running that shard's engine standalone (pinned by the
 //! `sharded_consistency` integration test).
 
+use crate::async_engine::{AsyncConfig, AsyncEngine, DropCounters};
 use crate::checkpoint::ShardedCheckpoint;
 use crate::engine::{IngestOutcome, StreamEngine, StreamTuple};
 use crate::monitor::FairnessSnapshot;
@@ -281,6 +282,230 @@ impl ShardedEngine {
             per_shard: outcomes,
             snapshot: self.snapshot(),
         })
+    }
+}
+
+/// The asynchronous sharded router: one [`AsyncEngine`] per shard, so each
+/// shard gets its *own* background monitor thread while all scoring stays
+/// on the caller's thread.
+///
+/// This inverts the sync router's parallelism: [`ShardedEngine::ingest`]
+/// fans the whole score+monitor pipeline out to scoped threads and joins
+/// them before returning; here the cheap part (scoring, ~tens of ns per
+/// tuple) runs serially and the expensive part (window/detector updates,
+/// on-alert retrains) proceeds concurrently across shards *after* `ingest`
+/// has returned. A shard mid-retrain delays only its own queue — its
+/// neighbours' monitors, and everyone's decisions, keep flowing.
+pub struct ShardedAsyncEngine {
+    shards: Vec<AsyncEngine>,
+}
+
+impl ShardedAsyncEngine {
+    /// Split a synchronous sharded engine into per-shard async pipelines,
+    /// carrying every shard's observable state over exactly.
+    pub fn from_sharded(engine: ShardedEngine, async_config: AsyncConfig) -> Self {
+        ShardedAsyncEngine {
+            shards: engine
+                .shards
+                .into_iter()
+                .map(|e| AsyncEngine::from_engine(e, async_config))
+                .collect(),
+        }
+    }
+
+    /// Bootstrap `n_shards` async engines from one shared reference
+    /// dataset (see [`ShardedEngine::from_reference`] for the bootstrap
+    /// cost discussion).
+    pub fn from_reference(
+        reference: &cf_data::Dataset,
+        learner: cf_learners::LearnerKind,
+        seed: u64,
+        config: crate::engine::StreamConfig,
+        n_shards: usize,
+        async_config: AsyncConfig,
+    ) -> Result<Self> {
+        Ok(Self::from_sharded(
+            ShardedEngine::from_reference(reference, learner, seed, config, n_shards)?,
+            async_config,
+        ))
+    }
+
+    /// Assemble from independently bootstrapped engines, with the same
+    /// fleet-coherence validation as [`ShardedEngine::from_engines`].
+    pub fn from_engines(shards: Vec<StreamEngine>, async_config: AsyncConfig) -> Result<Self> {
+        Ok(Self::from_sharded(
+            ShardedEngine::from_engines(shards)?,
+            async_config,
+        ))
+    }
+
+    /// Rebuild a fleet from a sharded checkpoint (same validation as
+    /// [`ShardedEngine::restore`]).
+    pub fn restore(ckpt: ShardedCheckpoint, async_config: AsyncConfig) -> Result<Self> {
+        Ok(Self::from_sharded(
+            ShardedEngine::restore(ckpt)?,
+            async_config,
+        ))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow one shard's async engine (lag, drop counters, alert log,
+    /// published snapshots).
+    pub fn shard(&self, shard: u32) -> Result<&AsyncEngine> {
+        self.shards
+            .get(shard as usize)
+            .ok_or(StreamError::BadShard {
+                shard,
+                shards: self.shards.len(),
+            })
+    }
+
+    /// Route and score one mixed-shard micro-batch, returning every
+    /// decision **in input order** without waiting for any monitoring
+    /// work; each shard's `(tuples, decisions)` record lands on that
+    /// shard's own queue.
+    ///
+    /// # Errors
+    /// The whole batch is validated before any shard scores, exactly as in
+    /// the sync router. A post-validation failure ([`StreamError::Async`]
+    /// when a shard's monitor thread is gone) follows the sync router's
+    /// contract too: every *other* shard still serves and enqueues its
+    /// sub-batch, and the first failing shard's error (in shard order) is
+    /// returned — shards are independent, so a dead neighbour must not
+    /// stop the rest of the fleet from ingesting.
+    pub fn ingest(&mut self, batch: &[ShardedTuple]) -> Result<Vec<u8>> {
+        let n = self.shards.len();
+        let d = self.shards[0].schema().len();
+        for (i, routed) in batch.iter().enumerate() {
+            if routed.shard as usize >= n {
+                return Err(StreamError::BadShard {
+                    shard: routed.shard,
+                    shards: n,
+                });
+            }
+            crate::engine::validate_tuple(&routed.tuple, d, i)?;
+        }
+
+        // Route owned copies (the queue hand-off owns its tuples) and
+        // remember where each input landed so decisions scatter back.
+        let mut per_shard: Vec<Vec<StreamTuple>> = vec![Vec::new(); n];
+        let mut positions = Vec::with_capacity(batch.len());
+        for routed in batch {
+            let bucket = &mut per_shard[routed.shard as usize];
+            positions.push(bucket.len());
+            bucket.push(routed.tuple.clone());
+        }
+
+        // Every shard attempts its sub-batch before any error is
+        // reported, so one dead shard cannot stop its neighbours from
+        // ingesting (mirrors the sync router's per-shard error contract).
+        let results: Vec<Result<Vec<u8>>> = self
+            .shards
+            .iter_mut()
+            .zip(per_shard)
+            .map(|(engine, shard_batch)| {
+                if shard_batch.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    engine.ingest_prevalidated_owned(shard_batch)
+                }
+            })
+            .collect();
+        let mut per_shard_decisions = Vec::with_capacity(n);
+        for result in results {
+            per_shard_decisions.push(result?);
+        }
+
+        Ok(batch
+            .iter()
+            .zip(&positions)
+            .map(|(routed, &pos)| per_shard_decisions[routed.shard as usize][pos])
+            .collect())
+    }
+
+    /// Barrier over every shard: returns once all queues are drained and
+    /// all pending model swaps are installed.
+    pub fn flush(&mut self) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The cross-shard merged per-group counters, from each shard's
+    /// latest published state (exact after a [`ShardedAsyncEngine::flush`];
+    /// otherwise each shard lags by at most its queue backlog).
+    pub fn merged_counts(&self) -> [GroupCounts; 2] {
+        let mut merged = [GroupCounts::default(); 2];
+        for engine in &self.shards {
+            let counts = engine.window_counts();
+            merged[0].merge(&counts[0]);
+            merged[1].merge(&counts[1]);
+        }
+        merged
+    }
+
+    /// The cross-shard aggregate fairness reading over the merged
+    /// published counters.
+    pub fn snapshot(&self) -> FairnessSnapshot {
+        FairnessSnapshot::from_counts(&self.merged_counts(), self.shards[0].config().di_floor)
+    }
+
+    /// Total tuples scored (served) across all shards.
+    pub fn tuples_scored(&self) -> u64 {
+        self.shards.iter().map(AsyncEngine::tuples_scored).sum()
+    }
+
+    /// Total tuples the shard monitors have fully processed.
+    pub fn tuples_monitored(&self) -> u64 {
+        self.shards.iter().map(AsyncEngine::tuples_monitored).sum()
+    }
+
+    /// Aggregate drop counters across all shard queues.
+    pub fn dropped(&self) -> DropCounters {
+        let mut total = DropCounters::default();
+        for shard in &self.shards {
+            let d = shard.dropped();
+            total.batches += d.batches;
+            total.tuples += d.tuples;
+        }
+        total
+    }
+
+    /// Drain every shard to a quiescent point and snapshot the fleet
+    /// coherently (no ingest can interleave: this takes `&mut self`).
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedEngine::checkpoint`], plus
+    /// [`StreamError::Async`] when a monitor thread is gone.
+    pub fn checkpoint(&mut self) -> Result<ShardedCheckpoint> {
+        self.flush()?;
+        Ok(ShardedCheckpoint {
+            version: crate::checkpoint::CHECKPOINT_VERSION,
+            shards: self
+                .shards
+                .iter_mut()
+                .map(AsyncEngine::checkpoint)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+
+    /// Shut every shard's pipeline down and reunite the fleet into a
+    /// synchronous [`ShardedEngine`] carrying the exact same state.
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when any monitor thread is gone or panicked.
+    pub fn into_sharded(self) -> Result<ShardedEngine> {
+        ShardedEngine::from_engines(
+            self.shards
+                .into_iter()
+                .map(AsyncEngine::into_engine)
+                .collect::<Result<Vec<_>>>()?,
+        )
     }
 }
 

@@ -12,6 +12,14 @@
 //! vector is `arena[i*dim..(i+1)*dim]` — so pushing a tuple copies `dim`
 //! floats into place instead of boxing a fresh heap allocation per tuple.
 //! Once the ring has wrapped, `push` never allocates again.
+//!
+//! In the engine split, the window belongs to the [`Monitor`] half: it is
+//! plain owned data (no handles, no interior mutability), which is what
+//! lets a monitor move to the async engine's background thread — and be
+//! cloned for quiescent-point checkpoints — without any synchronisation
+//! here.
+//!
+//! [`Monitor`]: crate::Monitor
 
 use crate::{Result, StreamError};
 

@@ -1,0 +1,294 @@
+//! The async engine's determinism bridge, property-checked: with a
+//! single-consumer monitor thread and a [`AsyncEngine::flush`] barrier,
+//! the asynchronous pipeline must be **observationally identical** to the
+//! synchronous [`StreamEngine`] on the same `DriftStream` — byte-identical
+//! decisions, snapshots, alert sequences, retrain counts, and checkpoint
+//! documents — across window sizes, batch shapes, drift onsets, and
+//! retrain policies. The same property extends PR 3's checkpoint
+//! round-trip contract to the async engine: checkpointing drains the queue
+//! to a quiescent point first, so a restored async engine (or a sync
+//! engine restored from the async document — the formats are one and the
+//! same) replays bit-identically.
+
+use cf_datasets::stream::{DriftStream, DriftStreamSpec};
+use cf_learners::LearnerKind;
+use cf_stream::{
+    AsyncConfig, AsyncEngine, BackpressurePolicy, EngineCheckpoint, RetrainPolicy,
+    ShardedAsyncEngine, ShardedEngine, ShardedTuple, StreamConfig, StreamEngine, StreamTuple,
+};
+use confair_core::confair::{AlphaMode, ConFairConfig};
+use proptest::prelude::*;
+
+fn spec(drift_onset: u64) -> DriftStreamSpec {
+    DriftStreamSpec {
+        drift_onset,
+        ..DriftStreamSpec::default()
+    }
+}
+
+/// Small windows/floors and fixed-α ConFair keep per-case bootstraps and
+/// on-alert retrains cheap without weakening the bit-identity contract.
+fn config(window: usize, retrain: RetrainPolicy) -> StreamConfig {
+    StreamConfig {
+        window,
+        floor_min_window: 32,
+        floor_cooldown: 400,
+        retrain,
+        confair: ConFairConfig {
+            alpha: AlphaMode::Fixed {
+                alpha_u: 2.0,
+                alpha_w: 1.0,
+            },
+            ..ConFairConfig::default()
+        },
+        ..StreamConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Mirrors `sharded_consistency`: drive a sync engine and an async
+    /// engine (flushed after every batch) over the same stream and pin
+    /// every observable — including the serialised checkpoints — to byte
+    /// identity.
+    #[test]
+    fn async_engine_is_observationally_identical_to_sync(
+        window in 64usize..400,
+        drift_onset in 0u64..1_200,
+        batch_size in 20usize..400,
+        n_batches in 2usize..5,
+        stream_seed in 0u64..1_000,
+        retrain_on_alert in 0u8..2,
+        queue_depth in 1usize..8,
+    ) {
+        let retrain = if retrain_on_alert == 1 {
+            RetrainPolicy::OnAlert { min_window: 48 }
+        } else {
+            RetrainPolicy::Never
+        };
+        let reference = spec(drift_onset).reference(800, 11);
+        let mut sync = StreamEngine::from_reference(
+            &reference, LearnerKind::Logistic, 11, config(window, retrain),
+        ).unwrap();
+        // Same reference + same seed bootstraps an identical engine, then
+        // split across the async pipeline.
+        let mut anc = AsyncEngine::from_engine(
+            StreamEngine::from_reference(
+                &reference, LearnerKind::Logistic, 11, config(window, retrain),
+            ).unwrap(),
+            AsyncConfig { queue_depth, backpressure: BackpressurePolicy::Block },
+        );
+
+        let mut stream = DriftStream::new(spec(drift_onset), stream_seed);
+        for _ in 0..n_batches {
+            let batch =
+                StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+            let sync_out = sync.ingest(&batch).unwrap();
+            let async_decisions = anc.ingest(&batch).unwrap();
+            prop_assert_eq!(&sync_out.decisions, &async_decisions,
+                "decisions must not depend on which side of the split scores them");
+
+            // The barrier: after flush, the monitor half has fully caught
+            // up (including any retrain + model swap this batch caused).
+            anc.flush().unwrap();
+            prop_assert_eq!(anc.monitor_lag(), 0);
+            prop_assert_eq!(anc.snapshot(), sync_out.snapshot);
+            prop_assert_eq!(anc.tuples_monitored(), sync.tuples_seen());
+        }
+
+        // Converged state: alert sequence, retrains, counters, and the
+        // checkpoint documents themselves are byte-identical.
+        let async_alerts = anc.alerts();
+        prop_assert_eq!(async_alerts.as_slice(), sync.alerts());
+        prop_assert_eq!(anc.retrain_count(), sync.retrain_count());
+        prop_assert_eq!(anc.window_counts(), *sync.window_counts());
+        prop_assert_eq!(anc.dropped().tuples, 0, "Block never drops");
+        prop_assert_eq!(
+            anc.checkpoint().unwrap().to_json(),
+            sync.checkpoint().unwrap().to_json(),
+            "sync and async engines write the same checkpoint document"
+        );
+
+        // And the reunited engine is the sync engine, exactly.
+        let mut reunited = anc.into_engine().unwrap();
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+        let a = sync.ingest(&batch).unwrap();
+        let b = reunited.ingest(&batch).unwrap();
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(a.alerts, b.alerts);
+        prop_assert_eq!(a.snapshot, b.snapshot);
+    }
+
+    /// The PR 3 round-trip property, extended to the async engine:
+    /// checkpoint (drains the queue first) → serialise → restore → ingest
+    /// the rest ≡ an uninterrupted async run ≡ the sync engine.
+    #[test]
+    fn async_checkpoint_round_trips_bit_identically(
+        window in 64usize..300,
+        drift_onset in 0u64..800,
+        batch_size in 20usize..300,
+        stream_seed in 0u64..1_000,
+        retrain_on_alert in 0u8..2,
+    ) {
+        let retrain = if retrain_on_alert == 1 {
+            RetrainPolicy::OnAlert { min_window: 48 }
+        } else {
+            RetrainPolicy::Never
+        };
+        let reference = spec(drift_onset).reference(800, 13);
+        let mut uninterrupted = AsyncEngine::from_reference(
+            &reference, LearnerKind::Logistic, 13, config(window, retrain),
+            AsyncConfig::default(),
+        ).unwrap();
+
+        let mut stream = DriftStream::new(spec(drift_onset), stream_seed);
+        for _ in 0..2 {
+            let batch =
+                StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+            uninterrupted.ingest(&batch).unwrap();
+        }
+
+        // The checkpoint itself is the barrier: no explicit flush before.
+        let doc = uninterrupted.checkpoint().unwrap().to_json();
+        let mut restored = AsyncEngine::restore(
+            EngineCheckpoint::from_json(&doc).unwrap(),
+            AsyncConfig::default(),
+        ).unwrap();
+        prop_assert_eq!(restored.monitor_lag(), 0);
+        prop_assert_eq!(restored.tuples_scored(), uninterrupted.tuples_scored());
+
+        for _ in 0..2 {
+            let batch =
+                StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+            let a = uninterrupted.ingest(&batch).unwrap();
+            let b = restored.ingest(&batch).unwrap();
+            prop_assert_eq!(a, b);
+        }
+        uninterrupted.flush().unwrap();
+        restored.flush().unwrap();
+        prop_assert_eq!(uninterrupted.alerts(), restored.alerts());
+        prop_assert_eq!(uninterrupted.snapshot(), restored.snapshot());
+        prop_assert_eq!(
+            uninterrupted.checkpoint().unwrap().to_json(),
+            restored.checkpoint().unwrap().to_json()
+        );
+    }
+
+    /// The sharded async router against the sync sharded router: same
+    /// routed batches, flush-per-batch, identical decisions, aggregates,
+    /// and checkpoint documents.
+    #[test]
+    fn sharded_async_matches_sharded_sync(
+        n_shards in 1usize..=3,
+        batch_size in 30usize..400,
+        stream_seed in 0u64..1_000,
+        route_salt in 0u64..1_000,
+    ) {
+        let reference = spec(400).reference(800, 17);
+        let cfg = config(192, RetrainPolicy::Never);
+        let mut sync = ShardedEngine::from_reference(
+            &reference, LearnerKind::Logistic, 17, cfg.clone(), n_shards,
+        ).unwrap();
+        let mut anc = ShardedAsyncEngine::from_sharded(
+            ShardedEngine::from_reference(
+                &reference, LearnerKind::Logistic, 17, cfg, n_shards,
+            ).unwrap(),
+            AsyncConfig::default(),
+        );
+
+        let route = |i: usize| -> u32 {
+            let z = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(route_salt);
+            ((z >> 7) % n_shards as u64) as u32
+        };
+        let mut stream = DriftStream::new(spec(400), stream_seed);
+        for _ in 0..2 {
+            let routed: Vec<ShardedTuple> =
+                StreamTuple::rows_from_dataset(&stream.next_batch(batch_size))
+                    .unwrap()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, tuple)| ShardedTuple { shard: route(i), tuple })
+                    .collect();
+            let sync_out = sync.ingest(&routed).unwrap();
+            let async_decisions = anc.ingest(&routed).unwrap();
+            prop_assert_eq!(&sync_out.decisions, &async_decisions);
+
+            anc.flush().unwrap();
+            prop_assert_eq!(anc.snapshot(), sync_out.snapshot);
+            prop_assert_eq!(anc.merged_counts(), sync.merged_counts());
+        }
+        prop_assert_eq!(anc.tuples_scored(), sync.tuples_seen());
+        prop_assert_eq!(anc.tuples_monitored(), sync.tuples_seen());
+        prop_assert_eq!(
+            anc.checkpoint().unwrap().to_json(),
+            sync.checkpoint().unwrap().to_json()
+        );
+
+        // Reuniting the async fleet gives back the sync fleet, exactly.
+        let reunited = anc.into_sharded().unwrap();
+        prop_assert_eq!(reunited.snapshot(), sync.snapshot());
+        prop_assert_eq!(reunited.tuples_seen(), sync.tuples_seen());
+    }
+}
+
+/// Validation failures must reject the batch before anything is scored or
+/// enqueued — same whole-batch semantics as the sync engine.
+#[test]
+fn async_validation_rejects_before_enqueue() {
+    let reference = spec(u64::MAX).reference(400, 3);
+    let mut engine = AsyncEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        3,
+        config(128, RetrainPolicy::Never),
+        AsyncConfig::default(),
+    )
+    .unwrap();
+    let mut batch =
+        StreamTuple::rows_from_dataset(&DriftStream::new(spec(u64::MAX), 5).next_batch(8)).unwrap();
+    batch[5].group = 7;
+    assert!(engine.ingest(&batch).is_err());
+    engine.flush().unwrap();
+    assert_eq!(engine.tuples_scored(), 0);
+    assert_eq!(engine.tuples_monitored(), 0);
+}
+
+/// A sync engine restores an async checkpoint and vice versa — the
+/// document is one format, so operators can switch serving modes at a
+/// restart boundary.
+#[test]
+fn checkpoints_are_interchangeable_across_engines() {
+    let reference = spec(300).reference(600, 23);
+    let mut anc = AsyncEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        23,
+        config(192, RetrainPolicy::Never),
+        AsyncConfig::default(),
+    )
+    .unwrap();
+    let mut stream = DriftStream::new(spec(300), 29);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(220)).unwrap();
+    anc.ingest(&batch).unwrap();
+
+    let doc = anc.checkpoint().unwrap().to_json();
+    let mut as_sync = StreamEngine::restore(EngineCheckpoint::from_json(&doc).unwrap()).unwrap();
+    let mut as_async = AsyncEngine::restore(
+        EngineCheckpoint::from_json(&doc).unwrap(),
+        AsyncConfig::default(),
+    )
+    .unwrap();
+
+    for _ in 0..2 {
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(150)).unwrap();
+        let a = as_sync.ingest(&batch).unwrap().decisions;
+        let b = as_async.ingest(&batch).unwrap();
+        assert_eq!(a, b);
+    }
+    as_async.flush().unwrap();
+    assert_eq!(as_sync.snapshot(), as_async.snapshot());
+    assert_eq!(as_sync.alerts(), as_async.alerts().as_slice());
+}

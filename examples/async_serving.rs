@@ -1,0 +1,168 @@
+//! Asynchronous serving under drift: decisions keep flowing while the
+//! monitor retrains.
+//!
+//! The same scenario as `stream_monitor` — a credit model's minority group
+//! drifts mid-stream, the conformance detectors trip, and on-alert ConFair
+//! retraining repairs the disparate impact — but served through the
+//! [`AsyncEngine`]: `ingest` returns after the forward pass, the window /
+//! Page–Hinkley / retrain work runs on a background monitor thread behind
+//! a bounded queue, and the retrained model is published back to the
+//! scorer through an atomically-swapped slot. A synchronous twin engine is
+//! driven over the *same* batches for contrast: its worst ingest call
+//! swallows a whole ConFair retrain, while the async engine's serving
+//! latency stays flat through the very same repair.
+//!
+//! ```sh
+//! cargo run --release --example async_serving
+//! ```
+
+use confair::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let spec = DriftStreamSpec {
+        drift_onset: 6_000,
+        ..DriftStreamSpec::default()
+    };
+
+    // 1. Bootstrap twins from the same reference and seed: identical
+    //    models, identical conformance profiles — the only difference is
+    //    where the monitoring work runs.
+    let reference = spec.reference(4_000, 42);
+    let config = StreamConfig {
+        retrain: RetrainPolicy::OnAlert { min_window: 1_000 },
+        ..StreamConfig::default()
+    };
+    let mut sync_engine =
+        StreamEngine::from_reference(&reference, LearnerKind::Logistic, 42, config.clone())
+            .expect("bootstrap sync engine");
+    let mut async_engine = AsyncEngine::from_engine(
+        StreamEngine::from_reference(&reference, LearnerKind::Logistic, 42, config)
+            .expect("bootstrap async twin"),
+        AsyncConfig {
+            queue_depth: 64,
+            backpressure: BackpressurePolicy::Block,
+        },
+    );
+    println!(
+        "bootstrapped twins from {} reference tuples (window = 2000, DI floor = 0.8)",
+        reference.len()
+    );
+    println!(
+        "minority drift onset: tuple {}; async queue depth 64, policy Block\n",
+        spec.drift_onset
+    );
+
+    // 2. Serve the same stream through both engines, timing every call.
+    //    Arrivals are paced at one micro-batch per interval — serving has
+    //    an arrival rate; an unthrottled loop would shove the whole
+    //    stream into the queue before the first repair could land.
+    let mut stream = DriftStream::new(spec, 7);
+    let batch_size = 250;
+    let interval = std::time::Duration::from_millis(8); // ≈31k tuples/sec
+    let mut sync_lat_us = Vec::new();
+    let mut async_lat_us = Vec::new();
+    println!(
+        "{:>8} {:>10} {:>11} {:>7} {:>5}  events (async side)",
+        "tuple", "sync µs", "async µs", "DI*", "lag"
+    );
+    let started = Instant::now();
+    for round in 0..80u32 {
+        if let Some(wait) = (interval * round).checked_sub(started.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(batch_size))
+            .expect("numeric stream batch");
+
+        let call = Instant::now();
+        let sync_out = sync_engine.ingest(&batch).expect("sync ingest");
+        let sync_us = call.elapsed().as_secs_f64() * 1e6;
+        sync_lat_us.push(sync_us);
+
+        let call = Instant::now();
+        let decisions = async_engine.ingest_owned(batch).expect("async ingest");
+        let async_us = call.elapsed().as_secs_f64() * 1e6;
+        async_lat_us.push(async_us);
+        // Free-running twins serve identically until the first retrain;
+        // after it the async side swaps the repaired model in a few
+        // batches later (the monitor's lag), so the twins may briefly
+        // diverge — byte-identity under `flush` barriers is pinned by the
+        // `async_equivalence` property tests, not here.
+        assert_eq!(decisions.len(), sync_out.decisions.len());
+
+        // The async side's alerts surface when its monitor catches up —
+        // report what has been published so far, plus the current lag.
+        let published = async_engine.snapshot();
+        let events: Vec<String> = sync_out
+            .alerts
+            .iter()
+            .map(DriftAlert::to_string)
+            .chain(
+                sync_out
+                    .retrained
+                    .then(|| "[RETRAIN] off-thread on async side".to_string()),
+            )
+            .collect();
+        if (round + 1) % 8 == 0 || !events.is_empty() {
+            let fmt = |v: Option<f64>| v.map_or("--".into(), |x| format!("{x:.3}"));
+            println!(
+                "{:>8} {:>10.0} {:>11.1} {:>7} {:>5}  {}",
+                async_engine.tuples_scored(),
+                sync_us,
+                async_us,
+                fmt(published.di_star),
+                async_engine.monitor_lag() / batch_size as u64,
+                events.join(" | "),
+            );
+        }
+    }
+
+    // 3. Barrier: let the monitor drain everything still queued.
+    async_engine.flush().expect("flush");
+    assert_eq!(async_engine.monitor_lag(), 0);
+    let async_alerts = async_engine.alerts();
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+    let snapshot = async_engine.snapshot();
+    let di = snapshot.di_star.expect("both groups observed");
+    println!("\nfinal window: {snapshot}");
+    println!(
+        "alerts: {} ({} retrains, {} batches dropped)",
+        async_alerts.len(),
+        async_engine.retrain_count(),
+        async_engine.dropped().batches,
+    );
+    println!(
+        "sync  ingest: mean {:>8.1}µs  worst {:>9.0}µs   <- a retrain lives inside a call",
+        mean(&sync_lat_us),
+        max(&sync_lat_us)
+    );
+    println!(
+        "async ingest: mean {:>8.1}µs  worst {:>9.0}µs   <- decisions flowed through the repair",
+        mean(&async_lat_us),
+        max(&async_lat_us)
+    );
+
+    // 4. The verdict: drift was detected and repaired off the serving
+    //    path — DI* back above the EEOC floor, serving latency flat.
+    assert!(
+        !async_alerts.is_empty() && async_engine.retrain_count() >= 1,
+        "expected drift alerts and at least one off-thread retrain"
+    );
+    assert!(
+        di >= 0.8,
+        "expected post-swap DI* recovery above 0.8, got {di:.3}"
+    );
+    assert!(
+        mean(&async_lat_us) < mean(&sync_lat_us),
+        "async serving must be cheaper on average than inline monitoring \
+         (async {:.1}µs vs sync {:.1}µs)",
+        mean(&async_lat_us),
+        mean(&sync_lat_us)
+    );
+    println!(
+        "\ndrift detected at tuple {} and repaired off-thread: DI* back to {di:.3} (>= 0.8)",
+        async_alerts.first().map(|a| a.at_tuple).unwrap_or(0),
+    );
+}

@@ -40,8 +40,9 @@ pub mod prelude {
     pub use cf_learners::{Learner, LearnerKind};
     pub use cf_metrics::{FairnessReport, GroupConfusion};
     pub use cf_stream::{
-        DriftAlert, DriftKind, EngineCheckpoint, FairnessSnapshot, PageHinkleyConfig,
-        RetrainPolicy, ShardedCheckpoint, ShardedEngine, ShardedOutcome, ShardedTuple,
+        AsyncConfig, AsyncEngine, BackpressurePolicy, DriftAlert, DriftKind, DropCounters,
+        EngineCheckpoint, FairnessSnapshot, Monitor, PageHinkleyConfig, RetrainPolicy, Scorer,
+        ShardedAsyncEngine, ShardedCheckpoint, ShardedEngine, ShardedOutcome, ShardedTuple,
         StreamConfig, StreamEngine, StreamTuple,
     };
     pub use confair_core::{
