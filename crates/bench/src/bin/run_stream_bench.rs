@@ -11,8 +11,9 @@
 //! `cf_bench::stream_load`, shared with the criterion bench.
 
 use cf_bench::stream_load::{
-    drifting_spec, fresh_async_engine, fresh_engine, fresh_retraining_engine, fresh_sharded_engine,
-    percentile_us, pregenerate, pregenerate_from, pregenerate_sharded,
+    delayed_spec, drifting_spec, fresh_async_engine, fresh_engine, fresh_feedback_engine,
+    fresh_retraining_engine, fresh_sharded_engine, percentile_us, pregenerate, pregenerate_delayed,
+    pregenerate_from, pregenerate_sharded,
 };
 use cf_stream::{AsyncConfig, ShardedEngine, ShardedTuple, StreamEngine, StreamTuple};
 use std::hint::black_box;
@@ -166,6 +167,54 @@ fn latency_comparison(quick: bool) -> (Vec<serde_json::Value>, serde_json::Value
     (configs, summary)
 }
 
+/// The delayed-label join cost: unlabeled ingest with labels trailing by
+/// 6k–16k tuples (window 4,096 — most joins land through the pending
+/// index, the costliest path). Measures the `feedback` call itself:
+/// latency percentiles per call and sustained joins/sec.
+fn feedback_join(quick: bool) -> serde_json::Value {
+    let batch = 512;
+    let n_batches = if quick { 60 } else { 240 };
+    let window = 4_096;
+    let batches = pregenerate_delayed(delayed_spec(6_000, 16_000), n_batches, batch);
+    let mut engine = fresh_feedback_engine(window, 16_384);
+
+    let mut joins = 0u64;
+    let mut lat = Vec::with_capacity(batches.len());
+    let mut join_secs = 0.0f64;
+    for (tuples, feedback) in &batches {
+        engine.ingest(black_box(tuples)).expect("ingest");
+        let call = Instant::now();
+        let outcome = engine.feedback(black_box(feedback)).expect("feedback");
+        let elapsed = call.elapsed().as_secs_f64();
+        if !feedback.is_empty() {
+            lat.push(elapsed * 1e6);
+        }
+        join_secs += elapsed;
+        joins += outcome.joined;
+    }
+    let stats = engine.join_stats();
+    assert_eq!(stats.unmatched, 0, "pending index sized for the full lag");
+    let (p50, p99) = (percentile_us(&lat, 50.0), percentile_us(&lat, 99.0));
+    let rate = joins as f64 / join_secs;
+    println!(
+        "latency/feedback_join: p50 {p50:.1}µs  p99 {p99:.1}µs per feedback batch  \
+         {rate:.0} joins/sec sustained  ({joins} joined, {} late)",
+        stats.joined_late
+    );
+    serde_json::json!({
+        "name": "latency/feedback_join",
+        "batch": batch,
+        "window": window,
+        "pending_labels": 16_384,
+        "labels_joined": joins,
+        "joined_late": stats.joined_late,
+        "join_secs": join_secs,
+        "joins_per_sec": rate,
+        "feedback_p50_us": p50,
+        "feedback_p99_us": p99,
+    })
+}
+
 fn main() {
     let mut quick = false;
     let mut out = std::path::PathBuf::from("BENCH_stream.json");
@@ -227,6 +276,9 @@ fn main() {
     // Sync vs async ingest-path latency on the drifting workload.
     let (latency_configs, async_vs_sync) = latency_comparison(quick);
     configs.extend(latency_configs);
+
+    // Late-label join cost through the pending index.
+    configs.push(feedback_join(quick));
 
     let artifact = serde_json::json!({
         "bench": "stream_ingest",

@@ -2,11 +2,13 @@
 //! the criterion bench (`benches/stream_ingest.rs`) and the trajectory
 //! binary (`run_stream_bench`) so the two always measure the same workload.
 
-use cf_datasets::stream::{DriftStream, DriftStreamSpec, ShardedDriftStream};
+use cf_datasets::stream::{
+    DelayedLabelStream, DriftStream, DriftStreamSpec, LabelDelay, ShardedDriftStream,
+};
 use cf_learners::LearnerKind;
 use cf_stream::{
-    AsyncConfig, AsyncEngine, RetrainPolicy, ShardedEngine, ShardedTuple, StreamConfig,
-    StreamEngine, StreamTuple,
+    AsyncConfig, AsyncEngine, LabelFeedback, RetrainPolicy, ShardedEngine, ShardedTuple,
+    StreamConfig, StreamEngine, StreamTuple,
 };
 use confair_core::confair::{AlphaMode, ConFairConfig};
 
@@ -113,6 +115,66 @@ pub fn pregenerate_from(
 /// tuples each.
 pub fn pregenerate(n_batches: usize, batch: usize) -> Vec<Vec<StreamTuple>> {
     pregenerate_from(stationary_spec(), n_batches, batch)
+}
+
+/// The delayed-label workload: stationary geometry, labels trailing by
+/// `min_delay..=max_delay` tuples with 5% never arriving — the regime the
+/// `feedback` join path is built for. Delays deliberately exceed the
+/// benchmark window so most joins go through the pending index (the
+/// costliest path).
+pub fn delayed_spec(min_delay: u64, max_delay: u64) -> DriftStreamSpec {
+    DriftStreamSpec {
+        label_delay: LabelDelay::Uniform {
+            min: min_delay,
+            max: max_delay,
+        },
+        missing_label_rate: 0.05,
+        ..stationary_spec()
+    }
+}
+
+/// Engine configuration for the feedback-join benchmark: monitoring only,
+/// with the pending-join index sized for the workload's label lag.
+pub fn feedback_engine_config(window: usize, pending: usize) -> StreamConfig {
+    StreamConfig {
+        pending_labels: pending,
+        ..engine_config(window)
+    }
+}
+
+/// A bootstrapped engine for the feedback-join benchmark.
+pub fn fresh_feedback_engine(window: usize, pending: usize) -> StreamEngine {
+    let reference = stationary_spec().reference(4_000, 21);
+    StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        21,
+        feedback_engine_config(window, pending),
+    )
+    .expect("bootstrap")
+}
+
+/// Pregenerate `n_batches` unlabeled batches of `batch` tuples each plus,
+/// per batch, the feedback records that come due by its end (ids assume
+/// the batches are ingested in order into one fresh engine).
+#[allow(clippy::type_complexity)]
+pub fn pregenerate_delayed(
+    spec: DriftStreamSpec,
+    n_batches: usize,
+    batch: usize,
+) -> Vec<(Vec<StreamTuple>, Vec<LabelFeedback>)> {
+    let mut stream = DelayedLabelStream::new(spec, 3);
+    (0..n_batches)
+        .map(|_| {
+            let (data, due) = stream.next_batch(batch);
+            let tuples = StreamTuple::rows_unlabeled_from_dataset(&data).expect("numeric");
+            let feedback = due
+                .into_iter()
+                .map(|(id, label)| LabelFeedback { id, label })
+                .collect();
+            (tuples, feedback)
+        })
+        .collect()
 }
 
 /// The `p`-th percentile (0–100) of an unsorted sample, by

@@ -14,9 +14,63 @@ use crate::normal_vec;
 use cf_data::{Column, Dataset, MINORITY};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+/// How long ground truth trails serving, in tuples — the label-delay
+/// distribution of a [`DelayedLabelStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelDelay {
+    /// Labels are available by the end of the batch that served them
+    /// (they still travel as feedback, exercising the join path).
+    Immediate,
+    /// Every label arrives exactly this many tuples after its own.
+    Fixed(u64),
+    /// Per-tuple delay drawn uniformly from `min..=max` tuples.
+    Uniform {
+        /// Smallest possible delay.
+        min: u64,
+        /// Largest possible delay (inclusive).
+        max: u64,
+    },
+}
+
+impl serde::Serialize for LabelDelay {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            LabelDelay::Immediate => serde::Value::String("immediate".into()),
+            LabelDelay::Fixed(delay) => {
+                serde::Value::Object(vec![("fixed".into(), delay.to_value())])
+            }
+            LabelDelay::Uniform { min, max } => serde::Value::Object(vec![(
+                "uniform".into(),
+                serde::Value::Object(vec![
+                    ("min".into(), min.to_value()),
+                    ("max".into(), max.to_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl serde::Deserialize for LabelDelay {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        if v.as_str() == Some("immediate") {
+            return Ok(LabelDelay::Immediate);
+        }
+        if let Some(fixed) = v.get("fixed") {
+            return Ok(LabelDelay::Fixed(serde::Deserialize::from_value(fixed)?));
+        }
+        if let Some(uniform) = v.get("uniform") {
+            return Ok(LabelDelay::Uniform {
+                min: serde::Deserialize::from_value(uniform.get_or_err("min")?)?,
+                max: serde::Deserialize::from_value(uniform.get_or_err("max")?)?,
+            });
+        }
+        Err(serde::Error::msg("unknown label delay"))
+    }
+}
+
 /// Specification of a drifting stream.
 ///
-/// The knobs fall into three groups:
+/// The knobs fall into four groups:
 ///
 /// * **Geometry** — `n_features`, `class_sep`, `cluster_std`,
 ///   `minority_std_factor`, `minority_offset`: how separable the classes
@@ -30,7 +84,11 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 ///   (who drifts), and `transition` (0 = abrupt shift; otherwise the
 ///   rotation ramps linearly over this many tuples). Detection latency in
 ///   `cf-stream` benchmarks is measured against `drift_onset`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+/// * **Label feedback** — `label_delay`, `missing_label_rate`: how long
+///   ground truth trails serving and what fraction never arrives at all.
+///   Only [`DelayedLabelStream`] reads these knobs; the plain
+///   [`DriftStream`] always emits fully labeled batches.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct DriftStreamSpec {
     /// Total features; the first two are informative, the rest noise.
     pub n_features: usize,
@@ -56,6 +114,44 @@ pub struct DriftStreamSpec {
     /// Tuples over which the rotation ramps from 0 to `drift_angle`
     /// (0 = abrupt shift).
     pub transition: u64,
+    /// How long ground truth trails serving (read by
+    /// [`DelayedLabelStream`]).
+    pub label_delay: LabelDelay,
+    /// Fraction of tuples whose ground truth never arrives (read by
+    /// [`DelayedLabelStream`]); must be in `[0, 1)`.
+    pub missing_label_rate: f64,
+}
+
+/// Hand-written so the label-feedback knobs are *optional* on parse:
+/// [`DriftStreamCheckpoint`] documents carry no version field, and specs
+/// saved before those knobs existed must keep restoring — a missing
+/// `label_delay` / `missing_label_rate` defaults to the fully-labeled
+/// regime (`Immediate` / 0.0), which is exactly what those streams were.
+impl serde::Deserialize for DriftStreamSpec {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let req = |key: &str| v.get_or_err(key);
+        Ok(DriftStreamSpec {
+            n_features: serde::Deserialize::from_value(req("n_features")?)?,
+            class_sep: serde::Deserialize::from_value(req("class_sep")?)?,
+            cluster_std: serde::Deserialize::from_value(req("cluster_std")?)?,
+            minority_std_factor: serde::Deserialize::from_value(req("minority_std_factor")?)?,
+            minority_offset: serde::Deserialize::from_value(req("minority_offset")?)?,
+            minority_fraction: serde::Deserialize::from_value(req("minority_fraction")?)?,
+            positive_rate: serde::Deserialize::from_value(req("positive_rate")?)?,
+            drift_onset: serde::Deserialize::from_value(req("drift_onset")?)?,
+            drift_angle: serde::Deserialize::from_value(req("drift_angle")?)?,
+            drift_group: serde::Deserialize::from_value(req("drift_group")?)?,
+            transition: serde::Deserialize::from_value(req("transition")?)?,
+            label_delay: match v.get("label_delay") {
+                Some(delay) => serde::Deserialize::from_value(delay)?,
+                None => LabelDelay::Immediate,
+            },
+            missing_label_rate: match v.get("missing_label_rate") {
+                Some(rate) => serde::Deserialize::from_value(rate)?,
+                None => 0.0,
+            },
+        })
+    }
 }
 
 impl Default for DriftStreamSpec {
@@ -72,6 +168,8 @@ impl Default for DriftStreamSpec {
             drift_angle: std::f64::consts::FRAC_PI_2,
             drift_group: MINORITY,
             transition: 0,
+            label_delay: LabelDelay::Immediate,
+            missing_label_rate: 0.0,
         }
     }
 }
@@ -126,6 +224,14 @@ fn validate_spec(spec: &DriftStreamSpec) -> Result<(), String> {
     }
     if spec.drift_group >= 2 {
         return Err("drift group must be binary".into());
+    }
+    if !(0.0..1.0).contains(&spec.missing_label_rate) {
+        return Err("missing-label rate must be in [0, 1)".into());
+    }
+    if let LabelDelay::Uniform { min, max } = spec.label_delay {
+        if min > max {
+            return Err("label-delay range must have min <= max".into());
+        }
     }
     Ok(())
 }
@@ -279,6 +385,119 @@ impl DriftStream {
 
         self.emitted += 1;
         (x, label, group)
+    }
+}
+
+/// A [`DriftStream`] whose ground truth arrives **late or never** — the
+/// workload generator for the delayed/partial-label serving regime.
+///
+/// Each batch comes in two parts: the freshly emitted tuples (serve them
+/// unlabeled — strip the dataset's labels at ingest) and the feedback that
+/// has *come due* by the end of the batch — `(tuple id, label)` pairs for
+/// tuples emitted earlier, per the spec's [`DriftStreamSpec::label_delay`]
+/// distribution. A [`DriftStreamSpec::missing_label_rate`] fraction of
+/// labels never arrives at all.
+///
+/// Tuple ids count emitted tuples from 0 in stream order, which is exactly
+/// the id a `cf-stream` engine assigns when the whole stream is ingested
+/// into it in order — so the feedback pairs can be handed to
+/// `StreamEngine::feedback` verbatim.
+///
+/// Delay draws come from an **independent RNG stream**: the emitted
+/// geometry is bit-identical to a plain [`DriftStream`] with the same spec
+/// and seed, so delayed-label runs are comparable tuple-for-tuple with
+/// fully-labeled ones.
+#[derive(Debug, Clone)]
+pub struct DelayedLabelStream {
+    inner: DriftStream,
+    delay_rng: StdRng,
+    /// Scheduled deliveries: due clock → the `(id, label)` records that
+    /// become available once `emitted()` reaches the key.
+    due: std::collections::BTreeMap<u64, Vec<(u64, u8)>>,
+    withheld: u64,
+    delivered: u64,
+}
+
+impl DelayedLabelStream {
+    /// A delayed-label stream positioned at tuple 0.
+    ///
+    /// # Panics
+    /// Panics on non-sensical specs (see [`DriftStream::new`], plus a
+    /// missing-label rate outside `[0, 1)` or an empty delay range).
+    pub fn new(spec: DriftStreamSpec, seed: u64) -> Self {
+        DelayedLabelStream {
+            inner: DriftStream::new(spec, seed),
+            delay_rng: StdRng::seed_from_u64(
+                seed.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(23),
+            ),
+            due: std::collections::BTreeMap::new(),
+            withheld: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Emit the next `k` tuples plus the feedback due by the end of the
+    /// batch. The dataset still carries the true labels (they are the
+    /// ground truth the *feedback* will eventually deliver); a serving
+    /// harness withholds them via
+    /// `StreamTuple::rows_unlabeled_from_dataset` and applies only the
+    /// returned `(id, label)` records.
+    pub fn next_batch(&mut self, k: usize) -> (Dataset, Vec<(u64, u8)>) {
+        let first_id = self.inner.emitted();
+        let batch = self.inner.next_batch(k);
+        let spec = *self.inner.spec();
+        for (offset, &label) in batch.labels().iter().enumerate() {
+            let id = first_id + offset as u64;
+            if spec.missing_label_rate > 0.0 && self.delay_rng.gen_bool(spec.missing_label_rate) {
+                self.withheld += 1;
+                continue;
+            }
+            let delay = match spec.label_delay {
+                LabelDelay::Immediate => 0,
+                LabelDelay::Fixed(d) => d,
+                LabelDelay::Uniform { min, max } => self.delay_rng.gen_range(min..=max),
+            };
+            // Due once the stream clock has moved `delay` past the tuple.
+            self.due
+                .entry(id.saturating_add(1).saturating_add(delay))
+                .or_default()
+                .push((id, label));
+        }
+        let now = self.inner.emitted();
+        let mut feedback = Vec::new();
+        while let Some(entry) = self.due.first_entry() {
+            if *entry.key() > now {
+                break;
+            }
+            feedback.extend(entry.remove());
+        }
+        self.delivered += feedback.len() as u64;
+        (batch, feedback)
+    }
+
+    /// Tuples emitted so far (the stream clock).
+    pub fn emitted(&self) -> u64 {
+        self.inner.emitted()
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &DriftStreamSpec {
+        &self.inner.spec
+    }
+
+    /// Labels scheduled but not yet due.
+    pub fn outstanding(&self) -> usize {
+        self.due.values().map(Vec::len).sum()
+    }
+
+    /// Labels that will never arrive (the missing-label draws so far).
+    pub fn withheld(&self) -> u64 {
+        self.withheld
+    }
+
+    /// Feedback records delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
     }
 }
 
@@ -647,6 +866,125 @@ mod tests {
         assert_eq!(live.next_batches(200), resumed.next_batches(200));
 
         assert!(ShardedDriftStream::restore(&[]).is_err());
+    }
+
+    #[test]
+    fn delayed_stream_geometry_matches_plain_stream() {
+        // Delay draws must come from an independent RNG stream: the
+        // emitted tuples are bit-identical to the plain generator's.
+        let spec = DriftStreamSpec {
+            label_delay: LabelDelay::Uniform { min: 5, max: 300 },
+            missing_label_rate: 0.2,
+            ..DriftStreamSpec::default()
+        };
+        let (batch, _) = DelayedLabelStream::new(spec, 9).next_batch(400);
+        let plain = DriftStream::new(spec, 9).next_batch(400);
+        assert_eq!(batch, plain);
+    }
+
+    #[test]
+    fn immediate_delay_delivers_within_the_batch() {
+        let spec = DriftStreamSpec::default(); // Immediate, nothing missing
+        let mut s = DelayedLabelStream::new(spec, 3);
+        let (batch, feedback) = s.next_batch(250);
+        assert_eq!(feedback.len(), 250);
+        assert_eq!(s.outstanding(), 0);
+        // Ids are stream positions and labels are the batch's own.
+        for &(id, label) in &feedback {
+            assert_eq!(label, batch.labels()[id as usize]);
+        }
+    }
+
+    #[test]
+    fn fixed_delay_trails_by_exactly_the_delay() {
+        let spec = DriftStreamSpec {
+            label_delay: LabelDelay::Fixed(100),
+            ..DriftStreamSpec::default()
+        };
+        let mut s = DelayedLabelStream::new(spec, 4);
+        let (_, feedback) = s.next_batch(100);
+        assert!(feedback.is_empty(), "nothing due before the delay");
+        assert_eq!(s.outstanding(), 100);
+        let (_, feedback) = s.next_batch(100);
+        // After 200 emissions, ids 0..=99 are due (id + 1 + 100 <= 200).
+        assert_eq!(feedback.len(), 100);
+        assert!(feedback.iter().all(|&(id, _)| id < 100));
+        assert_eq!(s.delivered(), 100);
+    }
+
+    #[test]
+    fn missing_labels_are_withheld_forever() {
+        let spec = DriftStreamSpec {
+            missing_label_rate: 0.3,
+            ..DriftStreamSpec::default()
+        };
+        let mut s = DelayedLabelStream::new(spec, 5);
+        let (_, feedback) = s.next_batch(10_000);
+        let rate = 1.0 - feedback.len() as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "withheld rate {rate}");
+        assert_eq!(s.withheld() + s.delivered(), 10_000);
+        assert_eq!(s.outstanding(), 0, "Immediate delay leaves nothing due");
+    }
+
+    #[test]
+    fn label_delay_round_trips_through_spec_serde() {
+        for delay in [
+            LabelDelay::Immediate,
+            LabelDelay::Fixed(2_000),
+            LabelDelay::Uniform { min: 10, max: 99 },
+        ] {
+            let spec = DriftStreamSpec {
+                label_delay: delay,
+                missing_label_rate: 0.05,
+                ..DriftStreamSpec::default()
+            };
+            let json = serde_json::to_string(&spec).unwrap();
+            let parsed: DriftStreamSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(parsed, spec);
+        }
+    }
+
+    #[test]
+    fn specs_without_label_knobs_still_parse() {
+        // Stream checkpoints carry no version field, so specs saved before
+        // the label-feedback knobs existed must restore as the
+        // fully-labeled regime they described.
+        let mut doc = serde_json::from_str::<serde::Value>(
+            &serde_json::to_string(&DriftStreamSpec::default()).unwrap(),
+        )
+        .unwrap();
+        if let serde::Value::Object(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "label_delay" && k != "missing_label_rate");
+        }
+        let parsed: DriftStreamSpec =
+            serde::Deserialize::from_value(&doc).expect("pre-knob spec documents keep parsing");
+        assert_eq!(parsed, DriftStreamSpec::default());
+        assert_eq!(parsed.label_delay, LabelDelay::Immediate);
+        assert_eq!(parsed.missing_label_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_missing_rate_panics() {
+        let _ = DelayedLabelStream::new(
+            DriftStreamSpec {
+                missing_label_rate: 1.0,
+                ..DriftStreamSpec::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_delay_range_panics() {
+        let _ = DelayedLabelStream::new(
+            DriftStreamSpec {
+                label_delay: LabelDelay::Uniform { min: 9, max: 3 },
+                ..DriftStreamSpec::default()
+            },
+            0,
+        );
     }
 
     #[test]

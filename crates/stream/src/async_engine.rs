@@ -35,11 +35,11 @@
 //! counters tell operators which trade they are living with.
 
 use crate::engine::{
-    checkpoint_from_parts, validate_tuple, StreamConfig, StreamEngine, StreamTuple,
+    checkpoint_from_parts, validate_tuple, LabelFeedback, StreamConfig, StreamEngine, StreamTuple,
 };
 use crate::monitor::{FairnessSnapshot, Monitor};
 use crate::scorer::Scorer;
-use crate::window::GroupCounts;
+use crate::window::{GroupCounts, JoinStats};
 use crate::{DriftAlert, EngineCheckpoint, Result, StreamError};
 use cf_data::Dataset;
 use cf_learners::LearnerKind;
@@ -97,11 +97,21 @@ pub struct DropCounters {
 
 /// What flows from the score path to the monitor thread.
 enum MonitorMsg {
-    /// One served micro-batch, in scoring order.
+    /// One served micro-batch, in scoring order. `first_id` is the
+    /// scorer-assigned id of the first tuple: ids travel with the record
+    /// so a dropped record leaves a gap in the monitor's id space instead
+    /// of shifting every later feedback join.
     Record {
+        first_id: u64,
         tuples: Vec<StreamTuple>,
         decisions: Vec<u8>,
     },
+    /// Late ground truth for already-served tuples — a control-plane
+    /// record: it bypasses the queue bound and is never dropped under
+    /// [`BackpressurePolicy::DropOldest`] (labels are scarcer and more
+    /// precious than monitoring samples), but it stays in FIFO order so a
+    /// join can never overtake the record that carries its tuple.
+    Feedback(Vec<LabelFeedback>),
     /// Barrier: acknowledged only after every record enqueued before it
     /// has been fully processed (including any retrain it triggered).
     Flush(mpsc::Sender<()>),
@@ -186,6 +196,7 @@ impl BoundedQueue {
     /// monitor-thread panic can never wedge the serving path.
     fn push_record(
         &self,
+        first_id: u64,
         tuples: Vec<StreamTuple>,
         decisions: Vec<u8>,
         policy: BackpressurePolicy,
@@ -226,9 +237,11 @@ impl BoundedQueue {
             return Err(dead());
         }
         inner.records += 1;
-        inner
-            .messages
-            .push_back(MonitorMsg::Record { tuples, decisions });
+        inner.messages.push_back(MonitorMsg::Record {
+            first_id,
+            tuples,
+            decisions,
+        });
         // No notify: the consumer self-wakes within POLL_INTERVAL (see the
         // queue's type-level comment).
         Ok(())
@@ -342,6 +355,11 @@ struct PublishedState {
     alerts: Vec<DriftAlert>,
     retrain_errors: Vec<StreamError>,
     monitor_error: Option<StreamError>,
+    /// Label-plane observability: cumulative join counters and the
+    /// pending-join backlog, refreshed with every record and feedback
+    /// message the monitor processes.
+    joins: JoinStats,
+    pending_labels: usize,
 }
 
 /// Everything the two sides share.
@@ -432,7 +450,10 @@ impl AsyncEngine {
         };
         let (scorer, monitor) = engine.into_parts();
         let stream_config = monitor.config().clone();
-        let scored = monitor.tuples_seen();
+        // The scorer inherits the engine's id clock (not `tuples_seen`:
+        // an engine that dropped records under earlier backpressure has
+        // issued more ids than it monitored).
+        let scored = monitor.ids_issued();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(async_config.queue_depth),
             model: ModelSlot::empty(),
@@ -445,6 +466,8 @@ impl AsyncEngine {
                 alerts: monitor.alerts().to_vec(),
                 retrain_errors: Vec::new(),
                 monitor_error: None,
+                joins: monitor.join_stats(),
+                pending_labels: monitor.pending_labels(),
             }),
         });
         let thread_shared = Arc::clone(&shared);
@@ -535,11 +558,53 @@ impl AsyncEngine {
             return Ok(decisions);
         }
         let n = batch.len() as u64;
-        self.shared
-            .queue
-            .push_record(batch, decisions.clone(), self.async_config.backpressure)?;
+        self.shared.queue.push_record(
+            self.scored,
+            batch,
+            decisions.clone(),
+            self.async_config.backpressure,
+        )?;
         self.scored += n;
         Ok(decisions)
+    }
+
+    /// Join late ground truth into the label plane: the records are
+    /// enqueued as a control-plane message behind everything already
+    /// scored (FIFO, never dropped, exempt from the queue bound) and the
+    /// background monitor applies them in order. Observable after a
+    /// [`AsyncEngine::flush`] via [`AsyncEngine::join_stats`],
+    /// [`AsyncEngine::snapshot`], and the label-plane counters.
+    ///
+    /// Tuple `k` of an `ingest` batch has id `tuples_scored()-before + k`;
+    /// ids of records dropped under [`BackpressurePolicy::DropOldest`]
+    /// were never monitored, so their feedback counts as unmatched rather
+    /// than erroring.
+    ///
+    /// # Errors
+    /// [`StreamError::BadLabel`] for a non-binary label,
+    /// [`StreamError::FutureFeedback`] for an id not scored yet (both
+    /// validated here, synchronously, before anything is enqueued);
+    /// [`StreamError::Async`] when the monitor thread is gone.
+    pub fn feedback(&mut self, feedback: &[LabelFeedback]) -> Result<()> {
+        self.ensure_monitor_alive()?;
+        for record in feedback {
+            if record.label >= 2 {
+                return Err(StreamError::BadLabel(record.label));
+            }
+            if record.id >= self.scored {
+                return Err(StreamError::FutureFeedback {
+                    id: record.id,
+                    issued: self.scored,
+                });
+            }
+        }
+        if feedback.is_empty() {
+            return Ok(());
+        }
+        self.shared
+            .queue
+            .push_control(MonitorMsg::Feedback(feedback.to_vec()));
+        Ok(())
     }
 
     /// Barrier: block until every record enqueued so far has been fully
@@ -651,6 +716,18 @@ impl AsyncEngine {
         self.shared.queue.dropped()
     }
 
+    /// The monitor's latest published label-join counters (current after a
+    /// [`AsyncEngine::flush`]).
+    pub fn join_stats(&self) -> JoinStats {
+        self.stats(|s| s.joins)
+    }
+
+    /// Evicted decisions currently awaiting labels in the monitor's
+    /// pending-join index, per its latest published state.
+    pub fn pending_labels(&self) -> usize {
+        self.stats(|s| s.pending_labels)
+    }
+
     /// The monitor's latest published fairness reading. Lags the scorer by
     /// at most the queue backlog; current after a [`AsyncEngine::flush`].
     pub fn snapshot(&self) -> FairnessSnapshot {
@@ -749,22 +826,46 @@ impl Drop for AsyncEngine {
 fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
     loop {
         match shared.queue.pop() {
-            MonitorMsg::Record { tuples, decisions } => {
-                match monitor.observe(&tuples, &decisions) {
+            MonitorMsg::Record {
+                first_id,
+                tuples,
+                decisions,
+            } => match monitor.observe_with_ids(&tuples, &decisions, first_id) {
+                Ok(outcome) => {
+                    if let Some(model) = outcome.model {
+                        shared.model.publish(model);
+                    }
+                    let mut stats = shared.stats.lock().expect("stats mutex poisoned");
+                    stats.snapshot = outcome.snapshot;
+                    stats.counts = *monitor.window_counts();
+                    stats.window_len = monitor.window_len();
+                    stats.seen = monitor.tuples_seen();
+                    stats.retrains = monitor.retrain_count();
+                    stats.alerts.extend_from_slice(&outcome.alerts);
+                    stats.joins = monitor.join_stats();
+                    stats.pending_labels = monitor.pending_labels();
+                    if let Some(e) = outcome.retrain_error {
+                        stats.retrain_errors.push(e);
+                    }
+                }
+                Err(e) => {
+                    let mut stats = shared.stats.lock().expect("stats mutex poisoned");
+                    if stats.monitor_error.is_none() {
+                        stats.monitor_error = Some(e);
+                    }
+                }
+            },
+            MonitorMsg::Feedback(records) => {
+                // Ids in a dropped record's range resolve as unmatched
+                // inside the join, so validated feedback cannot fail here
+                // except through the should-never-happen diagnostic path.
+                match monitor.feedback(&records) {
                     Ok(outcome) => {
-                        if let Some(model) = outcome.model {
-                            shared.model.publish(model);
-                        }
                         let mut stats = shared.stats.lock().expect("stats mutex poisoned");
                         stats.snapshot = outcome.snapshot;
                         stats.counts = *monitor.window_counts();
-                        stats.window_len = monitor.window_len();
-                        stats.seen = monitor.tuples_seen();
-                        stats.retrains = monitor.retrain_count();
-                        stats.alerts.extend_from_slice(&outcome.alerts);
-                        if let Some(e) = outcome.retrain_error {
-                            stats.retrain_errors.push(e);
-                        }
+                        stats.joins = monitor.join_stats();
+                        stats.pending_labels = monitor.pending_labels();
                     }
                     Err(e) => {
                         let mut stats = shared.stats.lock().expect("stats mutex poisoned");
@@ -832,11 +933,12 @@ mod tests {
         let tuple = StreamTuple {
             features: vec![0.0],
             group: 0,
-            label: 0,
+            label: None,
         };
         for i in 0..4u8 {
             queue
                 .push_record(
+                    u64::from(i),
                     vec![tuple.clone(); (i + 1) as usize],
                     vec![0; (i + 1) as usize],
                     BackpressurePolicy::DropOldest,
@@ -864,10 +966,10 @@ mod tests {
         let tuple = StreamTuple {
             features: vec![0.0],
             group: 0,
-            label: 0,
+            label: None,
         };
         queue
-            .push_record(vec![tuple], vec![0], BackpressurePolicy::DropOldest)
+            .push_record(0, vec![tuple], vec![0], BackpressurePolicy::DropOldest)
             .unwrap();
         let (tx, _rx) = mpsc::channel();
         queue.push_control(MonitorMsg::Flush(tx));
@@ -881,14 +983,14 @@ mod tests {
         let tuple = StreamTuple {
             features: vec![0.0],
             group: 0,
-            label: 0,
+            label: None,
         };
         // A closed queue rejects new records outright (either policy).
         let queue = BoundedQueue::new(1);
         queue.close();
         for policy in [BackpressurePolicy::Block, BackpressurePolicy::DropOldest] {
             assert!(matches!(
-                queue.push_record(vec![tuple.clone()], vec![0], policy),
+                queue.push_record(0, vec![tuple.clone()], vec![0], policy),
                 Err(StreamError::Async(_))
             ));
         }
@@ -897,12 +999,12 @@ mod tests {
         // error when the consumer dies (instead of hanging forever).
         let queue = Arc::new(BoundedQueue::new(1));
         queue
-            .push_record(vec![tuple.clone()], vec![0], BackpressurePolicy::Block)
+            .push_record(0, vec![tuple.clone()], vec![0], BackpressurePolicy::Block)
             .unwrap();
         let blocked = {
             let queue = Arc::clone(&queue);
             std::thread::spawn(move || {
-                queue.push_record(vec![tuple], vec![1], BackpressurePolicy::Block)
+                queue.push_record(1, vec![tuple], vec![1], BackpressurePolicy::Block)
             })
         };
         std::thread::sleep(std::time::Duration::from_millis(20));

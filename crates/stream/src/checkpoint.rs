@@ -35,9 +35,22 @@ use crate::{Result, StreamError};
 use cf_learners::LearnerKind;
 use confair_core::PredictorState;
 
-/// The checkpoint format version this build reads and writes. Bump on any
+/// The checkpoint format version this build writes. Bump on any
 /// incompatible change to the serialised layout.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — single-plane window: every slot fully labeled, no tuple ids.
+///   Still readable: v1 documents are upgraded in place on parse — slots
+///   get sequential ids, the label ring is derived from the (fully
+///   labeled) window, and the pending-join index starts empty.
+/// * **2** — two-plane window: slots carry ids and optional labels, the
+///   document adds the label ring, the pending-join index, the
+///   `pending_labels` bound, and the `ids_issued` clock.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// The oldest checkpoint format version this build can still read (via
+/// the in-place upgrade in `from_json`).
+pub const MIN_CHECKPOINT_VERSION: u32 = 1;
 
 /// A complete, versioned snapshot of one [`StreamEngine`](crate::StreamEngine).
 ///
@@ -71,6 +84,9 @@ pub struct EngineCheckpoint {
     pub alerts: Vec<DriftAlert>,
     /// Total tuples ingested.
     pub seen: u64,
+    /// The engine's tuple-id clock: ids `0..ids_issued` have been served.
+    /// Equals `seen` unless records were dropped under async backpressure.
+    pub ids_issued: u64,
     /// Times the retraining hook has run.
     pub retrains: u64,
     /// Stream position until which DI-floor alerts stay suppressed
@@ -79,25 +95,121 @@ pub struct EngineCheckpoint {
 }
 
 /// Read the `version` field of a checkpoint document before anything else,
-/// so an incompatible-version document reports
+/// so an unsupported-version document reports
 /// [`StreamError::CheckpointVersion`] rather than a field-level parse
-/// error from a layout it never promised to match.
-fn check_version(doc: &serde::Value) -> Result<()> {
+/// error from a layout it never promised to match. Returns the version for
+/// the caller to pick an upgrade path.
+fn check_version(doc: &serde::Value) -> Result<u32> {
     let version = doc
         .get("version")
         .and_then(serde::Value::as_u64)
         .ok_or_else(|| StreamError::Checkpoint("missing or non-integer `version`".into()))?;
-    if version != u64::from(CHECKPOINT_VERSION) {
+    if version < u64::from(MIN_CHECKPOINT_VERSION) || version > u64::from(CHECKPOINT_VERSION) {
         return Err(StreamError::CheckpointVersion {
             found: version as u32,
             expected: CHECKPOINT_VERSION,
         });
     }
-    Ok(())
+    Ok(version as u32)
 }
 
 fn parse_document(json: &str) -> Result<serde::Value> {
     serde_json::from_str(json).map_err(|e| StreamError::Checkpoint(e.to_string()))
+}
+
+/// Replace (or insert) one field of a JSON object value.
+fn set_field(obj: &mut serde::Value, key: &str, value: serde::Value) -> Result<()> {
+    match obj {
+        serde::Value::Object(fields) => {
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                fields.push((key.to_string(), value));
+            }
+            Ok(())
+        }
+        other => Err(StreamError::Checkpoint(format!(
+            "expected an object to carry `{key}`, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn field<'v>(doc: &'v serde::Value, key: &str) -> Result<&'v serde::Value> {
+    doc.get_or_err(key)
+        .map_err(|e| StreamError::Checkpoint(e.to_string()))
+}
+
+/// Upgrade one engine-checkpoint object from format v1 to v2, in place on
+/// the value tree. A v1 document predates delayed labels, so it is by
+/// construction **fully labeled**: every window slot keeps its label
+/// (numbers parse as `Some`), slots get the sequential ids
+/// `seen - len .. seen` they had implicitly, the label ring is derived
+/// from the window itself (in a fully-labeled window the two rings move in
+/// lockstep), the pending-join index starts empty, and the id clock equals
+/// `seen`.
+fn upgrade_v1_engine(doc: &mut serde::Value) -> Result<()> {
+    let seen = field(doc, "seen")?
+        .as_u64()
+        .ok_or_else(|| StreamError::Checkpoint("v1 `seen` is not an integer".into()))?;
+    let meta = field(field(doc, "window")?, "meta")?
+        .as_array()
+        .ok_or_else(|| StreamError::Checkpoint("v1 window `meta` is not an array".into()))?
+        .clone();
+    let first_id = seen.checked_sub(meta.len() as u64).ok_or_else(|| {
+        StreamError::Checkpoint(format!(
+            "v1 window holds {} slots but only {seen} were ever seen",
+            meta.len()
+        ))
+    })?;
+
+    let mut new_meta = Vec::with_capacity(meta.len());
+    let mut labels = Vec::with_capacity(meta.len());
+    for (i, slot) in meta.into_iter().enumerate() {
+        let mut slot = slot;
+        set_field(
+            &mut slot,
+            "id",
+            serde::Value::Number((first_id + i as u64) as f64),
+        )?;
+        // The label ring of a fully-labeled window mirrors the window.
+        labels.push(serde::Value::Object(vec![
+            ("group".into(), field(&slot, "group")?.clone()),
+            ("decision".into(), field(&slot, "decision")?.clone()),
+            ("label".into(), field(&slot, "label")?.clone()),
+        ]));
+        new_meta.push(slot);
+    }
+
+    let window = match doc.get("window") {
+        Some(w) => {
+            let mut w = w.clone();
+            set_field(&mut w, "meta", serde::Value::Array(new_meta))?;
+            set_field(&mut w, "labels", serde::Value::Array(labels))?;
+            set_field(&mut w, "pending", serde::Value::Array(Vec::new()))?;
+            w
+        }
+        None => unreachable!("field() above guarantees a window"),
+    };
+    set_field(doc, "window", window)?;
+
+    let config = {
+        let mut c = field(doc, "config")?.clone();
+        set_field(
+            &mut c,
+            "pending_labels",
+            serde::Value::Number(crate::StreamConfig::default().pending_labels as f64),
+        )?;
+        c
+    };
+    set_field(doc, "config", config)?;
+    set_field(doc, "ids_issued", serde::Value::Number(seen as f64))?;
+    set_field(
+        doc,
+        "version",
+        serde::Value::Number(f64::from(CHECKPOINT_VERSION)),
+    )?;
+    Ok(())
 }
 
 impl EngineCheckpoint {
@@ -112,15 +224,19 @@ impl EngineCheckpoint {
         serde_json::to_string_pretty(self).expect("checkpoint serialisation is infallible")
     }
 
-    /// Parse a checkpoint document.
+    /// Parse a checkpoint document, upgrading still-supported older
+    /// formats in place (a v1 document restores as a fully-labeled
+    /// two-plane engine with an empty pending-join index).
     ///
     /// # Errors
     /// [`StreamError::CheckpointVersion`] for a document written by an
-    /// incompatible format version; [`StreamError::Checkpoint`] for
+    /// unsupported format version; [`StreamError::Checkpoint`] for
     /// malformed JSON or missing/ill-typed fields. Never panics.
     pub fn from_json(json: &str) -> Result<Self> {
-        let doc = parse_document(json)?;
-        check_version(&doc)?;
+        let mut doc = parse_document(json)?;
+        if check_version(&doc)? < CHECKPOINT_VERSION {
+            upgrade_v1_engine(&mut doc)?;
+        }
         serde::Deserialize::from_value(&doc).map_err(|e| StreamError::Checkpoint(e.to_string()))
     }
 }
@@ -152,14 +268,29 @@ impl ShardedCheckpoint {
         serde_json::to_string_pretty(self).expect("checkpoint serialisation is infallible")
     }
 
-    /// Parse a sharded checkpoint document.
+    /// Parse a sharded checkpoint document, upgrading still-supported
+    /// older formats shard by shard.
     ///
     /// # Errors
     /// Same contract as [`EngineCheckpoint::from_json`]: typed errors,
     /// never a panic.
     pub fn from_json(json: &str) -> Result<Self> {
-        let doc = parse_document(json)?;
-        check_version(&doc)?;
+        let mut doc = parse_document(json)?;
+        if check_version(&doc)? < CHECKPOINT_VERSION {
+            let mut shards = field(&doc, "shards")?
+                .as_array()
+                .ok_or_else(|| StreamError::Checkpoint("`shards` is not an array".into()))?
+                .clone();
+            for shard in &mut shards {
+                upgrade_v1_engine(shard)?;
+            }
+            set_field(&mut doc, "shards", serde::Value::Array(shards))?;
+            set_field(
+                &mut doc,
+                "version",
+                serde::Value::Number(f64::from(CHECKPOINT_VERSION)),
+            )?;
+        }
         serde::Deserialize::from_value(&doc).map_err(|e| StreamError::Checkpoint(e.to_string()))
     }
 }
@@ -231,6 +362,38 @@ pub(crate) fn validate(ckpt: &EngineCheckpoint) -> Result<()> {
             ckpt.seen
         )));
     }
+    if ckpt.ids_issued < ckpt.seen {
+        return Err(StreamError::Checkpoint(format!(
+            "id clock {} behind the {} tuples seen",
+            ckpt.ids_issued, ckpt.seen
+        )));
+    }
+    if let Some(newest) = ckpt.window.meta.last() {
+        if newest.id >= ckpt.ids_issued {
+            return Err(StreamError::Checkpoint(format!(
+                "window holds tuple id {} but the id clock is {}",
+                newest.id, ckpt.ids_issued
+            )));
+        }
+    }
+    if (ckpt.window.labels.len() as u64) > ckpt.seen {
+        return Err(StreamError::Checkpoint(format!(
+            "label ring holds {} pairs but only {} tuples were ever seen",
+            ckpt.window.labels.len(),
+            ckpt.seen
+        )));
+    }
+    if let Some(pending_newest) = ckpt.window.pending.last() {
+        if pending_newest.id >= ckpt.ids_issued {
+            return Err(StreamError::Checkpoint(format!(
+                "pending-join entry {} beyond the id clock {}",
+                pending_newest.id, ckpt.ids_issued
+            )));
+        }
+    }
+    // Ring bounds, id monotonicity, pending/ring overlap, and binary
+    // groups/labels are enforced by the window replay itself
+    // (`SlidingWindow::from_state`).
     Ok(())
 }
 

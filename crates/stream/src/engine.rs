@@ -35,22 +35,41 @@ use confair_core::{confair::ConFair, confair::ConFairConfig, Intervention};
 use std::borrow::Borrow;
 
 /// One arriving observation: features in the reference schema's column
-/// order, the sensitive-group id, and the (possibly delayed, here assumed
-/// available) ground-truth label.
+/// order, the sensitive-group id, and — when serving is lucky enough to
+/// have it already — the ground-truth label. Real feedback loops deliver
+/// labels late or never, so `label` is optional: an unlabeled tuple is
+/// served and drift-monitored normally (decision plane), and its ground
+/// truth joins later through [`StreamEngine::feedback`] keyed by the
+/// tuple id the engine assigned at ingest
+/// ([`IngestOutcome::first_id`] + offset).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamTuple {
     /// Numeric attribute values, one per reference column.
     pub features: Vec<f64>,
     /// Group id (0 = majority `W`, 1 = minority `U`).
     pub group: u8,
-    /// Ground-truth label.
-    pub label: u8,
+    /// Ground-truth label, if already known at ingest; `None` defers it to
+    /// a later feedback join.
+    pub label: Option<u8>,
 }
 
 impl StreamTuple {
-    /// Convert a (fully numeric) dataset's rows into stream tuples, in row
-    /// order — the bridge from `cf-datasets` generators to the engine.
+    /// Convert a (fully numeric) dataset's rows into labeled stream
+    /// tuples, in row order — the bridge from `cf-datasets` generators to
+    /// the engine.
     pub fn rows_from_dataset(data: &Dataset) -> Result<Vec<StreamTuple>> {
+        Self::rows_inner(data, true)
+    }
+
+    /// [`StreamTuple::rows_from_dataset`] with the ground truth withheld:
+    /// every tuple arrives with `label: None`, the delayed/partial-label
+    /// serving regime (deliver the dataset's labels later through
+    /// [`StreamEngine::feedback`]).
+    pub fn rows_unlabeled_from_dataset(data: &Dataset) -> Result<Vec<StreamTuple>> {
+        Self::rows_inner(data, false)
+    }
+
+    fn rows_inner(data: &Dataset, labeled: bool) -> Result<Vec<StreamTuple>> {
         ensure_all_numeric(data)?;
         // Gather straight from the column storage instead of materialising
         // the full `numeric_matrix` and then copying every row again.
@@ -65,10 +84,21 @@ impl StreamTuple {
             .map(|i| StreamTuple {
                 features: columns.iter().map(|c| c[i]).collect(),
                 group: data.groups()[i],
-                label: data.labels()[i],
+                label: labeled.then(|| data.labels()[i]),
             })
             .collect())
     }
+}
+
+/// One late-arriving ground-truth record, joined into the label plane by
+/// [`StreamEngine::feedback`] (or its async/sharded counterparts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelFeedback {
+    /// The tuple's stream id: [`IngestOutcome::first_id`] plus the tuple's
+    /// offset within its ingest batch.
+    pub id: u64,
+    /// The ground-truth label.
+    pub label: u8,
 }
 
 /// When the engine retrains itself.
@@ -130,6 +160,12 @@ pub struct StreamConfig {
     /// Minimum cell population in the reference before a constraint
     /// profile is derived for it.
     pub min_profile_rows: usize,
+    /// Bound on the pending-join index: how many tuples evicted from the
+    /// window while still unlabeled are remembered so their ground truth
+    /// can join late. Oldest entries are dropped (and counted) beyond the
+    /// bound; size it to `expected label delay − window` tuples, 0 to
+    /// forget unlabeled tuples at eviction.
+    pub pending_labels: usize,
     /// The ConFair configuration used for the initial fit and for
     /// retraining (its `learn_opts` also drive the reference profiles).
     pub confair: ConFairConfig,
@@ -147,6 +183,7 @@ impl Default for StreamConfig {
             floor_cooldown: 2_000,
             conformance_eps: 1e-9,
             min_profile_rows: 8,
+            pending_labels: 4_096,
             confair: ConFairConfig::default(),
             retrain: RetrainPolicy::Never,
         }
@@ -156,6 +193,10 @@ impl Default for StreamConfig {
 /// What one `ingest` call produced.
 #[derive(Debug, Clone)]
 pub struct IngestOutcome {
+    /// The stream id assigned to the batch's first tuple; tuple `k` of the
+    /// batch has id `first_id + k`. These ids are the join keys that later
+    /// [`LabelFeedback`] records address.
+    pub first_id: u64,
     /// The served decision for each tuple of the batch, in order.
     pub decisions: Vec<u8>,
     /// Alerts raised by this batch (also appended to the engine's log).
@@ -304,12 +345,39 @@ impl StreamEngine {
             self.scorer.install(model);
         }
         Ok(IngestOutcome {
+            first_id: outcome.first_id,
             decisions,
             alerts: outcome.alerts,
             snapshot: outcome.snapshot,
             retrained: outcome.retrained,
             retrain_error: outcome.retrain_error,
         })
+    }
+
+    /// Join late ground truth into the label plane by tuple id (see
+    /// [`Monitor::feedback`] for the join semantics). Works for tuples
+    /// still in the window and — through the bounded pending-join index —
+    /// for tuples that have already rotated out; records for forgotten
+    /// tuples are counted, not errors.
+    ///
+    /// # Errors
+    /// [`StreamError::BadLabel`] for a non-binary label,
+    /// [`StreamError::FutureFeedback`] for an id not issued yet; the whole
+    /// batch is validated before anything joins.
+    pub fn feedback(&mut self, feedback: &[LabelFeedback]) -> Result<crate::FeedbackOutcome> {
+        let issued = self.monitor.ids_issued();
+        for record in feedback {
+            if record.label >= 2 {
+                return Err(StreamError::BadLabel(record.label));
+            }
+            if record.id >= issued {
+                return Err(StreamError::FutureFeedback {
+                    id: record.id,
+                    issued,
+                });
+            }
+        }
+        self.monitor.feedback(feedback)
     }
 
     /// The retraining hook: re-run ConFair on the window's contents, swap
@@ -352,7 +420,7 @@ impl StreamEngine {
     /// front: a corrupted checkpoint never half-loads.
     pub fn restore(ckpt: EngineCheckpoint) -> Result<Self> {
         crate::checkpoint::validate(&ckpt)?;
-        let window = SlidingWindow::from_state(&ckpt.window)?;
+        let window = SlidingWindow::from_state(&ckpt.window, ckpt.config.pending_labels)?;
         let predictor = confair_core::SingleModelPredictor::from_state(ckpt.predictor)
             .map_err(|e| StreamError::Checkpoint(e.to_string()))?;
         let mut profiles: CellProfiles = Default::default();
@@ -373,6 +441,7 @@ impl StreamEngine {
             detectors,
             alerts: ckpt.alerts,
             seen: ckpt.seen,
+            ids_issued: ckpt.ids_issued,
             retrains: ckpt.retrains,
             floor_quiet_until: ckpt.floor_quiet_until,
         };
@@ -394,6 +463,14 @@ impl StreamEngine {
         self.monitor.tuples_seen()
     }
 
+    /// The engine's tuple-id clock: ids `0..ids_issued()` are valid
+    /// feedback keys. Equals [`StreamEngine::tuples_seen`] unless the
+    /// state was restored from an async engine that dropped records under
+    /// backpressure.
+    pub fn ids_issued(&self) -> u64 {
+        self.monitor.ids_issued()
+    }
+
     /// How many times the retraining hook has run.
     pub fn retrain_count(&self) -> u64 {
         self.monitor.retrain_count()
@@ -408,6 +485,23 @@ impl StreamEngine {
     /// across engines — the basis of cross-shard snapshot merging.
     pub fn window_counts(&self) -> &[GroupCounts; 2] {
         self.monitor.window_counts()
+    }
+
+    /// Cumulative label-join counters (joins, duplicates, unmatched
+    /// records, pending-index evictions); reset on restore.
+    pub fn join_stats(&self) -> crate::JoinStats {
+        self.monitor.join_stats()
+    }
+
+    /// Evicted decisions currently awaiting their labels in the
+    /// pending-join index.
+    pub fn pending_labels(&self) -> usize {
+        self.monitor.pending_labels()
+    }
+
+    /// Joined `(decision, label)` pairs currently in the label plane.
+    pub fn labeled_len(&self) -> usize {
+        self.monitor.labeled_len()
     }
 
     /// The engine's configuration.
@@ -453,6 +547,7 @@ pub(crate) fn checkpoint_from_parts(
         detectors: monitor.detectors.iter().map(PageHinkley::state).collect(),
         alerts: monitor.alerts.clone(),
         seen: monitor.seen,
+        ids_issued: monitor.ids_issued,
         retrains: monitor.retrains,
         floor_quiet_until: monitor.floor_quiet_until,
     })
@@ -472,8 +567,10 @@ pub(crate) fn validate_tuple(tuple: &StreamTuple, d: usize, i: usize) -> Result<
     if tuple.group >= 2 {
         return Err(StreamError::BadGroup(tuple.group));
     }
-    if tuple.label >= 2 {
-        return Err(StreamError::BadLabel(tuple.label));
+    if let Some(label) = tuple.label {
+        if label >= 2 {
+            return Err(StreamError::BadLabel(label));
+        }
     }
     Ok(())
 }

@@ -20,14 +20,23 @@
 //! thread drains a bounded queue into the monitor and publishes retrained
 //! models back through an atomically-swapped slot.
 //!
+//! Ground truth is **optional and deferrable**: tuples may arrive
+//! unlabeled, the decision-plane monitors (selection rates, DI/DP,
+//! Page–Hinkley on decision-conformance) run immediately, and late labels
+//! join through `feedback` — by tuple id, into the label-plane monitors
+//! (TPR/FPR, equal opportunity) — even after the tuple has rotated out of
+//! the window, via a bounded pending-join index.
+//!
 //! The moving parts inside the monitor half:
 //!
-//! * [`window::SlidingWindow`] — a ring buffer over the most recent scored
-//!   tuples with per-(group, label) counters maintained in O(1) per tuple;
+//! * [`window::SlidingWindow`] — the two-plane window: a decision ring
+//!   over the most recent scored tuples, a label ring over joined
+//!   `(decision, label)` pairs, and the pending-join index, all with
+//!   per-group counters maintained in O(1) per event;
 //! * [`monitor::FairnessSnapshot`] — disparate impact with the EEOC
 //!   four-fifths rule, demographic-parity and equal-opportunity gaps, and
 //!   per-group conformance-violation rates, all read from the counters in
-//!   O(1);
+//!   O(1) (label-dependent readings stay `None` until ground truth joins);
 //! * [`drift::PageHinkley`] — a per-group change-point test on the
 //!   violation series, emitting typed [`drift::DriftAlert`] events with
 //!   warm-up and cooldown hysteresis;
@@ -60,11 +69,18 @@ pub mod window;
 pub use async_engine::{AsyncConfig, AsyncEngine, BackpressurePolicy, DropCounters};
 pub use checkpoint::{EngineCheckpoint, ShardedCheckpoint, CHECKPOINT_VERSION};
 pub use drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig, PageHinkleyState};
-pub use engine::{IngestOutcome, RetrainPolicy, StreamConfig, StreamEngine, StreamTuple};
-pub use monitor::{FairnessSnapshot, Monitor, ObserveOutcome};
+pub use engine::{
+    IngestOutcome, LabelFeedback, RetrainPolicy, StreamConfig, StreamEngine, StreamTuple,
+};
+pub use monitor::{FairnessSnapshot, FeedbackOutcome, Monitor, ObserveOutcome};
 pub use scorer::Scorer;
-pub use sharded::{ShardedAsyncEngine, ShardedEngine, ShardedOutcome, ShardedTuple};
-pub use window::{GroupCounts, SlidingWindow, SlotMeta, WindowState};
+pub use sharded::{
+    ShardedAsyncEngine, ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple,
+};
+pub use window::{
+    GroupCounts, JoinStats, LabelJoin, LabelSlot, PendingLabel, SlidingWindow, SlotMeta,
+    WindowState,
+};
 
 /// Errors surfaced by the streaming subsystem.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +128,15 @@ pub enum StreamError {
     /// The async pipeline is unusable (the background monitor thread is
     /// gone or panicked).
     Async(String),
+    /// Label feedback referenced a tuple id that has not been served yet —
+    /// a caller bug, unlike feedback for forgotten tuples, which is merely
+    /// counted.
+    FutureFeedback {
+        /// The offending tuple id.
+        id: u64,
+        /// Ids issued so far (valid feedback keys are `0..issued`).
+        issued: u64,
+    },
 }
 
 impl StreamError {
@@ -137,6 +162,10 @@ impl std::fmt::Display for StreamError {
             }
             StreamError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             StreamError::Async(msg) => write!(f, "async engine error: {msg}"),
+            StreamError::FutureFeedback { id, issued } => write!(
+                f,
+                "label feedback for tuple id {id}, but only ids below {issued} have been served"
+            ),
             StreamError::CheckpointVersion { found, expected } => {
                 write!(
                     f,

@@ -2,17 +2,28 @@
 //! monitors over the windowed counters.
 //!
 //! [`Monitor`] owns everything drift-related a stream engine carries: the
-//! sliding window, the per-(group, label) conformance profiles, both
-//! Page–Hinkley detectors, the alert log, and the retrain policy. It is the
-//! lag-tolerant counterpart of [`Scorer`](crate::Scorer): the serving path
-//! never waits on it, and in the async engine it lives on its own thread
-//! behind a bounded queue. A retrain produces a replacement predictor that
-//! the monitor *returns* rather than installs — model publication is the
-//! caller's (or the async engine's swap slot's) job, which is what keeps
-//! this half free of any reference to the serving path.
+//! two-plane sliding window, the per-(group, label) conformance profiles,
+//! both Page–Hinkley detectors, the alert log, and the retrain policy. It
+//! is the lag-tolerant counterpart of [`Scorer`](crate::Scorer): the
+//! serving path never waits on it, and in the async engine it lives on its
+//! own thread behind a bounded queue. A retrain produces a replacement
+//! predictor that the monitor *returns* rather than installs — model
+//! publication is the caller's (or the async engine's swap slot's) job,
+//! which is what keeps this half free of any reference to the serving
+//! path.
+//!
+//! Ground truth may trail serving arbitrarily, so the monitor's state
+//! splits across the window's two planes: [`Monitor::observe`] advances
+//! only the **decision plane** — selection rates, the conformance check
+//! against the tuple's (group, *decision*) reference cell, and the
+//! Page–Hinkley step on that decision-conformance series — while
+//! [`Monitor::feedback`] joins late labels by tuple id into the **label
+//! plane** (TPR/FPR, the equal-opportunity gap). Drift is therefore
+//! detectable before a single label arrives, and the label-dependent
+//! metrics stay `None` (never a fabricated 0) until feedback joins.
 //!
 //! Each [`FairnessSnapshot`] is assembled in O(1) from [`GroupCounts`] —
-//! the counters the window maintains per tuple — never by rescanning
+//! the counters the window maintains per event — never by rescanning
 //! tuples. The metrics deliberately mirror `cf-metrics`' definitions (§IV
 //! of the paper) — including the `DI* = min(DI, 1/DI)` symmetrisation with
 //! its 0/∞ guard — restated over the sliding window and over `Option`,
@@ -22,8 +33,8 @@
 //! demographic-parity gap, and the equal-opportunity (TPR) gap.
 
 use crate::drift::{DriftAlert, DriftKind, PageHinkley};
-use crate::engine::{RetrainPolicy, StreamConfig, StreamTuple};
-use crate::window::{GroupCounts, SlidingWindow, SlotMeta};
+use crate::engine::{LabelFeedback, RetrainPolicy, StreamConfig, StreamTuple};
+use crate::window::{GroupCounts, JoinStats, LabelJoin, SlidingWindow, SlotMeta};
 use crate::{Result, StreamError};
 use cf_conformance::{learn_constraints, ConstraintSet};
 use cf_data::{
@@ -49,10 +60,15 @@ pub struct FairnessSnapshot {
     pub di_star: Option<f64>,
     /// `|SR_W − SR_U|`.
     pub demographic_parity_gap: Option<f64>,
-    /// `|TPR_W − TPR_U|` (equal opportunity).
+    /// `|TPR_W − TPR_U|` (equal opportunity), over joined labels only —
+    /// `None` while either group's label plane is empty of positives,
+    /// never a fabricated 0 from decisions that have no ground truth yet.
     pub equal_opportunity_gap: Option<f64>,
-    /// Windowed conformance-violation rate per group.
+    /// Windowed conformance-violation rate per group (decision plane).
     pub violation_rate: [Option<f64>; 2],
+    /// Joined `(decision, label)` pairs per group currently in the label
+    /// plane — how much ground truth the label-dependent readings rest on.
+    pub labeled: [u64; 2],
     /// The DI* floor this stream is held to (EEOC four-fifths: 0.8).
     pub di_floor: f64,
 }
@@ -97,6 +113,7 @@ impl FairnessSnapshot {
             demographic_parity_gap,
             equal_opportunity_gap,
             violation_rate: [counts[0].violation_rate(), counts[1].violation_rate()],
+            labeled: [counts[0].labeled, counts[1].labeled],
             di_floor,
         }
     }
@@ -117,8 +134,9 @@ impl FairnessSnapshot {
 }
 
 /// Human-readable one-liner, e.g.
-/// `window=2000   DI*=0.913 dp_gap=0.051 eo_gap=0.042 viol(W)=0.012 viol(U)=0.019`
-/// (`--` marks an unobserved group's empty denominator).
+/// `window=2000   labels=1820 DI*=0.913 dp_gap=0.051 eo_gap=0.042 viol(W)=0.012 viol(U)=0.019`
+/// (`--` marks an unobserved group's — or an unlabeled plane's — empty
+/// denominator).
 impl std::fmt::Display for FairnessSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let fmt = |v: Option<f64>| match v {
@@ -127,8 +145,9 @@ impl std::fmt::Display for FairnessSnapshot {
         };
         write!(
             f,
-            "window={:<6} DI*={} dp_gap={} eo_gap={} viol(W)={} viol(U)={}",
+            "window={:<6} labels={:<6} DI*={} dp_gap={} eo_gap={} viol(W)={} viol(U)={}",
             self.window_len,
+            self.labeled[0] + self.labeled[1],
             fmt(self.di_star),
             fmt(self.demographic_parity_gap),
             fmt(self.equal_opportunity_gap),
@@ -148,6 +167,10 @@ pub(crate) type CellProfiles = [[Option<ConstraintSet>; 2]; 2];
 /// predictors are neither. The engines peel the model off for installation
 /// and forward the rest as an [`IngestOutcome`](crate::IngestOutcome).
 pub struct ObserveOutcome {
+    /// The stream id assigned to the batch's first tuple (ids are
+    /// consecutive within a batch) — the join keys later
+    /// [`LabelFeedback`] records address.
+    pub first_id: u64,
     /// Alerts raised by this batch (also appended to the monitor's log).
     pub alerts: Vec<DriftAlert>,
     /// The windowed fairness reading after the batch.
@@ -161,6 +184,25 @@ pub struct ObserveOutcome {
     /// before returning, the async engine's monitor thread publishes it
     /// through the atomically-swapped model slot.
     pub model: Option<Box<dyn Predictor>>,
+}
+
+/// What one [`Monitor::feedback`] call produced: how each record resolved,
+/// plus the refreshed fairness reading (its label-plane metrics are the
+/// fields feedback can move).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackOutcome {
+    /// Records whose label joined the label plane (in-window or late).
+    pub joined: u64,
+    /// Subset of `joined` that arrived after the tuple left the decision
+    /// ring and was served from the pending-join index.
+    pub joined_late: u64,
+    /// Records for tuples that already had a label, ignored.
+    pub duplicates: u64,
+    /// Records whose tuple could not be found (pending entry evicted,
+    /// record dropped before monitoring, …), counted and skipped.
+    pub unmatched: u64,
+    /// The windowed fairness reading after the joins.
+    pub snapshot: FairnessSnapshot,
 }
 
 /// The monitoring half of a stream engine: sliding window, conformance
@@ -185,6 +227,11 @@ pub struct Monitor {
     pub(crate) detectors: [PageHinkley; 2],
     pub(crate) alerts: Vec<DriftAlert>,
     pub(crate) seen: u64,
+    /// The next tuple id this monitor expects to assign. Equals `seen` in
+    /// the synchronous engine; in the async engine it tracks the *scorer's*
+    /// clock (records carry their ids), so it can run ahead of `seen` when
+    /// records are dropped under backpressure.
+    pub(crate) ids_issued: u64,
     pub(crate) retrains: u64,
     pub(crate) floor_quiet_until: u64,
 }
@@ -203,7 +250,11 @@ impl Monitor {
             return Err(StreamError::EmptyReference);
         }
         crate::engine::ensure_all_numeric(reference)?;
-        let window = SlidingWindow::new(config.window, reference.num_attributes())?;
+        let window = SlidingWindow::new(
+            config.window,
+            reference.num_attributes(),
+            config.pending_labels,
+        )?;
         let profiles = learn_profiles(reference, &config);
         let detectors = [
             PageHinkley::new(config.detector),
@@ -218,16 +269,24 @@ impl Monitor {
             detectors,
             alerts: Vec::new(),
             seen: 0,
+            ids_issued: 0,
             retrains: 0,
             floor_quiet_until: 0,
         })
     }
 
     /// Fold one served micro-batch into the monitoring state: per tuple a
-    /// constraint evaluation, an O(1) window/counter update, and one
-    /// Page–Hinkley step; per batch one DI*-floor check and — under
+    /// decision-conformance evaluation, an O(1) window/counter update, and
+    /// one Page–Hinkley step; per batch one DI*-floor check and — under
     /// [`RetrainPolicy::OnAlert`] — at most one retrain, whose replacement
-    /// predictor is handed back in [`ObserveOutcome::model`].
+    /// predictor is handed back in [`ObserveOutcome::model`]. Everything
+    /// here lives on the decision plane: a tuple's (optional) label only
+    /// joins the label plane — at push time when present, or later through
+    /// [`Monitor::feedback`].
+    ///
+    /// Tuple ids are assigned consecutively from the monitor's clock
+    /// (starting at [`ObserveOutcome::first_id`]); use
+    /// [`Monitor::observe_with_ids`] when the caller owns the id space.
     ///
     /// Callers guarantee the batch was validated against the schema and
     /// that `decisions` are the served decisions for exactly these tuples,
@@ -237,8 +296,32 @@ impl Monitor {
         batch: &[T],
         decisions: &[u8],
     ) -> Result<ObserveOutcome> {
+        self.observe_with_ids(batch, decisions, self.ids_issued)
+    }
+
+    /// [`Monitor::observe`] with caller-assigned tuple ids
+    /// (`first_id..first_id + batch.len()`): the async engine's path,
+    /// where the scorer issues ids and a record dropped under backpressure
+    /// must leave a gap rather than shift every later join key.
+    ///
+    /// # Errors
+    /// `first_id` may not fall behind ids already observed (joins are
+    /// keyed by id, so a reused id would corrupt the label plane).
+    pub fn observe_with_ids<T: Borrow<StreamTuple>>(
+        &mut self,
+        batch: &[T],
+        decisions: &[u8],
+        first_id: u64,
+    ) -> Result<ObserveOutcome> {
+        if first_id < self.ids_issued {
+            return Err(StreamError::Schema(format!(
+                "batch starts at id {first_id} but ids up to {} were already observed",
+                self.ids_issued
+            )));
+        }
         if batch.is_empty() {
             return Ok(ObserveOutcome {
+                first_id,
                 alerts: Vec::new(),
                 snapshot: self.snapshot(),
                 retrained: false,
@@ -255,11 +338,13 @@ impl Monitor {
         }
 
         let mut new_alerts = Vec::new();
-        for (t, &decision) in batch.iter().zip(decisions) {
+        for (offset, (t, &decision)) in batch.iter().zip(decisions).enumerate() {
             let tuple = t.borrow();
-            let violated = self.violation_of(tuple) > self.config.conformance_eps;
+            let violated = self.violation_of(&tuple.features, tuple.group, decision)
+                > self.config.conformance_eps;
             self.window.push(
                 SlotMeta {
+                    id: first_id + offset as u64,
                     group: tuple.group,
                     label: tuple.label,
                     decision,
@@ -280,6 +365,7 @@ impl Monitor {
                 });
             }
         }
+        self.ids_issued = first_id + batch.len() as u64;
 
         // One snapshot serves the floor check, the outcome, and the
         // post-retrain state alike: it reads only the windowed counters,
@@ -324,6 +410,7 @@ impl Monitor {
         }
 
         Ok(ObserveOutcome {
+            first_id,
             alerts: new_alerts,
             snapshot,
             retrained,
@@ -332,16 +419,66 @@ impl Monitor {
         })
     }
 
-    /// The retraining hook: re-run ConFair on the window's contents,
-    /// re-derive the reference profiles from the window (the stream's new
-    /// normal), reset the drift detectors, and return the replacement
-    /// predictor for the caller to install into its scorer.
+    /// Join late ground truth into the label plane: each record is matched
+    /// by tuple id against the decision ring (labeled in place) or the
+    /// pending-join index (served late), and the label-plane counters
+    /// advance per join. Purely additive observation — no Page–Hinkley
+    /// step, no floor check, no retrain: alerts remain the decision
+    /// plane's job, so feedback stays O(log window) per record.
+    ///
+    /// Records for already-labeled, evicted-and-forgotten, or
+    /// never-monitored tuples are counted
+    /// ([`Monitor::join_stats`]), not errors — all are expected
+    /// operational events under bounded memory and backpressure drops.
+    /// That leniency extends to ids beyond this monitor's clock: in the
+    /// async pipeline a dropped record leaves ids the monitor never saw,
+    /// indistinguishable here from never-issued ones, so both resolve as
+    /// unmatched. The *engines* — which own the true id clock — reject
+    /// genuinely future ids with [`StreamError::FutureFeedback`] before
+    /// anything reaches the monitor.
+    ///
+    /// # Errors
+    /// The whole batch is validated first ([`StreamError::BadLabel`] for a
+    /// non-binary label); a validation failure applies nothing.
+    pub fn feedback(&mut self, feedback: &[LabelFeedback]) -> Result<FeedbackOutcome> {
+        for record in feedback {
+            if record.label >= 2 {
+                return Err(StreamError::BadLabel(record.label));
+            }
+        }
+        let (mut joined, mut joined_late, mut duplicates, mut unmatched) = (0, 0, 0, 0);
+        for record in feedback {
+            match self.window.feedback(record.id, record.label) {
+                LabelJoin::Joined => joined += 1,
+                LabelJoin::JoinedLate => {
+                    joined += 1;
+                    joined_late += 1;
+                }
+                LabelJoin::Duplicate => duplicates += 1,
+                LabelJoin::Unmatched => unmatched += 1,
+            }
+        }
+        Ok(FeedbackOutcome {
+            joined,
+            joined_late,
+            duplicates,
+            unmatched,
+            snapshot: self.snapshot(),
+        })
+    }
+
+    /// The retraining hook: re-run ConFair on the window's **labeled**
+    /// contents (ground truth is what training needs; unlabeled slots are
+    /// skipped), re-derive the reference profiles from the same labeled
+    /// subset (the stream's new normal), reset the drift detectors, and
+    /// return the replacement predictor for the caller to install into its
+    /// scorer.
     pub fn retrain(&mut self) -> Result<Box<dyn Predictor>> {
         let data = self.window_dataset("stream-window")?;
         for label in [0u8, 1] {
             if data.label_count(label) < 2 {
                 return Err(StreamError::DegenerateWindow(format!(
-                    "window holds {} tuples of label {label}; both classes are \
+                    "window holds {} labeled tuples of class {label}; both classes are \
                      required to retrain",
                     data.label_count(label)
                 )));
@@ -399,8 +536,14 @@ impl Monitor {
         &self.schema
     }
 
-    /// Materialise the window's contents as a dataset (newest-window
-    /// training set for the retraining hook; also useful for audits).
+    /// Materialise the window's **labeled** contents as a dataset
+    /// (newest-window training set for the retraining hook; also useful
+    /// for audits). Slots whose ground truth has not joined yet are
+    /// skipped — a dataset cannot carry a missing label, and training on
+    /// fabricated ones would poison the retrain.
+    ///
+    /// # Errors
+    /// [`StreamError::DegenerateWindow`] when no labeled slot is retained.
     pub fn window_dataset(&self, name: &str) -> Result<Dataset> {
         if self.window.is_empty() {
             return Err(StreamError::DegenerateWindow("window is empty".into()));
@@ -413,11 +556,17 @@ impl Monitor {
         let mut labels = Vec::with_capacity(len);
         let mut groups = Vec::with_capacity(len);
         for (meta, features) in self.window.iter() {
+            let Some(label) = meta.label else { continue };
             for (j, &v) in features.iter().enumerate() {
                 columns[j].push(v);
             }
-            labels.push(meta.label);
+            labels.push(label);
             groups.push(meta.group);
+        }
+        if labels.is_empty() {
+            return Err(StreamError::DegenerateWindow(
+                "window holds no labeled tuples (no ground truth has joined yet)".into(),
+            ));
         }
         Dataset::new(
             name,
@@ -429,11 +578,39 @@ impl Monitor {
         .map_err(|e| StreamError::Schema(e.to_string()))
     }
 
-    /// The violation of a tuple against its (group, label) reference
-    /// profile; 0 when the cell had too few reference rows to profile.
-    fn violation_of(&self, tuple: &StreamTuple) -> f64 {
-        match &self.profiles[tuple.group as usize][tuple.label as usize] {
-            Some(constraints) => constraints.violation(&tuple.features),
+    /// Cumulative label-join observability counters (joins, duplicates,
+    /// unmatched records, pending-index evictions). Reset on restore, like
+    /// the async engine's drop counters.
+    pub fn join_stats(&self) -> JoinStats {
+        self.window.join_stats()
+    }
+
+    /// Evicted decisions currently awaiting their labels in the
+    /// pending-join index.
+    pub fn pending_labels(&self) -> usize {
+        self.window.pending_len()
+    }
+
+    /// Joined `(decision, label)` pairs currently in the label plane.
+    pub fn labeled_len(&self) -> usize {
+        self.window.labeled_len()
+    }
+
+    /// The next tuple id this monitor will assign (ids `0..ids_issued`
+    /// are valid feedback keys; under async backpressure drops some of
+    /// them were never monitored and will resolve as unmatched).
+    pub fn ids_issued(&self) -> u64 {
+        self.ids_issued
+    }
+
+    /// The violation of a tuple's features against its (group,
+    /// **decision**) reference profile — the decision plane's conformance
+    /// check, computable before any ground truth arrives (the served
+    /// decision stands in for the label in picking the cell); 0 when the
+    /// cell had too few reference rows to profile.
+    fn violation_of(&self, features: &[f64], group: u8, decision: u8) -> f64 {
+        match &self.profiles[group as usize][decision as usize] {
+            Some(constraints) => constraints.violation(features),
             None => 0.0,
         }
     }
@@ -458,14 +635,16 @@ pub(crate) fn learn_profiles(reference: &Dataset, config: &StreamConfig) -> Cell
 mod tests {
     use super::*;
 
+    /// A fully-labeled group's counters (every decision's label joined).
     fn counts(total: u64, selected: u64, label_pos: u64, tp: u64, viol: u64) -> GroupCounts {
         GroupCounts {
             total,
             selected,
+            violations: viol,
+            labeled: total,
             label_positive: label_pos,
             true_positive: tp,
             false_positive: selected.saturating_sub(tp),
-            violations: viol,
         }
     }
 

@@ -17,8 +17,8 @@
 
 use crate::async_engine::{AsyncConfig, AsyncEngine, DropCounters};
 use crate::checkpoint::ShardedCheckpoint;
-use crate::engine::{IngestOutcome, StreamEngine, StreamTuple};
-use crate::monitor::FairnessSnapshot;
+use crate::engine::{IngestOutcome, LabelFeedback, StreamEngine, StreamTuple};
+use crate::monitor::{FairnessSnapshot, FeedbackOutcome};
 use crate::window::GroupCounts;
 use crate::{Result, StreamError};
 
@@ -29,6 +29,17 @@ pub struct ShardedTuple {
     pub shard: u32,
     /// The observation itself.
     pub tuple: StreamTuple,
+}
+
+/// One late ground-truth record addressed to the shard that served its
+/// tuple. Ids are **per shard** (each shard engine runs its own id clock),
+/// so the shard key is part of the join address, not just a routing hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedFeedback {
+    /// The shard whose engine served (and id-stamped) the tuple.
+    pub shard: u32,
+    /// The feedback record itself.
+    pub feedback: LabelFeedback,
 }
 
 /// What one sharded ingest call produced.
@@ -283,6 +294,49 @@ impl ShardedEngine {
             snapshot: self.snapshot(),
         })
     }
+
+    /// Route late ground truth to the shards that served it and join it
+    /// into their label planes. Returns one [`FeedbackOutcome`] per shard,
+    /// indexed by shard id (shards that received no records report zero
+    /// joins and their current snapshot).
+    ///
+    /// # Errors
+    /// The whole batch is validated first — shard range
+    /// ([`StreamError::BadShard`]), label range
+    /// ([`StreamError::BadLabel`]), and per-shard id clocks
+    /// ([`StreamError::FutureFeedback`]) — so a validation error joins
+    /// nothing anywhere.
+    pub fn feedback(&mut self, feedback: &[ShardedFeedback]) -> Result<Vec<FeedbackOutcome>> {
+        let n = self.shards.len();
+        for routed in feedback {
+            let shard = routed.shard as usize;
+            if shard >= n {
+                return Err(StreamError::BadShard {
+                    shard: routed.shard,
+                    shards: n,
+                });
+            }
+            if routed.feedback.label >= 2 {
+                return Err(StreamError::BadLabel(routed.feedback.label));
+            }
+            let issued = self.shards[shard].ids_issued();
+            if routed.feedback.id >= issued {
+                return Err(StreamError::FutureFeedback {
+                    id: routed.feedback.id,
+                    issued,
+                });
+            }
+        }
+        let mut per_shard: Vec<Vec<LabelFeedback>> = vec![Vec::new(); n];
+        for routed in feedback {
+            per_shard[routed.shard as usize].push(routed.feedback);
+        }
+        self.shards
+            .iter_mut()
+            .zip(per_shard)
+            .map(|(engine, records)| engine.feedback(&records))
+            .collect()
+    }
 }
 
 /// The asynchronous sharded router: one [`AsyncEngine`] per shard, so each
@@ -425,6 +479,58 @@ impl ShardedAsyncEngine {
             .zip(&positions)
             .map(|(routed, &pos)| per_shard_decisions[routed.shard as usize][pos])
             .collect())
+    }
+
+    /// Route late ground truth to the shards that served it: each shard's
+    /// records land on that shard's own queue as a control-plane message
+    /// (never dropped, FIFO behind the records that carry their tuples)
+    /// and its background monitor joins them. Effects are observable per
+    /// shard after a [`ShardedAsyncEngine::flush`].
+    ///
+    /// # Errors
+    /// The whole batch is validated against shard range, label range, and
+    /// per-shard scored clocks before anything is enqueued anywhere. A
+    /// post-validation [`StreamError::Async`] (a dead shard monitor)
+    /// follows the router's contract: every live shard still receives its
+    /// records, and the first failing shard's error is returned.
+    pub fn feedback(&mut self, feedback: &[ShardedFeedback]) -> Result<()> {
+        let n = self.shards.len();
+        for routed in feedback {
+            let shard = routed.shard as usize;
+            if shard >= n {
+                return Err(StreamError::BadShard {
+                    shard: routed.shard,
+                    shards: n,
+                });
+            }
+            if routed.feedback.label >= 2 {
+                return Err(StreamError::BadLabel(routed.feedback.label));
+            }
+            let issued = self.shards[shard].tuples_scored();
+            if routed.feedback.id >= issued {
+                return Err(StreamError::FutureFeedback {
+                    id: routed.feedback.id,
+                    issued,
+                });
+            }
+        }
+        let mut per_shard: Vec<Vec<LabelFeedback>> = vec![Vec::new(); n];
+        for routed in feedback {
+            per_shard[routed.shard as usize].push(routed.feedback);
+        }
+        let mut first_error = None;
+        for (engine, records) in self.shards.iter_mut().zip(per_shard) {
+            if records.is_empty() {
+                continue;
+            }
+            if let Err(e) = engine.feedback(&records) {
+                first_error.get_or_insert(e);
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Barrier over every shard: returns once all queues are drained and

@@ -261,11 +261,11 @@ fn small_checkpoint() -> EngineCheckpoint {
 fn version_mismatch_is_a_typed_error() {
     let json = small_checkpoint()
         .to_json()
-        .replacen("\"version\":1", "\"version\":2", 1);
+        .replacen("\"version\":2", "\"version\":3", 1);
     assert!(matches!(
         EngineCheckpoint::from_json(&json),
         Err(StreamError::CheckpointVersion {
-            found: 2,
+            found: 3,
             expected: CHECKPOINT_VERSION
         })
     ));
@@ -332,7 +332,7 @@ fn internally_inconsistent_checkpoints_are_rejected() {
 
     // A non-binary label smuggled into the window.
     let mut ckpt = small_checkpoint();
-    ckpt.window.meta[0].label = 3;
+    ckpt.window.meta[0].label = Some(3);
     assert!(matches!(
         StreamEngine::restore(ckpt),
         Err(StreamError::BadLabel(3))

@@ -177,7 +177,7 @@ fn window_smaller_than_batch_keeps_only_the_tail() {
     assert_eq!(engine.tuples_seen(), 500);
     // The retained tail is exactly the last 64 tuples, in order.
     let window = engine.window_dataset("tail").unwrap();
-    let expected: Vec<u8> = batch[500 - 64..].iter().map(|t| t.label).collect();
+    let expected: Vec<u8> = batch[500 - 64..].iter().map(|t| t.label.unwrap()).collect();
     assert_eq!(window.labels(), &expected[..]);
 }
 
@@ -187,7 +187,7 @@ fn retrain_on_degenerate_window_is_a_clean_error() {
     // Window with a single class: retraining must fail loudly, not panic.
     let mut stream = DriftStream::new(spec(), 19);
     let all = StreamTuple::rows_from_dataset(&stream.next_batch(400)).unwrap();
-    let positives_only: Vec<StreamTuple> = all.into_iter().filter(|t| t.label == 1).collect();
+    let positives_only: Vec<StreamTuple> = all.into_iter().filter(|t| t.label == Some(1)).collect();
     engine.ingest(&positives_only).unwrap();
     assert!(matches!(
         engine.retrain_now(),
@@ -201,13 +201,13 @@ fn schema_mismatch_is_rejected() {
     let bad = StreamTuple {
         features: vec![1.0, 2.0, 3.0],
         group: 0,
-        label: 0,
+        label: Some(0),
     };
     assert!(matches!(engine.ingest(&[bad]), Err(StreamError::Schema(_))));
     let bad_group = StreamTuple {
         features: vec![1.0, 2.0],
         group: 7,
-        label: 0,
+        label: None,
     };
     assert!(matches!(
         engine.ingest(&[bad_group]),
@@ -216,7 +216,7 @@ fn schema_mismatch_is_rejected() {
     let bad_label = StreamTuple {
         features: vec![1.0, 2.0],
         group: 0,
-        label: 3,
+        label: Some(3),
     };
     assert!(matches!(
         engine.ingest(&[bad_label]),
@@ -250,7 +250,7 @@ fn failed_on_alert_retrain_keeps_the_alert_log() {
     let all = StreamTuple::rows_from_dataset(&stream.next_batch(4_000)).unwrap();
     // Positives only: the floor alert can fire, but the single-class
     // window cannot retrain.
-    let skewed: Vec<StreamTuple> = all.into_iter().filter(|t| t.label == 1).collect();
+    let skewed: Vec<StreamTuple> = all.into_iter().filter(|t| t.label == Some(1)).collect();
     let outcome = engine.ingest(&skewed).unwrap();
     // The serving work is intact: decisions returned, batch ingested,
     // alert logged — with the retrain failure reported alongside.

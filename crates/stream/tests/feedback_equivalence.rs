@@ -1,0 +1,825 @@
+//! The two-plane window's core contract, property-checked: **immediate
+//! feedback is equivalent to labels at ingest**. A stream served unlabeled
+//! whose ground truth is joined back via `feedback` in the same batch must
+//! be observationally identical — byte-identical decisions, alerts,
+//! snapshots, window counters, and checkpoint JSON — to the same stream
+//! served with labels attached, across window sizes, drift onsets, batch
+//! shapes, shard counts, and the sync/async engine variants. That pins the
+//! plane split itself: nothing on the decision plane (selection rates,
+//! DI/DP, Page–Hinkley on decision-conformance) may depend on when labels
+//! arrive, and the label plane must land in the same state whichever road
+//! the labels took.
+//!
+//! Retraining is deliberately held at `Never` in the equivalence
+//! properties: an on-alert retrain between `ingest` and `feedback`
+//! legitimately sees fewer joined labels than one whose batch arrived
+//! pre-labeled — that divergence is real serving semantics, not a bug, and
+//! it is covered separately by `retrain_on_partial_labels_*` below.
+//!
+//! The suite also pins the checkpoint story (round-trips with a non-empty
+//! pending-join index, v1 documents restoring as fully labeled, corrupted
+//! pending/label-ring state rejected with typed errors) and the feedback
+//! edge cases (duplicates, evicted/unknown ids, out-of-range labels,
+//! future ids, and labels arriving for records dropped under
+//! backpressure).
+
+use cf_datasets::stream::{DelayedLabelStream, DriftStream, DriftStreamSpec, LabelDelay};
+use cf_learners::LearnerKind;
+use cf_stream::{
+    AsyncConfig, AsyncEngine, BackpressurePolicy, EngineCheckpoint, LabelFeedback, RetrainPolicy,
+    ShardedEngine, ShardedFeedback, ShardedTuple, StreamConfig, StreamEngine, StreamError,
+    StreamTuple, CHECKPOINT_VERSION,
+};
+use confair_core::confair::{AlphaMode, ConFairConfig};
+use proptest::prelude::*;
+
+fn spec(drift_onset: u64) -> DriftStreamSpec {
+    DriftStreamSpec {
+        drift_onset,
+        ..DriftStreamSpec::default()
+    }
+}
+
+/// Small windows/floors and fixed-α ConFair keep per-case bootstraps cheap
+/// without weakening the bit-identity contract.
+fn config(window: usize, retrain: RetrainPolicy) -> StreamConfig {
+    StreamConfig {
+        window,
+        floor_min_window: 32,
+        floor_cooldown: 400,
+        retrain,
+        confair: ConFairConfig {
+            alpha: AlphaMode::Fixed {
+                alpha_u: 2.0,
+                alpha_w: 1.0,
+            },
+            ..ConFairConfig::default()
+        },
+        ..StreamConfig::default()
+    }
+}
+
+fn engine(reference_seed: u64, window: usize, onset: u64) -> StreamEngine {
+    let reference = spec(onset).reference(800, reference_seed);
+    StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        reference_seed,
+        config(window, RetrainPolicy::Never),
+    )
+    .unwrap()
+}
+
+/// Strip the labels off a batch, returning the withheld feedback records
+/// keyed by the ids the engine will assign (`first_id` onward).
+fn withhold(batch: &[StreamTuple], first_id: u64) -> (Vec<StreamTuple>, Vec<LabelFeedback>) {
+    let unlabeled = batch
+        .iter()
+        .map(|t| StreamTuple {
+            label: None,
+            ..t.clone()
+        })
+        .collect();
+    let feedback = batch
+        .iter()
+        .enumerate()
+        .map(|(i, t)| LabelFeedback {
+            id: first_id + i as u64,
+            label: t.label.expect("generator batches are labeled"),
+        })
+        .collect();
+    (unlabeled, feedback)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The tentpole pin: labels-at-ingest ≡ unlabeled-ingest + same-batch
+    /// feedback, for every observable including the serialised checkpoint.
+    /// Batch sizes deliberately exceed the window so mid-batch evictions
+    /// push unlabeled slots through the pending-join index.
+    #[test]
+    fn labeled_ingest_equals_unlabeled_ingest_plus_feedback(
+        window in 64usize..400,
+        drift_onset in 0u64..1_200,
+        batch_size in 20usize..600,
+        n_batches in 2usize..5,
+        stream_seed in 0u64..1_000,
+    ) {
+        let mut labeled = engine(11, window, drift_onset);
+        let mut deferred = engine(11, window, drift_onset);
+
+        let mut stream = DriftStream::new(spec(drift_onset), stream_seed);
+        for _ in 0..n_batches {
+            let batch =
+                StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+            let (unlabeled, feedback) = withhold(&batch, deferred.ids_issued());
+
+            let a = labeled.ingest(&batch).unwrap();
+            let b = deferred.ingest(&unlabeled).unwrap();
+            prop_assert_eq!(&a.decisions, &b.decisions,
+                "decisions must not depend on label availability");
+            prop_assert_eq!(&a.alerts, &b.alerts,
+                "the decision plane may not peek at labels");
+            prop_assert_eq!(a.first_id, b.first_id);
+
+            let joined = deferred.feedback(&feedback).unwrap();
+            prop_assert_eq!(joined.joined, batch.len() as u64, "every label joins");
+            prop_assert_eq!(joined.unmatched, 0);
+            prop_assert_eq!(joined.duplicates, 0);
+            // Once the batch's ground truth has joined, the two engines
+            // read identically — snapshot, counters, everything.
+            prop_assert_eq!(&a.snapshot, &joined.snapshot);
+            prop_assert_eq!(labeled.window_counts(), deferred.window_counts());
+            prop_assert_eq!(labeled.pending_labels(), 0);
+            prop_assert_eq!(deferred.pending_labels(), 0,
+                "same-batch feedback drains the pending index");
+        }
+
+        prop_assert_eq!(labeled.alerts(), deferred.alerts());
+        prop_assert_eq!(labeled.snapshot(), deferred.snapshot());
+        prop_assert_eq!(
+            labeled.join_stats().joined,
+            deferred.join_stats().joined,
+            "both roads join every label exactly once"
+        );
+        prop_assert_eq!(
+            labeled.checkpoint().unwrap().to_json(),
+            deferred.checkpoint().unwrap().to_json(),
+            "the two roads write byte-identical checkpoint documents"
+        );
+    }
+
+    /// The async variant: unlabeled ingest + feedback through the queued
+    /// control plane, flushed per batch, against the labeled sync engine.
+    #[test]
+    fn async_deferred_feedback_matches_labeled_sync(
+        window in 64usize..300,
+        drift_onset in 0u64..800,
+        batch_size in 20usize..400,
+        stream_seed in 0u64..1_000,
+        queue_depth in 1usize..8,
+    ) {
+        let mut labeled = engine(13, window, drift_onset);
+        let mut deferred = AsyncEngine::from_engine(
+            engine(13, window, drift_onset),
+            AsyncConfig { queue_depth, backpressure: BackpressurePolicy::Block },
+        );
+
+        let mut stream = DriftStream::new(spec(drift_onset), stream_seed);
+        for _ in 0..3 {
+            let batch =
+                StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+            let (unlabeled, feedback) = withhold(&batch, deferred.tuples_scored());
+
+            let a = labeled.ingest(&batch).unwrap();
+            let decisions = deferred.ingest(&unlabeled).unwrap();
+            prop_assert_eq!(&a.decisions, &decisions);
+            deferred.feedback(&feedback).unwrap();
+            deferred.flush().unwrap();
+
+            prop_assert_eq!(a.snapshot, deferred.snapshot());
+            prop_assert_eq!(*labeled.window_counts(), deferred.window_counts());
+        }
+        let deferred_alerts = deferred.alerts();
+        prop_assert_eq!(labeled.alerts(), deferred_alerts.as_slice());
+        prop_assert_eq!(
+            labeled.checkpoint().unwrap().to_json(),
+            deferred.checkpoint().unwrap().to_json()
+        );
+        // Reuniting the halves preserves the joined label plane.
+        let reunited = deferred.into_engine().unwrap();
+        prop_assert_eq!(labeled.snapshot(), reunited.snapshot());
+    }
+
+    /// The sharded variant: mixed-shard batches served unlabeled, ground
+    /// truth routed back per shard (ids are per-shard clocks).
+    #[test]
+    fn sharded_deferred_feedback_matches_labeled_sharded(
+        n_shards in 1usize..=3,
+        batch_size in 30usize..400,
+        stream_seed in 0u64..1_000,
+        route_salt in 0u64..1_000,
+    ) {
+        let reference = spec(400).reference(800, 17);
+        let cfg = config(192, RetrainPolicy::Never);
+        let mut labeled = ShardedEngine::from_reference(
+            &reference, LearnerKind::Logistic, 17, cfg.clone(), n_shards,
+        ).unwrap();
+        let mut deferred = ShardedEngine::from_reference(
+            &reference, LearnerKind::Logistic, 17, cfg, n_shards,
+        ).unwrap();
+
+        let route = |i: usize| -> u32 {
+            let z = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(route_salt);
+            ((z >> 7) % n_shards as u64) as u32
+        };
+        let mut stream = DriftStream::new(spec(400), stream_seed);
+        for _ in 0..2 {
+            let tuples =
+                StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+            let mut shard_clock: Vec<u64> = (0..n_shards as u32)
+                .map(|s| deferred.shard(s).unwrap().ids_issued())
+                .collect();
+            let mut routed_labeled = Vec::with_capacity(tuples.len());
+            let mut routed_unlabeled = Vec::with_capacity(tuples.len());
+            let mut feedback = Vec::with_capacity(tuples.len());
+            for (i, tuple) in tuples.into_iter().enumerate() {
+                let shard = route(i);
+                feedback.push(ShardedFeedback {
+                    shard,
+                    feedback: LabelFeedback {
+                        id: shard_clock[shard as usize],
+                        label: tuple.label.unwrap(),
+                    },
+                });
+                shard_clock[shard as usize] += 1;
+                routed_unlabeled.push(ShardedTuple {
+                    shard,
+                    tuple: StreamTuple { label: None, ..tuple.clone() },
+                });
+                routed_labeled.push(ShardedTuple { shard, tuple });
+            }
+
+            let a = labeled.ingest(&routed_labeled).unwrap();
+            let b = deferred.ingest(&routed_unlabeled).unwrap();
+            prop_assert_eq!(&a.decisions, &b.decisions);
+
+            let outcomes = deferred.feedback(&feedback).unwrap();
+            prop_assert_eq!(outcomes.len(), n_shards);
+            prop_assert_eq!(
+                outcomes.iter().map(|o| o.joined).sum::<u64>(),
+                a.decisions.len() as u64
+            );
+            prop_assert_eq!(a.snapshot, deferred.snapshot());
+            prop_assert_eq!(labeled.merged_counts(), deferred.merged_counts());
+        }
+        prop_assert_eq!(
+            labeled.checkpoint().unwrap().to_json(),
+            deferred.checkpoint().unwrap().to_json()
+        );
+    }
+
+    /// Checkpoint round-trip with a **non-empty pending-join index**:
+    /// serve unlabeled past window rotation, checkpoint mid-wait, restore,
+    /// and only then deliver the late labels — the restored engine joins
+    /// them exactly like the one that never stopped.
+    #[test]
+    fn checkpoint_round_trips_with_pending_joins(
+        window in 64usize..200,
+        batch_size in 250usize..500,
+        stream_seed in 0u64..1_000,
+    ) {
+        let mut uninterrupted = engine(19, window, 400);
+        let mut stream = DriftStream::new(spec(400), stream_seed);
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(batch_size)).unwrap();
+        let (unlabeled, feedback) = withhold(&batch, 0);
+        uninterrupted.ingest(&unlabeled).unwrap();
+        prop_assert!(
+            uninterrupted.pending_labels() > 0,
+            "batch > window must leave evicted slots awaiting labels"
+        );
+
+        let doc = uninterrupted.checkpoint().unwrap().to_json();
+        let mut restored =
+            StreamEngine::restore(EngineCheckpoint::from_json(&doc).unwrap()).unwrap();
+        prop_assert_eq!(restored.pending_labels(), uninterrupted.pending_labels());
+        prop_assert_eq!(restored.ids_issued(), uninterrupted.ids_issued());
+
+        // The late labels arrive only now — after the "crash".
+        let a = uninterrupted.feedback(&feedback).unwrap();
+        let b = restored.feedback(&feedback).unwrap();
+        prop_assert_eq!(&a, &b, "late joins replay identically");
+        prop_assert_eq!(a.joined, batch.len() as u64);
+        prop_assert_eq!(uninterrupted.window_counts(), restored.window_counts());
+
+        // And the engines keep agreeing on subsequent mixed traffic.
+        let next = StreamTuple::rows_from_dataset(&stream.next_batch(200)).unwrap();
+        let oa = uninterrupted.ingest(&next).unwrap();
+        let ob = restored.ingest(&next).unwrap();
+        prop_assert_eq!(oa.decisions, ob.decisions);
+        prop_assert_eq!(oa.snapshot, ob.snapshot);
+        prop_assert_eq!(
+            uninterrupted.checkpoint().unwrap().to_json(),
+            restored.checkpoint().unwrap().to_json()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// v1 checkpoint compatibility
+// ---------------------------------------------------------------------------
+
+/// Down-convert a v2 checkpoint document to the v1 layout: strip the
+/// two-plane fields and the per-slot ids, unwrap the labels. Exactly what
+/// a pre-split build would have written for a fully-labeled engine.
+fn downgrade_to_v1(doc: &str) -> String {
+    let mut v = serde_json::from_str::<serde::Value>(doc).unwrap();
+    fn remove(obj: &mut serde::Value, key: &str) {
+        if let serde::Value::Object(fields) = obj {
+            fields.retain(|(k, _)| k != key);
+        }
+    }
+    fn set(obj: &mut serde::Value, key: &str, value: serde::Value) {
+        if let serde::Value::Object(fields) = obj {
+            match fields.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = value,
+                None => fields.push((key.to_string(), value)),
+            }
+        }
+    }
+    set(&mut v, "version", serde::Value::Number(1.0));
+    remove(&mut v, "ids_issued");
+    if let serde::Value::Object(fields) = &mut v {
+        for (key, value) in fields.iter_mut() {
+            match key.as_str() {
+                "config" => remove(value, "pending_labels"),
+                "window" => {
+                    remove(value, "labels");
+                    remove(value, "pending");
+                    if let Some(serde::Value::Array(meta)) = {
+                        if let serde::Value::Object(wf) = value {
+                            wf.iter_mut().find(|(k, _)| k == "meta").map(|(_, m)| m)
+                        } else {
+                            None
+                        }
+                    } {
+                        for slot in meta {
+                            remove(slot, "id");
+                            // v1 labels were plain numbers; `Some(x)`
+                            // already serialises as `x`, so nothing to
+                            // unwrap — just assert it is not null.
+                            assert!(
+                                slot.get("label").is_some_and(|l| !l.is_null()),
+                                "v1 downgrades require a fully-labeled window"
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    serde_json::to_string(&v).unwrap()
+}
+
+/// A v1 document (no ids, no label ring, no pending index, mandatory
+/// labels) restores as a fully-labeled two-plane engine that replays
+/// bit-identically with the v2 restore of the same state.
+#[test]
+fn v1_documents_restore_as_fully_labeled() {
+    let mut original = engine(23, 192, 300);
+    let mut stream = DriftStream::new(spec(300), 29);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(400)).unwrap();
+    original.ingest(&batch).unwrap();
+
+    let v2_doc = original.checkpoint().unwrap().to_json();
+    let v1_doc = downgrade_to_v1(&v2_doc);
+    assert!(v1_doc.contains("\"version\":1"));
+    assert!(!v1_doc.contains("pending"));
+
+    let ckpt = EngineCheckpoint::from_json(&v1_doc).unwrap();
+    assert_eq!(ckpt.version, CHECKPOINT_VERSION, "upgraded on parse");
+    assert_eq!(ckpt.ids_issued, original.ids_issued());
+    let mut restored = StreamEngine::restore(ckpt).unwrap();
+
+    // Fully labeled: the label plane mirrors the decision plane.
+    assert_eq!(restored.labeled_len(), restored.window_len());
+    assert_eq!(restored.pending_labels(), 0);
+    assert_eq!(restored.window_counts(), original.window_counts());
+    assert_eq!(restored.snapshot(), original.snapshot());
+
+    // And it serves + joins onward exactly like the original, including
+    // late feedback addressed by the reconstructed sequential ids.
+    let next = StreamTuple::rows_from_dataset(&stream.next_batch(150)).unwrap();
+    let a = original.ingest(&next).unwrap();
+    let b = restored.ingest(&next).unwrap();
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.snapshot, b.snapshot);
+    assert_eq!(
+        original.checkpoint().unwrap().to_json(),
+        restored.checkpoint().unwrap().to_json()
+    );
+}
+
+/// Unsupported versions and corrupted two-plane state fail with typed
+/// errors — never panics, never a half-load.
+#[test]
+fn corrupted_and_mismatched_documents_are_typed_errors() {
+    let mut engine = engine(3, 128, u64::MAX);
+    let mut stream = DriftStream::new(spec(u64::MAX), 5);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(300)).unwrap();
+    let (unlabeled, _) = withhold(&batch, 0);
+    engine.ingest(&unlabeled).unwrap();
+    assert!(engine.pending_labels() > 0);
+    let good = engine.checkpoint().unwrap();
+
+    // Versions outside [1, CHECKPOINT_VERSION] are rejected up front.
+    for version in [0u32, CHECKPOINT_VERSION + 1, 999] {
+        let doc = good
+            .to_json()
+            .replacen("\"version\":2", &format!("\"version\":{version}"), 1);
+        assert!(matches!(
+            EngineCheckpoint::from_json(&doc),
+            Err(StreamError::CheckpointVersion { .. })
+        ));
+    }
+
+    // A pending entry colliding with the decision ring.
+    let mut ckpt = good.clone();
+    ckpt.window.pending[0].id = ckpt.window.meta[0].id;
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // More pending entries than the configured bound.
+    let mut ckpt = good.clone();
+    ckpt.config.pending_labels = 1;
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // A label ring wider than the window capacity.
+    let mut ckpt = good.clone();
+    let pair = cf_stream::LabelSlot {
+        group: 0,
+        decision: 1,
+        label: 1,
+    };
+    ckpt.window.labels = vec![pair; ckpt.window.capacity + 1];
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // A non-binary label smuggled into the label ring.
+    let mut ckpt = good.clone();
+    ckpt.window.labels.push(cf_stream::LabelSlot {
+        group: 0,
+        decision: 0,
+        label: 9,
+    });
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::BadLabel(9))
+    ));
+
+    // An id clock behind the tuples it supposedly issued.
+    let mut ckpt = good.clone();
+    ckpt.ids_issued = 0;
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // A non-binary group smuggled into a window slot (the replay must
+    // reject it, not index out of bounds).
+    let mut ckpt = good.clone();
+    ckpt.window.meta[0].group = 3;
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::BadGroup(3))
+    ));
+
+    // Window slot ids out of order (a silent restore would misroute every
+    // later feedback join).
+    let mut ckpt = good.clone();
+    ckpt.window.meta.swap(0, 1);
+    assert!(matches!(
+        StreamEngine::restore(ckpt),
+        Err(StreamError::Checkpoint(_))
+    ));
+
+    // A truncated v1 document (missing `seen`) is a parse error, not a
+    // panic, on the upgrade path too.
+    let v1_missing = r#"{"version":1,"window":{"meta":[]}}"#;
+    assert!(matches!(
+        EngineCheckpoint::from_json(v1_missing),
+        Err(StreamError::Checkpoint(_))
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Feedback edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn duplicate_feedback_is_counted_and_ignored() {
+    let mut engine = engine(7, 128, u64::MAX);
+    let mut stream = DriftStream::new(spec(u64::MAX), 7);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(64)).unwrap();
+    let (unlabeled, feedback) = withhold(&batch, 0);
+    engine.ingest(&unlabeled).unwrap();
+
+    let first = engine.feedback(&feedback).unwrap();
+    assert_eq!(first.joined, 64);
+    let again = engine.feedback(&feedback).unwrap();
+    assert_eq!(again.joined, 0);
+    assert_eq!(again.duplicates, 64);
+    assert_eq!(again.snapshot, first.snapshot, "duplicates change nothing");
+    assert_eq!(engine.join_stats().duplicates, 64);
+
+    // A label attached at ingest counts as joined, so feedback for it is
+    // a duplicate too.
+    let labeled = StreamTuple::rows_from_dataset(&stream.next_batch(8)).unwrap();
+    let outcome = engine.ingest(&labeled).unwrap();
+    let echo = engine
+        .feedback(&[LabelFeedback {
+            id: outcome.first_id,
+            label: labeled[0].label.unwrap(),
+        }])
+        .unwrap();
+    assert_eq!(echo.duplicates, 1);
+}
+
+#[test]
+fn forgotten_and_future_ids_resolve_as_specified() {
+    // pending_labels: 0 forgets every unlabeled eviction immediately.
+    let reference = spec(u64::MAX).reference(600, 31);
+    let mut engine = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        31,
+        StreamConfig {
+            window: 32,
+            pending_labels: 0,
+            ..config(32, RetrainPolicy::Never)
+        },
+    )
+    .unwrap();
+    let mut stream = DriftStream::new(spec(u64::MAX), 37);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(100)).unwrap();
+    let (unlabeled, feedback) = withhold(&batch, 0);
+    engine.ingest(&unlabeled).unwrap();
+    assert_eq!(engine.pending_labels(), 0);
+    assert_eq!(
+        engine.join_stats().pending_evicted,
+        68,
+        "100 - window of 32"
+    );
+
+    // Labels for the 68 evicted-and-forgotten tuples are unmatched; the
+    // 32 in-window ones join.
+    let outcome = engine.feedback(&feedback).unwrap();
+    assert_eq!(outcome.joined, 32);
+    assert_eq!(outcome.joined_late, 0);
+    assert_eq!(outcome.unmatched, 68);
+    assert_eq!(engine.join_stats().unmatched, 68);
+
+    // A future id is a typed error and applies nothing, even when other
+    // records in the batch are valid.
+    let mixed = [
+        LabelFeedback { id: 99, label: 1 },
+        LabelFeedback { id: 100, label: 1 },
+    ];
+    let before = engine.join_stats();
+    assert!(matches!(
+        engine.feedback(&mixed),
+        Err(StreamError::FutureFeedback {
+            id: 100,
+            issued: 100
+        })
+    ));
+    assert_eq!(engine.join_stats(), before, "whole-batch rejection");
+
+    // An out-of-range label is equally typed and equally atomic.
+    assert!(matches!(
+        engine.feedback(&[LabelFeedback { id: 0, label: 2 }]),
+        Err(StreamError::BadLabel(2))
+    ));
+    assert_eq!(engine.join_stats(), before);
+}
+
+/// Labels arriving for records dropped under `DropOldest` backpressure:
+/// whichever records the queue sacrificed, the aggregate accounting is
+/// exact — every monitored tuple's label joins, every dropped tuple's
+/// label counts as unmatched, and the engine never errors.
+#[test]
+fn dropped_records_resolve_their_late_labels_as_unmatched() {
+    let reference = spec(u64::MAX).reference(600, 41);
+    let sync = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        41,
+        StreamConfig {
+            pending_labels: 100_000,
+            ..config(256, RetrainPolicy::Never)
+        },
+    )
+    .unwrap();
+    let mut engine = AsyncEngine::from_engine(
+        sync,
+        AsyncConfig {
+            queue_depth: 1,
+            backpressure: BackpressurePolicy::DropOldest,
+        },
+    );
+    let mut stream = DriftStream::new(spec(u64::MAX), 43);
+    // Push many batches back-to-back: with queue depth 1 the monitor
+    // cannot keep up and sheds load.
+    for _ in 0..50 {
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(64)).unwrap();
+        let (unlabeled, _) = withhold(&batch, 0);
+        engine.ingest(&unlabeled).unwrap();
+    }
+    engine.flush().unwrap();
+    let dropped = engine.dropped();
+    assert_eq!(
+        engine.tuples_monitored() + dropped.tuples,
+        engine.tuples_scored(),
+        "every scored tuple is either monitored or counted as dropped"
+    );
+
+    // Deliver ground truth for *every* id ever scored.
+    let all: Vec<LabelFeedback> = (0..engine.tuples_scored())
+        .map(|id| LabelFeedback { id, label: 0 })
+        .collect();
+    engine.feedback(&all).unwrap();
+    engine.flush().unwrap();
+    let joins = engine.join_stats();
+    assert_eq!(
+        joins.joined,
+        engine.tuples_monitored(),
+        "every monitored tuple's label joins (pending index sized for all)"
+    );
+    assert_eq!(
+        joins.unmatched, dropped.tuples,
+        "every dropped tuple's label resolves as unmatched, not an error"
+    );
+    assert!(engine.monitor_error().is_none());
+}
+
+/// The same scenario at the monitor seam, deterministically: a record
+/// dropped under backpressure reaches the monitor as an id gap, and
+/// feedback into the gap is unmatched while its neighbours join.
+#[test]
+fn id_gaps_from_dropped_records_join_around_the_gap() {
+    let reference = spec(u64::MAX).reference(600, 47);
+    let engine = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        47,
+        config(256, RetrainPolicy::Never),
+    )
+    .unwrap();
+    let (mut scorer, mut monitor) = engine.into_parts();
+    let mut stream = DriftStream::new(spec(u64::MAX), 53);
+
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(20)).unwrap();
+    let (unlabeled, _) = withhold(&batch, 0);
+    let decisions = scorer.score(&unlabeled).unwrap();
+    monitor.observe_with_ids(&unlabeled, &decisions, 0).unwrap();
+    // Ids 20..40 are a dropped record: the monitor never sees them.
+    let batch2 = StreamTuple::rows_from_dataset(&stream.next_batch(20)).unwrap();
+    let (unlabeled2, _) = withhold(&batch2, 0);
+    let decisions2 = scorer.score(&unlabeled2).unwrap();
+    monitor
+        .observe_with_ids(&unlabeled2, &decisions2, 40)
+        .unwrap();
+    assert_eq!(monitor.ids_issued(), 60);
+    assert_eq!(monitor.tuples_seen(), 40);
+
+    let outcome = monitor
+        .feedback(&[
+            LabelFeedback { id: 5, label: 1 },
+            LabelFeedback { id: 25, label: 1 },
+            LabelFeedback { id: 45, label: 1 },
+        ])
+        .unwrap();
+    assert_eq!(outcome.joined, 2);
+    assert_eq!(outcome.unmatched, 1, "the gap id was never monitored");
+
+    // Replaying an already-observed id range is rejected loudly.
+    assert!(monitor
+        .observe_with_ids(&unlabeled2, &decisions2, 30)
+        .is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Label-plane gating (the tpr-family fix) and retraining on partial labels
+// ---------------------------------------------------------------------------
+
+/// A stream served entirely without ground truth: decision-plane metrics
+/// flow, label-plane metrics stay `None` — never a fabricated 0.0 that
+/// could trip a floor — until feedback joins.
+#[test]
+fn label_metrics_stay_none_until_ground_truth_joins() {
+    let mut engine = engine(57, 256, u64::MAX);
+    let mut stream = DriftStream::new(spec(u64::MAX), 59);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(500)).unwrap();
+    let (unlabeled, feedback) = withhold(&batch, 0);
+    let outcome = engine.ingest(&unlabeled).unwrap();
+
+    let s = &outcome.snapshot;
+    assert!(s.selection_rate[0].is_some() && s.selection_rate[1].is_some());
+    assert!(s.di_star.is_some(), "decision plane needs no labels");
+    assert_eq!(s.equal_opportunity_gap, None, "no labels, no EO verdict");
+    assert_eq!(s.labeled, [0, 0]);
+    for counts in engine.window_counts() {
+        assert_eq!(counts.tpr(), None, "decisions without labels have no TPR");
+        assert_eq!(counts.fpr(), None);
+        assert!(counts.total > 0);
+    }
+
+    // Ground truth joins → the label plane switches on.
+    let joined = engine.feedback(&feedback).unwrap();
+    assert!(joined.snapshot.equal_opportunity_gap.is_some());
+    assert!(joined.snapshot.labeled[0] > 0 && joined.snapshot.labeled[1] > 0);
+    assert!(engine.window_counts()[0].tpr().is_some());
+}
+
+/// On-alert retraining under partial labels: with no ground truth joined
+/// the retrain fails loudly (degenerate window) while serving continues;
+/// once labels join, the same window retrains fine.
+#[test]
+fn retrain_uses_only_joined_labels() {
+    let reference = spec(0).reference(2_000, 61);
+    let mut engine = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        61,
+        StreamConfig {
+            floor_min_window: 10,
+            retrain: RetrainPolicy::OnAlert { min_window: 10 },
+            ..config(2_000, RetrainPolicy::OnAlert { min_window: 10 })
+        },
+    )
+    .unwrap();
+    // Drift from tuple 0 collapses DI* fast; everything arrives unlabeled.
+    let mut stream = DriftStream::new(spec(0), 67);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(3_000)).unwrap();
+    let (unlabeled, feedback) = withhold(&batch, 0);
+    let outcome = engine.ingest(&unlabeled).unwrap();
+    assert!(
+        !engine.alerts().is_empty(),
+        "decision-plane drift must alert with zero labels"
+    );
+    assert!(
+        matches!(
+            outcome.retrain_error,
+            Some(StreamError::DegenerateWindow(_))
+        ),
+        "a retrain without ground truth must fail loudly, got {:?}",
+        outcome.retrain_error
+    );
+    assert_eq!(outcome.decisions.len(), 3_000, "serving never stopped");
+
+    // Join the labels for whatever is still in the window; now the
+    // retrain has a training set.
+    engine.feedback(&feedback).unwrap();
+    assert!(engine.labeled_len() > 0);
+    engine.retrain_now().unwrap();
+    assert_eq!(engine.retrain_count(), 1);
+}
+
+/// End to end against the generator: a `DelayedLabelStream` drives the
+/// engine through the full delayed regime and every label that ever
+/// arrives joins (none unmatched while the pending index is sized right).
+#[test]
+fn delayed_label_stream_drives_the_join_path() {
+    let stream_spec = DriftStreamSpec {
+        drift_onset: u64::MAX,
+        label_delay: LabelDelay::Uniform {
+            min: 100,
+            max: 1_200,
+        },
+        missing_label_rate: 0.1,
+        ..DriftStreamSpec::default()
+    };
+    let reference = stream_spec.reference(800, 71);
+    let mut engine = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        71,
+        StreamConfig {
+            window: 256,
+            pending_labels: 2_048,
+            ..config(256, RetrainPolicy::Never)
+        },
+    )
+    .unwrap();
+    let mut stream = DelayedLabelStream::new(stream_spec, 73);
+    for _ in 0..16 {
+        let (batch, due) = stream.next_batch(250);
+        let unlabeled = StreamTuple::rows_unlabeled_from_dataset(&batch).unwrap();
+        engine.ingest(&unlabeled).unwrap();
+        let feedback: Vec<LabelFeedback> = due
+            .into_iter()
+            .map(|(id, label)| LabelFeedback { id, label })
+            .collect();
+        let outcome = engine.feedback(&feedback).unwrap();
+        assert_eq!(outcome.unmatched, 0, "pending index holds every wait");
+    }
+    let joins = engine.join_stats();
+    assert_eq!(joins.joined, stream.delivered());
+    assert!(
+        joins.joined_late > 0,
+        "long delays join via the pending index"
+    );
+    assert_eq!(joins.pending_evicted, 0);
+    assert!(engine.snapshot().equal_opportunity_gap.is_some());
+}

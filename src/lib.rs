@@ -33,7 +33,10 @@ pub mod prelude {
     pub use cf_data::{Column, Dataset, GroupSpec, SplitRatios};
     pub use cf_datasets::{
         realsim::RealWorldSpec,
-        stream::{DriftStream, DriftStreamCheckpoint, DriftStreamSpec, ShardedDriftStream},
+        stream::{
+            DelayedLabelStream, DriftStream, DriftStreamCheckpoint, DriftStreamSpec, LabelDelay,
+            ShardedDriftStream,
+        },
         synthgen::SynSpec,
     };
     pub use cf_density::{density_filter, Kde};
@@ -41,9 +44,10 @@ pub mod prelude {
     pub use cf_metrics::{FairnessReport, GroupConfusion};
     pub use cf_stream::{
         AsyncConfig, AsyncEngine, BackpressurePolicy, DriftAlert, DriftKind, DropCounters,
-        EngineCheckpoint, FairnessSnapshot, Monitor, PageHinkleyConfig, RetrainPolicy, Scorer,
-        ShardedAsyncEngine, ShardedCheckpoint, ShardedEngine, ShardedOutcome, ShardedTuple,
-        StreamConfig, StreamEngine, StreamTuple,
+        EngineCheckpoint, FairnessSnapshot, FeedbackOutcome, JoinStats, LabelFeedback, Monitor,
+        PageHinkleyConfig, RetrainPolicy, Scorer, ShardedAsyncEngine, ShardedCheckpoint,
+        ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple, StreamConfig, StreamEngine,
+        StreamTuple,
     };
     pub use confair_core::{
         confair::{ConFair, ConFairConfig, FairnessTarget},
