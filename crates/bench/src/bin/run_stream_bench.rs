@@ -16,8 +16,21 @@ use cf_bench::stream_load::{
     pregenerate_from, pregenerate_sharded,
 };
 use cf_stream::{AsyncConfig, ShardedEngine, ShardedTuple, StreamEngine, StreamTuple};
+use cf_telemetry::{shared_sink, NullSink, RingSink};
 use std::hint::black_box;
 use std::time::Instant;
+
+/// The observability counters a live operator would scrape, captured at
+/// the end of a bench row so the artifact records what the engine *did*
+/// (alerts raised, retrains run, labels pending), not just how fast.
+fn engine_observability(engine: &StreamEngine) -> serde_json::Value {
+    serde_json::json!({
+        "alerts": engine.alerts().len(),
+        "retrains": engine.retrain_count(),
+        "window_fill": engine.window_len(),
+        "pending_labels": engine.pending_labels(),
+    })
+}
 
 /// Drive `engine.ingest` over pregenerated batches until at least
 /// `total_tuples` have flowed through; returns (tuples, seconds).
@@ -126,7 +139,12 @@ fn latency_comparison(quick: bool) -> (Vec<serde_json::Value>, serde_json::Value
     let dropped = async_engine.dropped();
 
     let mut configs = Vec::new();
-    let mut stats = |name: &str, lat: &[f64], secs: f64, retrains: u64| -> (f64, f64, f64) {
+    let mut stats = |name: &str,
+                     lat: &[f64],
+                     secs: f64,
+                     retrains: u64,
+                     obs: serde_json::Value|
+     -> (f64, f64, f64) {
         let (p50, p99) = (percentile_us(lat, 50.0), percentile_us(lat, 99.0));
         let max = lat.iter().cloned().fold(0.0, f64::max);
         let rate = total as f64 / secs;
@@ -144,16 +162,29 @@ fn latency_comparison(quick: bool) -> (Vec<serde_json::Value>, serde_json::Value
             "ingest_p99_us": p99,
             "ingest_max_us": max,
             "retrains": retrains,
+            "observability": obs,
         }));
         (p50, p99, rate)
     };
-    let (sync_p50, sync_p99, sync_rate) =
-        stats("latency/sync_drift", &sync_lat, sync_secs, sync_retrains);
+    let (sync_p50, sync_p99, sync_rate) = stats(
+        "latency/sync_drift",
+        &sync_lat,
+        sync_secs,
+        sync_retrains,
+        engine_observability(&sync_engine),
+    );
     let (async_p50, async_p99, async_rate) = stats(
         "latency/async_drift",
         &async_lat,
         async_secs,
         async_retrains,
+        serde_json::json!({
+            "alerts": async_engine.alerts().len(),
+            "retrains": async_retrains,
+            "monitor_lag_after_flush": async_engine.monitor_lag(),
+            "dropped_batches": dropped.batches,
+            "dropped_tuples": dropped.tuples,
+        }),
     );
 
     let summary = serde_json::json!({
@@ -196,11 +227,7 @@ fn feedback_join(quick: bool) -> serde_json::Value {
     assert_eq!(stats.unmatched, 0, "pending index sized for the full lag");
     let (p50, p99) = (percentile_us(&lat, 50.0), percentile_us(&lat, 99.0));
     let rate = joins as f64 / join_secs;
-    println!(
-        "latency/feedback_join: p50 {p50:.1}µs  p99 {p99:.1}µs per feedback batch  \
-         {rate:.0} joins/sec sustained  ({joins} joined, {} late)",
-        stats.joined_late
-    );
+    println!("latency/feedback_join: p50 {p50:.1}µs  p99 {p99:.1}µs per feedback batch  {rate:.0} joins/sec sustained  ({stats})");
     serde_json::json!({
         "name": "latency/feedback_join",
         "batch": batch,
@@ -212,6 +239,14 @@ fn feedback_join(quick: bool) -> serde_json::Value {
         "joins_per_sec": rate,
         "feedback_p50_us": p50,
         "feedback_p99_us": p99,
+        "observability": serde_json::json!({
+            "joined": stats.joined,
+            "joined_late": stats.joined_late,
+            "duplicates": stats.duplicates,
+            "unmatched": stats.unmatched,
+            "pending_evicted": stats.pending_evicted,
+            "pending_backlog": engine.pending_labels(),
+        }),
     })
 }
 
@@ -229,7 +264,7 @@ fn main() {
     }
     let total = if quick { 100_000 } else { 1_000_000 };
     let mut configs = Vec::new();
-    let mut record = |name: String, tuples: usize, secs: f64| {
+    let mut record = |name: String, tuples: usize, secs: f64, obs: serde_json::Value| {
         let rate = tuples as f64 / secs;
         println!("{name}: {tuples} tuples in {secs:.3}s = {rate:.0} tuples/sec");
         configs.push(serde_json::json!({
@@ -237,16 +272,53 @@ fn main() {
             "tuples": tuples,
             "secs": secs,
             "tuples_per_sec": rate,
+            "observability": obs,
         }));
         rate
     };
 
     // Single-shard throughput across batch sizes.
+    let mut bare_1024_rate = None;
     for &batch in &[512usize, 1_024, 4_096] {
         let batches = pregenerate(32, batch);
         let mut engine = fresh_engine(4_096);
         let (tuples, secs) = drive_single(&mut engine, &batches, total);
-        record(format!("single_shard/batch={batch}"), tuples, secs);
+        let rate = record(
+            format!("single_shard/batch={batch}"),
+            tuples,
+            secs,
+            engine_observability(&engine),
+        );
+        if batch == 1_024 {
+            bare_1024_rate = Some(rate);
+        }
+    }
+    let bare_1024_rate = bare_1024_rate.expect("batch=1024 row runs");
+
+    // Telemetry overhead on the same workload as single_shard/batch=1024:
+    // no sink must cost nothing (the delta bookkeeping is skipped
+    // entirely), the NullSink isolates the lock + bookkeeping cost, the
+    // RingSink adds event construction. All should stay within a few
+    // percent of the bare rate.
+    let mut telemetry_overhead = Vec::new();
+    for (label, sink) in [
+        ("null_sink", shared_sink(NullSink)),
+        ("ring_sink", shared_sink(RingSink::new(4_096))),
+    ] {
+        let batches = pregenerate(32, 1_024);
+        let mut engine = fresh_engine(4_096);
+        engine.set_sink(sink);
+        let (tuples, secs) = drive_single(&mut engine, &batches, total);
+        let rate = record(
+            format!("telemetry/{label}+batch=1024"),
+            tuples,
+            secs,
+            engine_observability(&engine),
+        );
+        telemetry_overhead.push(serde_json::json!({
+            "sink": label,
+            "throughput_vs_bare": rate / bare_1024_rate,
+        }));
     }
 
     // Window-size flatness: counters-not-scans, arena-not-boxes.
@@ -254,7 +326,12 @@ fn main() {
         let batches = pregenerate(32, 1_024);
         let mut engine = fresh_engine(window);
         let (tuples, secs) = drive_single(&mut engine, &batches, total);
-        record(format!("window/{window}"), tuples, secs);
+        record(
+            format!("window/{window}"),
+            tuples,
+            secs,
+            engine_observability(&engine),
+        );
     }
 
     // Sharded aggregate throughput; scaling is reported relative to the
@@ -265,7 +342,15 @@ fn main() {
         let batches = pregenerate_sharded(shards, 16, 1_024);
         let mut engine = fresh_sharded_engine(4_096, shards);
         let (tuples, secs) = drive_sharded(&mut engine, &batches, total);
-        let rate = record(format!("sharded/shards={shards}"), tuples, secs);
+        let obs: Vec<serde_json::Value> = (0..shards)
+            .map(|s| engine_observability(engine.shard(s as u32).expect("shard")))
+            .collect();
+        let rate = record(
+            format!("sharded/shards={shards}"),
+            tuples,
+            secs,
+            serde_json::json!({ "per_shard": obs }),
+        );
         let base = *base_rate.get_or_insert(rate);
         scaling.push(serde_json::json!({
             "shards": shards,
@@ -286,6 +371,7 @@ fn main() {
         "configs": configs,
         "sharded_scaling": scaling,
         "async_vs_sync": async_vs_sync,
+        "telemetry_overhead": telemetry_overhead,
     });
     let file = std::fs::File::create(&out).expect("create BENCH_stream.json");
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), &artifact)

@@ -39,10 +39,12 @@ use crate::engine::{
 };
 use crate::monitor::{FairnessSnapshot, Monitor};
 use crate::scorer::Scorer;
+use crate::telemetry::StreamMetrics;
 use crate::window::{GroupCounts, JoinStats};
 use crate::{DriftAlert, EngineCheckpoint, Result, StreamError};
 use cf_data::Dataset;
 use cf_learners::LearnerKind;
+use cf_telemetry::{DropEvent, MetricsRegistry, SharedSink, TelemetryEvent};
 use confair_core::Predictor;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicPtr, Ordering};
@@ -95,6 +97,13 @@ pub struct DropCounters {
     pub tuples: u64,
 }
 
+/// Human-readable one-liner, e.g. `dropped batches=2 tuples=503`.
+impl std::fmt::Display for DropCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dropped batches={} tuples={}", self.batches, self.tuples)
+    }
+}
+
 /// What flows from the score path to the monitor thread.
 enum MonitorMsg {
     /// One served micro-batch, in scoring order. `first_id` is the
@@ -118,6 +127,12 @@ enum MonitorMsg {
     /// Quiescent-point state request: answered with a coherent clone of
     /// the monitor half.
     Checkpoint(mpsc::Sender<Box<Monitor>>),
+    /// Install (`Some`) or remove (`None`) the monitor's telemetry sink —
+    /// a control-plane record so the change lands in FIFO order with the
+    /// records around it.
+    SetSink(Option<SharedSink>),
+    /// Install metrics handles on the monitor half.
+    SetMetrics(StreamMetrics),
     /// Stop consuming and hand the monitor half back through the thread's
     /// join value.
     Shutdown,
@@ -416,6 +431,9 @@ pub struct AsyncEngine {
     async_config: AsyncConfig,
     stream_config: StreamConfig,
     scored: u64,
+    /// Serving-side metrics handles (latency histogram, backlog/lag/drop
+    /// gauges); the monitor thread holds its own clone for its half.
+    metrics: Option<StreamMetrics>,
 }
 
 impl AsyncEngine {
@@ -449,6 +467,7 @@ impl AsyncEngine {
             ..async_config
         };
         let (scorer, monitor) = engine.into_parts();
+        let metrics = monitor.metrics.clone();
         let stream_config = monitor.config().clone();
         // The scorer inherits the engine's id clock (not `tuples_seen`:
         // an engine that dropped records under earlier backpressure has
@@ -495,6 +514,7 @@ impl AsyncEngine {
             async_config,
             stream_config,
             scored,
+            metrics,
         }
     }
 
@@ -510,6 +530,89 @@ impl AsyncEngine {
             StreamEngine::restore(ckpt)?,
             async_config,
         ))
+    }
+
+    /// [`AsyncEngine::restore`] with a telemetry sink installed before the
+    /// monitor thread starts, so the trail opens with the `"restored"`
+    /// checkpoint event that re-anchors a replay mid-trail.
+    pub fn restore_with_sink(
+        ckpt: EngineCheckpoint,
+        sink: SharedSink,
+        async_config: AsyncConfig,
+    ) -> Result<Self> {
+        Ok(Self::from_engine(
+            StreamEngine::restore_with_sink(ckpt, sink)?,
+            async_config,
+        ))
+    }
+
+    /// Install a telemetry sink on the background monitor. The change
+    /// travels the queue as a control message, so it takes effect in FIFO
+    /// order: records already enqueued are emitted (or not) under the sink
+    /// that was installed when they were scored.
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when the monitor thread is gone.
+    pub fn set_sink(&mut self, sink: SharedSink) -> Result<()> {
+        self.ensure_monitor_alive()?;
+        self.shared
+            .queue
+            .push_control(MonitorMsg::SetSink(Some(sink)));
+        Ok(())
+    }
+
+    /// Remove the monitor's telemetry sink (FIFO-ordered, like
+    /// [`AsyncEngine::set_sink`]).
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when the monitor thread is gone.
+    pub fn clear_sink(&mut self) -> Result<()> {
+        self.ensure_monitor_alive()?;
+        self.shared.queue.push_control(MonitorMsg::SetSink(None));
+        Ok(())
+    }
+
+    /// Register this engine's instruments on `registry` and start keeping
+    /// them fresh: the serving half updates the ingest-latency histogram
+    /// and the backlog/lag/drop gauges, the monitor thread the
+    /// alert/retrain/join instruments.
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when the monitor thread is gone.
+    pub fn install_metrics(&mut self, registry: &MetricsRegistry) -> Result<()> {
+        self.set_metrics(StreamMetrics::register(registry))
+    }
+
+    /// Install pre-registered metrics handles (the sharded router's path,
+    /// where each shard's instruments carry a `shard` label).
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when the monitor thread is gone.
+    pub fn set_metrics(&mut self, metrics: StreamMetrics) -> Result<()> {
+        self.ensure_monitor_alive()?;
+        self.shared
+            .queue
+            .push_control(MonitorMsg::SetMetrics(metrics.clone()));
+        self.metrics = Some(metrics);
+        self.refresh_serving_metrics();
+        Ok(())
+    }
+
+    /// The metrics handles installed on this engine, if any.
+    pub fn metrics(&self) -> Option<&StreamMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Refresh the serving-side gauges (queue backlog, monitor lag, drop
+    /// counters).
+    fn refresh_serving_metrics(&self) {
+        if let Some(m) = &self.metrics {
+            m.queue_backlog.set_u64(self.shared.queue.backlog() as u64);
+            m.monitor_lag.set_u64(self.monitor_lag());
+            let dropped = self.dropped();
+            m.dropped_batches.set_u64(dropped.batches);
+            m.dropped_tuples.set_u64(dropped.tuples);
+        }
     }
 
     /// Score one micro-batch and return its decisions immediately; the
@@ -546,6 +649,7 @@ impl AsyncEngine {
     /// which validates whole mixed batches itself).
     pub(crate) fn ingest_prevalidated_owned(&mut self, batch: Vec<StreamTuple>) -> Result<Vec<u8>> {
         self.ensure_monitor_alive()?;
+        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         // Pick up a pending retrain before scoring: one wait-free atomic
         // swap, no lock around the model parameters.
         if let Some(model) = self.shared.model.take() {
@@ -565,6 +669,13 @@ impl AsyncEngine {
             self.async_config.backpressure,
         )?;
         self.scored += n;
+        if let (Some(m), Some(started)) = (&self.metrics, started) {
+            m.ingest_latency_us
+                .observe(started.elapsed().as_micros() as f64);
+            m.ingest_batches.inc();
+            m.ingest_tuples.add(n);
+        }
+        self.refresh_serving_metrics();
         Ok(decisions)
     }
 
@@ -623,6 +734,7 @@ impl AsyncEngine {
         if let Some(model) = self.shared.model.take() {
             self.scorer_mut().install(model);
         }
+        self.refresh_serving_metrics();
         Ok(())
     }
 
@@ -663,6 +775,10 @@ impl AsyncEngine {
         let (tx, rx) = mpsc::channel();
         self.shared.queue.push_control(MonitorMsg::Checkpoint(tx));
         let monitor = self.recv_from_monitor(&rx, "checkpoint")?;
+        // The clone shares the live monitor's sink (it is an `Arc`), so
+        // the `"taken"` marker lands on the same trail — at the quiescent
+        // point the flush above established.
+        monitor.emit(crate::checkpoint::checkpoint_event(&monitor, "taken"));
         checkpoint_from_parts(self.scorer(), &monitor)
     }
 
@@ -824,8 +940,28 @@ impl Drop for AsyncEngine {
 /// refreshed state, answer control messages, return the monitor on
 /// shutdown.
 fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
+    // Last drop counters this loop acknowledged: records evicted under
+    // `DropOldest` vanish from the queue without ever reaching the
+    // monitor, so the trail learns about them here — by diffing the
+    // queue's counters before processing each surviving message, which
+    // places the drop event at its queue-order position.
+    let mut dropped_seen = shared.queue.dropped();
     loop {
-        match shared.queue.pop() {
+        let msg = shared.queue.pop();
+        let dropped_now = shared.queue.dropped();
+        if dropped_now != dropped_seen {
+            monitor.emit(TelemetryEvent::Drop(DropEvent {
+                at_tuple: monitor.tuples_seen(),
+                batches: dropped_now.batches,
+                tuples: dropped_now.tuples,
+            }));
+            if let Some(m) = &monitor.metrics {
+                m.dropped_batches.set_u64(dropped_now.batches);
+                m.dropped_tuples.set_u64(dropped_now.tuples);
+            }
+            dropped_seen = dropped_now;
+        }
+        match msg {
             MonitorMsg::Record {
                 first_id,
                 tuples,
@@ -834,6 +970,10 @@ fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
                 Ok(outcome) => {
                     if let Some(model) = outcome.model {
                         shared.model.publish(model);
+                        // The swap slot is the async engine's publication
+                        // point, so the swap event is emitted here — after
+                        // repair_end, exactly as the sync engine orders it.
+                        monitor.emit_model_swap();
                     }
                     let mut stats = shared.stats.lock().expect("stats mutex poisoned");
                     stats.snapshot = outcome.snapshot;
@@ -884,6 +1024,8 @@ fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
             MonitorMsg::Checkpoint(tx) => {
                 let _ = tx.send(Box::new(monitor.clone()));
             }
+            MonitorMsg::SetSink(sink) => monitor.sink = sink,
+            MonitorMsg::SetMetrics(metrics) => monitor.set_metrics(metrics),
             MonitorMsg::Shutdown => return monitor,
         }
     }

@@ -94,6 +94,24 @@ pub struct EngineCheckpoint {
     pub floor_quiet_until: u64,
 }
 
+/// Build the audit event for a checkpoint boundary (`phase` is
+/// `"taken"` or `"restored"`). The event carries the **absolute** window
+/// counters, because a `"restored"` event is how a replay re-anchors
+/// mid-trail: deltas after a restart apply to the restored window, not to
+/// whatever the pre-restart engine last logged.
+pub(crate) fn checkpoint_event(
+    monitor: &crate::Monitor,
+    phase: &str,
+) -> cf_telemetry::TelemetryEvent {
+    cf_telemetry::TelemetryEvent::Checkpoint(cf_telemetry::CheckpointEvent {
+        at_tuple: monitor.tuples_seen(),
+        phase: phase.to_string(),
+        version: CHECKPOINT_VERSION,
+        counters: crate::telemetry::both_counters(monitor.window_counts()),
+        di_floor: monitor.config().di_floor,
+    })
+}
+
 /// Read the `version` field of a checkpoint document before anything else,
 /// so an unsupported-version document reports
 /// [`StreamError::CheckpointVersion`] rather than a field-level parse

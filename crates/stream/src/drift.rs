@@ -166,15 +166,20 @@ pub enum DriftKind {
     DisparateImpactFloor,
 }
 
+impl DriftKind {
+    /// The stable wire name this kind serialises as (also what the
+    /// telemetry plane's `AlertData::kind` carries).
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            DriftKind::ConformanceViolation => "conformance_violation",
+            DriftKind::DisparateImpactFloor => "disparate_impact_floor",
+        }
+    }
+}
+
 impl serde::Serialize for DriftKind {
     fn to_value(&self) -> serde::Value {
-        serde::Value::String(
-            match self {
-                DriftKind::ConformanceViolation => "conformance_violation",
-                DriftKind::DisparateImpactFloor => "disparate_impact_floor",
-            }
-            .into(),
-        )
+        serde::Value::String(self.wire_name().into())
     }
 }
 

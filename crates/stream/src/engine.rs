@@ -24,6 +24,7 @@ use crate::checkpoint::EngineCheckpoint;
 use crate::drift::{DriftAlert, PageHinkley, PageHinkleyConfig};
 use crate::monitor::{CellProfiles, FairnessSnapshot, Monitor};
 use crate::scorer::Scorer;
+use crate::telemetry::StreamMetrics;
 use crate::window::{GroupCounts, SlidingWindow};
 use crate::{Result, StreamError};
 use cf_data::{
@@ -31,6 +32,7 @@ use cf_data::{
     Dataset,
 };
 use cf_learners::LearnerKind;
+use cf_telemetry::{MetricsRegistry, SharedSink};
 use confair_core::{confair::ConFair, confair::ConFairConfig, Intervention};
 use std::borrow::Borrow;
 
@@ -255,6 +257,9 @@ pub struct IngestOutcome {
 pub struct StreamEngine {
     scorer: Scorer,
     monitor: Monitor,
+    /// Serving-side metrics handles ([`StreamEngine::install_metrics`]);
+    /// the monitor half carries its own clone.
+    metrics: Option<StreamMetrics>,
 }
 
 impl StreamEngine {
@@ -273,7 +278,45 @@ impl StreamEngine {
             .train(&split.train, &split.validation, learner)
             .map_err(StreamError::from_core)?;
         let scorer = Scorer::new(monitor.schema().to_vec(), predictor);
-        Ok(StreamEngine { scorer, monitor })
+        Ok(StreamEngine {
+            scorer,
+            monitor,
+            metrics: None,
+        })
+    }
+
+    /// Install a telemetry sink: every observable state change — ingest
+    /// batches with per-cell counter deltas, alerts with moved-cell
+    /// explanations, repair start/end, model swaps, checkpoints, feedback
+    /// joins — is emitted as a [`cf_telemetry::TelemetryEvent`]. With no
+    /// sink installed (the default) the emission paths are skipped
+    /// entirely. For an async pipeline, install on the inner engine
+    /// *before* [`AsyncEngine::from_engine`](crate::AsyncEngine::from_engine)
+    /// so the sink travels with the monitor to its thread.
+    pub fn set_sink(&mut self, sink: SharedSink) {
+        self.monitor.set_sink(sink);
+    }
+
+    /// Register this engine's instruments on `registry` (see
+    /// [`StreamMetrics`] for the families) and start keeping them fresh.
+    /// Both halves share the handles, so they survive an
+    /// [`StreamEngine::into_parts`] split and the async wrap.
+    pub fn install_metrics(&mut self, registry: &MetricsRegistry) {
+        let metrics = StreamMetrics::register(registry);
+        self.monitor.set_metrics(metrics.clone());
+        self.metrics = Some(metrics);
+    }
+
+    /// Install pre-registered metrics handles (the sharded router's path,
+    /// where each shard gets a labeled instrument set).
+    pub fn set_metrics(&mut self, metrics: StreamMetrics) {
+        self.monitor.set_metrics(metrics.clone());
+        self.metrics = Some(metrics);
+    }
+
+    /// The engine's metrics handles, if installed.
+    pub fn metrics(&self) -> Option<&StreamMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Reunite the two halves into a synchronous engine (the inverse of
@@ -291,7 +334,12 @@ impl StreamEngine {
                 monitor.schema()
             )));
         }
-        Ok(StreamEngine { scorer, monitor })
+        let metrics = monitor.metrics.clone();
+        Ok(StreamEngine {
+            scorer,
+            monitor,
+            metrics,
+        })
     }
 
     /// Split the engine into its serving and monitoring halves — the seam
@@ -336,6 +384,7 @@ impl StreamEngine {
         &mut self,
         batch: &[T],
     ) -> Result<IngestOutcome> {
+        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let decisions = self.scorer.score(batch)?;
         let outcome = self.monitor.observe(batch, &decisions)?;
         if let Some(model) = outcome.model {
@@ -343,6 +392,13 @@ impl StreamEngine {
             // live before the next batch is scored, exactly as before the
             // split.
             self.scorer.install(model);
+            self.monitor.emit_model_swap();
+        }
+        if let (Some(m), Some(started)) = (&self.metrics, started) {
+            m.ingest_latency_us
+                .observe(started.elapsed().as_secs_f64() * 1e6);
+            m.ingest_batches.inc();
+            m.ingest_tuples.add(batch.len() as u64);
         }
         Ok(IngestOutcome {
             first_id: outcome.first_id,
@@ -386,6 +442,7 @@ impl StreamEngine {
     pub fn retrain_now(&mut self) -> Result<()> {
         let predictor = self.monitor.retrain()?;
         self.scorer.install(predictor);
+        self.monitor.emit_model_swap();
         Ok(())
     }
 
@@ -403,7 +460,10 @@ impl StreamEngine {
     /// serialisation (only the built-in single-model ConFair predictor
     /// does today).
     pub fn checkpoint(&self) -> Result<EngineCheckpoint> {
-        checkpoint_from_parts(&self.scorer, &self.monitor)
+        let ckpt = checkpoint_from_parts(&self.scorer, &self.monitor)?;
+        self.monitor
+            .emit(crate::checkpoint::checkpoint_event(&self.monitor, "taken"));
+        Ok(ckpt)
     }
 
     /// Rebuild an engine from a checkpoint. The restored engine serves,
@@ -444,8 +504,29 @@ impl StreamEngine {
             ids_issued: ckpt.ids_issued,
             retrains: ckpt.retrains,
             floor_quiet_until: ckpt.floor_quiet_until,
+            sink: None,
+            metrics: None,
         };
-        Ok(StreamEngine { scorer, monitor })
+        Ok(StreamEngine {
+            scorer,
+            monitor,
+            metrics: None,
+        })
+    }
+
+    /// [`StreamEngine::restore`] with a telemetry sink installed up
+    /// front, emitting a `"restored"` checkpoint event that carries the
+    /// absolute window counters — the re-anchor a replayed audit trail
+    /// needs when a restarted engine appends to an existing JSONL file
+    /// (see [`cf_telemetry::JsonlSink::append`]).
+    pub fn restore_with_sink(ckpt: EngineCheckpoint, sink: SharedSink) -> Result<Self> {
+        let mut engine = Self::restore(ckpt)?;
+        engine.set_sink(sink);
+        engine.monitor.emit(crate::checkpoint::checkpoint_event(
+            &engine.monitor,
+            "restored",
+        ));
+        Ok(engine)
     }
 
     /// The windowed fairness reading. O(1).

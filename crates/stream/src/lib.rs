@@ -64,6 +64,7 @@ pub mod engine;
 pub mod monitor;
 pub mod scorer;
 pub mod sharded;
+pub mod telemetry;
 pub mod window;
 
 pub use async_engine::{AsyncConfig, AsyncEngine, BackpressurePolicy, DropCounters};
@@ -77,6 +78,7 @@ pub use scorer::Scorer;
 pub use sharded::{
     ShardedAsyncEngine, ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple,
 };
+pub use telemetry::StreamMetrics;
 pub use window::{
     GroupCounts, JoinStats, LabelJoin, LabelSlot, PendingLabel, SlidingWindow, SlotMeta,
     WindowState,

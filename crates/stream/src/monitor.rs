@@ -34,6 +34,7 @@
 
 use crate::drift::{DriftAlert, DriftKind, PageHinkley};
 use crate::engine::{LabelFeedback, RetrainPolicy, StreamConfig, StreamTuple};
+use crate::telemetry::StreamMetrics;
 use crate::window::{GroupCounts, JoinStats, LabelJoin, SlidingWindow, SlotMeta};
 use crate::{Result, StreamError};
 use cf_conformance::{learn_constraints, ConstraintSet};
@@ -42,6 +43,10 @@ use cf_data::{
     CellIndex, Column, Dataset,
 };
 use cf_learners::LearnerKind;
+use cf_telemetry::{
+    FeedbackJoinEvent, IngestBatchEvent, ModelSwapEvent, RepairEndEvent, RepairStartEvent,
+    SharedSink, SnapshotData, TelemetryEvent,
+};
 use confair_core::{confair::ConFair, Intervention, Predictor};
 use std::borrow::Borrow;
 
@@ -75,47 +80,17 @@ pub struct FairnessSnapshot {
 
 impl FairnessSnapshot {
     /// Assemble from windowed counters. O(1).
+    ///
+    /// The arithmetic itself lives in
+    /// [`SnapshotData::from_counters`] — the telemetry plane's
+    /// replay recomputes snapshots through the *same* function, which is
+    /// what makes an audit trail's replayed sequence byte-identical to
+    /// the live one by construction.
     pub fn from_counts(counts: &[GroupCounts; 2], di_floor: f64) -> Self {
-        let sr = [counts[0].selection_rate(), counts[1].selection_rate()];
-        let disparate_impact = match (sr[0], sr[1]) {
-            (Some(w), Some(u)) => {
-                if w > 0.0 {
-                    Some(u / w)
-                } else if u > 0.0 {
-                    Some(f64::INFINITY)
-                } else {
-                    // Neither group selected: vacuously balanced.
-                    Some(1.0)
-                }
-            }
-            _ => None,
-        };
-        let di_star = disparate_impact.map(|di| {
-            if di <= 0.0 || di.is_infinite() {
-                0.0
-            } else {
-                di.min(1.0 / di)
-            }
-        });
-        let demographic_parity_gap = match (sr[0], sr[1]) {
-            (Some(w), Some(u)) => Some((w - u).abs()),
-            _ => None,
-        };
-        let equal_opportunity_gap = match (counts[0].tpr(), counts[1].tpr()) {
-            (Some(w), Some(u)) => Some((w - u).abs()),
-            _ => None,
-        };
-        FairnessSnapshot {
-            window_len: counts[0].total + counts[1].total,
-            selection_rate: sr,
-            disparate_impact,
-            di_star,
-            demographic_parity_gap,
-            equal_opportunity_gap,
-            violation_rate: [counts[0].violation_rate(), counts[1].violation_rate()],
-            labeled: [counts[0].labeled, counts[1].labeled],
+        Self::from_data(SnapshotData::from_counters(
+            &crate::telemetry::both_counters(counts),
             di_floor,
-        }
+        ))
     }
 
     /// The EEOC four-fifths verdict: `Some(true)` when `DI* ≥ floor`,
@@ -234,6 +209,14 @@ pub struct Monitor {
     pub(crate) ids_issued: u64,
     pub(crate) retrains: u64,
     pub(crate) floor_quiet_until: u64,
+    /// Telemetry sink, if one is installed ([`Monitor::set_sink`]). `None`
+    /// skips emission entirely — the default, and the reason the null
+    /// path costs nothing. Shared (`Arc`) so a checkpoint clone feeds the
+    /// same trail instead of forking it.
+    pub(crate) sink: Option<SharedSink>,
+    /// Metrics handles, if installed. Atomic clones shared with the
+    /// engine's serving half.
+    pub(crate) metrics: Option<StreamMetrics>,
 }
 
 impl Monitor {
@@ -272,7 +255,61 @@ impl Monitor {
             ids_issued: 0,
             retrains: 0,
             floor_quiet_until: 0,
+            sink: None,
+            metrics: None,
         })
+    }
+
+    /// Install a telemetry sink: every subsequent observable state change
+    /// (ingest batch, alert, repair, feedback join, …) is emitted as a
+    /// [`TelemetryEvent`]. Replaces any previous sink.
+    pub fn set_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Remove the telemetry sink (emission stops immediately).
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Install metrics handles (the monitor half keeps the alert, retrain,
+    /// join, and pending-label instruments fresh).
+    pub fn set_metrics(&mut self, metrics: StreamMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Emit one event to the installed sink, if any. A poisoned sink lock
+    /// (a panicked subscriber) disables telemetry rather than poisoning
+    /// the stream.
+    pub(crate) fn emit(&self, event: TelemetryEvent) {
+        if let Some(sink) = &self.sink {
+            if let Ok(mut sink) = sink.lock() {
+                sink.emit(&event);
+            }
+        }
+    }
+
+    /// Emit the model-swap event (called by whichever side publishes the
+    /// replacement predictor: the sync engine inline, the async engine's
+    /// monitor thread at the swap slot).
+    pub(crate) fn emit_model_swap(&self) {
+        self.emit(TelemetryEvent::ModelSwap(ModelSwapEvent {
+            at_tuple: self.seen,
+            retrains: self.retrains,
+        }));
+    }
+
+    /// Refresh the monitor-side gauges after a state change.
+    fn refresh_metrics(&self) {
+        if let Some(m) = &self.metrics {
+            m.alerts_total.set_u64(self.alerts.len() as u64);
+            m.retrains_total.set_u64(self.retrains);
+            m.pending_labels.set_u64(self.window.pending_len() as u64);
+            m.window_fill.set_u64(self.window.len() as u64);
+            let joins = self.window.join_stats();
+            m.labels_joined.set_u64(joins.joined);
+            m.labels_unmatched.set_u64(joins.unmatched);
+        }
     }
 
     /// Fold one served micro-batch into the monitoring state: per tuple a
@@ -336,6 +373,12 @@ impl Monitor {
                 batch.len()
             )));
         }
+        // Counter deltas are only needed for the audit trail; without a
+        // sink the copy (and everything else telemetry adds) is skipped.
+        let counts_before = self
+            .sink
+            .as_ref()
+            .map(|_| crate::telemetry::both_counters(self.window.counts()));
 
         let mut new_alerts = Vec::new();
         for (offset, (t, &decision)) in batch.iter().zip(decisions).enumerate() {
@@ -390,14 +433,40 @@ impl Monitor {
         }
 
         // Log the alerts before attempting any retrain, so a retrain
-        // failure never loses the events that triggered it.
+        // failure never loses the events that triggered it. The audit
+        // trail mirrors that order: batch, then its alerts (each with a
+        // moved-cell explanation), then any repair events.
         self.alerts.extend_from_slice(&new_alerts);
+        if let Some(before) = counts_before {
+            let after = crate::telemetry::both_counters(self.window.counts());
+            self.emit(TelemetryEvent::IngestBatch(IngestBatchEvent {
+                first_id,
+                batch: batch.len() as u64,
+                at_tuple: self.seen,
+                di_floor: self.config.di_floor,
+                delta: [
+                    after[0].delta_from(&before[0]),
+                    after[1].delta_from(&before[1]),
+                ],
+                snapshot: snapshot.to_data(),
+            }));
+            for alert in &new_alerts {
+                self.emit(crate::telemetry::alert_event(alert, &snapshot));
+            }
+        }
         let mut retrained = false;
         let mut retrain_error = None;
         let mut model = None;
         if !new_alerts.is_empty() {
             if let RetrainPolicy::OnAlert { min_window } = self.config.retrain {
                 if self.window.len() >= min_window {
+                    self.emit(TelemetryEvent::RepairStart(RepairStartEvent {
+                        at_tuple: self.seen,
+                        tier: "confair_retrain".into(),
+                        window_len: self.window.len() as u64,
+                        labeled: self.window.labeled_len() as u64,
+                    }));
+                    let started = std::time::Instant::now();
                     match self.retrain() {
                         Ok(predictor) => {
                             retrained = true;
@@ -405,9 +474,22 @@ impl Monitor {
                         }
                         Err(e) => retrain_error = Some(e),
                     }
+                    let duration_us = started.elapsed().as_micros() as u64;
+                    if let Some(m) = &self.metrics {
+                        m.retrain_duration_us.observe(duration_us as f64);
+                    }
+                    self.emit(TelemetryEvent::RepairEnd(RepairEndEvent {
+                        at_tuple: self.seen,
+                        tier: "confair_retrain".into(),
+                        outcome: if retrained { "retrained" } else { "failed" }.into(),
+                        error: retrain_error.as_ref().map(|e| e.to_string()),
+                        duration_us,
+                        retrains: self.retrains,
+                    }));
                 }
             }
         }
+        self.refresh_metrics();
 
         Ok(ObserveOutcome {
             first_id,
@@ -446,6 +528,11 @@ impl Monitor {
                 return Err(StreamError::BadLabel(record.label));
             }
         }
+        let counts_before = self
+            .sink
+            .as_ref()
+            .filter(|_| !feedback.is_empty())
+            .map(|_| crate::telemetry::both_counters(self.window.counts()));
         let (mut joined, mut joined_late, mut duplicates, mut unmatched) = (0, 0, 0, 0);
         for record in feedback {
             match self.window.feedback(record.id, record.label) {
@@ -458,12 +545,31 @@ impl Monitor {
                 LabelJoin::Unmatched => unmatched += 1,
             }
         }
+        let snapshot = self.snapshot();
+        if let Some(before) = counts_before {
+            let after = crate::telemetry::both_counters(self.window.counts());
+            self.emit(TelemetryEvent::FeedbackJoin(FeedbackJoinEvent {
+                at_tuple: self.seen,
+                records: feedback.len() as u64,
+                joined,
+                joined_late,
+                duplicates,
+                unmatched,
+                di_floor: self.config.di_floor,
+                delta: [
+                    after[0].delta_from(&before[0]),
+                    after[1].delta_from(&before[1]),
+                ],
+                snapshot: snapshot.to_data(),
+            }));
+        }
+        self.refresh_metrics();
         Ok(FeedbackOutcome {
             joined,
             joined_late,
             duplicates,
             unmatched,
-            snapshot: self.snapshot(),
+            snapshot,
         })
     }
 

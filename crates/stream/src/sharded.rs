@@ -19,8 +19,10 @@ use crate::async_engine::{AsyncConfig, AsyncEngine, DropCounters};
 use crate::checkpoint::ShardedCheckpoint;
 use crate::engine::{IngestOutcome, LabelFeedback, StreamEngine, StreamTuple};
 use crate::monitor::{FairnessSnapshot, FeedbackOutcome};
+use crate::telemetry::StreamMetrics;
 use crate::window::GroupCounts;
 use crate::{Result, StreamError};
+use cf_telemetry::{MetricsRegistry, SharedSink};
 
 /// One observation addressed to a shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,6 +147,30 @@ impl ShardedEngine {
                 shard,
                 shards: self.shards.len(),
             })
+    }
+
+    /// Install a telemetry sink on one shard's engine. Shards keep
+    /// independent trails (each shard's id clock and window are its own),
+    /// so each shard's audit log replays standalone — give every shard its
+    /// own sink rather than sharing one.
+    ///
+    /// # Errors
+    /// [`StreamError::BadShard`] for an out-of-range shard id.
+    pub fn set_sink(&mut self, shard: u32, sink: SharedSink) -> Result<()> {
+        let shards = self.shards.len();
+        self.shards
+            .get_mut(shard as usize)
+            .ok_or(StreamError::BadShard { shard, shards })?
+            .set_sink(sink);
+        Ok(())
+    }
+
+    /// Register every shard's instruments on `registry` under a
+    /// `shard="<id>"` label and start keeping them fresh.
+    pub fn install_metrics(&mut self, registry: &MetricsRegistry) {
+        for (i, engine) in self.shards.iter_mut().enumerate() {
+            engine.set_metrics(StreamMetrics::register_shard(registry, Some(i as u32)));
+        }
     }
 
     /// Total tuples ingested across all shards.
@@ -416,6 +442,49 @@ impl ShardedAsyncEngine {
                 shard,
                 shards: self.shards.len(),
             })
+    }
+
+    /// Install a telemetry sink on one shard's background monitor (FIFO
+    /// with that shard's queue; see [`AsyncEngine::set_sink`]). Shards
+    /// keep independent trails.
+    ///
+    /// # Errors
+    /// [`StreamError::BadShard`] for an out-of-range shard id;
+    /// [`StreamError::Async`] when that shard's monitor thread is gone.
+    pub fn set_sink(&mut self, shard: u32, sink: SharedSink) -> Result<()> {
+        let shards = self.shards.len();
+        self.shards
+            .get_mut(shard as usize)
+            .ok_or(StreamError::BadShard { shard, shards })?
+            .set_sink(sink)
+    }
+
+    /// Register every shard's instruments on `registry` under a
+    /// `shard="<id>"` label and start keeping them fresh (each shard's
+    /// serving path and monitor thread update its own labeled set).
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] when any shard's monitor thread is gone.
+    pub fn install_metrics(&mut self, registry: &MetricsRegistry) -> Result<()> {
+        for (i, engine) in self.shards.iter_mut().enumerate() {
+            engine.set_metrics(StreamMetrics::register_shard(registry, Some(i as u32)))?;
+        }
+        Ok(())
+    }
+
+    /// How far the fleet's worst shard lags its scorer, in tuples — the
+    /// **max** over shards, not the sum: lags are not additive (each shard
+    /// monitors its own stream), and the operational question this answers
+    /// is "how stale can any published reading be right now". 0 after a
+    /// [`ShardedAsyncEngine::flush`]. Per-shard values are at
+    /// [`ShardedAsyncEngine::shard_monitor_lags`].
+    pub fn monitor_lag(&self) -> u64 {
+        self.shard_monitor_lags().into_iter().max().unwrap_or(0)
+    }
+
+    /// Every shard's scored-vs-monitored lag, indexed by shard id.
+    pub fn shard_monitor_lags(&self) -> Vec<u64> {
+        self.shards.iter().map(AsyncEngine::monitor_lag).collect()
     }
 
     /// Route and score one mixed-shard micro-batch, returning every

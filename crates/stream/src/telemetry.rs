@@ -1,0 +1,345 @@
+//! Glue between the stream engines and the `cf-telemetry` plane.
+//!
+//! Two jobs live here. First, the **type bridges**: the engines' own
+//! `GroupCounts` / [`FairnessSnapshot`] / [`DriftAlert`] convert to the
+//! serialisable mirrors `cf-telemetry` defines, and —crucially—
+//! [`FairnessSnapshot::from_counts`] *delegates* its arithmetic to
+//! [`SnapshotData::from_counters`], so a live snapshot and one recomputed
+//! by [`cf_telemetry::replay()`] are products of the same code path: the
+//! audit trail's byte-identity is structural, not coincidental.
+//!
+//! Second, [`StreamMetrics`]: the engines' scrape surface on a
+//! [`MetricsRegistry`]. One registration covers both engine halves — the
+//! latency histogram and queue/backlog gauges are fed from the serving
+//! side, the alert/retrain/join instruments from the monitor side — and a
+//! sharded deployment registers one set per shard under a `shard` label.
+
+use crate::drift::{DriftAlert, DriftKind};
+use crate::monitor::FairnessSnapshot;
+use crate::window::GroupCounts;
+use cf_telemetry::{
+    log2_buckets, AlertData, AlertExplanation, Counter, DriftAlertEvent, Gauge, Histogram,
+    MetricsRegistry, SnapshotData, TelemetryEvent, WindowCounters,
+};
+
+/// Mirror one group cell's window counters into the telemetry type.
+pub(crate) fn window_counters(c: &GroupCounts) -> WindowCounters {
+    WindowCounters {
+        total: c.total,
+        selected: c.selected,
+        violations: c.violations,
+        labeled: c.labeled,
+        label_positive: c.label_positive,
+        true_positive: c.true_positive,
+        false_positive: c.false_positive,
+    }
+}
+
+/// Mirror both group cells at once (index = group id).
+pub(crate) fn both_counters(counts: &[GroupCounts; 2]) -> [WindowCounters; 2] {
+    [window_counters(&counts[0]), window_counters(&counts[1])]
+}
+
+impl FairnessSnapshot {
+    /// The serialisable telemetry mirror of this reading (field-for-field
+    /// identical; audit events carry this form).
+    pub fn to_data(&self) -> SnapshotData {
+        SnapshotData {
+            window_len: self.window_len,
+            selection_rate: self.selection_rate,
+            disparate_impact: self.disparate_impact,
+            di_star: self.di_star,
+            demographic_parity_gap: self.demographic_parity_gap,
+            equal_opportunity_gap: self.equal_opportunity_gap,
+            violation_rate: self.violation_rate,
+            labeled: self.labeled,
+            di_floor: self.di_floor,
+        }
+    }
+
+    /// Rebuild a reading from its telemetry mirror (e.g. one recomputed by
+    /// [`cf_telemetry::replay()`]).
+    pub fn from_data(data: SnapshotData) -> Self {
+        FairnessSnapshot {
+            window_len: data.window_len,
+            selection_rate: data.selection_rate,
+            disparate_impact: data.disparate_impact,
+            di_star: data.di_star,
+            demographic_parity_gap: data.demographic_parity_gap,
+            equal_opportunity_gap: data.equal_opportunity_gap,
+            violation_rate: data.violation_rate,
+            labeled: data.labeled,
+            di_floor: data.di_floor,
+        }
+    }
+}
+
+/// Mirror an alert into its audit-trail form.
+pub(crate) fn alert_data(alert: &DriftAlert) -> AlertData {
+    AlertData {
+        kind: alert.kind.wire_name().to_string(),
+        group: alert.group,
+        at_tuple: alert.at_tuple,
+        statistic: alert.statistic,
+        threshold: alert.threshold,
+    }
+}
+
+fn fmt_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{r:.4}"),
+        None => "--".to_string(),
+    }
+}
+
+/// Build the alert event, explanation included: which `(group, plane)`
+/// cell moved, and the windowed rates that say by how much.
+pub(crate) fn alert_event(alert: &DriftAlert, snapshot: &FairnessSnapshot) -> TelemetryEvent {
+    let (cell, summary) = match alert.kind {
+        DriftKind::ConformanceViolation => (
+            format!("group={}/decision", alert.group),
+            format!(
+                "Page-Hinkley on group {}'s decision-conformance series crossed its \
+                 threshold (statistic {:.4} > lambda {:.4}); windowed violation rates \
+                 [W, U] = [{}, {}]",
+                alert.group,
+                alert.statistic,
+                alert.threshold,
+                fmt_rate(snapshot.violation_rate[0]),
+                fmt_rate(snapshot.violation_rate[1]),
+            ),
+        ),
+        DriftKind::DisparateImpactFloor => (
+            format!("group={}/selection", alert.group),
+            format!(
+                "windowed DI* {:.4} fell below the {:.2} floor; selection rates \
+                 [W, U] = [{}, {}] disadvantage group {}",
+                alert.statistic,
+                alert.threshold,
+                fmt_rate(snapshot.selection_rate[0]),
+                fmt_rate(snapshot.selection_rate[1]),
+                alert.group,
+            ),
+        ),
+    };
+    TelemetryEvent::DriftAlert(DriftAlertEvent {
+        at_tuple: alert.at_tuple,
+        alert: alert_data(alert),
+        explanation: AlertExplanation {
+            cell,
+            selection_rate: snapshot.selection_rate,
+            violation_rate: snapshot.violation_rate,
+            summary,
+        },
+    })
+}
+
+/// The engines' instruments on a [`MetricsRegistry`] — one coherent
+/// scrape surface over what used to be scattered accessors
+/// (`DropCounters`, `JoinStats`, `monitor_lag()`, `alerts()`).
+///
+/// Handles are cheap atomic clones: the serving half updates the latency
+/// histogram and the backlog/lag/drop gauges, the monitor half (possibly
+/// on its own thread) updates the alert/retrain/join instruments, and
+/// both halves of one engine share a single registration. Install via
+/// `StreamEngine::install_metrics` *before* wrapping the engine in an
+/// async pipeline, so the handles travel with the monitor to its thread.
+#[derive(Clone)]
+pub struct StreamMetrics {
+    /// `cf_stream_ingest_latency_us`: per-batch ingest latency histogram
+    /// (fixed log₂ buckets, 1 µs … ~1 s) — p50/p99 come from here.
+    pub ingest_latency_us: Histogram,
+    /// `cf_stream_ingest_batches_total`: micro-batches ingested.
+    pub ingest_batches: Counter,
+    /// `cf_stream_ingest_tuples_total`: tuples ingested.
+    pub ingest_tuples: Counter,
+    /// `cf_stream_queue_backlog`: monitor-queue backlog (async engines).
+    pub queue_backlog: Gauge,
+    /// `cf_stream_monitor_lag`: tuples scored but not yet monitored.
+    pub monitor_lag: Gauge,
+    /// `cf_stream_dropped_batches`: cumulative batches lost to
+    /// backpressure.
+    pub dropped_batches: Gauge,
+    /// `cf_stream_dropped_tuples`: cumulative tuples lost to backpressure.
+    pub dropped_tuples: Gauge,
+    /// `cf_stream_pending_labels`: evicted decisions awaiting labels.
+    pub pending_labels: Gauge,
+    /// `cf_stream_labels_joined`: cumulative label joins.
+    pub labels_joined: Gauge,
+    /// `cf_stream_labels_unmatched`: cumulative unmatched feedback
+    /// records.
+    pub labels_unmatched: Gauge,
+    /// `cf_stream_window_fill`: tuples currently in the window.
+    pub window_fill: Gauge,
+    /// `cf_stream_alerts`: cumulative drift alerts.
+    pub alerts_total: Gauge,
+    /// `cf_stream_retrains`: cumulative successful retrains.
+    pub retrains_total: Gauge,
+    /// `cf_stream_retrain_duration_us`: wall-clock retrain duration
+    /// histogram (fixed log₂ buckets, 128 µs … ~4 s).
+    pub retrain_duration_us: Histogram,
+}
+
+impl StreamMetrics {
+    /// Register (or look up) the unlabeled instrument set.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self::register_shard(registry, None)
+    }
+
+    /// Register (or look up) the instrument set, labeled `shard="<id>"`
+    /// when `shard` is given — the per-shard surface a sharded deployment
+    /// scrapes.
+    pub fn register_shard(registry: &MetricsRegistry, shard: Option<u32>) -> Self {
+        let shard_label = shard.map(|s| s.to_string());
+        let labels: Vec<(&str, &str)> = match &shard_label {
+            Some(s) => vec![("shard", s.as_str())],
+            None => Vec::new(),
+        };
+        let l = labels.as_slice();
+        StreamMetrics {
+            ingest_latency_us: registry.histogram_with(
+                "cf_stream_ingest_latency_us",
+                "Per-batch ingest latency in microseconds.",
+                log2_buckets(1.0, 21),
+                l,
+            ),
+            ingest_batches: registry.counter_with(
+                "cf_stream_ingest_batches_total",
+                "Micro-batches ingested.",
+                l,
+            ),
+            ingest_tuples: registry.counter_with(
+                "cf_stream_ingest_tuples_total",
+                "Tuples ingested.",
+                l,
+            ),
+            queue_backlog: registry.gauge_with(
+                "cf_stream_queue_backlog",
+                "Record batches waiting in the monitor queue.",
+                l,
+            ),
+            monitor_lag: registry.gauge_with(
+                "cf_stream_monitor_lag",
+                "Tuples scored but not yet monitored (excludes drops).",
+                l,
+            ),
+            dropped_batches: registry.gauge_with(
+                "cf_stream_dropped_batches",
+                "Cumulative batches dropped under backpressure.",
+                l,
+            ),
+            dropped_tuples: registry.gauge_with(
+                "cf_stream_dropped_tuples",
+                "Cumulative tuples dropped under backpressure.",
+                l,
+            ),
+            pending_labels: registry.gauge_with(
+                "cf_stream_pending_labels",
+                "Evicted decisions awaiting their labels in the pending-join index.",
+                l,
+            ),
+            labels_joined: registry.gauge_with(
+                "cf_stream_labels_joined",
+                "Cumulative ground-truth labels joined into the label plane.",
+                l,
+            ),
+            labels_unmatched: registry.gauge_with(
+                "cf_stream_labels_unmatched",
+                "Cumulative feedback records whose tuple could not be found.",
+                l,
+            ),
+            window_fill: registry.gauge_with(
+                "cf_stream_window_fill",
+                "Tuples currently retained in the sliding window.",
+                l,
+            ),
+            alerts_total: registry.gauge_with(
+                "cf_stream_alerts",
+                "Cumulative drift alerts raised.",
+                l,
+            ),
+            retrains_total: registry.gauge_with(
+                "cf_stream_retrains",
+                "Cumulative successful on-alert retrains.",
+                l,
+            ),
+            retrain_duration_us: registry.histogram_with(
+                "cf_stream_retrain_duration_us",
+                "Wall-clock duration of retrain attempts in microseconds.",
+                log2_buckets(128.0, 16),
+                l,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_mirrors_are_lossless() {
+        let counts = [
+            GroupCounts {
+                total: 40,
+                selected: 22,
+                violations: 1,
+                labeled: 30,
+                label_positive: 18,
+                true_positive: 15,
+                false_positive: 4,
+            },
+            GroupCounts {
+                total: 36,
+                selected: 12,
+                violations: 5,
+                labeled: 20,
+                label_positive: 11,
+                true_positive: 5,
+                false_positive: 2,
+            },
+        ];
+        let live = FairnessSnapshot::from_counts(&counts, 0.8);
+        let mirrored = SnapshotData::from_counters(&both_counters(&counts), 0.8);
+        assert_eq!(live.to_data(), mirrored, "one arithmetic, two entry points");
+        assert_eq!(FairnessSnapshot::from_data(mirrored), live);
+    }
+
+    #[test]
+    fn alert_event_explains_the_moved_cell() {
+        let counts = [GroupCounts::default(), GroupCounts::default()];
+        let snapshot = FairnessSnapshot::from_counts(&counts, 0.8);
+        let alert = DriftAlert {
+            kind: DriftKind::ConformanceViolation,
+            group: 1,
+            at_tuple: 321,
+            statistic: 13.5,
+            threshold: 12.0,
+        };
+        let event = alert_event(&alert, &snapshot);
+        let TelemetryEvent::DriftAlert(e) = &event else {
+            panic!("expected a drift alert event");
+        };
+        assert_eq!(e.alert.kind, "conformance_violation");
+        assert_eq!(e.explanation.cell, "group=1/decision");
+        assert!(e.explanation.summary.contains("13.5"));
+        assert_eq!(e.at_tuple, 321);
+    }
+
+    #[test]
+    fn metrics_register_per_shard() {
+        let registry = MetricsRegistry::new();
+        let m0 = StreamMetrics::register_shard(&registry, Some(0));
+        let m1 = StreamMetrics::register_shard(&registry, Some(1));
+        m0.monitor_lag.set_u64(3);
+        m1.monitor_lag.set_u64(9);
+        let text = registry.render();
+        assert!(text.contains("cf_stream_monitor_lag{shard=\"0\"} 3"));
+        assert!(text.contains("cf_stream_monitor_lag{shard=\"1\"} 9"));
+        // Re-registration returns the same instruments.
+        let again = StreamMetrics::register_shard(&registry, Some(0));
+        again.ingest_batches.inc();
+        m0.ingest_batches.inc();
+        assert_eq!(again.ingest_batches.get(), 2);
+    }
+}

@@ -221,6 +221,18 @@ pub struct JoinStats {
     pub pending_evicted: u64,
 }
 
+/// Human-readable one-liner, e.g.
+/// `joined=1820 late=301 dup=0 unmatched=12 evicted=3`.
+impl std::fmt::Display for JoinStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "joined={} late={} dup={} unmatched={} evicted={}",
+            self.joined, self.joined_late, self.duplicates, self.unmatched, self.pending_evicted
+        )
+    }
+}
+
 /// The two-plane sliding window: a decision-metadata ring plus a
 /// stride-`dim` feature arena, a label ring of joined outcome pairs, and
 /// the bounded pending-join index — with per-group counters over both

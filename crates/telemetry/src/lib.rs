@@ -1,0 +1,38 @@
+//! Telemetry plane for the streaming fairness engines: a typed audit
+//! event model, pluggable subscriber sinks, a self-verifying JSONL
+//! replay, and a Prometheus-text metrics registry.
+//!
+//! The paper's loop — detect drift-induced unfairness, explain which
+//! distribution moved, repair — is only auditable in production if every
+//! alert, repair, and model swap leaves a durable, explainable record.
+//! This crate is that record's home, deliberately free of any dependency
+//! on the engines themselves:
+//!
+//! * [`event`] — one [`TelemetryEvent`] per observable state change,
+//!   carrying per-cell counter deltas and moved-cell explanations, plus
+//!   the snapshot arithmetic ([`SnapshotData::from_counters`]) that
+//!   `cf-stream` delegates to.
+//! * [`sink`] — the [`EventSink`] seam engines emit through, with
+//!   [`NullSink`], [`RingSink`], and the fsync-on-alert [`JsonlSink`].
+//! * [`replay`](mod@replay) — [`replay()`](replay()) reconstructs the
+//!   live run's exact snapshot/alert sequence from a trail, verifying it
+//!   line by line.
+//! * [`metrics`] — [`MetricsRegistry`] with counters, gauges, and
+//!   log-bucket histograms rendered by
+//!   [`render()`](MetricsRegistry::render).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod replay;
+pub mod sink;
+
+pub use event::{
+    AlertData, AlertExplanation, CheckpointEvent, CounterDelta, DriftAlertEvent, DropEvent,
+    FeedbackJoinEvent, IngestBatchEvent, ModelSwapEvent, RepairEndEvent, RepairStartEvent,
+    SnapshotData, TelemetryEvent, WindowCounters,
+};
+pub use metrics::{log2_buckets, Counter, Gauge, Histogram, MetricsRegistry};
+pub use replay::{replay, replay_file, ReplayError, ReplayedRun};
+pub use sink::{shared_sink, EventSink, JsonlSink, NullSink, RingSink, SharedSink};

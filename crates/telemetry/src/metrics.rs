@@ -1,0 +1,507 @@
+//! A dependency-free metrics registry with Prometheus text export.
+//!
+//! Three instrument kinds — monotonically increasing [`Counter`]s,
+//! settable [`Gauge`]s, and fixed-bucket [`Histogram`]s — registered by
+//! name (plus optional labels) on a [`MetricsRegistry`] and exported as
+//! the Prometheus text format from [`MetricsRegistry::render`]. Handles
+//! are cheap `Arc`-backed clones over atomics: instrument updates are
+//! lock-free and safe from any thread (the async engines update gauges
+//! from the serving thread while the scrape endpoint renders from
+//! another), only registration and rendering take the registry lock.
+//!
+//! Histograms use *fixed* buckets chosen at registration —
+//! [`log2_buckets`] builds the power-of-two ladder the ingest-latency
+//! instrument uses — so rendering never rebalances and `observe` stays
+//! O(#buckets) with no allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    fn new() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that is *set* to the latest observation (queue
+/// backlog, monitor lag, pending labels, …). Stored as `f64` bits.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Set from an integer reading (the common case for backlogs/lags).
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, ascending. An implicit +∞
+    /// bucket always follows.
+    uppers: Vec<f64>,
+    /// Per-bucket observation counts (not cumulative; `render`
+    /// accumulates), one slot per finite bound plus the +∞ slot.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram (e.g. ingest latency in microseconds over a
+/// log-scale ladder). `observe` is lock-free; quantiles are estimated by
+/// linear interpolation within the owning bucket, the standard
+/// Prometheus `histogram_quantile` scheme.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new(mut uppers: Vec<f64>) -> Self {
+        uppers.retain(|u| u.is_finite());
+        uppers.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds compare"));
+        uppers.dedup();
+        let buckets = (0..=uppers.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            uppers,
+            buckets,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let core = &self.0;
+        let slot = core
+            .uppers
+            .iter()
+            .position(|&upper| v <= upper)
+            .unwrap_or(core.uppers.len());
+        core.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS on the bit pattern (no atomic float in std).
+        let mut current = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// within the owning bucket; `None` before any observation. An
+    /// estimate landing in the +∞ bucket reports the largest finite
+    /// bound (all the ladder can honestly say).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let core = &self.0;
+        let count = core.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (slot, bucket) in core.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if (cumulative + in_bucket) as f64 >= rank && in_bucket > 0 {
+                let Some(&upper) = core.uppers.get(slot) else {
+                    // +∞ bucket: report the last finite bound.
+                    return core.uppers.last().copied();
+                };
+                let lower = if slot == 0 {
+                    0.0
+                } else {
+                    core.uppers[slot - 1]
+                };
+                let into = (rank - cumulative as f64) / in_bucket as f64;
+                return Some(lower + (upper - lower) * into);
+            }
+            cumulative += in_bucket;
+        }
+        core.uppers.last().copied()
+    }
+}
+
+/// A power-of-two bucket ladder: `start, 2·start, 4·start, …` (`count`
+/// bounds). The fixed log-scale ladder the ingest-latency histogram uses:
+/// `log2_buckets(1.0, 21)` spans 1 µs to ~1 s.
+pub fn log2_buckets(start: f64, count: usize) -> Vec<f64> {
+    (0..count as u32)
+        .map(|i| start * f64::powi(2.0, i as i32))
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Child {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    children: Vec<Child>,
+}
+
+/// The scrape surface: a named collection of instruments rendered as
+/// Prometheus text. Registration is idempotent — asking for an existing
+/// `(name, labels)` pair returns a handle to the same instrument, so
+/// engine halves can register their shared families independently.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(existing) => existing,
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    children: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(child) = family.children.iter().find(|c| c.labels == labels) {
+            return child.instrument.clone();
+        }
+        let instrument = make();
+        if let Some(existing) = family.children.first() {
+            assert_eq!(
+                existing.instrument.kind(),
+                instrument.kind(),
+                "metric family `{name}` registered with conflicting kinds"
+            );
+        }
+        family.children.push(Child {
+            labels,
+            instrument: instrument.clone(),
+        });
+        instrument
+    }
+
+    /// Register (or look up) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or look up) a labeled counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Register (or look up) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a labeled gauge.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Register (or look up) an unlabeled histogram over fixed bucket
+    /// upper bounds (ascending; the +∞ bucket is implicit).
+    pub fn histogram(&self, name: &str, help: &str, buckets: Vec<f64>) -> Histogram {
+        self.histogram_with(name, help, buckets, &[])
+    }
+
+    /// Register (or look up) a labeled histogram.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        buckets: Vec<f64>,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.register(name, help, labels, || {
+            Instrument::Histogram(Histogram::new(buckets))
+        }) {
+            Instrument::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Render every family in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for family in families.iter() {
+            let kind = match family.children.first() {
+                Some(child) => child.instrument.kind(),
+                None => continue,
+            };
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!("# TYPE {} {}\n", family.name, kind));
+            for child in &family.children {
+                match &child.instrument {
+                    Instrument::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            label_set(&child.labels, None),
+                            c.get()
+                        ));
+                    }
+                    Instrument::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            label_set(&child.labels, None),
+                            fmt_value(g.get())
+                        ));
+                    }
+                    Instrument::Histogram(h) => {
+                        let core = &h.0;
+                        let mut cumulative = 0u64;
+                        for (slot, upper) in core.uppers.iter().enumerate() {
+                            cumulative += core.buckets[slot].load(Ordering::Relaxed);
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                family.name,
+                                label_set(&child.labels, Some(&fmt_value(*upper))),
+                                cumulative
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            family.name,
+                            label_set(&child.labels, Some("+Inf")),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            family.name,
+                            label_set(&child.labels, None),
+                            fmt_value(h.sum())
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            family.name,
+                            label_set(&child.labels, None),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render a `{k="v",…}` label set, optionally with a trailing `le`
+/// bucket label; empty when there are no labels at all.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Prometheus-friendly number: integral values without a trailing `.0`,
+/// non-finite as `+Inf`/`-Inf`/`NaN`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("cf_ingested_total", "Tuples ingested.");
+        c.add(41);
+        c.inc();
+        let g = registry.gauge_with("cf_lag", "Monitor lag.", &[("shard", "0")]);
+        g.set_u64(7);
+        let text = registry.render();
+        assert!(text.contains("# TYPE cf_ingested_total counter"));
+        assert!(text.contains("cf_ingested_total 42"));
+        assert!(text.contains("cf_lag{shard=\"0\"} 7"));
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("cf_x", "x");
+        let b = registry.counter("cf_x", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same handle behind both registrations");
+        let s0 = registry.gauge_with("cf_y", "y", &[("shard", "0")]);
+        let s1 = registry.gauge_with("cf_y", "y", &[("shard", "1")]);
+        s0.set(1.0);
+        s1.set(2.0);
+        let text = registry.render();
+        assert!(text.contains("cf_y{shard=\"0\"} 1"));
+        assert!(text.contains("cf_y{shard=\"1\"} 2"));
+        assert_eq!(text.matches("# TYPE cf_y gauge").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_conflict_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("cf_conflict", "first");
+        registry.gauge("cf_conflict", "second");
+    }
+
+    #[test]
+    fn histogram_buckets_accumulate_and_render() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("cf_latency_us", "Ingest latency.", log2_buckets(1.0, 4));
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 105.0).abs() < 1e-12);
+        let text = registry.render();
+        assert!(text.contains("cf_latency_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("cf_latency_us_bucket{le=\"2\"} 2"));
+        assert!(text.contains("cf_latency_us_bucket{le=\"4\"} 3"));
+        assert!(text.contains("cf_latency_us_bucket{le=\"8\"} 3"));
+        assert!(text.contains("cf_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("cf_latency_us_count 4"));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let h = Histogram::new(log2_buckets(1.0, 10));
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..100 {
+            h.observe(3.0); // lands in the (2, 4] bucket
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 > 2.0 && p50 <= 4.0, "p50 = {p50}");
+        h.observe(1e9); // +∞ bucket
+        let p100 = h.quantile(1.0).unwrap();
+        assert_eq!(p100, 512.0, "capped at the largest finite bound");
+    }
+
+    #[test]
+    fn log2_ladder_shape() {
+        assert_eq!(log2_buckets(1.0, 4), vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(log2_buckets(0.5, 3), vec![0.5, 1.0, 2.0]);
+    }
+}

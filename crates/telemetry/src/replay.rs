@@ -1,0 +1,393 @@
+//! Replay an audit trail back into the run that wrote it.
+//!
+//! The contract: a JSONL trail written by
+//! [`JsonlSink`](crate::JsonlSink) replays into the **byte-identical**
+//! snapshot and alert sequence of the live run. [`replay`] does not trust
+//! the recorded snapshots — it accumulates each event's per-cell
+//! [`CounterDelta`](crate::CounterDelta)s into running
+//! [`WindowCounters`] and *recomputes* every
+//! reading through [`SnapshotData::from_counters`], the same arithmetic
+//! the live engine used. Each recomputed reading is then checked against
+//! the recorded one, which makes the trail **self-verifying**: a
+//! tampered or truncated log surfaces as [`ReplayError::SnapshotMismatch`]
+//! or [`ReplayError::CounterUnderflow`], not as silently wrong output.
+//!
+//! The check compares JSON [`Value`] trees rather than parsed structs,
+//! because JSON cannot carry non-finite floats: a disparate impact of ∞
+//! is recorded as `null`, and parsing it back would read `None` where the
+//! live run had `Some(∞)`. Normalising the recomputed snapshot's value
+//! tree (non-finite → `null`) and comparing at that level sidesteps the
+//! asymmetry without weakening the byte-identity claim — the recomputed
+//! sequence, serialised, is exactly the recorded bytes.
+
+use crate::event::{AlertData, SnapshotData, TelemetryEvent, WindowCounters};
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+
+/// Why a trail failed to replay. Every variant names the 1-based JSONL
+/// line it arose on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The line is not a well-formed event.
+    Parse {
+        /// 1-based line number.
+        line: u64,
+        /// The parser's message.
+        message: String,
+    },
+    /// Applying a delta would drive a window counter negative — the trail
+    /// is truncated mid-stream or corrupt.
+    CounterUnderflow {
+        /// 1-based line number.
+        line: u64,
+    },
+    /// A recomputed snapshot disagrees with the recorded one — the trail
+    /// was tampered with, or writer and replayer disagree on arithmetic.
+    SnapshotMismatch {
+        /// 1-based line number.
+        line: u64,
+    },
+    /// The trail could not be read at all (file-level I/O).
+    Io(
+        /// The I/O error message.
+        String,
+    ),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Parse { line, message } => {
+                write!(f, "audit line {line}: {message}")
+            }
+            ReplayError::CounterUnderflow { line } => write!(
+                f,
+                "audit line {line}: delta drives a window counter negative \
+                 (trail truncated or corrupt)"
+            ),
+            ReplayError::SnapshotMismatch { line } => write!(
+                f,
+                "audit line {line}: recomputed snapshot disagrees with the recorded one \
+                 (trail tampered with?)"
+            ),
+            ReplayError::Io(e) => write!(f, "audit trail unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Everything a replayed trail reconstructs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayedRun {
+    /// The fairness readings, one per window-advancing event
+    /// (ingest-batch and feedback-join), in stream order — recomputed
+    /// from the deltas and verified against the recorded values.
+    pub snapshots: Vec<SnapshotData>,
+    /// Every drift alert, in stream order.
+    pub alerts: Vec<AlertData>,
+    /// The final per-group window counters.
+    pub counters: [WindowCounters; 2],
+    /// Events processed.
+    pub events: u64,
+    /// Cumulative tuples lost to backpressure, per the trail's last drop
+    /// event (0 when none were recorded).
+    pub dropped_tuples: u64,
+    /// Cumulative successful retrains, per the trail's last repair-end /
+    /// model-swap event.
+    pub retrains: u64,
+}
+
+/// Map non-finite numbers to `Null`, recursively — the projection JSON
+/// itself applies when a value tree is written out.
+fn normalize(v: Value) -> Value {
+    match v {
+        Value::Number(n) if !n.is_finite() => Value::Null,
+        Value::Array(items) => Value::Array(items.into_iter().map(normalize).collect()),
+        Value::Object(fields) => Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, inner)| (k, normalize(inner)))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// Apply a window-advancing event's deltas, recompute the reading, and
+/// verify it against the recorded value tree.
+fn advance(
+    counters: &mut [WindowCounters; 2],
+    delta: &[crate::event::CounterDelta; 2],
+    di_floor: f64,
+    recorded: Option<&Value>,
+    line: u64,
+) -> Result<SnapshotData, ReplayError> {
+    for group in 0..2 {
+        counters[group] = counters[group]
+            .apply(&delta[group])
+            .ok_or(ReplayError::CounterUnderflow { line })?;
+    }
+    let recomputed = SnapshotData::from_counters(counters, di_floor);
+    if let Some(recorded) = recorded {
+        if normalize(recomputed.to_value()) != *recorded {
+            return Err(ReplayError::SnapshotMismatch { line });
+        }
+    }
+    Ok(recomputed)
+}
+
+/// Replay a JSONL audit trail (the full file contents) into the run that
+/// wrote it. Blank lines are skipped; everything else must parse.
+///
+/// # Errors
+/// [`ReplayError::Parse`] on a malformed line,
+/// [`ReplayError::CounterUnderflow`] / [`ReplayError::SnapshotMismatch`]
+/// when the trail's deltas and snapshots disagree with each other.
+pub fn replay(jsonl: &str) -> Result<ReplayedRun, ReplayError> {
+    let mut run = ReplayedRun::default();
+    for (idx, raw) in jsonl.lines().enumerate() {
+        let line = idx as u64 + 1;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(raw).map_err(|e| ReplayError::Parse {
+            line,
+            message: e.to_string(),
+        })?;
+        let event = TelemetryEvent::from_value(&value).map_err(|e| ReplayError::Parse {
+            line,
+            message: e.to_string(),
+        })?;
+        run.events += 1;
+        match &event {
+            TelemetryEvent::IngestBatch(e) => {
+                let snapshot = advance(
+                    &mut run.counters,
+                    &e.delta,
+                    e.di_floor,
+                    value.get("snapshot"),
+                    line,
+                )?;
+                run.snapshots.push(snapshot);
+            }
+            TelemetryEvent::FeedbackJoin(e) => {
+                let snapshot = advance(
+                    &mut run.counters,
+                    &e.delta,
+                    e.di_floor,
+                    value.get("snapshot"),
+                    line,
+                )?;
+                run.snapshots.push(snapshot);
+            }
+            TelemetryEvent::DriftAlert(e) => run.alerts.push(e.alert.clone()),
+            TelemetryEvent::Checkpoint(e) => {
+                // A restore re-anchors the window mid-trail: subsequent
+                // deltas apply to the restored counters, not whatever the
+                // pre-restart engine left behind.
+                if e.phase == "restored" {
+                    run.counters = e.counters;
+                }
+            }
+            TelemetryEvent::Drop(e) => run.dropped_tuples = e.tuples,
+            TelemetryEvent::RepairEnd(e) => run.retrains = run.retrains.max(e.retrains),
+            TelemetryEvent::ModelSwap(e) => run.retrains = run.retrains.max(e.retrains),
+            TelemetryEvent::RepairStart(_) => {}
+        }
+    }
+    Ok(run)
+}
+
+/// [`replay`] over a file on disk.
+///
+/// # Errors
+/// [`ReplayError::Io`] when the file cannot be read, plus everything
+/// [`replay`] reports.
+pub fn replay_file(path: impl AsRef<Path>) -> Result<ReplayedRun, ReplayError> {
+    let text =
+        std::fs::read_to_string(path.as_ref()).map_err(|e| ReplayError::Io(e.to_string()))?;
+    replay(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{
+        AlertExplanation, CheckpointEvent, CounterDelta, DriftAlertEvent, DropEvent,
+        IngestBatchEvent,
+    };
+    use crate::sink::{EventSink, JsonlSink, RingSink};
+
+    fn delta(total: i64, selected: i64) -> CounterDelta {
+        CounterDelta {
+            total,
+            selected,
+            ..CounterDelta::default()
+        }
+    }
+
+    /// Build a consistent two-batch trail by running the same
+    /// accumulate-and-snapshot loop a live monitor would.
+    fn trail_lines() -> Vec<String> {
+        let mut counters = [WindowCounters::default(); 2];
+        let deltas = [[delta(10, 6), delta(10, 3)], [delta(10, 5), delta(10, 2)]];
+        let mut lines = Vec::new();
+        let mut seen = 0;
+        for step in deltas {
+            for g in 0..2 {
+                counters[g] = counters[g].apply(&step[g]).unwrap();
+            }
+            seen += 20;
+            let event = TelemetryEvent::IngestBatch(IngestBatchEvent {
+                first_id: seen - 20,
+                batch: 20,
+                at_tuple: seen,
+                di_floor: 0.8,
+                delta: step,
+                snapshot: SnapshotData::from_counters(&counters, 0.8),
+            });
+            lines.push(serde_json::to_string(&event).unwrap());
+        }
+        lines
+    }
+
+    #[test]
+    fn replay_recomputes_and_verifies() {
+        let lines = trail_lines();
+        let run = replay(&lines.join("\n")).unwrap();
+        assert_eq!(run.events, 2);
+        assert_eq!(run.snapshots.len(), 2);
+        assert_eq!(run.counters[0].total, 20);
+        assert_eq!(run.counters[0].selected, 11);
+        assert_eq!(run.snapshots[1].window_len, 40);
+    }
+
+    #[test]
+    fn tampered_snapshot_is_detected() {
+        let lines = trail_lines();
+        // Flip a recorded selection count without touching the delta.
+        let tampered = lines[1].replace("\"window_len\":40", "\"window_len\":41");
+        assert_ne!(tampered, lines[1], "tamper target must exist");
+        let err = replay(&format!("{}\n{}", lines[0], tampered)).unwrap_err();
+        assert_eq!(err, ReplayError::SnapshotMismatch { line: 2 });
+    }
+
+    #[test]
+    fn truncated_head_is_detected_as_underflow() {
+        let mut counters = [WindowCounters::default(); 2];
+        let fill = [delta(10, 6), delta(10, 3)];
+        for g in 0..2 {
+            counters[g] = counters[g].apply(&fill[g]).unwrap();
+        }
+        // An eviction-heavy batch: net negative without its predecessor.
+        let shrink = [delta(-4, -2), delta(0, 0)];
+        let mut after = counters;
+        for g in 0..2 {
+            after[g] = after[g].apply(&shrink[g]).unwrap();
+        }
+        let event = TelemetryEvent::IngestBatch(IngestBatchEvent {
+            first_id: 20,
+            batch: 4,
+            at_tuple: 24,
+            di_floor: 0.8,
+            delta: shrink,
+            snapshot: SnapshotData::from_counters(&after, 0.8),
+        });
+        let orphan_line = serde_json::to_string(&event).unwrap();
+        let err = replay(&orphan_line).unwrap_err();
+        assert_eq!(err, ReplayError::CounterUnderflow { line: 1 });
+    }
+
+    #[test]
+    fn restored_checkpoint_reanchors_counters() {
+        let anchor = WindowCounters {
+            total: 30,
+            selected: 12,
+            ..WindowCounters::default()
+        };
+        let restore = TelemetryEvent::Checkpoint(CheckpointEvent {
+            at_tuple: 30,
+            phase: "restored".into(),
+            version: 2,
+            counters: [anchor, WindowCounters::default()],
+            di_floor: 0.8,
+        });
+        let mut counters = [anchor, WindowCounters::default()];
+        let step = [delta(5, 1), delta(0, 0)];
+        for g in 0..2 {
+            counters[g] = counters[g].apply(&step[g]).unwrap();
+        }
+        let batch = TelemetryEvent::IngestBatch(IngestBatchEvent {
+            first_id: 30,
+            batch: 5,
+            at_tuple: 35,
+            di_floor: 0.8,
+            delta: step,
+            snapshot: SnapshotData::from_counters(&counters, 0.8),
+        });
+        let text = format!(
+            "{}\n{}",
+            serde_json::to_string(&restore).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+        let run = replay(&text).unwrap();
+        assert_eq!(run.counters[0].total, 35);
+        assert_eq!(run.snapshots.len(), 1);
+    }
+
+    #[test]
+    fn alerts_and_drops_are_collected() {
+        let alert = TelemetryEvent::DriftAlert(DriftAlertEvent {
+            at_tuple: 7,
+            alert: AlertData {
+                kind: "conformance_violation".into(),
+                group: 1,
+                at_tuple: 7,
+                statistic: 13.0,
+                threshold: 12.0,
+            },
+            explanation: AlertExplanation {
+                cell: "group=1/decision".into(),
+                selection_rate: [None, None],
+                violation_rate: [None, None],
+                summary: "moved".into(),
+            },
+        });
+        let drop = TelemetryEvent::Drop(DropEvent {
+            at_tuple: 7,
+            batches: 1,
+            tuples: 16,
+        });
+        let text = format!(
+            "{}\n\n{}",
+            serde_json::to_string(&alert).unwrap(),
+            serde_json::to_string(&drop).unwrap()
+        );
+        let run = replay(&text).unwrap();
+        assert_eq!(run.alerts.len(), 1);
+        assert_eq!(run.alerts[0].group, 1);
+        assert_eq!(run.dropped_tuples, 16);
+        assert_eq!(run.events, 2);
+    }
+
+    #[test]
+    fn jsonl_sink_trail_replays_through_replay_file() {
+        let path =
+            std::env::temp_dir().join(format!("cf-telemetry-replay-{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            let mut ring = RingSink::new(16);
+            for line in trail_lines() {
+                let event: TelemetryEvent = serde_json::from_str(&line).unwrap();
+                sink.emit(&event);
+                ring.emit(&event);
+            }
+            sink.flush();
+        }
+        let run = replay_file(&path).unwrap();
+        assert_eq!(run.snapshots.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

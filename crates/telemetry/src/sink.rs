@@ -1,0 +1,267 @@
+//! The subscriber seam: where engines hand events to the outside world.
+//!
+//! Engines emit through a shared [`EventSink`] handle ([`SharedSink`], an
+//! `Arc<Mutex<…>>` so a monitor clone taken for checkpointing shares the
+//! sink rather than forking the trail). The default is no sink at all —
+//! the emission branch is skipped entirely, keeping the null path free —
+//! with three implementations provided: [`NullSink`] (explicit no-op),
+//! [`RingSink`] (bounded in-memory buffer for tests and live debugging),
+//! and [`JsonlSink`] (the append-only audit trail: one JSON object per
+//! line, fsynced after every drift alert so the evidence that matters
+//! most survives a crash).
+
+use crate::event::TelemetryEvent;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A subscriber for [`TelemetryEvent`]s. `Send` because the async
+/// engines emit from their monitor thread.
+///
+/// `emit` is infallible by design — it sits on the monitoring path, and
+/// a telemetry failure must never stall or poison the stream. Fallible
+/// sinks (like [`JsonlSink`]) record their last error for the operator
+/// to inspect instead of returning it.
+pub trait EventSink: Send {
+    /// Receive one event.
+    fn emit(&mut self, event: &TelemetryEvent);
+
+    /// Flush any buffered events to durable storage. No-op by default.
+    fn flush(&mut self) {}
+}
+
+/// How engines hold a sink: shared and lockable, so the sync engine, a
+/// checkpoint clone, and a monitor thread can all feed one trail.
+pub type SharedSink = Arc<Mutex<dyn EventSink>>;
+
+/// Wrap a sink for installation on an engine.
+pub fn shared_sink<S: EventSink + 'static>(sink: S) -> SharedSink {
+    Arc::new(Mutex::new(sink))
+}
+
+/// Discards every event. Installing it is equivalent to (but measurably
+/// slower than) installing no sink, since the engine still pays the lock
+/// and the delta bookkeeping; useful for isolating sink cost in benches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: &TelemetryEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in memory — the test and
+/// debugging sink.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TelemetryEvent>,
+    seen: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            seen: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Drain and return the retained events, oldest first.
+    pub fn take(&mut self) -> Vec<TelemetryEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever emitted to this sink (including evicted ones).
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&mut self, event: &TelemetryEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event.clone());
+        self.seen += 1;
+    }
+}
+
+/// The append-only JSONL audit trail: one compact JSON object per line,
+/// written through a buffer, **fsynced after every drift alert** (and on
+/// [`flush`](EventSink::flush)) so alert evidence is durable the moment
+/// it is raised. Replays through [`crate::replay()`] into the exact
+/// snapshot/alert sequence of the live run.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    path: PathBuf,
+    lines: u64,
+    error: Option<String>,
+}
+
+impl JsonlSink {
+    /// Start a fresh trail at `path` (truncates an existing file).
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            out: BufWriter::new(file),
+            path,
+            lines: 0,
+            error: None,
+        })
+    }
+
+    /// Continue an existing trail at `path` (creates it if absent) —
+    /// the restart story: restore a checkpoint, re-open the trail in
+    /// append mode, and the `"restored"` checkpoint event re-anchors
+    /// replay at the right counters.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JsonlSink {
+            out: BufWriter::new(file),
+            path,
+            lines: 0,
+            error: None,
+        })
+    }
+
+    /// Where the trail is written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines written by this handle (not counting pre-existing ones in
+    /// append mode).
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// The most recent I/O failure, if any. A failing sink keeps
+    /// accepting events (telemetry must never stall the stream) but the
+    /// trail is incomplete from the first error on.
+    pub fn last_error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    fn sync(&mut self) {
+        if let Err(e) = self
+            .out
+            .flush()
+            .and_then(|()| self.out.get_ref().sync_data())
+        {
+            self.error = Some(e.to_string());
+        }
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&mut self, event: &TelemetryEvent) {
+        match serde_json::to_string(event) {
+            Ok(line) => {
+                if let Err(e) = self
+                    .out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| self.out.write_all(b"\n"))
+                {
+                    self.error = Some(e.to_string());
+                    return;
+                }
+                self.lines += 1;
+                if event.is_alert() {
+                    self.sync();
+                }
+            }
+            Err(e) => self.error = Some(e.to_string()),
+        }
+    }
+
+    fn flush(&mut self) {
+        self.sync();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // Best-effort: buffered tail should land even without an
+        // explicit flush; errors here have nowhere to go.
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DropEvent, ModelSwapEvent};
+
+    fn swap(at: u64) -> TelemetryEvent {
+        TelemetryEvent::ModelSwap(ModelSwapEvent {
+            at_tuple: at,
+            retrains: at,
+        })
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.emit(&swap(i));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.total_seen(), 5);
+        let kept = ring.take();
+        assert_eq!(kept, vec![swap(3), swap(4)]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_appends_one_line_per_event() {
+        let path =
+            std::env::temp_dir().join(format!("cf-telemetry-sink-{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.emit(&swap(1));
+            sink.emit(&TelemetryEvent::Drop(DropEvent {
+                at_tuple: 1,
+                batches: 1,
+                tuples: 8,
+            }));
+            sink.flush();
+            assert_eq!(sink.lines_written(), 2);
+            assert_eq!(sink.last_error(), None);
+        }
+        {
+            let mut sink = JsonlSink::append(&path).unwrap();
+            sink.emit(&swap(2));
+            sink.flush();
+            assert_eq!(sink.lines_written(), 1);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            let _: TelemetryEvent = serde_json::from_str(line).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

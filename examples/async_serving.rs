@@ -128,10 +128,10 @@ fn main() {
     let di = snapshot.di_star.expect("both groups observed");
     println!("\nfinal window: {snapshot}");
     println!(
-        "alerts: {} ({} retrains, {} batches dropped)",
+        "alerts: {} ({} retrains, {})",
         async_alerts.len(),
         async_engine.retrain_count(),
-        async_engine.dropped().batches,
+        async_engine.dropped(), // Display: `dropped batches=N tuples=M`
     );
     println!(
         "sync  ingest: mean {:>8.1}µs  worst {:>9.0}µs   <- a retrain lives inside a call",

@@ -98,10 +98,7 @@ fn main() {
 
     let joins = engine.join_stats();
     println!(
-        "\nfinal: {} labels joined ({} late via the pending index), \
-         {} withheld forever, {} still outstanding",
-        joins.joined,
-        joins.joined_late,
+        "\nfinal: {joins}; {} withheld forever, {} still outstanding",
         stream.withheld(),
         stream.outstanding() as u64 + engine.pending_labels() as u64,
     );

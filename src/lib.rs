@@ -24,6 +24,7 @@ pub use cf_learners as learners;
 pub use cf_linalg as linalg;
 pub use cf_metrics as metrics;
 pub use cf_stream as stream;
+pub use cf_telemetry as telemetry;
 pub use confair_core as core;
 
 /// Commonly used items, importable in one line.
@@ -47,7 +48,11 @@ pub mod prelude {
         EngineCheckpoint, FairnessSnapshot, FeedbackOutcome, JoinStats, LabelFeedback, Monitor,
         PageHinkleyConfig, RetrainPolicy, Scorer, ShardedAsyncEngine, ShardedCheckpoint,
         ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple, StreamConfig, StreamEngine,
-        StreamTuple,
+        StreamMetrics, StreamTuple,
+    };
+    pub use cf_telemetry::{
+        replay, replay_file, shared_sink, AlertData, EventSink, JsonlSink, MetricsRegistry,
+        NullSink, ReplayedRun, RingSink, SharedSink, SnapshotData, TelemetryEvent,
     };
     pub use confair_core::{
         confair::{ConFair, ConFairConfig, FairnessTarget},
