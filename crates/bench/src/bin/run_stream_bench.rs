@@ -11,11 +11,12 @@
 //! `cf_bench::stream_load`, shared with the criterion bench.
 
 use cf_bench::stream_load::{
-    delayed_spec, drifting_spec, fresh_async_engine, fresh_engine, fresh_feedback_engine,
-    fresh_retraining_engine, fresh_sharded_engine, percentile_us, pregenerate, pregenerate_delayed,
-    pregenerate_from, pregenerate_sharded,
+    delayed_spec, drifting_spec, fresh_async_engine, fresh_degraded_async_engine, fresh_engine,
+    fresh_feedback_engine, fresh_monitoring_async_engine, fresh_retraining_engine,
+    fresh_sharded_engine, percentile_us, pregenerate, pregenerate_delayed, pregenerate_from,
+    pregenerate_sharded,
 };
-use cf_stream::{AsyncConfig, ShardedEngine, ShardedTuple, StreamEngine, StreamTuple};
+use cf_stream::{AsyncConfig, AsyncEngine, ShardedEngine, ShardedTuple, StreamEngine, StreamTuple};
 use cf_telemetry::{shared_sink, NullSink, RingSink};
 use std::hint::black_box;
 use std::time::Instant;
@@ -198,6 +199,99 @@ fn latency_comparison(quick: bool) -> (Vec<serde_json::Value>, serde_json::Value
     (configs, summary)
 }
 
+/// The robustness row: sustained async ingest throughput while serving
+/// in degraded mode, against a monitoring-only twin on identical
+/// stationary batches. The faulted engine's DI* floor can never be met
+/// and every retrain attempt fails, so its first repair episode exhausts
+/// the budget during warm-up and the entire timed region serves degraded
+/// (with further failing episodes recurring at the floor cooldown). The
+/// row exists to show degraded mode is a flag, not a slow path —
+/// throughput should stay within a few percent of the healthy baseline.
+fn degraded_mode(quick: bool) -> (Vec<serde_json::Value>, serde_json::Value) {
+    let batch = 512;
+    let window = 4_096;
+    let total = if quick { 500_000 } else { 2_000_000 };
+    let batches = pregenerate(32, batch);
+    let async_config = AsyncConfig {
+        queue_depth: 256,
+        ..AsyncConfig::default()
+    };
+
+    let mut configs = Vec::new();
+    let mut run = |name: &str, mut engine: AsyncEngine| -> (f64, bool, u64) {
+        // Warm-up outside the clock: fill the window (which also walks
+        // the faulted engine into degraded mode) and let the monitor
+        // catch up, so the timed region is the steady serving state.
+        let mut next = 0usize;
+        let mut warmed = 0usize;
+        while warmed < window {
+            warmed += engine
+                .ingest_owned(batches[next].clone())
+                .expect("warm-up ingest")
+                .len();
+            next = (next + 1) % batches.len();
+        }
+        engine.flush().expect("warm-up flush");
+
+        let mut ingested = 0usize;
+        let started = Instant::now();
+        while ingested < total {
+            ingested += engine
+                .ingest_owned(black_box(batches[next].clone()))
+                .expect("ingest")
+                .len();
+            next = (next + 1) % batches.len();
+        }
+        // Sustained throughput is honest only once the monitor has caught
+        // up: the final flush is inside the timed region.
+        engine.flush().expect("final flush");
+        let secs = started.elapsed().as_secs_f64();
+        let rate = ingested as f64 / secs;
+        let (degraded, failures) = (engine.is_degraded(), engine.retrain_failure_count());
+        println!(
+            "{name}: {ingested} tuples in {secs:.3}s = {rate:.0} tuples/sec  \
+             (degraded: {degraded}, retrain failures: {failures})"
+        );
+        configs.push(serde_json::json!({
+            "name": name,
+            "tuples": ingested,
+            "batch": batch,
+            "secs": secs,
+            "tuples_per_sec": rate,
+            "observability": serde_json::json!({
+                "alerts": engine.alerts().len(),
+                "retrains": engine.retrain_count(),
+                "retrain_failures": failures,
+                "degraded": degraded,
+                "monitor_restarts": engine.monitor_restarts(),
+                "monitor_gap_tuples": engine.monitor_gap_tuples(),
+                "monitor_lag_after_flush": engine.monitor_lag(),
+            }),
+        }));
+        (rate, degraded, failures)
+    };
+
+    let (healthy_rate, _, _) = run(
+        "robustness/async_baseline",
+        fresh_monitoring_async_engine(window, async_config),
+    );
+    let (degraded_rate, degraded, failures) = run(
+        "robustness/degraded_mode",
+        fresh_degraded_async_engine(window, async_config),
+    );
+    assert!(degraded, "the faulted engine must end the run degraded");
+    assert!(
+        failures > 0,
+        "the faulted engine must have burned its budget"
+    );
+
+    let summary = serde_json::json!({
+        "workload": "stationary, monitoring-only baseline vs always-failing repair, batch=512",
+        "throughput_ratio_degraded_vs_healthy": degraded_rate / healthy_rate,
+    });
+    (configs, summary)
+}
+
 /// The delayed-label join cost: unlabeled ingest with labels trailing by
 /// 6k–16k tuples (window 4,096 — most joins land through the pending
 /// index, the costliest path). Measures the `feedback` call itself:
@@ -362,6 +456,10 @@ fn main() {
     let (latency_configs, async_vs_sync) = latency_comparison(quick);
     configs.extend(latency_configs);
 
+    // Degraded-mode serving throughput vs the healthy async baseline.
+    let (robustness_configs, degraded_summary) = degraded_mode(quick);
+    configs.extend(robustness_configs);
+
     // Late-label join cost through the pending index.
     configs.push(feedback_join(quick));
 
@@ -371,6 +469,7 @@ fn main() {
         "configs": configs,
         "sharded_scaling": scaling,
         "async_vs_sync": async_vs_sync,
+        "degraded_mode": degraded_summary,
         "telemetry_overhead": telemetry_overhead,
     });
     let file = std::fs::File::create(&out).expect("create BENCH_stream.json");

@@ -7,8 +7,8 @@ use cf_datasets::stream::{
 };
 use cf_learners::LearnerKind;
 use cf_stream::{
-    AsyncConfig, AsyncEngine, LabelFeedback, RetrainPolicy, ShardedEngine, ShardedTuple,
-    StreamConfig, StreamEngine, StreamTuple,
+    AsyncConfig, AsyncEngine, FaultKind, FaultPlan, LabelFeedback, RepairConfig, RetrainFaults,
+    RetrainPolicy, ShardedEngine, ShardedTuple, StreamConfig, StreamEngine, StreamTuple,
 };
 use confair_core::confair::{AlphaMode, ConFairConfig};
 
@@ -97,6 +97,49 @@ pub fn fresh_retraining_engine(window: usize) -> StreamEngine {
 /// seed, same stream config — identical decisions, pipelined monitoring.
 pub fn fresh_async_engine(window: usize, async_config: AsyncConfig) -> AsyncEngine {
     AsyncEngine::from_engine(fresh_retraining_engine(window), async_config)
+}
+
+/// The async twin of [`fresh_engine`]: monitoring only, no retraining —
+/// the healthy baseline the degraded-mode robustness row is measured
+/// against.
+pub fn fresh_monitoring_async_engine(window: usize, async_config: AsyncConfig) -> AsyncEngine {
+    AsyncEngine::from_engine(fresh_engine(window), async_config)
+}
+
+/// The degraded-mode robustness workload: the same stationary reference
+/// and window as [`fresh_engine`], but with a DI* floor the stream can
+/// never satisfy (0.99) and every retrain attempt scheduled to fail — so
+/// the first repair episode exhausts its zero-backoff budget during
+/// warm-up and the engine serves the entire timed region in degraded
+/// mode, with further failing episodes recurring at the floor cooldown.
+/// Throughput in this regime is compared against
+/// [`fresh_monitoring_async_engine`] on identical batches: degraded mode
+/// must be a flag, not a slow path.
+pub fn fresh_degraded_async_engine(window: usize, async_config: AsyncConfig) -> AsyncEngine {
+    let reference = stationary_spec().reference(4_000, 21);
+    let config = StreamConfig {
+        di_floor: 0.99,
+        floor_min_window: 1_024,
+        floor_cooldown: 32_768,
+        retrain: RetrainPolicy::OnAlert { min_window: 48 },
+        repair: RepairConfig {
+            max_attempts: 2,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+            ..RepairConfig::default()
+        },
+        ..engine_config(window)
+    };
+    let mut engine = StreamEngine::from_reference(&reference, LearnerKind::Logistic, 21, config)
+        .expect("bootstrap");
+    engine.inject_faults(
+        FaultPlan::new().with_retrain(RetrainFaults::at_attempts(
+            (0..u64::from(u16::MAX))
+                .map(|i| (i, FaultKind::Error))
+                .collect(),
+        )),
+    );
+    AsyncEngine::from_engine(engine, async_config)
 }
 
 /// Pregenerate `n_batches` batches of `batch` tuples each from `spec`.

@@ -39,12 +39,13 @@ use crate::engine::{
 };
 use crate::monitor::{FairnessSnapshot, Monitor};
 use crate::scorer::Scorer;
+use crate::supervise::{Backoff, ShardHealth, SupervisorConfig};
 use crate::telemetry::StreamMetrics;
 use crate::window::{GroupCounts, JoinStats};
 use crate::{DriftAlert, EngineCheckpoint, Result, StreamError};
 use cf_data::Dataset;
 use cf_learners::LearnerKind;
-use cf_telemetry::{DropEvent, MetricsRegistry, SharedSink, TelemetryEvent};
+use cf_telemetry::{DropEvent, MetricsRegistry, MonitorRestartEvent, SharedSink, TelemetryEvent};
 use confair_core::Predictor;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicPtr, Ordering};
@@ -77,6 +78,9 @@ pub struct AsyncConfig {
     pub queue_depth: usize,
     /// What to do when the queue is full.
     pub backpressure: BackpressurePolicy,
+    /// Monitor-thread supervision: restart budget, respawn backoff, and
+    /// how often the recovery clone is refreshed.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for AsyncConfig {
@@ -84,6 +88,7 @@ impl Default for AsyncConfig {
         AsyncConfig {
             queue_depth: 32,
             backpressure: BackpressurePolicy::Block,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -201,6 +206,29 @@ impl BoundedQueue {
         self.closed.store(true, Ordering::Release);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Reopen after a replacement consumer is about to take over.
+    /// Everything still queued — records the dead consumer never reached
+    /// and control messages alike — is retained for the new consumer to
+    /// drain in the original FIFO order.
+    fn reopen(&self) {
+        self.closed.store(false, Ordering::Release);
+    }
+
+    /// Tuples currently sitting in queued records (the supervisor's gap
+    /// arithmetic: queued tuples are *not* lost, they will be monitored
+    /// by the respawned consumer).
+    fn queued_tuple_count(&self) -> u64 {
+        let inner = self.inner.lock().expect("queue mutex poisoned");
+        inner
+            .messages
+            .iter()
+            .map(|m| match m {
+                MonitorMsg::Record { tuples, .. } => tuples.len() as u64,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Enqueue one record under the configured backpressure policy.
@@ -368,7 +396,14 @@ struct PublishedState {
     /// per `cooldown`/`floor_cooldown` tuples), so the duplication stays
     /// small relative to the traffic that produced it.
     alerts: Vec<DriftAlert>,
-    retrain_errors: Vec<StreamError>,
+    /// The most recent failed repair episodes, oldest first — a bounded
+    /// ring ([`RETRAIN_ERROR_CAP`]) so a persistently failing retrain
+    /// cannot grow memory without bound; `retrain_failures` keeps the
+    /// cumulative count.
+    retrain_errors: VecDeque<StreamError>,
+    /// Failed repair *episodes* ever, including those whose errors have
+    /// rotated out of the ring.
+    retrain_failures: u64,
     monitor_error: Option<StreamError>,
     /// Label-plane observability: cumulative join counters and the
     /// pending-join backlog, refreshed with every record and feedback
@@ -377,11 +412,64 @@ struct PublishedState {
     pending_labels: usize,
 }
 
+/// Most recent retrain errors retained in the published ring.
+const RETRAIN_ERROR_CAP: usize = 32;
+
+impl PublishedState {
+    /// Reset the monitoring view to a recovery clone's state (the dead
+    /// incarnation's unpublished progress is part of the gap). Cumulative
+    /// operational history — retrain errors/failures, the monitor-error
+    /// diagnostic — is deliberately kept: those events really happened.
+    fn reset_from(&mut self, monitor: &Monitor) {
+        self.snapshot = monitor.snapshot();
+        self.counts = *monitor.window_counts();
+        self.window_len = monitor.window_len();
+        self.seen = monitor.tuples_seen();
+        self.retrains = monitor.retrain_count();
+        self.alerts = monitor.alerts().to_vec();
+        self.joins = monitor.join_stats();
+        self.pending_labels = monitor.pending_labels();
+    }
+}
+
+/// The supervisor's view of the monitor thread, updated by both sides:
+/// the monitor thread refreshes the recovery clone, the serving side
+/// (which owns the join handle) detects deaths and respawns.
+struct Supervision {
+    /// A coherent clone of the monitor half, seeded before the first
+    /// spawn and refreshed by the monitor thread every
+    /// [`SupervisorConfig::clone_interval`] records — what a respawn
+    /// resumes from.
+    recovery: Option<Box<Monitor>>,
+    /// Times a dead monitor thread has been respawned.
+    restarts: u64,
+    /// When the pending respawn is allowed to happen (`Some` while
+    /// health is [`ShardHealth::Restarting`]).
+    next_restart_at: Option<std::time::Instant>,
+    /// Seeded-jitter respawn backoff, shared across this engine's whole
+    /// restart budget (it resets only with the engine).
+    backoff: Backoff,
+    health: ShardHealth,
+    /// Cumulative tuples scored but never monitored because they fell
+    /// into a monitor-death gap (lost with a dead incarnation's
+    /// un-cloned progress, or served unmonitored during restart backoff).
+    gap_tuples: u64,
+}
+
 /// Everything the two sides share.
 struct Shared {
     queue: BoundedQueue,
     model: ModelSlot,
     stats: Mutex<PublishedState>,
+    sup: Mutex<Supervision>,
+    /// Records between recovery-clone refreshes on the monitor thread.
+    clone_every: u32,
+    /// The last drop counters acknowledged by a drop event on the trail.
+    /// Lives here — not on the monitor thread's stack — so the baseline
+    /// survives a respawn (no re-emission of already-reported drops) and
+    /// starts at zero from engine construction (drops racing ahead of a
+    /// freshly spawned thread's first poll are still diffed and emitted).
+    dropped_reported: Mutex<DropCounters>,
 }
 
 /// The asynchronous serving engine: `ingest` returns decisions straight
@@ -483,30 +571,27 @@ impl AsyncEngine {
                 seen: monitor.tuples_seen(),
                 retrains: monitor.retrain_count(),
                 alerts: monitor.alerts().to_vec(),
-                retrain_errors: Vec::new(),
+                retrain_errors: VecDeque::new(),
+                retrain_failures: 0,
                 monitor_error: None,
                 joins: monitor.join_stats(),
                 pending_labels: monitor.pending_labels(),
             }),
+            sup: Mutex::new(Supervision {
+                // Seed the recovery clone *before* the first spawn, so a
+                // monitor that dies on its very first record is still
+                // recoverable.
+                recovery: Some(Box::new(monitor.clone())),
+                restarts: 0,
+                next_restart_at: None,
+                backoff: async_config.supervisor.backoff(),
+                health: ShardHealth::Live,
+                gap_tuples: 0,
+            }),
+            clone_every: async_config.supervisor.clone_interval(),
+            dropped_reported: Mutex::new(DropCounters::default()),
         });
-        let thread_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("cf-stream-monitor".into())
-            .spawn(move || {
-                // Close the queue on *any* exit — clean shutdown or a
-                // panic unwinding this thread — so producers blocked on
-                // backpressure or a flush ack fail fast instead of
-                // hanging (the guard's Drop runs during unwinding too).
-                struct CloseOnExit<'a>(&'a BoundedQueue);
-                impl Drop for CloseOnExit<'_> {
-                    fn drop(&mut self) {
-                        self.0.close();
-                    }
-                }
-                let _guard = CloseOnExit(&thread_shared.queue);
-                monitor_loop(monitor, &thread_shared)
-            })
-            .expect("spawn monitor thread");
+        let handle = spawn_monitor(monitor, &shared);
         AsyncEngine {
             scorer: Some(scorer),
             shared,
@@ -554,7 +639,7 @@ impl AsyncEngine {
     /// # Errors
     /// [`StreamError::Async`] when the monitor thread is gone.
     pub fn set_sink(&mut self, sink: SharedSink) -> Result<()> {
-        self.ensure_monitor_alive()?;
+        self.supervise(false)?;
         self.shared
             .queue
             .push_control(MonitorMsg::SetSink(Some(sink)));
@@ -567,7 +652,7 @@ impl AsyncEngine {
     /// # Errors
     /// [`StreamError::Async`] when the monitor thread is gone.
     pub fn clear_sink(&mut self) -> Result<()> {
-        self.ensure_monitor_alive()?;
+        self.supervise(false)?;
         self.shared.queue.push_control(MonitorMsg::SetSink(None));
         Ok(())
     }
@@ -589,7 +674,7 @@ impl AsyncEngine {
     /// # Errors
     /// [`StreamError::Async`] when the monitor thread is gone.
     pub fn set_metrics(&mut self, metrics: StreamMetrics) -> Result<()> {
-        self.ensure_monitor_alive()?;
+        self.supervise(false)?;
         self.shared
             .queue
             .push_control(MonitorMsg::SetMetrics(metrics.clone()));
@@ -626,7 +711,12 @@ impl AsyncEngine {
     /// # Errors
     /// Validation errors reject the whole batch before anything is scored
     /// or enqueued, exactly as in the sync engine;
-    /// [`StreamError::Async`] when the monitor thread is gone.
+    /// [`StreamError::Async`] only once the monitor thread has died
+    /// *and* the supervisor's restart budget is exhausted
+    /// ([`ShardHealth::Dead`]). While restarts remain, a monitor death
+    /// never fails `ingest`: decisions keep flowing, and tuples served
+    /// during the restart window are accounted as a monitoring gap
+    /// ([`AsyncEngine::monitor_gap_tuples`]).
     pub fn ingest(&mut self, batch: &[StreamTuple]) -> Result<Vec<u8>> {
         let d = self.scorer().schema().len();
         for (i, t) in batch.iter().enumerate() {
@@ -648,7 +738,7 @@ impl AsyncEngine {
     /// Score + enqueue after validation (shared with the sharded router,
     /// which validates whole mixed batches itself).
     pub(crate) fn ingest_prevalidated_owned(&mut self, batch: Vec<StreamTuple>) -> Result<Vec<u8>> {
-        self.ensure_monitor_alive()?;
+        self.supervise(false)?;
         let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         // Pick up a pending retrain before scoring: one wait-free atomic
         // swap, no lock around the model parameters.
@@ -662,12 +752,31 @@ impl AsyncEngine {
             return Ok(decisions);
         }
         let n = batch.len() as u64;
-        self.shared.queue.push_record(
+        if self.health() == ShardHealth::Restarting {
+            // The monitor is between incarnations: serve unmonitored
+            // rather than block or fail. These tuples burn ids but never
+            // reach a queue, so the gap arithmetic at respawn counts
+            // them automatically.
+            self.scored += n;
+            self.refresh_serving_metrics();
+            return Ok(decisions);
+        }
+        if let Err(push_err) = self.shared.queue.push_record(
             self.scored,
             batch,
             decisions.clone(),
             self.async_config.backpressure,
-        )?;
+        ) {
+            // The consumer died between the liveness check and the push.
+            // The batch was served either way, so burn its ids *first* —
+            // the tuples never reached a queue, which makes them gap
+            // tuples at the respawn the supervisor now schedules (or
+            // performs). Only a dead budget surfaces as an error.
+            self.scored += n;
+            self.supervise(false).map_err(|_| push_err)?;
+            self.refresh_serving_metrics();
+            return Ok(decisions);
+        }
         self.scored += n;
         if let (Some(m), Some(started)) = (&self.metrics, started) {
             m.ingest_latency_us
@@ -697,7 +806,7 @@ impl AsyncEngine {
     /// validated here, synchronously, before anything is enqueued);
     /// [`StreamError::Async`] when the monitor thread is gone.
     pub fn feedback(&mut self, feedback: &[LabelFeedback]) -> Result<()> {
-        self.ensure_monitor_alive()?;
+        self.supervise(false)?;
         for record in feedback {
             if record.label >= 2 {
                 return Err(StreamError::BadLabel(record.label));
@@ -725,12 +834,22 @@ impl AsyncEngine {
     /// same batches.
     ///
     /// # Errors
-    /// [`StreamError::Async`] when the monitor thread is gone.
+    /// [`StreamError::Async`] only once the restart budget is exhausted:
+    /// a monitor death mid-flush is respawned (immediately — a barrier
+    /// wants quiescence, not backoff pacing) and the flush retried, each
+    /// death charging the same bounded budget.
     pub fn flush(&mut self) -> Result<()> {
-        self.ensure_monitor_alive()?;
-        let (ack_tx, ack_rx) = mpsc::channel();
-        self.shared.queue.push_control(MonitorMsg::Flush(ack_tx));
-        self.recv_from_monitor(&ack_rx, "flush")?;
+        loop {
+            self.supervise(true)?;
+            let (ack_tx, ack_rx) = mpsc::channel();
+            self.shared.queue.push_control(MonitorMsg::Flush(ack_tx));
+            // A dead consumer leaves the un-acked barrier in the queue;
+            // the respawned one (next iteration) acks it into a dropped
+            // receiver, which is harmless.
+            if self.recv_from_monitor(&ack_rx, "flush").is_ok() {
+                break;
+            }
+        }
         if let Some(model) = self.shared.model.take() {
             self.scorer_mut().install(model);
         }
@@ -771,10 +890,16 @@ impl AsyncEngine {
     /// [`StreamError::Checkpoint`] when the predictor does not support
     /// serialisation.
     pub fn checkpoint(&mut self) -> Result<EngineCheckpoint> {
-        self.flush()?;
-        let (tx, rx) = mpsc::channel();
-        self.shared.queue.push_control(MonitorMsg::Checkpoint(tx));
-        let monitor = self.recv_from_monitor(&rx, "checkpoint")?;
+        let monitor = loop {
+            self.flush()?;
+            let (tx, rx) = mpsc::channel();
+            self.shared.queue.push_control(MonitorMsg::Checkpoint(tx));
+            // A death between the flush ack and the state reply re-runs
+            // both (each death bounded by the restart budget).
+            if let Ok(monitor) = self.recv_from_monitor(&rx, "checkpoint") {
+                break monitor;
+            }
+        };
         // The clone shares the live monitor's sink (it is an `Arc`), so
         // the `"taken"` marker lands on the same trail — at the quiescent
         // point the flush above established.
@@ -814,11 +939,12 @@ impl AsyncEngine {
 
     /// How far the monitor lags the scorer, in tuples. 0 after a
     /// [`AsyncEngine::flush`] (tuples dropped under
-    /// [`BackpressurePolicy::DropOldest`] are subtracted — they will never
-    /// be monitored).
+    /// [`BackpressurePolicy::DropOldest`] and tuples lost to
+    /// monitor-death gaps are subtracted — they will never be monitored).
     pub fn monitor_lag(&self) -> u64 {
-        self.scored
-            .saturating_sub(self.stats(|s| s.seen) + self.dropped().tuples)
+        self.scored.saturating_sub(
+            self.stats(|s| s.seen) + self.dropped().tuples + self.monitor_gap_tuples(),
+        )
     }
 
     /// Records currently waiting in the queue (the monitor's backlog).
@@ -871,13 +997,28 @@ impl AsyncEngine {
         self.stats(|s| s.retrains)
     }
 
-    /// Errors from failed on-alert retrains, in occurrence order. The
-    /// sync engine reports these per batch in
+    /// Errors from the most recent failed repair episodes, oldest first.
+    /// The sync engine reports these per batch in
     /// [`IngestOutcome::retrain_error`](crate::IngestOutcome); here they
     /// accumulate because the failing batch was already served when the
-    /// retrain ran.
+    /// retrain ran — bounded to the last `RETRAIN_ERROR_CAP` (32) so a
+    /// persistently failing retrain cannot grow memory without limit
+    /// ([`AsyncEngine::retrain_failure_count`] keeps the total).
     pub fn retrain_errors(&self) -> Vec<StreamError> {
-        self.stats(|s| s.retrain_errors.clone())
+        self.stats(|s| s.retrain_errors.iter().cloned().collect())
+    }
+
+    /// Failed repair episodes ever, including those whose errors have
+    /// rotated out of the [`AsyncEngine::retrain_errors`] ring.
+    pub fn retrain_failure_count(&self) -> u64 {
+        self.stats(|s| s.retrain_failures)
+    }
+
+    /// Whether the monitor's latest published state reports degraded
+    /// mode (a repair episode exhausted its budget; the stale model
+    /// keeps serving). Current after a [`AsyncEngine::flush`].
+    pub fn is_degraded(&self) -> bool {
+        self.stats(|s| s.snapshot.degraded)
     }
 
     /// A monitoring-side failure, if one ever occurred (record shape
@@ -915,13 +1056,151 @@ impl AsyncEngine {
         read(&self.shared.stats.lock().expect("stats mutex poisoned"))
     }
 
-    fn ensure_monitor_alive(&self) -> Result<()> {
-        match &self.handle {
-            Some(handle) if !handle.is_finished() && !self.shared.queue.is_closed() => Ok(()),
-            _ => Err(StreamError::Async(
-                "the monitor thread is no longer running".into(),
-            )),
+    /// The supervisor: make sure a monitor thread is (or will be) running.
+    ///
+    /// The fast path — thread alive — is two atomic loads. On a detected
+    /// death the dead handle is reaped, one restart attempt is charged
+    /// against [`SupervisorConfig::max_restarts`], and the respawn is
+    /// scheduled behind the seeded backoff. Until that deadline the
+    /// engine keeps *serving*: health reads [`ShardHealth::Restarting`]
+    /// and `ingest` skips the queue (the skipped tuples are accounted as
+    /// gap at respawn). A respawn resumes from the last recovery clone,
+    /// reopens the queue (retained records are drained in order), resets
+    /// the published view to the clone, and emits a
+    /// [`TelemetryEvent::MonitorRestart`] that re-anchors a replayed
+    /// trail at the clone's absolute counters.
+    ///
+    /// `force` (the flush/checkpoint path) respawns immediately instead
+    /// of waiting out the backoff — a barrier wants quiescence, not
+    /// pacing, and the restart budget still bounds a crash loop.
+    ///
+    /// # Errors
+    /// [`StreamError::Async`] once the budget is exhausted: health is
+    /// [`ShardHealth::Dead`] and stays there.
+    fn supervise(&mut self, force: bool) -> Result<()> {
+        if let Some(handle) = &self.handle {
+            if !handle.is_finished() && !self.shared.queue.is_closed() {
+                return Ok(());
+            }
         }
+        let dead_err = || {
+            StreamError::Async("the monitor thread died and the restart budget is exhausted".into())
+        };
+        // Reap the dead incarnation. Its panic payload (if any) already
+        // went through the panic hook; the supervisor only needs the
+        // thread gone before a replacement takes the queue.
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        let mut sup = self.shared.sup.lock().expect("supervision mutex poisoned");
+        if sup.health == ShardHealth::Dead {
+            return Err(dead_err());
+        }
+        let now = std::time::Instant::now();
+        let deadline = match sup.next_restart_at {
+            Some(deadline) => deadline,
+            None => {
+                // First detection of this death: charge one restart
+                // attempt and schedule the respawn behind the backoff.
+                if sup.restarts >= u64::from(self.async_config.supervisor.max_restarts) {
+                    sup.health = ShardHealth::Dead;
+                    return Err(dead_err());
+                }
+                sup.health = ShardHealth::Restarting;
+                let deadline = now + sup.backoff.next_delay();
+                sup.next_restart_at = Some(deadline);
+                deadline
+            }
+        };
+        if !force && now < deadline {
+            // Not yet: keep serving unmonitored through the backoff
+            // window. The skipped tuples are captured by the gap
+            // arithmetic at respawn.
+            return Ok(());
+        }
+        // Respawn from the recovery clone (which stays in place — if the
+        // replacement dies before its first clone refresh, the next
+        // respawn resumes from the same point; injected fault schedules
+        // share their counters across clones, so a scheduled panic fires
+        // once, not once per incarnation).
+        let monitor = sup
+            .recovery
+            .as_ref()
+            .expect("recovery clone is seeded before the first spawn")
+            .clone();
+        // Every id ever issued is exactly one of: monitored along the
+        // surviving lineage (`clone.tuples_seen()`), dropped under
+        // backpressure, still queued (the respawned monitor will drain
+        // it), or gone — the gap.
+        let gap = self
+            .scored
+            .saturating_sub(self.shared.queue.dropped().tuples)
+            .saturating_sub(self.shared.queue.queued_tuple_count())
+            .saturating_sub(monitor.tuples_seen());
+        sup.gap_tuples += gap;
+        sup.restarts += 1;
+        sup.health = ShardHealth::Live;
+        sup.next_restart_at = None;
+        let restarts = sup.restarts;
+        let gap_total = sup.gap_tuples;
+        drop(sup);
+        {
+            let mut stats = self.shared.stats.lock().expect("stats mutex poisoned");
+            stats.reset_from(&monitor);
+        }
+        // The restart marker lands before the respawned thread processes
+        // anything (the dead consumer is reaped, so nothing else emits),
+        // carrying the clone's absolute counters — the same re-anchor
+        // mechanism a "restored" checkpoint event uses.
+        monitor.emit(TelemetryEvent::MonitorRestart(MonitorRestartEvent {
+            at_tuple: monitor.tuples_seen(),
+            restarts,
+            gap_tuples: gap,
+            resumed_from: monitor.ids_issued(),
+            counters: crate::telemetry::both_counters(monitor.window_counts()),
+            di_floor: monitor.config().di_floor,
+            degraded: monitor.is_degraded(),
+        }));
+        if let Some(m) = &self.metrics {
+            m.monitor_restarts.set_u64(restarts);
+            m.monitor_gap_tuples.set_u64(gap_total);
+        }
+        self.shared.queue.reopen();
+        self.handle = Some(spawn_monitor(*monitor, &self.shared));
+        Ok(())
+    }
+
+    /// This engine's monitor-thread health: [`ShardHealth::Live`] under
+    /// normal operation, [`ShardHealth::Restarting`] while a respawn
+    /// waits out its backoff (serving continues, unmonitored), and
+    /// [`ShardHealth::Dead`] — permanently — once the restart budget is
+    /// exhausted.
+    pub fn health(&self) -> ShardHealth {
+        self.shared
+            .sup
+            .lock()
+            .expect("supervision mutex poisoned")
+            .health
+    }
+
+    /// Times the supervisor respawned a dead monitor thread.
+    pub fn monitor_restarts(&self) -> u64 {
+        self.shared
+            .sup
+            .lock()
+            .expect("supervision mutex poisoned")
+            .restarts
+    }
+
+    /// Cumulative tuples scored but never monitored because they fell
+    /// into a monitor-death gap. Every one of them is accounted in the
+    /// audit trail by a `monitor_restart` event's `gap_tuples`.
+    pub fn monitor_gap_tuples(&self) -> u64 {
+        self.shared
+            .sup
+            .lock()
+            .expect("supervision mutex poisoned")
+            .gap_tuples
     }
 }
 
@@ -936,65 +1215,125 @@ impl Drop for AsyncEngine {
     }
 }
 
+/// Spawn the background consumer for `shared`'s queue — used for the
+/// first spawn and for every supervisor respawn, so both incarnations
+/// behave identically (including the close-on-exit guard that lets
+/// blocked producers and the supervisor detect a death).
+fn spawn_monitor(monitor: Monitor, shared: &Arc<Shared>) -> JoinHandle<Monitor> {
+    let thread_shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("cf-stream-monitor".into())
+        .spawn(move || {
+            // Close the queue on *any* exit — clean shutdown or a
+            // panic unwinding this thread — so producers blocked on
+            // backpressure or a flush ack fail fast instead of
+            // hanging (the guard's Drop runs during unwinding too).
+            struct CloseOnExit<'a>(&'a BoundedQueue);
+            impl Drop for CloseOnExit<'_> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let _guard = CloseOnExit(&thread_shared.queue);
+            monitor_loop(monitor, &thread_shared)
+        })
+        .expect("spawn monitor thread")
+}
+
 /// The single-consumer monitor loop: drain records in order, publish
 /// refreshed state, answer control messages, return the monitor on
 /// shutdown.
 fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
-    // Last drop counters this loop acknowledged: records evicted under
-    // `DropOldest` vanish from the queue without ever reaching the
-    // monitor, so the trail learns about them here — by diffing the
-    // queue's counters before processing each surviving message, which
-    // places the drop event at its queue-order position.
-    let mut dropped_seen = shared.queue.dropped();
+    // Records evicted under `DropOldest` vanish from the queue without
+    // ever reaching the monitor, so the trail learns about them here —
+    // by diffing the queue's counters against `shared.dropped_reported`
+    // before processing each surviving message, which places the drop
+    // event at its queue-order position. The baseline lives in `Shared`
+    // (not on this stack) so drops racing ahead of a freshly spawned
+    // thread are still diffed, and a respawn never re-emits drops its
+    // dead predecessor already reported.
+    //
+    // Records since the recovery clone was last refreshed; the clone is
+    // the supervisor's respawn point, so the interval bounds how much
+    // monitoring progress one thread death can lose.
+    let mut since_clone: u32 = 0;
     loop {
         let msg = shared.queue.pop();
         let dropped_now = shared.queue.dropped();
-        if dropped_now != dropped_seen {
-            monitor.emit(TelemetryEvent::Drop(DropEvent {
-                at_tuple: monitor.tuples_seen(),
-                batches: dropped_now.batches,
-                tuples: dropped_now.tuples,
-            }));
-            if let Some(m) = &monitor.metrics {
-                m.dropped_batches.set_u64(dropped_now.batches);
-                m.dropped_tuples.set_u64(dropped_now.tuples);
+        {
+            let mut reported = shared
+                .dropped_reported
+                .lock()
+                .expect("drop-baseline mutex poisoned");
+            if dropped_now != *reported {
+                monitor.emit(TelemetryEvent::Drop(DropEvent {
+                    at_tuple: monitor.tuples_seen(),
+                    batches: dropped_now.batches,
+                    tuples: dropped_now.tuples,
+                }));
+                if let Some(m) = &monitor.metrics {
+                    m.dropped_batches.set_u64(dropped_now.batches);
+                    m.dropped_tuples.set_u64(dropped_now.tuples);
+                }
+                *reported = dropped_now;
             }
-            dropped_seen = dropped_now;
         }
         match msg {
             MonitorMsg::Record {
                 first_id,
                 tuples,
                 decisions,
-            } => match monitor.observe_with_ids(&tuples, &decisions, first_id) {
-                Ok(outcome) => {
-                    if let Some(model) = outcome.model {
-                        shared.model.publish(model);
-                        // The swap slot is the async engine's publication
-                        // point, so the swap event is emitted here — after
-                        // repair_end, exactly as the sync engine orders it.
-                        monitor.emit_model_swap();
+            } => {
+                // The deterministic monitor-death seam: an installed
+                // fault plan can kill this thread here, before the
+                // record is folded in — the supervisor's job is to make
+                // that invisible to serving.
+                #[cfg(feature = "fault-injection")]
+                monitor.observe_failpoint();
+                match monitor.observe_with_ids(&tuples, &decisions, first_id) {
+                    Ok(outcome) => {
+                        if let Some(model) = outcome.model {
+                            shared.model.publish(model);
+                            // The swap slot is the async engine's publication
+                            // point, so the swap event is emitted here — after
+                            // repair_end, exactly as the sync engine orders it.
+                            monitor.emit_model_swap();
+                        }
+                        let mut stats = shared.stats.lock().expect("stats mutex poisoned");
+                        stats.snapshot = outcome.snapshot;
+                        stats.counts = *monitor.window_counts();
+                        stats.window_len = monitor.window_len();
+                        stats.seen = monitor.tuples_seen();
+                        stats.retrains = monitor.retrain_count();
+                        stats.alerts.extend_from_slice(&outcome.alerts);
+                        stats.joins = monitor.join_stats();
+                        stats.pending_labels = monitor.pending_labels();
+                        if let Some(e) = outcome.retrain_error {
+                            if stats.retrain_errors.len() == RETRAIN_ERROR_CAP {
+                                stats.retrain_errors.pop_front();
+                            }
+                            stats.retrain_errors.push_back(e);
+                            stats.retrain_failures += 1;
+                        }
                     }
-                    let mut stats = shared.stats.lock().expect("stats mutex poisoned");
-                    stats.snapshot = outcome.snapshot;
-                    stats.counts = *monitor.window_counts();
-                    stats.window_len = monitor.window_len();
-                    stats.seen = monitor.tuples_seen();
-                    stats.retrains = monitor.retrain_count();
-                    stats.alerts.extend_from_slice(&outcome.alerts);
-                    stats.joins = monitor.join_stats();
-                    stats.pending_labels = monitor.pending_labels();
-                    if let Some(e) = outcome.retrain_error {
-                        stats.retrain_errors.push(e);
+                    Err(e) => {
+                        let mut stats = shared.stats.lock().expect("stats mutex poisoned");
+                        if stats.monitor_error.is_none() {
+                            stats.monitor_error = Some(e);
+                        }
                     }
                 }
-                Err(e) => {
-                    let mut stats = shared.stats.lock().expect("stats mutex poisoned");
-                    if stats.monitor_error.is_none() {
-                        stats.monitor_error = Some(e);
-                    }
+                since_clone += 1;
+                if since_clone >= shared.clone_every {
+                    since_clone = 0;
+                    let clone = Box::new(monitor.clone());
+                    shared
+                        .sup
+                        .lock()
+                        .expect("supervision mutex poisoned")
+                        .recovery = Some(clone);
                 }
-            },
+            }
             MonitorMsg::Feedback(records) => {
                 // Ids in a dropped record's range resolve as unmatched
                 // inside the join, so validated feedback cannot fail here
@@ -1017,8 +1356,17 @@ fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
             }
             MonitorMsg::Flush(ack) => {
                 // Everything enqueued before the barrier has been
-                // processed (single consumer, FIFO queue); the ack's
-                // receiver may have given up — that is its business.
+                // processed (single consumer, FIFO queue) — a quiescent
+                // point, so refresh the recovery clone: a later death
+                // resumes from here rather than an older mid-stream
+                // point. The ack's receiver may have given up — that is
+                // its business.
+                since_clone = 0;
+                shared
+                    .sup
+                    .lock()
+                    .expect("supervision mutex poisoned")
+                    .recovery = Some(Box::new(monitor.clone()));
                 let _ = ack.send(());
             }
             MonitorMsg::Checkpoint(tx) => {

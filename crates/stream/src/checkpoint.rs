@@ -46,7 +46,11 @@ use confair_core::PredictorState;
 /// * **2** — two-plane window: slots carry ids and optional labels, the
 ///   document adds the label ring, the pending-join index, the
 ///   `pending_labels` bound, and the `ids_issued` clock.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// * **3** — robustness state: the configuration gains the `repair`
+///   retry/timeout budget and the document records whether the engine was
+///   serving in degraded mode. Older documents upgrade in place with the
+///   default budget and `degraded: false`.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// The oldest checkpoint format version this build can still read (via
 /// the in-place upgrade in `from_json`).
@@ -92,6 +96,9 @@ pub struct EngineCheckpoint {
     /// Stream position until which DI-floor alerts stay suppressed
     /// (cooldown hysteresis).
     pub floor_quiet_until: u64,
+    /// Whether the engine was serving in degraded mode (an on-alert
+    /// repair episode had exhausted its budget without a later success).
+    pub degraded: bool,
 }
 
 /// Build the audit event for a checkpoint boundary (`phase` is
@@ -222,11 +229,43 @@ fn upgrade_v1_engine(doc: &mut serde::Value) -> Result<()> {
     };
     set_field(doc, "config", config)?;
     set_field(doc, "ids_issued", serde::Value::Number(seen as f64))?;
+    set_field(doc, "version", serde::Value::Number(2.0))?;
+    Ok(())
+}
+
+/// Upgrade one engine-checkpoint object from format v2 to v3, in place: a
+/// v2 document predates the repair budget and degraded mode, so the
+/// configuration gains the default [`RepairConfig`](crate::RepairConfig)
+/// and the engine restores healthy.
+fn upgrade_v2_engine(doc: &mut serde::Value) -> Result<()> {
+    let config = {
+        let mut c = field(doc, "config")?.clone();
+        set_field(
+            &mut c,
+            "repair",
+            serde::Serialize::to_value(&crate::supervise::RepairConfig::default()),
+        )?;
+        c
+    };
+    set_field(doc, "config", config)?;
+    set_field(doc, "degraded", serde::Value::Bool(false))?;
     set_field(
         doc,
         "version",
         serde::Value::Number(f64::from(CHECKPOINT_VERSION)),
     )?;
+    Ok(())
+}
+
+/// Run the in-place upgrade chain on one engine-checkpoint object whose
+/// writer's format was `version`, leaving it at [`CHECKPOINT_VERSION`].
+fn upgrade_engine(doc: &mut serde::Value, version: u32) -> Result<()> {
+    if version < 2 {
+        upgrade_v1_engine(doc)?;
+    }
+    if version < 3 {
+        upgrade_v2_engine(doc)?;
+    }
     Ok(())
 }
 
@@ -252,8 +291,9 @@ impl EngineCheckpoint {
     /// malformed JSON or missing/ill-typed fields. Never panics.
     pub fn from_json(json: &str) -> Result<Self> {
         let mut doc = parse_document(json)?;
-        if check_version(&doc)? < CHECKPOINT_VERSION {
-            upgrade_v1_engine(&mut doc)?;
+        let version = check_version(&doc)?;
+        if version < CHECKPOINT_VERSION {
+            upgrade_engine(&mut doc, version)?;
         }
         serde::Deserialize::from_value(&doc).map_err(|e| StreamError::Checkpoint(e.to_string()))
     }
@@ -294,13 +334,14 @@ impl ShardedCheckpoint {
     /// never a panic.
     pub fn from_json(json: &str) -> Result<Self> {
         let mut doc = parse_document(json)?;
-        if check_version(&doc)? < CHECKPOINT_VERSION {
+        let version = check_version(&doc)?;
+        if version < CHECKPOINT_VERSION {
             let mut shards = field(&doc, "shards")?
                 .as_array()
                 .ok_or_else(|| StreamError::Checkpoint("`shards` is not an array".into()))?
                 .clone();
             for shard in &mut shards {
-                upgrade_v1_engine(shard)?;
+                upgrade_engine(shard, version)?;
             }
             set_field(&mut doc, "shards", serde::Value::Array(shards))?;
             set_field(

@@ -24,6 +24,7 @@ use crate::checkpoint::EngineCheckpoint;
 use crate::drift::{DriftAlert, PageHinkley, PageHinkleyConfig};
 use crate::monitor::{CellProfiles, FairnessSnapshot, Monitor};
 use crate::scorer::Scorer;
+use crate::supervise::RepairConfig;
 use crate::telemetry::StreamMetrics;
 use crate::window::{GroupCounts, SlidingWindow};
 use crate::{Result, StreamError};
@@ -173,6 +174,9 @@ pub struct StreamConfig {
     pub confair: ConFairConfig,
     /// Retraining behaviour.
     pub retrain: RetrainPolicy,
+    /// Retry/timeout budget for an on-alert repair episode; exhausting it
+    /// flips the engine into degraded mode (stale model keeps serving).
+    pub repair: RepairConfig,
 }
 
 impl Default for StreamConfig {
@@ -188,6 +192,7 @@ impl Default for StreamConfig {
             pending_labels: 4_096,
             confair: ConFairConfig::default(),
             retrain: RetrainPolicy::Never,
+            repair: RepairConfig::default(),
         }
     }
 }
@@ -438,12 +443,50 @@ impl StreamEngine {
 
     /// The retraining hook: re-run ConFair on the window's contents, swap
     /// in the new model, re-derive the reference profiles from the window
-    /// (the stream's new normal), and reset the drift detectors.
+    /// (the stream's new normal), and reset the drift detectors. A panic
+    /// inside retraining is contained and surfaced as
+    /// [`StreamError::RetrainPanicked`]; a success clears degraded mode.
     pub fn retrain_now(&mut self) -> Result<()> {
-        let predictor = self.monitor.retrain()?;
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.monitor.retrain()));
+        let predictor = match outcome {
+            Ok(result) => result?,
+            Err(payload) => {
+                return Err(StreamError::RetrainPanicked(crate::monitor::panic_text(
+                    payload.as_ref(),
+                )))
+            }
+        };
         self.scorer.install(predictor);
         self.monitor.emit_model_swap();
+        self.monitor.clear_degraded();
         Ok(())
+    }
+
+    /// Whether the engine is serving in degraded mode (an on-alert repair
+    /// episode exhausted its [`RepairConfig`] budget; the stale model
+    /// keeps serving until a later retrain succeeds).
+    pub fn is_degraded(&self) -> bool {
+        self.monitor.is_degraded()
+    }
+
+    /// Audit events dropped because the telemetry sink lock was poisoned
+    /// by a panicked subscriber.
+    pub fn telemetry_disabled_count(&self) -> u64 {
+        self.monitor.telemetry_disabled_count()
+    }
+
+    /// The most recent telemetry failure, if any (`None` = healthy trail).
+    pub fn telemetry_last_error(&self) -> Option<String> {
+        self.monitor.telemetry_last_error()
+    }
+
+    /// Install a deterministic fault plan (test/chaos builds only): the
+    /// plan's seams fire inside this engine's retrain and monitor paths,
+    /// byte-for-byte reproducibly.
+    #[cfg(feature = "fault-injection")]
+    pub fn inject_faults(&mut self, plan: crate::faults::FaultPlan) {
+        self.monitor.inject_faults(plan);
     }
 
     /// Snapshot the engine's complete serving and monitoring state as a
@@ -506,6 +549,11 @@ impl StreamEngine {
             floor_quiet_until: ckpt.floor_quiet_until,
             sink: None,
             metrics: None,
+            degraded: ckpt.degraded,
+            telemetry_disabled: std::cell::Cell::new(0),
+            telemetry_error: std::cell::RefCell::new(None),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         };
         Ok(StreamEngine {
             scorer,
@@ -631,6 +679,7 @@ pub(crate) fn checkpoint_from_parts(
         ids_issued: monitor.ids_issued,
         retrains: monitor.retrains,
         floor_quiet_until: monitor.floor_quiet_until,
+        degraded: monitor.degraded,
     })
 }
 

@@ -1,0 +1,289 @@
+//! Deterministic fault injection for the stream stack (compiled only
+//! with the default-on `fault-injection` feature).
+//!
+//! A [`FaultPlan`] is a *schedule*, not a probability: it names the
+//! exact retrain attempts that fail (and how — typed error or panic)
+//! and the exact batch counts at which the monitor thread dies. Two
+//! runs with the same plan inject the same faults at the same points,
+//! which is what lets the chaos suite assert byte-identical recovery
+//! against a fault-free twin. [`FaultPlan::seeded`] derives a random
+//! schedule from a seed for property tests.
+//!
+//! The counters inside a plan are `Arc`-shared **across monitor
+//! clones**. That matters for supervision: the recovery clone a
+//! supervisor respawns from was taken *before* the crash, but it shares
+//! the plan's fired-fault cursor with the monitor that died — so a
+//! scheduled panic fires exactly once per scheduled point, not once per
+//! incarnation, and a respawned monitor does not re-enter the crash
+//! loop it just recovered from.
+//!
+//! The third seam the issue names — sink write failures — lives with
+//! the sinks themselves: see `WriteFaultPlan` in `cf-telemetry`.
+//!
+//! Injected panics unwind via [`std::panic::resume_unwind`], skipping
+//! the global panic hook: chaos runs do not spray backtraces for
+//! failures the test itself scheduled.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The panic payload every injected panic carries, so tests (and the
+/// supervisor's reaped join handles) can tell scheduled faults from
+/// genuine bugs.
+pub const INJECTED_PANIC: &str = "cf-stream injected fault";
+
+/// Unwind with the [`INJECTED_PANIC`] payload, bypassing the panic hook.
+pub(crate) fn injected_panic() -> ! {
+    std::panic::resume_unwind(Box::new(INJECTED_PANIC))
+}
+
+/// How a scheduled retrain fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The retrain attempt returns
+    /// [`StreamError::Injected`](crate::StreamError::Injected).
+    Error,
+    /// The retrain attempt panics (the engine converts this to an error
+    /// via `catch_unwind`, exercising the panic-recovery path).
+    Panic,
+}
+
+/// A schedule of failing retrain attempts, keyed by a global 0-based
+/// attempt counter that every clone of the owning
+/// [`Monitor`](crate::Monitor) shares.
+#[derive(Debug, Clone)]
+pub struct RetrainFaults {
+    /// `(attempt index, kind)`, sorted by attempt index.
+    schedule: Arc<Vec<(u64, FaultKind)>>,
+    attempts: Arc<AtomicU64>,
+    injected: Arc<AtomicU64>,
+}
+
+impl RetrainFaults {
+    /// Fault the given 0-based attempt indices (order and duplicates are
+    /// normalised away).
+    pub fn at_attempts(mut entries: Vec<(u64, FaultKind)>) -> Self {
+        entries.sort_by_key(|(i, _)| *i);
+        entries.dedup_by_key(|(i, _)| *i);
+        RetrainFaults {
+            schedule: Arc::new(entries),
+            attempts: Arc::new(AtomicU64::new(0)),
+            injected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Fault the first `n` attempts, all with the same `kind` — the
+    /// "learner is down, then recovers" shape.
+    pub fn fail_first(n: u64, kind: FaultKind) -> Self {
+        Self::at_attempts((0..n).map(|i| (i, kind)).collect())
+    }
+
+    /// Consume one attempt slot; `Some(kind)` when this attempt is
+    /// scheduled to fault.
+    pub(crate) fn on_attempt(&self) -> Option<FaultKind> {
+        let attempt = self.attempts.fetch_add(1, Ordering::SeqCst);
+        let kind = self
+            .schedule
+            .binary_search_by_key(&attempt, |(i, _)| *i)
+            .ok()
+            .map(|ix| self.schedule[ix].1);
+        if kind.is_some() {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        kind
+    }
+
+    /// Retrain attempts the plan has seen (across all clones).
+    pub fn attempts_seen(&self) -> u64 {
+        self.attempts.load(Ordering::SeqCst)
+    }
+
+    /// Faults actually fired so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Total faults the schedule will ever fire.
+    pub fn scheduled(&self) -> u64 {
+        self.schedule.len() as u64
+    }
+}
+
+/// A schedule of monitor-thread deaths, keyed by a global count of
+/// batches observed (shared across monitor clones — see module docs).
+#[derive(Debug, Clone)]
+pub struct MonitorPanics {
+    /// Cumulative batch counts at which to panic, strictly increasing.
+    at_batches: Arc<Vec<u64>>,
+    observed: Arc<AtomicU64>,
+    cursor: Arc<AtomicUsize>,
+}
+
+impl MonitorPanics {
+    /// Panic when the cumulative observed-batch count reaches each of
+    /// `batches` (1-based: `vec![3]` dies processing the 3rd batch).
+    /// Zeroes and duplicates are normalised away.
+    pub fn at_batches(mut batches: Vec<u64>) -> Self {
+        batches.retain(|&b| b > 0);
+        batches.sort_unstable();
+        batches.dedup();
+        MonitorPanics {
+            at_batches: Arc::new(batches),
+            observed: Arc::new(AtomicU64::new(0)),
+            cursor: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Die once, processing the `n`th batch.
+    pub fn after(n: u64) -> Self {
+        Self::at_batches(vec![n])
+    }
+
+    /// Count one observed batch; `true` when the thread should die now.
+    pub(crate) fn on_batch(&self) -> bool {
+        let n = self.observed.fetch_add(1, Ordering::SeqCst) + 1;
+        let cursor = self.cursor.load(Ordering::SeqCst);
+        if cursor < self.at_batches.len() && n >= self.at_batches[cursor] {
+            self.cursor.store(cursor + 1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Panics fired so far.
+    pub fn fired(&self) -> u64 {
+        self.cursor.load(Ordering::SeqCst) as u64
+    }
+
+    /// Total deaths the schedule will ever fire.
+    pub fn scheduled(&self) -> u64 {
+        self.at_batches.len() as u64
+    }
+}
+
+/// A complete, deterministic fault schedule for one engine.
+///
+/// Install with
+/// [`StreamEngine::inject_faults`](crate::StreamEngine::inject_faults)
+/// *before* wrapping the engine in
+/// an [`AsyncEngine`](crate::AsyncEngine) — the plan travels with the
+/// monitor half, shared counters and all.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Scheduled retrain failures, if any.
+    pub retrain: Option<RetrainFaults>,
+    /// Scheduled monitor-thread deaths, if any.
+    pub monitor: Option<MonitorPanics>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a retrain fault schedule.
+    pub fn with_retrain(mut self, faults: RetrainFaults) -> Self {
+        self.retrain = Some(faults);
+        self
+    }
+
+    /// Add a monitor-death schedule.
+    pub fn with_monitor_panics(mut self, panics: MonitorPanics) -> Self {
+        self.monitor = Some(panics);
+        self
+    }
+
+    /// Derive a random-but-reproducible schedule from a seed: up to 4
+    /// faulted retrain attempts among the first 6, and up to 2 monitor
+    /// deaths within the first 24 batches. Same seed, same schedule.
+    pub fn seeded(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let retrain_faults = rng.gen_range(0..=4u32);
+        let mut entries = Vec::new();
+        for _ in 0..retrain_faults {
+            let kind = if rng.gen_bool(0.5) {
+                FaultKind::Error
+            } else {
+                FaultKind::Panic
+            };
+            entries.push((rng.gen_range(0..6u64), kind));
+        }
+        let deaths = rng.gen_range(0..=2u32);
+        let batches = (0..deaths).map(|_| rng.gen_range(1..=24u64)).collect();
+        FaultPlan {
+            retrain: (!entries.is_empty()).then(|| RetrainFaults::at_attempts(entries)),
+            monitor: (deaths > 0).then(|| MonitorPanics::at_batches(batches)),
+        }
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.retrain.is_none() && self.monitor.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrain_schedule_fires_exactly_at_its_indices() {
+        let faults = RetrainFaults::at_attempts(vec![(3, FaultKind::Panic), (1, FaultKind::Error)]);
+        let observed: Vec<Option<FaultKind>> = (0..5).map(|_| faults.on_attempt()).collect();
+        assert_eq!(
+            observed,
+            vec![
+                None,
+                Some(FaultKind::Error),
+                None,
+                Some(FaultKind::Panic),
+                None
+            ]
+        );
+        assert_eq!(faults.attempts_seen(), 5);
+        assert_eq!(faults.injected(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_attempt_counter() {
+        let faults = RetrainFaults::fail_first(1, FaultKind::Error);
+        let twin = faults.clone();
+        assert_eq!(faults.on_attempt(), Some(FaultKind::Error));
+        // The clone sees attempt 1, already past the scheduled fault.
+        assert_eq!(twin.on_attempt(), None);
+        assert_eq!(faults.attempts_seen(), 2);
+    }
+
+    #[test]
+    fn monitor_panics_fire_once_per_scheduled_point() {
+        let panics = MonitorPanics::at_batches(vec![2, 4]);
+        let clone = panics.clone();
+        assert!(!panics.on_batch()); // batch 1
+        assert!(panics.on_batch()); // batch 2: die
+                                    // The respawned clone continues the shared count — no re-fire at 2.
+        assert!(!clone.on_batch()); // batch 3
+        assert!(clone.on_batch()); // batch 4: die again
+        assert!(!clone.on_batch()); // batch 5: schedule exhausted
+        assert_eq!(panics.fired(), 2);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = FaultPlan::seeded(seed);
+            let b = FaultPlan::seeded(seed);
+            assert_eq!(
+                a.retrain.as_ref().map(RetrainFaults::scheduled),
+                b.retrain.as_ref().map(RetrainFaults::scheduled)
+            );
+            assert_eq!(
+                a.monitor.as_ref().map(MonitorPanics::scheduled),
+                b.monitor.as_ref().map(MonitorPanics::scheduled)
+            );
+        }
+    }
+}

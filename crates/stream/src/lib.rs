@@ -61,9 +61,12 @@ pub mod async_engine;
 pub mod checkpoint;
 pub mod drift;
 pub mod engine;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod monitor;
 pub mod scorer;
 pub mod sharded;
+pub mod supervise;
 pub mod telemetry;
 pub mod window;
 
@@ -73,11 +76,14 @@ pub use drift::{DriftAlert, DriftKind, PageHinkley, PageHinkleyConfig, PageHinkl
 pub use engine::{
     IngestOutcome, LabelFeedback, RetrainPolicy, StreamConfig, StreamEngine, StreamTuple,
 };
+#[cfg(feature = "fault-injection")]
+pub use faults::{FaultKind, FaultPlan, MonitorPanics, RetrainFaults};
 pub use monitor::{FairnessSnapshot, FeedbackOutcome, Monitor, ObserveOutcome};
 pub use scorer::Scorer;
 pub use sharded::{
     ShardedAsyncEngine, ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple,
 };
+pub use supervise::{Backoff, RepairConfig, ShardHealth, SupervisorConfig};
 pub use telemetry::StreamMetrics;
 pub use window::{
     GroupCounts, JoinStats, LabelJoin, LabelSlot, PendingLabel, SlidingWindow, SlotMeta,
@@ -139,6 +145,14 @@ pub enum StreamError {
         /// Ids issued so far (valid feedback keys are `0..issued`).
         issued: u64,
     },
+    /// A retrain attempt panicked; the panic was contained by the repair
+    /// loop and converted into this error so the stale model keeps
+    /// serving.
+    RetrainPanicked(String),
+    /// A deterministic fault-injection seam fired (only ever produced
+    /// under the `fault-injection` feature, by an installed
+    /// `FaultPlan`).
+    Injected(String),
 }
 
 impl StreamError {
@@ -174,6 +188,10 @@ impl std::fmt::Display for StreamError {
                     "checkpoint version {found} (this build reads {expected})"
                 )
             }
+            StreamError::RetrainPanicked(msg) => {
+                write!(f, "a retrain attempt panicked: {msg}")
+            }
+            StreamError::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

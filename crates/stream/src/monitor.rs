@@ -76,6 +76,13 @@ pub struct FairnessSnapshot {
     pub labeled: [u64; 2],
     /// The DI* floor this stream is held to (EEOC four-fifths: 0.8).
     pub di_floor: f64,
+    /// Whether the engine is serving in degraded mode: an on-alert repair
+    /// episode exhausted its retry/timeout budget
+    /// ([`RepairConfig`](crate::RepairConfig)), so the stale model keeps
+    /// serving until a later retrain succeeds. Live-engine state, not
+    /// window arithmetic: counter-derived snapshots (including replayed
+    /// ones) report `false`.
+    pub degraded: bool,
 }
 
 impl FairnessSnapshot {
@@ -128,7 +135,11 @@ impl std::fmt::Display for FairnessSnapshot {
             fmt(self.equal_opportunity_gap),
             fmt(self.violation_rate[0]),
             fmt(self.violation_rate[1]),
-        )
+        )?;
+        if self.degraded {
+            write!(f, " DEGRADED")?;
+        }
+        Ok(())
     }
 }
 
@@ -217,6 +228,18 @@ pub struct Monitor {
     /// Metrics handles, if installed. Atomic clones shared with the
     /// engine's serving half.
     pub(crate) metrics: Option<StreamMetrics>,
+    /// Whether the engine is serving in degraded mode (a repair episode
+    /// exhausted its budget; cleared by the next successful retrain).
+    pub(crate) degraded: bool,
+    /// Events skipped because the sink lock was poisoned (interior
+    /// mutability: `emit` runs on `&self` paths like checkpointing).
+    pub(crate) telemetry_disabled: std::cell::Cell<u64>,
+    /// The most recent telemetry failure, for operators
+    /// ([`Monitor::telemetry_last_error`]).
+    pub(crate) telemetry_error: std::cell::RefCell<Option<String>>,
+    /// Installed fault schedule (test seam; `None` costs one branch).
+    #[cfg(feature = "fault-injection")]
+    pub(crate) faults: Option<crate::faults::FaultPlan>,
 }
 
 impl Monitor {
@@ -257,7 +280,32 @@ impl Monitor {
             floor_quiet_until: 0,
             sink: None,
             metrics: None,
+            degraded: false,
+            telemetry_disabled: std::cell::Cell::new(0),
+            telemetry_error: std::cell::RefCell::new(None),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         })
+    }
+
+    /// Install a deterministic fault schedule (test seam). The plan's
+    /// counters are `Arc`-shared across clones, so a recovery clone
+    /// resumes the schedule where the dead incarnation left it.
+    #[cfg(feature = "fault-injection")]
+    pub fn inject_faults(&mut self, plan: crate::faults::FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The monitor-thread failpoint: counts one observed batch against
+    /// the installed fault schedule and dies if one is due. Called by the
+    /// async monitor loop before each batch is folded in.
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fn observe_failpoint(&self) {
+        if let Some(panics) = self.faults.as_ref().and_then(|p| p.monitor.as_ref()) {
+            if panics.on_batch() {
+                crate::faults::injected_panic();
+            }
+        }
     }
 
     /// Install a telemetry sink: every subsequent observable state change
@@ -280,12 +328,87 @@ impl Monitor {
 
     /// Emit one event to the installed sink, if any. A poisoned sink lock
     /// (a panicked subscriber) disables telemetry rather than poisoning
-    /// the stream.
+    /// the stream — but *not silently*: each skipped event is counted
+    /// (`cf_stream_telemetry_disabled_total`, plus
+    /// [`Monitor::telemetry_disabled_count`]) and the condition surfaces
+    /// through [`Monitor::telemetry_last_error`], so operators can see
+    /// the trail died rather than discovering a truncated audit log at
+    /// review time.
     pub(crate) fn emit(&self, event: TelemetryEvent) {
         if let Some(sink) = &self.sink {
-            if let Ok(mut sink) = sink.lock() {
-                sink.emit(&event);
+            match sink.lock() {
+                Ok(mut sink) => sink.emit(&event),
+                Err(_) => {
+                    self.telemetry_disabled
+                        .set(self.telemetry_disabled.get() + 1);
+                    *self.telemetry_error.borrow_mut() = Some(
+                        "telemetry sink lock poisoned by a panicked subscriber; \
+                         events are being dropped"
+                            .to_string(),
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.telemetry_disabled_total.inc();
+                    }
+                }
             }
+        }
+    }
+
+    /// Events dropped because the sink lock was poisoned.
+    pub fn telemetry_disabled_count(&self) -> u64 {
+        self.telemetry_disabled.get()
+    }
+
+    /// The most recent telemetry failure, if any (currently: a poisoned
+    /// sink lock). `None` means the trail is healthy.
+    pub fn telemetry_last_error(&self) -> Option<String> {
+        self.telemetry_error.borrow().clone()
+    }
+
+    /// Whether the engine is serving in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Flip into degraded mode (emits the transition once; repeat
+    /// failures while already degraded are visible as repair-end events).
+    fn enter_degraded(&mut self, attempts: u64, error: Option<&StreamError>) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        self.emit(TelemetryEvent::DegradedMode(
+            cf_telemetry::DegradedModeEvent {
+                at_tuple: self.seen,
+                entered: true,
+                attempts,
+                error: error.map(|e| e.to_string()),
+                retrains: self.retrains,
+            },
+        ));
+        if let Some(m) = &self.metrics {
+            m.degraded.set(1.0);
+        }
+    }
+
+    /// Leave degraded mode after a successful retrain (emits the
+    /// transition once).
+    pub(crate) fn clear_degraded(&mut self) {
+        if !self.degraded {
+            return;
+        }
+        self.degraded = false;
+        self.emit(TelemetryEvent::DegradedMode(
+            cf_telemetry::DegradedModeEvent {
+                at_tuple: self.seen,
+                entered: false,
+                attempts: 0,
+                error: None,
+                retrains: self.retrains,
+            },
+        ));
+        if let Some(m) = &self.metrics {
+            m.degraded.set(0.0);
         }
     }
 
@@ -309,6 +432,7 @@ impl Monitor {
             let joins = self.window.join_stats();
             m.labels_joined.set_u64(joins.joined);
             m.labels_unmatched.set_u64(joins.unmatched);
+            m.degraded.set(if self.degraded { 1.0 } else { 0.0 });
         }
     }
 
@@ -466,13 +590,49 @@ impl Monitor {
                         window_len: self.window.len() as u64,
                         labeled: self.window.labeled_len() as u64,
                     }));
+                    // One repair *episode*: a bounded retry loop around the
+                    // retraining hook. Each attempt may fail (or panic —
+                    // contained and converted to `RetrainPanicked`); between
+                    // attempts we back off with seeded jitter, and the whole
+                    // episode is bounded by both an attempt budget and a
+                    // wall-clock timeout. Exhausting the budget flips the
+                    // engine into degraded mode: the stale model keeps
+                    // serving, loudly.
                     let started = std::time::Instant::now();
-                    match self.retrain() {
-                        Ok(predictor) => {
-                            retrained = true;
-                            model = Some(predictor);
+                    let repair = self.config.repair;
+                    let mut backoff = repair.backoff(self.retrains);
+                    let mut attempts: u64 = 0;
+                    loop {
+                        attempts += 1;
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                self.retrain()
+                            }));
+                        let error = match outcome {
+                            Ok(Ok(predictor)) => {
+                                retrained = true;
+                                model = Some(predictor);
+                                break;
+                            }
+                            Ok(Err(e)) => e,
+                            Err(payload) => {
+                                StreamError::RetrainPanicked(panic_text(payload.as_ref()))
+                            }
+                        };
+                        if let Some(m) = &self.metrics {
+                            m.retrain_failures_total.inc();
                         }
-                        Err(e) => retrain_error = Some(e),
+                        let out_of_budget = attempts >= u64::from(repair.attempts())
+                            || started.elapsed() >= repair.timeout();
+                        if out_of_budget {
+                            retrain_error = Some(error);
+                            break;
+                        }
+                        let remaining = repair.timeout().saturating_sub(started.elapsed());
+                        let delay = backoff.next_delay().min(remaining);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
                     }
                     let duration_us = started.elapsed().as_micros() as u64;
                     if let Some(m) = &self.metrics {
@@ -486,6 +646,11 @@ impl Monitor {
                         duration_us,
                         retrains: self.retrains,
                     }));
+                    if retrained {
+                        self.clear_degraded();
+                    } else {
+                        self.enter_degraded(attempts, retrain_error.as_ref());
+                    }
                 }
             }
         }
@@ -580,6 +745,19 @@ impl Monitor {
     /// return the replacement predictor for the caller to install into its
     /// scorer.
     pub fn retrain(&mut self) -> Result<Box<dyn Predictor>> {
+        #[cfg(feature = "fault-injection")]
+        if let Some(faults) = self.faults.as_ref().and_then(|p| p.retrain.as_ref()) {
+            match faults.on_attempt() {
+                Some(crate::faults::FaultKind::Error) => {
+                    return Err(StreamError::Injected(format!(
+                        "retrain attempt {}",
+                        faults.attempts_seen().saturating_sub(1)
+                    )));
+                }
+                Some(crate::faults::FaultKind::Panic) => crate::faults::injected_panic(),
+                None => {}
+            }
+        }
         let data = self.window_dataset("stream-window")?;
         for label in [0u8, 1] {
             if data.label_count(label) < 2 {
@@ -602,9 +780,12 @@ impl Monitor {
         Ok(predictor)
     }
 
-    /// The windowed fairness reading. O(1).
+    /// The windowed fairness reading. O(1). Carries the live engine's
+    /// degraded flag on top of the pure counter arithmetic.
     pub fn snapshot(&self) -> FairnessSnapshot {
-        FairnessSnapshot::from_counts(self.window.counts(), self.config.di_floor)
+        let mut s = FairnessSnapshot::from_counts(self.window.counts(), self.config.di_floor);
+        s.degraded = self.degraded;
+        s
     }
 
     /// Every alert raised since construction, in stream order.
@@ -735,6 +916,19 @@ pub(crate) fn learn_profiles(reference: &Dataset, config: &StreamConfig) -> Cell
             Some(learn_constraints(&x, &config.confair.learn_opts));
     }
     profiles
+}
+
+/// Best-effort stringification of a caught panic payload (the `&str` and
+/// `String` cases cover `panic!` and the injected-fault seam; anything
+/// else is opaque by construction).
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 #[cfg(test)]

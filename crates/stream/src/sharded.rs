@@ -487,6 +487,18 @@ impl ShardedAsyncEngine {
         self.shards.iter().map(AsyncEngine::monitor_lag).collect()
     }
 
+    /// Every shard's monitor-thread health, indexed by shard id —
+    /// replacing the old all-or-nothing view (a shard's death used to be
+    /// visible only as an `Async` error from the next call that touched
+    /// it). [`ShardHealth::Restarting`](crate::ShardHealth) shards are
+    /// still serving, unmonitored, while their supervisor waits out its
+    /// backoff; [`ShardHealth::Dead`](crate::ShardHealth) shards have
+    /// exhausted their restart budget
+    /// and fail their own calls, without stopping the rest of the fleet.
+    pub fn shard_health(&self) -> Vec<crate::ShardHealth> {
+        self.shards.iter().map(AsyncEngine::health).collect()
+    }
+
     /// Route and score one mixed-shard micro-batch, returning every
     /// decision **in input order** without waiting for any monitoring
     /// work; each shard's `(tuples, decisions)` record lands on that

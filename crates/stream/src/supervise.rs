@@ -1,0 +1,285 @@
+//! Supervision policy for the self-healing stream engines: retry
+//! budgets, deterministic exponential backoff, and per-shard health.
+//!
+//! Failure handling in this crate is *policy-driven*, and every policy
+//! knob lives here so the chaos suite can pin recovery behaviour
+//! byte-for-byte:
+//!
+//! * [`RepairConfig`] — the retry budget, backoff, and wall-clock
+//!   timeout for on-alert retraining. Exhausting it flips the engine
+//!   into **degraded mode** (stale model keeps serving, flag visible in
+//!   snapshots/metrics/telemetry) instead of surfacing an error string
+//!   and forgetting.
+//! * [`SupervisorConfig`] — how the async engines respawn a dead
+//!   monitor thread: bounded restart attempts, backoff between
+//!   respawns, and how often the monitor publishes the coherent clone
+//!   the supervisor restores from.
+//! * [`Backoff`] — the shared exponential-backoff schedule. Jitter is
+//!   drawn from a seeded [`rand::rngs::StdRng`], so two supervisors with
+//!   the same seed sleep the same schedule — a requirement for
+//!   reproducing a recovery timeline under test.
+//! * [`ShardHealth`] — the tri-state the sharded engines report per
+//!   shard, replacing the old all-or-nothing `StreamError::Async`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Liveness of one monitored engine (or one shard of a sharded engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardHealth {
+    /// The monitor thread is running and draining its queue.
+    Live,
+    /// The monitor thread died; the supervisor is backing off before the
+    /// next respawn (or about to respawn). Ingest keeps serving — tuples
+    /// scored now are counted into the monitoring gap.
+    Restarting,
+    /// The restart budget is exhausted. Ingest returns
+    /// [`StreamError::Async`](crate::StreamError::Async) permanently.
+    Dead,
+}
+
+impl std::fmt::Display for ShardHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardHealth::Live => write!(f, "live"),
+            ShardHealth::Restarting => write!(f, "restarting"),
+            ShardHealth::Dead => write!(f, "dead"),
+        }
+    }
+}
+
+/// Retry policy for on-alert repairs (the `RetrainPolicy::OnAlert`
+/// path). Serialised inside [`StreamConfig`](crate::StreamConfig), so a
+/// checkpointed engine restores with the same recovery behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RepairConfig {
+    /// Attempts per repair episode before giving up (≥ 1; 0 is treated
+    /// as 1). One alert batch triggers one episode.
+    pub max_attempts: u32,
+    /// Base delay between attempts, in milliseconds (attempt `k` waits
+    /// about `base · 2^k`, jittered).
+    pub backoff_base_ms: u64,
+    /// Ceiling on any single backoff delay, in milliseconds.
+    pub backoff_max_ms: u64,
+    /// Wall-clock budget for the whole episode, in milliseconds. Once
+    /// elapsed, no further attempts are made even if the attempt budget
+    /// remains.
+    pub timeout_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            max_attempts: 3,
+            backoff_base_ms: 10,
+            backoff_max_ms: 1_000,
+            timeout_ms: 30_000,
+            jitter_seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl RepairConfig {
+    /// The attempt budget with the ≥ 1 floor applied.
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// The episode wall-clock budget as a [`Duration`].
+    pub fn timeout(&self) -> Duration {
+        Duration::from_millis(self.timeout_ms)
+    }
+
+    /// A backoff schedule for one repair episode. `episode` (typically
+    /// the stream position that opened the episode) is folded into the
+    /// seed so distinct episodes jitter differently while the whole
+    /// timeline stays a pure function of the config.
+    pub fn backoff(&self, episode: u64) -> Backoff {
+        Backoff::new(
+            self.backoff_base_ms,
+            self.backoff_max_ms,
+            self.jitter_seed ^ episode.rotate_left(17),
+        )
+    }
+}
+
+/// Supervision policy for the async engines' monitor thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Respawns allowed over the engine's lifetime before the shard is
+    /// declared [`ShardHealth::Dead`].
+    pub max_restarts: u32,
+    /// Base delay before a respawn, in milliseconds (doubles per death,
+    /// jittered).
+    pub backoff_base_ms: u64,
+    /// Ceiling on any single respawn delay, in milliseconds.
+    pub backoff_max_ms: u64,
+    /// Seed for the deterministic respawn jitter.
+    pub jitter_seed: u64,
+    /// Batches between the monitor thread's coherent recovery clones.
+    /// Smaller = narrower monitoring gap on a crash, more clone
+    /// bandwidth (one full `Monitor` copy per interval).
+    pub snapshot_every: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 3,
+            backoff_base_ms: 10,
+            backoff_max_ms: 2_000,
+            jitter_seed: 0x5EED_0002,
+            snapshot_every: 32,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The respawn backoff schedule this policy describes.
+    pub fn backoff(&self) -> Backoff {
+        Backoff::new(self.backoff_base_ms, self.backoff_max_ms, self.jitter_seed)
+    }
+
+    /// `snapshot_every` with the ≥ 1 floor applied.
+    pub fn clone_interval(&self) -> u32 {
+        self.snapshot_every.max(1)
+    }
+}
+
+/// A deterministic exponential-backoff schedule with equal jitter.
+///
+/// Attempt `k` (0-based) sleeps `d/2 + uniform(0 ..= d/2)` where
+/// `d = min(base · 2^k, max)` — the standard "equal jitter" scheme, which
+/// keeps at least half the exponential spacing while decorrelating
+/// retries. The jitter stream is a seeded xoshiro generator, so the full
+/// delay sequence is a pure function of `(base, max, seed)`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    max_ms: u64,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// A fresh schedule. `base_ms == 0` yields all-zero delays (useful
+    /// in tests that want retries without sleeps).
+    pub fn new(base_ms: u64, max_ms: u64, seed: u64) -> Self {
+        Backoff {
+            base_ms,
+            max_ms: max_ms.max(base_ms),
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next delay in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(32);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self.base_ms.saturating_mul(1u64 << exp).min(self.max_ms);
+        if raw == 0 {
+            return Duration::ZERO;
+        }
+        let half = raw / 2;
+        let jitter = self.rng.gen_range(0..=raw - half);
+        Duration::from_millis(half + jitter)
+    }
+
+    /// Attempts taken so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Restart the schedule from attempt 0 with a fresh jitter stream.
+    pub fn reset(&mut self, seed: u64) {
+        self.attempt = 0;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delays(mut b: Backoff, n: usize) -> Vec<u64> {
+        (0..n).map(|_| b.next_delay().as_millis() as u64).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = delays(Backoff::new(10, 1_000, 7), 8);
+        let b = delays(Backoff::new(10, 1_000, 7), 8);
+        assert_eq!(a, b, "backoff must be a pure function of its seed");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = delays(Backoff::new(100, 100_000, 1), 8);
+        let b = delays(Backoff::new(100, 100_000, 2), 8);
+        assert_ne!(a, b, "distinct seeds should jitter differently");
+    }
+
+    #[test]
+    fn delays_stay_within_equal_jitter_envelope() {
+        let base = 16u64;
+        let max = 4_096u64;
+        let mut b = Backoff::new(base, max, 99);
+        for k in 0..12u32 {
+            let d = b.next_delay().as_millis() as u64;
+            let raw = base.saturating_mul(1 << k.min(32)).min(max);
+            assert!(
+                d >= raw / 2 && d <= raw,
+                "attempt {k}: delay {d}ms outside [{}, {raw}]ms",
+                raw / 2
+            );
+        }
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let mut b = Backoff::new(0, 1_000, 3);
+        for _ in 0..8 {
+            assert_eq!(b.next_delay(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn cap_binds_eventually() {
+        let mut b = Backoff::new(10, 80, 5);
+        let last = delays(b.clone(), 16).pop().unwrap();
+        assert!(last <= 80, "delay {last}ms exceeds the 80ms cap");
+        // Exhaust the exponent far past 2^32 without overflow.
+        for _ in 0..64 {
+            assert!(b.next_delay().as_millis() as u64 <= 80);
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut b = Backoff::new(10, 1_000, 11);
+        let first = delays(b.clone(), 4);
+        for _ in 0..4 {
+            b.next_delay();
+        }
+        b.reset(11);
+        assert_eq!(delays(b, 4), first);
+    }
+
+    #[test]
+    fn repair_config_floors_and_episode_seeding() {
+        let cfg = RepairConfig {
+            max_attempts: 0,
+            ..RepairConfig::default()
+        };
+        assert_eq!(cfg.attempts(), 1);
+        let a = delays(cfg.backoff(1), 4);
+        let b = delays(cfg.backoff(1), 4);
+        let c = delays(cfg.backoff(2), 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct episodes should jitter differently");
+    }
+}

@@ -58,7 +58,10 @@ impl FairnessSnapshot {
     }
 
     /// Rebuild a reading from its telemetry mirror (e.g. one recomputed by
-    /// [`cf_telemetry::replay()`]).
+    /// [`cf_telemetry::replay()`]). Counter-derived readings carry no
+    /// degraded flag — that is live-engine state, reported `false` here
+    /// (a replayed trail surfaces degradation through its own
+    /// `degraded_mode` events instead).
     pub fn from_data(data: SnapshotData) -> Self {
         FairnessSnapshot {
             window_len: data.window_len,
@@ -70,6 +73,7 @@ impl FairnessSnapshot {
             violation_rate: data.violation_rate,
             labeled: data.labeled,
             di_floor: data.di_floor,
+            degraded: false,
         }
     }
 }
@@ -178,6 +182,21 @@ pub struct StreamMetrics {
     /// `cf_stream_retrain_duration_us`: wall-clock retrain duration
     /// histogram (fixed log₂ buckets, 128 µs … ~4 s).
     pub retrain_duration_us: Histogram,
+    /// `cf_stream_retrain_failures_total`: failed retrain *attempts*
+    /// (each retry inside a repair episode counts once).
+    pub retrain_failures_total: Counter,
+    /// `cf_stream_degraded`: 1 while the engine serves in degraded mode
+    /// (repair budget exhausted, stale model still serving), else 0.
+    pub degraded: Gauge,
+    /// `cf_stream_telemetry_disabled_total`: audit events dropped because
+    /// the sink lock was poisoned by a panicked subscriber.
+    pub telemetry_disabled_total: Counter,
+    /// `cf_stream_monitor_restarts`: times the supervisor respawned a
+    /// dead monitor thread.
+    pub monitor_restarts: Gauge,
+    /// `cf_stream_monitor_gap_tuples`: cumulative tuples scored but never
+    /// monitored because they fell into a monitor-death gap.
+    pub monitor_gap_tuples: Gauge,
 }
 
 impl StreamMetrics {
@@ -267,6 +286,31 @@ impl StreamMetrics {
                 "cf_stream_retrain_duration_us",
                 "Wall-clock duration of retrain attempts in microseconds.",
                 log2_buckets(128.0, 16),
+                l,
+            ),
+            retrain_failures_total: registry.counter_with(
+                "cf_stream_retrain_failures_total",
+                "Failed retrain attempts (each retry counts once).",
+                l,
+            ),
+            degraded: registry.gauge_with(
+                "cf_stream_degraded",
+                "1 while serving in degraded mode (repair budget exhausted), else 0.",
+                l,
+            ),
+            telemetry_disabled_total: registry.counter_with(
+                "cf_stream_telemetry_disabled_total",
+                "Audit events dropped because the sink lock was poisoned.",
+                l,
+            ),
+            monitor_restarts: registry.gauge_with(
+                "cf_stream_monitor_restarts",
+                "Times the supervisor respawned a dead monitor thread.",
+                l,
+            ),
+            monitor_gap_tuples: registry.gauge_with(
+                "cf_stream_monitor_gap_tuples",
+                "Cumulative tuples scored but never monitored (monitor-death gaps).",
                 l,
             ),
         }

@@ -77,7 +77,7 @@ proptest! {
             StreamEngine::from_reference(
                 &reference, LearnerKind::Logistic, 11, config(window, retrain),
             ).unwrap(),
-            AsyncConfig { queue_depth, backpressure: BackpressurePolicy::Block },
+            AsyncConfig { queue_depth, backpressure: BackpressurePolicy::Block, ..AsyncConfig::default() },
         );
 
         let mut stream = DriftStream::new(spec(drift_onset), stream_seed);

@@ -261,11 +261,11 @@ fn small_checkpoint() -> EngineCheckpoint {
 fn version_mismatch_is_a_typed_error() {
     let json = small_checkpoint()
         .to_json()
-        .replacen("\"version\":2", "\"version\":3", 1);
+        .replacen("\"version\":3", "\"version\":4", 1);
     assert!(matches!(
         EngineCheckpoint::from_json(&json),
         Err(StreamError::CheckpointVersion {
-            found: 3,
+            found: 4,
             expected: CHECKPOINT_VERSION
         })
     ));

@@ -163,7 +163,7 @@ proptest! {
         let mut labeled = engine(13, window, drift_onset);
         let mut deferred = AsyncEngine::from_engine(
             engine(13, window, drift_onset),
-            AsyncConfig { queue_depth, backpressure: BackpressurePolicy::Block },
+            AsyncConfig { queue_depth, backpressure: BackpressurePolicy::Block, ..AsyncConfig::default() },
         );
 
         let mut stream = DriftStream::new(spec(drift_onset), stream_seed);
@@ -420,7 +420,7 @@ fn corrupted_and_mismatched_documents_are_typed_errors() {
     for version in [0u32, CHECKPOINT_VERSION + 1, 999] {
         let doc = good
             .to_json()
-            .replacen("\"version\":2", &format!("\"version\":{version}"), 1);
+            .replacen("\"version\":3", &format!("\"version\":{version}"), 1);
         assert!(matches!(
             EngineCheckpoint::from_json(&doc),
             Err(StreamError::CheckpointVersion { .. })
@@ -616,6 +616,7 @@ fn dropped_records_resolve_their_late_labels_as_unmatched() {
         AsyncConfig {
             queue_depth: 1,
             backpressure: BackpressurePolicy::DropOldest,
+            ..AsyncConfig::default()
         },
     );
     let mut stream = DriftStream::new(spec(u64::MAX), 43);

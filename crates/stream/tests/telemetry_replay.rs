@@ -206,7 +206,7 @@ proptest! {
         inner.set_sink(async_sink);
         let mut anc = AsyncEngine::from_engine(
             inner,
-            AsyncConfig { queue_depth, backpressure: BackpressurePolicy::Block },
+            AsyncConfig { queue_depth, backpressure: BackpressurePolicy::Block, ..AsyncConfig::default() },
         );
 
         let mut stream = DriftStream::new(spec(drift_onset), stream_seed);
@@ -518,6 +518,7 @@ fn try_drop_run(seed: u64) -> bool {
         AsyncConfig {
             queue_depth: 1,
             backpressure: BackpressurePolicy::DropOldest,
+            ..AsyncConfig::default()
         },
     );
 

@@ -348,6 +348,55 @@ pub struct DropEvent {
     pub tuples: u64,
 }
 
+/// A supervisor respawned a dead monitor thread from its last coherent
+/// clone. The event makes the recovery *auditable*: `gap_tuples` names
+/// exactly how many served tuples the restored monitor lineage will
+/// never observe, and the absolute `counters` re-anchor a replay the
+/// same way a `"restored"` checkpoint does — deltas after the restart
+/// apply to the resumed window, not to whatever the dead incarnation
+/// last logged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorRestartEvent {
+    /// The resumed clone's stream position (tuples it had observed when
+    /// it was taken).
+    pub at_tuple: u64,
+    /// Cumulative monitor restarts for this engine, including this one.
+    pub restarts: u64,
+    /// Tuples served but permanently unmonitored because of this death
+    /// (scored after the clone, consumed or skipped before the respawn).
+    pub gap_tuples: u64,
+    /// The resumed clone's tuple-id clock; monitoring resumes at this id.
+    pub resumed_from: u64,
+    /// Absolute per-group window counters of the resumed clone (the
+    /// replay re-anchor).
+    pub counters: [WindowCounters; 2],
+    /// The DI* floor in force.
+    pub di_floor: f64,
+    /// Whether the resumed clone was in degraded mode. A death rolls
+    /// engine state — including the degraded flag — back to the clone,
+    /// so this re-anchors the trail's degraded reading the same way
+    /// `counters` re-anchors the window.
+    pub degraded: bool,
+}
+
+/// The engine entered (`entered == true`) or recovered from degraded
+/// mode: an on-alert repair episode exhausted its retry/timeout budget,
+/// so the stale model keeps serving until a later repair succeeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedModeEvent {
+    /// Total tuples observed at the transition.
+    pub at_tuple: u64,
+    /// `true` when entering degraded mode, `false` when a successful
+    /// retrain cleared it.
+    pub entered: bool,
+    /// Retrain attempts the failing episode burned (0 on recovery).
+    pub attempts: u64,
+    /// The final attempt's failure, when entering.
+    pub error: Option<String>,
+    /// Cumulative successful retrains at the transition.
+    pub retrains: u64,
+}
+
 /// One observable state change in a stream engine. Serialises as a JSON
 /// object whose `"event"` field is the [`kind`](TelemetryEvent::kind) tag
 /// and whose remaining fields are the variant's payload, flattened.
@@ -369,6 +418,10 @@ pub enum TelemetryEvent {
     FeedbackJoin(FeedbackJoinEvent),
     /// Records were dropped under backpressure.
     Drop(DropEvent),
+    /// A supervisor respawned a dead monitor thread.
+    MonitorRestart(MonitorRestartEvent),
+    /// The engine entered or left degraded mode.
+    DegradedMode(DegradedModeEvent),
 }
 
 impl TelemetryEvent {
@@ -383,13 +436,22 @@ impl TelemetryEvent {
             TelemetryEvent::Checkpoint(_) => "checkpoint",
             TelemetryEvent::FeedbackJoin(_) => "feedback_join",
             TelemetryEvent::Drop(_) => "drop",
+            TelemetryEvent::MonitorRestart(_) => "monitor_restart",
+            TelemetryEvent::DegradedMode(_) => "degraded_mode",
         }
     }
 
-    /// Whether this event is a drift alert (the durability trigger:
-    /// [`JsonlSink`](crate::JsonlSink) fsyncs after each one).
+    /// Whether this event is operationally critical — a drift alert, a
+    /// monitor restart, or a degraded-mode transition. These are the
+    /// durability triggers: [`JsonlSink`](crate::JsonlSink) fsyncs after
+    /// each one.
     pub fn is_alert(&self) -> bool {
-        matches!(self, TelemetryEvent::DriftAlert(_))
+        matches!(
+            self,
+            TelemetryEvent::DriftAlert(_)
+                | TelemetryEvent::MonitorRestart(_)
+                | TelemetryEvent::DegradedMode(_)
+        )
     }
 
     /// The monitor's stream position (tuples observed) when the event was
@@ -404,6 +466,8 @@ impl TelemetryEvent {
             TelemetryEvent::Checkpoint(e) => e.at_tuple,
             TelemetryEvent::FeedbackJoin(e) => e.at_tuple,
             TelemetryEvent::Drop(e) => e.at_tuple,
+            TelemetryEvent::MonitorRestart(e) => e.at_tuple,
+            TelemetryEvent::DegradedMode(e) => e.at_tuple,
         }
     }
 }
@@ -422,6 +486,8 @@ impl Serialize for TelemetryEvent {
             TelemetryEvent::Checkpoint(e) => e.to_value(),
             TelemetryEvent::FeedbackJoin(e) => e.to_value(),
             TelemetryEvent::Drop(e) => e.to_value(),
+            TelemetryEvent::MonitorRestart(e) => e.to_value(),
+            TelemetryEvent::DegradedMode(e) => e.to_value(),
         };
         let mut fields = vec![("event".to_string(), Value::String(self.kind().to_string()))];
         if let Value::Object(inner) = payload {
@@ -446,6 +512,10 @@ impl Deserialize for TelemetryEvent {
             "checkpoint" => CheckpointEvent::from_value(v).map(TelemetryEvent::Checkpoint),
             "feedback_join" => FeedbackJoinEvent::from_value(v).map(TelemetryEvent::FeedbackJoin),
             "drop" => DropEvent::from_value(v).map(TelemetryEvent::Drop),
+            "monitor_restart" => {
+                MonitorRestartEvent::from_value(v).map(TelemetryEvent::MonitorRestart)
+            }
+            "degraded_mode" => DegradedModeEvent::from_value(v).map(TelemetryEvent::DegradedMode),
             other => Err(Error::msg(format!("unknown telemetry event `{other}`"))),
         }
     }
@@ -581,6 +651,22 @@ mod tests {
                 at_tuple: 190,
                 batches: 2,
                 tuples: 64,
+            }),
+            TelemetryEvent::MonitorRestart(MonitorRestartEvent {
+                at_tuple: 160,
+                restarts: 2,
+                gap_tuples: 30,
+                resumed_from: 160,
+                counters: counts,
+                di_floor: 0.8,
+                degraded: false,
+            }),
+            TelemetryEvent::DegradedMode(DegradedModeEvent {
+                at_tuple: 190,
+                entered: true,
+                attempts: 3,
+                error: Some("injected fault: retrain attempt 2".into()),
+                retrains: 1,
             }),
         ];
         for event in events {

@@ -29,10 +29,12 @@ pub mod replay;
 pub mod sink;
 
 pub use event::{
-    AlertData, AlertExplanation, CheckpointEvent, CounterDelta, DriftAlertEvent, DropEvent,
-    FeedbackJoinEvent, IngestBatchEvent, ModelSwapEvent, RepairEndEvent, RepairStartEvent,
-    SnapshotData, TelemetryEvent, WindowCounters,
+    AlertData, AlertExplanation, CheckpointEvent, CounterDelta, DegradedModeEvent, DriftAlertEvent,
+    DropEvent, FeedbackJoinEvent, IngestBatchEvent, ModelSwapEvent, MonitorRestartEvent,
+    RepairEndEvent, RepairStartEvent, SnapshotData, TelemetryEvent, WindowCounters,
 };
 pub use metrics::{log2_buckets, Counter, Gauge, Histogram, MetricsRegistry};
 pub use replay::{replay, replay_file, ReplayError, ReplayedRun};
+#[cfg(feature = "fault-injection")]
+pub use sink::WriteFaultPlan;
 pub use sink::{shared_sink, EventSink, JsonlSink, NullSink, RingSink, SharedSink};

@@ -96,6 +96,14 @@ pub struct ReplayedRun {
     /// Cumulative successful retrains, per the trail's last repair-end /
     /// model-swap event.
     pub retrains: u64,
+    /// Monitor restarts recorded in the trail.
+    pub restarts: u64,
+    /// Total tuples the trail explicitly accounts as served-but-never-
+    /// monitored, summed over every monitor-restart event's gap.
+    pub gap_tuples: u64,
+    /// Whether the trail's last degraded-mode transition left the engine
+    /// degraded (`false` when none were recorded).
+    pub degraded: bool,
 }
 
 /// Map non-finite numbers to `Null`, recursively — the projection JSON
@@ -194,6 +202,19 @@ pub fn replay(jsonl: &str) -> Result<ReplayedRun, ReplayError> {
             TelemetryEvent::Drop(e) => run.dropped_tuples = e.tuples,
             TelemetryEvent::RepairEnd(e) => run.retrains = run.retrains.max(e.retrains),
             TelemetryEvent::ModelSwap(e) => run.retrains = run.retrains.max(e.retrains),
+            TelemetryEvent::MonitorRestart(e) => {
+                // A restart resumes from an older coherent clone: like a
+                // restored checkpoint, the event's absolute counters
+                // re-anchor the window, and its gap names the tuples no
+                // later event will ever account for.
+                run.counters = e.counters;
+                run.restarts += 1;
+                run.gap_tuples += e.gap_tuples;
+                // The rollback covers the degraded flag too: the clone
+                // predates any transition the dead incarnation logged.
+                run.degraded = e.degraded;
+            }
+            TelemetryEvent::DegradedMode(e) => run.degraded = e.entered,
             TelemetryEvent::RepairStart(_) => {}
         }
     }
@@ -335,6 +356,64 @@ mod tests {
         let run = replay(&text).unwrap();
         assert_eq!(run.counters[0].total, 35);
         assert_eq!(run.snapshots.len(), 1);
+    }
+
+    #[test]
+    fn monitor_restart_reanchors_and_accounts_the_gap() {
+        use crate::event::{DegradedModeEvent, MonitorRestartEvent};
+        // Progress to 40 tuples, then a restart rewinds to a 20-tuple
+        // clone with a 20-tuple gap; the next batch's delta must apply to
+        // the clone's counters, not the dead incarnation's.
+        let lines = trail_lines();
+        let mut clone_counters = [WindowCounters::default(); 2];
+        let first = [delta(10, 6), delta(10, 3)];
+        for g in 0..2 {
+            clone_counters[g] = clone_counters[g].apply(&first[g]).unwrap();
+        }
+        let restart = TelemetryEvent::MonitorRestart(MonitorRestartEvent {
+            at_tuple: 20,
+            restarts: 1,
+            gap_tuples: 20,
+            resumed_from: 20,
+            counters: clone_counters,
+            di_floor: 0.8,
+            degraded: false,
+        });
+        let degraded = TelemetryEvent::DegradedMode(DegradedModeEvent {
+            at_tuple: 20,
+            entered: true,
+            attempts: 3,
+            error: Some("learner down".into()),
+            retrains: 0,
+        });
+        let step = [delta(5, 2), delta(5, 1)];
+        let mut after = clone_counters;
+        for g in 0..2 {
+            after[g] = after[g].apply(&step[g]).unwrap();
+        }
+        let resumed = TelemetryEvent::IngestBatch(IngestBatchEvent {
+            first_id: 40,
+            batch: 10,
+            at_tuple: 30,
+            di_floor: 0.8,
+            delta: step,
+            snapshot: SnapshotData::from_counters(&after, 0.8),
+        });
+        let text = format!(
+            "{}\n{}\n{}\n{}\n{}",
+            lines[0],
+            lines[1],
+            serde_json::to_string(&restart).unwrap(),
+            serde_json::to_string(&degraded).unwrap(),
+            serde_json::to_string(&resumed).unwrap()
+        );
+        let run = replay(&text).unwrap();
+        assert_eq!(run.restarts, 1);
+        assert_eq!(run.gap_tuples, 20);
+        assert!(run.degraded);
+        assert_eq!(run.counters[0].total, 15);
+        assert_eq!(run.counters[0].selected, 8);
+        assert_eq!(run.snapshots.len(), 3);
     }
 
     #[test]

@@ -106,30 +106,130 @@ impl EventSink for RingSink {
     }
 }
 
+/// A deterministic write-fault schedule for [`JsonlSink`], compiled only
+/// with the `fault-injection` feature: the named 0-based *write
+/// attempts* (including spill-retry attempts) fail with a synthetic I/O
+/// error instead of reaching the file. Schedules are attempt-indexed
+/// rather than clock-based so a chaos run replays byte-for-byte.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Default)]
+pub struct WriteFaultPlan {
+    /// Failing attempt indices, sorted.
+    fail: Vec<u64>,
+    /// Every attempt at or past this index fails (a permanent outage).
+    fail_from: Option<u64>,
+    attempts: u64,
+}
+
+#[cfg(feature = "fault-injection")]
+impl WriteFaultPlan {
+    /// Fail the given 0-based write attempts (order and duplicates are
+    /// normalised away).
+    pub fn failing_attempts(mut attempts: Vec<u64>) -> Self {
+        attempts.sort_unstable();
+        attempts.dedup();
+        WriteFaultPlan {
+            fail: attempts,
+            fail_from: None,
+            attempts: 0,
+        }
+    }
+
+    /// Fail `count` consecutive attempts starting at `start` — the
+    /// "disk goes away, then comes back" shape.
+    pub fn fail_range(start: u64, count: u64) -> Self {
+        Self::failing_attempts((start..start.saturating_add(count)).collect())
+    }
+
+    /// Fail every attempt from `start` on — the disk never comes back.
+    pub fn fail_from(start: u64) -> Self {
+        WriteFaultPlan {
+            fail: Vec::new(),
+            fail_from: Some(start),
+            attempts: 0,
+        }
+    }
+
+    /// Consume one attempt slot; `true` when it is scheduled to fail.
+    fn on_write(&mut self) -> bool {
+        let attempt = self.attempts;
+        self.attempts += 1;
+        self.fail_from.is_some_and(|from| attempt >= from)
+            || self.fail.binary_search(&attempt).is_ok()
+    }
+
+    /// Write attempts the plan has seen.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+}
+
 /// The append-only JSONL audit trail: one compact JSON object per line,
-/// written through a buffer, **fsynced after every drift alert** (and on
-/// [`flush`](EventSink::flush)) so alert evidence is durable the moment
-/// it is raised. Replays through [`crate::replay()`] into the exact
-/// snapshot/alert sequence of the live run.
+/// written through a buffer, **fsynced after every critical event** (and
+/// on [`flush`](EventSink::flush)) so alert evidence is durable the
+/// moment it is raised. Replays through [`crate::replay()`] into the
+/// exact snapshot/alert sequence of the live run.
+///
+/// # Failure handling
+///
+/// A write failure no longer costs the trail: the serialised line is
+/// **spilled** to a bounded in-memory ring and retried with backoff —
+/// later emits (and every [`flush`](EventSink::flush)) first try to
+/// drain the spill in order, so a transient I/O hiccup re-emits its
+/// backlog on recovery and the file stays a gap-free prefix-plus-suffix
+/// of the logical trail. Backoff is counted in *skipped emits* rather
+/// than wall-clock time (the sink owns no clock, and attempt-counted
+/// backoff keeps fault schedules deterministic). Only when the spill
+/// ring itself overflows are the oldest lines dropped, counted by
+/// [`spill_dropped`](JsonlSink::spill_dropped).
 #[derive(Debug)]
 pub struct JsonlSink {
     out: BufWriter<File>,
     path: PathBuf,
     lines: u64,
     error: Option<String>,
+    /// Serialised lines awaiting re-emission, oldest first.
+    spill: VecDeque<String>,
+    spill_capacity: usize,
+    spilled_total: u64,
+    spill_dropped: u64,
+    recovered: u64,
+    /// Consecutive failed write attempts (drives the backoff).
+    failures: u32,
+    /// Emits to let pass before the next spill-drain attempt.
+    skip_budget: u32,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<WriteFaultPlan>,
 }
 
+/// Default bound on the spill ring (serialised lines retained across an
+/// outage).
+const SPILL_CAPACITY: usize = 1_024;
+
 impl JsonlSink {
-    /// Start a fresh trail at `path` (truncates an existing file).
-    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let file = File::create(&path)?;
-        Ok(JsonlSink {
+    fn from_file(file: File, path: PathBuf) -> Self {
+        JsonlSink {
             out: BufWriter::new(file),
             path,
             lines: 0,
             error: None,
-        })
+            spill: VecDeque::new(),
+            spill_capacity: SPILL_CAPACITY,
+            spilled_total: 0,
+            spill_dropped: 0,
+            recovered: 0,
+            failures: 0,
+            skip_budget: 0,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
+        }
+    }
+
+    /// Start a fresh trail at `path` (truncates an existing file).
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Self::from_file(file, path))
     }
 
     /// Continue an existing trail at `path` (creates it if absent) —
@@ -139,12 +239,19 @@ impl JsonlSink {
     pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(JsonlSink {
-            out: BufWriter::new(file),
-            path,
-            lines: 0,
-            error: None,
-        })
+        Ok(Self::from_file(file, path))
+    }
+
+    /// Override the spill ring's capacity (clamped to ≥ 1).
+    pub fn with_spill_capacity(mut self, capacity: usize) -> Self {
+        self.spill_capacity = capacity.max(1);
+        self
+    }
+
+    /// Install a deterministic write-fault schedule (test seam).
+    #[cfg(feature = "fault-injection")]
+    pub fn inject_write_faults(&mut self, plan: WriteFaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Where the trail is written.
@@ -153,16 +260,95 @@ impl JsonlSink {
     }
 
     /// Lines written by this handle (not counting pre-existing ones in
-    /// append mode).
+    /// append mode; counting spilled lines once they land).
     pub fn lines_written(&self) -> u64 {
         self.lines
     }
 
-    /// The most recent I/O failure, if any. A failing sink keeps
-    /// accepting events (telemetry must never stall the stream) but the
-    /// trail is incomplete from the first error on.
+    /// The I/O failure the sink is currently backing off from, if any.
+    /// A failing sink keeps accepting events (telemetry must never stall
+    /// the stream), spilling them for retry; this clears once the spill
+    /// drains back to the file.
     pub fn last_error(&self) -> Option<&str> {
         self.error.as_deref()
+    }
+
+    /// Lines ever diverted to the spill ring.
+    pub fn spilled_total(&self) -> u64 {
+        self.spilled_total
+    }
+
+    /// Lines currently awaiting re-emission.
+    pub fn spill_pending(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// Lines lost forever to spill-ring overflow.
+    pub fn spill_dropped(&self) -> u64 {
+        self.spill_dropped
+    }
+
+    /// Spilled lines successfully re-emitted to the file.
+    pub fn recovered_lines(&self) -> u64 {
+        self.recovered
+    }
+
+    /// One write attempt: the fault seam, then the real I/O.
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &mut self.faults {
+            if plan.on_write() {
+                return Err(io::Error::other("injected write fault"));
+            }
+        }
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+    }
+
+    fn record_failure(&mut self, e: &io::Error) {
+        self.error = Some(e.to_string());
+        self.failures = self.failures.saturating_add(1);
+        // Exponential backoff counted in skipped emits: 2, 4, … 64.
+        self.skip_budget = 1u32 << self.failures.min(6);
+    }
+
+    fn push_spill(&mut self, line: String) {
+        if self.spill.len() == self.spill_capacity {
+            self.spill.pop_front();
+            self.spill_dropped += 1;
+        }
+        self.spill.push_back(line);
+        self.spilled_total += 1;
+    }
+
+    /// Try to drain the spill ring back to the file, in order. `force`
+    /// ignores the backoff (used by `flush`).
+    fn try_recover(&mut self, force: bool) {
+        if self.spill.is_empty() {
+            return;
+        }
+        if !force && self.skip_budget > 0 {
+            self.skip_budget -= 1;
+            return;
+        }
+        while let Some(line) = self.spill.front().cloned() {
+            match self.write_line(&line) {
+                Ok(()) => {
+                    self.spill.pop_front();
+                    self.lines += 1;
+                    self.recovered += 1;
+                }
+                Err(e) => {
+                    self.record_failure(&e);
+                    return;
+                }
+            }
+        }
+        // The backlog landed: the trail is whole again.
+        self.failures = 0;
+        self.skip_budget = 0;
+        self.error = None;
     }
 
     fn sync(&mut self) {
@@ -178,26 +364,41 @@ impl JsonlSink {
 
 impl EventSink for JsonlSink {
     fn emit(&mut self, event: &TelemetryEvent) {
-        match serde_json::to_string(event) {
-            Ok(line) => {
-                if let Err(e) = self
-                    .out
-                    .write_all(line.as_bytes())
-                    .and_then(|()| self.out.write_all(b"\n"))
-                {
-                    self.error = Some(e.to_string());
-                    return;
-                }
+        let line = match serde_json::to_string(event) {
+            Ok(line) => line,
+            Err(e) => {
+                self.error = Some(e.to_string());
+                return;
+            }
+        };
+        self.try_recover(false);
+        if !self.spill.is_empty() {
+            // Still in an outage (or backing off): queue behind the
+            // backlog so the file never reorders events.
+            self.push_spill(line);
+            return;
+        }
+        match self.write_line(&line) {
+            Ok(()) => {
                 self.lines += 1;
+                if self.failures > 0 {
+                    self.failures = 0;
+                    self.skip_budget = 0;
+                    self.error = None;
+                }
                 if event.is_alert() {
                     self.sync();
                 }
             }
-            Err(e) => self.error = Some(e.to_string()),
+            Err(e) => {
+                self.record_failure(&e);
+                self.push_spill(line);
+            }
         }
     }
 
     fn flush(&mut self) {
+        self.try_recover(true);
         self.sync();
     }
 }
@@ -262,6 +463,98 @@ mod tests {
         for line in text.lines() {
             let _: TelemetryEvent = serde_json::from_str(line).unwrap();
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn write_faults_spill_and_reemit_in_order() {
+        let path = std::env::temp_dir().join(format!(
+            "cf-telemetry-sink-spill-{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = JsonlSink::create(&path).unwrap();
+        // Attempts 1..=3 fail: event 0 lands, events 1–3 spill, the
+        // outage ends, and flush drains the backlog in order.
+        sink.inject_write_faults(WriteFaultPlan::fail_range(1, 3));
+        for i in 0..6u64 {
+            sink.emit(&swap(i));
+        }
+        assert!(sink.spilled_total() >= 1, "the outage must spill");
+        assert_eq!(sink.spill_dropped(), 0);
+        // The first flush may still land on the tail of the outage; the
+        // second finds the disk back and drains the whole backlog.
+        sink.flush();
+        sink.flush();
+        assert_eq!(sink.spill_pending(), 0, "flush drains the backlog");
+        assert_eq!(sink.last_error(), None, "recovery clears the error");
+        assert_eq!(sink.lines_written(), 6);
+        assert!(sink.recovered_lines() >= 1);
+        drop(sink);
+        // The file holds every event, in emission order.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let ats: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                let e: TelemetryEvent = serde_json::from_str(l).unwrap();
+                e.at_tuple()
+            })
+            .collect();
+        assert_eq!(ats, vec![0, 1, 2, 3, 4, 5]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn spill_ring_bounds_memory_and_counts_losses() {
+        let path = std::env::temp_dir().join(format!(
+            "cf-telemetry-sink-overflow-{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = JsonlSink::create(&path).unwrap().with_spill_capacity(2);
+        // Every attempt fails: a permanent outage.
+        sink.inject_write_faults(WriteFaultPlan::fail_from(0));
+        for i in 0..10u64 {
+            sink.emit(&swap(i));
+        }
+        assert_eq!(sink.spill_pending(), 2, "ring stays bounded");
+        assert_eq!(sink.spilled_total(), 10);
+        assert_eq!(sink.spill_dropped(), 8);
+        assert!(sink.last_error().is_some(), "outage stays visible");
+        assert_eq!(sink.lines_written(), 0);
+        drop(sink);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn backoff_skips_retries_between_failures() {
+        let path = std::env::temp_dir().join(format!(
+            "cf-telemetry-sink-backoff-{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.inject_write_faults(WriteFaultPlan::failing_attempts(vec![0]));
+        sink.emit(&swap(0)); // fails, spills, arms the backoff
+        let attempts_after_failure = 1;
+        // The next emits are within the skip budget: they must queue
+        // without burning write attempts on a disk believed down.
+        sink.emit(&swap(1));
+        sink.emit(&swap(2));
+        let plan_attempts = {
+            #[cfg(feature = "fault-injection")]
+            {
+                sink.faults.as_ref().unwrap().attempts()
+            }
+        };
+        assert_eq!(
+            plan_attempts, attempts_after_failure,
+            "backed-off emits must not attempt writes"
+        );
+        sink.flush(); // force: drains everything
+        assert_eq!(sink.spill_pending(), 0);
+        assert_eq!(sink.lines_written(), 3);
+        drop(sink);
         std::fs::remove_file(&path).ok();
     }
 }

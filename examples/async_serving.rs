@@ -42,6 +42,7 @@ fn main() {
         AsyncConfig {
             queue_depth: 64,
             backpressure: BackpressurePolicy::Block,
+            ..AsyncConfig::default()
         },
     );
     println!(

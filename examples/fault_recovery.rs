@@ -1,0 +1,187 @@
+//! Supervised recovery under injected faults: serving survives monitor
+//! crashes and failed retrains, and the audit trail accounts for both.
+//!
+//! A deterministic [`FaultPlan`] is injected into an async engine's
+//! seams: the monitor thread is scheduled to panic twice mid-stream, and
+//! the first repair episode's retrain attempts are scheduled to fail
+//! until the retry budget is exhausted. The supervisor respawns each
+//! dead monitor from its last coherent recovery clone (recording the
+//! unmonitored gap on the trail), and the exhausted repair episode flips
+//! the engine into degraded mode — stale model, serving uninterrupted —
+//! until the next successful retrain clears it. At the end, the trail's
+//! `monitor_restart` and `degraded_mode` events must reconcile exactly
+//! with the engine's own counters.
+//!
+//! ```sh
+//! cargo run --release --example fault_recovery
+//! ```
+
+use confair::prelude::*;
+use confair::stream::{FaultKind, FaultPlan, MonitorPanics, RetrainFaults};
+use std::sync::{Arc, Mutex};
+
+fn main() {
+    let spec = DriftStreamSpec::default();
+
+    // 1. Bootstrap an engine whose DI* floor sits above what the stream
+    //    delivers, so repair episodes trigger once the floor check arms
+    //    (at 1,200 window tuples — after both scheduled monitor deaths,
+    //    keeping the two failure narratives distinct). The repair budget
+    //    is two zero-backoff attempts per episode.
+    let reference = spec.reference(4_000, 42);
+    let config = StreamConfig {
+        di_floor: 0.99,
+        floor_min_window: 1_200,
+        floor_cooldown: 256,
+        retrain: RetrainPolicy::OnAlert { min_window: 48 },
+        repair: RepairConfig {
+            max_attempts: 2,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+            ..RepairConfig::default()
+        },
+        window: 2_000,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::from_reference(&reference, LearnerKind::Logistic, 42, config)
+        .expect("bootstrap from reference");
+
+    // 2. The audit trail and the fault plan. Faults are schedules, not
+    //    probabilities: the monitor thread dies at observed batches 3 and
+    //    9, and the first two retrain attempts error out — so the first
+    //    repair episode exhausts its budget and every later one succeeds.
+    let ring = Arc::new(Mutex::new(RingSink::new(1 << 14)));
+    let sink: SharedSink = ring.clone();
+    engine.set_sink(sink);
+    engine.inject_faults(
+        FaultPlan::new()
+            .with_retrain(RetrainFaults::fail_first(2, FaultKind::Error))
+            .with_monitor_panics(MonitorPanics::at_batches(vec![3, 9])),
+    );
+
+    // 3. Wrap it in a supervised async engine: three respawns budgeted,
+    //    zero respawn backoff, a recovery clone refreshed every 4 batches
+    //    (so each death loses at most 4 batches of monitoring).
+    let mut async_engine = AsyncEngine::from_engine(
+        engine,
+        AsyncConfig {
+            queue_depth: 32,
+            backpressure: BackpressurePolicy::Block,
+            supervisor: SupervisorConfig {
+                max_restarts: 3,
+                backoff_base_ms: 0,
+                backoff_max_ms: 0,
+                snapshot_every: 4,
+                ..SupervisorConfig::default()
+            },
+            ..AsyncConfig::default()
+        },
+    );
+    println!("fault plan: monitor panics at batches 3 and 9; first 2 retrain attempts fail");
+    println!("supervisor: 3 restarts budgeted, recovery clone every 4 batches\n");
+
+    // 4. Serve 60 batches straight through the crashes. Every call must
+    //    return decisions — the caller never sees a panic, a dead thread,
+    //    or a failed retrain.
+    let mut stream = DriftStream::new(spec, 7);
+    let batch_size = 100;
+    for round in 0..60u32 {
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(batch_size))
+            .expect("numeric stream batch");
+        let decisions = async_engine.ingest_owned(batch).expect("serving survives");
+        assert_eq!(decisions.len(), batch_size);
+        if (round + 1) % 12 == 0 {
+            println!(
+                "{:>6} scored  health {:?}  restarts {}  gap {}  degraded {}",
+                async_engine.tuples_scored(),
+                async_engine.health(),
+                async_engine.monitor_restarts(),
+                async_engine.monitor_gap_tuples(),
+                async_engine.is_degraded(),
+            );
+        }
+    }
+
+    // 5. Barrier, then reconcile the trail against the engine. Every
+    //    death must be audited with its gap, and the degraded narrative
+    //    (entered on budget exhaustion, cleared by the next success,
+    //    rolled back by a restart's re-anchor) must replay to the
+    //    engine's final flag.
+    async_engine.flush().expect("flush");
+    assert_eq!(async_engine.monitor_lag(), 0, "flush drains to quiescence");
+
+    let events = ring.lock().unwrap().events();
+    let mut gap_sum = 0;
+    let mut degraded = false;
+    let mut entered_count = 0u32;
+    println!();
+    for event in &events {
+        match event {
+            TelemetryEvent::MonitorRestart(e) => {
+                gap_sum += e.gap_tuples;
+                degraded = e.degraded;
+                println!(
+                    "trail: monitor restart #{} — resumed from tuple {}, {} tuples unmonitored",
+                    e.restarts, e.resumed_from, e.gap_tuples
+                );
+            }
+            TelemetryEvent::DegradedMode(e) => {
+                degraded = e.entered;
+                entered_count += u32::from(e.entered);
+                if e.entered {
+                    println!(
+                        "trail: degraded mode entered at tuple {} after {} attempts ({})",
+                        e.at_tuple,
+                        e.attempts,
+                        e.error.as_deref().unwrap_or("?"),
+                    );
+                } else {
+                    println!(
+                        "trail: degraded mode cleared at tuple {} (retrain #{})",
+                        e.at_tuple, e.retrains
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 6. The verdict: both deaths supervised and accounted, the failed
+    //    episode surfaced and recovered from, and the monitor fully
+    //    caught up — all without one serving error.
+    assert_eq!(async_engine.health(), ShardHealth::Live);
+    assert_eq!(async_engine.monitor_restarts(), 2, "both deaths respawned");
+    assert_eq!(
+        gap_sum,
+        async_engine.monitor_gap_tuples(),
+        "every unmonitored tuple is on the trail"
+    );
+    assert!(entered_count >= 1, "the exhausted episode must be audited");
+    assert_eq!(
+        degraded,
+        async_engine.is_degraded(),
+        "the trail replays the engine's degraded flag"
+    );
+    assert_eq!(
+        async_engine.retrain_failure_count(),
+        1,
+        "one episode (of two attempts) failed"
+    );
+    assert!(
+        !async_engine.is_degraded(),
+        "a later successful retrain cleared degraded mode"
+    );
+    assert!(async_engine.retrain_count() >= 1);
+    println!(
+        "\nserved {} tuples through 2 monitor crashes and 1 exhausted repair episode:",
+        async_engine.tuples_scored()
+    );
+    println!(
+        "  restarts {}  gap {} tuples (audited)  retrain failures {}  retrains {}  health {:?}",
+        async_engine.monitor_restarts(),
+        async_engine.monitor_gap_tuples(),
+        async_engine.retrain_failure_count(),
+        async_engine.retrain_count(),
+        async_engine.health(),
+    );
+}

@@ -46,13 +46,14 @@ pub mod prelude {
     pub use cf_stream::{
         AsyncConfig, AsyncEngine, BackpressurePolicy, DriftAlert, DriftKind, DropCounters,
         EngineCheckpoint, FairnessSnapshot, FeedbackOutcome, JoinStats, LabelFeedback, Monitor,
-        PageHinkleyConfig, RetrainPolicy, Scorer, ShardedAsyncEngine, ShardedCheckpoint,
-        ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple, StreamConfig, StreamEngine,
-        StreamMetrics, StreamTuple,
+        PageHinkleyConfig, RepairConfig, RetrainPolicy, Scorer, ShardHealth, ShardedAsyncEngine,
+        ShardedCheckpoint, ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple,
+        StreamConfig, StreamEngine, StreamMetrics, StreamTuple, SupervisorConfig,
     };
     pub use cf_telemetry::{
-        replay, replay_file, shared_sink, AlertData, EventSink, JsonlSink, MetricsRegistry,
-        NullSink, ReplayedRun, RingSink, SharedSink, SnapshotData, TelemetryEvent,
+        replay, replay_file, shared_sink, AlertData, DegradedModeEvent, EventSink, JsonlSink,
+        MetricsRegistry, MonitorRestartEvent, NullSink, ReplayedRun, RingSink, SharedSink,
+        SnapshotData, TelemetryEvent,
     };
     pub use confair_core::{
         confair::{ConFair, ConFairConfig, FairnessTarget},
