@@ -60,6 +60,42 @@ pub fn fresh_sharded_engine(window: usize, shards: usize) -> ShardedEngine {
     .expect("bootstrap")
 }
 
+/// The K-ary throughput workload: the stationary benchmark geometry
+/// split over `groups` cells. The minority mass is raised so every cell
+/// sees real traffic at K=8 (each non-majority cell carries ≈ 8.6% of
+/// the stream), and the arc is kept tight so one global model serves
+/// all cells near selection parity — the rows measure counter cost, not
+/// fairness churn.
+pub fn kary_spec(groups: usize) -> DriftStreamSpec {
+    DriftStreamSpec {
+        groups,
+        minority_fraction: 0.6,
+        minority_offset: 0.5,
+        ..stationary_spec()
+    }
+}
+
+/// A bootstrapped engine monitoring `groups` cells over the K-ary
+/// benchmark reference. Identical to [`fresh_engine`] except for K and a
+/// disabled DI* floor: the worst pair of 28 small cells sits below the
+/// EEOC 0.8 on this synthetic geometry, and a row that exists to isolate
+/// the per-tuple counter cost (one increment — O(1) in K) should not
+/// spend its run logging floor alerts that other rows already measure.
+pub fn fresh_kary_engine(window: usize, groups: usize) -> StreamEngine {
+    let reference = kary_spec(groups).reference(4_000, 21);
+    let config = StreamConfig {
+        groups,
+        di_floor: 0.0,
+        ..engine_config(window)
+    };
+    StreamEngine::from_reference(&reference, LearnerKind::Logistic, 21, config).expect("bootstrap")
+}
+
+/// Pregenerate `n_batches` stationary K-ary batches of `batch` tuples.
+pub fn pregenerate_kary(groups: usize, n_batches: usize, batch: usize) -> Vec<Vec<StreamTuple>> {
+    pregenerate_from(kary_spec(groups), n_batches, batch)
+}
+
 /// Monitoring + on-alert retraining configuration for the latency
 /// workload. Fixed-α ConFair keeps each retrain's cost representative
 /// (one weighted fit) without the α grid search, so the tail latencies

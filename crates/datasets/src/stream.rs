@@ -76,14 +76,22 @@ impl serde::Deserialize for LabelDelay {
 ///   `minority_std_factor`, `minority_offset`: how separable the classes
 ///   are and how the minority's tighter, offset sub-region sits relative
 ///   to the majority (the Fig. 10 geometry).
-/// * **Mixture** — `minority_fraction`, `positive_rate`: the arrival
-///   rates of groups and labels.
+/// * **Mixture** — `groups`, `minority_fraction`, `positive_rate`: how
+///   many group cells arrive and at what rates. At the default
+///   `groups: 2` the generator is **bit-identical** to the historical
+///   binary stream; for `groups > 2` cell 0 keeps the majority geometry
+///   and `minority_fraction` is split uniformly across cells `1..K`,
+///   each living in its own offset sub-region.
 /// * **Drift schedule** — `drift_onset` (stream clock at which the
 ///   drifted group's label direction starts rotating; `u64::MAX` for a
 ///   stationary stream), `drift_angle` (how far it rotates), `drift_group`
-///   (who drifts), and `transition` (0 = abrupt shift; otherwise the
-///   rotation ramps linearly over this many tuples). Detection latency in
-///   `cf-stream` benchmarks is measured against `drift_onset`.
+///   (who drifts first), `onset_step` (0 = only `drift_group` ever
+///   drifts; otherwise the drift spreads to cell `(drift_group + j) % K`
+///   at `drift_onset + j * onset_step` — the staggered subgroup drift of
+///   Salazar et al.'s setting), and `transition` (0 = abrupt shift;
+///   otherwise each cell's rotation ramps linearly over this many tuples
+///   from *its own* onset). Detection latency in `cf-stream` benchmarks
+///   is measured against `drift_onset`.
 /// * **Label feedback** — `label_delay`, `missing_label_rate`: how long
 ///   ground truth trails serving and what fraction never arrives at all.
 ///   Only [`DelayedLabelStream`] reads these knobs; the plain
@@ -100,7 +108,12 @@ pub struct DriftStreamSpec {
     pub minority_std_factor: f64,
     /// Offset of the minority's center, orthogonal to its label direction.
     pub minority_offset: f64,
-    /// Probability an arriving tuple belongs to the minority.
+    /// Number of group cells `K` (1..=256). 2 is the historical binary
+    /// stream, emitted bit-identically; `K > 2` splits the minority mass
+    /// uniformly across cells `1..K`.
+    pub groups: usize,
+    /// Probability an arriving tuple belongs to the minority (for
+    /// `groups > 2`: to *any* of the cells `1..K`, uniformly).
     pub minority_fraction: f64,
     /// Probability of a positive label.
     pub positive_rate: f64,
@@ -109,10 +122,14 @@ pub struct DriftStreamSpec {
     /// Rotation (radians) of the drifted group's label direction after the
     /// onset. π fully opposes the labels; π/2 makes them orthogonal.
     pub drift_angle: f64,
-    /// Which group drifts.
+    /// Which cell drifts first.
     pub drift_group: u8,
-    /// Tuples over which the rotation ramps from 0 to `drift_angle`
-    /// (0 = abrupt shift).
+    /// Staggered spread of the drift across cells: 0 confines the drift
+    /// to `drift_group` forever; otherwise cell `(drift_group + j) % K`
+    /// starts drifting at `drift_onset + j * onset_step`.
+    pub onset_step: u64,
+    /// Tuples over which each drifting cell's rotation ramps from 0 to
+    /// `drift_angle`, counted from that cell's own onset (0 = abrupt).
     pub transition: u64,
     /// How long ground truth trails serving (read by
     /// [`DelayedLabelStream`]).
@@ -122,11 +139,13 @@ pub struct DriftStreamSpec {
     pub missing_label_rate: f64,
 }
 
-/// Hand-written so the label-feedback knobs are *optional* on parse:
+/// Hand-written so later-vintage knobs are *optional* on parse:
 /// [`DriftStreamCheckpoint`] documents carry no version field, and specs
 /// saved before those knobs existed must keep restoring — a missing
 /// `label_delay` / `missing_label_rate` defaults to the fully-labeled
-/// regime (`Immediate` / 0.0), which is exactly what those streams were.
+/// regime (`Immediate` / 0.0), and a missing `groups` / `onset_step`
+/// defaults to the binary single-drift stream (`2` / `0`), which is
+/// exactly what those streams were.
 impl serde::Deserialize for DriftStreamSpec {
     fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
         let req = |key: &str| v.get_or_err(key);
@@ -136,11 +155,19 @@ impl serde::Deserialize for DriftStreamSpec {
             cluster_std: serde::Deserialize::from_value(req("cluster_std")?)?,
             minority_std_factor: serde::Deserialize::from_value(req("minority_std_factor")?)?,
             minority_offset: serde::Deserialize::from_value(req("minority_offset")?)?,
+            groups: match v.get("groups") {
+                Some(groups) => serde::Deserialize::from_value(groups)?,
+                None => 2,
+            },
             minority_fraction: serde::Deserialize::from_value(req("minority_fraction")?)?,
             positive_rate: serde::Deserialize::from_value(req("positive_rate")?)?,
             drift_onset: serde::Deserialize::from_value(req("drift_onset")?)?,
             drift_angle: serde::Deserialize::from_value(req("drift_angle")?)?,
             drift_group: serde::Deserialize::from_value(req("drift_group")?)?,
+            onset_step: match v.get("onset_step") {
+                Some(step) => serde::Deserialize::from_value(step)?,
+                None => 0,
+            },
             transition: serde::Deserialize::from_value(req("transition")?)?,
             label_delay: match v.get("label_delay") {
                 Some(delay) => serde::Deserialize::from_value(delay)?,
@@ -162,11 +189,13 @@ impl Default for DriftStreamSpec {
             cluster_std: 0.45,
             minority_std_factor: 0.85,
             minority_offset: 1.1,
+            groups: 2,
             minority_fraction: 0.35,
             positive_rate: 0.5,
             drift_onset: 10_000,
             drift_angle: std::f64::consts::FRAC_PI_2,
             drift_group: MINORITY,
+            onset_step: 0,
             transition: 0,
             label_delay: LabelDelay::Immediate,
             missing_label_rate: 0.0,
@@ -222,8 +251,11 @@ fn validate_spec(spec: &DriftStreamSpec) -> Result<(), String> {
     if !(spec.positive_rate > 0.0 && spec.positive_rate < 1.0) {
         return Err("positive rate must be in (0, 1)".into());
     }
-    if spec.drift_group >= 2 {
-        return Err("drift group must be binary".into());
+    if !(1..=256).contains(&spec.groups) {
+        return Err("groups must be in 1..=256 (cell ids are u8)".into());
+    }
+    if usize::from(spec.drift_group) >= spec.groups {
+        return Err("drift group must be one of the configured cells".into());
     }
     if !(0.0..1.0).contains(&spec.missing_label_rate) {
         return Err("missing-label rate must be in [0, 1)".into());
@@ -241,7 +273,8 @@ impl DriftStream {
     ///
     /// # Panics
     /// Panics on non-sensical specs (fractions outside (0, 1), fewer than
-    /// 2 features, or a non-binary drift group).
+    /// 2 features, `groups` outside 1..=256, or a drift group outside the
+    /// configured cells).
     pub fn new(spec: DriftStreamSpec, seed: u64) -> Self {
         if let Err(msg) = validate_spec(&spec) {
             panic!("{msg}");
@@ -304,15 +337,42 @@ impl DriftStream {
         &self.spec
     }
 
-    /// The active rotation angle of the drifted group at stream time `t`.
+    /// The active rotation angle of the first-drifting cell
+    /// ([`DriftStreamSpec::drift_group`]) at stream time `t`.
     pub fn angle_at(&self, t: u64) -> f64 {
+        self.cell_angle_at(self.spec.drift_group, t)
+    }
+
+    /// The stream clock at which cell `g` begins to drift: `drift_group`
+    /// drifts at `drift_onset`; with a non-zero
+    /// [`DriftStreamSpec::onset_step`] the drift spreads to cell
+    /// `(drift_group + j) % K` at `drift_onset + j * onset_step`;
+    /// otherwise every other cell returns `u64::MAX` (never).
+    pub fn cell_onset(&self, g: u8) -> u64 {
         let spec = &self.spec;
-        if t < spec.drift_onset {
+        let k = spec.groups as u64;
+        let j = (u64::from(g) + k - u64::from(spec.drift_group)) % k;
+        if j == 0 {
+            spec.drift_onset
+        } else if spec.onset_step == 0 {
+            u64::MAX
+        } else {
+            spec.drift_onset
+                .saturating_add(j.saturating_mul(spec.onset_step))
+        }
+    }
+
+    /// The active rotation angle of cell `g` at stream time `t`, counted
+    /// from that cell's own onset ([`DriftStream::cell_onset`]).
+    pub fn cell_angle_at(&self, g: u8, t: u64) -> f64 {
+        let spec = &self.spec;
+        let onset = self.cell_onset(g);
+        if t < onset {
             0.0
         } else if spec.transition == 0 {
             spec.drift_angle
         } else {
-            let progress = (t - spec.drift_onset) as f64 / spec.transition as f64;
+            let progress = (t - onset) as f64 / spec.transition as f64;
             spec.drift_angle * progress.min(1.0)
         }
     }
@@ -349,22 +409,38 @@ impl DriftStream {
 
     fn emit_one(&mut self) -> (Vec<f64>, u8, u8) {
         let spec = self.spec;
-        let group = u8::from(self.rng.gen_bool(spec.minority_fraction));
+        // Cell draw. `groups == 2` MUST keep the historical draw sequence
+        // and arithmetic bit-for-bit (the binary stream is pinned by the
+        // K=2 equivalence fixtures); K > 2 splits the minority mass
+        // uniformly across cells 1..K with one extra uniform draw, K == 1
+        // draws nothing.
+        let group = if spec.groups == 2 {
+            u8::from(self.rng.gen_bool(spec.minority_fraction))
+        } else if spec.groups == 1 {
+            0
+        } else if self.rng.gen_bool(spec.minority_fraction) {
+            1 + self.rng.gen_range(0..spec.groups as u64 - 1) as u8
+        } else {
+            0
+        };
         let label = u8::from(self.rng.gen_bool(spec.positive_rate));
         let sign = if label == 1 { 1.0 } else { -1.0 };
 
-        // Label direction: +e1, rotated for the drifted group once the
-        // stream clock passes the onset.
-        let angle = if group == spec.drift_group {
-            self.angle_at(self.emitted)
-        } else {
-            0.0
-        };
+        // Label direction: +e1, rotated once the stream clock passes the
+        // cell's own onset.
+        let angle = self.cell_angle_at(group, self.emitted);
         let dir = [angle.cos(), angle.sin()];
-        // The minority lives in a tighter sub-region offset orthogonally to
-        // its label direction (the Fig. 10 geometry), so the offset itself
-        // carries no label signal.
-        let (offset, std) = if group == MINORITY {
+        // Non-baseline cells live in tighter sub-regions offset from the
+        // majority (the Fig. 10 geometry). At K=2 the offset is exactly
+        // orthogonal to the label direction (so it carries no label
+        // signal, preserved bit-for-bit from the binary stream); at
+        // K > 2 the 2-plane cannot hold K-1 mutually orthogonal offsets,
+        // so cell g sits at angle π·g/K from the label direction —
+        // distinct per cell, never parallel to ±dir, and a constant
+        // within the cell, so within-cell label separation is unchanged.
+        let (offset, std) = if group == 0 {
+            ([0.0, 0.0], spec.cluster_std)
+        } else if spec.groups == 2 {
             (
                 [
                     -dir[1] * spec.minority_offset,
@@ -373,7 +449,14 @@ impl DriftStream {
                 spec.cluster_std * spec.minority_std_factor,
             )
         } else {
-            ([0.0, 0.0], spec.cluster_std)
+            let phi = angle + std::f64::consts::PI * f64::from(group) / spec.groups as f64;
+            (
+                [
+                    phi.cos() * spec.minority_offset,
+                    phi.sin() * spec.minority_offset,
+                ],
+                spec.cluster_std * spec.minority_std_factor,
+            )
         };
 
         let mut x = normal_vec(&mut self.rng, spec.n_features);
@@ -942,6 +1025,141 @@ mod tests {
             let parsed: DriftStreamSpec = serde_json::from_str(&json).unwrap();
             assert_eq!(parsed, spec);
         }
+    }
+
+    /// Pin the K-ary geometry: per-cell arrival rates, distinct offset
+    /// sub-regions, shared pre-onset label direction, and single-cell
+    /// drift — the contract the K-ary monitoring suite leans on.
+    #[test]
+    fn kary_geometry_is_pinned() {
+        let spec = DriftStreamSpec {
+            groups: 4,
+            minority_fraction: 0.6,
+            drift_onset: 1_000_000,
+            ..DriftStreamSpec::default()
+        };
+        let d = DriftStream::new(spec, 17).next_batch(24_000);
+        // Cell 0 keeps 1 - minority_fraction; cells 1..K split the rest
+        // uniformly.
+        let rate = |g: u8| d.groups().iter().filter(|&&x| x == g).count() as f64 / d.len() as f64;
+        assert!((rate(0) - 0.4).abs() < 0.02, "cell 0 rate {}", rate(0));
+        for g in 1..4u8 {
+            assert!((rate(g) - 0.2).abs() < 0.02, "cell {g} rate {}", rate(g));
+        }
+        // Pre-onset every cell separates labels along +X1 ...
+        for g in 0..4u8 {
+            let pos = mean_of(&d, CellIndex { group: g, label: 1 }, 0);
+            let neg = mean_of(&d, CellIndex { group: g, label: 0 }, 0);
+            assert!(pos - neg > 0.8, "cell {g} separates along X1");
+        }
+        // ... and non-baseline cells sit in distinct offset sub-regions:
+        // cell g's centroid is minority_offset away at angle π·g/K.
+        for g in 1..4u8 {
+            let phi = std::f64::consts::PI * f64::from(g) / 4.0;
+            let idx = d.group_indices(g);
+            let m = d.numeric_matrix(Some(&idx));
+            let cx = cf_linalg::vector::mean(&m.col(0));
+            let cy = cf_linalg::vector::mean(&m.col(1));
+            assert!(
+                (cx - 1.1 * phi.cos()).abs() < 0.1,
+                "cell {g} X1 centroid {cx}"
+            );
+            assert!(
+                (cy - 1.1 * phi.sin()).abs() < 0.1,
+                "cell {g} X2 centroid {cy}"
+            );
+        }
+
+        // Single-cell drift: only cell 2 rotates, every other cell keeps
+        // the shared label direction.
+        let drifted = DriftStreamSpec {
+            groups: 4,
+            drift_group: 2,
+            drift_onset: 0,
+            drift_angle: std::f64::consts::FRAC_PI_2,
+            minority_fraction: 0.6,
+            ..DriftStreamSpec::default()
+        };
+        let d = DriftStream::new(drifted, 18).next_batch(24_000);
+        for g in [0u8, 1, 3] {
+            let pos = mean_of(&d, CellIndex { group: g, label: 1 }, 0);
+            let neg = mean_of(&d, CellIndex { group: g, label: 0 }, 0);
+            assert!(pos - neg > 0.8, "undrifted cell {g} stays on X1");
+        }
+        let pos_x2 = mean_of(&d, CellIndex { group: 2, label: 1 }, 1);
+        let neg_x2 = mean_of(&d, CellIndex { group: 2, label: 0 }, 1);
+        assert!(pos_x2 - neg_x2 > 0.8, "drifted cell 2 separates along X2");
+        let pos_x1 = mean_of(&d, CellIndex { group: 2, label: 1 }, 0);
+        let neg_x1 = mean_of(&d, CellIndex { group: 2, label: 0 }, 0);
+        assert!(
+            (pos_x1 - neg_x1).abs() < 0.2,
+            "cell 2 no longer separates on X1"
+        );
+    }
+
+    #[test]
+    fn staggered_cell_onsets_step_cyclically_from_the_drift_group() {
+        let spec = DriftStreamSpec {
+            groups: 4,
+            drift_group: 2,
+            drift_onset: 1_000,
+            onset_step: 500,
+            minority_fraction: 0.6,
+            ..DriftStreamSpec::default()
+        };
+        let s = DriftStream::new(spec, 0);
+        assert_eq!(s.cell_onset(2), 1_000);
+        assert_eq!(s.cell_onset(3), 1_500);
+        assert_eq!(s.cell_onset(0), 2_000);
+        assert_eq!(s.cell_onset(1), 2_500);
+        assert_eq!(s.cell_angle_at(3, 1_400), 0.0);
+        assert!(s.cell_angle_at(3, 1_600) > 0.0);
+
+        // onset_step == 0 confines the drift to drift_group forever.
+        let confined = DriftStream::new(
+            DriftStreamSpec {
+                onset_step: 0,
+                ..spec
+            },
+            0,
+        );
+        assert_eq!(confined.cell_onset(2), 1_000);
+        for g in [0u8, 1, 3] {
+            assert_eq!(confined.cell_onset(g), u64::MAX, "cell {g} never drifts");
+            assert_eq!(confined.cell_angle_at(g, u64::MAX - 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn binary_specs_without_kary_knobs_still_parse() {
+        // Pre-K-ary spec documents carry no `groups` / `onset_step`; they
+        // must keep restoring as the binary single-drift streams they
+        // described.
+        let mut doc = serde_json::from_str::<serde::Value>(
+            &serde_json::to_string(&DriftStreamSpec::default()).unwrap(),
+        )
+        .unwrap();
+        if let serde::Value::Object(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "groups" && k != "onset_step");
+        }
+        let parsed: DriftStreamSpec =
+            serde::Deserialize::from_value(&doc).expect("pre-K-ary spec documents keep parsing");
+        assert_eq!(parsed, DriftStreamSpec::default());
+        assert_eq!(parsed.groups, 2);
+        assert_eq!(parsed.onset_step, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn drift_group_outside_cells_panics() {
+        let _ = DriftStream::new(
+            DriftStreamSpec {
+                groups: 3,
+                drift_group: 3,
+                ..DriftStreamSpec::default()
+            },
+            0,
+        );
     }
 
     #[test]

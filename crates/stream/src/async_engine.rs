@@ -386,7 +386,7 @@ impl Drop for ModelSlot {
 /// by the score path.
 struct PublishedState {
     snapshot: FairnessSnapshot,
-    counts: [GroupCounts; 2],
+    counts: Vec<GroupCounts>,
     window_len: usize,
     seen: u64,
     retrains: u64,
@@ -422,7 +422,7 @@ impl PublishedState {
     /// diagnostic — is deliberately kept: those events really happened.
     fn reset_from(&mut self, monitor: &Monitor) {
         self.snapshot = monitor.snapshot();
-        self.counts = *monitor.window_counts();
+        self.counts = monitor.window_counts().to_vec();
         self.window_len = monitor.window_len();
         self.seen = monitor.tuples_seen();
         self.retrains = monitor.retrain_count();
@@ -566,7 +566,7 @@ impl AsyncEngine {
             model: ModelSlot::empty(),
             stats: Mutex::new(PublishedState {
                 snapshot: monitor.snapshot(),
-                counts: *monitor.window_counts(),
+                counts: monitor.window_counts().to_vec(),
                 window_len: monitor.window_len(),
                 seen: monitor.tuples_seen(),
                 retrains: monitor.retrain_count(),
@@ -719,8 +719,9 @@ impl AsyncEngine {
     /// ([`AsyncEngine::monitor_gap_tuples`]).
     pub fn ingest(&mut self, batch: &[StreamTuple]) -> Result<Vec<u8>> {
         let d = self.scorer().schema().len();
+        let groups = self.stream_config.groups;
         for (i, t) in batch.iter().enumerate() {
-            validate_tuple(t, d, i)?;
+            validate_tuple(t, d, i, groups)?;
         }
         self.ingest_prevalidated_owned(batch.to_vec())
     }
@@ -729,8 +730,9 @@ impl AsyncEngine {
     /// moved onto the queue after scoring.
     pub fn ingest_owned(&mut self, batch: Vec<StreamTuple>) -> Result<Vec<u8>> {
         let d = self.scorer().schema().len();
+        let groups = self.stream_config.groups;
         for (i, t) in batch.iter().enumerate() {
-            validate_tuple(t, d, i)?;
+            validate_tuple(t, d, i, groups)?;
         }
         self.ingest_prevalidated_owned(batch)
     }
@@ -976,9 +978,10 @@ impl AsyncEngine {
         self.stats(|s| s.snapshot.clone())
     }
 
-    /// The monitor's latest published per-group window counters.
-    pub fn window_counts(&self) -> [GroupCounts; 2] {
-        self.stats(|s| s.counts)
+    /// The monitor's latest published per-cell window counters
+    /// (index = group cell id).
+    pub fn window_counts(&self) -> Vec<GroupCounts> {
+        self.stats(|s| s.counts.clone())
     }
 
     /// Tuples currently retained in the monitor's window.
@@ -1301,7 +1304,7 @@ fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
                         }
                         let mut stats = shared.stats.lock().expect("stats mutex poisoned");
                         stats.snapshot = outcome.snapshot;
-                        stats.counts = *monitor.window_counts();
+                        stats.counts = monitor.window_counts().to_vec();
                         stats.window_len = monitor.window_len();
                         stats.seen = monitor.tuples_seen();
                         stats.retrains = monitor.retrain_count();
@@ -1342,7 +1345,7 @@ fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
                     Ok(outcome) => {
                         let mut stats = shared.stats.lock().expect("stats mutex poisoned");
                         stats.snapshot = outcome.snapshot;
-                        stats.counts = *monitor.window_counts();
+                        stats.counts = monitor.window_counts().to_vec();
                         stats.joins = monitor.join_stats();
                         stats.pending_labels = monitor.pending_labels();
                     }

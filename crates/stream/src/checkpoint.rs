@@ -50,7 +50,12 @@ use confair_core::PredictorState;
 ///   retry/timeout budget and the document records whether the engine was
 ///   serving in degraded mode. Older documents upgrade in place with the
 ///   default budget and `degraded: false`.
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// * **4** — runtime-K group cells: the configuration gains `groups` (the
+///   number of group cells; profiles are `groups*2` long and detectors
+///   `groups` long). Older binary documents upgrade in place as
+///   `groups: 2`, which restores them bit-identically to the binary
+///   engine that wrote them.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// The oldest checkpoint format version this build can still read (via
 /// the in-place upgrade in `from_json`).
@@ -76,13 +81,16 @@ pub struct EngineCheckpoint {
     pub config: StreamConfig,
     /// The fitted model parameters and feature encoding.
     pub predictor: PredictorState,
-    /// Conformance profiles per (group, label) cell, flattened in
-    /// `[(g=0,y=0), (g=0,y=1), (g=1,y=0), (g=1,y=1)]` order; `None` marks
-    /// a cell too small to profile.
+    /// Conformance profiles per (group, label) cell, flattened
+    /// group-major: cell `(g, y)` at index `g*2 + y`, `groups*2` entries
+    /// in all (for the binary layout:
+    /// `[(g=0,y=0), (g=0,y=1), (g=1,y=0), (g=1,y=1)]`); `None` marks a
+    /// cell too small to profile.
     pub profiles: Vec<Option<cf_conformance::ConstraintSet>>,
     /// The sliding window's logical contents (oldest first).
     pub window: WindowState,
-    /// Per-group Page–Hinkley detector state, `[majority, minority]`.
+    /// Per-cell Page–Hinkley detector state, index = group cell id (the
+    /// binary layout is `[majority, minority]`).
     pub detectors: Vec<PageHinkleyState>,
     /// Every alert raised since construction, in stream order.
     pub alerts: Vec<DriftAlert>,
@@ -249,22 +257,38 @@ fn upgrade_v2_engine(doc: &mut serde::Value) -> Result<()> {
     };
     set_field(doc, "config", config)?;
     set_field(doc, "degraded", serde::Value::Bool(false))?;
-    set_field(
-        doc,
-        "version",
-        serde::Value::Number(f64::from(CHECKPOINT_VERSION)),
-    )?;
+    set_field(doc, "version", serde::Value::Number(3.0))?;
+    Ok(())
+}
+
+/// Upgrade one engine-checkpoint object from format v3 to v4, in place: a
+/// v3 document was written by the hard-wired binary engine, so the
+/// configuration gains `groups: 2` — its 2 detectors and 4 cell profiles
+/// already have exactly the K=2 shape.
+fn upgrade_v3_engine(doc: &mut serde::Value) -> Result<()> {
+    let config = {
+        let mut c = field(doc, "config")?.clone();
+        set_field(&mut c, "groups", serde::Value::Number(2.0))?;
+        c
+    };
+    set_field(doc, "config", config)?;
+    set_field(doc, "version", serde::Value::Number(4.0))?;
     Ok(())
 }
 
 /// Run the in-place upgrade chain on one engine-checkpoint object whose
 /// writer's format was `version`, leaving it at [`CHECKPOINT_VERSION`].
+/// Each step writes the literal version it upgrades *to*, so the chain
+/// stays correct when later versions are appended.
 fn upgrade_engine(doc: &mut serde::Value, version: u32) -> Result<()> {
     if version < 2 {
         upgrade_v1_engine(doc)?;
     }
     if version < 3 {
         upgrade_v2_engine(doc)?;
+    }
+    if version < 4 {
+        upgrade_v3_engine(doc)?;
     }
     Ok(())
 }
@@ -377,15 +401,22 @@ pub(crate) fn validate(ckpt: &EngineCheckpoint) -> Result<()> {
             ckpt.window.capacity, ckpt.config.window
         )));
     }
-    if ckpt.detectors.len() != 2 {
+    let groups = ckpt.config.groups;
+    if groups == 0 || groups > 256 {
         return Err(StreamError::Checkpoint(format!(
-            "expected 2 detector states (one per group), got {}",
+            "configured groups must be 1..=256, got {groups}"
+        )));
+    }
+    if ckpt.detectors.len() != groups {
+        return Err(StreamError::Checkpoint(format!(
+            "expected {groups} detector states (one per group cell), got {}",
             ckpt.detectors.len()
         )));
     }
-    if ckpt.profiles.len() != 4 {
+    if ckpt.profiles.len() != groups * 2 {
         return Err(StreamError::Checkpoint(format!(
-            "expected 4 cell profiles, got {}",
+            "expected {} cell profiles, got {}",
+            groups * 2,
             ckpt.profiles.len()
         )));
     }
@@ -450,8 +481,8 @@ pub(crate) fn validate(ckpt: &EngineCheckpoint) -> Result<()> {
             )));
         }
     }
-    // Ring bounds, id monotonicity, pending/ring overlap, and binary
-    // groups/labels are enforced by the window replay itself
+    // Ring bounds, id monotonicity, pending/ring overlap, and in-range
+    // groups/binary labels are enforced by the window replay itself
     // (`SlidingWindow::from_state`).
     Ok(())
 }

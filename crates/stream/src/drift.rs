@@ -198,8 +198,10 @@ impl serde::Deserialize for DriftKind {
 pub struct DriftAlert {
     /// Which kind of detector fired.
     pub kind: DriftKind,
-    /// The drifting group (0 = majority, 1 = minority). For
-    /// [`DriftKind::DisparateImpactFloor`] this is the disadvantaged group.
+    /// The drifting cell id (one of the `config.groups` monitored cells;
+    /// at the binary default, 0 = majority and 1 = minority). For
+    /// [`DriftKind::DisparateImpactFloor`] this is the disadvantaged cell
+    /// of the worst-served pair.
     pub group: u8,
     /// Global stream position (tuples ingested when the alert fired).
     pub at_tuple: u64,

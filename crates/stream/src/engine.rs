@@ -49,7 +49,8 @@ use std::borrow::Borrow;
 pub struct StreamTuple {
     /// Numeric attribute values, one per reference column.
     pub features: Vec<f64>,
-    /// Group id (0 = majority `W`, 1 = minority `U`).
+    /// Group cell id, `0..K` (the default binary layout is 0 = majority
+    /// `W`, 1 = minority `U`; `K` is [`StreamConfig::groups`]).
     pub group: u8,
     /// Ground-truth label, if already known at ingest; `None` defers it to
     /// a later feedback join.
@@ -177,6 +178,14 @@ pub struct StreamConfig {
     /// Retry/timeout budget for an on-alert repair episode; exhausting it
     /// flips the engine into degraded mode (stale model keeps serving).
     pub repair: RepairConfig,
+    /// Number of group cells `K` (`1..=256`): tuples carry a group id in
+    /// `0..K`, and every per-group structure — windowed counters,
+    /// conformance profiles, Page–Hinkley detectors — is sized to `K` at
+    /// construction. The default, 2, is the paper's binary
+    /// majority/minority layout; intersectional monitoring flattens an
+    /// axis product into one cell id per combination (see
+    /// [`GroupLayout`](crate::GroupLayout)).
+    pub groups: usize,
 }
 
 impl Default for StreamConfig {
@@ -193,6 +202,7 @@ impl Default for StreamConfig {
             confair: ConFairConfig::default(),
             retrain: RetrainPolicy::Never,
             repair: RepairConfig::default(),
+            groups: 2,
         }
     }
 }
@@ -367,8 +377,9 @@ impl StreamEngine {
     /// the served decisions and invite a double-counting retry.
     pub fn ingest(&mut self, batch: &[StreamTuple]) -> Result<IngestOutcome> {
         let d = self.monitor.schema().len();
+        let groups = self.monitor.config().groups;
         for (i, t) in batch.iter().enumerate() {
-            validate_tuple(t, d, i)?;
+            validate_tuple(t, d, i, groups)?;
         }
         self.ingest_prevalidated(batch)
     }
@@ -384,7 +395,8 @@ impl StreamEngine {
     }
 
     /// Ingestion after validation: callers guarantee every tuple matches
-    /// the schema width and has binary group/label.
+    /// the schema width and has an in-range group (`< K`) and binary
+    /// label.
     fn ingest_prevalidated<T: Borrow<StreamTuple>>(
         &mut self,
         batch: &[T],
@@ -523,17 +535,25 @@ impl StreamEngine {
     /// front: a corrupted checkpoint never half-loads.
     pub fn restore(ckpt: EngineCheckpoint) -> Result<Self> {
         crate::checkpoint::validate(&ckpt)?;
-        let window = SlidingWindow::from_state(&ckpt.window, ckpt.config.pending_labels)?;
+        let window = SlidingWindow::from_state(
+            &ckpt.window,
+            ckpt.config.pending_labels,
+            ckpt.config.groups,
+        )?;
         let predictor = confair_core::SingleModelPredictor::from_state(ckpt.predictor)
             .map_err(|e| StreamError::Checkpoint(e.to_string()))?;
-        let mut profiles: CellProfiles = Default::default();
+        // The checkpoint stores profiles flat in (group, label)-major
+        // order: cell (g, y) at index g*2 + y. `validate` pinned the
+        // counts to `groups*2` profiles and `groups` detectors.
+        let mut profiles: CellProfiles = vec![Default::default(); ckpt.config.groups];
         for (i, profile) in ckpt.profiles.into_iter().enumerate() {
             profiles[i / 2][i % 2] = profile;
         }
-        let detectors = [
-            PageHinkley::from_state(ckpt.config.detector, &ckpt.detectors[0]),
-            PageHinkley::from_state(ckpt.config.detector, &ckpt.detectors[1]),
-        ];
+        let detectors: Vec<PageHinkley> = ckpt
+            .detectors
+            .iter()
+            .map(|state| PageHinkley::from_state(ckpt.config.detector, state))
+            .collect();
         let scorer = Scorer::new(ckpt.schema.clone(), Box::new(predictor));
         let monitor = Monitor {
             schema: ckpt.schema,
@@ -610,9 +630,9 @@ impl StreamEngine {
         self.monitor.window_len()
     }
 
-    /// The raw windowed per-group counters (index = group id). Additive
-    /// across engines — the basis of cross-shard snapshot merging.
-    pub fn window_counts(&self) -> &[GroupCounts; 2] {
+    /// The raw windowed per-cell counters (index = group cell id, `0..K`).
+    /// Additive across engines — the basis of cross-shard snapshot merging.
+    pub fn window_counts(&self) -> &[GroupCounts] {
         self.monitor.window_counts()
     }
 
@@ -687,14 +707,14 @@ pub(crate) fn checkpoint_from_parts(
 /// batch index, used only in the error message). Shared by the
 /// single-engine, sharded-router, and async ingestion paths so the checks
 /// cannot drift apart.
-pub(crate) fn validate_tuple(tuple: &StreamTuple, d: usize, i: usize) -> Result<()> {
+pub(crate) fn validate_tuple(tuple: &StreamTuple, d: usize, i: usize, groups: usize) -> Result<()> {
     if tuple.features.len() != d {
         return Err(StreamError::Schema(format!(
             "tuple {i} has {} features; the reference schema has {d}",
             tuple.features.len()
         )));
     }
-    if tuple.group >= 2 {
+    if usize::from(tuple.group) >= groups {
         return Err(StreamError::BadGroup(tuple.group));
     }
     if let Some(label) = tuple.label {

@@ -63,6 +63,7 @@ pub mod drift;
 pub mod engine;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
+pub mod groups;
 pub mod monitor;
 pub mod scorer;
 pub mod sharded;
@@ -78,6 +79,7 @@ pub use engine::{
 };
 #[cfg(feature = "fault-injection")]
 pub use faults::{FaultKind, FaultPlan, MonitorPanics, RetrainFaults};
+pub use groups::GroupLayout;
 pub use monitor::{FairnessSnapshot, FeedbackOutcome, Monitor, ObserveOutcome};
 pub use scorer::Scorer;
 pub use sharded::{
@@ -95,7 +97,8 @@ pub use window::{
 pub enum StreamError {
     /// A window must retain at least one tuple.
     EmptyWindow,
-    /// Group ids are binary (0 = majority, 1 = minority).
+    /// Group cell ids live in `0..K` ([`StreamConfig::groups`]; the
+    /// binary default is 0 = majority, 1 = minority).
     BadGroup(u8),
     /// Labels are binary.
     BadLabel(u8),
@@ -165,7 +168,9 @@ impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StreamError::EmptyWindow => write!(f, "window capacity must be positive"),
-            StreamError::BadGroup(g) => write!(f, "group id {g} is not binary"),
+            StreamError::BadGroup(g) => {
+                write!(f, "group id {g} is outside the configured 0..K cell range")
+            }
             StreamError::BadLabel(l) => write!(f, "label {l} is not binary"),
             StreamError::Schema(msg) => write!(f, "schema error: {msg}"),
             StreamError::EmptyReference => write!(f, "reference dataset is empty"),

@@ -3,7 +3,8 @@
 //!
 //! [`Monitor`] owns everything drift-related a stream engine carries: the
 //! two-plane sliding window, the per-(group, label) conformance profiles,
-//! both Page–Hinkley detectors, the alert log, and the retrain policy. It
+//! the per-cell Page–Hinkley detectors, the alert log, and the retrain
+//! policy. It
 //! is the lag-tolerant counterpart of [`Scorer`](crate::Scorer): the
 //! serving path never waits on it, and in the async engine it lives on its
 //! own thread behind a bounded queue. A retrain produces a replacement
@@ -50,30 +51,43 @@ use cf_telemetry::{
 use confair_core::{confair::ConFair, Intervention, Predictor};
 use std::borrow::Borrow;
 
-/// A point-in-time fairness reading over the current window. Group-indexed
-/// fields use `[majority, minority]` order; `None` marks an empty
-/// denominator (e.g. a single-group stream), never a fabricated 0/0.
+/// A point-in-time fairness reading over the current window. Cell-indexed
+/// fields are `K`-length, one entry per group cell (the classic binary
+/// layout is `[majority W, minority U]`); `None` marks an empty
+/// denominator (e.g. an unobserved cell), never a fabricated 0/0.
+///
+/// With more than two cells the scalar readings are **worst-pair**
+/// statistics: `disparate_impact`/`di_star` come from the ordered cell
+/// pair with the smallest `DI*`, and the gaps are the spread (max − min)
+/// over all defined cells — so the EEOC floor is held against the most
+/// disparate pair, exactly the reading pairwise binary monitoring of a
+/// collapsed group column cannot produce.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FairnessSnapshot {
     /// Tuples in the window when the snapshot was taken.
     pub window_len: u64,
-    /// Windowed selection rate per group.
-    pub selection_rate: [Option<f64>; 2],
-    /// Raw disparate impact `SR_U / SR_W` (∞ when `SR_W = 0` and `SR_U > 0`).
+    /// Windowed selection rate per group cell.
+    pub selection_rate: Vec<Option<f64>>,
+    /// Raw disparate impact of the worst pair `(i, j)`: `SR_j / SR_i`
+    /// (∞ when `SR_i = 0` and `SR_j > 0`). At K=2 this is the classic
+    /// `SR_U / SR_W`.
     pub disparate_impact: Option<f64>,
-    /// Symmetrised `DI* = min(DI, 1/DI)` — 1.0 is perfectly fair.
+    /// Symmetrised `DI* = min(DI, 1/DI)` of the worst pair — 1.0 is
+    /// perfectly fair.
     pub di_star: Option<f64>,
-    /// `|SR_W − SR_U|`.
+    /// Selection-rate spread `max − min` over defined cells (at K=2:
+    /// `|SR_W − SR_U|`).
     pub demographic_parity_gap: Option<f64>,
-    /// `|TPR_W − TPR_U|` (equal opportunity), over joined labels only —
-    /// `None` while either group's label plane is empty of positives,
-    /// never a fabricated 0 from decisions that have no ground truth yet.
+    /// TPR spread over defined cells (equal opportunity; at K=2:
+    /// `|TPR_W − TPR_U|`), over joined labels only — `None` while fewer
+    /// than two cells' label planes hold positives, never a fabricated 0
+    /// from decisions that have no ground truth yet.
     pub equal_opportunity_gap: Option<f64>,
-    /// Windowed conformance-violation rate per group (decision plane).
-    pub violation_rate: [Option<f64>; 2],
-    /// Joined `(decision, label)` pairs per group currently in the label
+    /// Windowed conformance-violation rate per cell (decision plane).
+    pub violation_rate: Vec<Option<f64>>,
+    /// Joined `(decision, label)` pairs per cell currently in the label
     /// plane — how much ground truth the label-dependent readings rest on.
-    pub labeled: [u64; 2],
+    pub labeled: Vec<u64>,
     /// The DI* floor this stream is held to (EEOC four-fifths: 0.8).
     pub di_floor: f64,
     /// Whether the engine is serving in degraded mode: an on-alert repair
@@ -93,7 +107,7 @@ impl FairnessSnapshot {
     /// replay recomputes snapshots through the *same* function, which is
     /// what makes an audit trail's replayed sequence byte-identical to
     /// the live one by construction.
-    pub fn from_counts(counts: &[GroupCounts; 2], di_floor: f64) -> Self {
+    pub fn from_counts(counts: &[GroupCounts], di_floor: f64) -> Self {
         Self::from_data(SnapshotData::from_counters(
             &crate::telemetry::both_counters(counts),
             di_floor,
@@ -117,8 +131,9 @@ impl FairnessSnapshot {
 
 /// Human-readable one-liner, e.g.
 /// `window=2000   labels=1820 DI*=0.913 dp_gap=0.051 eo_gap=0.042 viol(W)=0.012 viol(U)=0.019`
-/// (`--` marks an unobserved group's — or an unlabeled plane's — empty
-/// denominator).
+/// (`--` marks an unobserved cell's — or an unlabeled plane's — empty
+/// denominator). The `viol(W)/viol(U)` wording is kept verbatim for the
+/// binary layout; with any other K each cell renders as `viol(g)`.
 impl std::fmt::Display for FairnessSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let fmt = |v: Option<f64>| match v {
@@ -127,15 +142,25 @@ impl std::fmt::Display for FairnessSnapshot {
         };
         write!(
             f,
-            "window={:<6} labels={:<6} DI*={} dp_gap={} eo_gap={} viol(W)={} viol(U)={}",
+            "window={:<6} labels={:<6} DI*={} dp_gap={} eo_gap={}",
             self.window_len,
-            self.labeled[0] + self.labeled[1],
+            self.labeled.iter().sum::<u64>(),
             fmt(self.di_star),
             fmt(self.demographic_parity_gap),
             fmt(self.equal_opportunity_gap),
-            fmt(self.violation_rate[0]),
-            fmt(self.violation_rate[1]),
         )?;
+        if self.violation_rate.len() == 2 {
+            write!(
+                f,
+                " viol(W)={} viol(U)={}",
+                fmt(self.violation_rate[0]),
+                fmt(self.violation_rate[1]),
+            )?;
+        } else {
+            for (g, &rate) in self.violation_rate.iter().enumerate() {
+                write!(f, " viol({g})={}", fmt(rate))?;
+            }
+        }
         if self.degraded {
             write!(f, " DEGRADED")?;
         }
@@ -143,8 +168,9 @@ impl std::fmt::Display for FairnessSnapshot {
     }
 }
 
-/// Conformance profiles per (group, label) cell of the reference data.
-pub(crate) type CellProfiles = [[Option<ConstraintSet>; 2]; 2];
+/// Conformance profiles per (group, label) cell of the reference data:
+/// `profiles[g][y]` for group cell `g` in `0..K` and binary label `y`.
+pub(crate) type CellProfiles = Vec<[Option<ConstraintSet>; 2]>;
 
 /// What one [`Monitor::observe`] call produced.
 ///
@@ -210,7 +236,7 @@ pub struct Monitor {
     pub(crate) config: StreamConfig,
     pub(crate) profiles: CellProfiles,
     pub(crate) window: SlidingWindow,
-    pub(crate) detectors: [PageHinkley; 2],
+    pub(crate) detectors: Vec<PageHinkley>,
     pub(crate) alerts: Vec<DriftAlert>,
     pub(crate) seen: u64,
     /// The next tuple id this monitor expects to assign. Equals `seen` in
@@ -260,12 +286,10 @@ impl Monitor {
             config.window,
             reference.num_attributes(),
             config.pending_labels,
+            config.groups,
         )?;
         let profiles = learn_profiles(reference, &config);
-        let detectors = [
-            PageHinkley::new(config.detector),
-            PageHinkley::new(config.detector),
-        ];
+        let detectors = vec![PageHinkley::new(config.detector); config.groups];
         Ok(Monitor {
             schema: reference.column_names().to_vec(),
             learner,
@@ -542,10 +566,14 @@ impl Monitor {
             && self.window.len() >= self.config.floor_min_window
             && self.seen >= self.floor_quiet_until
         {
-            let disadvantaged = match (snapshot.selection_rate[0], snapshot.selection_rate[1]) {
-                (Some(w), Some(u)) if u <= w => 1,
-                _ => 0,
-            };
+            // The cell on the losing side of the worst pair (at K=2 this
+            // reproduces the classic rule: group U when `SR_U <= SR_W`,
+            // else group W). The floor only fails when a worst pair
+            // exists, so the fallback is unreachable in practice.
+            let disadvantaged = SnapshotData::disadvantaged_cell(&crate::telemetry::both_counters(
+                self.window.counts(),
+            ))
+            .unwrap_or(0) as u8;
             new_alerts.push(DriftAlert {
                 kind: DriftKind::DisparateImpactFloor,
                 group: disadvantaged,
@@ -568,10 +596,11 @@ impl Monitor {
                 batch: batch.len() as u64,
                 at_tuple: self.seen,
                 di_floor: self.config.di_floor,
-                delta: [
-                    after[0].delta_from(&before[0]),
-                    after[1].delta_from(&before[1]),
-                ],
+                delta: after
+                    .iter()
+                    .zip(&before)
+                    .map(|(a, b)| a.delta_from(b))
+                    .collect(),
                 snapshot: snapshot.to_data(),
             }));
             for alert in &new_alerts {
@@ -721,10 +750,11 @@ impl Monitor {
                 duplicates,
                 unmatched,
                 di_floor: self.config.di_floor,
-                delta: [
-                    after[0].delta_from(&before[0]),
-                    after[1].delta_from(&before[1]),
-                ],
+                delta: after
+                    .iter()
+                    .zip(&before)
+                    .map(|(a, b)| a.delta_from(b))
+                    .collect(),
                 snapshot: snapshot.to_data(),
             }));
         }
@@ -808,8 +838,8 @@ impl Monitor {
         self.window.len()
     }
 
-    /// The raw windowed per-group counters (index = group id).
-    pub fn window_counts(&self) -> &[GroupCounts; 2] {
+    /// The raw windowed per-cell counters (index = group cell id, `0..K`).
+    pub fn window_counts(&self) -> &[GroupCounts] {
         self.window.counts()
     }
 
@@ -896,24 +926,38 @@ impl Monitor {
     /// decision stands in for the label in picking the cell); 0 when the
     /// cell had too few reference rows to profile.
     fn violation_of(&self, features: &[f64], group: u8, decision: u8) -> f64 {
-        match &self.profiles[group as usize][decision as usize] {
+        // An out-of-range cell reads as "no profile" here so the window's
+        // push is what rejects it — with the typed `BadGroup`, not an
+        // index panic.
+        match self
+            .profiles
+            .get(group as usize)
+            .and_then(|cell| cell[decision as usize].as_ref())
+        {
             Some(constraints) => constraints.violation(features),
             None => 0.0,
         }
     }
 }
 
-/// Conformance profiles per (group, label) cell of the reference data.
+/// Conformance profiles per (group, label) cell of the reference data:
+/// one profile per `(g, y)` cell for `g` in `0..K`, skipping cells with
+/// too few reference rows.
 pub(crate) fn learn_profiles(reference: &Dataset, config: &StreamConfig) -> CellProfiles {
-    let mut profiles: CellProfiles = Default::default();
-    for cell in CellIndex::binary_cells() {
-        let members = reference.cell_indices(cell);
-        if members.len() < config.min_profile_rows {
-            continue;
+    let mut profiles: CellProfiles = vec![Default::default(); config.groups];
+    for (group, cell_profiles) in profiles.iter_mut().enumerate() {
+        for label in 0..2u8 {
+            let cell = CellIndex {
+                group: group as u8,
+                label,
+            };
+            let members = reference.cell_indices(cell);
+            if members.len() < config.min_profile_rows {
+                continue;
+            }
+            let x = reference.numeric_matrix(Some(&members));
+            cell_profiles[label as usize] = Some(learn_constraints(&x, &config.confair.learn_opts));
         }
-        let x = reference.numeric_matrix(Some(&members));
-        profiles[cell.group as usize][cell.label as usize] =
-            Some(learn_constraints(&x, &config.confair.learn_opts));
     }
     profiles
 }

@@ -116,6 +116,7 @@ impl ShardedEngine {
         }
         let schema = shards[0].schema().to_vec();
         let di_floor = shards[0].config().di_floor;
+        let groups = shards[0].config().groups;
         for (i, engine) in shards.iter().enumerate().skip(1) {
             if engine.schema() != schema.as_slice() {
                 return Err(StreamError::Schema(format!(
@@ -128,6 +129,13 @@ impl ShardedEngine {
                 return Err(StreamError::ConfigMismatch(format!(
                     "shard {i} di_floor {} differs from shard 0 di_floor {di_floor}",
                     engine.config().di_floor
+                )));
+            }
+            if engine.config().groups != groups {
+                return Err(StreamError::ConfigMismatch(format!(
+                    "shard {i} has {} group cells; shard 0 has {groups} \
+                     (counters are only additive across identical cell layouts)",
+                    engine.config().groups
                 )));
             }
         }
@@ -178,14 +186,15 @@ impl ShardedEngine {
         self.shards.iter().map(StreamEngine::tuples_seen).sum()
     }
 
-    /// The cross-shard merged per-group counters. Exact: every windowed
-    /// counter is additive, so the merge is a componentwise sum.
-    pub fn merged_counts(&self) -> [GroupCounts; 2] {
-        let mut merged = [GroupCounts::default(); 2];
+    /// The cross-shard merged per-cell counters. Exact: every windowed
+    /// counter is additive, so the merge is a componentwise sum
+    /// (`from_engines` pinned every shard to the same cell layout).
+    pub fn merged_counts(&self) -> Vec<GroupCounts> {
+        let mut merged = vec![GroupCounts::default(); self.shards[0].config().groups];
         for engine in &self.shards {
-            let counts = engine.window_counts();
-            merged[0].merge(&counts[0]);
-            merged[1].merge(&counts[1]);
+            for (cell, counts) in merged.iter_mut().zip(engine.window_counts()) {
+                cell.merge(counts);
+            }
         }
         merged
     }
@@ -258,6 +267,7 @@ impl ShardedEngine {
     pub fn ingest(&mut self, batch: &[ShardedTuple]) -> Result<ShardedOutcome> {
         let n = self.shards.len();
         let d = self.shards[0].schema().len();
+        let groups = self.shards[0].config().groups;
         for (i, routed) in batch.iter().enumerate() {
             if routed.shard as usize >= n {
                 return Err(StreamError::BadShard {
@@ -265,7 +275,7 @@ impl ShardedEngine {
                     shards: n,
                 });
             }
-            crate::engine::validate_tuple(&routed.tuple, d, i)?;
+            crate::engine::validate_tuple(&routed.tuple, d, i, groups)?;
         }
 
         // Route without cloning: per-shard batches borrow the input tuples,
@@ -515,6 +525,7 @@ impl ShardedAsyncEngine {
     pub fn ingest(&mut self, batch: &[ShardedTuple]) -> Result<Vec<u8>> {
         let n = self.shards.len();
         let d = self.shards[0].schema().len();
+        let groups = self.shards[0].config().groups;
         for (i, routed) in batch.iter().enumerate() {
             if routed.shard as usize >= n {
                 return Err(StreamError::BadShard {
@@ -522,7 +533,7 @@ impl ShardedAsyncEngine {
                     shards: n,
                 });
             }
-            crate::engine::validate_tuple(&routed.tuple, d, i)?;
+            crate::engine::validate_tuple(&routed.tuple, d, i, groups)?;
         }
 
         // Route owned copies (the queue hand-off owns its tuples) and
@@ -626,12 +637,12 @@ impl ShardedAsyncEngine {
     /// The cross-shard merged per-group counters, from each shard's
     /// latest published state (exact after a [`ShardedAsyncEngine::flush`];
     /// otherwise each shard lags by at most its queue backlog).
-    pub fn merged_counts(&self) -> [GroupCounts; 2] {
-        let mut merged = [GroupCounts::default(); 2];
+    pub fn merged_counts(&self) -> Vec<GroupCounts> {
+        let mut merged = vec![GroupCounts::default(); self.shards[0].config().groups];
         for engine in &self.shards {
-            let counts = engine.window_counts();
-            merged[0].merge(&counts[0]);
-            merged[1].merge(&counts[1]);
+            for (cell, counts) in merged.iter_mut().zip(engine.window_counts()) {
+                cell.merge(&counts);
+            }
         }
         merged
     }

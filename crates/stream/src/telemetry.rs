@@ -35,9 +35,9 @@ pub(crate) fn window_counters(c: &GroupCounts) -> WindowCounters {
     }
 }
 
-/// Mirror both group cells at once (index = group id).
-pub(crate) fn both_counters(counts: &[GroupCounts; 2]) -> [WindowCounters; 2] {
-    [window_counters(&counts[0]), window_counters(&counts[1])]
+/// Mirror every group cell at once (index = group cell id, `0..K`).
+pub(crate) fn both_counters(counts: &[GroupCounts]) -> Vec<WindowCounters> {
+    counts.iter().map(window_counters).collect()
 }
 
 impl FairnessSnapshot {
@@ -46,13 +46,13 @@ impl FairnessSnapshot {
     pub fn to_data(&self) -> SnapshotData {
         SnapshotData {
             window_len: self.window_len,
-            selection_rate: self.selection_rate,
+            selection_rate: self.selection_rate.clone(),
             disparate_impact: self.disparate_impact,
             di_star: self.di_star,
             demographic_parity_gap: self.demographic_parity_gap,
             equal_opportunity_gap: self.equal_opportunity_gap,
-            violation_rate: self.violation_rate,
-            labeled: self.labeled,
+            violation_rate: self.violation_rate.clone(),
+            labeled: self.labeled.clone(),
             di_floor: self.di_floor,
         }
     }
@@ -96,6 +96,22 @@ fn fmt_rate(rate: Option<f64>) -> String {
     }
 }
 
+/// Render per-cell rates for an alert summary. The binary layout keeps
+/// its classic `[W, U] = [a, b]` wording verbatim; any other K lists the
+/// cells positionally (`cells = [a, b, c, …]`, index = cell id).
+fn fmt_rates(rates: &[Option<f64>]) -> String {
+    let listed = rates
+        .iter()
+        .map(|&r| fmt_rate(r))
+        .collect::<Vec<_>>()
+        .join(", ");
+    if rates.len() == 2 {
+        format!("[W, U] = [{listed}]")
+    } else {
+        format!("cells = [{listed}]")
+    }
+}
+
 /// Build the alert event, explanation included: which `(group, plane)`
 /// cell moved, and the windowed rates that say by how much.
 pub(crate) fn alert_event(alert: &DriftAlert, snapshot: &FairnessSnapshot) -> TelemetryEvent {
@@ -105,23 +121,21 @@ pub(crate) fn alert_event(alert: &DriftAlert, snapshot: &FairnessSnapshot) -> Te
             format!(
                 "Page-Hinkley on group {}'s decision-conformance series crossed its \
                  threshold (statistic {:.4} > lambda {:.4}); windowed violation rates \
-                 [W, U] = [{}, {}]",
+                 {}",
                 alert.group,
                 alert.statistic,
                 alert.threshold,
-                fmt_rate(snapshot.violation_rate[0]),
-                fmt_rate(snapshot.violation_rate[1]),
+                fmt_rates(&snapshot.violation_rate),
             ),
         ),
         DriftKind::DisparateImpactFloor => (
             format!("group={}/selection", alert.group),
             format!(
                 "windowed DI* {:.4} fell below the {:.2} floor; selection rates \
-                 [W, U] = [{}, {}] disadvantage group {}",
+                 {} disadvantage group {}",
                 alert.statistic,
                 alert.threshold,
-                fmt_rate(snapshot.selection_rate[0]),
-                fmt_rate(snapshot.selection_rate[1]),
+                fmt_rates(&snapshot.selection_rate),
                 alert.group,
             ),
         ),
@@ -131,8 +145,8 @@ pub(crate) fn alert_event(alert: &DriftAlert, snapshot: &FairnessSnapshot) -> Te
         alert: alert_data(alert),
         explanation: AlertExplanation {
             cell,
-            selection_rate: snapshot.selection_rate,
-            violation_rate: snapshot.violation_rate,
+            selection_rate: snapshot.selection_rate.clone(),
+            violation_rate: snapshot.violation_rate.clone(),
             summary,
         },
     })

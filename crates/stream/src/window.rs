@@ -54,7 +54,8 @@ pub struct SlotMeta {
     /// The tuple's stream id (its position in ingestion order) — the join
     /// key label feedback addresses.
     pub id: u64,
-    /// Group id (0 = majority `W`, 1 = minority `U`).
+    /// Group cell id, `0..K` (the classic binary layout is 0 = majority
+    /// `W`, 1 = minority `U`).
     pub group: u8,
     /// Ground truth, if it has arrived — at ingest for a labeled tuple, or
     /// later through a feedback join. `None` while the label is pending.
@@ -235,8 +236,10 @@ impl std::fmt::Display for JoinStats {
 
 /// The two-plane sliding window: a decision-metadata ring plus a
 /// stride-`dim` feature arena, a label ring of joined outcome pairs, and
-/// the bounded pending-join index — with per-group counters over both
-/// planes.
+/// the bounded pending-join index — with per-cell counters over both
+/// planes. The group dimension K is a runtime parameter: the counter
+/// bank is K-length, and `push` rejects `group >= K` with a typed
+/// [`StreamError::BadGroup`].
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
     meta: Vec<SlotMeta>,
@@ -254,16 +257,29 @@ pub struct SlidingWindow {
     pending: BTreeMap<u64, (u8, u8)>,
     pending_capacity: usize,
     joins: JoinStats,
-    counts: [GroupCounts; 2],
+    /// Group-cell count K (the length of `counts`).
+    groups: usize,
+    counts: Vec<GroupCounts>,
 }
 
 impl SlidingWindow {
     /// A window retaining the most recent `capacity` tuples of `dim`
     /// features each, remembering up to `pending_capacity` evicted
-    /// unlabeled decisions for late label joins.
-    pub fn new(capacity: usize, dim: usize, pending_capacity: usize) -> Result<Self> {
+    /// unlabeled decisions for late label joins, with `groups` group
+    /// cells (K ≥ 1; group ids are `u8`, so K ≤ 256).
+    pub fn new(
+        capacity: usize,
+        dim: usize,
+        pending_capacity: usize,
+        groups: usize,
+    ) -> Result<Self> {
         if capacity == 0 {
             return Err(StreamError::EmptyWindow);
+        }
+        if groups == 0 || groups > 256 {
+            return Err(StreamError::Schema(format!(
+                "the window needs 1..=256 group cells, not {groups}"
+            )));
         }
         Ok(SlidingWindow {
             meta: Vec::with_capacity(capacity),
@@ -278,7 +294,8 @@ impl SlidingWindow {
             pending: BTreeMap::new(),
             pending_capacity,
             joins: JoinStats::default(),
-            counts: [GroupCounts::default(); 2],
+            groups,
+            counts: vec![GroupCounts::default(); groups],
         })
     }
 
@@ -288,7 +305,7 @@ impl SlidingWindow {
     /// case, allocation-free in the rings once they have filled.
     pub fn push(&mut self, meta: SlotMeta, features: &[f64]) -> Result<()> {
         let g = meta.group as usize;
-        if g >= 2 {
+        if g >= self.groups {
             return Err(StreamError::BadGroup(meta.group));
         }
         if let Some(label) = meta.label {
@@ -492,9 +509,14 @@ impl SlidingWindow {
         self.joins
     }
 
-    /// The windowed per-group counters (index = group id), covering both
-    /// planes.
-    pub fn counts(&self) -> &[GroupCounts; 2] {
+    /// The group-cell count K this window was built with.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The windowed per-cell counters (K-length, index = group id),
+    /// covering both planes.
+    pub fn counts(&self) -> &[GroupCounts] {
         &self.counts
     }
 
@@ -557,10 +579,11 @@ impl SlidingWindow {
     /// # Errors
     /// Rejects zero capacities, more slots (or joined pairs, or pending
     /// entries) than their bounds, feature buffers that disagree with
-    /// `len × dim`, non-monotonic ids, slots with non-binary groups or
-    /// labels, and pending entries that overlap the decision ring — a
-    /// corrupted checkpoint fails loudly, it never half-loads.
-    pub fn from_state(state: &WindowState, pending_capacity: usize) -> Result<Self> {
+    /// `len × dim`, non-monotonic ids, slots with out-of-range groups
+    /// (`>= groups`) or non-binary labels, and pending entries that
+    /// overlap the decision ring — a corrupted checkpoint fails loudly,
+    /// it never half-loads.
+    pub fn from_state(state: &WindowState, pending_capacity: usize, groups: usize) -> Result<Self> {
         if state.meta.len() > state.capacity {
             return Err(StreamError::Checkpoint(format!(
                 "window snapshot holds {} slots but capacity is {}",
@@ -589,16 +612,16 @@ impl SlidingWindow {
                 state.pending.len()
             )));
         }
-        let mut window = SlidingWindow::new(state.capacity, state.dim, pending_capacity)?;
+        let mut window = SlidingWindow::new(state.capacity, state.dim, pending_capacity, groups)?;
         let mut last_id: Option<u64> = None;
         for (i, meta) in state.meta.iter().enumerate() {
             // The replay bypasses `push` (the label ring restores
             // separately below — a slot labeled via late feedback has no
             // label-ring pairing with its own push, so the pairing cannot
-            // be re-derived), so it must repeat push's validation: binary
-            // group/label and strictly increasing ids (the invariant the
-            // feedback binary search relies on).
-            if meta.group >= 2 {
+            // be re-derived), so it must repeat push's validation: an
+            // in-range group, a binary label, and strictly increasing ids
+            // (the invariant the feedback binary search relies on).
+            if meta.group as usize >= groups {
                 return Err(StreamError::BadGroup(meta.group));
             }
             if let Some(label) = meta.label {
@@ -618,7 +641,7 @@ impl SlidingWindow {
                 .push_decision_only(*meta, &state.features[i * state.dim..(i + 1) * state.dim])?;
         }
         for pair in &state.labels {
-            if pair.group >= 2 {
+            if pair.group as usize >= groups {
                 return Err(StreamError::BadGroup(pair.group));
             }
             if pair.label >= 2 {
@@ -629,7 +652,7 @@ impl SlidingWindow {
         let oldest = window.oldest_id();
         let mut last_pending: Option<u64> = None;
         for entry in &state.pending {
-            if entry.group >= 2 {
+            if entry.group as usize >= groups {
                 return Err(StreamError::BadGroup(entry.group));
             }
             if entry.decision >= 2 {
@@ -696,8 +719,8 @@ mod tests {
 
     /// Recompute the counters by scanning both rings — the O(n) ground
     /// truth the O(1) incremental path must match.
-    fn brute_counts(w: &SlidingWindow) -> [GroupCounts; 2] {
-        let mut counts = [GroupCounts::default(); 2];
+    fn brute_counts(w: &SlidingWindow) -> Vec<GroupCounts> {
+        let mut counts = vec![GroupCounts::default(); w.groups()];
         for (m, _) in w.iter() {
             counts[m.group as usize].apply_decision(&m, 1);
         }
@@ -710,14 +733,14 @@ mod tests {
     #[test]
     fn zero_capacity_is_rejected() {
         assert!(matches!(
-            SlidingWindow::new(0, 2, 8),
+            SlidingWindow::new(0, 2, 8, 2),
             Err(StreamError::EmptyWindow)
         ));
     }
 
     #[test]
     fn bad_group_and_label_are_rejected() {
-        let mut w = SlidingWindow::new(4, 2, 8).unwrap();
+        let mut w = SlidingWindow::new(4, 2, 8, 2).unwrap();
         assert!(matches!(
             w.push(slot(0, 2, None, 0, false), &[0.0, 0.0]),
             Err(StreamError::BadGroup(2))
@@ -730,7 +753,7 @@ mod tests {
 
     #[test]
     fn wrong_stride_is_rejected() {
-        let mut w = SlidingWindow::new(4, 2, 8).unwrap();
+        let mut w = SlidingWindow::new(4, 2, 8, 2).unwrap();
         assert!(matches!(
             w.push(slot(0, 0, None, 0, false), &[1.0, 2.0, 3.0]),
             Err(StreamError::Schema(_))
@@ -740,7 +763,7 @@ mod tests {
 
     #[test]
     fn non_monotonic_ids_are_rejected() {
-        let mut w = SlidingWindow::new(4, 1, 8).unwrap();
+        let mut w = SlidingWindow::new(4, 1, 8, 2).unwrap();
         w.push(slot(5, 0, None, 0, false), &[0.0]).unwrap();
         assert!(matches!(
             w.push(slot(5, 0, None, 0, false), &[0.0]),
@@ -756,7 +779,7 @@ mod tests {
 
     #[test]
     fn counters_match_brute_force_through_wraparound() {
-        let mut w = SlidingWindow::new(7, 2, 16).unwrap();
+        let mut w = SlidingWindow::new(7, 2, 16, 2).unwrap();
         for i in 0..50u32 {
             let g = (i % 3 == 0) as u8;
             let y = (i % 2) as u8;
@@ -769,19 +792,19 @@ mod tests {
                 &[f64::from(i), f64::from(g)],
             )
             .unwrap();
-            assert_eq!(*w.counts(), brute_counts(&w), "after push {i}");
+            assert_eq!(w.counts(), &brute_counts(&w)[..], "after push {i}");
             assert_eq!(w.len(), (i as usize + 1).min(7));
         }
         // Join some of the outstanding labels, late and in-window alike.
         for id in [2u64, 5, 44, 47] {
             w.feedback(id, 1);
-            assert_eq!(*w.counts(), brute_counts(&w), "after feedback {id}");
+            assert_eq!(w.counts(), &brute_counts(&w)[..], "after feedback {id}");
         }
     }
 
     #[test]
     fn eviction_is_fifo_and_arena_tracks_features() {
-        let mut w = SlidingWindow::new(3, 1, 8).unwrap();
+        let mut w = SlidingWindow::new(3, 1, 8, 2).unwrap();
         for i in 0..5u8 {
             w.push(slot(u64::from(i), 0, Some(0), 0, false), &[f64::from(i)])
                 .unwrap();
@@ -797,7 +820,7 @@ mod tests {
     #[test]
     fn zero_dim_windows_iterate_empty_feature_slices() {
         // A degenerate schema with no attributes still counts correctly.
-        let mut w = SlidingWindow::new(2, 0, 8).unwrap();
+        let mut w = SlidingWindow::new(2, 0, 8, 2).unwrap();
         w.push(slot(0, 0, Some(1), 1, false), &[]).unwrap();
         w.push(slot(1, 1, Some(0), 0, true), &[]).unwrap();
         assert_eq!(w.len(), 2);
@@ -843,7 +866,7 @@ mod tests {
         assert_eq!(c.fpr(), None);
         assert_eq!(c.violation_rate(), None);
 
-        let mut w = SlidingWindow::new(4, 1, 8).unwrap();
+        let mut w = SlidingWindow::new(4, 1, 8, 2).unwrap();
         w.push(slot(0, 0, None, 1, true), &[0.0]).unwrap();
         let c = w.counts()[0];
         assert_eq!(c.selection_rate(), Some(1.0));
@@ -861,7 +884,7 @@ mod tests {
 
     #[test]
     fn feedback_joins_late_through_the_pending_index() {
-        let mut w = SlidingWindow::new(2, 1, 2).unwrap();
+        let mut w = SlidingWindow::new(2, 1, 2, 2).unwrap();
         for i in 0..4u64 {
             w.push(slot(i, (i % 2) as u8, None, 1, false), &[0.0])
                 .unwrap();
@@ -886,7 +909,7 @@ mod tests {
 
     #[test]
     fn pending_index_is_bounded_and_counts_evictions() {
-        let mut w = SlidingWindow::new(1, 1, 2).unwrap();
+        let mut w = SlidingWindow::new(1, 1, 2, 2).unwrap();
         for i in 0..5u64 {
             w.push(slot(i, 0, None, 1, false), &[0.0]).unwrap();
         }
@@ -897,7 +920,7 @@ mod tests {
         assert_eq!(w.feedback(2, 1), LabelJoin::JoinedLate);
 
         // A zero-capacity index drops every unlabeled eviction.
-        let mut w = SlidingWindow::new(1, 1, 0).unwrap();
+        let mut w = SlidingWindow::new(1, 1, 0, 2).unwrap();
         w.push(slot(0, 0, None, 1, false), &[0.0]).unwrap();
         w.push(slot(1, 0, None, 1, false), &[0.0]).unwrap();
         assert_eq!(w.pending_len(), 0);
@@ -908,7 +931,7 @@ mod tests {
     fn label_ring_outlives_decision_eviction() {
         // A joined pair stays in the label plane even after its tuple
         // leaves the decision ring.
-        let mut w = SlidingWindow::new(2, 1, 4).unwrap();
+        let mut w = SlidingWindow::new(2, 1, 4, 2).unwrap();
         w.push(slot(0, 1, Some(1), 1, false), &[0.0]).unwrap();
         w.push(slot(1, 0, None, 0, false), &[0.0]).unwrap();
         w.push(slot(2, 0, None, 0, false), &[0.0]).unwrap();
@@ -918,7 +941,7 @@ mod tests {
 
     #[test]
     fn state_round_trips_both_planes_and_pending() {
-        let mut w = SlidingWindow::new(3, 1, 4).unwrap();
+        let mut w = SlidingWindow::new(3, 1, 4, 2).unwrap();
         for i in 0..6u64 {
             let label = (i % 2 == 0).then_some((i % 4 == 0) as u8);
             w.push(slot(i, (i % 2) as u8, label, 1, i % 3 == 0), &[i as f64])
@@ -926,7 +949,7 @@ mod tests {
         }
         w.feedback(1, 1); // pending by now → late join
         let state = w.state();
-        let restored = SlidingWindow::from_state(&state, 4).unwrap();
+        let restored = SlidingWindow::from_state(&state, 4, 2).unwrap();
         assert_eq!(restored.counts(), w.counts());
         assert_eq!(restored.pending_len(), w.pending_len());
         assert_eq!(restored.labeled_len(), w.labeled_len());
@@ -937,7 +960,7 @@ mod tests {
 
     #[test]
     fn corrupted_states_are_rejected() {
-        let mut w = SlidingWindow::new(3, 1, 4).unwrap();
+        let mut w = SlidingWindow::new(3, 1, 4, 2).unwrap();
         for i in 0..5u64 {
             w.push(slot(i, 0, None, 1, false), &[i as f64]).unwrap();
         }
@@ -946,7 +969,7 @@ mod tests {
         let mut overlap = good.clone();
         overlap.pending[0].id = overlap.meta[0].id; // collides with the ring
         assert!(matches!(
-            SlidingWindow::from_state(&overlap, 4),
+            SlidingWindow::from_state(&overlap, 4, 2),
             Err(StreamError::Checkpoint(_))
         ));
 
@@ -956,7 +979,7 @@ mod tests {
             group: 0,
             decision: 0,
         });
-        assert!(SlidingWindow::from_state(&too_many, 2).is_err());
+        assert!(SlidingWindow::from_state(&too_many, 2, 2).is_err());
 
         let mut bad_pair = good.clone();
         bad_pair.labels.push(LabelSlot {
@@ -965,13 +988,13 @@ mod tests {
             label: 7,
         });
         assert!(matches!(
-            SlidingWindow::from_state(&bad_pair, 4),
+            SlidingWindow::from_state(&bad_pair, 4, 2),
             Err(StreamError::BadLabel(7))
         ));
 
         let mut unsorted = good.clone();
         unsorted.pending.reverse();
-        assert!(SlidingWindow::from_state(&unsorted, 4).is_err());
+        assert!(SlidingWindow::from_state(&unsorted, 4, 2).is_err());
 
         // Replay repeats push's validation: a non-binary slot group is a
         // typed error (not an out-of-bounds panic), and non-monotonic
@@ -980,21 +1003,21 @@ mod tests {
         let mut bad_group = good.clone();
         bad_group.meta[1].group = 5;
         assert!(matches!(
-            SlidingWindow::from_state(&bad_group, 4),
+            SlidingWindow::from_state(&bad_group, 4, 2),
             Err(StreamError::BadGroup(5))
         ));
 
         let mut unsorted_ids = good.clone();
         unsorted_ids.meta.swap(0, 1);
         assert!(matches!(
-            SlidingWindow::from_state(&unsorted_ids, 4),
+            SlidingWindow::from_state(&unsorted_ids, 4, 2),
             Err(StreamError::Checkpoint(_))
         ));
 
         let mut duplicate_ids = good;
         duplicate_ids.meta[1].id = duplicate_ids.meta[0].id;
         assert!(matches!(
-            SlidingWindow::from_state(&duplicate_ids, 4),
+            SlidingWindow::from_state(&duplicate_ids, 4, 2),
             Err(StreamError::Checkpoint(_))
         ));
     }

@@ -261,11 +261,11 @@ fn small_checkpoint() -> EngineCheckpoint {
 fn version_mismatch_is_a_typed_error() {
     let json = small_checkpoint()
         .to_json()
-        .replacen("\"version\":3", "\"version\":4", 1);
+        .replacen("\"version\":4", "\"version\":5", 1);
     assert!(matches!(
         EngineCheckpoint::from_json(&json),
         Err(StreamError::CheckpointVersion {
-            found: 4,
+            found: 5,
             expected: CHECKPOINT_VERSION
         })
     ));

@@ -5,7 +5,10 @@
 
 use cf_datasets::stream::{DriftStream, DriftStreamSpec};
 use cf_learners::LearnerKind;
-use cf_stream::{DriftKind, RetrainPolicy, StreamConfig, StreamEngine, StreamError, StreamTuple};
+use cf_stream::{
+    AsyncConfig, AsyncEngine, DriftKind, EngineCheckpoint, RetrainPolicy, ShardedEngine,
+    ShardedTuple, StreamConfig, StreamEngine, StreamError, StreamTuple, CHECKPOINT_VERSION,
+};
 
 fn spec() -> DriftStreamSpec {
     DriftStreamSpec {
@@ -225,6 +228,211 @@ fn schema_mismatch_is_rejected() {
     // A rejected batch must not advance the engine at all.
     assert_eq!(engine.tuples_seen(), 0);
     assert_eq!(engine.window_len(), 0);
+}
+
+#[test]
+fn k1_stream_has_no_pairs_and_fabricates_no_readings() {
+    // K=1: a single cell has no ordered pairs, so every pairwise reading
+    // must be *absent* — `None`, never a fabricated 0.0 or NaN — while
+    // the cell's own monitors keep working.
+    let k1 = DriftStreamSpec {
+        groups: 1,
+        drift_group: 0,
+        drift_onset: u64::MAX,
+        ..DriftStreamSpec::default()
+    };
+    let reference = k1.reference(2_000, 3);
+    let config = StreamConfig {
+        groups: 1,
+        ..StreamConfig::default()
+    };
+    let mut engine =
+        StreamEngine::from_reference(&reference, LearnerKind::Logistic, 3, config).unwrap();
+    let mut stream = DriftStream::new(k1, 31);
+    for _ in 0..10 {
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(250)).unwrap();
+        let outcome = engine.ingest(&batch).unwrap();
+        assert_eq!(outcome.snapshot.di_star, None, "no pair, no DI*");
+        assert_eq!(
+            outcome.snapshot.demographic_parity_gap, None,
+            "no pair, no DP gap"
+        );
+        assert_eq!(outcome.snapshot.passes_di_floor(), None);
+        assert_eq!(outcome.snapshot.selection_rate.len(), 1);
+        assert!(outcome.snapshot.selection_rate[0].is_some());
+        assert!(outcome.alerts.is_empty(), "no pairwise verdicts at K=1");
+    }
+    assert!(engine.snapshot().violation_rate[0].is_some());
+    // And the single cell is still rejected beyond its range.
+    let bad = StreamTuple {
+        features: vec![1.0, 2.0],
+        group: 1,
+        label: None,
+    };
+    assert!(matches!(
+        engine.ingest(&[bad]),
+        Err(StreamError::BadGroup(1))
+    ));
+}
+
+#[test]
+fn empty_intersection_cells_stay_absent_not_zero() {
+    // An 8-cell engine fed a stream that only ever populates cells 0..4
+    // (the realistic sparse-intersection case): the empty cells' readings
+    // stay `None`, the populated cells' monitoring is unaffected, and no
+    // detector fires for a cell that has seen no tuples.
+    let four_cells = DriftStreamSpec {
+        groups: 4,
+        minority_fraction: 0.6,
+        drift_onset: u64::MAX,
+        ..DriftStreamSpec::default()
+    };
+    let reference = four_cells.reference(3_000, 5);
+    let config = StreamConfig {
+        groups: 8,
+        ..StreamConfig::default()
+    };
+    let mut engine =
+        StreamEngine::from_reference(&reference, LearnerKind::Logistic, 5, config).unwrap();
+    let mut stream = DriftStream::new(four_cells, 37);
+    for _ in 0..8 {
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(250)).unwrap();
+        engine.ingest(&batch).unwrap();
+    }
+    let snapshot = engine.snapshot();
+    assert_eq!(snapshot.selection_rate.len(), 8);
+    for cell in 0..4 {
+        assert!(
+            snapshot.selection_rate[cell].is_some(),
+            "populated cell {cell} must report"
+        );
+    }
+    for cell in 4..8 {
+        assert_eq!(
+            snapshot.selection_rate[cell], None,
+            "empty cell {cell} must stay absent, not 0.0"
+        );
+        assert_eq!(snapshot.violation_rate[cell], None);
+        assert_eq!(snapshot.labeled[cell], 0);
+    }
+    // Worst-pair readings range over populated cells only — defined, and
+    // never NaN.
+    let di = snapshot.di_star.expect("populated pairs exist");
+    assert!(di.is_finite());
+    assert!(
+        engine.alerts().iter().all(|a| a.group < 4),
+        "no detector may fire for a cell that has seen no tuples"
+    );
+}
+
+#[test]
+fn group_beyond_k_is_a_typed_error_at_every_ingest_boundary() {
+    let k3 = DriftStreamSpec {
+        groups: 3,
+        minority_fraction: 0.5,
+        drift_onset: u64::MAX,
+        ..DriftStreamSpec::default()
+    };
+    let reference = k3.reference(2_000, 7);
+    let config = StreamConfig {
+        groups: 3,
+        ..StreamConfig::default()
+    };
+    let bad = StreamTuple {
+        features: vec![1.0, 2.0],
+        group: 3, // == K: first id past the 0..3 cell range
+        label: None,
+    };
+
+    // Sync boundary.
+    let mut sync =
+        StreamEngine::from_reference(&reference, LearnerKind::Logistic, 7, config.clone()).unwrap();
+    assert!(matches!(
+        sync.ingest(std::slice::from_ref(&bad)),
+        Err(StreamError::BadGroup(3))
+    ));
+    assert_eq!(sync.tuples_seen(), 0, "rejected batch must not advance");
+
+    // Async boundary: rejected at submission, before anything enqueues.
+    let inner =
+        StreamEngine::from_reference(&reference, LearnerKind::Logistic, 7, config.clone()).unwrap();
+    let mut anc = AsyncEngine::from_engine(inner, AsyncConfig::default());
+    assert!(matches!(
+        anc.ingest(std::slice::from_ref(&bad)),
+        Err(StreamError::BadGroup(3))
+    ));
+    anc.flush().unwrap();
+    assert_eq!(anc.snapshot().window_len, 0);
+
+    // Sharded boundary.
+    let mut sharded =
+        ShardedEngine::from_reference(&reference, LearnerKind::Logistic, 7, config, 2).unwrap();
+    assert!(matches!(
+        sharded.ingest(&[ShardedTuple {
+            shard: 1,
+            tuple: bad,
+        }]),
+        Err(StreamError::BadGroup(3))
+    ));
+    assert_eq!(sharded.snapshot().window_len, 0);
+}
+
+#[test]
+fn mid_drift_binary_v3_checkpoint_upgrades_and_resumes_identically() {
+    // Checkpoint a binary engine *mid-drift* (detectors warm, window
+    // carrying post-onset tuples), rewrite the document to the v3 schema
+    // it would have had before the K-ary refactor (no `config.groups`),
+    // and restore through the upgrade chain: the document must come back
+    // as K=2, re-serialise to the exact live v4 bytes, and resume the
+    // stream identically to the uninterrupted engine.
+    let drifted = DriftStreamSpec {
+        drift_onset: 1_500,
+        ..spec()
+    };
+    let reference = drifted.reference(3_000, 9);
+    let mut engine = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Logistic,
+        9,
+        StreamConfig::default(),
+    )
+    .unwrap();
+    let mut stream = DriftStream::new(drifted, 41);
+    for batch_tuples in batches(&mut stream, 10, 250) {
+        engine.ingest(&batch_tuples).unwrap();
+    }
+
+    let v4 = engine.checkpoint().unwrap().to_json();
+    // The v4 document is v3 plus the appended `config.groups` field and
+    // the bumped version stamp; peel both off to fabricate the genuine
+    // pre-refactor document.
+    assert!(v4.contains("\"groups\":2") && v4.contains("\"version\":4"));
+    let v3 = v4
+        .replacen(",\"groups\":2", "", 1)
+        .replacen("\"version\":4", "\"version\":3", 1);
+
+    let upgraded = EngineCheckpoint::from_json(&v3).expect("v3 upgrades through the chain");
+    assert_eq!(upgraded.version, CHECKPOINT_VERSION);
+    assert_eq!(upgraded.config.groups, 2);
+    assert_eq!(
+        upgraded.to_json(),
+        v4,
+        "upgrade restores the exact v4 bytes"
+    );
+
+    // The restored engine serves the remaining stream exactly as the
+    // uninterrupted one does.
+    let mut restored = StreamEngine::restore(upgraded).unwrap();
+    for batch_tuples in batches(&mut stream, 4, 250) {
+        let live = engine.ingest(&batch_tuples).unwrap();
+        let resumed = restored.ingest(&batch_tuples).unwrap();
+        assert_eq!(live.decisions, resumed.decisions);
+        assert_eq!(
+            serde_json::to_string(&live.snapshot.to_data()).unwrap(),
+            serde_json::to_string(&resumed.snapshot.to_data()).unwrap()
+        );
+    }
+    assert_eq!(engine.alerts(), restored.alerts());
 }
 
 #[test]

@@ -81,8 +81,8 @@ fn mirror(c: &GroupCounts) -> WindowCounters {
     }
 }
 
-fn mirror_both(counts: &[GroupCounts; 2]) -> [WindowCounters; 2] {
-    [mirror(&counts[0]), mirror(&counts[1])]
+fn mirror_both(counts: &[GroupCounts]) -> Vec<WindowCounters> {
+    counts.iter().map(mirror).collect()
 }
 
 fn alert_mirror(a: &DriftAlert) -> AlertData {
@@ -259,7 +259,7 @@ proptest! {
         let live_alerts: Vec<AlertData> =
             anc.alerts().iter().map(alert_mirror).collect();
         prop_assert_eq!(&run.alerts, &live_alerts);
-        prop_assert_eq!(run.counters, mirror_both(&anc.window_counts()));
+        prop_assert_eq!(run.counters, mirror_both(&anc.window_counts()[..]));
     }
 
     /// Sharded: every shard keeps its own trail, and each replays
@@ -401,7 +401,7 @@ fn sharded_async_trails_replay_at_quiescence() {
     for (s, ring) in rings.iter().enumerate() {
         let run = replay(&jsonl_of(&events_of(ring))).unwrap();
         let shard = anc.shard(s as u32).unwrap();
-        assert_eq!(run.counters, mirror_both(&shard.window_counts()));
+        assert_eq!(run.counters, mirror_both(&shard.window_counts()[..]));
         assert_eq!(
             run.snapshots.last().unwrap(),
             &shard.snapshot().to_data(),
@@ -559,7 +559,7 @@ fn try_drop_run(seed: u64) -> bool {
     // post-drop sequence, not the lossless fiction.
     let run = replay(&jsonl_of(&events)).unwrap();
     assert_eq!(run.dropped_tuples, dropped.tuples);
-    assert_eq!(run.counters, mirror_both(&anc.window_counts()));
+    assert_eq!(run.counters, mirror_both(&anc.window_counts()[..]));
     assert_eq!(
         cf_stream::FairnessSnapshot::from_data(SnapshotData::from_counters(
             &run.counters,

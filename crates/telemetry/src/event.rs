@@ -119,78 +119,141 @@ impl WindowCounters {
     }
 }
 
-/// A point-in-time fairness reading derived from two group cells — the
+/// A point-in-time fairness reading derived from K group cells — the
 /// serialisable twin of `cf-stream`'s `FairnessSnapshot`, and the single
-/// home of its arithmetic. Group-indexed fields use `[majority, minority]`
-/// order; `None` marks an empty denominator, never a fabricated 0.
+/// home of its arithmetic. Cell-indexed fields are K-length, indexed by
+/// group id (the classic binary layout is `[majority, minority]`);
+/// `None` marks an empty denominator, never a fabricated 0. The scalar
+/// fairness readings are **worst-pair** statistics: the ordered cell
+/// pair whose symmetrised disparate impact is smallest, which at K=2
+/// degenerates to exactly the binary formulas.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SnapshotData {
     /// Tuples in the window when the snapshot was taken.
     pub window_len: u64,
-    /// Windowed selection rate per group.
-    pub selection_rate: [Option<f64>; 2],
-    /// Raw disparate impact `SR_U / SR_W` (∞ when `SR_W = 0`, `SR_U > 0`).
+    /// Windowed selection rate per cell.
+    pub selection_rate: Vec<Option<f64>>,
+    /// Raw disparate impact `SR_j / SR_i` of the worst ordered pair
+    /// `(i, j)`, `i < j` (∞ when `SR_i = 0`, `SR_j > 0`). At K=2 this is
+    /// the classic `SR_U / SR_W`.
     pub disparate_impact: Option<f64>,
-    /// Symmetrised `DI* = min(DI, 1/DI)` — 1.0 is perfectly fair.
+    /// Worst-pair symmetrised `DI* = min(DI, 1/DI)` — 1.0 is perfectly
+    /// fair; the EEOC floor applies to this reading.
     pub di_star: Option<f64>,
-    /// `|SR_W − SR_U|`.
+    /// Largest selection-rate gap over defined cells,
+    /// `max_i SR_i − min_i SR_i` (at K=2: `|SR_W − SR_U|`).
     pub demographic_parity_gap: Option<f64>,
-    /// `|TPR_W − TPR_U|` (equal opportunity), over joined labels only.
+    /// Largest TPR gap over cells with joined positive labels (equal
+    /// opportunity; at K=2: `|TPR_W − TPR_U|`).
     pub equal_opportunity_gap: Option<f64>,
-    /// Windowed conformance-violation rate per group (decision plane).
-    pub violation_rate: [Option<f64>; 2],
-    /// Joined `(decision, label)` pairs per group in the label plane.
-    pub labeled: [u64; 2],
+    /// Windowed conformance-violation rate per cell (decision plane).
+    pub violation_rate: Vec<Option<f64>>,
+    /// Joined `(decision, label)` pairs per cell in the label plane.
+    pub labeled: Vec<u64>,
     /// The DI* floor this stream is held to (EEOC four-fifths: 0.8).
     pub di_floor: f64,
 }
 
+/// Raw and symmetrised disparate impact of one ordered cell pair, with
+/// cell `i`'s rate as the reference: `(SR_j / SR_i, min(DI, 1/DI))`.
+/// `SR_i = 0` with `SR_j > 0` is infinite raw DI (star 0); neither cell
+/// selecting is vacuously balanced (raw 1, star 1).
+fn pair_disparate_impact(sr_i: f64, sr_j: f64) -> (f64, f64) {
+    let raw = if sr_i > 0.0 {
+        sr_j / sr_i
+    } else if sr_j > 0.0 {
+        f64::INFINITY
+    } else {
+        // Neither cell selected: vacuously balanced.
+        1.0
+    };
+    let star = if raw <= 0.0 || raw.is_infinite() {
+        0.0
+    } else {
+        raw.min(1.0 / raw)
+    };
+    (raw, star)
+}
+
+/// `max − min` over an iterator of readings; `None` with fewer than two.
+fn spread(rates: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut n = 0usize;
+    for r in rates {
+        lo = lo.min(r);
+        hi = hi.max(r);
+        n += 1;
+    }
+    (n >= 2).then_some(hi - lo)
+}
+
 impl SnapshotData {
-    /// Assemble the reading from two group cells. O(1). This is the
-    /// arithmetic `cf-stream` delegates to, so live and replayed
-    /// snapshots are computed identically by construction.
-    pub fn from_counters(counts: &[WindowCounters; 2], di_floor: f64) -> Self {
-        let sr = [counts[0].selection_rate(), counts[1].selection_rate()];
-        let disparate_impact = match (sr[0], sr[1]) {
-            (Some(w), Some(u)) => {
-                if w > 0.0 {
-                    Some(u / w)
-                } else if u > 0.0 {
-                    Some(f64::INFINITY)
-                } else {
-                    // Neither group selected: vacuously balanced.
-                    Some(1.0)
-                }
+    /// Assemble the reading from K group cells. O(K²) over the cell
+    /// pairs, O(1) at any fixed K. This is the arithmetic `cf-stream`
+    /// delegates to, so live and replayed snapshots are computed
+    /// identically by construction.
+    pub fn from_counters(counts: &[WindowCounters], di_floor: f64) -> Self {
+        let sr: Vec<Option<f64>> = counts.iter().map(WindowCounters::selection_rate).collect();
+        let (disparate_impact, di_star) = match worst_pair_of(&sr) {
+            Some((i, j)) => {
+                let (raw, star) = pair_disparate_impact(sr[i].unwrap(), sr[j].unwrap());
+                (Some(raw), Some(star))
             }
-            _ => None,
+            None => (None, None),
         };
-        let di_star = disparate_impact.map(|di| {
-            if di <= 0.0 || di.is_infinite() {
-                0.0
-            } else {
-                di.min(1.0 / di)
-            }
-        });
-        let demographic_parity_gap = match (sr[0], sr[1]) {
-            (Some(w), Some(u)) => Some((w - u).abs()),
-            _ => None,
-        };
-        let equal_opportunity_gap = match (counts[0].tpr(), counts[1].tpr()) {
-            (Some(w), Some(u)) => Some((w - u).abs()),
-            _ => None,
-        };
+        let demographic_parity_gap = spread(sr.iter().filter_map(|r| *r));
+        let equal_opportunity_gap = spread(counts.iter().filter_map(WindowCounters::tpr));
         SnapshotData {
-            window_len: counts[0].total + counts[1].total,
+            window_len: counts.iter().map(|c| c.total).sum(),
             selection_rate: sr,
             disparate_impact,
             di_star,
             demographic_parity_gap,
             equal_opportunity_gap,
-            violation_rate: [counts[0].violation_rate(), counts[1].violation_rate()],
-            labeled: [counts[0].labeled, counts[1].labeled],
+            violation_rate: counts.iter().map(WindowCounters::violation_rate).collect(),
+            labeled: counts.iter().map(|c| c.labeled).collect(),
             di_floor,
         }
     }
+
+    /// The ordered cell pair `(i, j)`, `i < j`, whose symmetrised DI is
+    /// worst (smallest), over pairs where both selection rates are
+    /// defined; ties break to the lexicographically first pair. `None`
+    /// when fewer than two cells have a defined rate — a K=1 stream has
+    /// no pairs and reports `None`, never a fabricated reading.
+    pub fn worst_pair(counts: &[WindowCounters]) -> Option<(usize, usize)> {
+        let sr: Vec<Option<f64>> = counts.iter().map(WindowCounters::selection_rate).collect();
+        worst_pair_of(&sr)
+    }
+
+    /// The cell the worst pair disadvantages: the one with the lower
+    /// selection rate (ties go to the higher-indexed cell, matching the
+    /// binary engine's "minority unless strictly better" convention).
+    /// `None` when [`Self::worst_pair`] is `None`.
+    pub fn disadvantaged_cell(counts: &[WindowCounters]) -> Option<usize> {
+        let (i, j) = Self::worst_pair(counts)?;
+        let (sr_i, sr_j) = (
+            counts[i].selection_rate().unwrap(),
+            counts[j].selection_rate().unwrap(),
+        );
+        Some(if sr_j <= sr_i { j } else { i })
+    }
+}
+
+fn worst_pair_of(sr: &[Option<f64>]) -> Option<(usize, usize)> {
+    let mut worst: Option<((usize, usize), f64)> = None;
+    for i in 0..sr.len() {
+        let Some(sr_i) = sr[i] else { continue };
+        for (j, sr_j) in sr.iter().enumerate().skip(i + 1) {
+            let Some(sr_j) = *sr_j else { continue };
+            let (_, star) = pair_disparate_impact(sr_i, sr_j);
+            if worst.is_none_or(|(_, s)| star < s) {
+                worst = Some(((i, j), star));
+            }
+        }
+    }
+    worst.map(|(pair, _)| pair)
 }
 
 /// A drift alert as recorded in the audit trail (the serialisable twin of
@@ -200,7 +263,7 @@ pub struct AlertData {
     /// Alert kind wire string (`"conformance_violation"` or
     /// `"disparate_impact_floor"`).
     pub kind: String,
-    /// Group the detector attributes the drift to.
+    /// Group cell the detector attributes the drift to.
     pub group: u8,
     /// Stream position (tuples observed) when the alert fired.
     pub at_tuple: u64,
@@ -217,10 +280,10 @@ pub struct AlertExplanation {
     /// The `(group, plane)` cell the detector attributes the move to,
     /// e.g. `"group=1/decision"`.
     pub cell: String,
-    /// Windowed selection rate per group at alert time.
-    pub selection_rate: [Option<f64>; 2],
-    /// Windowed conformance-violation rate per group at alert time.
-    pub violation_rate: [Option<f64>; 2],
+    /// Windowed selection rate per cell at alert time (K-length).
+    pub selection_rate: Vec<Option<f64>>,
+    /// Windowed conformance-violation rate per cell at alert time.
+    pub violation_rate: Vec<Option<f64>>,
     /// Human-readable one-line account of the move.
     pub summary: String,
 }
@@ -237,8 +300,8 @@ pub struct IngestBatchEvent {
     pub at_tuple: u64,
     /// The DI* floor in force.
     pub di_floor: f64,
-    /// Signed per-group counter change this batch caused (index = group).
-    pub delta: [CounterDelta; 2],
+    /// Signed per-cell counter change this batch caused (index = group).
+    pub delta: Vec<CounterDelta>,
     /// The fairness reading after the batch.
     pub snapshot: SnapshotData,
 }
@@ -304,8 +367,8 @@ pub struct CheckpointEvent {
     pub phase: String,
     /// The checkpoint format version.
     pub version: u32,
-    /// Absolute per-group window counters at the boundary.
-    pub counters: [WindowCounters; 2],
+    /// Absolute per-cell window counters at the boundary (K-length).
+    pub counters: Vec<WindowCounters>,
     /// The DI* floor in force.
     pub di_floor: f64,
 }
@@ -327,8 +390,8 @@ pub struct FeedbackJoinEvent {
     pub unmatched: u64,
     /// The DI* floor in force.
     pub di_floor: f64,
-    /// Signed per-group counter change the joins caused (index = group).
-    pub delta: [CounterDelta; 2],
+    /// Signed per-cell counter change the joins caused (index = group).
+    pub delta: Vec<CounterDelta>,
     /// The fairness reading after the joins.
     pub snapshot: SnapshotData,
 }
@@ -367,9 +430,9 @@ pub struct MonitorRestartEvent {
     pub gap_tuples: u64,
     /// The resumed clone's tuple-id clock; monitoring resumes at this id.
     pub resumed_from: u64,
-    /// Absolute per-group window counters of the resumed clone (the
-    /// replay re-anchor).
-    pub counters: [WindowCounters; 2],
+    /// Absolute per-cell window counters of the resumed clone (the
+    /// replay re-anchor; K-length).
+    pub counters: Vec<WindowCounters>,
     /// The DI* floor in force.
     pub di_floor: f64,
     /// Whether the resumed clone was in degraded mode. A death rolls
@@ -576,7 +639,75 @@ mod tests {
         let sr_u = 30.0 / 90.0;
         assert!((s.disparate_impact.unwrap() - sr_u / sr_w).abs() < 1e-15);
         assert!((s.demographic_parity_gap.unwrap() - (sr_w - sr_u).abs()).abs() < 1e-15);
-        assert_eq!(s.labeled, [80, 70]);
+        assert_eq!(s.labeled, vec![80, 70]);
+    }
+
+    /// At K=2 the worst-pair arithmetic *is* the binary arithmetic: one
+    /// ordered pair `(0, 1)`, raw DI oriented `SR_1 / SR_0`.
+    #[test]
+    fn k2_worst_pair_is_the_binary_pair() {
+        let counts = sample_counters();
+        assert_eq!(SnapshotData::worst_pair(&counts), Some((0, 1)));
+        assert_eq!(SnapshotData::disadvantaged_cell(&counts), Some(1));
+    }
+
+    #[test]
+    fn kary_worst_pair_finds_the_most_disparate_cells() {
+        let cell = |total: u64, selected: u64| WindowCounters {
+            total,
+            selected,
+            ..WindowCounters::default()
+        };
+        // SRs: 0.5, 0.4, 0.1, 0.5 → worst pair is (0, 2) (or (3, 2) by
+        // ratio, but (0, 2) comes first lexicographically at equal DI*).
+        let counts = [cell(100, 50), cell(100, 40), cell(100, 10), cell(100, 50)];
+        let s = SnapshotData::from_counters(&counts, 0.8);
+        assert_eq!(SnapshotData::worst_pair(&counts), Some((0, 2)));
+        assert_eq!(SnapshotData::disadvantaged_cell(&counts), Some(2));
+        assert!((s.disparate_impact.unwrap() - 0.2).abs() < 1e-15);
+        assert!((s.di_star.unwrap() - 0.2).abs() < 1e-15);
+        assert!((s.demographic_parity_gap.unwrap() - 0.4).abs() < 1e-15);
+        assert_eq!(s.window_len, 400);
+        assert_eq!(s.selection_rate.len(), 4);
+    }
+
+    /// A K=1 stream has no pairs: every pairwise reading is `None`,
+    /// never a fabricated 0.0.
+    #[test]
+    fn k1_has_no_pairs_and_reports_none() {
+        let counts = [WindowCounters {
+            total: 50,
+            selected: 20,
+            labeled: 10,
+            label_positive: 5,
+            true_positive: 3,
+            ..WindowCounters::default()
+        }];
+        let s = SnapshotData::from_counters(&counts, 0.8);
+        assert_eq!(s.disparate_impact, None);
+        assert_eq!(s.di_star, None);
+        assert_eq!(s.demographic_parity_gap, None);
+        assert_eq!(s.equal_opportunity_gap, None);
+        assert_eq!(SnapshotData::worst_pair(&counts), None);
+        assert_eq!(SnapshotData::disadvantaged_cell(&counts), None);
+        assert_eq!(s.window_len, 50);
+    }
+
+    /// Empty cells (no tuples yet) have undefined rates and are skipped
+    /// by the pair scan rather than polluting it with zeros.
+    #[test]
+    fn empty_cells_are_excluded_from_the_pair_scan() {
+        let cell = |total: u64, selected: u64| WindowCounters {
+            total,
+            selected,
+            ..WindowCounters::default()
+        };
+        let counts = [cell(100, 50), cell(0, 0), cell(100, 25), cell(0, 0)];
+        let s = SnapshotData::from_counters(&counts, 0.8);
+        assert_eq!(SnapshotData::worst_pair(&counts), Some((0, 2)));
+        assert!((s.di_star.unwrap() - 0.5).abs() < 1e-15);
+        assert_eq!(s.selection_rate[1], None);
+        assert_eq!(s.selection_rate[3], None);
     }
 
     #[test]
@@ -589,7 +720,7 @@ mod tests {
                 batch: 190,
                 at_tuple: 190,
                 di_floor: 0.8,
-                delta: [
+                delta: vec![
                     counts[0].delta_from(&WindowCounters::default()),
                     counts[1].delta_from(&WindowCounters::default()),
                 ],
@@ -606,8 +737,8 @@ mod tests {
                 },
                 explanation: AlertExplanation {
                     cell: "group=1/decision".into(),
-                    selection_rate: snapshot.selection_rate,
-                    violation_rate: snapshot.violation_rate,
+                    selection_rate: snapshot.selection_rate.clone(),
+                    violation_rate: snapshot.violation_rate.clone(),
                     summary: "violation rate moved".into(),
                 },
             }),
@@ -633,7 +764,7 @@ mod tests {
                 at_tuple: 190,
                 phase: "taken".into(),
                 version: 2,
-                counters: counts,
+                counters: counts.to_vec(),
                 di_floor: 0.8,
             }),
             TelemetryEvent::FeedbackJoin(FeedbackJoinEvent {
@@ -644,7 +775,7 @@ mod tests {
                 duplicates: 1,
                 unmatched: 1,
                 di_floor: 0.8,
-                delta: [CounterDelta::default(), CounterDelta::default()],
+                delta: vec![CounterDelta::default(), CounterDelta::default()],
                 snapshot,
             }),
             TelemetryEvent::Drop(DropEvent {
@@ -657,7 +788,7 @@ mod tests {
                 restarts: 2,
                 gap_tuples: 30,
                 resumed_from: 160,
-                counters: counts,
+                counters: counts.to_vec(),
                 di_floor: 0.8,
                 degraded: false,
             }),

@@ -47,6 +47,12 @@ pub enum ReplayError {
         /// 1-based line number.
         line: u64,
     },
+    /// An event carries a different number of group cells than the trail
+    /// established — trails from engines with different `K` were spliced.
+    CellCountMismatch {
+        /// 1-based line number.
+        line: u64,
+    },
     /// The trail could not be read at all (file-level I/O).
     Io(
         /// The I/O error message.
@@ -70,6 +76,11 @@ impl std::fmt::Display for ReplayError {
                 "audit line {line}: recomputed snapshot disagrees with the recorded one \
                  (trail tampered with?)"
             ),
+            ReplayError::CellCountMismatch { line } => write!(
+                f,
+                "audit line {line}: event carries a different group-cell count than \
+                 the trail established (trails from different K spliced?)"
+            ),
             ReplayError::Io(e) => write!(f, "audit trail unreadable: {e}"),
         }
     }
@@ -86,8 +97,9 @@ pub struct ReplayedRun {
     pub snapshots: Vec<SnapshotData>,
     /// Every drift alert, in stream order.
     pub alerts: Vec<AlertData>,
-    /// The final per-group window counters.
-    pub counters: [WindowCounters; 2],
+    /// The final per-cell window counters — K-length, sized from the
+    /// first window-advancing or re-anchoring event in the trail.
+    pub counters: Vec<WindowCounters>,
     /// Events processed.
     pub events: u64,
     /// Cumulative tuples lost to backpressure, per the trail's last drop
@@ -123,15 +135,21 @@ fn normalize(v: Value) -> Value {
 }
 
 /// Apply a window-advancing event's deltas, recompute the reading, and
-/// verify it against the recorded value tree.
+/// verify it against the recorded value tree. The first such event sizes
+/// the accumulator to the trail's cell count K; later events must agree.
 fn advance(
-    counters: &mut [WindowCounters; 2],
-    delta: &[crate::event::CounterDelta; 2],
+    counters: &mut Vec<WindowCounters>,
+    delta: &[crate::event::CounterDelta],
     di_floor: f64,
     recorded: Option<&Value>,
     line: u64,
 ) -> Result<SnapshotData, ReplayError> {
-    for group in 0..2 {
+    if counters.is_empty() {
+        counters.resize(delta.len(), WindowCounters::default());
+    } else if counters.len() != delta.len() {
+        return Err(ReplayError::CellCountMismatch { line });
+    }
+    for group in 0..counters.len() {
         counters[group] = counters[group]
             .apply(&delta[group])
             .ok_or(ReplayError::CounterUnderflow { line })?;
@@ -196,7 +214,7 @@ pub fn replay(jsonl: &str) -> Result<ReplayedRun, ReplayError> {
                 // deltas apply to the restored counters, not whatever the
                 // pre-restart engine left behind.
                 if e.phase == "restored" {
-                    run.counters = e.counters;
+                    run.counters = e.counters.clone();
                 }
             }
             TelemetryEvent::Drop(e) => run.dropped_tuples = e.tuples,
@@ -207,7 +225,7 @@ pub fn replay(jsonl: &str) -> Result<ReplayedRun, ReplayError> {
                 // restored checkpoint, the event's absolute counters
                 // re-anchor the window, and its gap names the tuples no
                 // later event will ever account for.
-                run.counters = e.counters;
+                run.counters = e.counters.clone();
                 run.restarts += 1;
                 run.gap_tuples += e.gap_tuples;
                 // The rollback covers the degraded flag too: the clone
@@ -266,7 +284,7 @@ mod tests {
                 batch: 20,
                 at_tuple: seen,
                 di_floor: 0.8,
-                delta: step,
+                delta: step.to_vec(),
                 snapshot: SnapshotData::from_counters(&counters, 0.8),
             });
             lines.push(serde_json::to_string(&event).unwrap());
@@ -313,7 +331,7 @@ mod tests {
             batch: 4,
             at_tuple: 24,
             di_floor: 0.8,
-            delta: shrink,
+            delta: shrink.to_vec(),
             snapshot: SnapshotData::from_counters(&after, 0.8),
         });
         let orphan_line = serde_json::to_string(&event).unwrap();
@@ -332,7 +350,7 @@ mod tests {
             at_tuple: 30,
             phase: "restored".into(),
             version: 2,
-            counters: [anchor, WindowCounters::default()],
+            counters: vec![anchor, WindowCounters::default()],
             di_floor: 0.8,
         });
         let mut counters = [anchor, WindowCounters::default()];
@@ -345,7 +363,7 @@ mod tests {
             batch: 5,
             at_tuple: 35,
             di_floor: 0.8,
-            delta: step,
+            delta: step.to_vec(),
             snapshot: SnapshotData::from_counters(&counters, 0.8),
         });
         let text = format!(
@@ -375,7 +393,7 @@ mod tests {
             restarts: 1,
             gap_tuples: 20,
             resumed_from: 20,
-            counters: clone_counters,
+            counters: clone_counters.to_vec(),
             di_floor: 0.8,
             degraded: false,
         });
@@ -396,7 +414,7 @@ mod tests {
             batch: 10,
             at_tuple: 30,
             di_floor: 0.8,
-            delta: step,
+            delta: step.to_vec(),
             snapshot: SnapshotData::from_counters(&after, 0.8),
         });
         let text = format!(
@@ -429,8 +447,8 @@ mod tests {
             },
             explanation: AlertExplanation {
                 cell: "group=1/decision".into(),
-                selection_rate: [None, None],
-                violation_rate: [None, None],
+                selection_rate: vec![None, None],
+                violation_rate: vec![None, None],
                 summary: "moved".into(),
             },
         });

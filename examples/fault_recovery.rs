@@ -74,7 +74,6 @@ fn main() {
                 snapshot_every: 4,
                 ..SupervisorConfig::default()
             },
-            ..AsyncConfig::default()
         },
     );
     println!("fault plan: monitor panics at batches 3 and 9; first 2 retrain attempts fail");

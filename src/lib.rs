@@ -45,10 +45,10 @@ pub mod prelude {
     pub use cf_metrics::{FairnessReport, GroupConfusion};
     pub use cf_stream::{
         AsyncConfig, AsyncEngine, BackpressurePolicy, DriftAlert, DriftKind, DropCounters,
-        EngineCheckpoint, FairnessSnapshot, FeedbackOutcome, JoinStats, LabelFeedback, Monitor,
-        PageHinkleyConfig, RepairConfig, RetrainPolicy, Scorer, ShardHealth, ShardedAsyncEngine,
-        ShardedCheckpoint, ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple,
-        StreamConfig, StreamEngine, StreamMetrics, StreamTuple, SupervisorConfig,
+        EngineCheckpoint, FairnessSnapshot, FeedbackOutcome, GroupLayout, JoinStats, LabelFeedback,
+        Monitor, PageHinkleyConfig, RepairConfig, RetrainPolicy, Scorer, ShardHealth,
+        ShardedAsyncEngine, ShardedCheckpoint, ShardedEngine, ShardedFeedback, ShardedOutcome,
+        ShardedTuple, StreamConfig, StreamEngine, StreamMetrics, StreamTuple, SupervisorConfig,
     };
     pub use cf_telemetry::{
         replay, replay_file, shared_sink, AlertData, DegradedModeEvent, EventSink, JsonlSink,
