@@ -1,0 +1,69 @@
+//! Raw scoring-kernel microbenchmarks, outside the stream engine.
+//!
+//! Two head-to-head pairs, each pinning a kernel against its scalar
+//! reference on the same fitted model and the same scoring block:
+//!
+//! * `kernels/gbt`: the flattened one-tree-over-all-rows batch traversal
+//!   (`predict_margin_rows`) vs the recursive per-row walker
+//!   (`predict_margin_rows_recursive`). Same forest, bit-identical
+//!   margins — the gap is pure memory layout and branch predictability.
+//! * `kernels/logistic`: the 4-wide register-tiled affine kernel
+//!   (`Matrix::affine_margins`) vs a per-row `dot + intercept` loop.
+//!
+//! The sustained tuples/sec numbers for the same pairs land in
+//! `BENCH_stream.json` under `kernels/` via `run_stream_bench`; this
+//! harness is for interactive comparison while editing the kernels.
+
+use cf_bench::stream_load::kernel_problem;
+use cf_learners::{Gbt, GbtConfig, Learner, LogisticRegression};
+use cf_linalg::vector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const BLOCK_ROWS: usize = 8_192;
+
+fn bench_gbt_margins(c: &mut Criterion) {
+    let (x_train, y_train, block) = kernel_problem(16, 4_096, BLOCK_ROWS, 11);
+    let mut gbt = Gbt::new(GbtConfig::default());
+    gbt.fit(&x_train, &y_train, None).unwrap();
+
+    let mut group = c.benchmark_group("kernels/gbt");
+    group.sample_size(10);
+    group.bench_function("recursive", |b| {
+        b.iter(|| {
+            gbt.predict_margin_rows_recursive(black_box(&block))
+                .unwrap()
+        });
+    });
+    group.bench_function("flat", |b| {
+        b.iter(|| gbt.predict_margin_rows(black_box(&block)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_logistic_margins(c: &mut Criterion) {
+    let (x_train, y_train, block) = kernel_problem(32, 4_096, BLOCK_ROWS, 13);
+    let mut lr = LogisticRegression::default();
+    lr.fit(&x_train, &y_train, None).unwrap();
+    let coef = lr.coefficients().to_vec();
+    let bias = lr.intercept();
+
+    let mut group = c.benchmark_group("kernels/logistic");
+    group.sample_size(10);
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let margins: Vec<f64> = black_box(&block)
+                .iter_rows()
+                .map(|row| vector::dot(&coef, row) + bias)
+                .collect();
+            margins
+        });
+    });
+    group.bench_function("tiles", |b| {
+        b.iter(|| black_box(&block).affine_margins(&coef, bias).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gbt_margins, bench_logistic_margins);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Soft throughput-regression guard over `BENCH_stream.json` artifacts.
+//!
+//! Compares the committed baseline against a freshly generated artifact
+//! (typically a `--quick` run in CI), prints a delta table for every row
+//! present in both, and fails only when a `single_shard/` row has lost
+//! more than the threshold (20% by default) of its baseline throughput.
+//! Only the single-shard hot path gates: quick runs on shared CI hosts
+//! are too noisy to hard-gate the sharded/async/latency rows, so those
+//! deltas are printed for the reviewer but never fail the build.
+//!
+//! ```text
+//! check_stream_bench --baseline=BENCH_stream.json \
+//!     --current=target/BENCH_stream_quick.json [--threshold=0.2]
+//! ```
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+struct Row {
+    name: String,
+    tuples_per_sec: f64,
+}
+
+fn load_rows(path: &str) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
+    let configs = doc
+        .get("configs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no `configs` array"))?;
+    let mut rows = Vec::with_capacity(configs.len());
+    for entry in configs {
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: config row without a `name`"))?;
+        // Latency rows (latency/*) report percentiles, not throughput;
+        // they carry no `tuples_per_sec` and are skipped here.
+        let Some(tps) = entry.get("tuples_per_sec").and_then(Value::as_f64) else {
+            continue;
+        };
+        rows.push(Row {
+            name: name.to_string(),
+            tuples_per_sec: tps,
+        });
+    }
+    Ok(rows)
+}
+
+fn parse_args() -> Result<(String, String, f64), String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.2f64;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--baseline=") {
+            baseline = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--current=") {
+            current = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--threshold=") {
+            threshold = v
+                .parse::<f64>()
+                .map_err(|e| format!("bad --threshold {v}: {e}"))?;
+        } else {
+            return Err(format!("unknown argument: {arg}"));
+        }
+    }
+    match (baseline, current) {
+        (Some(b), Some(c)) => Ok((b, c, threshold)),
+        _ => Err(
+            "usage: check_stream_bench --baseline=<json> --current=<json> \
+                  [--threshold=0.2]"
+                .to_string(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    let (baseline_path, current_path, threshold) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, current) = match (load_rows(&baseline_path), load_rows(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<34} {:>14} {:>14} {:>8}",
+        "row", "baseline t/s", "current t/s", "delta"
+    );
+    let mut failures = Vec::new();
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|r| r.name == base.name) else {
+            // Quick runs emit a subset of the full artifact's rows.
+            continue;
+        };
+        let delta = (cur.tuples_per_sec - base.tuples_per_sec) / base.tuples_per_sec;
+        let gated = base.name.starts_with("single_shard/");
+        let marker = if gated && delta < -threshold {
+            failures.push(base.name.clone());
+            "  << REGRESSION"
+        } else if gated {
+            "  (gated)"
+        } else {
+            ""
+        };
+        println!(
+            "{:<34} {:>14.0} {:>14.0} {:>+7.1}%{marker}",
+            base.name,
+            base.tuples_per_sec,
+            cur.tuples_per_sec,
+            delta * 100.0
+        );
+    }
+    for cur in &current {
+        if !baseline.iter().any(|r| r.name == cur.name) {
+            println!(
+                "{:<34} {:>14} {:>14.0}   (new row)",
+                cur.name, "-", cur.tuples_per_sec
+            );
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "\nok: no single_shard/ row regressed more than {:.0}% vs {baseline_path}",
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nFAIL: {} single_shard row(s) regressed more than {:.0}%: {}",
+            failures.len(),
+            threshold * 100.0,
+            failures.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

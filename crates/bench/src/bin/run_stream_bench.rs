@@ -13,9 +13,11 @@
 use cf_bench::stream_load::{
     delayed_spec, drifting_spec, fresh_async_engine, fresh_degraded_async_engine, fresh_engine,
     fresh_feedback_engine, fresh_kary_engine, fresh_monitoring_async_engine,
-    fresh_retraining_engine, fresh_sharded_engine, percentile_us, pregenerate, pregenerate_delayed,
-    pregenerate_from, pregenerate_kary, pregenerate_sharded,
+    fresh_retraining_engine, fresh_sharded_engine, kernel_problem, percentile_us, pregenerate,
+    pregenerate_delayed, pregenerate_from, pregenerate_kary, pregenerate_sharded,
 };
+use cf_learners::{Gbt, GbtConfig, Learner, LogisticRegression};
+use cf_linalg::vector;
 use cf_stream::{
     AsyncConfig, AsyncEngine, GroupLayout, ShardedEngine, ShardedTuple, StreamEngine, StreamTuple,
 };
@@ -115,6 +117,115 @@ fn drive_sharded(
         next = (next + 1) % batches.len();
     }
     (ingested, started.elapsed().as_secs_f64())
+}
+
+/// The raw scoring-kernel rows: batch margin throughput of the flattened
+/// SoA GBT traversal against its recursive reference, and of the 4-row
+/// logistic scoring tile against the per-row dot loop it replaced — on
+/// the same fitted models over the same pregenerated blocks, outside the
+/// engine (no window, no counters), so the rows isolate exactly what the
+/// kernel rewrites bought. Both pairs are asserted bit-identical before
+/// the clock starts.
+fn kernels(quick: bool) -> (Vec<serde_json::Value>, serde_json::Value) {
+    let block = 8_192usize;
+    let gbt_d = 16;
+    let lr_d = 32;
+
+    let (x_train, y, x_gbt) = kernel_problem(gbt_d, 4_000, block, 11);
+    let mut gbt = Gbt::new(GbtConfig::default());
+    gbt.fit(&x_train, &y, None).expect("gbt fit");
+
+    let (x_train, y, x_lr) = kernel_problem(lr_d, 4_000, block, 13);
+    let mut lr = LogisticRegression::default();
+    lr.fit(&x_train, &y, None).expect("logistic fit");
+    let (coef, intercept) = (lr.coefficients().to_vec(), lr.intercept());
+
+    // Equivalence gates: a kernels row for a kernel that diverged from its
+    // reference would be a benchmark of a wrong answer.
+    let flat = gbt.predict_margin_rows(&x_gbt).expect("flat margins");
+    let recursive = gbt
+        .predict_margin_rows_recursive(&x_gbt)
+        .expect("recursive margins");
+    assert!(
+        flat.iter()
+            .zip(&recursive)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "flat and recursive GBT margins diverged"
+    );
+    let tiles = x_lr
+        .affine_margins(&coef, intercept)
+        .expect("tiled margins");
+    let scalar: Vec<f64> = x_lr
+        .iter_rows()
+        .map(|row| vector::dot(&coef, row) + intercept)
+        .collect();
+    assert!(
+        tiles
+            .iter()
+            .zip(&scalar)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "tiled and scalar logistic margins diverged"
+    );
+
+    let mut configs = Vec::new();
+    let mut row = |name: &str, target: usize, pass: &mut dyn FnMut() -> usize| -> f64 {
+        pass(); // warm-up pass, inside neither clock nor count
+        let mut rows = 0;
+        let started = Instant::now();
+        while rows < target {
+            rows += pass();
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let rate = rows as f64 / secs;
+        println!("{name}: {rows} rows in {secs:.3}s = {rate:.0} rows/sec");
+        configs.push(serde_json::json!({
+            "name": name,
+            "tuples": rows,
+            "secs": secs,
+            "tuples_per_sec": rate,
+            "observability": serde_json::json!({
+                "block_rows": block,
+                "features": if name.contains("gbt") { gbt_d } else { lr_d },
+            }),
+        }));
+        rate
+    };
+
+    // The recursive GBT walker is ~µs/row; give it a smaller target so the
+    // row finishes while still timing hundreds of full blocks.
+    let gbt_target = if quick { 100_000 } else { 1_000_000 };
+    let lr_target = if quick { 2_000_000 } else { 20_000_000 };
+    let gbt_recursive = row("kernels/gbt_recursive", gbt_target, &mut || {
+        black_box(
+            gbt.predict_margin_rows_recursive(black_box(&x_gbt))
+                .expect("margins"),
+        )
+        .len()
+    });
+    let gbt_flat = row("kernels/gbt_flat", gbt_target, &mut || {
+        black_box(gbt.predict_margin_rows(black_box(&x_gbt)).expect("margins")).len()
+    });
+    let lr_scalar = row("kernels/logistic_scalar", lr_target, &mut || {
+        let margins: Vec<f64> = x_lr
+            .iter_rows()
+            .map(|r| vector::dot(black_box(&coef), r) + intercept)
+            .collect();
+        black_box(margins).len()
+    });
+    let lr_tiles = row("kernels/logistic_tiles", lr_target, &mut || {
+        black_box(
+            x_lr.affine_margins(black_box(&coef), intercept)
+                .expect("margins"),
+        )
+        .len()
+    });
+
+    let summary = serde_json::json!({
+        "workload": format!("raw batch margins, block={block}, gbt d={gbt_d} (60 trees, depth<=4), logistic d={lr_d}"),
+        "gbt_flat_vs_recursive": gbt_flat / gbt_recursive,
+        "logistic_tiles_vs_scalar": lr_tiles / lr_scalar,
+    });
+    (configs, summary)
 }
 
 /// The sync-vs-async comparison on a drifting workload with on-alert
@@ -537,6 +648,11 @@ fn main() {
         }));
     }
 
+    // Raw scoring-kernel throughput (flat GBT vs recursive, logistic
+    // tiles vs scalar), outside the engine.
+    let (kernel_configs, kernel_summary) = kernels(quick);
+    configs.extend(kernel_configs);
+
     // Sync vs async ingest-path latency on the drifting workload.
     let (latency_configs, async_vs_sync) = latency_comparison(quick);
     configs.extend(latency_configs);
@@ -552,6 +668,7 @@ fn main() {
         "bench": "stream_ingest",
         "quick": quick,
         "configs": configs,
+        "kernels": kernel_summary,
         "sharded_scaling": scaling,
         "kary_overhead": kary_overhead,
         "async_vs_sync": async_vs_sync,

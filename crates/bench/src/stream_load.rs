@@ -6,6 +6,7 @@ use cf_datasets::stream::{
     DelayedLabelStream, DriftStream, DriftStreamSpec, LabelDelay, ShardedDriftStream,
 };
 use cf_learners::LearnerKind;
+use cf_linalg::Matrix;
 use cf_stream::{
     AsyncConfig, AsyncEngine, FaultKind, FaultPlan, LabelFeedback, RepairConfig, RetrainFaults,
     RetrainPolicy, ShardedEngine, ShardedTuple, StreamConfig, StreamEngine, StreamTuple,
@@ -254,6 +255,27 @@ pub fn pregenerate_delayed(
             (tuples, feedback)
         })
         .collect()
+}
+
+/// The scoring-kernel workload: a training problem plus an independent
+/// scoring block over the same `d`-feature stationary geometry. Shared by
+/// the `kernels/` trajectory rows and the criterion `kernels` group so
+/// both time the same matrices.
+pub fn kernel_problem(
+    d: usize,
+    train_rows: usize,
+    score_rows: usize,
+    seed: u64,
+) -> (Matrix, Vec<f64>, Matrix) {
+    let spec = DriftStreamSpec {
+        n_features: d,
+        ..stationary_spec()
+    };
+    let train = spec.reference(train_rows, seed);
+    let x = train.numeric_matrix(None);
+    let y = train.labels().iter().map(|&l| f64::from(l)).collect();
+    let score = spec.reference(score_rows, seed.wrapping_add(0x5eed));
+    (x, y, score.numeric_matrix(None))
 }
 
 /// The `p`-th percentile (0–100) of an unsorted sample, by

@@ -6,7 +6,7 @@
 //! equivalent to duplication — the property reweighing interventions need.
 
 use crate::{
-    tree::{RegressionTree, TreeParams},
+    tree::{FlatTree, RegressionTree, TreeParams},
     validate_fit_inputs, LearnError, Learner, Result,
 };
 use cf_linalg::Matrix;
@@ -101,7 +101,7 @@ impl serde::Deserialize for GbtConfig {
 /// Serialisable: the fitted ensemble (every tree's splits and leaf weights,
 /// plus the base score) round-trips bit-exactly through the JSON shim, so a
 /// deserialised model scores identically to the original.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Gbt {
     config: GbtConfig,
     trees: Vec<RegressionTree>,
@@ -109,6 +109,9 @@ pub struct Gbt {
     base_score: f64,
     n_features: usize,
     fitted: bool,
+    /// The fitted trees compiled to SoA form for the batch scoring kernel.
+    /// Derived state: rebuilt at fit/deserialise time, never serialised.
+    flat: Vec<FlatTree>,
 }
 
 impl Default for Gbt {
@@ -117,19 +120,38 @@ impl Default for Gbt {
     }
 }
 
-// Manual Deserialize (Serialize is derived): fields alone don't make a
-// valid ensemble — every tree's split feature indices must stay inside the
-// declared feature count, or a corrupted checkpoint would pass parsing and
-// then panic with index-out-of-bounds inside `predict_row` at serve time.
+// Manual Serialize: the derive shim would emit every field, and `flat` is
+// derived state — the wire format must stay the v4 node-enum tree document
+// (exactly config/trees/base_score/n_features/fitted), so checkpoints
+// written before the flat kernel existed restore unchanged and new
+// checkpoints never persist the SoA form.
+impl serde::Serialize for Gbt {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("config".into(), self.config.to_value()),
+            ("trees".into(), self.trees.to_value()),
+            ("base_score".into(), self.base_score.to_value()),
+            ("n_features".into(), self.n_features.to_value()),
+            ("fitted".into(), self.fitted.to_value()),
+        ])
+    }
+}
+
+// Manual Deserialize: fields alone don't make a valid ensemble — every
+// tree's split feature indices must stay inside the declared feature
+// count, or a corrupted checkpoint would pass parsing and then panic with
+// index-out-of-bounds inside `predict_row` at serve time. The flat kernel
+// form is compiled here, after validation — old documents flatten on load.
 impl serde::Deserialize for Gbt {
     fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
         use serde::Deserialize;
-        let gbt = Gbt {
+        let mut gbt = Gbt {
             config: Deserialize::from_value(v.get_or_err("config")?)?,
             trees: Deserialize::from_value(v.get_or_err("trees")?)?,
             base_score: Deserialize::from_value(v.get_or_err("base_score")?)?,
             n_features: Deserialize::from_value(v.get_or_err("n_features")?)?,
             fitted: Deserialize::from_value(v.get_or_err("fitted")?)?,
+            flat: Vec::new(),
         };
         for (i, tree) in gbt.trees.iter().enumerate() {
             if let Some(f) = tree.max_feature_index() {
@@ -141,6 +163,7 @@ impl serde::Deserialize for Gbt {
                 }
             }
         }
+        gbt.rebuild_flat();
         Ok(gbt)
     }
 }
@@ -168,6 +191,7 @@ impl Gbt {
             base_score: 0.0,
             n_features: 0,
             fitted: false,
+            flat: Vec::new(),
         }
     }
 
@@ -181,14 +205,80 @@ impl Gbt {
         self.n_features
     }
 
-    /// Raw margin (log-odds) for one row.
+    /// Recompile the SoA kernel form from the recursive trees.
+    fn rebuild_flat(&mut self) {
+        self.flat = self.trees.iter().map(RegressionTree::flatten).collect();
+    }
+
+    /// Raw margin (log-odds) for one row, via the recursive walker.
+    ///
+    /// Accumulated as one left-to-right fold (`base`, then each tree's
+    /// shrunk contribution in boosting order) — the exact association the
+    /// batch kernel uses per row, so [`Self::predict_margin_rows`] and this
+    /// reference path are bit-identical, not merely close.
     fn margin(&self, row: &[f64]) -> f64 {
-        self.base_score
-            + self
-                .trees
-                .iter()
-                .map(|t| self.config.eta * t.predict_row(row))
-                .sum::<f64>()
+        let mut m = self.base_score;
+        for tree in &self.trees {
+            m += self.config.eta * tree.predict_row(row);
+        }
+        m
+    }
+
+    fn check_scorable(&self, x: &Matrix) -> Result<()> {
+        if !self.fitted {
+            return Err(LearnError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(LearnError::ShapeMismatch(format!(
+                "{} features, model has {}",
+                x.cols(),
+                self.n_features
+            )));
+        }
+        Ok(())
+    }
+
+    /// Raw margins (log-odds) for every row of `x`, via the flat batch
+    /// kernel: the margin buffer is initialised to the base score, then
+    /// each compiled tree sweeps a whole block of rows before the next
+    /// tree starts — one tree's node arrays stay L1-resident while rows
+    /// stream, instead of every row chasing pointers through every tree.
+    ///
+    /// Rows are tiled into ~L1-sized blocks before the tree-outer loop:
+    /// sweeping *all* rows per tree would re-stream the full feature
+    /// block from memory once per tree (an ensemble-sized multiplier on
+    /// memory traffic), while an L1-sized block is re-read from cache by
+    /// every tree after the first.
+    pub fn predict_margin_rows(&self, x: &Matrix) -> Result<Vec<f64>> {
+        self.check_scorable(x)?;
+        let mut margins = vec![self.base_score; x.rows()];
+        let d = x.cols();
+        let data = x.as_slice();
+        // ~16 KiB of row data per block — half of a typical 32 KiB L1d,
+        // leaving the other half for the tree being swept and the margin
+        // slice (measured faster than a 32 KiB block, which makes rows
+        // and nodes fight over the cache) — but never fewer rows than the
+        // kernel keeps in flight.
+        let block = (16 * 1024 / (d * std::mem::size_of::<f64>()).max(1)).max(8);
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + block).min(x.rows());
+            let rows = &data[start * d..end * d];
+            let out = &mut margins[start..end];
+            for tree in &self.flat {
+                tree.accumulate_margins(rows, d, self.config.eta, out);
+            }
+            start = end;
+        }
+        Ok(margins)
+    }
+
+    /// Reference margins via the recursive per-row walker. Kept (and
+    /// property-pinned bit-identical to [`Self::predict_margin_rows`]) as
+    /// the readable specification of what the kernel computes.
+    pub fn predict_margin_rows_recursive(&self, x: &Matrix) -> Result<Vec<f64>> {
+        self.check_scorable(x)?;
+        Ok(x.iter_rows().map(|row| self.margin(row)).collect())
     }
 }
 
@@ -256,40 +346,28 @@ impl Learner for Gbt {
         }
 
         self.fitted = true;
+        self.rebuild_flat();
         Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
-        if !self.fitted {
-            return Err(LearnError::NotFitted);
-        }
-        if x.cols() != self.n_features {
-            return Err(LearnError::ShapeMismatch(format!(
-                "{} features, model has {}",
-                x.cols(),
-                self.n_features
-            )));
-        }
-        Ok(x.iter_rows().map(|row| sigmoid(self.margin(row))).collect())
+        Ok(self
+            .predict_margin_rows(x)?
+            .into_iter()
+            .map(sigmoid)
+            .collect())
     }
 
     fn predict(&self, x: &Matrix) -> Result<Vec<u8>> {
-        if !self.fitted {
-            return Err(LearnError::NotFitted);
-        }
-        if x.cols() != self.n_features {
-            return Err(LearnError::ShapeMismatch(format!(
-                "{} features, model has {}",
-                x.cols(),
-                self.n_features
-            )));
-        }
         // `sigmoid(z) >= 0.5` iff `z >= 0`: hard decisions threshold the
         // raw boosting margin and skip the per-tuple exp. The margin sign
-        // is the exact decision boundary; the proba path can only disagree
-        // for a margin within one ulp of 0, where sigmoid rounds to 0.5.
-        Ok(x.iter_rows()
-            .map(|row| u8::from(self.margin(row) >= 0.0))
+        // is the exact decision boundary — at a margin of exactly 0 the
+        // proba path lands on exactly 0.5 and both report the positive
+        // class, so `predict == (proba >= 0.5)` everywhere.
+        Ok(self
+            .predict_margin_rows(x)?
+            .into_iter()
+            .map(|m| u8::from(m >= 0.0))
             .collect())
     }
 
@@ -442,6 +520,65 @@ mod tests {
         gbt.fit(&x, &y, None).unwrap();
         let truth: Vec<u8> = y.iter().map(|&v| v as u8).collect();
         assert!(accuracy(&truth, &gbt.predict(&x).unwrap()) > 0.9);
+    }
+
+    #[test]
+    fn flat_kernel_margins_match_recursive_reference() {
+        let (x, y) = xor_data(300, 7);
+        let mut gbt = Gbt::default();
+        gbt.fit(&x, &y, None).unwrap();
+        let fast = gbt.predict_margin_rows(&x).unwrap();
+        let slow = gbt.predict_margin_rows_recursive(&x).unwrap();
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.to_bits(), s.to_bits());
+        }
+        // Odd row counts exercise the remainder lanes (rows % 4 ∈ 1..4).
+        for take in [1, 2, 3, 5] {
+            let sub = x.select_rows(&(0..take).collect::<Vec<_>>());
+            let fast = gbt.predict_margin_rows(&sub).unwrap();
+            let slow = gbt.predict_margin_rows_recursive(&sub).unwrap();
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn predict_agrees_with_thresholded_proba_at_the_boundary() {
+        // An empty ensemble's margin is exactly `base_score`, which lets
+        // the boundary be probed with exact values. Wherever sigmoid can
+        // represent the deviation from ½ (any margin of magnitude ≳ one
+        // ulp of 0.5), hard decisions agree with thresholding the
+        // probability — by `> 0.5` and `>= 0.5` alike.
+        let probe = |base: f64| {
+            let gbt = Gbt {
+                base_score: base,
+                n_features: 1,
+                fitted: true,
+                ..Gbt::default()
+            };
+            let x = Matrix::zeros(1, 1);
+            (
+                gbt.predict(&x).unwrap()[0],
+                gbt.predict_proba(&x).unwrap()[0],
+            )
+        };
+        for base in [1.0, 1e-12, -1e-12, -1.0] {
+            let (hard, proba) = probe(base);
+            assert_eq!(hard, u8::from(proba > 0.5), "base_score={base}");
+            assert_eq!(hard, u8::from(proba >= 0.5), "base_score={base}");
+        }
+        // On the boundary itself the margin sign is authoritative: a
+        // margin of exactly 0 is the positive class and the probability is
+        // exactly 0.5 (so thresholding with `>= 0.5` agrees; strict `>`
+        // would flip precisely this one point).
+        assert_eq!(probe(0.0), (1, 0.5));
+        // And one ulp *below* zero, sigmoid underflows back onto exactly
+        // 0.5 — the probability can no longer express the sign, which is
+        // why `predict` thresholds the raw margin rather than the proba.
+        let (hard, proba) = probe(-f64::MIN_POSITIVE);
+        assert_eq!((hard, proba), (0, 0.5));
     }
 
     #[test]

@@ -228,8 +228,14 @@ impl Learner for LogisticRegression {
                 self.coefficients.len()
             )));
         }
-        Ok(x.iter_rows()
-            .map(|row| sigmoid(cf_linalg::vector::dot(&self.coefficients, row) + self.intercept))
+        // The tiled kernel accumulates each row k-ascending with the
+        // intercept added last — bit-identical to the per-row
+        // `dot(coef, row) + intercept` it replaces, so scores (and the
+        // golden-fixture artifacts downstream) are unchanged.
+        Ok(x.affine_margins(&self.coefficients, self.intercept)
+            .map_err(|e| LearnError::ShapeMismatch(e.to_string()))?
+            .into_iter()
+            .map(sigmoid)
             .collect())
     }
 
@@ -246,13 +252,14 @@ impl Learner for LogisticRegression {
         }
         // `sigmoid(z) >= 0.5` iff `z >= 0` (monotone, sigmoid(0) = 0.5),
         // so hard decisions never need the exp — the streaming hot path
-        // thresholds the linear score directly. The sign of z is the exact
-        // decision boundary; the proba path can only disagree for z within
-        // one ulp of 0, where computing sigmoid rounds to exactly 0.5.
-        Ok(x.iter_rows()
-            .map(|row| {
-                u8::from(cf_linalg::vector::dot(&self.coefficients, row) + self.intercept >= 0.0)
-            })
+        // thresholds the tiled linear scores directly. The sign of z is the
+        // exact decision boundary; the proba path can only disagree for z
+        // within one ulp of 0, where computing sigmoid rounds to exactly
+        // 0.5.
+        Ok(x.affine_margins(&self.coefficients, self.intercept)
+            .map_err(|e| LearnError::ShapeMismatch(e.to_string()))?
+            .into_iter()
+            .map(|z| u8::from(z >= 0.0))
             .collect())
     }
 

@@ -4,6 +4,42 @@ use cf_learners::{Gbt, GbtConfig, Learner, LogisticRegression};
 use cf_linalg::Matrix;
 use proptest::prelude::*;
 
+/// Strategy: a training problem plus an independent scoring block over the
+/// same feature width, with a sprinkling of NaN feature values in the
+/// scoring rows (NaNs never reach `fit` — its split search sorts — but the
+/// scoring kernels must route them identically to the recursive walker:
+/// `<` is false, so NaN always goes right). Row counts 1..=39 sweep both
+/// sides of the batch kernel's 16-cursor chain groups (0, 1, and 2 full
+/// groups plus every remainder size, which also covers each matmul tile
+/// remainder lane rows % 4 ∈ {0,1,2,3}), and `max_depth` 0 covers forests
+/// of single-leaf trees (a one-slot heap in the flat form).
+#[allow(clippy::type_complexity)]
+fn forest_problem() -> impl Strategy<Value = (Matrix, Vec<f64>, Matrix, usize)> {
+    (4usize..24, 1usize..4, 1usize..40, 0usize..4).prop_flat_map(|(n, d, rows, max_depth)| {
+        (
+            proptest::collection::vec(-10.0..10.0f64, n * d),
+            proptest::collection::vec(0u8..2, n),
+            proptest::collection::vec(-10.0..10.0f64, rows * d),
+            proptest::collection::vec(0u8..10, rows * d),
+        )
+            .prop_map(move |(data, mut labels, mut block, nan_mask)| {
+                labels[0] = 0;
+                labels[n - 1] = 1;
+                for (value, mask) in block.iter_mut().zip(&nan_mask) {
+                    if *mask == 0 {
+                        *value = f64::NAN;
+                    }
+                }
+                (
+                    Matrix::from_vec(n, d, data),
+                    labels.into_iter().map(f64::from).collect(),
+                    Matrix::from_vec(rows, d, block),
+                    max_depth,
+                )
+            })
+    })
+}
+
 /// Strategy: a small binary-classification problem with at least one tuple
 /// of each class.
 fn problem() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
@@ -122,6 +158,23 @@ proptest! {
             .zip(prefix.coefficients())
         {
             prop_assert!((a - b).abs() < 1e-5, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn flat_gbt_equivalence((x, y, block, max_depth) in forest_problem()) {
+        // The flattened batch traversal is the serving kernel; the
+        // recursive walker is the specification. They must agree to the
+        // bit — same routing on every row (including NaN features sent
+        // right) and the same left-to-right margin accumulation — on
+        // random fitted forests scored over random row blocks.
+        let mut m = Gbt::new(GbtConfig { n_rounds: 8, max_depth, ..GbtConfig::default() });
+        m.fit(&x, &y, None).unwrap();
+        let fast = m.predict_margin_rows(&block).unwrap();
+        let slow = m.predict_margin_rows_recursive(&block).unwrap();
+        prop_assert_eq!(fast.len(), slow.len());
+        for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert_eq!(f.to_bits(), s.to_bits(), "row {}: {} vs {}", i, f, s);
         }
     }
 

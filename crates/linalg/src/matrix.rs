@@ -164,38 +164,85 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // rows of `other` and `out`; processing k four at a time quarters
-        // the passes over the output row (each element of `out` is loaded
-        // and stored once per k-block instead of once per k), which is
-        // where the covariance-sized products used in profiling spend
-        // their time.
+        let n = other.cols;
+        // Register-tiled over j: each output row is produced in tiles of
+        // four columns whose accumulators live in a `[f64; 4]` the
+        // autovectoriser lifts into one SIMD register, with the inner loop
+        // streaming k-ascending over the lhs row and contiguous 4-wide
+        // slices of the rhs rows. Every output element is still one plain
+        // k-ascending sum — bit-identical to the naive triple loop (the
+        // tests pin exact equality), unlike a k-unrolled variant whose
+        // re-association would drift by ulps.
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = out.row_mut(i);
-            let mut k = 0;
-            while k + 4 <= arow.len() {
-                let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
-                let b0 = other.row(k);
-                let b1 = other.row(k + 1);
-                let b2 = other.row(k + 2);
-                let b3 = other.row(k + 3);
-                for ((((o, &v0), &v1), &v2), &v3) in
-                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+            let mut j = 0;
+            while j + 4 <= n {
+                let mut acc = [0.0f64; 4];
+                for (k, &a) in arow.iter().enumerate() {
+                    let b = &other.data[k * n + j..k * n + j + 4];
+                    acc[0] += a * b[0];
+                    acc[1] += a * b[1];
+                    acc[2] += a * b[2];
+                    acc[3] += a * b[3];
                 }
-                k += 4;
+                out_row[j..j + 4].copy_from_slice(&acc);
+                j += 4;
             }
-            // No zero-skip here: the unrolled block above multiplies zero
-            // coefficients through, so the remainder must too — otherwise
-            // IEEE propagation (0 × inf = NaN) would depend on which
-            // k-block a zero lands in.
-            for (k, &a) in arow.iter().enumerate().skip(k) {
-                for (o, &b) in out_row.iter_mut().zip(other.row(k)) {
-                    *o += a * b;
+            // Remainder lanes (n % 4 columns): same k-ascending order,
+            // one accumulator per column. No zero-skip anywhere — zero
+            // coefficients are multiplied through so IEEE propagation
+            // (0 × inf = NaN) cannot depend on where a zero lands.
+            for (j, out) in out_row.iter_mut().enumerate().skip(j) {
+                let mut acc = 0.0;
+                for (k, &a) in arow.iter().enumerate() {
+                    acc += a * other.data[k * n + j];
                 }
+                *out = acc;
             }
+        }
+        Ok(out)
+    }
+
+    /// Per-row affine scores `self · coef + bias` — the linear-model batch
+    /// scoring kernel. Rows are processed four at a time with four
+    /// independent accumulators, so the four fused multiply-add chains
+    /// overlap instead of serialising on one accumulator's latency (a
+    /// single row's dot product is a loop-carried dependency the
+    /// autovectoriser must not re-associate).
+    ///
+    /// Each row's sum is accumulated k-ascending from 0.0 with the bias
+    /// added last — bit-identical to `vector::dot(coef, row) + bias`, so
+    /// swapping a per-row dot loop for this kernel cannot move any
+    /// decision boundary, even at knife-edge margins.
+    pub fn affine_margins(&self, coef: &[f64], bias: f64) -> Result<Vec<f64>> {
+        if self.cols != coef.len() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("coefficient vector of length {}", self.cols),
+                got: format!("{}", coef.len()),
+            });
+        }
+        let d = self.cols;
+        let mut out = Vec::with_capacity(self.rows);
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            let base = i * d;
+            let r0 = &self.data[base..base + d];
+            let r1 = &self.data[base + d..base + 2 * d];
+            let r2 = &self.data[base + 2 * d..base + 3 * d];
+            let r3 = &self.data[base + 3 * d..base + 4 * d];
+            let mut acc = [0.0f64; 4];
+            for (k, &c) in coef.iter().enumerate() {
+                acc[0] += r0[k] * c;
+                acc[1] += r1[k] * c;
+                acc[2] += r2[k] * c;
+                acc[3] += r3[k] * c;
+            }
+            out.extend_from_slice(&[acc[0] + bias, acc[1] + bias, acc[2] + bias, acc[3] + bias]);
+            i += 4;
+        }
+        for i in i..self.rows {
+            out.push(crate::vector::dot(self.row(i), coef) + bias);
         }
         Ok(out)
     }
@@ -393,8 +440,11 @@ mod tests {
 
     #[test]
     fn matmul_matches_naive_reference_across_shapes() {
-        // Deterministic pseudo-random entries; shapes chosen to hit the
-        // unrolled k-blocks, the remainder loop, and degenerate dims.
+        // Deterministic pseudo-random entries; shapes chosen to hit full
+        // 4-wide column tiles, every remainder-lane width (n % 4 ∈
+        // {0,1,2,3}), and degenerate dims. The tiled kernel accumulates
+        // each output element k-ascending exactly like the naive loop, so
+        // the comparison is exact bit equality, not a tolerance.
         let mut state = 0x9E37_79B9_7F4A_7C15u64;
         let mut next = move || {
             state = state
@@ -409,6 +459,9 @@ mod tests {
             (8, 8, 8),
             (2, 13, 6),
             (6, 5, 1),
+            (3, 9, 4),
+            (4, 2, 7),
+            (2, 11, 10),
         ] {
             let a = Matrix::from_vec(m, k, (0..m * k).map(|_| next()).collect());
             let b = Matrix::from_vec(k, n, (0..k * n).map(|_| next()).collect());
@@ -416,8 +469,9 @@ mod tests {
             let slow = matmul_naive(&a, &b);
             for i in 0..m {
                 for j in 0..n {
-                    assert!(
-                        (fast[(i, j)] - slow[(i, j)]).abs() < 1e-12,
+                    assert_eq!(
+                        fast[(i, j)].to_bits(),
+                        slow[(i, j)].to_bits(),
                         "({m}x{k})*({k}x{n}) entry ({i},{j}): {} vs {}",
                         fast[(i, j)],
                         slow[(i, j)]
@@ -429,18 +483,75 @@ mod tests {
 
     #[test]
     fn matmul_zero_times_nonfinite_is_position_independent() {
-        // IEEE semantics must not depend on whether a zero coefficient
-        // lands in the unrolled k-block or the remainder loop.
-        for zero_at in [0usize, 4] {
-            let mut a_row = vec![1.0; 5];
-            a_row[zero_at] = 0.0;
-            let a = Matrix::from_vec(1, 5, a_row);
-            let mut b_data = vec![1.0; 5];
-            b_data[zero_at] = f64::INFINITY;
-            let b = Matrix::from_vec(5, 1, b_data);
-            let c = a.matmul(&b).unwrap();
-            assert!(c[(0, 0)].is_nan(), "0 * inf at k={zero_at} must be NaN");
+        // IEEE semantics must not depend on where a zero coefficient lands
+        // along k, nor on whether the output column sits in a 4-wide tile
+        // or a remainder lane.
+        for n_cols in [1usize, 4, 6] {
+            for zero_at in [0usize, 4] {
+                let mut a_row = vec![1.0; 5];
+                a_row[zero_at] = 0.0;
+                let a = Matrix::from_vec(1, 5, a_row);
+                let mut b = Matrix::zeros(5, n_cols);
+                for k in 0..5 {
+                    for j in 0..n_cols {
+                        b[(k, j)] = 1.0;
+                    }
+                }
+                for j in 0..n_cols {
+                    b[(zero_at, j)] = f64::INFINITY;
+                }
+                let c = a.matmul(&b).unwrap();
+                for j in 0..n_cols {
+                    assert!(
+                        c[(0, j)].is_nan(),
+                        "0 * inf at k={zero_at}, col {j} of {n_cols} must be NaN"
+                    );
+                }
+            }
         }
+    }
+
+    #[test]
+    fn affine_margins_matches_per_row_dot_bit_exactly() {
+        // Row counts 1..=9 cover both the 4-row tiles and every remainder
+        // lane (rows % 4 ∈ {0,1,2,3}); entries include negatives and
+        // magnitudes that make re-association detectable.
+        let mut state = 0xD1B5_4A32_D192_ED03u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0) * 3.0
+        };
+        for rows in 1..=9usize {
+            for d in [1usize, 3, 8] {
+                let x = Matrix::from_vec(rows, d, (0..rows * d).map(|_| next()).collect());
+                let coef: Vec<f64> = (0..d).map(|_| next()).collect();
+                let bias = next();
+                let fast = x.affine_margins(&coef, bias).unwrap();
+                for (i, row) in x.iter_rows().enumerate() {
+                    let slow = crate::vector::dot(&coef, row) + bias;
+                    assert_eq!(
+                        fast[i].to_bits(),
+                        slow.to_bits(),
+                        "rows={rows} d={d} row {i}: {} vs {slow}",
+                        fast[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_margins_propagates_nonfinite_rows() {
+        let x = Matrix::from_vec(2, 2, vec![f64::INFINITY, 0.0, 1.0, f64::NAN]);
+        let m = x.affine_margins(&[0.0, 1.0], 0.0).unwrap();
+        assert!(m[0].is_nan(), "inf * 0 must surface as NaN");
+        assert!(m[1].is_nan());
+        assert!(matches!(
+            x.affine_margins(&[1.0], 0.0),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

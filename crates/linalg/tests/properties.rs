@@ -131,4 +131,68 @@ proptest! {
             prop_assert!(mean.abs() < 1e-9);
         }
     }
+
+    #[test]
+    fn tiled_matmul_is_bit_identical_to_naive_across_remainder_lanes(
+        m in 1usize..7,
+        k in 1usize..9,
+        lanes in 0usize..4,
+        tiles in 0usize..3,
+        a_data in proptest::collection::vec(-8.0..8.0f64, 6 * 8),
+        b_data in proptest::collection::vec(-8.0..8.0f64, 8 * 11),
+    ) {
+        // The register-tiled matmul accumulates every output element
+        // k-ascending exactly like the naive triple loop, so the pin is
+        // bit equality — and `n = 4·tiles + lanes` drives every remainder
+        // width (n % 4 ∈ {0,1,2,3}) directly, where a tiling bug would
+        // hide from round-dimension tests.
+        let n = 4 * tiles + lanes;
+        prop_assume!(n >= 1);
+        let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, b_data[..k * n].to_vec());
+        let fast = a.matmul(&b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut slow = 0.0;
+                for kk in 0..k {
+                    slow += a[(i, kk)] * b[(kk, j)];
+                }
+                prop_assert_eq!(
+                    fast[(i, j)].to_bits(),
+                    slow.to_bits(),
+                    "({},{}) of {}x{}x{}: {} vs {}",
+                    i, j, m, k, n, fast[(i, j)], slow
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affine_margins_is_bit_identical_to_per_row_dot(
+        d in 1usize..9,
+        lanes in 0usize..4,
+        tiles in 0usize..3,
+        data in proptest::collection::vec(-8.0..8.0f64, 11 * 8),
+        coef_data in proptest::collection::vec(-3.0..3.0f64, 8),
+        bias in -2.0..2.0f64,
+    ) {
+        // Same construction for the 4-row scoring tile: `rows = 4·tiles +
+        // lanes` sweeps the trailing-row lanes, and each row must equal
+        // its per-row `dot + bias` to the bit (the kernel's whole safety
+        // argument for the logistic serving path).
+        let rows = 4 * tiles + lanes;
+        prop_assume!(rows >= 1);
+        let x = Matrix::from_vec(rows, d, data[..rows * d].to_vec());
+        let coef = &coef_data[..d];
+        let fast = x.affine_margins(coef, bias).unwrap();
+        for (i, row) in x.iter_rows().enumerate() {
+            let slow = cf_linalg::vector::dot(coef, row) + bias;
+            prop_assert_eq!(
+                fast[i].to_bits(),
+                slow.to_bits(),
+                "rows={} d={} row {}: {} vs {}",
+                rows, d, i, fast[i], slow
+            );
+        }
+    }
 }

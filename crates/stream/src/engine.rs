@@ -394,6 +394,17 @@ impl StreamEngine {
         self.ingest_prevalidated(batch)
     }
 
+    /// The sharded router's single-shard fast path: a one-shard fleet's
+    /// routed batch already *is* this engine's batch in arrival order, so
+    /// it ingests straight off the `ShardedTuple` slice (via its
+    /// `Borrow<StreamTuple>` view) with no per-tuple gather at all.
+    pub(crate) fn ingest_routed_prevalidated(
+        &mut self,
+        batch: &[crate::sharded::ShardedTuple],
+    ) -> Result<IngestOutcome> {
+        self.ingest_prevalidated(batch)
+    }
+
     /// Ingestion after validation: callers guarantee every tuple matches
     /// the schema width and has an in-range group (`< K`) and binary
     /// label.

@@ -33,6 +33,69 @@ pub struct ShardedTuple {
     pub tuple: StreamTuple,
 }
 
+// A routed tuple borrows as the observation it carries, so a single-shard
+// router can feed its batch to the shard engine's generic ingest directly
+// — no per-tuple gather into a `&StreamTuple` side array.
+impl std::borrow::Borrow<StreamTuple> for ShardedTuple {
+    fn borrow(&self) -> &StreamTuple {
+        &self.tuple
+    }
+}
+
+/// Recycled validate-once-scatter-once routing scratch. One counting pass
+/// over the batch builds a per-shard histogram (validation folded in), a
+/// prefix sum turns it into segment offsets, and a second pass scatters
+/// each tuple's *index* into its shard's segment of `order` — so routing a
+/// mixed batch costs two linear passes and zero per-tuple allocations, and
+/// the buffers are reused across batches instead of reallocated.
+#[derive(Debug, Default)]
+struct RouteScratch {
+    /// Per-shard histogram during counting; per-shard write cursors during
+    /// the scatter pass.
+    cursors: Vec<u32>,
+    /// Start offset of each shard's segment in `order` (length
+    /// `shards + 1`; shard `s` owns `order[offsets[s]..offsets[s + 1]]`).
+    offsets: Vec<u32>,
+    /// Batch indices in shard-major order, arrival order within a shard.
+    order: Vec<u32>,
+}
+
+impl RouteScratch {
+    /// Run the counting + scatter passes for `batch`. `shard_of` has
+    /// already been validated to be in `0..n`.
+    fn route(&mut self, n: usize, shards_of: impl Iterator<Item = u32> + Clone, len: usize) {
+        self.cursors.clear();
+        self.cursors.resize(n, 0);
+        for shard in shards_of.clone() {
+            self.cursors[shard as usize] += 1;
+        }
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        let mut acc = 0u32;
+        for cursor in &mut self.cursors {
+            let count = *cursor;
+            self.offsets.push(acc);
+            // The histogram slot becomes the scatter pass's write cursor,
+            // starting at its shard's segment offset.
+            *cursor = acc;
+            acc += count;
+        }
+        self.offsets.push(acc);
+        self.order.clear();
+        self.order.resize(len, 0);
+        for (i, shard) in shards_of.enumerate() {
+            let cursor = &mut self.cursors[shard as usize];
+            self.order[*cursor as usize] = i as u32;
+            *cursor += 1;
+        }
+    }
+
+    /// Shard `s`'s segment of the routed order.
+    fn segment(&self, s: usize) -> &[u32] {
+        &self.order[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+}
+
 /// One late ground-truth record addressed to the shard that served its
 /// tuple. Ids are **per shard** (each shard engine runs its own id clock),
 /// so the shard key is part of the join address, not just a routing hint.
@@ -76,6 +139,7 @@ const MIN_PARALLEL_SHARD_BATCH: usize = 512;
 /// ingest and exact cross-shard aggregate snapshots.
 pub struct ShardedEngine {
     shards: Vec<StreamEngine>,
+    route: RouteScratch,
 }
 
 impl ShardedEngine {
@@ -102,7 +166,10 @@ impl ShardedEngine {
         let shards = (0..n_shards)
             .map(|_| StreamEngine::from_reference(reference, learner, seed, config.clone()))
             .collect::<Result<Vec<_>>>()?;
-        Ok(ShardedEngine { shards })
+        Ok(ShardedEngine {
+            shards,
+            route: RouteScratch::default(),
+        })
     }
 
     /// Assemble from independently bootstrapped engines (e.g. one
@@ -139,7 +206,10 @@ impl ShardedEngine {
                 )));
             }
         }
-        Ok(ShardedEngine { shards })
+        Ok(ShardedEngine {
+            shards,
+            route: RouteScratch::default(),
+        })
     }
 
     /// Number of shards.
@@ -278,16 +348,31 @@ impl ShardedEngine {
             crate::engine::validate_tuple(&routed.tuple, d, i, groups)?;
         }
 
-        // Route without cloning: per-shard batches borrow the input tuples,
-        // and `positions[i]` remembers where tuple `i` landed in its shard
-        // so decisions can be scattered back to input order.
-        let mut per_shard: Vec<Vec<&StreamTuple>> = vec![Vec::new(); n];
-        let mut positions = Vec::with_capacity(batch.len());
-        for routed in batch {
-            let bucket = &mut per_shard[routed.shard as usize];
-            positions.push(bucket.len());
-            bucket.push(&routed.tuple);
+        // Single-shard fleets skip routing entirely: the routed batch
+        // already is shard 0's batch, in arrival order, so after the
+        // validation pass above the only remaining router cost is one
+        // decisions copy into the input-order view.
+        if n == 1 {
+            let outcome = self.shards[0].ingest_routed_prevalidated(batch)?;
+            return Ok(ShardedOutcome {
+                decisions: outcome.decisions.clone(),
+                snapshot: self.snapshot(),
+                per_shard: vec![outcome],
+            });
         }
+
+        // Scatter once: counting-sort the batch indices into shard-major
+        // order on recycled scratch (two linear passes, no per-tuple
+        // allocation), then gather each shard's borrowed sub-batch off its
+        // segment. The same segments scatter the decisions back to input
+        // order afterwards — no per-tuple position bookkeeping.
+        let route = &mut self.route;
+        route.route(n, batch.iter().map(|routed| routed.shard), batch.len());
+        let ordered: Vec<&StreamTuple> = route
+            .order
+            .iter()
+            .map(|&i| &batch[i as usize].tuple)
+            .collect();
 
         // One scoped thread per non-empty shard — but only when the
         // per-shard work amortises the thread spawn/join cost; tiny
@@ -296,15 +381,14 @@ impl ShardedEngine {
         // constant-time snapshot read). Serial vs parallel is
         // unobservable in the results: shards are fully independent.
         let parallel =
-            per_shard.iter().map(Vec::len).max().unwrap_or(0) >= MIN_PARALLEL_SHARD_BATCH;
+            (0..n).map(|s| route.segment(s).len()).max().unwrap_or(0) >= MIN_PARALLEL_SHARD_BATCH;
         let mut results: Vec<Option<Result<IngestOutcome>>> = (0..n).map(|_| None).collect();
         rayon::scope(|s| {
-            for ((engine, shard_batch), slot) in self
-                .shards
-                .iter_mut()
-                .zip(&per_shard)
-                .zip(results.iter_mut())
+            for (shard, (engine, slot)) in
+                self.shards.iter_mut().zip(results.iter_mut()).enumerate()
             {
+                let span = &route.offsets[shard..shard + 2];
+                let shard_batch = &ordered[span[0] as usize..span[1] as usize];
                 if parallel && !shard_batch.is_empty() {
                     s.spawn(move |_| *slot = Some(engine.ingest_refs_prevalidated(shard_batch)));
                 } else {
@@ -318,11 +402,12 @@ impl ShardedEngine {
             outcomes.push(result.expect("every shard slot is filled")?);
         }
 
-        let decisions = batch
-            .iter()
-            .zip(&positions)
-            .map(|(routed, &pos)| outcomes[routed.shard as usize].decisions[pos])
-            .collect();
+        let mut decisions = vec![0u8; batch.len()];
+        for (shard, outcome) in outcomes.iter().enumerate() {
+            for (&original, &decision) in route.segment(shard).iter().zip(&outcome.decisions) {
+                decisions[original as usize] = decision;
+            }
+        }
 
         Ok(ShardedOutcome {
             decisions,
@@ -388,6 +473,7 @@ impl ShardedEngine {
 /// neighbours' monitors, and everyone's decisions, keep flowing.
 pub struct ShardedAsyncEngine {
     shards: Vec<AsyncEngine>,
+    route: RouteScratch,
 }
 
 impl ShardedAsyncEngine {
@@ -400,6 +486,7 @@ impl ShardedAsyncEngine {
                 .into_iter()
                 .map(|e| AsyncEngine::from_engine(e, async_config))
                 .collect(),
+            route: RouteScratch::default(),
         }
     }
 
@@ -536,15 +623,18 @@ impl ShardedAsyncEngine {
             crate::engine::validate_tuple(&routed.tuple, d, i, groups)?;
         }
 
-        // Route owned copies (the queue hand-off owns its tuples) and
-        // remember where each input landed so decisions scatter back.
-        let mut per_shard: Vec<Vec<StreamTuple>> = vec![Vec::new(); n];
-        let mut positions = Vec::with_capacity(batch.len());
-        for routed in batch {
-            let bucket = &mut per_shard[routed.shard as usize];
-            positions.push(bucket.len());
-            bucket.push(routed.tuple.clone());
+        // Single-shard fleets: the batch is shard 0's batch in arrival
+        // order; clone straight into the queue hand-off with no routing.
+        if n == 1 {
+            return self.shards[0]
+                .ingest_prevalidated_owned(batch.iter().map(|r| r.tuple.clone()).collect());
         }
+
+        // Scatter once on recycled scratch (see [`RouteScratch`]), then
+        // clone each shard's sub-batch off its segment in one
+        // exactly-sized allocation (the queue hand-off owns its tuples).
+        let route = &mut self.route;
+        route.route(n, batch.iter().map(|routed| routed.shard), batch.len());
 
         // Every shard attempts its sub-batch before any error is
         // reported, so one dead shard cannot stop its neighbours from
@@ -552,12 +642,18 @@ impl ShardedAsyncEngine {
         let results: Vec<Result<Vec<u8>>> = self
             .shards
             .iter_mut()
-            .zip(per_shard)
-            .map(|(engine, shard_batch)| {
-                if shard_batch.is_empty() {
+            .enumerate()
+            .map(|(shard, engine)| {
+                let segment = route.segment(shard);
+                if segment.is_empty() {
                     Ok(Vec::new())
                 } else {
-                    engine.ingest_prevalidated_owned(shard_batch)
+                    engine.ingest_prevalidated_owned(
+                        segment
+                            .iter()
+                            .map(|&i| batch[i as usize].tuple.clone())
+                            .collect(),
+                    )
                 }
             })
             .collect();
@@ -566,11 +662,13 @@ impl ShardedAsyncEngine {
             per_shard_decisions.push(result?);
         }
 
-        Ok(batch
-            .iter()
-            .zip(&positions)
-            .map(|(routed, &pos)| per_shard_decisions[routed.shard as usize][pos])
-            .collect())
+        let mut decisions = vec![0u8; batch.len()];
+        for (shard, shard_decisions) in per_shard_decisions.iter().enumerate() {
+            for (&original, &decision) in route.segment(shard).iter().zip(shard_decisions) {
+                decisions[original as usize] = decision;
+            }
+        }
+        Ok(decisions)
     }
 
     /// Route late ground truth to the shards that served it: each shard's
@@ -776,6 +874,34 @@ mod tests {
         ));
         // Nothing ingested anywhere, including the validly-addressed prefix.
         assert_eq!(engine.tuples_seen(), 0);
+    }
+
+    #[test]
+    fn bad_group_rejects_atomically_with_no_shard_state_advanced() {
+        // Validation happens once, at the router boundary — so it must
+        // still be *whole-batch* atomic: one out-of-range group cell deep
+        // in the batch may not leave any shard's window, id clock, or
+        // counters advanced. Exercised on both router paths: the
+        // multi-shard scatter route and the single-shard fast path.
+        for shards in [2u32, 1] {
+            let mut engine = sharded(shards as usize);
+            let mut batch = routed_batch(shards, 60, 5);
+            batch[41].tuple.group = 7; // K = 2 → cells {0, 1} only
+            assert!(matches!(
+                engine.ingest(&batch),
+                Err(StreamError::BadGroup(7))
+            ));
+            for s in 0..shards {
+                let shard = engine.shard(s).unwrap();
+                assert_eq!(shard.tuples_seen(), 0, "shard {s} of {shards} advanced");
+                assert_eq!(shard.window_len(), 0);
+                assert_eq!(shard.ids_issued(), 0);
+            }
+            // The same batch with the cell fixed ingests fine afterwards.
+            batch[41].tuple.group = 1;
+            assert_eq!(engine.ingest(&batch).unwrap().decisions.len(), 60);
+            assert_eq!(engine.tuples_seen(), 60);
+        }
     }
 
     #[test]

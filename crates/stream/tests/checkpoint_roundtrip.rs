@@ -211,6 +211,65 @@ fn gbt_engine_round_trips_bit_identically() {
     assert_eq!(uninterrupted.window_counts(), restored.window_counts());
 }
 
+/// The flattened SoA tree form is a load-time artefact, never a wire
+/// format. A v4 GBT document carries only the recursive node arrays —
+/// `nodes`/`root` with leaf `weight`s and split `feature`/`threshold`
+/// pairs, exactly what pre-flattening builds wrote — so checkpoints
+/// taken today are byte-compatible with archives taken before the batch
+/// kernels existed. Restoring one rebuilds the flat kernels in memory,
+/// and the restored engine must score bit-identically through them.
+#[test]
+fn gbt_documents_stay_in_recursive_form_and_restore_through_flat_kernels() {
+    let reference = spec(u64::MAX).reference(500, 41);
+    let mut uninterrupted = StreamEngine::from_reference(
+        &reference,
+        LearnerKind::Gbt,
+        41,
+        config(160, RetrainPolicy::Never),
+    )
+    .unwrap();
+    let mut stream = DriftStream::new(spec(u64::MAX), 43);
+    let batch = StreamTuple::rows_from_dataset(&stream.next_batch(200)).unwrap();
+    uninterrupted.ingest(&batch).unwrap();
+
+    let json = uninterrupted.checkpoint().unwrap().to_json();
+    // The recursive tree document, unchanged since checkpoint v4.
+    for key in [
+        "\"nodes\":",
+        "\"root\":",
+        "\"weight\":",
+        "\"feature\":",
+        "\"threshold\":",
+    ] {
+        assert!(json.contains(key), "document lost {key}");
+    }
+    // No SoA spill: the flat arrays are rebuilt on load, never persisted.
+    assert!(
+        !json.contains("\"flat\""),
+        "flattened tree arrays must not reach the wire format"
+    );
+
+    // Restore from the document alone and re-checkpoint: the second
+    // document must be byte-identical (nothing about the in-memory flat
+    // form leaks into — or is lost from — the durable representation).
+    let mut restored = StreamEngine::restore(EngineCheckpoint::from_json(&json).unwrap()).unwrap();
+    assert_eq!(
+        json,
+        restored.checkpoint().unwrap().to_json(),
+        "restore → checkpoint must reproduce the document byte-for-byte"
+    );
+
+    // And the rebuilt kernels score exactly like the never-serialised
+    // model: same decisions on the same subsequent tuples.
+    for _ in 0..2 {
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(150)).unwrap();
+        let a = uninterrupted.ingest(&batch).unwrap();
+        let b = restored.ingest(&batch).unwrap();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.snapshot, b.snapshot);
+    }
+}
+
 /// A tampered GBT tree whose split consults a feature index beyond the
 /// model's width must be rejected at parse time — accepting it would panic
 /// with index-out-of-bounds inside `predict_row` on the first post-restore
