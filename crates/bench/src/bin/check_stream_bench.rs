@@ -2,11 +2,14 @@
 //!
 //! Compares the committed baseline against a freshly generated artifact
 //! (typically a `--quick` run in CI), prints a delta table for every row
-//! present in both, and fails only when a `single_shard/` row has lost
-//! more than the threshold (20% by default) of its baseline throughput.
-//! Only the single-shard hot path gates: quick runs on shared CI hosts
-//! are too noisy to hard-gate the sharded/async/latency rows, so those
-//! deltas are printed for the reviewer but never fail the build.
+//! present in both, and fails when a `single_shard/` row has lost more
+//! than the threshold (20% by default) of its baseline throughput, or
+//! when the `repair/nudge` row's `recovery_us` has grown by more than
+//! the same threshold — the µs-scale nudge is the ladder's reason to
+//! exist, so its recovery cost gates alongside the serving hot path.
+//! Everything else (sharded/async/latency, the other repair rows) is
+//! printed for the reviewer but never fails the build: quick runs on
+//! shared CI hosts are too noisy to hard-gate.
 //!
 //! ```text
 //! check_stream_bench --baseline=BENCH_stream.json \
@@ -18,7 +21,11 @@ use std::process::ExitCode;
 
 struct Row {
     name: String,
-    tuples_per_sec: f64,
+    /// Throughput rows carry `tuples_per_sec` (higher is better);
+    /// repair rows carry `recovery_us` (lower is better). Exactly one
+    /// is set per row.
+    tuples_per_sec: Option<f64>,
+    recovery_us: Option<f64>,
 }
 
 fn load_rows(path: &str) -> Result<Vec<Row>, String> {
@@ -35,14 +42,17 @@ fn load_rows(path: &str) -> Result<Vec<Row>, String> {
             .get("name")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("{path}: config row without a `name`"))?;
-        // Latency rows (latency/*) report percentiles, not throughput;
-        // they carry no `tuples_per_sec` and are skipped here.
-        let Some(tps) = entry.get("tuples_per_sec").and_then(Value::as_f64) else {
+        let tps = entry.get("tuples_per_sec").and_then(Value::as_f64);
+        let recovery = entry.get("recovery_us").and_then(Value::as_f64);
+        // Latency rows (latency/*) report percentiles, not throughput or
+        // recovery cost; they carry neither metric and are skipped here.
+        if tps.is_none() && recovery.is_none() {
             continue;
-        };
+        }
         rows.push(Row {
             name: name.to_string(),
             tuples_per_sec: tps,
+            recovery_us: recovery,
         });
     }
     Ok(rows)
@@ -93,7 +103,7 @@ fn main() -> ExitCode {
 
     println!(
         "{:<34} {:>14} {:>14} {:>8}",
-        "row", "baseline t/s", "current t/s", "delta"
+        "row", "baseline", "current", "delta"
     );
     let mut failures = Vec::new();
     for base in &baseline {
@@ -101,9 +111,18 @@ fn main() -> ExitCode {
             // Quick runs emit a subset of the full artifact's rows.
             continue;
         };
-        let delta = (cur.tuples_per_sec - base.tuples_per_sec) / base.tuples_per_sec;
-        let gated = base.name.starts_with("single_shard/");
-        let marker = if gated && delta < -threshold {
+        // Pick the metric the row carries; a regression is lost
+        // throughput, or gained recovery cost.
+        let (b, c, regressed) = match (base.tuples_per_sec, cur.tuples_per_sec) {
+            (Some(b), Some(c)) => (b, c, (c - b) / b < -threshold),
+            _ => match (base.recovery_us, cur.recovery_us) {
+                (Some(b), Some(c)) => (b, c, (c - b) / b > threshold),
+                _ => continue, // metric changed shape between artifacts
+            },
+        };
+        let delta = (c - b) / b;
+        let gated = base.name.starts_with("single_shard/") || base.name == "repair/nudge";
+        let marker = if gated && regressed {
             failures.push(base.name.clone());
             "  << REGRESSION"
         } else if gated {
@@ -114,8 +133,8 @@ fn main() -> ExitCode {
         println!(
             "{:<34} {:>14.0} {:>14.0} {:>+7.1}%{marker}",
             base.name,
-            base.tuples_per_sec,
-            cur.tuples_per_sec,
+            b,
+            c,
             delta * 100.0
         );
     }
@@ -123,20 +142,23 @@ fn main() -> ExitCode {
         if !baseline.iter().any(|r| r.name == cur.name) {
             println!(
                 "{:<34} {:>14} {:>14.0}   (new row)",
-                cur.name, "-", cur.tuples_per_sec
+                cur.name,
+                "-",
+                cur.tuples_per_sec.or(cur.recovery_us).unwrap_or(0.0)
             );
         }
     }
 
     if failures.is_empty() {
         println!(
-            "\nok: no single_shard/ row regressed more than {:.0}% vs {baseline_path}",
+            "\nok: no single_shard/ throughput row or repair/nudge recovery \
+             regressed more than {:.0}% vs {baseline_path}",
             threshold * 100.0
         );
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "\nFAIL: {} single_shard row(s) regressed more than {:.0}%: {}",
+            "\nFAIL: {} gated row(s) regressed more than {:.0}%: {}",
             failures.len(),
             threshold * 100.0,
             failures.join(", ")

@@ -12,17 +12,20 @@
 
 use cf_bench::stream_load::{
     delayed_spec, drifting_spec, fresh_async_engine, fresh_degraded_async_engine, fresh_engine,
-    fresh_feedback_engine, fresh_kary_engine, fresh_monitoring_async_engine,
-    fresh_retraining_engine, fresh_sharded_engine, kernel_problem, percentile_us, pregenerate,
-    pregenerate_delayed, pregenerate_from, pregenerate_kary, pregenerate_sharded,
+    fresh_feedback_engine, fresh_kary_engine, fresh_ladder_engine, fresh_monitoring_async_engine,
+    fresh_retraining_engine, fresh_sharded_engine, kernel_problem, ladder_spec, percentile_us,
+    pregenerate, pregenerate_delayed, pregenerate_from, pregenerate_kary, pregenerate_sharded,
 };
+use cf_datasets::stream::DriftStream;
 use cf_learners::{Gbt, GbtConfig, Learner, LogisticRegression};
 use cf_linalg::vector;
 use cf_stream::{
-    AsyncConfig, AsyncEngine, GroupLayout, ShardedEngine, ShardedTuple, StreamEngine, StreamTuple,
+    AsyncConfig, AsyncEngine, GroupLayout, RetrainPolicy, ShardedEngine, ShardedTuple,
+    StreamEngine, StreamTuple,
 };
-use cf_telemetry::{shared_sink, NullSink, RingSink};
+use cf_telemetry::{shared_sink, NullSink, RingSink, TelemetryEvent};
 use std::hint::black_box;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The observability counters a live operator would scrape, captured at
@@ -438,6 +441,132 @@ fn degraded_mode(quick: bool) -> (Vec<serde_json::Value>, serde_json::Value) {
     (configs, summary)
 }
 
+/// The repair-ladder recovery rows: how much repair work each rung
+/// spends taking a floor-breaking drift episode back to health, read
+/// off the `repair_end` trail event that closes the episode. For the
+/// cheap rungs (`nudge`, `projection`) `recovery_us` is the episode's
+/// accumulated repair work — threshold recomputes and the projection
+/// install, the only serving-path cost the repair adds; for `retrain`
+/// it is the wall clock of the tier-3 retrain episode. Each scenario is
+/// deterministic (same reference, seed, and stream shape as the ladder
+/// test suite, at the serving rows' window of 4096); the row keeps the minimum of three fresh
+/// episodes so clock jitter cannot masquerade as a recovery-time
+/// regression. The whole point of the ladder is the spread between
+/// these rows: the nudge must come in at least 100x under the retrain.
+fn repair_recovery() -> (Vec<serde_json::Value>, serde_json::Value) {
+    let mut configs = Vec::new();
+    let mut row = |name: &str,
+                   retrain: RetrainPolicy,
+                   patience: u32,
+                   nudge_max: f64,
+                   di_floor: f64,
+                   drift_group: u8,
+                   tier: &str,
+                   outcome: &str|
+     -> f64 {
+        let mut best: Option<(u64, usize)> = None;
+        let mut retrains = 0u64;
+        for _ in 0..3 {
+            let mut engine =
+                fresh_ladder_engine(retrain, patience, nudge_max, di_floor, drift_group);
+            let ring = Arc::new(Mutex::new(RingSink::new(1 << 14)));
+            let sink: cf_telemetry::SharedSink = ring.clone();
+            engine.set_sink(sink);
+            let mut stream = DriftStream::new(ladder_spec(drift_group), 9);
+            let mut closed = None;
+            for batch_no in 0..400 {
+                let batch =
+                    StreamTuple::rows_from_dataset(&stream.next_batch(64)).expect("numeric");
+                engine.ingest(black_box(&batch)).expect("ingest");
+                let end = ring
+                    .lock()
+                    .expect("ring")
+                    .events()
+                    .iter()
+                    .find_map(|e| match e {
+                        TelemetryEvent::RepairEnd(s) if s.tier == tier && s.outcome == outcome => {
+                            Some(s.duration_us)
+                        }
+                        _ => None,
+                    });
+                if let Some(us) = end {
+                    closed = Some((us, batch_no + 1));
+                    break;
+                }
+            }
+            let closed = closed.unwrap_or_else(|| panic!("{name}: episode never closed"));
+            if best.is_none_or(|b| closed.0 < b.0) {
+                best = Some(closed);
+            }
+            retrains = engine.retrain_count();
+        }
+        let (recovery_us, batches) = best.expect("three episodes ran");
+        println!(
+            "{name}: recovered in {recovery_us}us of repair work \
+             ({batches} batches to close, {retrains} retrains)"
+        );
+        configs.push(serde_json::json!({
+            "name": name,
+            "recovery_us": recovery_us,
+            "batches_to_recovery": batches,
+            "observability": serde_json::json!({
+                "tier": tier,
+                "outcome": outcome,
+                "retrains": retrains,
+                "window": 4_096,
+            }),
+        }));
+        recovery_us as f64
+    };
+
+    // Tier 1 alone: generous headroom, effectively-infinite patience.
+    let nudge_us = row(
+        "repair/nudge",
+        RetrainPolicy::Never,
+        200,
+        6.0,
+        0.8,
+        1,
+        "threshold_nudge",
+        "recovered",
+    );
+    // Tier 2 closes: tier 1 impotent, no retrain policy, and a majority
+    // drift (group 0, tighter floor) — the shape the projection cures.
+    let projection_us = row(
+        "repair/projection",
+        RetrainPolicy::Never,
+        3,
+        0.0,
+        0.95,
+        0,
+        "difffair_projection",
+        "recovered",
+    );
+    // Tier 3: both cheap rungs impotent, on-alert policy → full retrain.
+    let retrain_us = row(
+        "repair/retrain",
+        RetrainPolicy::OnAlert { min_window: 2_048 },
+        3,
+        0.0,
+        0.8,
+        1,
+        "confair_retrain",
+        "retrained",
+    );
+
+    assert!(
+        nudge_us * 100.0 <= retrain_us,
+        "the ladder's premise failed: nudge recovery ({nudge_us}us) is not \
+         100x cheaper than a retrain ({retrain_us}us)"
+    );
+    let summary = serde_json::json!({
+        "workload": "drifting, DI* floor breach, window=4096, batch=64, min of 3 episodes",
+        "nudge_vs_retrain_speedup": retrain_us / nudge_us,
+        "projection_vs_retrain_speedup": retrain_us / projection_us,
+    });
+    (configs, summary)
+}
+
 /// The delayed-label join cost: unlabeled ingest with labels trailing by
 /// 6k–16k tuples (window 4,096 — most joins land through the pending
 /// index, the costliest path). Measures the `feedback` call itself:
@@ -664,6 +793,11 @@ fn main() {
     // Late-label join cost through the pending index.
     configs.push(feedback_join(quick));
 
+    // Repair-ladder recovery work per rung (same cost quick or full —
+    // the scenarios are a few hundred 64-tuple batches).
+    let (repair_configs, repair_summary) = repair_recovery();
+    configs.extend(repair_configs);
+
     let artifact = serde_json::json!({
         "bench": "stream_ingest",
         "quick": quick,
@@ -674,6 +808,7 @@ fn main() {
         "async_vs_sync": async_vs_sync,
         "degraded_mode": degraded_summary,
         "telemetry_overhead": telemetry_overhead,
+        "repair_ladder": repair_summary,
     });
     let file = std::fs::File::create(&out).expect("create BENCH_stream.json");
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), &artifact)

@@ -179,6 +179,60 @@ pub fn fresh_degraded_async_engine(window: usize, async_config: AsyncConfig) -> 
     AsyncEngine::from_engine(engine, async_config)
 }
 
+/// The repair-ladder recovery workload: the default binary geometry
+/// drifting at tuple 350 in `drift_group`. Each `repair/*` bench row
+/// picks the cell whose drift its rung can cure: the minority cell
+/// (default) for the nudge and retrain rows, the majority cell (0) for
+/// the projection row — a majority drift inflates the advantaged cell's
+/// selection rate, which damping nonconforming rows corrects.
+pub fn ladder_spec(drift_group: u8) -> DriftStreamSpec {
+    DriftStreamSpec {
+        drift_onset: 350,
+        drift_group,
+        ..DriftStreamSpec::default()
+    }
+}
+
+/// A ladder-enabled engine over the recovery workload's reference. The
+/// knobs select which rung closes the episode: a generous `nudge_max`
+/// with effectively-infinite patience keeps the repair on tier 1;
+/// `nudge_max` 0.0 makes tier 1 impotent (every nudge clamps
+/// immediately) so short patience climbs to the projection, and an
+/// on-alert retrain policy on top of that reaches tier 3.
+pub fn fresh_ladder_engine(
+    retrain: RetrainPolicy,
+    tier_patience: u32,
+    nudge_max: f64,
+    di_floor: f64,
+    drift_group: u8,
+) -> StreamEngine {
+    let reference = ladder_spec(drift_group).reference(900, 23);
+    let config = StreamConfig {
+        window: 4_096,
+        di_floor,
+        floor_min_window: 256,
+        floor_cooldown: 300,
+        retrain,
+        repair: RepairConfig {
+            ladder: true,
+            tier_patience,
+            nudge_step: 0.25,
+            nudge_max,
+            recovery_hold: 2,
+            ..RepairConfig::default()
+        },
+        confair: ConFairConfig {
+            alpha: AlphaMode::Fixed {
+                alpha_u: 2.0,
+                alpha_w: 1.0,
+            },
+            ..ConFairConfig::default()
+        },
+        ..StreamConfig::default()
+    };
+    StreamEngine::from_reference(&reference, LearnerKind::Logistic, 23, config).expect("bootstrap")
+}
+
 /// Pregenerate `n_batches` batches of `batch` tuples each from `spec`.
 pub fn pregenerate_from(
     spec: DriftStreamSpec,

@@ -58,6 +58,20 @@ pub trait Predictor: Send {
                 .into(),
         ))
     }
+
+    /// Raw decision margins straight from a row-major numeric feature
+    /// matrix: the pre-threshold scores whose sign is [`Predictor::
+    /// predict_rows`] (`decision == (margin >= 0.0)` bit for bit for
+    /// learner-backed predictors). Opt-in like `predict_rows`, and for
+    /// the same reason; serve-time threshold repair needs the boundary
+    /// itself, not just its sign, so it can shift per-cell cutoffs.
+    fn predict_margin_rows(&self, _x: &Matrix) -> Result<Vec<f64>> {
+        Err(crate::CoreError::Unsupported(
+            "this predictor does not expose raw decision margins; \
+             per-cell threshold repair requires a margin-based model"
+                .into(),
+        ))
+    }
 }
 
 /// `Predictor::predict_rows` via the `Dataset` path: materialise a
@@ -156,6 +170,11 @@ impl Predictor for SingleModelPredictor {
     fn predict_rows(&self, x: &Matrix) -> Result<Vec<u8>> {
         let encoded = self.encoding.transform_rows(x)?;
         Ok(self.model.predict(&encoded)?)
+    }
+
+    fn predict_margin_rows(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let encoded = self.encoding.transform_rows(x)?;
+        Ok(self.model.predict_margin(&encoded)?)
     }
 }
 

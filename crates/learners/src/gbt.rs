@@ -371,6 +371,12 @@ impl Learner for Gbt {
             .collect())
     }
 
+    fn predict_margin(&self, x: &Matrix) -> Result<Vec<f64>> {
+        // The flat batch kernel `predict` thresholds at zero: `margin >= τ`
+        // with τ = 0 reproduces `predict` bit for bit.
+        self.predict_margin_rows(x)
+    }
+
     fn is_fitted(&self) -> bool {
         self.fitted
     }

@@ -74,6 +74,18 @@ pub trait Learner: Send {
             .collect())
     }
 
+    /// Raw decision margins for each row of `x`: the pre-sigmoid score
+    /// whose sign is the hard decision (`predict` is exactly
+    /// `margin >= 0.0` for both built-in learners). Opt-in — the default
+    /// rejects the call — because serve-time threshold repair shifts
+    /// decisions by comparing margins against per-cell cutoffs, and a
+    /// learner without a native margin has no boundary to shift.
+    fn predict_margin(&self, _x: &Matrix) -> Result<Vec<f64>> {
+        Err(LearnError::ShapeMismatch(
+            "this learner does not expose raw decision margins".into(),
+        ))
+    }
+
     /// Whether `fit` has succeeded at least once.
     fn is_fitted(&self) -> bool;
 

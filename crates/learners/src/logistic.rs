@@ -263,6 +263,23 @@ impl Learner for LogisticRegression {
             .collect())
     }
 
+    fn predict_margin(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(LearnError::NotFitted);
+        }
+        if x.cols() != self.coefficients.len() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "{} features, model has {}",
+                x.cols(),
+                self.coefficients.len()
+            )));
+        }
+        // The same tiled linear scores `predict` thresholds at zero:
+        // `margin >= τ` with τ = 0 reproduces `predict` bit for bit.
+        x.affine_margins(&self.coefficients, self.intercept)
+            .map_err(|e| LearnError::ShapeMismatch(e.to_string()))
+    }
+
     fn is_fitted(&self) -> bool {
         self.fitted
     }

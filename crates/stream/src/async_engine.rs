@@ -38,6 +38,7 @@ use crate::engine::{
     checkpoint_from_parts, validate_tuple, LabelFeedback, StreamConfig, StreamEngine, StreamTuple,
 };
 use crate::monitor::{FairnessSnapshot, Monitor};
+use crate::repair::{RepairTier, RepairUpdate};
 use crate::scorer::Scorer;
 use crate::supervise::{Backoff, ShardHealth, SupervisorConfig};
 use crate::telemetry::StreamMetrics;
@@ -381,6 +382,57 @@ impl Drop for ModelSlot {
     }
 }
 
+/// The same latest-wins mailbox, for repair-ladder publications. Safe to
+/// collapse intermediate updates because a [`RepairUpdate`] carries
+/// *absolute* state (full threshold vector, full projection profiles),
+/// never deltas.
+struct RepairSlot {
+    ptr: AtomicPtr<RepairUpdate>,
+}
+
+impl RepairSlot {
+    fn empty() -> Self {
+        RepairSlot {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Publish a repair-state update, dropping any unconsumed predecessor.
+    fn publish(&self, update: RepairUpdate) {
+        let raw = Box::into_raw(Box::new(update));
+        let old = self.ptr.swap(raw, Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: `old` came from `Box::into_raw` in a previous
+            // `publish` and the swap above made this thread its only
+            // owner.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    /// Take the pending update, if any (score path; wait-free).
+    fn take(&self) -> Option<RepairUpdate> {
+        let raw = self.ptr.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if raw.is_null() {
+            None
+        } else {
+            // SAFETY: `raw` came from `Box::into_raw` in `publish` and the
+            // swap above made this thread its only owner.
+            Some(*unsafe { Box::from_raw(raw) })
+        }
+    }
+}
+
+impl Drop for RepairSlot {
+    fn drop(&mut self) {
+        let raw = *self.ptr.get_mut();
+        if !raw.is_null() {
+            // SAFETY: exclusive access in `drop`; the pointer was produced
+            // by `Box::into_raw` and never freed (it is still in the slot).
+            drop(unsafe { Box::from_raw(raw) });
+        }
+    }
+}
+
 /// The monitor thread's published view, refreshed after every processed
 /// record. Read under a short mutex by the observability accessors — never
 /// by the score path.
@@ -410,6 +462,9 @@ struct PublishedState {
     /// message the monitor processes.
     joins: JoinStats,
     pending_labels: usize,
+    /// The rung of the open repair-ladder episode per the monitor's latest
+    /// published state (`None` while the ladder is idle or disabled).
+    repair_tier: Option<RepairTier>,
 }
 
 /// Most recent retrain errors retained in the published ring.
@@ -429,6 +484,7 @@ impl PublishedState {
         self.alerts = monitor.alerts().to_vec();
         self.joins = monitor.join_stats();
         self.pending_labels = monitor.pending_labels();
+        self.repair_tier = monitor.repair_tier();
     }
 }
 
@@ -460,6 +516,7 @@ struct Supervision {
 struct Shared {
     queue: BoundedQueue,
     model: ModelSlot,
+    repair: RepairSlot,
     stats: Mutex<PublishedState>,
     sup: Mutex<Supervision>,
     /// Records between recovery-clone refreshes on the monitor thread.
@@ -564,6 +621,7 @@ impl AsyncEngine {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(async_config.queue_depth),
             model: ModelSlot::empty(),
+            repair: RepairSlot::empty(),
             stats: Mutex::new(PublishedState {
                 snapshot: monitor.snapshot(),
                 counts: monitor.window_counts().to_vec(),
@@ -576,6 +634,7 @@ impl AsyncEngine {
                 monitor_error: None,
                 joins: monitor.join_stats(),
                 pending_labels: monitor.pending_labels(),
+                repair_tier: monitor.repair_tier(),
             }),
             sup: Mutex::new(Supervision {
                 // Seed the recovery clone *before* the first spawn, so a
@@ -743,9 +802,14 @@ impl AsyncEngine {
         self.supervise(false)?;
         let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         // Pick up a pending retrain before scoring: one wait-free atomic
-        // swap, no lock around the model parameters.
+        // swap, no lock around the model parameters. Repair-ladder
+        // publications (threshold nudges, projection installs) arrive the
+        // same way.
         if let Some(model) = self.shared.model.take() {
             self.scorer_mut().install(model);
+        }
+        if let Some(update) = self.shared.repair.take() {
+            self.scorer_mut().apply_repair(update);
         }
         let decisions = self.scorer_mut().score(&batch)?;
         if batch.is_empty() {
@@ -854,6 +918,9 @@ impl AsyncEngine {
         }
         if let Some(model) = self.shared.model.take() {
             self.scorer_mut().install(model);
+        }
+        if let Some(update) = self.shared.repair.take() {
+            self.scorer_mut().apply_repair(update);
         }
         self.refresh_serving_metrics();
         Ok(())
@@ -1022,6 +1089,26 @@ impl AsyncEngine {
     /// keeps serving). Current after a [`AsyncEngine::flush`].
     pub fn is_degraded(&self) -> bool {
         self.stats(|s| s.snapshot.degraded)
+    }
+
+    /// The rung of the open repair-ladder episode per the monitor's
+    /// latest published state (current after a [`AsyncEngine::flush`];
+    /// `None` while the ladder is idle or disabled).
+    pub fn repair_tier(&self) -> Option<RepairTier> {
+        self.stats(|s| s.repair_tier)
+    }
+
+    /// The per-cell serve-time margin cutoffs the *scorer* currently
+    /// applies (the serving-side truth; all zeros means the model's
+    /// native boundary).
+    pub fn repair_thresholds(&self) -> &[f64] {
+        self.scorer().repair_thresholds()
+    }
+
+    /// Whether the tier-2 conformance projection is installed on the
+    /// serving path.
+    pub fn repair_projection_active(&self) -> bool {
+        self.scorer().repair_projection()
     }
 
     /// A monitoring-side failure, if one ever occurred (record shape
@@ -1302,6 +1389,9 @@ fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
                             // repair_end, exactly as the sync engine orders it.
                             monitor.emit_model_swap();
                         }
+                        if let Some(update) = outcome.repair {
+                            shared.repair.publish(update);
+                        }
                         let mut stats = shared.stats.lock().expect("stats mutex poisoned");
                         stats.snapshot = outcome.snapshot;
                         stats.counts = monitor.window_counts().to_vec();
@@ -1311,6 +1401,7 @@ fn monitor_loop(mut monitor: Monitor, shared: &Shared) -> Monitor {
                         stats.alerts.extend_from_slice(&outcome.alerts);
                         stats.joins = monitor.join_stats();
                         stats.pending_labels = monitor.pending_labels();
+                        stats.repair_tier = monitor.repair_tier();
                         if let Some(e) = outcome.retrain_error {
                             if stats.retrain_errors.len() == RETRAIN_ERROR_CAP {
                                 stats.retrain_errors.pop_front();

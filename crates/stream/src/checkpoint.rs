@@ -55,7 +55,15 @@ use confair_core::PredictorState;
 ///   `groups` long). Older binary documents upgrade in place as
 ///   `groups: 2`, which restores them bit-identically to the binary
 ///   engine that wrote them.
-pub const CHECKPOINT_VERSION: u32 = 4;
+/// * **5** — the repair escalation ladder: the document records the open
+///   episode's rung (`repair_tier`, 0 = idle), the per-cell serve-time
+///   thresholds, the patience/recovery counters, whether the tier-2
+///   projection is installed, and the episode's accumulated repair work;
+///   the configuration's `repair` budget gains the ladder knobs. Older
+///   documents upgrade in place with the ladder idle and disabled — the
+///   identity overlay — which restores them bit-identically to the
+///   pre-ladder engine that wrote them.
+pub const CHECKPOINT_VERSION: u32 = 5;
 
 /// The oldest checkpoint format version this build can still read (via
 /// the in-place upgrade in `from_json`).
@@ -107,6 +115,21 @@ pub struct EngineCheckpoint {
     /// Whether the engine was serving in degraded mode (an on-alert
     /// repair episode had exhausted its budget without a later success).
     pub degraded: bool,
+    /// The rung of the open repair-ladder episode (1-based
+    /// [`RepairTier::index`](crate::RepairTier::index); 0 = no episode).
+    pub repair_tier: u8,
+    /// Per-cell serve-time margin cutoffs, index = group cell id. All
+    /// zeros is the identity (the model's native decision boundary).
+    pub repair_thresholds: Vec<f64>,
+    /// Unhealthy batches observed on the current ladder rung.
+    pub repair_batches_in_tier: u64,
+    /// Consecutive floor-passing batches while the episode stays open.
+    pub repair_recovery_streak: u64,
+    /// Whether the tier-2 conformance projection was installed on the
+    /// serving path (rebuilt on restore from `profiles`).
+    pub repair_projection: bool,
+    /// Repair work (µs) accumulated by the open episode.
+    pub repair_work_us: u64,
 }
 
 /// Build the audit event for a checkpoint boundary (`phase` is
@@ -276,6 +299,65 @@ fn upgrade_v3_engine(doc: &mut serde::Value) -> Result<()> {
     Ok(())
 }
 
+/// Upgrade one engine-checkpoint object from format v4 to v5, in place: a
+/// v4 document predates the repair escalation ladder, so it restores with
+/// the ladder idle, the identity overlay installed (all-zero thresholds,
+/// no projection), and the ladder disabled in the configuration's repair
+/// budget — bit-identical behaviour to the engine that wrote it.
+fn upgrade_v4_engine(doc: &mut serde::Value) -> Result<()> {
+    let groups = field(field(doc, "config")?, "groups")?
+        .as_u64()
+        .ok_or_else(|| StreamError::Checkpoint("v4 `groups` is not an integer".into()))?
+        as usize;
+    let config = {
+        let mut c = field(doc, "config")?.clone();
+        let repair = {
+            // The nested repair budget gains the ladder knobs (the shim's
+            // object model is a flat field list, so nested injection is
+            // clone → set → write back).
+            let mut r = field(&c, "repair")?.clone();
+            let defaults = crate::supervise::RepairConfig::default();
+            set_field(&mut r, "ladder", serde::Value::Bool(false))?;
+            set_field(
+                &mut r,
+                "tier_patience",
+                serde::Value::Number(f64::from(defaults.tier_patience)),
+            )?;
+            set_field(
+                &mut r,
+                "nudge_step",
+                serde::Value::Number(defaults.nudge_step),
+            )?;
+            set_field(
+                &mut r,
+                "nudge_max",
+                serde::Value::Number(defaults.nudge_max),
+            )?;
+            set_field(
+                &mut r,
+                "recovery_hold",
+                serde::Value::Number(f64::from(defaults.recovery_hold)),
+            )?;
+            r
+        };
+        set_field(&mut c, "repair", repair)?;
+        c
+    };
+    set_field(doc, "config", config)?;
+    set_field(doc, "repair_tier", serde::Value::Number(0.0))?;
+    set_field(
+        doc,
+        "repair_thresholds",
+        serde::Value::Array(vec![serde::Value::Number(0.0); groups]),
+    )?;
+    set_field(doc, "repair_batches_in_tier", serde::Value::Number(0.0))?;
+    set_field(doc, "repair_recovery_streak", serde::Value::Number(0.0))?;
+    set_field(doc, "repair_projection", serde::Value::Bool(false))?;
+    set_field(doc, "repair_work_us", serde::Value::Number(0.0))?;
+    set_field(doc, "version", serde::Value::Number(5.0))?;
+    Ok(())
+}
+
 /// Run the in-place upgrade chain on one engine-checkpoint object whose
 /// writer's format was `version`, leaving it at [`CHECKPOINT_VERSION`].
 /// Each step writes the literal version it upgrades *to*, so the chain
@@ -289,6 +371,9 @@ fn upgrade_engine(doc: &mut serde::Value, version: u32) -> Result<()> {
     }
     if version < 4 {
         upgrade_v3_engine(doc)?;
+    }
+    if version < 5 {
+        upgrade_v4_engine(doc)?;
     }
     Ok(())
 }
@@ -411,6 +496,18 @@ pub(crate) fn validate(ckpt: &EngineCheckpoint) -> Result<()> {
         return Err(StreamError::Checkpoint(format!(
             "expected {groups} detector states (one per group cell), got {}",
             ckpt.detectors.len()
+        )));
+    }
+    if ckpt.repair_thresholds.len() != groups {
+        return Err(StreamError::Checkpoint(format!(
+            "expected {groups} repair thresholds (one per group cell), got {}",
+            ckpt.repair_thresholds.len()
+        )));
+    }
+    if ckpt.repair_tier > 3 {
+        return Err(StreamError::Checkpoint(format!(
+            "repair tier {} is not a ladder rung (0..=3)",
+            ckpt.repair_tier
         )));
     }
     if ckpt.profiles.len() != groups * 2 {

@@ -23,6 +23,7 @@
 use crate::checkpoint::EngineCheckpoint;
 use crate::drift::{DriftAlert, PageHinkley, PageHinkleyConfig};
 use crate::monitor::{CellProfiles, FairnessSnapshot, Monitor};
+use crate::repair::{RepairLadder, RepairTier};
 use crate::scorer::Scorer;
 use crate::supervise::RepairConfig;
 use crate::telemetry::StreamMetrics;
@@ -350,6 +351,13 @@ impl StreamEngine {
             )));
         }
         let metrics = monitor.metrics.clone();
+        let mut scorer = scorer;
+        // Re-arm the serving overlay from the monitor's ladder state: the
+        // halves may have been apart (async pipeline) with a repair
+        // publication still in flight when they reunite. Identity state
+        // re-applies as the identity, so this never perturbs a
+        // ladder-free engine.
+        scorer.apply_repair(monitor.repair_update());
         Ok(StreamEngine {
             scorer,
             monitor,
@@ -422,6 +430,13 @@ impl StreamEngine {
             self.scorer.install(model);
             self.monitor.emit_model_swap();
         }
+        if let Some(update) = outcome.repair {
+            // Same synchronous publication for ladder repairs: nudged
+            // thresholds (or a reset after a successful retrain) govern
+            // the very next batch. The sharded per-shard paths funnel
+            // through here too, so one install point covers both.
+            self.scorer.apply_repair(update);
+        }
         if let (Some(m), Some(started)) = (&self.metrics, started) {
             m.ingest_latency_us
                 .observe(started.elapsed().as_secs_f64() * 1e6);
@@ -483,7 +498,33 @@ impl StreamEngine {
         self.scorer.install(predictor);
         self.monitor.emit_model_swap();
         self.monitor.clear_degraded();
+        if self.monitor.config().repair.ladder {
+            // A manual retrain re-profiles the stream the same way a
+            // tier-3 success does: serve-time corrections no longer
+            // apply, so the ladder resets and the scorer's overlay
+            // returns to the identity.
+            let update = self.monitor.reset_ladder();
+            self.scorer.apply_repair(update);
+        }
         Ok(())
+    }
+
+    /// The rung of the open repair-ladder episode, if one is open (`None`
+    /// while the ladder is idle or disabled).
+    pub fn repair_tier(&self) -> Option<RepairTier> {
+        self.monitor.repair_tier()
+    }
+
+    /// The per-cell serve-time margin cutoffs in force (index = group
+    /// cell id; all zeros means the model's native boundary).
+    pub fn repair_thresholds(&self) -> &[f64] {
+        self.monitor.repair_thresholds()
+    }
+
+    /// Whether the tier-2 conformance projection is installed on the
+    /// serving path.
+    pub fn repair_projection_active(&self) -> bool {
+        self.monitor.repair_projection_active()
     }
 
     /// Whether the engine is serving in degraded mode (an on-alert repair
@@ -565,7 +606,15 @@ impl StreamEngine {
             .iter()
             .map(|state| PageHinkley::from_state(ckpt.config.detector, state))
             .collect();
-        let scorer = Scorer::new(ckpt.schema.clone(), Box::new(predictor));
+        let mut scorer = Scorer::new(ckpt.schema.clone(), Box::new(predictor));
+        let ladder = RepairLadder {
+            active: RepairTier::from_index(ckpt.repair_tier),
+            batches_in_tier: ckpt.repair_batches_in_tier,
+            recovery_streak: ckpt.repair_recovery_streak,
+            thresholds: ckpt.repair_thresholds,
+            projection: ckpt.repair_projection,
+            work_us: ckpt.repair_work_us,
+        };
         let monitor = Monitor {
             schema: ckpt.schema,
             learner: ckpt.learner,
@@ -578,6 +627,7 @@ impl StreamEngine {
             ids_issued: ckpt.ids_issued,
             retrains: ckpt.retrains,
             floor_quiet_until: ckpt.floor_quiet_until,
+            ladder,
             sink: None,
             metrics: None,
             degraded: ckpt.degraded,
@@ -586,6 +636,14 @@ impl StreamEngine {
             #[cfg(feature = "fault-injection")]
             faults: None,
         };
+        if !monitor.ladder.is_identity() {
+            // The checkpoint caught a live repair episode (or repairs left
+            // installed after recovery): re-arm the serving overlay so the
+            // restored engine's decision boundary resumes bit-identically.
+            // The tier-2 projection is rebuilt from the checkpointed
+            // conformance profiles, same as the live publication.
+            scorer.apply_repair(monitor.repair_update());
+        }
         Ok(StreamEngine {
             scorer,
             monitor,
@@ -711,6 +769,12 @@ pub(crate) fn checkpoint_from_parts(
         retrains: monitor.retrains,
         floor_quiet_until: monitor.floor_quiet_until,
         degraded: monitor.degraded,
+        repair_tier: monitor.ladder.active.map_or(0, RepairTier::index),
+        repair_thresholds: monitor.ladder.thresholds.clone(),
+        repair_batches_in_tier: monitor.ladder.batches_in_tier,
+        repair_recovery_streak: monitor.ladder.recovery_streak,
+        repair_projection: monitor.ladder.projection,
+        repair_work_us: monitor.ladder.work_us,
     })
 }
 

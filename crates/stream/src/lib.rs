@@ -65,6 +65,7 @@ pub mod engine;
 pub mod faults;
 pub mod groups;
 pub mod monitor;
+pub mod repair;
 pub mod scorer;
 pub mod sharded;
 pub mod supervise;
@@ -81,6 +82,7 @@ pub use engine::{
 pub use faults::{FaultKind, FaultPlan, MonitorPanics, RetrainFaults};
 pub use groups::GroupLayout;
 pub use monitor::{FairnessSnapshot, FeedbackOutcome, Monitor, ObserveOutcome};
+pub use repair::{RepairLadder, RepairTier, RepairUpdate};
 pub use scorer::Scorer;
 pub use sharded::{
     ShardedAsyncEngine, ShardedEngine, ShardedFeedback, ShardedOutcome, ShardedTuple,

@@ -35,6 +35,7 @@
 
 use crate::drift::{DriftAlert, DriftKind, PageHinkley};
 use crate::engine::{LabelFeedback, RetrainPolicy, StreamConfig, StreamTuple};
+use crate::repair::{RepairLadder, RepairTier, RepairUpdate};
 use crate::telemetry::StreamMetrics;
 use crate::window::{GroupCounts, JoinStats, LabelJoin, SlidingWindow, SlotMeta};
 use crate::{Result, StreamError};
@@ -46,7 +47,7 @@ use cf_data::{
 use cf_learners::LearnerKind;
 use cf_telemetry::{
     FeedbackJoinEvent, IngestBatchEvent, ModelSwapEvent, RepairEndEvent, RepairStartEvent,
-    SharedSink, SnapshotData, TelemetryEvent,
+    SharedSink, SnapshotData, TelemetryEvent, ThresholdChangeEvent,
 };
 use confair_core::{confair::ConFair, Intervention, Predictor};
 use std::borrow::Borrow;
@@ -172,6 +173,15 @@ impl std::fmt::Display for FairnessSnapshot {
 /// `profiles[g][y]` for group cell `g` in `0..K` and binary label `y`.
 pub(crate) type CellProfiles = Vec<[Option<ConstraintSet>; 2]>;
 
+/// What one ladder batch produced:
+/// `(retrained, retrain_error, model, repair_update)`.
+type LadderOutcome = (
+    bool,
+    Option<StreamError>,
+    Option<Box<dyn Predictor>>,
+    Option<RepairUpdate>,
+);
+
 /// What one [`Monitor::observe`] call produced.
 ///
 /// Not `Clone`/`Debug`: a successful on-alert retrain hands back the
@@ -196,6 +206,13 @@ pub struct ObserveOutcome {
     /// before returning, the async engine's monitor thread publishes it
     /// through the atomically-swapped model slot.
     pub model: Option<Box<dyn Predictor>>,
+    /// A repair-state publication the ladder produced this batch
+    /// (thresholds nudged, projection toggled, or artifacts reset by a
+    /// successful retrain). Like `model`, the caller owns delivery: the
+    /// sync engine applies it to its scorer before returning, the async
+    /// engine's monitor thread publishes it through a swap slot. `None`
+    /// whenever the ladder is off or took no action.
+    pub repair: Option<RepairUpdate>,
 }
 
 /// What one [`Monitor::feedback`] call produced: how each record resolved,
@@ -246,6 +263,9 @@ pub struct Monitor {
     pub(crate) ids_issued: u64,
     pub(crate) retrains: u64,
     pub(crate) floor_quiet_until: u64,
+    /// The repair-escalation ladder state (idle unless
+    /// `config.repair.ladder` is on; see [`crate::repair`]).
+    pub(crate) ladder: RepairLadder,
     /// Telemetry sink, if one is installed ([`Monitor::set_sink`]). `None`
     /// skips emission entirely — the default, and the reason the null
     /// path costs nothing. Shared (`Arc`) so a checkpoint clone feeds the
@@ -290,6 +310,7 @@ impl Monitor {
         )?;
         let profiles = learn_profiles(reference, &config);
         let detectors = vec![PageHinkley::new(config.detector); config.groups];
+        let ladder = RepairLadder::idle(config.groups);
         Ok(Monitor {
             schema: reference.column_names().to_vec(),
             learner,
@@ -302,6 +323,7 @@ impl Monitor {
             ids_issued: 0,
             retrains: 0,
             floor_quiet_until: 0,
+            ladder,
             sink: None,
             metrics: None,
             degraded: false,
@@ -457,6 +479,8 @@ impl Monitor {
             m.labels_joined.set_u64(joins.joined);
             m.labels_unmatched.set_u64(joins.unmatched);
             m.degraded.set(if self.degraded { 1.0 } else { 0.0 });
+            m.repair_tier
+                .set(f64::from(self.ladder.active.map_or(0, RepairTier::index)));
         }
     }
 
@@ -512,6 +536,7 @@ impl Monitor {
                 retrained: false,
                 retrain_error: None,
                 model: None,
+                repair: None,
             });
         }
         if decisions.len() != batch.len() {
@@ -610,76 +635,24 @@ impl Monitor {
         let mut retrained = false;
         let mut retrain_error = None;
         let mut model = None;
-        if !new_alerts.is_empty() {
+        let mut repair_update = None;
+        if self.config.repair.ladder {
+            // The escalation ladder owns repair end to end: the legacy
+            // retrain-on-alert path is disabled so a DI-floor alert can
+            // never trigger a tier-3 retrain before the cheap tiers had
+            // their chance.
+            let (r, e, m, u) = self.ladder_step(&snapshot);
+            retrained = r;
+            retrain_error = e;
+            model = m;
+            repair_update = u;
+        } else if !new_alerts.is_empty() {
             if let RetrainPolicy::OnAlert { min_window } = self.config.retrain {
                 if self.window.len() >= min_window {
-                    self.emit(TelemetryEvent::RepairStart(RepairStartEvent {
-                        at_tuple: self.seen,
-                        tier: "confair_retrain".into(),
-                        window_len: self.window.len() as u64,
-                        labeled: self.window.labeled_len() as u64,
-                    }));
-                    // One repair *episode*: a bounded retry loop around the
-                    // retraining hook. Each attempt may fail (or panic —
-                    // contained and converted to `RetrainPanicked`); between
-                    // attempts we back off with seeded jitter, and the whole
-                    // episode is bounded by both an attempt budget and a
-                    // wall-clock timeout. Exhausting the budget flips the
-                    // engine into degraded mode: the stale model keeps
-                    // serving, loudly.
-                    let started = std::time::Instant::now();
-                    let repair = self.config.repair;
-                    let mut backoff = repair.backoff(self.retrains);
-                    let mut attempts: u64 = 0;
-                    loop {
-                        attempts += 1;
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                self.retrain()
-                            }));
-                        let error = match outcome {
-                            Ok(Ok(predictor)) => {
-                                retrained = true;
-                                model = Some(predictor);
-                                break;
-                            }
-                            Ok(Err(e)) => e,
-                            Err(payload) => {
-                                StreamError::RetrainPanicked(panic_text(payload.as_ref()))
-                            }
-                        };
-                        if let Some(m) = &self.metrics {
-                            m.retrain_failures_total.inc();
-                        }
-                        let out_of_budget = attempts >= u64::from(repair.attempts())
-                            || started.elapsed() >= repair.timeout();
-                        if out_of_budget {
-                            retrain_error = Some(error);
-                            break;
-                        }
-                        let remaining = repair.timeout().saturating_sub(started.elapsed());
-                        let delay = backoff.next_delay().min(remaining);
-                        if !delay.is_zero() {
-                            std::thread::sleep(delay);
-                        }
-                    }
-                    let duration_us = started.elapsed().as_micros() as u64;
-                    if let Some(m) = &self.metrics {
-                        m.retrain_duration_us.observe(duration_us as f64);
-                    }
-                    self.emit(TelemetryEvent::RepairEnd(RepairEndEvent {
-                        at_tuple: self.seen,
-                        tier: "confair_retrain".into(),
-                        outcome: if retrained { "retrained" } else { "failed" }.into(),
-                        error: retrain_error.as_ref().map(|e| e.to_string()),
-                        duration_us,
-                        retrains: self.retrains,
-                    }));
-                    if retrained {
-                        self.clear_degraded();
-                    } else {
-                        self.enter_degraded(attempts, retrain_error.as_ref());
-                    }
+                    let (r, e, m) = self.run_retrain_episode();
+                    retrained = r;
+                    retrain_error = e;
+                    model = m;
                 }
             }
         }
@@ -692,7 +665,314 @@ impl Monitor {
             retrained,
             retrain_error,
             model,
+            repair: repair_update,
         })
+    }
+
+    /// One repair *episode*: a bounded retry loop around the retraining
+    /// hook, bracketed by `repair_start`/`repair_end` trail events. Each
+    /// attempt may fail (or panic — contained and converted to
+    /// `RetrainPanicked`); between attempts we back off with seeded
+    /// jitter, and the whole episode is bounded by both an attempt budget
+    /// and a wall-clock timeout. Exhausting the budget flips the engine
+    /// into degraded mode: the stale model keeps serving, loudly.
+    ///
+    /// Shared verbatim by the legacy retrain-on-alert path and the
+    /// ladder's tier 3, so both produce the same trail bytes and the same
+    /// degraded-mode semantics.
+    fn run_retrain_episode(&mut self) -> (bool, Option<StreamError>, Option<Box<dyn Predictor>>) {
+        let mut retrained = false;
+        let mut retrain_error = None;
+        let mut model = None;
+        self.emit(TelemetryEvent::RepairStart(RepairStartEvent {
+            at_tuple: self.seen,
+            tier: "confair_retrain".into(),
+            window_len: self.window.len() as u64,
+            labeled: self.window.labeled_len() as u64,
+        }));
+        let started = std::time::Instant::now();
+        let repair = self.config.repair;
+        let mut backoff = repair.backoff(self.retrains);
+        let mut attempts: u64 = 0;
+        loop {
+            attempts += 1;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.retrain()));
+            let error = match outcome {
+                Ok(Ok(predictor)) => {
+                    retrained = true;
+                    model = Some(predictor);
+                    break;
+                }
+                Ok(Err(e)) => e,
+                Err(payload) => StreamError::RetrainPanicked(panic_text(payload.as_ref())),
+            };
+            if let Some(m) = &self.metrics {
+                m.retrain_failures_total.inc();
+            }
+            let out_of_budget =
+                attempts >= u64::from(repair.attempts()) || started.elapsed() >= repair.timeout();
+            if out_of_budget {
+                retrain_error = Some(error);
+                break;
+            }
+            let remaining = repair.timeout().saturating_sub(started.elapsed());
+            let delay = backoff.next_delay().min(remaining);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        let duration_us = started.elapsed().as_micros() as u64;
+        if let Some(m) = &self.metrics {
+            m.retrain_duration_us.observe(duration_us as f64);
+        }
+        self.emit(TelemetryEvent::RepairEnd(RepairEndEvent {
+            at_tuple: self.seen,
+            tier: "confair_retrain".into(),
+            outcome: if retrained { "retrained" } else { "failed" }.into(),
+            error: retrain_error.as_ref().map(|e| e.to_string()),
+            duration_us,
+            retrains: self.retrains,
+        }));
+        if retrained {
+            self.clear_degraded();
+        } else {
+            self.enter_degraded(attempts, retrain_error.as_ref());
+        }
+        (retrained, retrain_error, model)
+    }
+
+    /// One batch of the repair-escalation ladder (see [`crate::repair`]):
+    /// driven purely by the windowed DI* reading against the floor, with
+    /// the same `floor_min_window` evidence bar as the alert — but
+    /// independent of `floor_cooldown`, which only rate-limits alert
+    /// *emission*; the ladder keeps acting every unhealthy batch.
+    ///
+    /// Tier 3 additionally honours the retrain policy: it is entered only
+    /// under [`RetrainPolicy::OnAlert`] with its `min_window` satisfied —
+    /// otherwise the ladder holds at tier 2 (the cheap, label-free rungs
+    /// are exactly what a never-retrain deployment still gets).
+    ///
+    /// Returns `(retrained, retrain_error, model, repair_update)`.
+    fn ladder_step(&mut self, snapshot: &FairnessSnapshot) -> LadderOutcome {
+        let repair = self.config.repair;
+        let verdict = snapshot.passes_di_floor();
+        let unhealthy = verdict == Some(false) && self.window.len() >= self.config.floor_min_window;
+
+        if self.ladder.active.is_none() {
+            if !unhealthy {
+                return (false, None, None, None);
+            }
+            // Open an episode on the cheapest rung.
+            self.ladder.batches_in_tier = 0;
+            self.ladder.recovery_streak = 0;
+            self.ladder.work_us = 0;
+            self.ladder.active = Some(RepairTier::ThresholdNudge);
+            self.emit_repair_start(RepairTier::ThresholdNudge);
+        }
+        let tier = self.ladder.active.expect("episode opened above");
+
+        if verdict == Some(true) {
+            self.ladder.recovery_streak += 1;
+            if self.ladder.recovery_streak >= repair.hold() {
+                // De-escalate all the way: the episode closes, and the
+                // installed repairs stay — they are what restored the
+                // floor. Only a successful retrain resets them.
+                self.emit_repair_end(tier, "recovered", None);
+                self.ladder.active = None;
+                self.ladder.batches_in_tier = 0;
+                self.ladder.recovery_streak = 0;
+            }
+            return (false, None, None, None);
+        }
+        if !unhealthy {
+            // An unobserved reading (or a still-thin window) is evidence
+            // of nothing: it neither burns patience nor counts as
+            // recovery.
+            return (false, None, None, None);
+        }
+        self.ladder.recovery_streak = 0;
+        self.ladder.batches_in_tier += 1;
+
+        let mut update = None;
+        match tier {
+            RepairTier::ThresholdNudge => {
+                if self.nudge_disadvantaged_cell() {
+                    update = Some(self.repair_update());
+                }
+            }
+            RepairTier::DiffFairProjection => {
+                // Normally installed at escalation; this re-install only
+                // fires for state restored from a checkpoint taken
+                // mid-tier-2.
+                if !self.ladder.projection {
+                    self.ladder.projection = true;
+                    update = Some(self.repair_update());
+                }
+            }
+            // `active` never rests on tier 3 (entry runs the retrain and
+            // immediately resolves to idle or tier 2), so there is no
+            // per-batch action for it.
+            RepairTier::ConFairRetrain => {}
+        }
+
+        if self.ladder.batches_in_tier < repair.patience() {
+            return (false, None, None, update);
+        }
+        let Some(next) = tier.next() else {
+            return (false, None, None, update);
+        };
+        if next == RepairTier::ConFairRetrain {
+            let RetrainPolicy::OnAlert { min_window } = self.config.retrain else {
+                // No retrain policy: the ladder tops out at tier 2.
+                return (false, None, None, update);
+            };
+            if self.window.len() < min_window {
+                return (false, None, None, update);
+            }
+            self.emit_repair_end(tier, "escalated", None);
+            self.ladder.active = Some(RepairTier::ConFairRetrain);
+            self.ladder.batches_in_tier = 0;
+            // Tier 3 acts on entry: one bounded retrain episode (which
+            // brackets itself with `confair_retrain` start/end events and
+            // owns the degraded-mode transitions).
+            let (retrained, retrain_error, model) = self.run_retrain_episode();
+            if retrained {
+                // Repaired at the root: the stream was re-profiled, so
+                // the serve-time corrections no longer apply. Reset them
+                // and close the episode.
+                self.ladder.reset_artifacts();
+                self.ladder.active = None;
+                self.ladder.batches_in_tier = 0;
+                self.ladder.recovery_streak = 0;
+                update = Some(self.repair_update());
+            } else {
+                // Budget exhausted (the episode flagged degraded mode):
+                // fall back to tier 2 so the cheap rungs keep serving
+                // repairs while the retrain path is down. Another
+                // `tier_patience` unhealthy batches re-enter tier 3.
+                if !self.ladder.projection {
+                    self.ladder.projection = true;
+                    update = Some(self.repair_update());
+                }
+                self.ladder.active = Some(RepairTier::DiffFairProjection);
+                self.ladder.batches_in_tier = 0;
+                self.emit_repair_start(RepairTier::DiffFairProjection);
+            }
+            return (retrained, retrain_error, model, update);
+        }
+        // Escalate to tier 2 and act immediately: install the projection.
+        self.emit_repair_end(tier, "escalated", None);
+        self.ladder.active = Some(next);
+        self.ladder.batches_in_tier = 0;
+        self.emit_repair_start(next);
+        if !self.ladder.projection {
+            let t0 = std::time::Instant::now();
+            self.ladder.projection = true;
+            update = Some(self.repair_update());
+            self.ladder.work_us += (t0.elapsed().as_micros() as u64).max(1);
+        }
+        (false, None, None, update)
+    }
+
+    /// Tier 1's action: lower the disadvantaged cell's margin cutoff by
+    /// `nudge_step`, clamped at `-nudge_max`. Returns whether a threshold
+    /// actually moved (at the clamp, nudging is exhausted and the batch
+    /// only burns patience). Emits the `threshold_change` trail event and
+    /// counts repair work into the episode's `work_us`.
+    fn nudge_disadvantaged_cell(&mut self) -> bool {
+        let t0 = std::time::Instant::now();
+        let Some(cell) = SnapshotData::disadvantaged_cell(&crate::telemetry::both_counters(
+            self.window.counts(),
+        )) else {
+            return false;
+        };
+        let Some(slot) = self.ladder.thresholds.get_mut(cell) else {
+            return false;
+        };
+        let step = self.config.repair.nudge_step.abs();
+        let floor = -self.config.repair.nudge_max.abs();
+        let nudged = (*slot - step).max(floor);
+        if nudged == *slot {
+            return false;
+        }
+        *slot = nudged;
+        self.ladder.work_us += (t0.elapsed().as_micros() as u64).max(1);
+        if let Some(m) = &self.metrics {
+            m.threshold_nudges_total.inc();
+        }
+        self.emit(TelemetryEvent::ThresholdChange(ThresholdChangeEvent {
+            at_tuple: self.seen,
+            tier: RepairTier::ThresholdNudge.wire_name().into(),
+            cell: cell as u8,
+            thresholds: self.ladder.thresholds.clone(),
+        }));
+        true
+    }
+
+    /// The full repair state as a scorer publication (absolute
+    /// thresholds; profiles attached while the projection is installed).
+    pub(crate) fn repair_update(&self) -> RepairUpdate {
+        RepairUpdate {
+            tier: self.ladder.active,
+            thresholds: self.ladder.thresholds.clone(),
+            projection: self.ladder.projection.then(|| self.profiles.clone()),
+        }
+    }
+
+    /// Close any open ladder episode and zero the repair artifacts — a
+    /// manual retrain re-profiled the stream exactly like a tier-3
+    /// success, so serve-time corrections no longer apply. Returns the
+    /// identity publication for the scorer.
+    pub(crate) fn reset_ladder(&mut self) -> RepairUpdate {
+        if let Some(tier) = self.ladder.active.take() {
+            self.emit_repair_end(tier, "retrained", None);
+        }
+        self.ladder.reset_artifacts();
+        self.ladder.batches_in_tier = 0;
+        self.ladder.recovery_streak = 0;
+        self.ladder.work_us = 0;
+        if let Some(m) = &self.metrics {
+            m.repair_tier.set(0.0);
+        }
+        self.repair_update()
+    }
+
+    fn emit_repair_start(&self, tier: RepairTier) {
+        self.emit(TelemetryEvent::RepairStart(RepairStartEvent {
+            at_tuple: self.seen,
+            tier: tier.wire_name().into(),
+            window_len: self.window.len() as u64,
+            labeled: self.window.labeled_len() as u64,
+        }));
+    }
+
+    fn emit_repair_end(&self, tier: RepairTier, outcome: &str, error: Option<String>) {
+        self.emit(TelemetryEvent::RepairEnd(RepairEndEvent {
+            at_tuple: self.seen,
+            tier: tier.wire_name().into(),
+            outcome: outcome.into(),
+            error,
+            duration_us: self.ladder.work_us,
+            retrains: self.retrains,
+        }));
+    }
+
+    /// The rung of the open ladder episode, if one is open.
+    pub fn repair_tier(&self) -> Option<RepairTier> {
+        self.ladder.active()
+    }
+
+    /// The per-cell serve-time margin cutoffs currently in force
+    /// (index = group cell id; all zeros means decisions sit at the
+    /// model's native boundary).
+    pub fn repair_thresholds(&self) -> &[f64] {
+        self.ladder.thresholds()
+    }
+
+    /// Whether the tier-2 conformance projection is installed on the
+    /// serving path.
+    pub fn repair_projection_active(&self) -> bool {
+        self.ladder.projection
     }
 
     /// Join late ground truth into the label plane: each record is matched

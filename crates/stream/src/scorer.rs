@@ -8,27 +8,92 @@
 //! detectors, no alert log. That is what makes it cheap to keep on the
 //! caller's thread while a [`Monitor`](crate::Monitor) runs elsewhere: the
 //! only cross-thread traffic a scorer ever receives is a whole replacement
-//! predictor, installed between batches via [`Scorer::install`].
+//! predictor ([`Scorer::install`]) or a whole repair overlay
+//! ([`Scorer::apply_repair`]), both installed between batches.
+//!
+//! ## The repair overlay
+//!
+//! The monitor's repair ladder (see [`crate::repair`]) publishes per-cell
+//! margin thresholds and, at tier 2, per-cell conformance profiles. While
+//! the overlay is the identity (all-zero thresholds, no projection) the
+//! scorer takes the exact pre-ladder `predict_rows` path — decisions,
+//! allocation behaviour, and floating-point trajectories are bit-identical
+//! to an engine built before the ladder existed. With a live overlay the
+//! scorer switches to the predictor's margin path and decides
+//! `margin' >= threshold[cell]`, where `margin'` subtracts the tier-2
+//! conformance gap when projection is installed. The repair path allocates
+//! one margins vector per batch; repair episodes are transient, so the
+//! identity fast path keeps the steady state allocation-free.
 
 use crate::engine::StreamTuple;
+use crate::monitor::CellProfiles;
+use crate::repair::RepairUpdate;
 use crate::{Result, StreamError};
 use cf_linalg::Matrix;
 use confair_core::{Predictor, PredictorState};
 use std::borrow::Borrow;
+
+/// The scorer-side mirror of the monitor's repair state: per-cell margin
+/// cutoffs plus the optional tier-2 conformance profiles.
+#[derive(Default)]
+pub(crate) struct RepairOverlay {
+    /// Per-cell margin cutoffs; empty or all-zero means "no nudge".
+    thresholds: Vec<f64>,
+    /// Per-cell `[rejected, accepted]` conformance profiles; `Some`
+    /// installs the tier-2 margin projection.
+    projection: Option<CellProfiles>,
+}
+
+impl RepairOverlay {
+    /// Whether the overlay is the identity (scoring may take the exact
+    /// pre-ladder fast path).
+    fn is_identity(&self) -> bool {
+        self.projection.is_none() && self.thresholds.iter().all(|&t| t == 0.0)
+    }
+
+    /// The margin cutoff for `cell` (0.0 when the cell is out of range —
+    /// a tuple from a cell the monitor has no threshold for decides at
+    /// the model's native boundary).
+    fn threshold(&self, cell: u8) -> f64 {
+        self.thresholds
+            .get(usize::from(cell))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The tier-2 conformance gap for `row` in `cell`: how much worse the
+    /// row conforms to the accepted-class profile than to the
+    /// rejected-class profile. Positive gap lowers the effective margin.
+    fn conformance_gap(&self, cell: u8, row: &[f64]) -> f64 {
+        match &self.projection {
+            Some(profiles) => match profiles.get(usize::from(cell)) {
+                Some([Some(rejected), Some(accepted)]) => {
+                    accepted.violation(row) - rejected.violation(row)
+                }
+                _ => 0.0,
+            },
+            None => 0.0,
+        }
+    }
+}
 
 /// The allocation-free scoring half of a stream engine: schema, fitted
 /// predictor, and the recycled per-batch scratch buffer.
 ///
 /// A `Scorer` is deliberately dumb: it assumes its input was already
 /// validated against the schema (the engines do that at their boundaries)
-/// and it never looks at groups, labels, windows, or detectors. Everything
-/// observable about fairness lives in the [`Monitor`](crate::Monitor) half.
+/// and it never looks at labels, windows, or detectors. Everything
+/// observable about fairness lives in the [`Monitor`](crate::Monitor)
+/// half; the scorer only mirrors the monitor's published repair overlay.
 pub struct Scorer {
     schema: Vec<String>,
     predictor: Box<dyn Predictor>,
     /// Recycled backing buffer for the per-batch feature matrix, so the
     /// steady-state scoring path allocates nothing per tuple.
     scratch: Vec<f64>,
+    /// The installed repair overlay (identity until the monitor's ladder
+    /// publishes corrections).
+    repair: RepairOverlay,
 }
 
 impl Scorer {
@@ -38,6 +103,7 @@ impl Scorer {
             schema,
             predictor,
             scratch: Vec::new(),
+            repair: RepairOverlay::default(),
         }
     }
 
@@ -51,6 +117,12 @@ impl Scorer {
     /// row-matrix fast path. Callers guarantee every tuple matches the
     /// schema width (see [`crate::engine::StreamEngine::ingest`] for the
     /// validating entry points).
+    ///
+    /// With a live repair overlay the decision for a tuple in cell `g`
+    /// becomes `margin - conformance_gap(g) >= threshold[g]`; with the
+    /// identity overlay this is byte-identical to the plain
+    /// `predict_rows` path (for the built-in learners, `predict` is
+    /// exactly `margin >= 0.0`).
     pub fn score<T: Borrow<StreamTuple>>(&mut self, batch: &[T]) -> Result<Vec<u8>> {
         if batch.is_empty() {
             return Ok(Vec::new());
@@ -66,19 +138,53 @@ impl Scorer {
             buf.extend_from_slice(&t.borrow().features);
         }
         let x = Matrix::from_vec(batch.len(), d, buf);
-        let decisions = self
-            .predictor
-            .predict_rows(&x)
-            .map_err(StreamError::from_core)?;
+        let decisions = if self.repair.is_identity() {
+            self.predictor
+                .predict_rows(&x)
+                .map_err(StreamError::from_core)?
+        } else {
+            let margins = self
+                .predictor
+                .predict_margin_rows(&x)
+                .map_err(StreamError::from_core)?;
+            batch
+                .iter()
+                .zip(margins)
+                .map(|(t, margin)| {
+                    let t = t.borrow();
+                    let adjusted = margin - self.repair.conformance_gap(t.group, &t.features);
+                    u8::from(adjusted >= self.repair.threshold(t.group))
+                })
+                .collect()
+        };
         self.scratch = x.into_vec();
         Ok(decisions)
     }
 
     /// Swap in a replacement predictor (the publication side of a retrain).
     /// Takes effect for the next [`Scorer::score`] call; the scorer's
-    /// scratch buffer and schema are untouched.
+    /// scratch buffer, schema, and repair overlay are untouched.
     pub fn install(&mut self, predictor: Box<dyn Predictor>) {
         self.predictor = predictor;
+    }
+
+    /// Install the monitor's published repair state (the publication side
+    /// of a ladder step). The update carries *absolute* state, so applying
+    /// only the latest of several queued updates is correct.
+    pub fn apply_repair(&mut self, update: RepairUpdate) {
+        self.repair.thresholds = update.thresholds;
+        self.repair.projection = update.projection;
+    }
+
+    /// The per-cell margin cutoffs currently installed (empty until a
+    /// repair update arrives).
+    pub fn repair_thresholds(&self) -> &[f64] {
+        &self.repair.thresholds
+    }
+
+    /// Whether the tier-2 conformance projection is installed.
+    pub fn repair_projection(&self) -> bool {
+        self.repair.projection.is_some()
     }
 
     /// Snapshot the predictor's fitted state for checkpointing, or `None`

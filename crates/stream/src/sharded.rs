@@ -217,6 +217,14 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    /// Each shard's open repair-ladder rung, indexed by shard id (`None`
+    /// = that shard's ladder is idle or disabled). Shards climb and
+    /// descend independently — one shard's escalation never moves its
+    /// neighbours.
+    pub fn repair_tiers(&self) -> Vec<Option<crate::repair::RepairTier>> {
+        self.shards.iter().map(StreamEngine::repair_tier).collect()
+    }
+
     /// Borrow one shard's engine (per-shard telemetry, alert logs, audits).
     pub fn shard(&self, shard: u32) -> Result<&StreamEngine> {
         self.shards
@@ -528,6 +536,13 @@ impl ShardedAsyncEngine {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Each shard's open repair-ladder rung per its monitor's latest
+    /// published state, indexed by shard id (current after a
+    /// [`ShardedAsyncEngine::flush`]).
+    pub fn repair_tiers(&self) -> Vec<Option<crate::repair::RepairTier>> {
+        self.shards.iter().map(AsyncEngine::repair_tier).collect()
     }
 
     /// Borrow one shard's async engine (lag, drop counters, alert log,

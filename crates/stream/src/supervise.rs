@@ -68,6 +68,23 @@ pub struct RepairConfig {
     pub timeout_ms: u64,
     /// Seed for the deterministic backoff jitter.
     pub jitter_seed: u64,
+    /// Enable the serve-time repair escalation ladder
+    /// ([`RepairTier`](crate::RepairTier)): threshold nudge → DiffFair
+    /// projection → full retrain. Off by default — the legacy
+    /// retrain-on-alert path is then byte-identical to earlier releases.
+    pub ladder: bool,
+    /// Unhealthy batches tolerated on one ladder rung before escalating
+    /// to the next (≥ 1; 0 is treated as 1).
+    pub tier_patience: u32,
+    /// Margin-threshold shift applied to the disadvantaged cell per
+    /// unhealthy batch while tier 1 is active.
+    pub nudge_step: f64,
+    /// Clamp on the absolute per-cell threshold magnitude accumulated by
+    /// tier-1 nudges.
+    pub nudge_max: f64,
+    /// Consecutive floor-passing batches before an open ladder episode
+    /// closes as recovered (≥ 1; 0 is treated as 1).
+    pub recovery_hold: u32,
 }
 
 impl Default for RepairConfig {
@@ -78,6 +95,11 @@ impl Default for RepairConfig {
             backoff_max_ms: 1_000,
             timeout_ms: 30_000,
             jitter_seed: 0x5EED_0001,
+            ladder: false,
+            tier_patience: 8,
+            nudge_step: 0.05,
+            nudge_max: 2.0,
+            recovery_hold: 4,
         }
     }
 }
@@ -91,6 +113,16 @@ impl RepairConfig {
     /// The episode wall-clock budget as a [`Duration`].
     pub fn timeout(&self) -> Duration {
         Duration::from_millis(self.timeout_ms)
+    }
+
+    /// The per-rung escalation patience with the ≥ 1 floor applied.
+    pub fn patience(&self) -> u64 {
+        u64::from(self.tier_patience.max(1))
+    }
+
+    /// The recovery hold with the ≥ 1 floor applied.
+    pub fn hold(&self) -> u64 {
+        u64::from(self.recovery_hold.max(1))
     }
 
     /// A backoff schedule for one repair episode. `episode` (typically

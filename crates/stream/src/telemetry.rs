@@ -202,6 +202,12 @@ pub struct StreamMetrics {
     /// `cf_stream_degraded`: 1 while the engine serves in degraded mode
     /// (repair budget exhausted, stale model still serving), else 0.
     pub degraded: Gauge,
+    /// `cf_stream_repair_tier`: the active repair-ladder rung (0 = idle,
+    /// 1 = threshold nudge, 2 = DiffFair projection, 3 = ConFair retrain).
+    pub repair_tier: Gauge,
+    /// `cf_stream_threshold_nudges_total`: tier-1 per-cell threshold
+    /// nudges applied.
+    pub threshold_nudges_total: Counter,
     /// `cf_stream_telemetry_disabled_total`: audit events dropped because
     /// the sink lock was poisoned by a panicked subscriber.
     pub telemetry_disabled_total: Counter,
@@ -310,6 +316,16 @@ impl StreamMetrics {
             degraded: registry.gauge_with(
                 "cf_stream_degraded",
                 "1 while serving in degraded mode (repair budget exhausted), else 0.",
+                l,
+            ),
+            repair_tier: registry.gauge_with(
+                "cf_stream_repair_tier",
+                "Active repair-ladder rung (0 idle, 1 nudge, 2 projection, 3 retrain).",
+                l,
+            ),
+            threshold_nudges_total: registry.counter_with(
+                "cf_stream_threshold_nudges_total",
+                "Tier-1 per-cell threshold nudges applied.",
                 l,
             ),
             telemetry_disabled_total: registry.counter_with(

@@ -522,3 +522,131 @@ proptest! {
         prop_assert_eq!(faulted.snapshot(), clean.snapshot());
     }
 }
+
+/// Satellite: tier-3 exhaustion under the repair ladder. When every
+/// retrain attempt in the tier-3 episode faults, the engine flags
+/// degraded mode but the cheap rungs keep serving repairs — the ladder
+/// falls back to tier 2 with the projection installed, and `ingest`
+/// never wedges. Once the fault schedule is spent, the re-entered
+/// tier-3 episode retrains, clears degraded mode, and resets the
+/// serve-time artifacts to the identity. The trail reconciles the whole
+/// outage: exactly one degraded enter/clear pair, a `failed` tier-3
+/// episode before the `retrained` one, and a tier-2 fallback re-arm in
+/// between.
+#[test]
+fn ladder_tier3_exhaustion_degrades_while_cheap_tiers_keep_serving() {
+    let reference = spec(350).reference(900, 23);
+    let cfg = StreamConfig {
+        window: 128,
+        di_floor: 0.8,
+        floor_min_window: 48,
+        floor_cooldown: 300,
+        retrain: RetrainPolicy::OnAlert { min_window: 64 },
+        repair: RepairConfig {
+            ladder: true,
+            tier_patience: 3,
+            nudge_step: 0.25,
+            // Tier 1 is impotent: every nudge clamps immediately, which
+            // forces the climb into the faulted retrain path.
+            nudge_max: 0.0,
+            recovery_hold: 2,
+            ..fast_repair()
+        },
+        confair: ConFairConfig {
+            alpha: AlphaMode::Fixed {
+                alpha_u: 2.0,
+                alpha_w: 1.0,
+            },
+            ..ConFairConfig::default()
+        },
+        ..StreamConfig::default()
+    };
+    let mut engine =
+        StreamEngine::from_reference(&reference, LearnerKind::Logistic, 23, cfg).unwrap();
+    let (ring, sink) = ring();
+    engine.set_sink(sink);
+    // Both attempts of the first tier-3 episode fail; the schedule is
+    // then spent, so the re-entered episode succeeds.
+    let faults = RetrainFaults::fail_first(2, FaultKind::Error);
+    engine.inject_faults(FaultPlan::new().with_retrain(faults.clone()));
+
+    let mut stream = DriftStream::new(spec(350), 9);
+    let mut served_degraded = false;
+    for _ in 0..60 {
+        let batch = StreamTuple::rows_from_dataset(&stream.next_batch(64)).unwrap();
+        // Never wedges: the faulted episode surfaces on the trail, not
+        // as an ingest error.
+        engine.ingest(&batch).unwrap();
+        if engine.is_degraded() {
+            // The retrain path is down, but tiers 1-2 still serve: the
+            // ladder rests on tier 2 with the projection installed.
+            assert_eq!(
+                engine.repair_tier(),
+                Some(cf_stream::RepairTier::DiffFairProjection)
+            );
+            assert!(engine.repair_projection_active());
+            served_degraded = true;
+        }
+        if served_degraded && engine.retrain_count() >= 1 {
+            break;
+        }
+    }
+
+    assert!(
+        served_degraded,
+        "the faulted episode must flag degraded mode"
+    );
+    assert_eq!(faults.injected(), 2, "both scheduled faults fired");
+    assert!(
+        engine.retrain_count() >= 1,
+        "the re-entered tier-3 episode must retrain once the faults are spent"
+    );
+    assert!(
+        !engine.is_degraded(),
+        "a successful retrain clears degraded mode"
+    );
+    assert_eq!(engine.repair_tier(), None);
+    assert!(engine.repair_thresholds().iter().all(|&t| t == 0.0));
+    assert!(!engine.repair_projection_active());
+
+    // Trail reconciliation: one enter (with the episode's attempt count
+    // and final error) and one clear, in that order.
+    let degraded: Vec<(bool, u64, bool)> = events_of(&ring)
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::DegradedMode(d) => Some((d.entered, d.attempts, d.error.is_some())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(degraded.len(), 2, "exactly one outage: {degraded:?}");
+    assert_eq!(
+        (degraded[0].0, degraded[0].1, degraded[0].2),
+        (true, 2, true)
+    );
+    assert!(!degraded[1].0);
+
+    // The repair episodes on the trail tell the same story: a failed
+    // tier-3 climb, the tier-2 fallback re-arm, then the successful
+    // retrain.
+    let repairs: Vec<(String, String)> = events_of(&ring)
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::RepairStart(s) => Some((s.tier.clone(), String::new())),
+            TelemetryEvent::RepairEnd(s) => Some((s.tier.clone(), s.outcome.clone())),
+            _ => None,
+        })
+        .collect();
+    let failed_at = repairs
+        .iter()
+        .position(|r| r == &("confair_retrain".into(), "failed".into()))
+        .expect("the exhausted episode closes as failed");
+    let retrained_at = repairs
+        .iter()
+        .position(|r| r == &("confair_retrain".into(), "retrained".into()))
+        .expect("the re-entered episode closes as retrained");
+    assert!(failed_at < retrained_at);
+    assert!(
+        repairs[failed_at..retrained_at].contains(&("difffair_projection".into(), String::new())),
+        "the fallback re-arms tier 2 between the episodes: {repairs:?}"
+    );
+}

@@ -320,11 +320,11 @@ fn small_checkpoint() -> EngineCheckpoint {
 fn version_mismatch_is_a_typed_error() {
     let json = small_checkpoint()
         .to_json()
-        .replacen("\"version\":4", "\"version\":5", 1);
+        .replacen("\"version\":5", "\"version\":6", 1);
     assert!(matches!(
         EngineCheckpoint::from_json(&json),
         Err(StreamError::CheckpointVersion {
-            found: 5,
+            found: 6,
             expected: CHECKPOINT_VERSION
         })
     ));

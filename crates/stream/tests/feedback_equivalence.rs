@@ -420,7 +420,7 @@ fn corrupted_and_mismatched_documents_are_typed_errors() {
     for version in [0u32, CHECKPOINT_VERSION + 1, 999] {
         let doc = good
             .to_json()
-            .replacen("\"version\":4", &format!("\"version\":{version}"), 1);
+            .replacen("\"version\":5", &format!("\"version\":{version}"), 1);
         assert!(matches!(
             EngineCheckpoint::from_json(&doc),
             Err(StreamError::CheckpointVersion { .. })

@@ -109,6 +109,7 @@ fn scrub_versions(trail: &str) -> String {
     trail
         .replace("\"version\":3", "\"version\":0")
         .replace("\"version\":4", "\"version\":0")
+        .replace("\"version\":5", "\"version\":0")
 }
 
 fn unlabeled(batch: &[StreamTuple]) -> Vec<StreamTuple> {

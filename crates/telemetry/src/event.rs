@@ -347,6 +347,25 @@ pub struct RepairEndEvent {
     pub retrains: u64,
 }
 
+/// The repair ladder moved a serve-time decision threshold: tier 1
+/// nudged one cell's margin cutoff (the usual producer), and the event
+/// records the **full** per-cell threshold vector after the change so a
+/// trail reader never has to integrate deltas to know the serving
+/// boundary in force. Not an alert — threshold motion is the repair
+/// working, not a new incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdChangeEvent {
+    /// Total tuples observed when the threshold moved.
+    pub at_tuple: u64,
+    /// Active repair tier that moved it (e.g. `"threshold_nudge"`).
+    pub tier: String,
+    /// The group cell whose cutoff moved.
+    pub cell: u8,
+    /// The complete per-cell threshold vector now in force (index =
+    /// group cell id; `decision = margin >= thresholds[cell]`).
+    pub thresholds: Vec<f64>,
+}
+
 /// A replacement predictor was published to the serving path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelSwapEvent {
@@ -473,6 +492,8 @@ pub enum TelemetryEvent {
     RepairStart(RepairStartEvent),
     /// A repair attempt finished.
     RepairEnd(RepairEndEvent),
+    /// The repair ladder moved a serve-time decision threshold.
+    ThresholdChange(ThresholdChangeEvent),
     /// A replacement predictor was published.
     ModelSwap(ModelSwapEvent),
     /// A checkpoint was taken or restored.
@@ -495,6 +516,7 @@ impl TelemetryEvent {
             TelemetryEvent::DriftAlert(_) => "drift_alert",
             TelemetryEvent::RepairStart(_) => "repair_start",
             TelemetryEvent::RepairEnd(_) => "repair_end",
+            TelemetryEvent::ThresholdChange(_) => "threshold_change",
             TelemetryEvent::ModelSwap(_) => "model_swap",
             TelemetryEvent::Checkpoint(_) => "checkpoint",
             TelemetryEvent::FeedbackJoin(_) => "feedback_join",
@@ -525,6 +547,7 @@ impl TelemetryEvent {
             TelemetryEvent::DriftAlert(e) => e.at_tuple,
             TelemetryEvent::RepairStart(e) => e.at_tuple,
             TelemetryEvent::RepairEnd(e) => e.at_tuple,
+            TelemetryEvent::ThresholdChange(e) => e.at_tuple,
             TelemetryEvent::ModelSwap(e) => e.at_tuple,
             TelemetryEvent::Checkpoint(e) => e.at_tuple,
             TelemetryEvent::FeedbackJoin(e) => e.at_tuple,
@@ -545,6 +568,7 @@ impl Serialize for TelemetryEvent {
             TelemetryEvent::DriftAlert(e) => e.to_value(),
             TelemetryEvent::RepairStart(e) => e.to_value(),
             TelemetryEvent::RepairEnd(e) => e.to_value(),
+            TelemetryEvent::ThresholdChange(e) => e.to_value(),
             TelemetryEvent::ModelSwap(e) => e.to_value(),
             TelemetryEvent::Checkpoint(e) => e.to_value(),
             TelemetryEvent::FeedbackJoin(e) => e.to_value(),
@@ -571,6 +595,9 @@ impl Deserialize for TelemetryEvent {
             "drift_alert" => DriftAlertEvent::from_value(v).map(TelemetryEvent::DriftAlert),
             "repair_start" => RepairStartEvent::from_value(v).map(TelemetryEvent::RepairStart),
             "repair_end" => RepairEndEvent::from_value(v).map(TelemetryEvent::RepairEnd),
+            "threshold_change" => {
+                ThresholdChangeEvent::from_value(v).map(TelemetryEvent::ThresholdChange)
+            }
             "model_swap" => ModelSwapEvent::from_value(v).map(TelemetryEvent::ModelSwap),
             "checkpoint" => CheckpointEvent::from_value(v).map(TelemetryEvent::Checkpoint),
             "feedback_join" => FeedbackJoinEvent::from_value(v).map(TelemetryEvent::FeedbackJoin),
@@ -755,6 +782,12 @@ mod tests {
                 error: Some("degenerate window".into()),
                 duration_us: 421,
                 retrains: 0,
+            }),
+            TelemetryEvent::ThresholdChange(ThresholdChangeEvent {
+                at_tuple: 190,
+                tier: "threshold_nudge".into(),
+                cell: 1,
+                thresholds: vec![0.0, -0.15],
             }),
             TelemetryEvent::ModelSwap(ModelSwapEvent {
                 at_tuple: 190,

@@ -31,7 +31,8 @@ pub mod sink;
 pub use event::{
     AlertData, AlertExplanation, CheckpointEvent, CounterDelta, DegradedModeEvent, DriftAlertEvent,
     DropEvent, FeedbackJoinEvent, IngestBatchEvent, ModelSwapEvent, MonitorRestartEvent,
-    RepairEndEvent, RepairStartEvent, SnapshotData, TelemetryEvent, WindowCounters,
+    RepairEndEvent, RepairStartEvent, SnapshotData, TelemetryEvent, ThresholdChangeEvent,
+    WindowCounters,
 };
 pub use metrics::{log2_buckets, Counter, Gauge, Histogram, MetricsRegistry};
 pub use replay::{replay, replay_file, ReplayError, ReplayedRun};

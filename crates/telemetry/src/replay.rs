@@ -234,6 +234,9 @@ pub fn replay(jsonl: &str) -> Result<ReplayedRun, ReplayError> {
             }
             TelemetryEvent::DegradedMode(e) => run.degraded = e.entered,
             TelemetryEvent::RepairStart(_) => {}
+            // Threshold motion changes the serving boundary, not the
+            // windowed counters a replay reconstructs.
+            TelemetryEvent::ThresholdChange(_) => {}
         }
     }
     Ok(run)

@@ -46,7 +46,7 @@ pub mod prelude {
     pub use cf_stream::{
         AsyncConfig, AsyncEngine, BackpressurePolicy, DriftAlert, DriftKind, DropCounters,
         EngineCheckpoint, FairnessSnapshot, FeedbackOutcome, GroupLayout, JoinStats, LabelFeedback,
-        Monitor, PageHinkleyConfig, RepairConfig, RetrainPolicy, Scorer, ShardHealth,
+        Monitor, PageHinkleyConfig, RepairConfig, RepairTier, RetrainPolicy, Scorer, ShardHealth,
         ShardedAsyncEngine, ShardedCheckpoint, ShardedEngine, ShardedFeedback, ShardedOutcome,
         ShardedTuple, StreamConfig, StreamEngine, StreamMetrics, StreamTuple, SupervisorConfig,
     };
